@@ -1,0 +1,63 @@
+//! Criterion bench behind Figure 3: the z-statistic sweep (runs test applied
+//! to power sequences collected at increasing trial intervals) and the raw
+//! runs-test kernel on long sequences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dipe::input::InputModel;
+use dipe::DipeConfig;
+use netlist::iscas89;
+use seqstats::runs_test::RunsTest;
+
+fn bench_z_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3/z_profile");
+    group.sample_size(10);
+    // The paper uses s1494 with 10 000 samples; the bench uses a scaled-down
+    // sweep so the kernel's cost is measurable in seconds, not minutes.
+    for (name, sequence_length, max_interval) in [("s27", 1_000usize, 5usize), ("s298", 500, 4)] {
+        let circuit = iscas89::load(name).unwrap();
+        let config = DipeConfig::default().with_seed(17);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{name}/{sequence_length}x{max_interval}")),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut sampler =
+                        dipe::PowerSampler::new(circuit, &config, &InputModel::uniform(), 0)
+                            .unwrap();
+                    sampler.advance(config.warmup_cycles);
+                    dipe::independence::z_statistic_profile(
+                        &mut sampler,
+                        &config,
+                        max_interval,
+                        sequence_length,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_runs_test_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3/runs_test_kernel");
+    for n in [320usize, 1_000, 10_000] {
+        // Deterministic pseudo-random sequence (xorshift), matching the
+        // paper's sequence lengths (320 operational, 10 000 for the figure).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let sequence: Vec<f64> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1_000_000) as f64
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sequence, |b, sequence| {
+            b.iter(|| RunsTest::new(0.2).evaluate(sequence).z);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_z_profile, bench_runs_test_kernel);
+criterion_main!(benches);

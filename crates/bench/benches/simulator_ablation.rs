@@ -1,0 +1,84 @@
+//! Ablation bench for the two-phase simulation design (Section IV):
+//! zero-delay next-state simulation versus event-driven general-delay
+//! measurement, and the per-cycle power computation. The gap between the two
+//! simulators is what makes DIPE's "simulate cheaply during the independence
+//! interval, measure expensively only at sampling cycles" scheme pay off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dipe::input::InputModel;
+use logicsim::{DelayModel, VariableDelaySimulator, ZeroDelaySimulator};
+use netlist::iscas89;
+use power::{CapacitanceModel, PowerCalculator, Technology};
+
+const CYCLES: usize = 1_000;
+
+fn bench_zero_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/zero_delay_1k_cycles");
+    for name in ["s298", "s1494", "s5378"] {
+        let circuit = iscas89::load(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circuit| {
+            let mut stream = InputModel::uniform().stream(circuit, 5).unwrap();
+            b.iter(|| {
+                let mut sim = ZeroDelaySimulator::new(circuit);
+                for _ in 0..CYCLES {
+                    let inputs = stream.next_pattern();
+                    sim.step_state_only(&inputs);
+                }
+                sim.values()[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_variable_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/variable_delay_1k_cycles");
+    group.sample_size(10);
+    for name in ["s298", "s1494", "s5378"] {
+        let circuit = iscas89::load(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circuit| {
+            let mut stream = InputModel::uniform().stream(circuit, 5).unwrap();
+            b.iter(|| {
+                let mut zero = ZeroDelaySimulator::new(circuit);
+                let mut full = VariableDelaySimulator::new(circuit, DelayModel::default());
+                let mut total = 0u64;
+                for _ in 0..CYCLES {
+                    let inputs = stream.next_pattern();
+                    let prev = zero.values().to_vec();
+                    let activity = full.simulate_cycle(&prev, &inputs);
+                    zero.step_state_only(&inputs);
+                    total += activity.total_transitions();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/power_evaluation");
+    for name in ["s298", "s1494"] {
+        let circuit = iscas89::load(name).unwrap();
+        let calc = PowerCalculator::new(&circuit, Technology::default(), &CapacitanceModel::default());
+        let mut zero = ZeroDelaySimulator::new(&circuit);
+        let mut full = VariableDelaySimulator::new(&circuit, DelayModel::default());
+        let mut stream = InputModel::uniform().stream(&circuit, 5).unwrap();
+        let inputs = stream.next_pattern();
+        let prev = zero.values().to_vec();
+        let activity = full.simulate_cycle(&prev, &inputs);
+        zero.step_state_only(&inputs);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &activity, |b, activity| {
+            b.iter(|| calc.cycle_power_w(activity));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zero_delay,
+    bench_variable_delay,
+    bench_power_evaluation
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates Figure 3 of the paper: the runs-test z statistic as a function
+//! of the trial independence-interval length (default circuit `s1494`,
+//! sequence length 10 000, as in the paper).
+//!
+//! ```text
+//! cargo run --release -p dipe-bench --bin figure3 -- --quick
+//! cargo run --release -p dipe-bench --bin figure3 -- --circuits s1494 --sequence-length 10000
+//! ```
+
+use dipe_bench::{format_figure3, run_figure3, SuiteOptions};
+
+fn main() {
+    let mut options = match SuiteOptions::from_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    // The paper's figure uses a single circuit; default to s1494 unless the
+    // user asked for specific circuits.
+    if options.circuits == SuiteOptions::default().circuits {
+        options.circuits = vec!["s1494".to_string()];
+    }
+    let circuit = options.circuits[0].clone();
+    println!(
+        "# Figure 3 reproduction — circuit {circuit}, sequence length {}, intervals 0..={}",
+        options.sequence_length, options.max_interval
+    );
+    let started = std::time::Instant::now();
+    let points = run_figure3(&circuit, &options);
+    println!("{}", format_figure3(&points, 0.20));
+    let first_accepted = points.iter().find(|p| p.accepted).map(|p| p.interval);
+    match first_accepted {
+        Some(k) => println!("# first accepted interval: {k} cycles"),
+        None => println!("# no interval accepted within the sweep"),
+    }
+    println!("# wall time {:.1} s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table 1 of the paper: per-circuit reference power,
+//! independence interval, DIPE estimate, sample size and CPU time.
+//!
+//! ```text
+//! cargo run --release -p dipe-bench --bin table1 -- --quick
+//! cargo run --release -p dipe-bench --bin table1 -- --reference-cycles 1000000
+//! ```
+
+use dipe_bench::{format_table1, run_table1, SuiteOptions};
+
+fn main() {
+    let options = match SuiteOptions::from_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# Table 1 reproduction — reference = {} consecutive cycles, seed = {}",
+        options.reference_cycles, options.seed
+    );
+    println!("# circuits: {}", options.circuits.join(", "));
+    let started = std::time::Instant::now();
+    let rows = run_table1(&options);
+    println!("{}", format_table1(&rows));
+    let avg_dev = if rows.is_empty() {
+        0.0
+    } else {
+        rows.iter().map(|r| r.deviation_percent).sum::<f64>() / rows.len() as f64
+    };
+    println!(
+        "# {} circuits, mean |deviation| from reference = {:.2} %, total wall time {:.1} s",
+        rows.len(),
+        avg_dev,
+        started.elapsed().as_secs_f64()
+    );
+}

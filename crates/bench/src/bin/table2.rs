@@ -1,0 +1,33 @@
+//! Regenerates Table 2 of the paper: repeated-run robustness summary
+//! (independence-interval statistics, average sample size, average percentage
+//! deviation, error exceedance).
+//!
+//! ```text
+//! cargo run --release -p dipe-bench --bin table2 -- --quick
+//! cargo run --release -p dipe-bench --bin table2 -- --runs 1000 --reference-cycles 1000000
+//! ```
+
+use dipe_bench::{format_table2, run_table2, SuiteOptions};
+
+fn main() {
+    let options = match SuiteOptions::from_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# Table 2 reproduction — {} runs per circuit, reference = {} cycles, seed = {}",
+        options.runs, options.reference_cycles, options.seed
+    );
+    println!("# circuits: {}", options.circuits.join(", "));
+    let started = std::time::Instant::now();
+    let rows = run_table2(&options);
+    println!("{}", format_table2(&rows));
+    println!(
+        "# {} circuits, total wall time {:.1} s",
+        rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

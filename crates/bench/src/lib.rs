@@ -1,0 +1,584 @@
+//! Experiment harness regenerating the tables and figures of the DAC 1997
+//! DIPE paper.
+//!
+//! Three binaries are built from this crate, one per paper artifact:
+//!
+//! * `table1` — per-circuit estimation results (reference power, independence
+//!   interval, estimate, sample size, CPU time);
+//! * `table2` — repeated-run robustness summary (interval statistics, average
+//!   sample size, average percentage deviation, error exceedance);
+//! * `figure3` — the z-statistic of the runs test versus the trial interval
+//!   length.
+//!
+//! Each binary accepts `--help` and a small set of flags so the experiments
+//! can be scaled from a quick smoke run to the paper's full parameters
+//! (`--reference-cycles 1000000 --runs 1000`). The library part of the crate
+//! contains the experiment drivers so they can also be exercised from the
+//! criterion benches and from integration tests.
+
+use dipe::baselines::{BaselineResult, FixedWarmupEstimator};
+use dipe::input::InputModel;
+use dipe::report::TextTable;
+use dipe::{DipeConfig, DipeEstimator, LongSimulationReference};
+use netlist::{iscas89, Circuit};
+
+/// The per-circuit results published in Table 1 of the paper, used for
+/// side-by-side comparison in EXPERIMENTS.md. `sim_mw` is the reference power
+/// of the authors' setup, `interval` the reported independence interval,
+/// `sample_size` the reported sample size.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PaperTable1Row {
+    /// Benchmark name.
+    pub circuit: &'static str,
+    /// Reference power of the 1M-cycle simulation, in mW.
+    pub sim_mw: f64,
+    /// Reported independence interval in clock cycles.
+    pub interval: usize,
+    /// Reported estimate in mW.
+    pub estimate_mw: f64,
+    /// Reported sample size.
+    pub sample_size: usize,
+    /// Reported CPU seconds on a SPARC 20.
+    pub cpu_seconds: f64,
+}
+
+/// Table 1 of the paper, verbatim.
+pub const PAPER_TABLE1: &[PaperTable1Row] = &[
+    PaperTable1Row { circuit: "s208", sim_mw: 0.276, interval: 2, estimate_mw: 0.276, sample_size: 4928, cpu_seconds: 138.8 },
+    PaperTable1Row { circuit: "s298", sim_mw: 0.430, interval: 2, estimate_mw: 0.429, sample_size: 2816, cpu_seconds: 73.6 },
+    PaperTable1Row { circuit: "s344", sim_mw: 0.751, interval: 1, estimate_mw: 0.751, sample_size: 960, cpu_seconds: 14.6 },
+    PaperTable1Row { circuit: "s349", sim_mw: 0.785, interval: 2, estimate_mw: 0.785, sample_size: 1088, cpu_seconds: 21.8 },
+    PaperTable1Row { circuit: "s382", sim_mw: 0.433, interval: 2, estimate_mw: 0.433, sample_size: 2176, cpu_seconds: 75.6 },
+    PaperTable1Row { circuit: "s386", sim_mw: 0.519, interval: 1, estimate_mw: 0.518, sample_size: 1728, cpu_seconds: 35.4 },
+    PaperTable1Row { circuit: "s400", sim_mw: 0.418, interval: 2, estimate_mw: 0.420, sample_size: 2272, cpu_seconds: 52.7 },
+    PaperTable1Row { circuit: "s420", sim_mw: 0.353, interval: 2, estimate_mw: 0.354, sample_size: 4576, cpu_seconds: 195.0 },
+    PaperTable1Row { circuit: "s444", sim_mw: 0.427, interval: 3, estimate_mw: 0.427, sample_size: 2400, cpu_seconds: 69.9 },
+    PaperTable1Row { circuit: "s510", sim_mw: 1.175, interval: 1, estimate_mw: 1.175, sample_size: 3168, cpu_seconds: 114.7 },
+    PaperTable1Row { circuit: "s526", sim_mw: 0.443, interval: 1, estimate_mw: 0.434, sample_size: 2176, cpu_seconds: 53.1 },
+    PaperTable1Row { circuit: "s641", sim_mw: 0.786, interval: 1, estimate_mw: 0.787, sample_size: 1088, cpu_seconds: 26.1 },
+    PaperTable1Row { circuit: "s713", sim_mw: 0.804, interval: 1, estimate_mw: 0.804, sample_size: 1088, cpu_seconds: 26.2 },
+    PaperTable1Row { circuit: "s820", sim_mw: 0.957, interval: 1, estimate_mw: 0.957, sample_size: 1952, cpu_seconds: 58.2 },
+    PaperTable1Row { circuit: "s832", sim_mw: 0.941, interval: 3, estimate_mw: 0.941, sample_size: 2080, cpu_seconds: 75.1 },
+    PaperTable1Row { circuit: "s838", sim_mw: 0.443, interval: 3, estimate_mw: 0.443, sample_size: 2272, cpu_seconds: 149.4 },
+    PaperTable1Row { circuit: "s1196", sim_mw: 3.080, interval: 1, estimate_mw: 3.079, sample_size: 608, cpu_seconds: 26.7 },
+    PaperTable1Row { circuit: "s1238", sim_mw: 3.009, interval: 0, estimate_mw: 3.010, sample_size: 576, cpu_seconds: 24.4 },
+    PaperTable1Row { circuit: "s1423", sim_mw: 2.773, interval: 1, estimate_mw: 2.774, sample_size: 2368, cpu_seconds: 275.0 },
+    PaperTable1Row { circuit: "s1488", sim_mw: 1.844, interval: 2, estimate_mw: 1.844, sample_size: 4000, cpu_seconds: 293.0 },
+    PaperTable1Row { circuit: "s1494", sim_mw: 1.735, interval: 5, estimate_mw: 1.735, sample_size: 3936, cpu_seconds: 392.5 },
+    PaperTable1Row { circuit: "s5378", sim_mw: 6.667, interval: 2, estimate_mw: 6.659, sample_size: 352, cpu_seconds: 51.9 },
+    PaperTable1Row { circuit: "s9234", sim_mw: 2.008, interval: 1, estimate_mw: 2.008, sample_size: 704, cpu_seconds: 79.6 },
+    PaperTable1Row { circuit: "s15850", sim_mw: 5.939, interval: 1, estimate_mw: 5.938, sample_size: 896, cpu_seconds: 462.8 },
+];
+
+/// Looks up the paper's Table 1 row for a circuit name.
+pub fn paper_table1_row(circuit: &str) -> Option<&'static PaperTable1Row> {
+    PAPER_TABLE1.iter().find(|r| r.circuit == circuit)
+}
+
+/// Options shared by the experiment drivers. Parsed from command-line flags
+/// by [`SuiteOptions::from_args`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteOptions {
+    /// Circuits to run, in order.
+    pub circuits: Vec<String>,
+    /// Number of consecutive cycles in the reference simulation.
+    pub reference_cycles: usize,
+    /// Number of repeated estimation runs per circuit (Table 2).
+    pub runs: usize,
+    /// Sequence length of the Figure 3 sweep.
+    pub sequence_length: usize,
+    /// Largest trial interval of the Figure 3 sweep.
+    pub max_interval: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Skip circuits with more than this many gates (keeps quick runs quick).
+    pub max_gates: usize,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            circuits: iscas89::TABLE1_CIRCUITS.iter().map(|s| s.to_string()).collect(),
+            reference_cycles: 20_000,
+            runs: 25,
+            sequence_length: 10_000,
+            max_interval: 30,
+            seed: 1997,
+            max_gates: usize::MAX,
+        }
+    }
+}
+
+impl SuiteOptions {
+    /// Parses options from an iterator of command-line arguments (excluding
+    /// the program name). Unknown flags cause an error string suitable for
+    /// printing alongside the usage text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed flags.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut options = SuiteOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut take_value = |name: &str| {
+                iter.next()
+                    .ok_or_else(|| format!("flag {name} requires a value"))
+            };
+            match arg.as_str() {
+                "--circuits" => {
+                    let v = take_value("--circuits")?;
+                    options.circuits = v.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                "--reference-cycles" => {
+                    options.reference_cycles = take_value("--reference-cycles")?
+                        .parse()
+                        .map_err(|e| format!("--reference-cycles: {e}"))?;
+                }
+                "--runs" => {
+                    options.runs = take_value("--runs")?
+                        .parse()
+                        .map_err(|e| format!("--runs: {e}"))?;
+                }
+                "--sequence-length" => {
+                    options.sequence_length = take_value("--sequence-length")?
+                        .parse()
+                        .map_err(|e| format!("--sequence-length: {e}"))?;
+                }
+                "--max-interval" => {
+                    options.max_interval = take_value("--max-interval")?
+                        .parse()
+                        .map_err(|e| format!("--max-interval: {e}"))?;
+                }
+                "--seed" => {
+                    options.seed = take_value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--max-gates" => {
+                    options.max_gates = take_value("--max-gates")?
+                        .parse()
+                        .map_err(|e| format!("--max-gates: {e}"))?;
+                }
+                "--quick" => {
+                    options.circuits = vec![
+                        "s27".into(),
+                        "s208".into(),
+                        "s298".into(),
+                        "s344".into(),
+                        "s386".into(),
+                    ];
+                    options.reference_cycles = 5_000;
+                    options.runs = 5;
+                    options.sequence_length = 2_000;
+                    options.max_interval = 10;
+                }
+                "--help" | "-h" => return Err(usage()),
+                other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            }
+        }
+        Ok(options)
+    }
+
+    /// Parses options from the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed flags.
+    pub fn from_args() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn load_circuits(&self) -> Vec<(String, Circuit)> {
+        self.circuits
+            .iter()
+            .filter_map(|name| match iscas89::load(name) {
+                Ok(c) if c.num_gates() <= self.max_gates => Some((name.clone(), c)),
+                Ok(_) => {
+                    eprintln!("skipping {name}: exceeds --max-gates");
+                    None
+                }
+                Err(e) => {
+                    eprintln!("skipping {name}: {e}");
+                    None
+                }
+            })
+            .collect()
+    }
+
+    fn config(&self) -> DipeConfig {
+        DipeConfig::default().with_seed(self.seed)
+    }
+}
+
+/// Usage text shared by the binaries.
+pub fn usage() -> String {
+    "usage: <binary> [--circuits s27,s298,...] [--reference-cycles N] [--runs N] \
+     [--sequence-length N] [--max-interval N] [--seed N] [--max-gates N] [--quick]"
+        .to_string()
+}
+
+/// One row of the regenerated Table 1.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Reference (long-simulation) power in mW.
+    pub sim_mw: f64,
+    /// Selected independence interval.
+    pub interval: usize,
+    /// DIPE estimate in mW.
+    pub estimate_mw: f64,
+    /// Sample size used by DIPE.
+    pub sample_size: usize,
+    /// Wall-clock seconds of the DIPE run.
+    pub cpu_seconds: f64,
+    /// Relative deviation of the estimate from the reference, in percent.
+    pub deviation_percent: f64,
+}
+
+/// Runs the Table 1 experiment: one reference simulation and one DIPE run per
+/// circuit.
+pub fn run_table1(options: &SuiteOptions) -> Vec<Table1Row> {
+    let config = options.config();
+    let mut rows = Vec::new();
+    for (name, circuit) in options.load_circuits() {
+        let reference = LongSimulationReference::new(options.reference_cycles)
+            .run(&circuit, &config, &InputModel::uniform())
+            .expect("reference simulation cannot fail on catalogued circuits");
+        let result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
+            .expect("configuration is valid")
+            .run()
+            .expect("estimation converges on catalogued circuits");
+        rows.push(Table1Row {
+            circuit: name,
+            sim_mw: reference.mean_power_mw(),
+            interval: result.independence_interval(),
+            estimate_mw: result.mean_power_mw(),
+            sample_size: result.sample_size(),
+            cpu_seconds: result.elapsed_seconds(),
+            deviation_percent: 100.0 * result.relative_deviation_from(reference.mean_power_w()),
+        });
+    }
+    rows
+}
+
+/// Formats Table 1 rows side by side with the paper's published values.
+pub fn format_table1(rows: &[Table1Row]) -> TextTable {
+    let mut table = TextTable::new(&[
+        "Circuit",
+        "SIM (mW)",
+        "I.I.",
+        "p̄ (mW)",
+        "Sample",
+        "CPU (s)",
+        "Dev (%)",
+        "paper SIM",
+        "paper I.I.",
+        "paper Sample",
+    ]);
+    for row in rows {
+        let paper = paper_table1_row(&row.circuit);
+        table.add_row(&[
+            row.circuit.clone(),
+            format!("{:.3}", row.sim_mw),
+            row.interval.to_string(),
+            format!("{:.3}", row.estimate_mw),
+            row.sample_size.to_string(),
+            format!("{:.1}", row.cpu_seconds),
+            format!("{:.2}", row.deviation_percent),
+            paper.map(|p| format!("{:.3}", p.sim_mw)).unwrap_or_default(),
+            paper.map(|p| p.interval.to_string()).unwrap_or_default(),
+            paper.map(|p| p.sample_size.to_string()).unwrap_or_default(),
+        ]);
+    }
+    table
+}
+
+/// One row of the regenerated Table 2 (repeated-run summary).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Smallest independence interval over the runs.
+    pub interval_min: usize,
+    /// Largest independence interval over the runs.
+    pub interval_max: usize,
+    /// Mean independence interval over the runs.
+    pub interval_avg: f64,
+    /// Mean sample size over the runs.
+    pub sample_avg: f64,
+    /// Average percentage deviation from the reference (Eq. 8).
+    pub deviation_avg_percent: f64,
+    /// Percentage of runs whose deviation exceeded the 5 % specification.
+    pub error_exceedance_percent: f64,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+/// Runs the Table 2 experiment: `options.runs` independent DIPE runs per
+/// circuit against one shared reference simulation.
+pub fn run_table2(options: &SuiteOptions) -> Vec<Table2Row> {
+    let config = options.config();
+    let mut rows = Vec::new();
+    for (name, circuit) in options.load_circuits() {
+        let reference = LongSimulationReference::new(options.reference_cycles)
+            .run(&circuit, &config, &InputModel::uniform())
+            .expect("reference simulation cannot fail on catalogued circuits");
+        let mut intervals = Vec::with_capacity(options.runs);
+        let mut sample_sizes = Vec::with_capacity(options.runs);
+        let mut estimates = Vec::with_capacity(options.runs);
+        for run in 0..options.runs {
+            let result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
+                .expect("configuration is valid")
+                .with_seed_offset(run as u64 + 1)
+                .run()
+                .expect("estimation converges on catalogued circuits");
+            intervals.push(result.independence_interval());
+            sample_sizes.push(result.sample_size() as f64);
+            estimates.push(result.mean_power_w());
+        }
+        rows.push(Table2Row {
+            circuit: name,
+            interval_min: intervals.iter().copied().min().unwrap_or(0),
+            interval_max: intervals.iter().copied().max().unwrap_or(0),
+            interval_avg: intervals.iter().map(|&i| i as f64).sum::<f64>()
+                / intervals.len().max(1) as f64,
+            sample_avg: seqstats::descriptive::mean(&sample_sizes),
+            deviation_avg_percent: dipe::report::average_percentage_deviation(
+                reference.mean_power_w(),
+                &estimates,
+            ),
+            error_exceedance_percent: dipe::report::error_exceedance_percentage(
+                reference.mean_power_w(),
+                &estimates,
+                config.relative_error,
+            ),
+            runs: options.runs,
+        });
+    }
+    rows
+}
+
+/// Formats Table 2 rows.
+pub fn format_table2(rows: &[Table2Row]) -> TextTable {
+    let mut table = TextTable::new(&[
+        "Circuit", "II min", "II max", "II avg", "S avg", "D avg (%)", "Err (%)", "runs",
+    ]);
+    for row in rows {
+        table.add_row(&[
+            row.circuit.clone(),
+            row.interval_min.to_string(),
+            row.interval_max.to_string(),
+            format!("{:.2}", row.interval_avg),
+            format!("{:.0}", row.sample_avg),
+            format!("{:.2}", row.deviation_avg_percent),
+            format!("{:.1}", row.error_exceedance_percent),
+            row.runs.to_string(),
+        ]);
+    }
+    table
+}
+
+/// One point of the Figure 3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Figure3Point {
+    /// Trial interval length in clock cycles.
+    pub interval: usize,
+    /// Runs-test z statistic (absolute value plotted in the paper).
+    pub z: f64,
+    /// Whether the randomness hypothesis was accepted at this interval.
+    pub accepted: bool,
+}
+
+/// Runs the Figure 3 sweep on one circuit (the paper uses `s1494` with a
+/// sequence length of 10 000).
+pub fn run_figure3(circuit_name: &str, options: &SuiteOptions) -> Vec<Figure3Point> {
+    let circuit = iscas89::load(circuit_name).expect("figure 3 circuit must be catalogued");
+    let config = options.config();
+    let mut sampler = dipe::PowerSampler::new(&circuit, &config, &InputModel::uniform(), 0)
+        .expect("configuration is valid");
+    sampler.advance(config.warmup_cycles);
+    dipe::independence::z_statistic_profile(
+        &mut sampler,
+        &config,
+        options.max_interval,
+        options.sequence_length,
+    )
+    .into_iter()
+    .map(|t| Figure3Point {
+        interval: t.interval,
+        z: t.z,
+        accepted: t.accepted,
+    })
+    .collect()
+}
+
+/// Formats the Figure 3 series as a table plus a crude ASCII plot of |z|
+/// versus the interval.
+pub fn format_figure3(points: &[Figure3Point], significance_level: f64) -> String {
+    let mut table = TextTable::new(&["Interval", "|z|", "accepted"]);
+    for p in points {
+        table.add_row(&[
+            p.interval.to_string(),
+            format!("{:.3}", p.z.abs()),
+            if p.accepted { "yes".into() } else { "no".into() },
+        ]);
+    }
+    let critical = seqstats::normal::two_sided_critical_value(significance_level);
+    let max_z = points.iter().map(|p| p.z.abs()).fold(1e-9, f64::max);
+    let mut plot = String::new();
+    plot.push_str(&format!(
+        "\n|z| vs trial interval (acceptance threshold c = {critical:.3}):\n"
+    ));
+    for p in points {
+        let width = ((p.z.abs() / max_z) * 60.0).round() as usize;
+        plot.push_str(&format!(
+            "{:>3} | {}{}\n",
+            p.interval,
+            "#".repeat(width),
+            if p.z.abs() <= critical { "  <= c (accepted)" } else { "" }
+        ));
+    }
+    format!("{table}{plot}")
+}
+
+/// A small efficiency comparison used by the ablation bench and the
+/// baseline-comparison example: DIPE versus the fixed conservative warm-up
+/// estimator on one circuit.
+pub fn warmup_ablation(
+    circuit_name: &str,
+    seed: u64,
+) -> (dipe::DipeResult, BaselineResult) {
+    let circuit = iscas89::load(circuit_name).expect("catalogued circuit");
+    let config = DipeConfig::default().with_seed(seed);
+    let dipe_result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
+        .expect("configuration is valid")
+        .run()
+        .expect("estimation converges");
+    let warmup_result = FixedWarmupEstimator::default()
+        .run(&circuit, &config, &InputModel::uniform())
+        .expect("estimation converges");
+    (dipe_result, warmup_result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_is_complete_and_consistent() {
+        assert_eq!(PAPER_TABLE1.len(), 24);
+        for row in PAPER_TABLE1 {
+            assert!(row.sim_mw > 0.0);
+            assert!(row.sample_size > 0);
+            assert!(netlist::iscas89::profile(row.circuit).is_some(), "{}", row.circuit);
+        }
+        assert!(paper_table1_row("s1494").is_some());
+        assert!(paper_table1_row("sXYZ").is_none());
+    }
+
+    #[test]
+    fn option_parsing_round_trips() {
+        let options = SuiteOptions::parse(
+            [
+                "--circuits", "s27,s298",
+                "--reference-cycles", "1234",
+                "--runs", "7",
+                "--sequence-length", "500",
+                "--max-interval", "12",
+                "--seed", "99",
+                "--max-gates", "700",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(options.circuits, vec!["s27", "s298"]);
+        assert_eq!(options.reference_cycles, 1234);
+        assert_eq!(options.runs, 7);
+        assert_eq!(options.sequence_length, 500);
+        assert_eq!(options.max_interval, 12);
+        assert_eq!(options.seed, 99);
+        assert_eq!(options.max_gates, 700);
+    }
+
+    #[test]
+    fn quick_flag_and_errors() {
+        let quick = SuiteOptions::parse(["--quick".to_string()]).unwrap();
+        assert!(quick.circuits.len() <= 6);
+        assert!(quick.reference_cycles <= 10_000);
+        assert!(SuiteOptions::parse(["--bogus".to_string()]).is_err());
+        assert!(SuiteOptions::parse(["--runs".to_string()]).is_err());
+        assert!(SuiteOptions::parse(["--runs".to_string(), "x".to_string()]).is_err());
+        assert!(SuiteOptions::parse(["--help".to_string()]).is_err());
+    }
+
+    #[test]
+    fn table1_experiment_on_tiny_suite() {
+        let options = SuiteOptions {
+            circuits: vec!["s27".into()],
+            reference_cycles: 3_000,
+            ..SuiteOptions::default()
+        };
+        let rows = run_table1(&options);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.circuit, "s27");
+        assert!(row.sim_mw > 0.0);
+        assert!(row.estimate_mw > 0.0);
+        assert!(row.deviation_percent < 10.0, "deviation {}", row.deviation_percent);
+        let rendered = format_table1(&rows).render();
+        assert!(rendered.contains("s27"));
+        assert!(rendered.contains("paper SIM"));
+    }
+
+    #[test]
+    fn table2_experiment_on_tiny_suite() {
+        let options = SuiteOptions {
+            circuits: vec!["s27".into()],
+            reference_cycles: 3_000,
+            runs: 3,
+            ..SuiteOptions::default()
+        };
+        let rows = run_table2(&options);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.interval_min <= row.interval_max);
+        assert!(row.sample_avg >= 64.0);
+        assert!(row.deviation_avg_percent < 10.0);
+        assert_eq!(row.runs, 3);
+        let rendered = format_table2(&rows).render();
+        assert!(rendered.contains("D avg"));
+    }
+
+    #[test]
+    fn figure3_experiment_produces_monotone_labels() {
+        let options = SuiteOptions {
+            sequence_length: 400,
+            max_interval: 4,
+            ..SuiteOptions::default()
+        };
+        let points = run_figure3("s27", &options);
+        assert_eq!(points.len(), 5);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.interval, i);
+            assert!(p.z.is_finite());
+        }
+        let text = format_figure3(&points, 0.2);
+        assert!(text.contains("acceptance threshold"));
+        assert!(text.contains("Interval"));
+    }
+
+    #[test]
+    fn unknown_circuits_are_skipped_not_fatal() {
+        let options = SuiteOptions {
+            circuits: vec!["does-not-exist".into(), "s27".into()],
+            reference_cycles: 1_000,
+            ..SuiteOptions::default()
+        };
+        let rows = run_table1(&options);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].circuit, "s27");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type of the DIPE estimator.
+
+/// Errors produced while configuring or running the estimator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DipeError {
+    /// The configuration is inconsistent (e.g. a relative error of 0).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The input model does not match the circuit (e.g. a per-input
+    /// probability vector of the wrong length).
+    InputModelMismatch {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// No independence interval up to the configured maximum passed the
+    /// randomness test.
+    NoIndependenceInterval {
+        /// The largest trial interval that was tested.
+        max_interval: usize,
+    },
+    /// The stopping criterion was not satisfied within the configured maximum
+    /// sample size.
+    SampleBudgetExhausted {
+        /// The number of samples collected.
+        samples: usize,
+        /// The relative half-width achieved when the budget ran out.
+        achieved_relative_half_width: f64,
+    },
+}
+
+impl std::fmt::Display for DipeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DipeError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            DipeError::InputModelMismatch { message } => {
+                write!(f, "input model does not match the circuit: {message}")
+            }
+            DipeError::NoIndependenceInterval { max_interval } => write!(
+                f,
+                "no independence interval up to {max_interval} cycles passed the randomness test"
+            ),
+            DipeError::SampleBudgetExhausted {
+                samples,
+                achieved_relative_half_width,
+            } => write!(
+                f,
+                "accuracy not reached within {samples} samples (achieved relative half-width {achieved_relative_half_width:.4})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DipeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DipeError::InvalidConfig { message: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+        let e = DipeError::NoIndependenceInterval { max_interval: 64 };
+        assert!(e.to_string().contains("64"));
+        let e = DipeError::SampleBudgetExhausted {
+            samples: 1000,
+            achieved_relative_half_width: 0.08,
+        };
+        assert!(e.to_string().contains("1000"));
+        let e = DipeError::InputModelMismatch { message: "5 != 4".into() };
+        assert!(e.to_string().contains("5 != 4"));
+    }
+}

@@ -1,0 +1,358 @@
+//! The DIPE estimator: warm-up, independence-interval selection, sampling and
+//! stopping (Fig. 1 of the paper).
+
+use std::time::Instant;
+
+use netlist::Circuit;
+use seqstats::StoppingDecision;
+
+use crate::config::DipeConfig;
+use crate::error::DipeError;
+use crate::independence::{select_independence_interval, IndependenceSelection};
+use crate::input::InputModel;
+use crate::sampler::{CycleCounts, PowerSampler};
+
+/// The result of one DIPE estimation run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DipeResult {
+    mean_power_w: f64,
+    relative_half_width: f64,
+    sample: Vec<f64>,
+    selection: IndependenceSelection,
+    cycle_counts: CycleCounts,
+    elapsed_seconds: f64,
+    criterion_name: String,
+}
+
+impl DipeResult {
+    /// The estimated average power in watts.
+    #[inline]
+    pub fn mean_power_w(&self) -> f64 {
+        self.mean_power_w
+    }
+
+    /// The estimated average power in milliwatts (the unit of Table 1).
+    #[inline]
+    pub fn mean_power_mw(&self) -> f64 {
+        self.mean_power_w * 1e3
+    }
+
+    /// The relative half-width of the confidence interval achieved when
+    /// sampling stopped.
+    #[inline]
+    pub fn relative_half_width(&self) -> f64 {
+        self.relative_half_width
+    }
+
+    /// The number of power samples collected (the "Sample Size" column of
+    /// Table 1).
+    #[inline]
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// The raw power sample in watts, in collection order.
+    #[inline]
+    pub fn sample(&self) -> &[f64] {
+        &self.sample
+    }
+
+    /// The selected independence interval in clock cycles (the "I.I." column
+    /// of Table 1).
+    #[inline]
+    pub fn independence_interval(&self) -> usize {
+        self.selection.interval
+    }
+
+    /// The full independence-interval selection diagnostics.
+    #[inline]
+    pub fn selection(&self) -> &IndependenceSelection {
+        &self.selection
+    }
+
+    /// Cycle bookkeeping (zero-delay vs measured cycles).
+    #[inline]
+    pub fn cycle_counts(&self) -> CycleCounts {
+        self.cycle_counts
+    }
+
+    /// Wall-clock seconds the run took (the "CPU Time" column of Table 1,
+    /// measured on the host rather than a SPARC 20).
+    #[inline]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_seconds
+    }
+
+    /// The name of the stopping criterion that terminated the run.
+    #[inline]
+    pub fn criterion_name(&self) -> &str {
+        &self.criterion_name
+    }
+
+    /// The relative deviation of this estimate from a reference value
+    /// (Eq. 8 of the paper, for a single run), as a fraction.
+    pub fn relative_deviation_from(&self, reference_power_w: f64) -> f64 {
+        crate::report::relative_deviation(reference_power_w, self.mean_power_w)
+    }
+}
+
+/// The DIPE estimator bound to one circuit, configuration and input model.
+#[derive(Debug)]
+pub struct DipeEstimator<'c> {
+    circuit: &'c Circuit,
+    config: DipeConfig,
+    input_model: InputModel,
+    seed_offset: u64,
+}
+
+impl<'c> DipeEstimator<'c> {
+    /// Creates an estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipeError::InvalidConfig`] or
+    /// [`DipeError::InputModelMismatch`] if the configuration or input model
+    /// is unusable for this circuit.
+    pub fn new(
+        circuit: &'c Circuit,
+        config: DipeConfig,
+        input_model: InputModel,
+    ) -> Result<Self, DipeError> {
+        config.validate()?;
+        input_model.validate(circuit)?;
+        Ok(DipeEstimator {
+            circuit,
+            config,
+            input_model,
+            seed_offset: 0,
+        })
+    }
+
+    /// Sets an additional seed offset mixed into the sampler's RNG. Used by
+    /// the repeated-run harness (Table 2) to make runs statistically
+    /// independent while keeping the whole experiment reproducible.
+    pub fn with_seed_offset(mut self, seed_offset: u64) -> Self {
+        self.seed_offset = seed_offset;
+        self
+    }
+
+    /// The configuration of this estimator.
+    pub fn config(&self) -> &DipeConfig {
+        &self.config
+    }
+
+    /// Runs the full estimation flow of Fig. 1: warm-up, independence
+    /// interval selection, block-wise sampling until the stopping criterion
+    /// is satisfied.
+    ///
+    /// # Errors
+    ///
+    /// * [`DipeError::NoIndependenceInterval`] if no interval up to the
+    ///   configured maximum passes the randomness test;
+    /// * [`DipeError::SampleBudgetExhausted`] if the accuracy specification is
+    ///   not met within `max_samples` samples.
+    pub fn run(&mut self) -> Result<DipeResult, DipeError> {
+        let start = Instant::now();
+        let mut sampler =
+            PowerSampler::new(self.circuit, &self.config, &self.input_model, self.seed_offset)?;
+
+        // Initial warm-up: let the FSM forget the reset state.
+        sampler.advance(self.config.warmup_cycles);
+
+        // Phase 1: independence interval (Fig. 2).
+        let selection = select_independence_interval(&mut sampler, &self.config)?;
+        let interval = selection.interval;
+
+        // Phase 2: block-wise sampling with the stopping criterion (Fig. 1).
+        let criterion = self.config.build_criterion();
+        let mut sample: Vec<f64> = Vec::with_capacity(self.config.min_samples.max(256));
+        let mut decision: StoppingDecision;
+        loop {
+            for _ in 0..self.config.block_size {
+                sample.push(sampler.sample_power_w(interval));
+            }
+            decision = criterion.evaluate(&sample);
+            if decision.satisfied {
+                break;
+            }
+            if sample.len() >= self.config.max_samples {
+                return Err(DipeError::SampleBudgetExhausted {
+                    samples: sample.len(),
+                    achieved_relative_half_width: decision.relative_half_width,
+                });
+            }
+        }
+
+        // The reported average power is always the sample mean; the stopping
+        // criterion's own point estimate (e.g. the median for the
+        // order-statistic rule) only governs termination.
+        let mean_power_w = seqstats::descriptive::mean(&sample);
+
+        Ok(DipeResult {
+            mean_power_w,
+            relative_half_width: decision.relative_half_width,
+            sample,
+            selection,
+            cycle_counts: sampler.cycle_counts(),
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+            criterion_name: criterion.name().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CriterionKind;
+    use netlist::iscas89;
+
+    fn run_on(name: &str, seed: u64) -> DipeResult {
+        let c = iscas89::load(name).unwrap();
+        let config = DipeConfig::default().with_seed(seed);
+        DipeEstimator::new(&c, config, InputModel::uniform())
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn s27_estimate_is_reasonable() {
+        let result = run_on("s27", 1);
+        assert!(result.mean_power_mw() > 0.001 && result.mean_power_mw() < 10.0);
+        assert!(result.sample_size() >= 64);
+        assert!(result.independence_interval() <= 10);
+        assert!(result.relative_half_width() < 0.05);
+        assert!(result.cycle_counts().measured_cycles >= result.sample_size() as u64);
+        assert!(result.elapsed_seconds() >= 0.0);
+        assert!(result.criterion_name().contains("CLT"));
+    }
+
+    #[test]
+    fn estimate_matches_long_simulation_within_tolerance() {
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(5);
+        let result = DipeEstimator::new(&c, config.clone(), InputModel::uniform())
+            .unwrap()
+            .run()
+            .unwrap();
+        let reference = crate::reference::LongSimulationReference::new(30_000)
+            .run(&c, &config, &InputModel::uniform())
+            .unwrap();
+        let deviation = result.relative_deviation_from(reference.mean_power_w());
+        // The spec is 5% at 99% confidence; allow a small margin on top for
+        // the finite reference.
+        assert!(
+            deviation < 0.07,
+            "deviation {:.3} (estimate {:.4} mW vs reference {:.4} mW)",
+            deviation,
+            result.mean_power_mw(),
+            reference.mean_power_mw()
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let a = run_on("s27", 9);
+        let b = run_on("s27", 9);
+        assert_eq!(a.mean_power_w(), b.mean_power_w());
+        assert_eq!(a.sample_size(), b.sample_size());
+        assert_eq!(a.independence_interval(), b.independence_interval());
+    }
+
+    #[test]
+    fn seed_offset_changes_the_run_but_not_the_ballpark() {
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(3);
+        let a = DipeEstimator::new(&c, config.clone(), InputModel::uniform())
+            .unwrap()
+            .with_seed_offset(1)
+            .run()
+            .unwrap();
+        let b = DipeEstimator::new(&c, config, InputModel::uniform())
+            .unwrap()
+            .with_seed_offset(2)
+            .run()
+            .unwrap();
+        assert_ne!(a.sample(), b.sample());
+        let rel = (a.mean_power_w() - b.mean_power_w()).abs() / a.mean_power_w();
+        assert!(rel < 0.15, "two runs differ by {rel}");
+    }
+
+    #[test]
+    fn sample_is_block_aligned() {
+        let result = run_on("s27", 13);
+        assert_eq!(result.sample_size() % DipeConfig::default().block_size, 0);
+    }
+
+    #[test]
+    fn alternative_criteria_also_converge() {
+        let c = iscas89::load("s27").unwrap();
+        for kind in [CriterionKind::OrderStatistic, CriterionKind::Dkw] {
+            let config = DipeConfig::default().with_seed(21).with_criterion(kind);
+            let result = DipeEstimator::new(&c, config, InputModel::uniform())
+                .unwrap()
+                .run()
+                .unwrap();
+            assert!(result.mean_power_w() > 0.0, "{kind:?}");
+            assert!(result.relative_half_width() < 0.05, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn correlated_inputs_are_handled() {
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(33);
+        let model = InputModel::TemporallyCorrelated {
+            p_one: 0.5,
+            correlation: 0.7,
+        };
+        let result = DipeEstimator::new(&c, config, model).unwrap().run().unwrap();
+        assert!(result.mean_power_w() > 0.0);
+        // Correlated inputs slow the mixing, so the interval may be larger,
+        // but it must still be found.
+        assert!(result.independence_interval() <= DipeConfig::default().max_independence_interval);
+    }
+
+    #[test]
+    fn tight_accuracy_needs_more_samples() {
+        let c = iscas89::load("s27").unwrap();
+        let loose = DipeEstimator::new(
+            &c,
+            DipeConfig::default().with_seed(41).with_accuracy(0.10, 0.95),
+            InputModel::uniform(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let tight = DipeEstimator::new(
+            &c,
+            DipeConfig::default().with_seed(41).with_accuracy(0.02, 0.99),
+            InputModel::uniform(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(tight.sample_size() > loose.sample_size());
+    }
+
+    #[test]
+    fn sample_budget_exhaustion_is_reported() {
+        let c = iscas89::load("s27").unwrap();
+        let mut config = DipeConfig::default().with_seed(55).with_accuracy(0.001, 0.99);
+        config.max_samples = 256;
+        let err = DipeEstimator::new(&c, config, InputModel::uniform())
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DipeError::SampleBudgetExhausted { samples, .. } if samples >= 256));
+    }
+
+    #[test]
+    fn invalid_input_model_rejected_at_construction() {
+        let c = iscas89::load("s27").unwrap();
+        let model = InputModel::PerInput {
+            probabilities: vec![0.5],
+        };
+        assert!(DipeEstimator::new(&c, DipeConfig::default(), model).is_err());
+    }
+}

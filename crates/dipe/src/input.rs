@@ -1,0 +1,388 @@
+//! Primary-input pattern models.
+//!
+//! The paper's experiments drive every primary input with an independent
+//! Bernoulli(0.5) stream, but explicitly notes that "correlated input streams
+//! can also be handled without any extra work as DIPE does not make
+//! assumptions on input pattern statistics". This module provides both: the
+//! independent model and two correlated families (temporal lag-1 correlation
+//! and spatial group correlation), plus trace replay.
+
+use netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::DipeError;
+
+/// A statistical model of the primary-input patterns applied to the circuit,
+/// one pattern per clock cycle.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum InputModel {
+    /// Every input is an independent Bernoulli(`p_one`) variable each cycle
+    /// (the paper's setup with `p_one = 0.5`).
+    Independent {
+        /// Probability that an input is logic 1 in any given cycle.
+        p_one: f64,
+    },
+    /// Every input `i` is an independent Bernoulli with its own probability.
+    PerInput {
+        /// Probability of logic 1 for each primary input, in declaration order.
+        probabilities: Vec<f64>,
+    },
+    /// Each input is a two-state Markov chain with stationary probability
+    /// `p_one` and lag-1 autocorrelation `correlation` (temporal correlation).
+    TemporallyCorrelated {
+        /// Stationary probability of logic 1.
+        p_one: f64,
+        /// Lag-1 autocorrelation coefficient in `[0, 1)`.
+        correlation: f64,
+    },
+    /// Inputs are partitioned into consecutive groups of `group_size`; all
+    /// inputs of a group copy a shared latent Bernoulli(`p_one`) bit and are
+    /// then flipped independently with probability `flip_probability`
+    /// (spatial correlation).
+    SpatiallyCorrelated {
+        /// Probability that a group's latent bit is logic 1.
+        p_one: f64,
+        /// Number of inputs sharing one latent bit.
+        group_size: usize,
+        /// Per-input probability of disagreeing with the latent bit.
+        flip_probability: f64,
+    },
+    /// Replays a fixed list of patterns cyclically (e.g. a recorded testbench
+    /// trace).
+    Trace {
+        /// The patterns to replay, each with one value per primary input.
+        patterns: Vec<Vec<bool>>,
+    },
+}
+
+impl InputModel {
+    /// The paper's default: independent inputs with probability 0.5.
+    pub fn uniform() -> Self {
+        InputModel::Independent { p_one: 0.5 }
+    }
+
+    /// Independent inputs with the given probability of being 1.
+    pub fn independent(p_one: f64) -> Self {
+        InputModel::Independent { p_one }
+    }
+
+    /// Checks that the model is well formed and compatible with `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipeError::InputModelMismatch`] when probabilities are out of
+    /// range, vector lengths do not match the circuit's primary-input count,
+    /// or a trace is empty.
+    pub fn validate(&self, circuit: &Circuit) -> Result<(), DipeError> {
+        let fail = |message: String| Err(DipeError::InputModelMismatch { message });
+        let num_inputs = circuit.num_primary_inputs();
+        let check_p = |p: f64, what: &str| -> Result<(), DipeError> {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(DipeError::InputModelMismatch {
+                    message: format!("{what} {p} outside [0, 1]"),
+                })
+            }
+        };
+        match self {
+            InputModel::Independent { p_one } => check_p(*p_one, "input probability"),
+            InputModel::PerInput { probabilities } => {
+                if probabilities.len() != num_inputs {
+                    return fail(format!(
+                        "{} probabilities supplied for {} primary inputs",
+                        probabilities.len(),
+                        num_inputs
+                    ));
+                }
+                for &p in probabilities {
+                    check_p(p, "input probability")?;
+                }
+                Ok(())
+            }
+            InputModel::TemporallyCorrelated { p_one, correlation } => {
+                check_p(*p_one, "input probability")?;
+                if !(0.0..1.0).contains(correlation) {
+                    return fail(format!("lag-1 correlation {correlation} outside [0, 1)"));
+                }
+                Ok(())
+            }
+            InputModel::SpatiallyCorrelated {
+                p_one,
+                group_size,
+                flip_probability,
+            } => {
+                check_p(*p_one, "group probability")?;
+                check_p(*flip_probability, "flip probability")?;
+                if *group_size == 0 {
+                    return fail("group size must be positive".into());
+                }
+                Ok(())
+            }
+            InputModel::Trace { patterns } => {
+                if patterns.is_empty() {
+                    return fail("trace must contain at least one pattern".into());
+                }
+                if let Some(bad) = patterns.iter().find(|p| p.len() != num_inputs) {
+                    return fail(format!(
+                        "trace pattern has {} values for {} primary inputs",
+                        bad.len(),
+                        num_inputs
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Creates a stateful pattern stream for `circuit`, seeded
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipeError::InputModelMismatch`] if the model fails
+    /// [`validate`](Self::validate).
+    pub fn stream(&self, circuit: &Circuit, seed: u64) -> Result<InputStream, DipeError> {
+        self.validate(circuit)?;
+        Ok(InputStream {
+            model: self.clone(),
+            num_inputs: circuit.num_primary_inputs(),
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            previous: vec![false; circuit.num_primary_inputs()],
+            has_previous: false,
+            trace_cursor: 0,
+        })
+    }
+}
+
+/// A stateful generator of input patterns drawn from an [`InputModel`].
+#[derive(Debug, Clone)]
+pub struct InputStream {
+    model: InputModel,
+    num_inputs: usize,
+    rng: StdRng,
+    previous: Vec<bool>,
+    has_previous: bool,
+    trace_cursor: usize,
+}
+
+impl InputStream {
+    /// Draws the input pattern for the next clock cycle.
+    pub fn next_pattern(&mut self) -> Vec<bool> {
+        let pattern = match &self.model {
+            InputModel::Independent { p_one } => {
+                let p = *p_one;
+                (0..self.num_inputs).map(|_| self.rng.gen_bool(p)).collect()
+            }
+            InputModel::PerInput { probabilities } => probabilities
+                .clone()
+                .iter()
+                .map(|&p| self.rng.gen_bool(p))
+                .collect(),
+            InputModel::TemporallyCorrelated { p_one, correlation } => {
+                let p = *p_one;
+                let rho = *correlation;
+                if !self.has_previous {
+                    (0..self.num_inputs).map(|_| self.rng.gen_bool(p)).collect()
+                } else {
+                    // Two-state Markov chain with stationary probability p and
+                    // lag-1 autocorrelation rho:
+                    //   P(1 -> 1) = p + rho (1 - p),  P(0 -> 1) = p (1 - rho).
+                    let stay_one = p + rho * (1.0 - p);
+                    let go_one = p * (1.0 - rho);
+                    self.previous
+                        .clone()
+                        .iter()
+                        .map(|&prev| {
+                            let p1 = if prev { stay_one } else { go_one };
+                            self.rng.gen_bool(p1.clamp(0.0, 1.0))
+                        })
+                        .collect()
+                }
+            }
+            InputModel::SpatiallyCorrelated {
+                p_one,
+                group_size,
+                flip_probability,
+            } => {
+                let p = *p_one;
+                let flip = *flip_probability;
+                let group = (*group_size).max(1);
+                let mut pattern = Vec::with_capacity(self.num_inputs);
+                let mut latent = false;
+                for i in 0..self.num_inputs {
+                    if i % group == 0 {
+                        latent = self.rng.gen_bool(p);
+                    }
+                    let flipped = self.rng.gen_bool(flip);
+                    pattern.push(latent ^ flipped);
+                }
+                pattern
+            }
+            InputModel::Trace { patterns } => {
+                let pattern = patterns[self.trace_cursor % patterns.len()].clone();
+                self.trace_cursor += 1;
+                pattern
+            }
+        };
+        self.previous.clone_from(&pattern);
+        self.has_previous = true;
+        pattern
+    }
+
+    /// The number of values in each generated pattern.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::iscas89;
+
+    fn circuit() -> Circuit {
+        iscas89::load("s27").unwrap()
+    }
+
+    fn frequency_of_ones(stream: &mut InputStream, cycles: usize) -> f64 {
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for _ in 0..cycles {
+            let p = stream.next_pattern();
+            ones += p.iter().filter(|&&b| b).count();
+            total += p.len();
+        }
+        ones as f64 / total as f64
+    }
+
+    #[test]
+    fn uniform_model_is_half_ones() {
+        let c = circuit();
+        let mut s = InputModel::uniform().stream(&c, 1).unwrap();
+        let f = frequency_of_ones(&mut s, 4000);
+        assert!((f - 0.5).abs() < 0.02, "frequency {f}");
+        assert_eq!(s.num_inputs(), 4);
+    }
+
+    #[test]
+    fn independent_model_matches_probability() {
+        let c = circuit();
+        let mut s = InputModel::independent(0.2).stream(&c, 2).unwrap();
+        let f = frequency_of_ones(&mut s, 4000);
+        assert!((f - 0.2).abs() < 0.02, "frequency {f}");
+    }
+
+    #[test]
+    fn per_input_probabilities_are_respected() {
+        let c = circuit();
+        let model = InputModel::PerInput {
+            probabilities: vec![0.0, 1.0, 0.5, 0.5],
+        };
+        let mut s = model.stream(&c, 3).unwrap();
+        for _ in 0..50 {
+            let p = s.next_pattern();
+            assert!(!p[0]);
+            assert!(p[1]);
+        }
+    }
+
+    #[test]
+    fn per_input_length_mismatch_rejected() {
+        let c = circuit();
+        let model = InputModel::PerInput {
+            probabilities: vec![0.5; 3],
+        };
+        assert!(matches!(
+            model.validate(&c),
+            Err(DipeError::InputModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn temporally_correlated_streams_have_positive_autocorrelation() {
+        let c = circuit();
+        let model = InputModel::TemporallyCorrelated {
+            p_one: 0.5,
+            correlation: 0.8,
+        };
+        let mut s = model.stream(&c, 4).unwrap();
+        // Track the first input bit over time and estimate its lag-1
+        // autocorrelation.
+        let bits: Vec<f64> = (0..4000).map(|_| f64::from(u8::from(s.next_pattern()[0]))).collect();
+        let rho = seqstats::autocorr::autocorrelation(&bits, 1);
+        assert!(rho > 0.6, "estimated lag-1 correlation {rho}");
+        // Stationary frequency still about 0.5.
+        let mean = seqstats::descriptive::mean(&bits);
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn spatially_correlated_groups_agree() {
+        let c = circuit();
+        let model = InputModel::SpatiallyCorrelated {
+            p_one: 0.5,
+            group_size: 4,
+            flip_probability: 0.0,
+        };
+        let mut s = model.stream(&c, 5).unwrap();
+        for _ in 0..100 {
+            let p = s.next_pattern();
+            // With group size 4 and no flips, all four s27 inputs agree.
+            assert!(p.iter().all(|&b| b == p[0]));
+        }
+    }
+
+    #[test]
+    fn trace_replays_cyclically() {
+        let c = circuit();
+        let patterns = vec![
+            vec![true, false, false, false],
+            vec![false, true, false, false],
+        ];
+        let model = InputModel::Trace { patterns: patterns.clone() };
+        let mut s = model.stream(&c, 6).unwrap();
+        assert_eq!(s.next_pattern(), patterns[0]);
+        assert_eq!(s.next_pattern(), patterns[1]);
+        assert_eq!(s.next_pattern(), patterns[0]);
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        let c = circuit();
+        assert!(InputModel::independent(1.5).validate(&c).is_err());
+        assert!(InputModel::Trace { patterns: vec![] }.validate(&c).is_err());
+        assert!(InputModel::Trace {
+            patterns: vec![vec![true; 2]]
+        }
+        .validate(&c)
+        .is_err());
+        assert!(InputModel::TemporallyCorrelated {
+            p_one: 0.5,
+            correlation: 1.0
+        }
+        .validate(&c)
+        .is_err());
+        assert!(InputModel::SpatiallyCorrelated {
+            p_one: 0.5,
+            group_size: 0,
+            flip_probability: 0.1
+        }
+        .validate(&c)
+        .is_err());
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let c = circuit();
+        let mut a = InputModel::uniform().stream(&c, 99).unwrap();
+        let mut b = InputModel::uniform().stream(&c, 99).unwrap();
+        for _ in 0..20 {
+            assert_eq!(a.next_pattern(), b.next_pattern());
+        }
+        let mut d = InputModel::uniform().stream(&c, 100).unwrap();
+        let differs = (0..20).any(|_| a.next_pattern() != d.next_pattern());
+        assert!(differs);
+    }
+}

@@ -1,0 +1,163 @@
+//! Brute-force long-simulation reference (the `SIM` column of Table 1).
+//!
+//! The paper's reference is the sample average of the power dissipated in one
+//! million *consecutive* clock cycles, measured with the general-delay
+//! simulator. This is the quantity the statistical estimator tries to match
+//! with a sample that is orders of magnitude smaller.
+
+use netlist::Circuit;
+use power::PowerSummary;
+
+use crate::config::DipeConfig;
+use crate::error::DipeError;
+use crate::input::InputModel;
+use crate::sampler::PowerSampler;
+
+/// Result of a long consecutive-cycle reference simulation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReferenceResult {
+    cycles: usize,
+    summary: PowerSummary,
+    elapsed_seconds: f64,
+}
+
+impl ReferenceResult {
+    /// The reference average power in watts.
+    pub fn mean_power_w(&self) -> f64 {
+        self.summary.mean_w()
+    }
+
+    /// The reference average power in milliwatts.
+    pub fn mean_power_mw(&self) -> f64 {
+        self.summary.mean_mw()
+    }
+
+    /// Number of consecutive cycles that were measured.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// The coefficient of variation of per-cycle power — the quantity that
+    /// determines how many samples any Monte-Carlo estimator needs.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        self.summary.coefficient_of_variation()
+    }
+
+    /// Full per-cycle power summary (min/max/variance).
+    pub fn summary(&self) -> PowerSummary {
+        self.summary
+    }
+
+    /// Wall-clock seconds the reference simulation took.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_seconds
+    }
+}
+
+/// Configuration of the reference simulation: just the number of consecutive
+/// cycles to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LongSimulationReference {
+    cycles: usize,
+}
+
+impl LongSimulationReference {
+    /// Creates a reference simulation of `cycles` consecutive measured cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn new(cycles: usize) -> Self {
+        assert!(cycles > 0, "the reference needs at least one cycle");
+        LongSimulationReference { cycles }
+    }
+
+    /// The paper's reference length: one million consecutive cycles.
+    pub fn paper_length() -> Self {
+        LongSimulationReference { cycles: 1_000_000 }
+    }
+
+    /// Number of cycles this reference will measure.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Runs the reference simulation. The `config` supplies the technology,
+    /// capacitance and delay models plus the seed and warm-up length; the
+    /// accuracy-related fields are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and input-model errors from the sampler.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+    ) -> Result<ReferenceResult, DipeError> {
+        let start = std::time::Instant::now();
+        let mut sampler = PowerSampler::new(circuit, config, input_model, u64::MAX / 2)?;
+        sampler.advance(config.warmup_cycles);
+        let mut summary = PowerSummary::new();
+        for _ in 0..self.cycles {
+            summary.add(sampler.measure_cycle_power_w());
+        }
+        Ok(ReferenceResult {
+            cycles: self.cycles,
+            summary,
+            elapsed_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::iscas89;
+
+    #[test]
+    fn reference_produces_stable_positive_power() {
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(3);
+        let a = LongSimulationReference::new(20_000)
+            .run(&c, &config, &InputModel::uniform())
+            .unwrap();
+        assert!(a.mean_power_mw() > 0.0);
+        assert_eq!(a.cycles(), 20_000);
+        assert!(a.coefficient_of_variation() > 0.0);
+        assert!(a.elapsed_seconds() >= 0.0);
+        assert!(a.summary().max_w() >= a.summary().min_w());
+
+        // Two independent halves of the same length agree within a couple of
+        // percent — the reference itself is converged at this length.
+        let b = LongSimulationReference::new(20_000)
+            .run(&c, &DipeConfig::default().with_seed(1234), &InputModel::uniform())
+            .unwrap();
+        let rel = (a.mean_power_w() - b.mean_power_w()).abs() / a.mean_power_w();
+        assert!(rel < 0.05, "two references differ by {rel}");
+    }
+
+    #[test]
+    fn paper_length_is_one_million() {
+        assert_eq!(LongSimulationReference::paper_length().cycles(), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_cycles_rejected() {
+        LongSimulationReference::new(0);
+    }
+
+    #[test]
+    fn reference_is_deterministic_per_seed() {
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(8);
+        let a = LongSimulationReference::new(2_000)
+            .run(&c, &config, &InputModel::uniform())
+            .unwrap();
+        let b = LongSimulationReference::new(2_000)
+            .run(&c, &config, &InputModel::uniform())
+            .unwrap();
+        assert_eq!(a.mean_power_w(), b.mean_power_w());
+    }
+}

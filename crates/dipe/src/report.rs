@@ -1,0 +1,162 @@
+//! Deviation metrics and plain-text table formatting shared by the examples
+//! and the benchmark harness.
+
+/// The relative deviation `|exact − estimate| / exact` (the per-run term of
+/// Eq. 8 of the paper), as a fraction. Returns 0 when the reference is 0.
+pub fn relative_deviation(exact: f64, estimate: f64) -> f64 {
+    if exact == 0.0 {
+        0.0
+    } else {
+        (exact - estimate).abs() / exact.abs()
+    }
+}
+
+/// The average percentage deviation over a set of runs (Eq. 8 of the paper):
+/// `D_avg = (1/N) Σ |P_exact − P_estimate| / P_exact · 100 %`.
+pub fn average_percentage_deviation(exact: f64, estimates: &[f64]) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    100.0 * estimates.iter().map(|&e| relative_deviation(exact, e)).sum::<f64>()
+        / estimates.len() as f64
+}
+
+/// The percentage of runs whose relative deviation exceeds `threshold` (the
+/// `Err(%)` column of Table 2 of the paper).
+pub fn error_exceedance_percentage(exact: f64, estimates: &[f64], threshold: f64) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    let violations = estimates
+        .iter()
+        .filter(|&&e| relative_deviation(exact, e) > threshold)
+        .count();
+    100.0 * violations as f64 / estimates.len() as f64
+}
+
+/// A minimal plain-text table formatter (fixed-width columns, right-aligned
+/// numbers) used to print the reproduction tables in the same layout as the
+/// paper.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated.
+    pub fn add_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.header.len()).cloned().collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as text.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let format_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, &w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_deviation_basics() {
+        assert_eq!(relative_deviation(2.0, 2.0), 0.0);
+        assert!((relative_deviation(2.0, 1.9) - 0.05).abs() < 1e-12);
+        assert!((relative_deviation(2.0, 2.1) - 0.05).abs() < 1e-12);
+        assert_eq!(relative_deviation(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn average_percentage_deviation_matches_eq8() {
+        // Estimates deviating by 1%, 2% and 3% -> average 2%.
+        let exact = 10.0;
+        let estimates = [10.1, 9.8, 10.3];
+        let d = average_percentage_deviation(exact, &estimates);
+        assert!((d - 2.0).abs() < 1e-9);
+        assert_eq!(average_percentage_deviation(exact, &[]), 0.0);
+    }
+
+    #[test]
+    fn error_exceedance_counts_violations() {
+        let exact = 10.0;
+        // Deviations: 1%, 6%, 4%, 10% -> 2 of 4 exceed 5%.
+        let estimates = [10.1, 10.6, 9.6, 9.0];
+        let e = error_exceedance_percentage(exact, &estimates, 0.05);
+        assert!((e - 50.0).abs() < 1e-9);
+        assert_eq!(error_exceedance_percentage(exact, &[], 0.05), 0.0);
+    }
+
+    #[test]
+    fn text_table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["Circuit", "Power (mW)", "Samples"]);
+        t.add_row(&["s27".to_string(), "0.123".to_string(), "640".to_string()]);
+        t.add_row(&["s1494".to_string(), "1.750".to_string(), "3936".to_string()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Circuit"));
+        assert!(rendered.contains("s1494"));
+        assert_eq!(t.num_rows(), 2);
+        // All lines have equal length (aligned columns).
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        // Display matches render.
+        assert_eq!(format!("{t}"), rendered);
+    }
+
+    #[test]
+    fn short_and_long_rows_are_normalised() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.add_row(&["1".to_string()]);
+        t.add_row(&["1".to_string(), "2".to_string(), "3".to_string()]);
+        let rendered = t.render();
+        assert!(!rendered.contains('3'));
+        assert_eq!(t.num_rows(), 2);
+    }
+}

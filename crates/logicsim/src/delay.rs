@@ -1,0 +1,146 @@
+//! Gate delay models for the event-driven simulator.
+
+use netlist::{Circuit, Gate};
+
+/// How much time (in picoseconds) a gate takes to propagate an input change
+/// to its output.
+///
+/// The paper's "general delay circuit simulator" is abstract about the delay
+/// model; what matters for power is that unequal path delays create glitches,
+/// which a zero-delay functional simulation would miss. The
+/// [`FanoutLoaded`](DelayModel::FanoutLoaded) model is the default: a fixed
+/// intrinsic delay plus a contribution per fanout, which is the classic
+/// first-order gate-delay approximation for static CMOS.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DelayModel {
+    /// Every gate switches instantaneously. With this model the event-driven
+    /// simulator degenerates to the functional result (no glitches).
+    Zero,
+    /// Every gate has the same delay of the given number of picoseconds.
+    Unit(u64),
+    /// `base_ps + per_fanout_ps * fanout(output net)`, the default.
+    FanoutLoaded {
+        /// Intrinsic gate delay in picoseconds.
+        base_ps: u64,
+        /// Additional delay per driven gate input, in picoseconds.
+        per_fanout_ps: u64,
+    },
+}
+
+impl Default for DelayModel {
+    /// 200 ps intrinsic + 80 ps per fanout, representative of a 0.8 µm
+    /// standard-cell library at 5 V (the technology era of the paper).
+    fn default() -> Self {
+        DelayModel::FanoutLoaded {
+            base_ps: 200,
+            per_fanout_ps: 80,
+        }
+    }
+}
+
+impl DelayModel {
+    /// The propagation delay of `gate` in picoseconds under this model.
+    pub fn gate_delay_ps(&self, circuit: &Circuit, gate: &Gate) -> u64 {
+        match *self {
+            DelayModel::Zero => 0,
+            DelayModel::Unit(d) => d,
+            DelayModel::FanoutLoaded { base_ps, per_fanout_ps } => {
+                base_ps + per_fanout_ps * u64::from(circuit.fanout_count(gate.output()))
+            }
+        }
+    }
+
+    /// An upper bound on the settling time of one clock cycle: the critical
+    /// path length under this delay model. The event-driven simulator uses it
+    /// only for sanity checks (a cycle that does not settle within this bound
+    /// indicates oscillation, which the acyclic combinational model excludes).
+    pub fn critical_path_ps(&self, circuit: &Circuit) -> u64 {
+        match *self {
+            DelayModel::Zero => 0,
+            _ => {
+                // Longest path: accumulate max over topological order.
+                let mut arrival = vec![0u64; circuit.num_nets()];
+                for &gid in circuit.topological_order() {
+                    let gate = circuit.gate(gid);
+                    let input_arrival = gate
+                        .inputs()
+                        .iter()
+                        .map(|n| arrival[n.index()])
+                        .max()
+                        .unwrap_or(0);
+                    let out = gate.output().index();
+                    arrival[out] = input_arrival + self.gate_delay_ps(circuit, gate);
+                }
+                arrival.into_iter().max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{CircuitBuilder, GateKind};
+
+    fn chain(n: usize) -> netlist::Circuit {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.primary_input("a");
+        let mut prev = a;
+        for i in 0..n {
+            prev = b.gate(GateKind::Not, format!("x{i}"), &[prev]).unwrap();
+        }
+        b.primary_output(prev);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn zero_model_has_zero_delay() {
+        let c = chain(4);
+        let m = DelayModel::Zero;
+        for g in c.gates() {
+            assert_eq!(m.gate_delay_ps(&c, g), 0);
+        }
+        assert_eq!(m.critical_path_ps(&c), 0);
+    }
+
+    #[test]
+    fn unit_model_sums_along_chain() {
+        let c = chain(5);
+        let m = DelayModel::Unit(100);
+        assert_eq!(m.critical_path_ps(&c), 500);
+    }
+
+    #[test]
+    fn fanout_model_charges_per_fanout() {
+        let mut b = CircuitBuilder::new("fan");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Not, "x", &[a]).unwrap();
+        // x drives three gates.
+        let y0 = b.gate(GateKind::Buf, "y0", &[x]).unwrap();
+        let y1 = b.gate(GateKind::Buf, "y1", &[x]).unwrap();
+        let y2 = b.gate(GateKind::Buf, "y2", &[x]).unwrap();
+        b.primary_output(y0);
+        b.primary_output(y1);
+        b.primary_output(y2);
+        let c = b.finish().unwrap();
+        let m = DelayModel::FanoutLoaded { base_ps: 100, per_fanout_ps: 10 };
+        let not_gate = c.gates().iter().find(|g| g.kind() == GateKind::Not).unwrap();
+        assert_eq!(m.gate_delay_ps(&c, not_gate), 130);
+        // The buffers drive nothing (only primary outputs), so base delay only.
+        let buf = c.gates().iter().find(|g| g.kind() == GateKind::Buf).unwrap();
+        assert_eq!(m.gate_delay_ps(&c, buf), 100);
+    }
+
+    #[test]
+    fn default_model_is_fanout_loaded() {
+        assert!(matches!(DelayModel::default(), DelayModel::FanoutLoaded { .. }));
+    }
+
+    #[test]
+    fn critical_path_is_monotone_in_chain_length() {
+        let m = DelayModel::default();
+        let short = m.critical_path_ps(&chain(3));
+        let long = m.critical_path_ps(&chain(9));
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,153 @@
+//! Time-ordered event queue for the event-driven simulator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use netlist::NetId;
+
+/// A scheduled value change on a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation time in picoseconds from the start of the clock cycle.
+    pub time_ps: u64,
+    /// The net whose value changes.
+    pub net: NetId,
+    /// The new value the net takes at `time_ps`.
+    pub value: bool,
+    /// Monotonically increasing sequence number; breaks ties so that events
+    /// scheduled earlier are processed earlier (deterministic simulation).
+    pub sequence: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first. Ties are broken by sequence number (earlier scheduling wins),
+        // then by net id for full determinism.
+        other
+            .time_ps
+            .cmp(&self.time_ps)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+            .then_with(|| other.net.cmp(&self.net))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-queue of [`Event`]s ordered by time.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a value change.
+    pub fn schedule(&mut self, time_ps: u64, net: NetId, value: bool) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Event {
+            time_ps,
+            net,
+            value,
+            sequence,
+        });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time_ps)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events (reuse between clock cycles without
+    /// reallocating).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_sequence = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, net(0), true);
+        q.schedule(10, net(1), false);
+        q.schedule(20, net(2), true);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time_ps).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, net(7), true);
+        q.schedule(5, net(3), false);
+        q.schedule(5, net(9), true);
+        let nets: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.net.index()).collect();
+        assert_eq!(nets, vec![7, 3, 9]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(42, net(0), true);
+        q.schedule(7, net(1), true);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(7));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(1, net(0), true);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn event_ordering_is_total_and_deterministic() {
+        let a = Event { time_ps: 1, net: net(0), value: true, sequence: 0 };
+        let b = Event { time_ps: 1, net: net(1), value: true, sequence: 1 };
+        let c = Event { time_ps: 2, net: net(0), value: true, sequence: 2 };
+        // Max-heap ordering is inverted: "greater" means "earlier".
+        assert!(a > b);
+        assert!(b > c);
+        assert!(a > c);
+    }
+}

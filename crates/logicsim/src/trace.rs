@@ -1,0 +1,161 @@
+//! Per-cycle switching-activity records and multi-cycle accumulation.
+
+use netlist::{Circuit, NetId};
+
+/// The switching activity observed in one clock cycle: how many times each
+/// net changed value.
+///
+/// Zero-delay simulation yields counts of 0 or 1 per net; the event-driven
+/// simulator can report higher counts when glitches occur.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CycleActivity {
+    transitions: Vec<u32>,
+}
+
+impl CycleActivity {
+    /// Creates an all-zero activity record for `num_nets` nets.
+    pub fn zeroed(num_nets: usize) -> Self {
+        CycleActivity {
+            transitions: vec![0; num_nets],
+        }
+    }
+
+    /// Creates a record from a dense per-net transition-count vector.
+    pub fn from_counts(transitions: Vec<u32>) -> Self {
+        CycleActivity { transitions }
+    }
+
+    /// Per-net transition counts, indexed by [`NetId::index`].
+    #[inline]
+    pub fn per_net(&self) -> &[u32] {
+        &self.transitions
+    }
+
+    /// The number of transitions on a specific net.
+    #[inline]
+    pub fn transitions_on(&self, net: NetId) -> u32 {
+        self.transitions[net.index()]
+    }
+
+    /// Mutable access to the per-net transition counts, for simulators and
+    /// tests that fill the record in place.
+    #[inline]
+    pub fn per_net_mut(&mut self) -> &mut [u32] {
+        &mut self.transitions
+    }
+
+    /// Resets all counts to zero (reuse between cycles without reallocating).
+    pub fn reset(&mut self) {
+        self.transitions.iter_mut().for_each(|t| *t = 0);
+    }
+
+    /// Total number of transitions across all nets this cycle.
+    pub fn total_transitions(&self) -> u64 {
+        self.transitions.iter().map(|&t| u64::from(t)).sum()
+    }
+
+    /// Number of nets that toggled at least once.
+    pub fn active_nets(&self) -> usize {
+        self.transitions.iter().filter(|&&t| t > 0).count()
+    }
+}
+
+/// Accumulates switching activity over many cycles, yielding per-net toggle
+/// densities (average transitions per cycle). This is the quantity
+/// probabilistic power estimators call the *transition density*; the
+/// decoupled baseline estimator uses it for latch nets.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ActivityAccumulator {
+    totals: Vec<u64>,
+    cycles: u64,
+}
+
+impl ActivityAccumulator {
+    /// Creates an accumulator for the given circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        ActivityAccumulator {
+            totals: vec![0; circuit.num_nets()],
+            cycles: 0,
+        }
+    }
+
+    /// Adds one cycle of activity.
+    pub fn add(&mut self, activity: &CycleActivity) {
+        debug_assert_eq!(activity.per_net().len(), self.totals.len());
+        for (total, &t) in self.totals.iter_mut().zip(activity.per_net()) {
+            *total += u64::from(t);
+        }
+        self.cycles += 1;
+    }
+
+    /// Number of accumulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total transitions observed on a net over all accumulated cycles.
+    pub fn total_transitions_on(&self, net: NetId) -> u64 {
+        self.totals[net.index()]
+    }
+
+    /// Average transitions per cycle for each net (the toggle density).
+    /// Returns all zeros when no cycles have been accumulated.
+    pub fn toggle_densities(&self) -> Vec<f64> {
+        if self.cycles == 0 {
+            return vec![0.0; self.totals.len()];
+        }
+        self.totals
+            .iter()
+            .map(|&t| t as f64 / self.cycles as f64)
+            .collect()
+    }
+
+    /// Average total transitions per cycle across the whole circuit.
+    pub fn mean_transitions_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.totals.iter().sum::<u64>() as f64 / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::iscas89;
+
+    #[test]
+    fn cycle_activity_basic_accessors() {
+        let mut a = CycleActivity::zeroed(4);
+        a.per_net_mut()[1] = 2;
+        a.per_net_mut()[3] = 1;
+        assert_eq!(a.total_transitions(), 3);
+        assert_eq!(a.active_nets(), 2);
+        assert_eq!(a.transitions_on(NetId::from_index(1)), 2);
+        a.reset();
+        assert_eq!(a.total_transitions(), 0);
+    }
+
+    #[test]
+    fn from_counts_round_trips() {
+        let a = CycleActivity::from_counts(vec![1, 0, 3]);
+        assert_eq!(a.per_net(), &[1, 0, 3]);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let c = iscas89::load("s27").unwrap();
+        let mut acc = ActivityAccumulator::new(&c);
+        assert_eq!(acc.toggle_densities(), vec![0.0; c.num_nets()]);
+        let mut a = CycleActivity::zeroed(c.num_nets());
+        a.per_net_mut()[0] = 1;
+        acc.add(&a);
+        let mut b = CycleActivity::zeroed(c.num_nets());
+        b.per_net_mut()[0] = 3;
+        acc.add(&b);
+        assert_eq!(acc.cycles(), 2);
+        assert_eq!(acc.total_transitions_on(NetId::from_index(0)), 4);
+        assert!((acc.toggle_densities()[0] - 2.0).abs() < 1e-12);
+        assert!((acc.mean_transitions_per_cycle() - 2.0).abs() < 1e-12);
+    }
+}

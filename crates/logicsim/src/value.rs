@@ -1,0 +1,153 @@
+//! Three-valued logic used for initialisation analysis.
+//!
+//! The production simulators operate on two-valued (`bool`) vectors for
+//! speed; [`LogicValue`] exists for callers that want to reason about
+//! unknown/uninitialised state (e.g. to check whether a reset sequence fully
+//! determines the latch contents before power measurement starts).
+
+/// A ternary logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub enum LogicValue {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialised.
+    #[default]
+    Unknown,
+}
+
+impl LogicValue {
+    /// Converts to `bool`, returning `None` for [`LogicValue::Unknown`].
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LogicValue::Zero => Some(false),
+            LogicValue::One => Some(true),
+            LogicValue::Unknown => None,
+        }
+    }
+
+    /// Returns `true` if the value is known (not [`LogicValue::Unknown`]).
+    #[inline]
+    pub fn is_known(self) -> bool {
+        !matches!(self, LogicValue::Unknown)
+    }
+
+    /// Ternary AND (Kleene logic).
+    #[inline]
+    pub fn and(self, other: Self) -> Self {
+        use LogicValue::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => Unknown,
+        }
+    }
+
+    /// Ternary OR (Kleene logic).
+    #[inline]
+    pub fn or(self, other: Self) -> Self {
+        use LogicValue::*;
+        match (self, other) {
+            (One, _) | (_, One) => One,
+            (Zero, Zero) => Zero,
+            _ => Unknown,
+        }
+    }
+
+    /// Ternary XOR (unknown if either operand is unknown).
+    #[inline]
+    pub fn xor(self, other: Self) -> Self {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => LogicValue::from(a ^ b),
+            _ => LogicValue::Unknown,
+        }
+    }
+
+    /// Ternary NOT.
+    #[inline]
+    pub fn not(self) -> Self {
+        use LogicValue::*;
+        match self {
+            Zero => One,
+            One => Zero,
+            Unknown => Unknown,
+        }
+    }
+}
+
+impl From<bool> for LogicValue {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            LogicValue::One
+        } else {
+            LogicValue::Zero
+        }
+    }
+}
+
+impl std::fmt::Display for LogicValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            LogicValue::Zero => '0',
+            LogicValue::One => '1',
+            LogicValue::Unknown => 'X',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LogicValue::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(LogicValue::from(true), One);
+        assert_eq!(LogicValue::from(false), Zero);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(Zero.to_bool(), Some(false));
+        assert_eq!(Unknown.to_bool(), None);
+        assert!(One.is_known());
+        assert!(!Unknown.is_known());
+    }
+
+    #[test]
+    fn kleene_and() {
+        assert_eq!(Zero.and(Unknown), Zero);
+        assert_eq!(Unknown.and(Zero), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn kleene_or() {
+        assert_eq!(One.or(Unknown), One);
+        assert_eq!(Unknown.or(One), One);
+        assert_eq!(Zero.or(Zero), Zero);
+        assert_eq!(Zero.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn kleene_xor_and_not() {
+        assert_eq!(One.xor(Zero), One);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(Zero.not(), One);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{Zero}{One}{Unknown}"), "01X");
+    }
+
+    #[test]
+    fn default_is_unknown() {
+        assert_eq!(LogicValue::default(), Unknown);
+    }
+}

@@ -1,0 +1,419 @@
+//! Dense finite Markov chains: validation, propagation and stationary
+//! analysis.
+
+/// Errors produced when constructing or analysing a Markov chain.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// The transition matrix is not square.
+    NotSquare {
+        /// Number of rows found.
+        rows: usize,
+        /// Length of the offending row.
+        row_len: usize,
+    },
+    /// A row does not sum to 1 (within tolerance) or has negative entries.
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The row sum found.
+        sum: f64,
+    },
+    /// The chain has no states.
+    Empty,
+}
+
+impl std::fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarkovError::NotSquare { rows, row_len } => {
+                write!(f, "transition matrix is not square: {rows} rows but a row of length {row_len}")
+            }
+            MarkovError::NotStochastic { row, sum } => {
+                write!(f, "row {row} is not a probability distribution (sum = {sum})")
+            }
+            MarkovError::Empty => write!(f, "a Markov chain needs at least one state"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+/// A finite Markov chain over states `0..n`, stored as a dense row-stochastic
+/// matrix `P` where `P[i][j]` is the probability of moving from state `i` to
+/// state `j` in one step.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MarkovChain {
+    matrix: Vec<Vec<f64>>,
+}
+
+impl MarkovChain {
+    /// Builds a chain from a transition matrix, validating that it is square
+    /// and row-stochastic (each row sums to 1 within `1e-9`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError`] describing the first violated invariant.
+    pub fn new(matrix: Vec<Vec<f64>>) -> Result<Self, MarkovError> {
+        if matrix.is_empty() {
+            return Err(MarkovError::Empty);
+        }
+        let n = matrix.len();
+        for (i, row) in matrix.iter().enumerate() {
+            if row.len() != n {
+                return Err(MarkovError::NotSquare {
+                    rows: n,
+                    row_len: row.len(),
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if row.iter().any(|&p| p < -1e-12 || !p.is_finite()) || (sum - 1.0).abs() > 1e-9 {
+                return Err(MarkovError::NotStochastic { row: i, sum });
+            }
+        }
+        Ok(MarkovChain { matrix })
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// The transition probability from state `i` to state `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn probability(&self, i: usize, j: usize) -> f64 {
+        self.matrix[i][j]
+    }
+
+    /// The full transition matrix.
+    #[inline]
+    pub fn matrix(&self) -> &[Vec<f64>] {
+        &self.matrix
+    }
+
+    /// Propagates a distribution one step: `p' = p · P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution length does not match the state count.
+    pub fn step_distribution(&self, p: &[f64]) -> Vec<f64> {
+        assert_eq!(p.len(), self.num_states());
+        let n = self.num_states();
+        let mut out = vec![0.0; n];
+        for (i, &pi) in p.iter().enumerate() {
+            if pi == 0.0 {
+                continue;
+            }
+            for (j, out_j) in out.iter_mut().enumerate() {
+                *out_j += pi * self.matrix[i][j];
+            }
+        }
+        out
+    }
+
+    /// The `k`-step distribution `p(k) = p(0) · Pᵏ` (Eq. 2 of the paper),
+    /// computed by repeated propagation.
+    pub fn k_step_distribution(&self, p0: &[f64], k: usize) -> Vec<f64> {
+        let mut p = p0.to_vec();
+        for _ in 0..k {
+            p = self.step_distribution(&p);
+        }
+        p
+    }
+
+    /// The uniform distribution over all states.
+    pub fn uniform_distribution(&self) -> Vec<f64> {
+        let n = self.num_states();
+        vec![1.0 / n as f64; n]
+    }
+
+    /// A point-mass distribution on `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state index is out of range.
+    pub fn point_distribution(&self, state: usize) -> Vec<f64> {
+        assert!(state < self.num_states(), "state {state} out of range");
+        let mut p = vec![0.0; self.num_states()];
+        p[state] = 1.0;
+        p
+    }
+
+    /// The stationary distribution π with `π = π · P`, computed by power
+    /// iteration from the uniform distribution until the total-variation
+    /// change per step drops below `tolerance` or `max_iterations` is
+    /// reached. For ergodic chains this converges to the unique stationary
+    /// distribution; for reducible or periodic chains it returns the Cesàro
+    /// limit of the iteration, which is still a fixed point in practice.
+    pub fn stationary_distribution(&self, tolerance: f64, max_iterations: usize) -> Vec<f64> {
+        let mut p = self.uniform_distribution();
+        let mut previous = p.clone();
+        for _ in 0..max_iterations {
+            let next = self.step_distribution(&p);
+            // Average consecutive iterates (damps period-2 oscillation).
+            let averaged: Vec<f64> = next
+                .iter()
+                .zip(&p)
+                .map(|(&a, &b)| 0.5 * (a + b))
+                .collect();
+            let delta = total_variation(&averaged, &previous);
+            previous = averaged.clone();
+            p = averaged;
+            if delta < tolerance {
+                break;
+            }
+        }
+        // Normalise against accumulated floating-point drift.
+        let sum: f64 = p.iter().sum();
+        if sum > 0.0 {
+            p.iter_mut().for_each(|x| *x /= sum);
+        }
+        p
+    }
+
+    /// Whether every state can reach every other state through positive-
+    /// probability transitions (irreducibility).
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.num_states();
+        (0..n).all(|start| {
+            let reached = self.reachable_from(start);
+            reached.iter().all(|&r| r)
+        })
+    }
+
+    fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let n = self.num_states();
+        let mut reached = vec![false; n];
+        let mut stack = vec![start];
+        reached[start] = true;
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if !reached[j] && self.matrix[i][j] > 0.0 {
+                    reached[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Estimates the modulus of the second-largest eigenvalue of `P` by power
+    /// iteration on the component orthogonal to the stationary distribution.
+    /// The spectral gap `1 − |λ₂|` governs how fast the chain mixes; the
+    /// warm-up estimators use it to bound the number of cycles needed to
+    /// approach stationarity.
+    pub fn second_eigenvalue_modulus(&self, iterations: usize) -> f64 {
+        let n = self.num_states();
+        if n < 2 {
+            return 0.0;
+        }
+        let pi = self.stationary_distribution(1e-12, 10_000);
+        // Start from a deterministic vector orthogonal to the all-ones
+        // direction (right eigenvector of eigenvalue 1 is 1).
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        // Right-multiply: w = P · v (column action), deflating the stationary
+        // component via the left eigenvector π.
+        let mut lambda = 0.0;
+        for _ in 0..iterations {
+            // Deflate: remove the projection onto the eigenvalue-1 pair
+            // (right eigenvector 1, left eigenvector π): v <- v - (π·v) 1.
+            let proj: f64 = pi.iter().zip(&v).map(|(&p, &x)| p * x).sum();
+            v.iter_mut().for_each(|x| *x -= proj);
+            let mut w = vec![0.0; n];
+            for (i, w_i) in w.iter_mut().enumerate() {
+                *w_i = self.matrix[i].iter().zip(&v).map(|(&p, &x)| p * x).sum();
+            }
+            let norm: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-300 {
+                return 0.0;
+            }
+            lambda = norm / v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+            v = w.into_iter().map(|x| x / norm).collect();
+        }
+        lambda.min(1.0)
+    }
+}
+
+/// The total-variation distance `½ Σ |p_i − q_i|` between two distributions.
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have the same length");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(a: f64, b: f64) -> MarkovChain {
+        MarkovChain::new(vec![vec![1.0 - a, a], vec![b, 1.0 - b]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(MarkovChain::new(vec![]), Err(MarkovError::Empty)));
+        assert!(matches!(
+            MarkovChain::new(vec![vec![1.0, 0.0]]),
+            Err(MarkovError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            MarkovChain::new(vec![vec![0.5, 0.4], vec![0.5, 0.5]]),
+            Err(MarkovError::NotStochastic { row: 0, .. })
+        ));
+        assert!(MarkovChain::new(vec![vec![0.5, 0.5], vec![0.1, 0.9]]).is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = MarkovChain::new(vec![vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap_err();
+        assert!(e.to_string().contains("row 0"));
+    }
+
+    #[test]
+    fn two_state_stationary_matches_closed_form() {
+        // pi = (b, a) / (a + b).
+        let chain = two_state(0.3, 0.1);
+        let pi = chain.stationary_distribution(1e-14, 100_000);
+        assert!((pi[0] - 0.25).abs() < 1e-9);
+        assert!((pi[1] - 0.75).abs() < 1e-9);
+        // It is a fixed point.
+        let stepped = chain.step_distribution(&pi);
+        assert!(total_variation(&pi, &stepped) < 1e-9);
+    }
+
+    #[test]
+    fn k_step_distribution_converges_to_stationary() {
+        let chain = two_state(0.3, 0.1);
+        let pi = chain.stationary_distribution(1e-14, 100_000);
+        let from_point = chain.k_step_distribution(&chain.point_distribution(0), 200);
+        assert!(total_variation(&from_point, &pi) < 1e-9);
+    }
+
+    #[test]
+    fn periodic_chain_is_handled() {
+        // Deterministic 2-cycle: period 2, stationary = (0.5, 0.5).
+        let chain = MarkovChain::new(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let pi = chain.stationary_distribution(1e-12, 10_000);
+        assert!((pi[0] - 0.5).abs() < 1e-6);
+        assert!(chain.is_irreducible());
+        // |λ₂| = 1 for a period-2 chain.
+        assert!(chain.second_eigenvalue_modulus(200) > 0.9);
+    }
+
+    #[test]
+    fn reducible_chain_detected() {
+        let chain = MarkovChain::new(vec![
+            vec![1.0, 0.0],
+            vec![0.5, 0.5],
+        ])
+        .unwrap();
+        assert!(!chain.is_irreducible());
+    }
+
+    #[test]
+    fn second_eigenvalue_of_fast_mixing_chain_is_small() {
+        // A chain whose rows are all equal mixes in one step: λ₂ = 0.
+        let chain = MarkovChain::new(vec![
+            vec![0.25, 0.75],
+            vec![0.25, 0.75],
+        ])
+        .unwrap();
+        assert!(chain.second_eigenvalue_modulus(100) < 1e-6);
+        // A sticky chain mixes slowly: λ₂ close to 1.
+        let sticky = two_state(0.01, 0.01);
+        assert!(sticky.second_eigenvalue_modulus(200) > 0.9);
+    }
+
+    #[test]
+    fn total_variation_properties() {
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((total_variation(&[0.7, 0.3], &[0.5, 0.5]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_helpers() {
+        let chain = two_state(0.2, 0.2);
+        assert_eq!(chain.uniform_distribution(), vec![0.5, 0.5]);
+        assert_eq!(chain.point_distribution(1), vec![0.0, 1.0]);
+        assert_eq!(chain.num_states(), 2);
+        assert!((chain.probability(0, 1) - 0.2).abs() < 1e-12);
+        assert_eq!(chain.matrix().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_distribution_checks_range() {
+        two_state(0.1, 0.1).point_distribution(5);
+    }
+
+    #[test]
+    fn four_state_random_walk_stationary_is_uniform() {
+        // Symmetric random walk on a 4-cycle with self-loops: doubly
+        // stochastic, so the stationary distribution is uniform.
+        let chain = MarkovChain::new(vec![
+            vec![0.5, 0.25, 0.0, 0.25],
+            vec![0.25, 0.5, 0.25, 0.0],
+            vec![0.0, 0.25, 0.5, 0.25],
+            vec![0.25, 0.0, 0.25, 0.5],
+        ])
+        .unwrap();
+        let pi = chain.stationary_distribution(1e-14, 100_000);
+        for &p in &pi {
+            assert!((p - 0.25).abs() < 1e-9);
+        }
+        assert!(chain.is_irreducible());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_chain(n: usize) -> impl Strategy<Value = MarkovChain> {
+        proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), n).prop_map(|rows| {
+            let matrix: Vec<Vec<f64>> = rows
+                .into_iter()
+                .map(|row| {
+                    let sum: f64 = row.iter().sum();
+                    row.into_iter().map(|x| x / sum).collect()
+                })
+                .collect();
+            MarkovChain::new(matrix).expect("normalised rows are stochastic")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The stationary distribution of any strictly positive chain is a
+        /// probability distribution and a fixed point of the transition map.
+        #[test]
+        fn stationary_is_fixed_point(chain in arbitrary_chain(5)) {
+            let pi = chain.stationary_distribution(1e-13, 50_000);
+            prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(pi.iter().all(|&p| p >= -1e-12));
+            let stepped = chain.step_distribution(&pi);
+            prop_assert!(total_variation(&pi, &stepped) < 1e-7);
+        }
+
+        /// Propagating any distribution preserves total probability mass.
+        #[test]
+        fn propagation_preserves_mass(chain in arbitrary_chain(4), k in 0usize..20) {
+            let p0 = chain.point_distribution(0);
+            let pk = chain.k_step_distribution(&p0, k);
+            prop_assert!((pk.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

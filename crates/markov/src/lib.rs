@@ -1,0 +1,48 @@
+//! Finite-state-machine and Markov-chain analysis substrate.
+//!
+//! Section III of the paper contrasts two ways to obtain a random power
+//! sample from a sequential circuit. The *first* approach analyses the
+//! finite state machine explicitly: extract the state transition graph (STG),
+//! solve the Chapman–Kolmogorov equations for the stationary state
+//! probabilities, and draw present states from that distribution. The paper
+//! rejects this route for large circuits — the state space is exponential in
+//! the latch count — but it is the natural *reference* against which the
+//! paper's runs-test procedure is validated, and it underlies the fixed
+//! warm-up baseline of Chou & Roy (ref. [9]).
+//!
+//! This crate provides that machinery for circuits where it is feasible:
+//!
+//! * [`MarkovChain`] — dense row-stochastic transition matrices, k-step
+//!   propagation (Eq. 2), stationary distributions, total-variation distance
+//!   and spectral-gap estimates;
+//! * [`StateTransitionGraph`] — exhaustive STG extraction from a
+//!   [`netlist::Circuit`] under an independent-input model (feasible up to
+//!   roughly 20 flip-flops);
+//! * [`warmup`] — warm-up-period estimation: the empirical
+//!   time-to-stationarity, a spectral-gap bound, and the conservative fixed
+//!   warm-up the paper attributes to ref. [9].
+//!
+//! # Example
+//!
+//! ```
+//! use markov::StateTransitionGraph;
+//! use netlist::iscas89;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = iscas89::load("s27")?;
+//! let stg = StateTransitionGraph::extract(&circuit, 0.5)?;
+//! let pi = stg.chain().stationary_distribution(1e-12, 10_000);
+//! assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod chain;
+mod stg;
+pub mod warmup;
+
+pub use chain::{MarkovChain, MarkovError};
+pub use stg::StateTransitionGraph;

@@ -1,0 +1,260 @@
+//! Exhaustive state-transition-graph extraction from a sequential circuit.
+
+use logicsim::compute_next_state;
+use netlist::Circuit;
+
+use crate::chain::{MarkovChain, MarkovError};
+
+/// Practical upper bound on the number of flip-flops for exhaustive STG
+/// extraction (2²⁰ ≈ 10⁶ states; beyond this the dense matrix alone would be
+/// terabytes — exactly the "exponential complexity" argument of the paper).
+pub const MAX_EXHAUSTIVE_FLIP_FLOPS: usize = 20;
+
+/// The state transition graph of a circuit's FSM under an independent
+/// Bernoulli input model, together with the induced Markov chain over the
+/// 2^L latch states.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StateTransitionGraph {
+    num_flip_flops: usize,
+    input_one_probability: f64,
+    chain: MarkovChain,
+}
+
+impl StateTransitionGraph {
+    /// Extracts the STG of `circuit` assuming every primary input is an
+    /// independent Bernoulli(`input_one_probability`) variable each cycle.
+    ///
+    /// The transition probability from state `s` to state `t` is the total
+    /// probability of the input patterns `v` with `δ(s, v) = t`. When the
+    /// circuit has more than 16 primary inputs the 2^PI enumeration per state
+    /// becomes the bottleneck, so extraction refuses circuits with more than
+    /// 20 flip-flops *or* more than 16 primary inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`] if the circuit has no flip-flops, and
+    /// [`MarkovError::NotStochastic`] only in the presence of floating-point
+    /// pathologies (not expected in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit exceeds [`MAX_EXHAUSTIVE_FLIP_FLOPS`] flip-flops
+    /// or has more than 16 primary inputs, or if `input_one_probability` is
+    /// outside `[0, 1]`.
+    pub fn extract(circuit: &Circuit, input_one_probability: f64) -> Result<Self, MarkovError> {
+        assert!(
+            (0.0..=1.0).contains(&input_one_probability),
+            "input probability must be in [0, 1]"
+        );
+        assert!(
+            Self::is_tractable(circuit),
+            "circuit {} is too large for exhaustive STG extraction ({} flip-flops, {} inputs)",
+            circuit.name(),
+            circuit.num_flip_flops(),
+            circuit.num_primary_inputs()
+        );
+        let l = circuit.num_flip_flops();
+        if l == 0 {
+            return Err(MarkovError::Empty);
+        }
+        let num_states = 1usize << l;
+        let num_inputs = circuit.num_primary_inputs();
+        let num_patterns = 1usize << num_inputs;
+
+        // Probability of each input pattern under the independent model.
+        let p = input_one_probability;
+        let pattern_probability = |pattern: usize| -> f64 {
+            let ones = (pattern as u64).count_ones() as i32;
+            let zeros = num_inputs as i32 - ones;
+            p.powi(ones) * (1.0 - p).powi(zeros)
+        };
+
+        let mut matrix = vec![vec![0.0f64; num_states]; num_states];
+        let mut state_bits = vec![false; l];
+        let mut input_bits = vec![false; num_inputs];
+        for (s, row) in matrix.iter_mut().enumerate() {
+            for (i, bit) in state_bits.iter_mut().enumerate() {
+                *bit = (s >> i) & 1 == 1;
+            }
+            for pattern in 0..num_patterns {
+                let prob = pattern_probability(pattern);
+                if prob == 0.0 {
+                    continue;
+                }
+                for (i, bit) in input_bits.iter_mut().enumerate() {
+                    *bit = (pattern >> i) & 1 == 1;
+                }
+                let next = compute_next_state(circuit, &state_bits, &input_bits);
+                let mut t = 0usize;
+                for (i, &bit) in next.iter().enumerate() {
+                    if bit {
+                        t |= 1 << i;
+                    }
+                }
+                row[t] += prob;
+            }
+        }
+
+        let chain = MarkovChain::new(matrix)?;
+        Ok(StateTransitionGraph {
+            num_flip_flops: l,
+            input_one_probability,
+            chain,
+        })
+    }
+
+    /// Whether exhaustive extraction is feasible for this circuit.
+    pub fn is_tractable(circuit: &Circuit) -> bool {
+        circuit.num_flip_flops() <= MAX_EXHAUSTIVE_FLIP_FLOPS
+            && circuit.num_primary_inputs() <= 16
+            && circuit.num_flip_flops() > 0
+    }
+
+    /// The induced Markov chain over latch states (state `s` encodes flip-flop
+    /// `i` in bit `i`).
+    #[inline]
+    pub fn chain(&self) -> &MarkovChain {
+        &self.chain
+    }
+
+    /// Number of flip-flops (so the chain has `2^this` states).
+    #[inline]
+    pub fn num_flip_flops(&self) -> usize {
+        self.num_flip_flops
+    }
+
+    /// The Bernoulli parameter of the input model used for extraction.
+    #[inline]
+    pub fn input_one_probability(&self) -> f64 {
+        self.input_one_probability
+    }
+
+    /// The stationary probability of each latch state (by state code).
+    pub fn stationary_state_probabilities(&self) -> Vec<f64> {
+        self.chain.stationary_distribution(1e-12, 100_000)
+    }
+
+    /// The stationary signal probability of each flip-flop output (the
+    /// probability that bit `i` is 1 in the stationary distribution). These
+    /// are the "switching activity metrics of the latch inputs" that the
+    /// decoupled approaches of refs. [1–4] lump the FSM into.
+    pub fn stationary_bit_probabilities(&self) -> Vec<f64> {
+        let pi = self.stationary_state_probabilities();
+        let mut bit_probs = vec![0.0; self.num_flip_flops];
+        for (state, &p) in pi.iter().enumerate() {
+            for (i, bp) in bit_probs.iter_mut().enumerate() {
+                if (state >> i) & 1 == 1 {
+                    *bp += p;
+                }
+            }
+        }
+        bit_probs
+    }
+
+    /// Decodes a state code into a latch bit vector.
+    pub fn decode_state(&self, code: usize) -> Vec<bool> {
+        (0..self.num_flip_flops).map(|i| (code >> i) & 1 == 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{iscas89, CircuitBuilder, GateKind};
+
+    /// A toggle flip-flop with enable: q' = q XOR en.
+    fn toggle_ff() -> Circuit {
+        let mut b = CircuitBuilder::new("tff");
+        let en = b.primary_input("en");
+        let q = b.flip_flop_placeholder("q");
+        let d = b.gate(GateKind::Xor, "d", &[q, en]).unwrap();
+        b.bind_flip_flop(q, d).unwrap();
+        b.primary_output(q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn toggle_ff_transition_matrix() {
+        let c = toggle_ff();
+        let stg = StateTransitionGraph::extract(&c, 0.5).unwrap();
+        assert_eq!(stg.num_flip_flops(), 1);
+        assert_eq!(stg.chain().num_states(), 2);
+        // With p(en=1) = 0.5, from either state the chain stays/toggles with
+        // probability 0.5 each.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((stg.chain().probability(i, j) - 0.5).abs() < 1e-12);
+            }
+        }
+        // Stationary distribution is uniform and bit probability is 0.5.
+        let pi = stg.stationary_state_probabilities();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+        assert!((stg.stationary_bit_probabilities()[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn biased_inputs_bias_the_transitions() {
+        let c = toggle_ff();
+        let stg = StateTransitionGraph::extract(&c, 0.9).unwrap();
+        // Toggling happens with probability 0.9.
+        assert!((stg.chain().probability(0, 1) - 0.9).abs() < 1e-12);
+        assert!((stg.chain().probability(1, 1) - 0.1).abs() < 1e-12);
+        assert_eq!(stg.input_one_probability(), 0.9);
+    }
+
+    #[test]
+    fn s27_stg_is_extractable_and_stochastic() {
+        let c = iscas89::load("s27").unwrap();
+        assert!(StateTransitionGraph::is_tractable(&c));
+        let stg = StateTransitionGraph::extract(&c, 0.5).unwrap();
+        assert_eq!(stg.chain().num_states(), 8);
+        let pi = stg.stationary_state_probabilities();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The bit probabilities are probabilities.
+        for p in stg.stationary_bit_probabilities() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn decode_state_round_trips() {
+        let c = iscas89::load("s27").unwrap();
+        let stg = StateTransitionGraph::extract(&c, 0.5).unwrap();
+        assert_eq!(stg.decode_state(0b101), vec![true, false, true]);
+        assert_eq!(stg.decode_state(0), vec![false, false, false]);
+    }
+
+    #[test]
+    fn combinational_circuit_is_rejected() {
+        let mut b = CircuitBuilder::new("comb");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Not, "x", &[a]).unwrap();
+        b.primary_output(x);
+        let c = b.finish().unwrap();
+        assert!(!StateTransitionGraph::is_tractable(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_circuit_panics() {
+        let c = iscas89::load("s1423").unwrap(); // 74 flip-flops
+        let _ = StateTransitionGraph::extract(&c, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "input probability")]
+    fn invalid_probability_panics() {
+        let c = toggle_ff();
+        let _ = StateTransitionGraph::extract(&c, 1.5);
+    }
+
+    #[test]
+    fn deterministic_input_gives_deterministic_chain() {
+        let c = toggle_ff();
+        // en always 1: the chain deterministically alternates.
+        let stg = StateTransitionGraph::extract(&c, 1.0).unwrap();
+        assert_eq!(stg.chain().probability(0, 1), 1.0);
+        assert_eq!(stg.chain().probability(1, 0), 1.0);
+        assert!(stg.chain().is_irreducible());
+    }
+}

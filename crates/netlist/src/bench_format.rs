@@ -1,0 +1,402 @@
+//! Reader and writer for the ISCAS'89 `.bench` netlist format.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G8 = AND(G14, G6)
+//! G17 = NOT(G11)
+//! ```
+//!
+//! Gate keywords are `AND`, `NAND`, `OR`, `NOR`, `XOR`, `XNOR`, `NOT`/`INV`,
+//! `BUF`/`BUFF` and `DFF`. Names may be referenced before they are defined.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::bench_format;
+//!
+//! # fn main() -> Result<(), netlist::NetlistError> {
+//! let src = "\
+//! INPUT(a)
+//! OUTPUT(y)
+//! q = DFF(d)
+//! d = XOR(a, q)
+//! y = NOT(q)
+//! ";
+//! let circuit = bench_format::parse(src, "toggle")?;
+//! assert_eq!(circuit.num_flip_flops(), 1);
+//! let text = bench_format::write(&circuit);
+//! let reparsed = bench_format::parse(&text, "toggle")?;
+//! assert_eq!(reparsed.stats(), circuit.stats());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, NetDriver};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Parses `.bench` source text into a [`Circuit`] with the given name.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError::Parse`] / [`NetlistError::UnknownGateKeyword`]
+/// for malformed input, or any structural error from circuit assembly
+/// (undriven nets, combinational cycles, ...).
+pub fn parse(source: &str, name: impl Into<String>) -> Result<Circuit, NetlistError> {
+    let mut builder = CircuitBuilder::new(name);
+    let mut pending_outputs: Vec<(usize, String)> = Vec::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(arg) = parse_directive(line, "INPUT") {
+            let arg = arg.map_err(|message| NetlistError::Parse { line: line_no, message })?;
+            builder.try_primary_input(arg)?;
+            continue;
+        }
+        if let Some(arg) = parse_directive(line, "OUTPUT") {
+            let arg = arg.map_err(|message| NetlistError::Parse { line: line_no, message })?;
+            pending_outputs.push((line_no, arg));
+            continue;
+        }
+
+        // Assignment: <name> = KEYWORD(arg, arg, ...)
+        let (lhs, rhs) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
+            line: line_no,
+            message: format!("expected `name = GATE(...)`, got `{line}`"),
+        })?;
+        let lhs = lhs.trim();
+        if lhs.is_empty() {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: "empty left-hand side".into(),
+            });
+        }
+        let rhs = rhs.trim();
+        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+            line: line_no,
+            message: format!("missing `(` in `{rhs}`"),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("missing `)` in `{rhs}`"),
+            });
+        }
+        let keyword = rhs[..open].trim();
+        let args_str = &rhs[open + 1..rhs.len() - 1];
+        let args: Vec<&str> = args_str
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if args.is_empty() {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("gate `{lhs}` has no arguments"),
+            });
+        }
+
+        if keyword.eq_ignore_ascii_case("DFF") {
+            if args.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("DFF `{lhs}` must have exactly one input, has {}", args.len()),
+                });
+            }
+            let d = builder.net(args[0]);
+            builder.try_flip_flop(lhs, d)?;
+        } else if let Some(kind) = GateKind::from_bench_keyword(keyword) {
+            if kind.is_unary() && args.len() != 1 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!(
+                        "{keyword} `{lhs}` must have exactly one input, has {}",
+                        args.len()
+                    ),
+                });
+            }
+            let inputs: Vec<_> = args.iter().map(|a| builder.net(*a)).collect();
+            let out = builder.net(lhs);
+            builder.gate_onto(out, kind, &inputs)?;
+        } else {
+            return Err(NetlistError::UnknownGateKeyword {
+                line: line_no,
+                keyword: keyword.to_string(),
+            });
+        }
+    }
+
+    for (line_no, name) in pending_outputs {
+        // OUTPUT may reference a net defined anywhere in the file; by now all
+        // declarations have been seen, but forward declaration via `net` is
+        // still fine — an undriven output is caught by `finish`.
+        let _ = line_no;
+        let id = builder.net(name);
+        builder.primary_output(id);
+    }
+
+    builder.finish()
+}
+
+/// Reads and parses a `.bench` file. The circuit name is derived from the
+/// file stem.
+///
+/// # Errors
+///
+/// Propagates I/O errors and all parse/structural errors from [`parse`].
+pub fn parse_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
+    let path = path.as_ref();
+    let source = std::fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_string();
+    parse(&source, name)
+}
+
+/// Serialises a circuit back to `.bench` text.
+///
+/// The output lists primary inputs, primary outputs, flip-flops and gates, in
+/// that order. Parsing the result yields a circuit with identical structure
+/// (net names, gate kinds and connectivity), though ids may be renumbered.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} D-type flipflops, {} gates",
+        circuit.num_primary_inputs(),
+        circuit.num_primary_outputs(),
+        circuit.num_flip_flops(),
+        circuit.num_gates()
+    );
+    for &pi in circuit.primary_inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.net(pi).name());
+    }
+    for &po in circuit.primary_outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.net(po).name());
+    }
+    let _ = writeln!(out);
+    for ff in circuit.flip_flops() {
+        let _ = writeln!(
+            out,
+            "{} = DFF({})",
+            circuit.net(ff.q()).name(),
+            circuit.net(ff.d()).name()
+        );
+    }
+    for gate in circuit.gates() {
+        let args: Vec<&str> = gate
+            .inputs()
+            .iter()
+            .map(|&n| circuit.net(n).name())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            circuit.net(gate.output()).name(),
+            gate.kind().bench_keyword(),
+            args.join(", ")
+        );
+    }
+    // Constants are rare; emit them as comments so the information is not lost
+    // silently (the .bench dialect has no constant primitive).
+    for net in circuit.nets() {
+        if let NetDriver::Constant(v) = net.driver() {
+            let _ = writeln!(out, "# CONSTANT {} = {}", net.name(), u8::from(v));
+        }
+    }
+    out
+}
+
+/// Writes a circuit to a `.bench` file.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_file(circuit: &Circuit, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    std::fs::write(path, write(circuit))?;
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Parses `KEYWORD(arg)` directives (INPUT/OUTPUT). Returns `None` when the
+/// line does not start with the keyword, `Some(Err)` when it does but is
+/// malformed.
+fn parse_directive(line: &str, keyword: &str) -> Option<Result<String, String>> {
+    let upper = line.to_ascii_uppercase();
+    if !upper.starts_with(keyword) {
+        return None;
+    }
+    let rest = line[keyword.len()..].trim();
+    if !rest.starts_with('(') {
+        // Not actually a directive (e.g. a net whose name merely starts with
+        // the keyword, like `input1 = AND(a, b)`). Let the assignment parser
+        // handle the line.
+        return None;
+    }
+    if !rest.ends_with(')') {
+        return Some(Err(format!("malformed {keyword} directive: `{line}`")));
+    }
+    let arg = rest[1..rest.len() - 1].trim();
+    if arg.is_empty() {
+        return Some(Err(format!("{keyword} directive with empty argument")));
+    }
+    Some(Ok(arg.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iscas89;
+
+    const TOGGLE: &str = "\
+# a toggle flip-flop with enable
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+nq = NOT(q)
+d = AND(en, nq)   # next state
+";
+
+    #[test]
+    fn parse_simple_circuit() {
+        let c = parse(TOGGLE, "toggle").unwrap();
+        assert_eq!(c.num_primary_inputs(), 1);
+        assert_eq!(c.num_primary_outputs(), 1);
+        assert_eq!(c.num_flip_flops(), 1);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.name(), "toggle");
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c = parse(TOGGLE, "toggle").unwrap();
+        let text = write(&c);
+        let c2 = parse(&text, "toggle").unwrap();
+        assert_eq!(c.stats(), c2.stats());
+        // Names survive the round trip.
+        assert!(c2.net_by_name("nq").is_some());
+        assert!(c2.net_by_name("en").is_some());
+    }
+
+    #[test]
+    fn s27_parses_with_published_counts() {
+        let c = iscas89::load("s27").unwrap();
+        assert_eq!(c.num_primary_inputs(), 4);
+        assert_eq!(c.num_primary_outputs(), 1);
+        assert_eq!(c.num_flip_flops(), 3);
+        assert_eq!(c.num_gates(), 10);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "\n\n# only comments\n   # indented comment\nINPUT(a)\nOUTPUT(b)\nb = BUFF(a)\n";
+        let c = parse(src, "c").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn unknown_keyword_is_reported_with_line() {
+        let src = "INPUT(a)\nx = FROB(a)\nOUTPUT(x)\n";
+        let err = parse(src, "bad").unwrap_err();
+        match err {
+            NetlistError::UnknownGateKeyword { line, keyword } => {
+                assert_eq!(line, 2);
+                assert_eq!(keyword, "FROB");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(matches!(
+            parse("INPUT a\n", "bad").unwrap_err(),
+            NetlistError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("x = AND(a, b\n", "bad").unwrap_err(),
+            NetlistError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("x = AND()\n", "bad").unwrap_err(),
+            NetlistError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("= AND(a)\n", "bad").unwrap_err(),
+            NetlistError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn dff_with_two_inputs_is_rejected() {
+        let src = "INPUT(a)\nINPUT(b)\nq = DFF(a, b)\nOUTPUT(q)\n";
+        assert!(matches!(
+            parse(src, "bad").unwrap_err(),
+            NetlistError::Parse { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn not_with_two_inputs_is_rejected() {
+        let src = "INPUT(a)\nINPUT(b)\nx = NOT(a, b)\nOUTPUT(x)\n";
+        assert!(matches!(
+            parse(src, "bad").unwrap_err(),
+            NetlistError::Parse { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn output_of_undriven_net_is_rejected() {
+        let src = "INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n";
+        assert!(matches!(
+            parse(src, "bad").unwrap_err(),
+            NetlistError::UndrivenNet { name } if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let c = parse(TOGGLE, "toggle").unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join("netlist_bench_format_roundtrip_test.bench");
+        write_file(&c, &path).unwrap();
+        let c2 = parse_file(&path).unwrap();
+        assert_eq!(c2.stats(), c.stats());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_mentions_constants() {
+        let mut b = CircuitBuilder::new("k");
+        let one = b.constant("tie1", true).unwrap();
+        let a = b.try_primary_input("a").unwrap();
+        let x = b.gate(GateKind::And, "x", &[a, one]).unwrap();
+        b.primary_output(x);
+        let c = b.finish().unwrap();
+        let text = write(&c);
+        assert!(text.contains("CONSTANT tie1 = 1"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Incremental construction of [`Circuit`]s with forward references.
+//!
+//! The builder supports the two construction styles needed in practice:
+//!
+//! * *programmatic*: create drivers first, wire them up as you go
+//!   ([`CircuitBuilder::gate`], [`CircuitBuilder::flip_flop`]);
+//! * *parser-driven*: names may be referenced before they are defined
+//!   ([`CircuitBuilder::net`], [`CircuitBuilder::gate_onto`]), as happens in
+//!   `.bench` files where a gate can use a net that is declared further down.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, Net, NetDriver};
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateKind};
+use crate::{FlipFlopId, GateId, NetId};
+
+#[derive(Debug, Clone)]
+struct PendingNet {
+    name: String,
+    driver: Option<NetDriver>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingFlipFlop {
+    q: NetId,
+    d: Option<NetId>,
+}
+
+/// Builder for [`Circuit`]s.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    nets: Vec<PendingNet>,
+    gates: Vec<Gate>,
+    flip_flops: Vec<PendingFlipFlop>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            flip_flops: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Returns the id of the net with the given name, creating an undriven
+    /// placeholder if it does not exist yet. This is the entry point for
+    /// forward references.
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nets.push(PendingNet { name, driver: None });
+        id
+    }
+
+    /// Declares two undriven nets at once. Convenience for tests that need to
+    /// construct pathological structures (e.g. combinational cycles).
+    pub fn forward_declare_pair(
+        &mut self,
+        a: impl Into<String>,
+        b: impl Into<String>,
+    ) -> (NetId, NetId) {
+        (self.net(a), self.net(b))
+    }
+
+    /// Declares a primary input and returns its net.
+    ///
+    /// If a net with this name already exists but is undriven, it becomes the
+    /// primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net already has a driver. Use [`try_primary_input`]
+    /// (CircuitBuilder::try_primary_input) for a fallible version.
+    pub fn primary_input(&mut self, name: impl Into<String>) -> NetId {
+        self.try_primary_input(name).expect("duplicate driver for primary input")
+    }
+
+    /// Fallible version of [`primary_input`](CircuitBuilder::primary_input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateDriver`] if the named net is already
+    /// driven.
+    pub fn try_primary_input(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        let id = self.net(name);
+        self.set_driver(id, NetDriver::PrimaryInput)?;
+        self.primary_inputs.push(id);
+        Ok(id)
+    }
+
+    /// Marks an existing net as a primary output. A net may be both an
+    /// internal signal and a primary output; marking it twice is idempotent.
+    pub fn primary_output(&mut self, net: NetId) {
+        if !self.primary_outputs.contains(&net) {
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// Declares a net tied to a constant logic value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateDriver`] if the named net is already
+    /// driven.
+    pub fn constant(&mut self, name: impl Into<String>, value: bool) -> Result<NetId, NetlistError> {
+        let id = self.net(name);
+        self.set_driver(id, NetDriver::Constant(value))?;
+        Ok(id)
+    }
+
+    /// Creates a new flip-flop whose `D` input is `d`; returns the `Q` net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `Q` net name is already driven. Use
+    /// [`try_flip_flop`](CircuitBuilder::try_flip_flop) for a fallible version.
+    pub fn flip_flop(&mut self, q_name: impl Into<String>, d: NetId) -> NetId {
+        self.try_flip_flop(q_name, d).expect("duplicate driver for flip-flop output")
+    }
+
+    /// Fallible version of [`flip_flop`](CircuitBuilder::flip_flop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateDriver`] if the `Q` net is already
+    /// driven.
+    pub fn try_flip_flop(
+        &mut self,
+        q_name: impl Into<String>,
+        d: NetId,
+    ) -> Result<NetId, NetlistError> {
+        let q = self.flip_flop_placeholder_fallible(q_name)?;
+        // The placeholder call above created the flip-flop as the last entry.
+        self.flip_flops
+            .last_mut()
+            .expect("flip-flop just created")
+            .d = Some(d);
+        Ok(q)
+    }
+
+    /// Creates a flip-flop whose `D` input is bound later with
+    /// [`bind_flip_flop`](CircuitBuilder::bind_flip_flop); returns the `Q` net.
+    /// This is needed when the next-state logic uses the present-state bits
+    /// (the common case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `Q` net name is already driven.
+    pub fn flip_flop_placeholder(&mut self, q_name: impl Into<String>) -> NetId {
+        self.flip_flop_placeholder_fallible(q_name)
+            .expect("duplicate driver for flip-flop output")
+    }
+
+    fn flip_flop_placeholder_fallible(
+        &mut self,
+        q_name: impl Into<String>,
+    ) -> Result<NetId, NetlistError> {
+        let q = self.net(q_name);
+        let ff_id = FlipFlopId(self.flip_flops.len() as u32);
+        self.set_driver(q, NetDriver::FlipFlop(ff_id))?;
+        self.flip_flops.push(PendingFlipFlop { q, d: None });
+        Ok(q)
+    }
+
+    /// Binds the `D` input of the flip-flop whose `Q` net is `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnboundFlipFlop`] if `q` is not a flip-flop
+    /// output created by this builder.
+    pub fn bind_flip_flop(&mut self, q: NetId, d: NetId) -> Result<(), NetlistError> {
+        let ff = self
+            .flip_flops
+            .iter_mut()
+            .find(|ff| ff.q == q)
+            .ok_or_else(|| NetlistError::UnboundFlipFlop {
+                name: self.nets[q.index()].name.clone(),
+            })?;
+        ff.d = Some(d);
+        Ok(())
+    }
+
+    /// Creates a gate driving a freshly named net and returns that net.
+    ///
+    /// If the named net already exists but is undriven (forward reference),
+    /// the gate becomes its driver.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::DuplicateDriver`] if the output net is already driven.
+    /// * [`NetlistError::EmptyInputs`] if `inputs` is empty.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        output_name: impl Into<String>,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        let out = self.net(output_name);
+        self.gate_onto(out, kind, inputs)?;
+        Ok(out)
+    }
+
+    /// Creates a gate driving an already-declared net.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::DuplicateDriver`] if the output net is already driven.
+    /// * [`NetlistError::EmptyInputs`] if `inputs` is empty.
+    pub fn gate_onto(
+        &mut self,
+        output: NetId,
+        kind: GateKind,
+        inputs: &[NetId],
+    ) -> Result<(), NetlistError> {
+        if inputs.is_empty() {
+            return Err(NetlistError::EmptyInputs {
+                name: self.nets[output.index()].name.clone(),
+            });
+        }
+        let gate_id = GateId(self.gates.len() as u32);
+        self.set_driver(output, NetDriver::Gate(gate_id))?;
+        self.gates.push(Gate {
+            id: gate_id,
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(())
+    }
+
+    fn set_driver(&mut self, net: NetId, driver: NetDriver) -> Result<(), NetlistError> {
+        let pending = &mut self.nets[net.index()];
+        if pending.driver.is_some() {
+            return Err(NetlistError::DuplicateDriver {
+                name: pending.name.clone(),
+            });
+        }
+        pending.driver = Some(driver);
+        Ok(())
+    }
+
+    /// Number of nets declared so far (including undriven forward references).
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of gates added so far.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops added so far.
+    pub fn num_flip_flops(&self) -> usize {
+        self.flip_flops.len()
+    }
+
+    /// Finishes construction, validating all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UndrivenNet`] if a referenced net never received a driver.
+    /// * [`NetlistError::UnboundFlipFlop`] if a flip-flop `D` pin was never bound.
+    /// * [`NetlistError::CombinationalCycle`] if the combinational part is cyclic.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        // Every net must be driven.
+        for pending in &self.nets {
+            if pending.driver.is_none() {
+                return Err(NetlistError::UndrivenNet {
+                    name: pending.name.clone(),
+                });
+            }
+        }
+        // Every flip-flop must have a D input.
+        let mut flip_flops = Vec::with_capacity(self.flip_flops.len());
+        for (idx, ff) in self.flip_flops.iter().enumerate() {
+            let d = ff.d.ok_or_else(|| NetlistError::UnboundFlipFlop {
+                name: self.nets[ff.q.index()].name.clone(),
+            })?;
+            flip_flops.push(crate::circuit::FlipFlop {
+                id: FlipFlopId(idx as u32),
+                d,
+                q: ff.q,
+            });
+        }
+
+        let nets: Vec<Net> = self
+            .nets
+            .into_iter()
+            .enumerate()
+            .map(|(idx, p)| Net {
+                id: NetId(idx as u32),
+                name: p.name,
+                driver: p.driver.expect("checked above"),
+            })
+            .collect();
+
+        Circuit::assemble(
+            self.name,
+            nets,
+            self.gates,
+            flip_flops,
+            self.primary_inputs,
+            self.primary_outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_combinational_circuit() {
+        let mut b = CircuitBuilder::new("half_adder");
+        let a = b.primary_input("a");
+        let c = b.primary_input("b");
+        let sum = b.gate(GateKind::Xor, "sum", &[a, c]).unwrap();
+        let carry = b.gate(GateKind::And, "carry", &[a, c]).unwrap();
+        b.primary_output(sum);
+        b.primary_output(carry);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.num_gates(), 2);
+        assert_eq!(circuit.num_primary_inputs(), 2);
+        assert_eq!(circuit.num_primary_outputs(), 2);
+        assert!(circuit.is_combinational());
+    }
+
+    #[test]
+    fn forward_reference_is_resolved() {
+        let mut b = CircuitBuilder::new("fwd");
+        let later = b.net("later"); // referenced before being driven
+        let a = b.primary_input("a");
+        let out = b.gate(GateKind::And, "out", &[a, later]).unwrap();
+        b.gate_onto(later, GateKind::Not, &[a]).unwrap();
+        b.primary_output(out);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.num_gates(), 2);
+    }
+
+    #[test]
+    fn undriven_net_is_rejected() {
+        let mut b = CircuitBuilder::new("bad");
+        let dangling = b.net("dangling");
+        let a = b.primary_input("a");
+        b.gate(GateKind::Or, "out", &[a, dangling]).unwrap();
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::UndrivenNet { name } if name == "dangling"));
+    }
+
+    #[test]
+    fn duplicate_driver_is_rejected() {
+        let mut b = CircuitBuilder::new("dup");
+        let a = b.primary_input("a");
+        b.gate(GateKind::Not, "x", &[a]).unwrap();
+        let err = b.gate(GateKind::Buf, "x", &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateDriver { name } if name == "x"));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let mut b = CircuitBuilder::new("empty");
+        let err = b.gate(GateKind::And, "x", &[]).unwrap_err();
+        assert!(matches!(err, NetlistError::EmptyInputs { .. }));
+    }
+
+    #[test]
+    fn unbound_flip_flop_rejected() {
+        let mut b = CircuitBuilder::new("ffbad");
+        let q = b.flip_flop_placeholder("q");
+        b.primary_output(q);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::UnboundFlipFlop { name } if name == "q"));
+    }
+
+    #[test]
+    fn bind_unknown_flip_flop_rejected() {
+        let mut b = CircuitBuilder::new("ffbad2");
+        let a = b.primary_input("a");
+        let err = b.bind_flip_flop(a, a).unwrap_err();
+        assert!(matches!(err, NetlistError::UnboundFlipFlop { .. }));
+    }
+
+    #[test]
+    fn constants_are_supported() {
+        let mut b = CircuitBuilder::new("const");
+        let one = b.constant("tie1", true).unwrap();
+        let a = b.primary_input("a");
+        let out = b.gate(GateKind::And, "out", &[a, one]).unwrap();
+        b.primary_output(out);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.num_gates(), 1);
+        assert!(matches!(
+            circuit.net_by_name("tie1").unwrap().driver(),
+            NetDriver::Constant(true)
+        ));
+    }
+
+    #[test]
+    fn sequential_circuit_with_feedback() {
+        let mut b = CircuitBuilder::new("lfsr2");
+        let q0 = b.flip_flop_placeholder("q0");
+        let q1 = b.flip_flop_placeholder("q1");
+        let d0 = b.gate(GateKind::Xor, "d0", &[q0, q1]).unwrap();
+        b.bind_flip_flop(q0, d0).unwrap();
+        b.bind_flip_flop(q1, q0).unwrap();
+        b.primary_output(q1);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.num_flip_flops(), 2);
+        assert_eq!(circuit.num_gates(), 1);
+        assert!(!circuit.is_combinational());
+    }
+
+    #[test]
+    fn primary_output_is_idempotent() {
+        let mut b = CircuitBuilder::new("po");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Not, "x", &[a]).unwrap();
+        b.primary_output(x);
+        b.primary_output(x);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.num_primary_outputs(), 1);
+    }
+
+    #[test]
+    fn counts_track_progress() {
+        let mut b = CircuitBuilder::new("counts");
+        assert_eq!(b.num_nets(), 0);
+        let a = b.primary_input("a");
+        assert_eq!(b.num_nets(), 1);
+        b.gate(GateKind::Not, "x", &[a]).unwrap();
+        assert_eq!(b.num_gates(), 1);
+        b.flip_flop("q", a);
+        assert_eq!(b.num_flip_flops(), 1);
+    }
+}

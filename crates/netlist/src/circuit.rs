@@ -1,0 +1,552 @@
+//! The [`Circuit`] data structure: nets, gates, flip-flops, connectivity and
+//! structural queries (fanout, levelisation, statistics).
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateKind};
+use crate::{FlipFlopId, GateId, NetId};
+
+/// What drives a [`Net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum NetDriver {
+    /// The net is a primary input of the circuit.
+    PrimaryInput,
+    /// The net is the output of a combinational gate.
+    Gate(GateId),
+    /// The net is the `Q` output of a D flip-flop.
+    FlipFlop(FlipFlopId),
+    /// The net is tied to a constant value (rare, but expressible).
+    Constant(bool),
+}
+
+/// A named signal in the circuit.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Net {
+    pub(crate) id: NetId,
+    pub(crate) name: String,
+    pub(crate) driver: NetDriver,
+}
+
+impl Net {
+    /// The identifier of this net.
+    #[inline]
+    pub fn id(&self) -> NetId {
+        self.id
+    }
+
+    /// The name of this net (unique within the circuit).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What drives this net.
+    #[inline]
+    pub fn driver(&self) -> NetDriver {
+        self.driver
+    }
+}
+
+/// A D flip-flop: on every clock edge `Q` takes the value present on `D`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FlipFlop {
+    pub(crate) id: FlipFlopId,
+    pub(crate) d: NetId,
+    pub(crate) q: NetId,
+}
+
+impl FlipFlop {
+    /// The identifier of this flip-flop.
+    #[inline]
+    pub fn id(&self) -> FlipFlopId {
+        self.id
+    }
+
+    /// The data-input net (`D`, i.e. the next-state function output).
+    #[inline]
+    pub fn d(&self) -> NetId {
+        self.d
+    }
+
+    /// The output net (`Q`, i.e. the present-state bit).
+    #[inline]
+    pub fn q(&self) -> NetId {
+        self.q
+    }
+}
+
+/// Summary statistics of a circuit, in the form usually quoted for the
+/// ISCAS'89 benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub primary_inputs: usize,
+    /// Number of primary outputs.
+    pub primary_outputs: usize,
+    /// Number of D flip-flops.
+    pub flip_flops: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Depth of the combinational part (number of levels).
+    pub levels: usize,
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} FF, {} gates, {} nets, depth {}",
+            self.primary_inputs,
+            self.primary_outputs,
+            self.flip_flops,
+            self.gates,
+            self.nets,
+            self.levels
+        )
+    }
+}
+
+/// A gate-level sequential circuit.
+///
+/// Construction goes through [`crate::CircuitBuilder`] (or the `.bench`
+/// parser / synthetic generator built on top of it), which guarantees the
+/// structural invariants:
+///
+/// * every net has exactly one driver,
+/// * gate and flip-flop fanins reference existing nets,
+/// * the combinational part is acyclic (feedback only through flip-flops).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Circuit {
+    pub(crate) name: String,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) flip_flops: Vec<FlipFlop>,
+    pub(crate) primary_inputs: Vec<NetId>,
+    pub(crate) primary_outputs: Vec<NetId>,
+    /// Gates in topological order of the combinational part.
+    pub(crate) topo_order: Vec<GateId>,
+    /// Level (longest path from any source) of each gate, indexed by gate id.
+    pub(crate) gate_levels: Vec<u32>,
+    /// For every net, the gate inputs and flip-flop `D` pins it drives.
+    pub(crate) fanout_counts: Vec<u32>,
+    name_to_net: HashMap<String, NetId>,
+}
+
+impl Circuit {
+    /// Internal constructor used by the builder once all invariants have been
+    /// checked. Computes the derived tables (levelisation, fanout counts).
+    pub(crate) fn assemble(
+        name: String,
+        nets: Vec<Net>,
+        gates: Vec<Gate>,
+        flip_flops: Vec<FlipFlop>,
+        primary_inputs: Vec<NetId>,
+        primary_outputs: Vec<NetId>,
+    ) -> Result<Self, NetlistError> {
+        let name_to_net: HashMap<String, NetId> =
+            nets.iter().map(|n| (n.name.clone(), n.id)).collect();
+
+        let (topo_order, gate_levels) = levelize(&nets, &gates)?;
+        let fanout_counts = fanout_counts(nets.len(), &gates, &flip_flops);
+
+        Ok(Circuit {
+            name,
+            nets,
+            gates,
+            flip_flops,
+            primary_inputs,
+            primary_outputs,
+            topo_order,
+            gate_levels,
+            fanout_counts,
+            name_to_net,
+        })
+    }
+
+    /// The circuit name (e.g. the benchmark name).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nets, indexed densely by [`NetId`].
+    #[inline]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All combinational gates, indexed densely by [`GateId`].
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All flip-flops, indexed densely by [`FlipFlopId`].
+    #[inline]
+    pub fn flip_flops(&self) -> &[FlipFlop] {
+        &self.flip_flops
+    }
+
+    /// The primary-input nets in declaration order.
+    #[inline]
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// The primary-output nets in declaration order.
+    #[inline]
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of combinational gates.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops (state bits).
+    #[inline]
+    pub fn num_flip_flops(&self) -> usize {
+        self.flip_flops.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_primary_inputs(&self) -> usize {
+        self.primary_inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_primary_outputs(&self) -> usize {
+        self.primary_outputs.len()
+    }
+
+    /// Looks up a net by name.
+    pub fn net_by_name(&self, name: &str) -> Option<&Net> {
+        self.name_to_net.get(name).map(|id| &self.nets[id.index()])
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    #[inline]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// The flip-flop with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    #[inline]
+    pub fn flip_flop(&self, id: FlipFlopId) -> &FlipFlop {
+        &self.flip_flops[id.index()]
+    }
+
+    /// Gates of the combinational part in topological (fanin-before-fanout)
+    /// order. Evaluating gates in this order yields a correct zero-delay
+    /// evaluation of the combinational logic.
+    #[inline]
+    pub fn topological_order(&self) -> &[GateId] {
+        &self.topo_order
+    }
+
+    /// The level of a gate: the length of the longest path from any primary
+    /// input or flip-flop output to the gate, counted in gates.
+    #[inline]
+    pub fn gate_level(&self, id: GateId) -> u32 {
+        self.gate_levels[id.index()]
+    }
+
+    /// The number of gate inputs and flip-flop `D` pins driven by a net.
+    ///
+    /// Primary outputs do not contribute to this count; the capacitance model
+    /// accounts for them separately.
+    #[inline]
+    pub fn fanout_count(&self, id: NetId) -> u32 {
+        self.fanout_counts[id.index()]
+    }
+
+    /// Depth of the combinational logic in levels (0 for a circuit with no
+    /// gates).
+    pub fn depth(&self) -> usize {
+        self.gate_levels.iter().map(|&l| l as usize + 1).max().unwrap_or(0)
+    }
+
+    /// Summary statistics in ISCAS'89 style.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats {
+            primary_inputs: self.primary_inputs.len(),
+            primary_outputs: self.primary_outputs.len(),
+            flip_flops: self.flip_flops.len(),
+            gates: self.gates.len(),
+            nets: self.nets.len(),
+            levels: self.depth(),
+        }
+    }
+
+    /// Iterates over all nets that are driven by the combinational logic or
+    /// flip-flops, i.e. every net except primary inputs and constants. These
+    /// are the nets that can toggle as a consequence of circuit activity and
+    /// therefore contribute to the switched-capacitance sum of Eq. (1) of the
+    /// paper; primary-input transitions are also counted by the power model
+    /// since the input drivers charge the input-pin capacitance.
+    pub fn internal_nets(&self) -> impl Iterator<Item = &Net> + '_ {
+        self.nets
+            .iter()
+            .filter(|n| matches!(n.driver, NetDriver::Gate(_) | NetDriver::FlipFlop(_)))
+    }
+
+    /// Returns `true` if the circuit has no feedback at all (no flip-flops),
+    /// i.e. it is purely combinational.
+    pub fn is_combinational(&self) -> bool {
+        self.flip_flops.is_empty()
+    }
+}
+
+/// Kahn's algorithm over the combinational part. Flip-flop outputs and
+/// primary inputs are sources; flip-flop `D` inputs are sinks and do not
+/// create edges back into the combinational graph.
+fn levelize(nets: &[Net], gates: &[Gate]) -> Result<(Vec<GateId>, Vec<u32>), NetlistError> {
+    let mut indegree: Vec<u32> = vec![0; gates.len()];
+    // For each net, which gates consume it.
+    let mut consumers: Vec<Vec<GateId>> = vec![Vec::new(); nets.len()];
+    for gate in gates {
+        for &input in &gate.inputs {
+            consumers[input.index()].push(gate.id);
+        }
+    }
+    for gate in gates {
+        let mut deg = 0;
+        for &input in &gate.inputs {
+            if matches!(nets[input.index()].driver, NetDriver::Gate(_)) {
+                deg += 1;
+            }
+        }
+        indegree[gate.id.index()] = deg;
+    }
+
+    let mut levels: Vec<u32> = vec![0; gates.len()];
+    let mut ready: Vec<GateId> = gates
+        .iter()
+        .filter(|g| indegree[g.id.index()] == 0)
+        .map(|g| g.id)
+        .collect();
+    let mut order: Vec<GateId> = Vec::with_capacity(gates.len());
+
+    let mut head = 0;
+    while head < ready.len() {
+        let gid = ready[head];
+        head += 1;
+        order.push(gid);
+        let gate = &gates[gid.index()];
+        let out_net = gate.output;
+        for &consumer in &consumers[out_net.index()] {
+            let cidx = consumer.index();
+            levels[cidx] = levels[cidx].max(levels[gid.index()] + 1);
+            indegree[cidx] -= 1;
+            if indegree[cidx] == 0 {
+                ready.push(consumer);
+            }
+        }
+    }
+
+    if order.len() != gates.len() {
+        // Some gates were never released: a combinational cycle exists.
+        let stuck: Vec<String> = gates
+            .iter()
+            .filter(|g| indegree[g.id.index()] > 0)
+            .take(8)
+            .map(|g| nets[g.output.index()].name.clone())
+            .collect();
+        return Err(NetlistError::CombinationalCycle { nets: stuck });
+    }
+
+    Ok((order, levels))
+}
+
+fn fanout_counts(num_nets: usize, gates: &[Gate], flip_flops: &[FlipFlop]) -> Vec<u32> {
+    let mut counts = vec![0u32; num_nets];
+    for gate in gates {
+        for &input in &gate.inputs {
+            counts[input.index()] += 1;
+        }
+    }
+    for ff in flip_flops {
+        counts[ff.d.index()] += 1;
+    }
+    counts
+}
+
+/// Convenience: the kinds and fanins of gates driving each flip-flop `D` pin,
+/// used by diagnostics and by tests that need to inspect next-state logic.
+impl Circuit {
+    /// Returns the gate (if any) that drives the `D` input of the given
+    /// flip-flop. `None` when `D` is tied directly to a primary input,
+    /// another flip-flop's output or a constant.
+    pub fn next_state_gate(&self, ff: FlipFlopId) -> Option<&Gate> {
+        let d = self.flip_flops[ff.index()].d;
+        match self.nets[d.index()].driver {
+            NetDriver::Gate(g) => Some(&self.gates[g.index()]),
+            _ => None,
+        }
+    }
+
+    /// Histogram of gate kinds, mostly for reporting.
+    pub fn gate_kind_histogram(&self) -> HashMap<GateKind, usize> {
+        let mut hist = HashMap::new();
+        for gate in &self.gates {
+            *hist.entry(gate.kind).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    /// Builds a 2-bit counter-ish circuit:
+    ///   d0 = NOT(q0)
+    ///   d1 = XOR(q1, q0)
+    ///   out = AND(q0, q1)
+    fn two_bit_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new("counter2");
+        let q0 = b.flip_flop_placeholder("q0");
+        let q1 = b.flip_flop_placeholder("q1");
+        let d0 = b.gate(GateKind::Not, "d0", &[q0]).unwrap();
+        let d1 = b.gate(GateKind::Xor, "d1", &[q1, q0]).unwrap();
+        let out = b.gate(GateKind::And, "out", &[q0, q1]).unwrap();
+        b.bind_flip_flop(q0, d0).unwrap();
+        b.bind_flip_flop(q1, d1).unwrap();
+        b.primary_output(out);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let c = two_bit_circuit();
+        let s = c.stats();
+        assert_eq!(s.flip_flops, 2);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.primary_outputs, 1);
+        assert_eq!(s.primary_inputs, 0);
+        assert!(s.levels >= 1);
+        assert!(s.to_string().contains("2 FF"));
+    }
+
+    #[test]
+    fn topological_order_covers_all_gates() {
+        let c = two_bit_circuit();
+        assert_eq!(c.topological_order().len(), c.num_gates());
+        // Every gate appears exactly once.
+        let mut seen = vec![false; c.num_gates()];
+        for &g in c.topological_order() {
+            assert!(!seen[g.index()]);
+            seen[g.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fanout_counts_match_structure() {
+        let c = two_bit_circuit();
+        let q0 = c.net_by_name("q0").unwrap().id();
+        let q1 = c.net_by_name("q1").unwrap().id();
+        let d0 = c.net_by_name("d0").unwrap().id();
+        // q0 feeds NOT, XOR and AND => fanout 3.
+        assert_eq!(c.fanout_count(q0), 3);
+        // q1 feeds XOR and AND => fanout 2.
+        assert_eq!(c.fanout_count(q1), 2);
+        // d0 feeds only the flip-flop D pin => fanout 1.
+        assert_eq!(c.fanout_count(d0), 1);
+    }
+
+    #[test]
+    fn next_state_gate_lookup() {
+        let c = two_bit_circuit();
+        let ff0 = c.flip_flops()[0].id();
+        let g = c.next_state_gate(ff0).unwrap();
+        assert_eq!(g.kind(), GateKind::Not);
+    }
+
+    #[test]
+    fn net_lookup_by_name() {
+        let c = two_bit_circuit();
+        assert!(c.net_by_name("q0").is_some());
+        assert!(c.net_by_name("does-not-exist").is_none());
+        let q0 = c.net_by_name("q0").unwrap();
+        assert_eq!(c.net(q0.id()).name(), "q0");
+    }
+
+    #[test]
+    fn internal_nets_excludes_primary_inputs() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Not, "x", &[a]).unwrap();
+        b.primary_output(x);
+        let c = b.finish().unwrap();
+        let internal: Vec<&str> = c.internal_nets().map(|n| n.name()).collect();
+        assert_eq!(internal, vec!["x"]);
+        assert!(c.is_combinational());
+    }
+
+    #[test]
+    fn combinational_cycle_is_rejected() {
+        // x = NOT(y); y = NOT(x) with no flip-flop in between.
+        let mut b = CircuitBuilder::new("cycle");
+        let (x, y) = b.forward_declare_pair("x", "y");
+        b.gate_onto(x, GateKind::Not, &[y]).unwrap();
+        b.gate_onto(y, GateKind::Not, &[x]).unwrap();
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn gate_kind_histogram_counts() {
+        let c = two_bit_circuit();
+        let hist = c.gate_kind_histogram();
+        assert_eq!(hist.get(&GateKind::Not), Some(&1));
+        assert_eq!(hist.get(&GateKind::Xor), Some(&1));
+        assert_eq!(hist.get(&GateKind::And), Some(&1));
+    }
+
+    #[test]
+    fn depth_of_chain() {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.primary_input("a");
+        let mut prev = a;
+        for i in 0..5 {
+            prev = b.gate(GateKind::Not, format!("n{i}"), &[prev]).unwrap();
+        }
+        b.primary_output(prev);
+        let c = b.finish().unwrap();
+        assert_eq!(c.depth(), 5);
+        assert_eq!(c.gate_level(c.topological_order()[4]), 4);
+    }
+}

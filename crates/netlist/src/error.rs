@@ -1,0 +1,143 @@
+//! Error type for circuit construction, parsing and benchmark loading.
+
+/// Errors produced by the `netlist` crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net was given two drivers (two gate outputs, a gate output and a
+    /// primary input, ...).
+    DuplicateDriver {
+        /// Name of the doubly-driven net.
+        name: String,
+    },
+    /// A net is referenced (as a gate input, flip-flop `D` pin or primary
+    /// output) but never driven.
+    UndrivenNet {
+        /// Name of the undriven net.
+        name: String,
+    },
+    /// A flip-flop was declared but its `D` input was never bound.
+    UnboundFlipFlop {
+        /// Name of the flip-flop's `Q` net.
+        name: String,
+    },
+    /// A gate was declared without inputs.
+    EmptyInputs {
+        /// Name of the gate's output net.
+        name: String,
+    },
+    /// The combinational part of the circuit contains a cycle.
+    CombinationalCycle {
+        /// Names of (some of) the nets on the cycle.
+        nets: Vec<String>,
+    },
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An unknown gate keyword was encountered in a `.bench` file.
+    UnknownGateKeyword {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending keyword.
+        keyword: String,
+    },
+    /// A benchmark name was requested that this crate does not know about.
+    UnknownBenchmark {
+        /// The requested benchmark name.
+        name: String,
+    },
+    /// The generator configuration is inconsistent (e.g. zero gates but
+    /// flip-flops requested).
+    InvalidGeneratorConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An I/O error while reading or writing a netlist file.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetlistError::DuplicateDriver { name } => {
+                write!(f, "net `{name}` has more than one driver")
+            }
+            NetlistError::UndrivenNet { name } => {
+                write!(f, "net `{name}` is referenced but never driven")
+            }
+            NetlistError::UnboundFlipFlop { name } => {
+                write!(f, "flip-flop output `{name}` has no bound D input")
+            }
+            NetlistError::EmptyInputs { name } => {
+                write!(f, "gate driving `{name}` has no inputs")
+            }
+            NetlistError::CombinationalCycle { nets } => {
+                write!(
+                    f,
+                    "combinational cycle involving nets: {}",
+                    nets.join(", ")
+                )
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::UnknownGateKeyword { line, keyword } => {
+                write!(f, "unknown gate keyword `{keyword}` at line {line}")
+            }
+            NetlistError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark circuit `{name}`")
+            }
+            NetlistError::InvalidGeneratorConfig { message } => {
+                write!(f, "invalid generator configuration: {message}")
+            }
+            NetlistError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetlistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetlistError {
+    fn from(e: std::io::Error) -> Self {
+        NetlistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NetlistError::DuplicateDriver { name: "x".into() };
+        assert!(e.to_string().contains("x"));
+        let e = NetlistError::Parse {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("bad token"));
+        let e = NetlistError::UnknownBenchmark { name: "s999".into() };
+        assert!(e.to_string().contains("s999"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: NetlistError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

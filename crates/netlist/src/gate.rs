@@ -1,0 +1,280 @@
+//! Combinational gate types and their boolean evaluation.
+
+use crate::{GateId, NetId};
+
+/// The logic function computed by a combinational [`Gate`].
+///
+/// All functions are n-ary except [`GateKind::Not`] and [`GateKind::Buf`],
+/// which take exactly one input. The set matches the primitives that appear
+/// in the ISCAS'89 benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum GateKind {
+    /// Logical AND of all inputs.
+    And,
+    /// Complement of the AND of all inputs.
+    Nand,
+    /// Logical OR of all inputs.
+    Or,
+    /// Complement of the OR of all inputs.
+    Nor,
+    /// Exclusive OR (odd parity) of all inputs.
+    Xor,
+    /// Complement of the exclusive OR of all inputs.
+    Xnor,
+    /// Complement of the single input.
+    Not,
+    /// Identity of the single input (a buffer).
+    Buf,
+}
+
+impl GateKind {
+    /// All gate kinds, useful for exhaustive tests and random generation.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+
+    /// Evaluates the gate function over an iterator of input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input iterator is empty; a combinational gate always has
+    /// at least one input (enforced by [`crate::CircuitBuilder`]).
+    #[inline]
+    pub fn eval(self, inputs: impl IntoIterator<Item = bool>) -> bool {
+        let mut iter = inputs.into_iter();
+        let first = iter
+            .next()
+            .expect("gate evaluation requires at least one input");
+        match self {
+            GateKind::And => first && iter.all(|v| v),
+            GateKind::Nand => !(first && iter.all(|v| v)),
+            GateKind::Or => first || iter.any(|v| v),
+            GateKind::Nor => !(first || iter.any(|v| v)),
+            GateKind::Xor => iter.fold(first, |acc, v| acc ^ v),
+            GateKind::Xnor => !iter.fold(first, |acc, v| acc ^ v),
+            GateKind::Not => !first,
+            GateKind::Buf => first,
+        }
+    }
+
+    /// Returns `true` for the two unary kinds ([`Not`](GateKind::Not) and
+    /// [`Buf`](GateKind::Buf)).
+    #[inline]
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// Returns `true` if the gate output is the complement of the underlying
+    /// monotone/parity function (NAND, NOR, XNOR, NOT).
+    #[inline]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// The keyword used for this gate in the ISCAS'89 `.bench` format.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+        }
+    }
+
+    /// Parses a `.bench` keyword (case-insensitive) into a gate kind.
+    ///
+    /// Returns `None` for unknown keywords (including `DFF`, which is not a
+    /// combinational gate and is handled separately by the parser).
+    pub fn from_bench_keyword(word: &str) -> Option<Self> {
+        match word.to_ascii_uppercase().as_str() {
+            "AND" => Some(GateKind::And),
+            "NAND" => Some(GateKind::Nand),
+            "OR" => Some(GateKind::Or),
+            "NOR" => Some(GateKind::Nor),
+            "XOR" => Some(GateKind::Xor),
+            "XNOR" => Some(GateKind::Xnor),
+            "NOT" | "INV" => Some(GateKind::Not),
+            "BUF" | "BUFF" => Some(GateKind::Buf),
+            _ => None,
+        }
+    }
+
+    /// A representative intrinsic gate input capacitance in femtofarads,
+    /// loosely modelled on a 0.8 µm standard-cell library (the technology
+    /// generation of the paper). Used by the default capacitance model.
+    pub fn input_capacitance_ff(self) -> f64 {
+        match self {
+            GateKind::And | GateKind::Nand => 9.0,
+            GateKind::Or | GateKind::Nor => 10.0,
+            GateKind::Xor | GateKind::Xnor => 14.0,
+            GateKind::Not => 7.0,
+            GateKind::Buf => 8.0,
+        }
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+/// A combinational gate instance inside a [`crate::Circuit`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Gate {
+    pub(crate) id: GateId,
+    pub(crate) kind: GateKind,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+}
+
+impl Gate {
+    /// The identifier of this gate.
+    #[inline]
+    pub fn id(&self) -> GateId {
+        self.id
+    }
+
+    /// The logic function of this gate.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The input nets, in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The output net driven by this gate.
+    #[inline]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Number of inputs (the gate fanin).
+    #[inline]
+    pub fn fanin(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Evaluates the gate given a full vector of net values indexed by
+    /// [`NetId::index`].
+    #[inline]
+    pub fn eval_with(&self, net_values: &[bool]) -> bool {
+        self.kind
+            .eval(self.inputs.iter().map(|n| net_values[n.index()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval2(kind: GateKind, a: bool, b: bool) -> bool {
+        kind.eval([a, b])
+    }
+
+    #[test]
+    fn and_nand_truth_tables() {
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(eval2(GateKind::And, a, b), a && b);
+            assert_eq!(eval2(GateKind::Nand, a, b), !(a && b));
+        }
+    }
+
+    #[test]
+    fn or_nor_truth_tables() {
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(eval2(GateKind::Or, a, b), a || b);
+            assert_eq!(eval2(GateKind::Nor, a, b), !(a || b));
+        }
+    }
+
+    #[test]
+    fn xor_xnor_truth_tables() {
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(eval2(GateKind::Xor, a, b), a ^ b);
+            assert_eq!(eval2(GateKind::Xnor, a, b), !(a ^ b));
+        }
+    }
+
+    #[test]
+    fn unary_gates() {
+        assert!(GateKind::Not.eval([false]));
+        assert!(!GateKind::Not.eval([true]));
+        assert!(GateKind::Buf.eval([true]));
+        assert!(!GateKind::Buf.eval([false]));
+        assert!(GateKind::Not.is_unary());
+        assert!(GateKind::Buf.is_unary());
+        assert!(!GateKind::And.is_unary());
+    }
+
+    #[test]
+    fn three_input_gates() {
+        assert!(GateKind::And.eval([true, true, true]));
+        assert!(!GateKind::And.eval([true, false, true]));
+        assert!(GateKind::Or.eval([false, false, true]));
+        assert!(!GateKind::Nor.eval([false, false, true]));
+        // XOR over three inputs is odd parity.
+        assert!(GateKind::Xor.eval([true, true, true]));
+        assert!(!GateKind::Xor.eval([true, true, false]));
+        assert!(GateKind::Xnor.eval([true, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_input_panics() {
+        GateKind::And.eval(std::iter::empty::<bool>());
+    }
+
+    #[test]
+    fn bench_keyword_round_trip() {
+        for kind in GateKind::ALL {
+            let parsed = GateKind::from_bench_keyword(kind.bench_keyword());
+            assert_eq!(parsed, Some(kind), "round trip for {kind:?}");
+        }
+        assert_eq!(GateKind::from_bench_keyword("dff"), None);
+        assert_eq!(GateKind::from_bench_keyword("bogus"), None);
+        assert_eq!(GateKind::from_bench_keyword("inv"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_bench_keyword("buf"), Some(GateKind::Buf));
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(GateKind::Nor.is_inverting());
+        assert!(GateKind::Not.is_inverting());
+        assert!(GateKind::Xnor.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(!GateKind::Buf.is_inverting());
+    }
+
+    #[test]
+    fn input_capacitance_is_positive() {
+        for kind in GateKind::ALL {
+            assert!(kind.input_capacitance_ff() > 0.0);
+        }
+    }
+
+    #[test]
+    fn display_matches_keyword() {
+        assert_eq!(GateKind::Nand.to_string(), "NAND");
+        assert_eq!(GateKind::Buf.to_string(), "BUFF");
+    }
+}

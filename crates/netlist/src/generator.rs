@@ -1,0 +1,572 @@
+//! Deterministic synthetic generation of random sequential circuits.
+//!
+//! The DIPE reproduction needs circuits with the size profiles of the
+//! ISCAS'89 benchmarks used in the paper. When the original netlists are not
+//! available, this module synthesises circuits with a prescribed number of
+//! primary inputs/outputs, flip-flops and gates. Generation is fully
+//! deterministic given the [`GeneratorConfig`] (including its seed), so
+//! experiments are reproducible run to run.
+//!
+//! The construction guarantees:
+//!
+//! * the combinational part is a DAG (gates only consume earlier nets), so the
+//!   result always passes levelisation;
+//! * every primary input and flip-flop output drives at least one gate, so no
+//!   part of the state is structurally dead;
+//! * every flip-flop `D` input is driven by combinational logic that depends
+//!   (directly or transitively) on state and/or inputs, which in practice
+//!   yields ergodic, non-degenerate state machines — the property the paper's
+//!   φ-mixing assumption needs.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::generator::{generate, GeneratorConfig};
+//!
+//! # fn main() -> Result<(), netlist::NetlistError> {
+//! let config = GeneratorConfig::new("demo", 4, 2, 6, 40).with_seed(1);
+//! let circuit = generate(&config)?;
+//! assert_eq!(circuit.num_flip_flops(), 6);
+//! assert_eq!(circuit.num_gates(), 40);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::NetId;
+
+/// Configuration of the synthetic circuit generator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GeneratorConfig {
+    /// Name given to the generated circuit.
+    pub name: String,
+    /// Number of primary inputs.
+    pub primary_inputs: usize,
+    /// Number of primary outputs.
+    pub primary_outputs: usize,
+    /// Number of D flip-flops.
+    pub flip_flops: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Smallest fanin assigned to a non-unary gate (clamped to at least 2).
+    pub min_fanin: usize,
+    /// Largest fanin assigned to a non-unary gate.
+    pub max_fanin: usize,
+    /// Fraction of gates that are inverters/buffers (unary), in `[0, 1)`.
+    pub unary_fraction: f64,
+    /// Seed of the deterministic RNG. Two configs that differ only in seed
+    /// produce structurally different circuits of identical size profile.
+    pub seed: u64,
+    /// Locality bias in `[0, 1]`: 0 picks fanins uniformly from all earlier
+    /// nets (shallow, wide circuits), values close to 1 prefer recent nets
+    /// (deep circuits). The default of 0.7 gives depths comparable to the
+    /// ISCAS'89 suite.
+    pub locality: f64,
+    /// Fraction of flip-flops (in `[0, 1]`) that receive a *state-holding*
+    /// next-state function: `d = (q AND NOT en) OR (new AND en)` with a
+    /// randomly chosen enable signal, so the bit keeps its value whenever the
+    /// enable is low. Each state-holding flip-flop consumes four gates of the
+    /// budget (NOT, two AND, one OR). This is an opt-in structural knob for
+    /// sensitivity studies on state stickiness; the default of 0 leaves the
+    /// next-state logic fully random, which already exhibits the multi-cycle
+    /// temporal power correlation the paper's procedure handles (see the
+    /// Figure 3 reproduction).
+    pub state_holding_fraction: f64,
+}
+
+impl GeneratorConfig {
+    /// Creates a config with the given size profile and default structural
+    /// parameters (fanin 2–4, 15 % unary gates, locality 0.7, seed 0).
+    pub fn new(
+        name: impl Into<String>,
+        primary_inputs: usize,
+        primary_outputs: usize,
+        flip_flops: usize,
+        gates: usize,
+    ) -> Self {
+        GeneratorConfig {
+            name: name.into(),
+            primary_inputs,
+            primary_outputs,
+            flip_flops,
+            gates,
+            min_fanin: 2,
+            max_fanin: 4,
+            unary_fraction: 0.15,
+            seed: 0,
+            locality: 0.7,
+            state_holding_fraction: 0.0,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fanin range (builder style).
+    pub fn with_fanin(mut self, min: usize, max: usize) -> Self {
+        self.min_fanin = min;
+        self.max_fanin = max;
+        self
+    }
+
+    /// Sets the unary-gate fraction (builder style).
+    pub fn with_unary_fraction(mut self, fraction: f64) -> Self {
+        self.unary_fraction = fraction;
+        self
+    }
+
+    /// Sets the locality bias (builder style).
+    pub fn with_locality(mut self, locality: f64) -> Self {
+        self.locality = locality;
+        self
+    }
+
+    /// Sets the fraction of state-holding flip-flops (builder style).
+    pub fn with_state_holding_fraction(mut self, fraction: f64) -> Self {
+        self.state_holding_fraction = fraction;
+        self
+    }
+
+    fn validate(&self) -> Result<(), NetlistError> {
+        let fail = |message: String| Err(NetlistError::InvalidGeneratorConfig { message });
+        if self.gates == 0 {
+            return fail("at least one gate is required".into());
+        }
+        if self.primary_inputs == 0 && self.flip_flops == 0 {
+            return fail("a circuit needs at least one primary input or flip-flop".into());
+        }
+        if self.gates < self.flip_flops {
+            return fail(format!(
+                "{} flip-flops need at least as many gates to drive their D inputs, got {}",
+                self.flip_flops, self.gates
+            ));
+        }
+        if self.min_fanin < 2 || self.max_fanin < self.min_fanin {
+            return fail(format!(
+                "fanin range [{}, {}] is invalid (need 2 <= min <= max)",
+                self.min_fanin, self.max_fanin
+            ));
+        }
+        if !(0.0..1.0).contains(&self.unary_fraction) {
+            return fail(format!(
+                "unary fraction {} outside [0, 1)",
+                self.unary_fraction
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.locality) {
+            return fail(format!("locality {} outside [0, 1]", self.locality));
+        }
+        if !(0.0..=1.0).contains(&self.state_holding_fraction) {
+            return fail(format!(
+                "state-holding fraction {} outside [0, 1]",
+                self.state_holding_fraction
+            ));
+        }
+        Ok(())
+    }
+
+    /// How many flip-flops receive the state-holding structure, respecting
+    /// the gate budget (each consumes four gates, and at least one freely
+    /// placed gate must remain per non-holding flip-flop so its `D` input can
+    /// be driven).
+    fn num_state_holding(&self) -> usize {
+        if self.flip_flops == 0 {
+            return 0;
+        }
+        let desired = (self.flip_flops as f64 * self.state_holding_fraction).round() as usize;
+        let desired = desired.min(self.flip_flops);
+        // Keep enough budget for the remaining flip-flops and at least one
+        // ordinary gate.
+        let mut holding = desired;
+        loop {
+            let remaining_ffs = self.flip_flops - holding;
+            let needed = 4 * holding + remaining_ffs.max(1);
+            if needed <= self.gates || holding == 0 {
+                break;
+            }
+            holding -= 1;
+        }
+        holding
+    }
+}
+
+/// Generates a random sequential circuit according to `config`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidGeneratorConfig`] for inconsistent
+/// configurations; structural errors cannot occur by construction.
+pub fn generate(config: &GeneratorConfig) -> Result<Circuit, NetlistError> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, &config.name));
+    let mut builder = CircuitBuilder::new(config.name.clone());
+
+    // Sources: primary inputs and flip-flop outputs.
+    let mut sources: Vec<NetId> = Vec::with_capacity(config.primary_inputs + config.flip_flops);
+    for i in 0..config.primary_inputs {
+        sources.push(builder.primary_input(format!("pi{i}")));
+    }
+    let mut ff_outputs: Vec<NetId> = Vec::with_capacity(config.flip_flops);
+    for i in 0..config.flip_flops {
+        let q = builder.flip_flop_placeholder(format!("q{i}"));
+        ff_outputs.push(q);
+        sources.push(q);
+    }
+
+    // Every source must be consumed at least once. We hand them out to the
+    // first gates round-robin, then fill remaining fanin slots randomly.
+    let mut unused_sources: Vec<NetId> = sources.clone();
+    unused_sources.shuffle(&mut rng);
+
+    // Available nets for fanin selection, in creation order (sources first,
+    // then gate outputs as they are created). The locality bias indexes into
+    // this list from the back.
+    let mut available: Vec<NetId> = sources.clone();
+    let mut gate_outputs: Vec<NetId> = Vec::with_capacity(config.gates);
+
+    let binary_kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+    let unary_kinds = [GateKind::Not, GateKind::Buf];
+
+    // Reserve part of the gate budget for the state-holding next-state
+    // structures added after the random logic (4 gates per holding flip-flop).
+    let num_holding = config.num_state_holding();
+    let random_gates = config.gates - 4 * num_holding;
+
+    for g in 0..random_gates {
+        let unary = rng.gen::<f64>() < config.unary_fraction;
+        let fanin = if unary {
+            1
+        } else {
+            rng.gen_range(config.min_fanin..=self_max(config.max_fanin, available.len()))
+        };
+
+        let mut inputs: Vec<NetId> = Vec::with_capacity(fanin);
+        while inputs.len() < fanin {
+            // Prefer handing out not-yet-consumed sources first so none end up
+            // structurally dead.
+            let candidate = if let Some(src) = unused_sources.pop() {
+                src
+            } else {
+                pick_biased(&available, config.locality, &mut rng)
+            };
+            if !inputs.contains(&candidate) {
+                inputs.push(candidate);
+            } else if available.len() <= fanin {
+                // Tiny circuit: allow duplicates rather than spinning forever.
+                inputs.push(candidate);
+            }
+        }
+
+        let kind = if fanin == 1 {
+            *unary_kinds.choose(&mut rng).expect("non-empty")
+        } else {
+            *binary_kinds.choose(&mut rng).expect("non-empty")
+        };
+        let out = builder
+            .gate(kind, format!("g{g}"), &inputs)
+            .expect("generated gate names are unique");
+        gate_outputs.push(out);
+        available.push(out);
+    }
+
+    // State-holding flip-flops: d = (q AND NOT en) OR (new AND en), with the
+    // enable and the "new value" picked from the existing logic. This keeps
+    // part of the state sticky across cycles, giving the per-cycle power
+    // process the multi-cycle temporal correlation real controllers exhibit.
+    for (i, &q) in ff_outputs.iter().take(num_holding).enumerate() {
+        let en = pick_biased(&available, config.locality, &mut rng);
+        let new_value = pick_biased(&available, config.locality, &mut rng);
+        let en_n = builder
+            .gate(GateKind::Not, format!("h{i}_enn"), &[en])
+            .expect("generated gate names are unique");
+        let keep = builder
+            .gate(GateKind::And, format!("h{i}_keep"), &[q, en_n])
+            .expect("generated gate names are unique");
+        let load = builder
+            .gate(GateKind::And, format!("h{i}_load"), &[new_value, en])
+            .expect("generated gate names are unique");
+        let d = builder
+            .gate(GateKind::Or, format!("h{i}_d"), &[keep, load])
+            .expect("generated gate names are unique");
+        builder.bind_flip_flop(q, d).expect("q is a placeholder");
+        gate_outputs.extend([en_n, keep, load, d]);
+        available.extend([en_n, keep, load, d]);
+    }
+
+    // Bind the remaining flip-flop D inputs to gate outputs, preferring late
+    // (deep) gates so the next-state functions depend on substantial logic.
+    // Each flip-flop gets a distinct driver when possible.
+    let mut d_candidates: Vec<NetId> = gate_outputs.clone();
+    d_candidates.shuffle(&mut rng);
+    // Bias toward the last third of the netlist.
+    d_candidates.sort_by_key(|net| std::cmp::Reverse(net.index()));
+    let take = (config.flip_flops * 2).min(d_candidates.len());
+    let mut pool: Vec<NetId> = d_candidates[..take].to_vec();
+    pool.shuffle(&mut rng);
+    for (i, &q) in ff_outputs.iter().enumerate().skip(num_holding) {
+        let d = pool
+            .get(i)
+            .copied()
+            .unwrap_or_else(|| gate_outputs[rng.gen_range(0..gate_outputs.len())]);
+        builder.bind_flip_flop(q, d).expect("q is a placeholder");
+    }
+
+    // Primary outputs: sample distinct gate outputs (fall back to flip-flop
+    // outputs for very small circuits).
+    let mut po_pool: Vec<NetId> = gate_outputs.clone();
+    po_pool.shuffle(&mut rng);
+    for i in 0..config.primary_outputs {
+        let net = po_pool
+            .get(i)
+            .copied()
+            .or_else(|| ff_outputs.get(i % ff_outputs.len().max(1)).copied())
+            .unwrap_or(gate_outputs[0]);
+        builder.primary_output(net);
+    }
+
+    builder.finish()
+}
+
+fn self_max(max_fanin: usize, available: usize) -> usize {
+    max_fanin.min(available.max(2))
+}
+
+fn pick_biased(available: &[NetId], locality: f64, rng: &mut StdRng) -> NetId {
+    debug_assert!(!available.is_empty());
+    if available.len() == 1 {
+        return available[0];
+    }
+    // With probability `locality`, sample from the most recent half of the
+    // list (raised to a power to emphasise recency); otherwise uniform.
+    if rng.gen::<f64>() < locality {
+        let n = available.len();
+        let u: f64 = rng.gen::<f64>();
+        // Quadratic bias toward the end of the list.
+        let idx = ((1.0 - u * u) * (n as f64 - 1.0)).round() as usize;
+        available[idx.min(n - 1)]
+    } else {
+        available[rng.gen_range(0..available.len())]
+    }
+}
+
+/// Mixes the configured seed with the circuit name so that differently named
+/// circuits with the same seed are structurally unrelated.
+fn mix_seed(seed: u64, name: &str) -> u64 {
+    // FNV-1a over the name, then xor-fold with the seed.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash ^ seed.rotate_left(17)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_config() -> GeneratorConfig {
+        GeneratorConfig::new("gen_test", 5, 3, 8, 60).with_seed(42)
+    }
+
+    #[test]
+    fn generates_requested_profile() {
+        let c = generate(&demo_config()).unwrap();
+        assert_eq!(c.num_primary_inputs(), 5);
+        assert_eq!(c.num_primary_outputs(), 3);
+        assert_eq!(c.num_flip_flops(), 8);
+        assert_eq!(c.num_gates(), 60);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&demo_config()).unwrap();
+        let b = generate(&demo_config()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ_structurally() {
+        let a = generate(&demo_config()).unwrap();
+        let b = generate(&demo_config().with_seed(43)).unwrap();
+        assert_eq!(a.stats().gates, b.stats().gates);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_names_differ_structurally() {
+        let mut cfg_b = demo_config();
+        cfg_b.name = "gen_test_other".into();
+        let a = generate(&demo_config()).unwrap();
+        let b = generate(&cfg_b).unwrap();
+        assert_ne!(a.gates(), b.gates());
+    }
+
+    #[test]
+    fn every_source_is_consumed() {
+        let c = generate(&demo_config()).unwrap();
+        for &pi in c.primary_inputs() {
+            assert!(c.fanout_count(pi) > 0, "primary input {pi} unused");
+        }
+        for ff in c.flip_flops() {
+            assert!(c.fanout_count(ff.q()) > 0, "flip-flop output {} unused", ff.q());
+        }
+    }
+
+    #[test]
+    fn flip_flop_inputs_are_gate_driven() {
+        let c = generate(&demo_config()).unwrap();
+        for ff in c.flip_flops() {
+            assert!(
+                c.next_state_gate(ff.id()).is_some(),
+                "flip-flop {} D input not driven by a gate",
+                ff.id()
+            );
+        }
+    }
+
+    #[test]
+    fn large_profile_generates_and_levelizes() {
+        let cfg = GeneratorConfig::new("big", 35, 49, 179, 2779).with_seed(7);
+        let c = generate(&cfg).unwrap();
+        assert_eq!(c.num_gates(), 2779);
+        assert_eq!(c.num_flip_flops(), 179);
+        assert!(c.depth() > 3, "expected non-trivial depth, got {}", c.depth());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(generate(&GeneratorConfig::new("x", 2, 1, 0, 0)).is_err());
+        assert!(generate(&GeneratorConfig::new("x", 0, 1, 0, 10)).is_err());
+        assert!(generate(&GeneratorConfig::new("x", 2, 1, 20, 10)).is_err());
+        assert!(generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_fanin(1, 4)).is_err());
+        assert!(generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_fanin(5, 4)).is_err());
+        assert!(generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_unary_fraction(1.5)).is_err());
+        assert!(generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_locality(-0.1)).is_err());
+    }
+
+    #[test]
+    fn unary_fraction_zero_yields_no_unary_gates() {
+        // State holding is disabled too, because its enable inverter is a
+        // deliberate unary gate.
+        let cfg = GeneratorConfig::new("nounary", 4, 2, 4, 50)
+            .with_seed(3)
+            .with_unary_fraction(0.0)
+            .with_state_holding_fraction(0.0);
+        let c = generate(&cfg).unwrap();
+        assert!(c.gates().iter().all(|g| g.fanin() >= 2));
+    }
+
+    #[test]
+    fn state_holding_fraction_controls_structure() {
+        let base = GeneratorConfig::new("hold", 4, 2, 6, 60).with_seed(5);
+        let none = generate(&base.clone().with_state_holding_fraction(0.0)).unwrap();
+        let all = generate(&base.clone().with_state_holding_fraction(1.0)).unwrap();
+        // The profile is preserved either way.
+        assert_eq!(none.num_gates(), 60);
+        assert_eq!(all.num_gates(), 60);
+        assert_eq!(all.num_flip_flops(), 6);
+        // With full state holding, every flip-flop's D is driven by an OR
+        // gate (the hold/load merge).
+        for ff in all.flip_flops() {
+            let d_gate = all.next_state_gate(ff.id()).unwrap();
+            assert_eq!(d_gate.kind(), GateKind::Or, "flip-flop {}", ff.id());
+        }
+        assert_ne!(none, all);
+    }
+
+    #[test]
+    fn state_holding_respects_tight_gate_budgets() {
+        // 10 flip-flops but only 12 gates: the generator must scale the
+        // number of holding flip-flops down rather than overrun the budget.
+        let cfg = GeneratorConfig::new("tight", 3, 1, 10, 12).with_seed(2);
+        let c = generate(&cfg).unwrap();
+        assert_eq!(c.num_gates(), 12);
+        assert_eq!(c.num_flip_flops(), 10);
+    }
+
+    #[test]
+    fn invalid_state_holding_fraction_rejected() {
+        let cfg = GeneratorConfig::new("x", 2, 1, 2, 10).with_state_holding_fraction(1.5);
+        assert!(generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn config_builder_methods_chain() {
+        let cfg = GeneratorConfig::new("b", 1, 1, 1, 5)
+            .with_seed(9)
+            .with_fanin(2, 3)
+            .with_unary_fraction(0.1)
+            .with_locality(0.5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.max_fanin, 3);
+        assert_eq!(cfg.unary_fraction, 0.1);
+        assert_eq!(cfg.locality, 0.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any valid size profile produces a structurally valid circuit with
+        /// exactly the requested counts, and it always levelises (no cycles).
+        #[test]
+        fn generator_respects_profile(
+            pis in 1usize..12,
+            pos in 1usize..12,
+            ffs in 0usize..16,
+            extra_gates in 1usize..120,
+            seed in 0u64..1000,
+        ) {
+            let gates = ffs + extra_gates;
+            let cfg = GeneratorConfig::new("prop", pis, pos, ffs, gates).with_seed(seed);
+            let c = generate(&cfg).unwrap();
+            prop_assert_eq!(c.num_primary_inputs(), pis);
+            prop_assert_eq!(c.num_flip_flops(), ffs);
+            prop_assert_eq!(c.num_gates(), gates);
+            prop_assert_eq!(c.topological_order().len(), gates);
+            // Fanins reference earlier-created or source nets only; check the
+            // levelisation invariant: every gate's level exceeds its gate-driven
+            // fanins' levels.
+            for gate in c.gates() {
+                for &input in gate.inputs() {
+                    if let crate::NetDriver::Gate(g) = c.net(input).driver() {
+                        prop_assert!(c.gate_level(g) < c.gate_level(gate.id()));
+                    }
+                }
+            }
+        }
+
+        /// Generated circuits round-trip through the .bench format.
+        #[test]
+        fn generator_bench_round_trip(seed in 0u64..200) {
+            let cfg = GeneratorConfig::new("rt", 4, 3, 5, 40).with_seed(seed);
+            let c = generate(&cfg).unwrap();
+            let text = crate::bench_format::write(&c);
+            let c2 = crate::bench_format::parse(&text, "rt").unwrap();
+            prop_assert_eq!(c.stats(), c2.stats());
+        }
+    }
+}

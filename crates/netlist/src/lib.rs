@@ -1,0 +1,157 @@
+//! Gate-level sequential circuit model.
+//!
+//! This crate is the structural substrate of the DIPE reproduction: it defines
+//! how circuits are represented in memory, how they are read from and written
+//! to the ISCAS'89 `.bench` format, and how synthetic benchmark circuits with
+//! prescribed size profiles are generated when the original netlists are not
+//! available.
+//!
+//! # Model
+//!
+//! A [`Circuit`] is a set of named *nets*, each driven by exactly one of
+//!
+//! * a primary input,
+//! * the output (`Q`) of a D flip-flop, or
+//! * a combinational [`Gate`] (AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF).
+//!
+//! Flip-flops are edge-triggered and single-clock (the clock itself is
+//! implicit, as in the ISCAS'89 benchmarks). The combinational part of the
+//! circuit must be acyclic; feedback is only allowed through flip-flops.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{CircuitBuilder, GateKind};
+//!
+//! # fn main() -> Result<(), netlist::NetlistError> {
+//! let mut b = CircuitBuilder::new("toggle");
+//! let d = b.primary_input("in");
+//! let q = b.flip_flop("state", d);
+//! let out = b.gate(GateKind::Not, "out_n", &[q])?;
+//! b.primary_output(out);
+//! let circuit = b.finish()?;
+//! assert_eq!(circuit.num_flip_flops(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod builder;
+mod circuit;
+mod error;
+mod gate;
+
+pub mod bench_format;
+pub mod generator;
+pub mod iscas89;
+
+pub use builder::CircuitBuilder;
+pub use circuit::{Circuit, CircuitStats, FlipFlop, Net, NetDriver};
+pub use error::NetlistError;
+pub use gate::{Gate, GateKind};
+
+/// Identifier of a net (a named signal) within a [`Circuit`].
+///
+/// Net ids are dense indices assigned in creation order, so they can be used
+/// directly to index per-net side tables (simulation values, capacitances,
+/// transition counters, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the dense index of this net.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a dense index.
+    ///
+    /// This is primarily useful for side tables that were built by iterating
+    /// over [`Circuit::nets`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a combinational gate within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Returns the dense index of this gate.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `GateId` from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+}
+
+impl std::fmt::Display for GateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of a D flip-flop within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct FlipFlopId(pub(crate) u32);
+
+impl FlipFlopId {
+    /// Returns the dense index of this flip-flop.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `FlipFlopId` from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        FlipFlopId(index as u32)
+    }
+}
+
+impl std::fmt::Display for FlipFlopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ff{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        assert_eq!(NetId::from_index(42).index(), 42);
+        assert_eq!(GateId::from_index(7).index(), 7);
+        assert_eq!(FlipFlopId::from_index(3).index(), 3);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(NetId::from_index(5).to_string(), "n5");
+        assert_eq!(GateId::from_index(5).to_string(), "g5");
+        assert_eq!(FlipFlopId::from_index(5).to_string(), "ff5");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert!(GateId::from_index(0) < GateId::from_index(10));
+    }
+}

@@ -1,0 +1,264 @@
+//! Fanout-based load-capacitance model.
+
+use netlist::{Circuit, NetDriver, NetId};
+
+/// Parameters of the load-capacitance model.
+///
+/// Each net's load capacitance is
+///
+/// ```text
+/// C(net) = C_driver_output
+///        + Σ (gate input capacitance of every driven gate pin)
+///        + C_dff_input · (number of driven flip-flop D pins)
+///        + C_wire_per_fanout · fanout
+///        + C_po_load            (if the net is a primary output)
+/// ```
+///
+/// Gate input capacitances come from [`netlist::GateKind::input_capacitance_ff`].
+/// The default values are representative of a 0.8 µm / 5 V standard-cell
+/// technology; as the paper notes below Eq. (1), `C_i` can be inflated to
+/// absorb short-circuit and internal capacitance contributions, which is what
+/// the driver output term does here.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CapacitanceModel {
+    /// Output (drain/diffusion) capacitance of the driving cell, femtofarads.
+    pub driver_output_ff: f64,
+    /// Capacitance of a flip-flop `D` pin, femtofarads.
+    pub dff_input_ff: f64,
+    /// Estimated wiring capacitance per fanout, femtofarads.
+    pub wire_per_fanout_ff: f64,
+    /// Load presented by a primary output (pad / next block), femtofarads.
+    pub primary_output_load_ff: f64,
+    /// Capacitance of a primary-input pin itself (driven by the environment;
+    /// set to 0 to exclude input pads from the circuit's power), femtofarads.
+    pub primary_input_pin_ff: f64,
+}
+
+impl Default for CapacitanceModel {
+    fn default() -> Self {
+        CapacitanceModel {
+            driver_output_ff: 12.0,
+            dff_input_ff: 11.0,
+            wire_per_fanout_ff: 6.0,
+            primary_output_load_ff: 30.0,
+            primary_input_pin_ff: 0.0,
+        }
+    }
+}
+
+impl CapacitanceModel {
+    /// Evaluates the model over a circuit, producing per-net load
+    /// capacitances.
+    pub fn loads(&self, circuit: &Circuit) -> LoadCapacitances {
+        let mut per_net_f = vec![0.0f64; circuit.num_nets()];
+
+        // Start with the driver output capacitance for every driven net and
+        // the optional pin capacitance for primary inputs.
+        for net in circuit.nets() {
+            let idx = net.id().index();
+            per_net_f[idx] += match net.driver() {
+                NetDriver::Gate(_) | NetDriver::FlipFlop(_) => self.driver_output_ff,
+                NetDriver::PrimaryInput => self.primary_input_pin_ff,
+                NetDriver::Constant(_) => 0.0,
+            } * 1e-15;
+        }
+
+        // Gate input pins.
+        for gate in circuit.gates() {
+            let pin_cap = gate.kind().input_capacitance_ff() * 1e-15;
+            for &input in gate.inputs() {
+                per_net_f[input.index()] += pin_cap;
+            }
+        }
+        // Flip-flop D pins.
+        for ff in circuit.flip_flops() {
+            per_net_f[ff.d().index()] += self.dff_input_ff * 1e-15;
+        }
+        // Wiring, proportional to fanout.
+        for net in circuit.nets() {
+            let idx = net.id().index();
+            per_net_f[idx] +=
+                self.wire_per_fanout_ff * 1e-15 * f64::from(circuit.fanout_count(net.id()));
+        }
+        // Primary output loads.
+        for &po in circuit.primary_outputs() {
+            per_net_f[po.index()] += self.primary_output_load_ff * 1e-15;
+        }
+
+        LoadCapacitances { per_net_f }
+    }
+}
+
+/// Per-net load capacitances in farads, as produced by [`CapacitanceModel::loads`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadCapacitances {
+    per_net_f: Vec<f64>,
+}
+
+impl LoadCapacitances {
+    /// Builds a load table directly from per-net capacitances in farads.
+    /// Useful for callers with their own extraction results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacitance is negative or not finite.
+    pub fn from_farads(per_net_f: Vec<f64>) -> Self {
+        assert!(
+            per_net_f.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "capacitances must be non-negative and finite"
+        );
+        LoadCapacitances { per_net_f }
+    }
+
+    /// The load capacitance of `net` in farads.
+    #[inline]
+    pub fn farads(&self, net: NetId) -> f64 {
+        self.per_net_f[net.index()]
+    }
+
+    /// Dense per-net capacitances in farads, indexed by [`NetId::index`].
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.per_net_f
+    }
+
+    /// Number of nets covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.per_net_f.len()
+    }
+
+    /// `true` when the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.per_net_f.is_empty()
+    }
+
+    /// Total capacitance of the circuit in farads (sum over nets).
+    pub fn total_farads(&self) -> f64 {
+        self.per_net_f.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{iscas89, CircuitBuilder, GateKind};
+
+    #[test]
+    fn every_driven_net_has_positive_load() {
+        let c = iscas89::load("s27").unwrap();
+        let loads = CapacitanceModel::default().loads(&c);
+        assert_eq!(loads.len(), c.num_nets());
+        for net in c.internal_nets() {
+            assert!(
+                loads.farads(net.id()) > 0.0,
+                "net {} has zero load",
+                net.name()
+            );
+        }
+        assert!(loads.total_farads() > 0.0);
+    }
+
+    #[test]
+    fn fanout_increases_load() {
+        // x drives one buffer in circuit A and three buffers in circuit B.
+        let build = |fanout: usize| {
+            let mut b = CircuitBuilder::new("fan");
+            let a = b.primary_input("a");
+            let x = b.gate(GateKind::Not, "x", &[a]).unwrap();
+            for i in 0..fanout {
+                let y = b.gate(GateKind::Buf, format!("y{i}"), &[x]).unwrap();
+                b.primary_output(y);
+            }
+            b.finish().unwrap()
+        };
+        let model = CapacitanceModel::default();
+        let c1 = build(1);
+        let c3 = build(3);
+        let x1 = c1.net_by_name("x").unwrap().id();
+        let x3 = c3.net_by_name("x").unwrap().id();
+        assert!(model.loads(&c3).farads(x3) > model.loads(&c1).farads(x1));
+    }
+
+    #[test]
+    fn primary_output_gets_extra_load() {
+        let mut b = CircuitBuilder::new("po");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Not, "x", &[a]).unwrap();
+        let y = b.gate(GateKind::Not, "y", &[x]).unwrap();
+        b.primary_output(y);
+        let c = b.finish().unwrap();
+        let loads = CapacitanceModel::default().loads(&c);
+        let x_id = c.net_by_name("x").unwrap().id();
+        let y_id = c.net_by_name("y").unwrap().id();
+        // x drives one NOT input; y drives only the output pad. With the
+        // default parameters the pad load dominates a single gate pin.
+        assert!(loads.farads(y_id) > loads.farads(x_id));
+    }
+
+    #[test]
+    fn primary_inputs_can_be_excluded() {
+        let c = iscas89::load("s27").unwrap();
+        let model = CapacitanceModel {
+            primary_input_pin_ff: 0.0,
+            wire_per_fanout_ff: 0.0,
+            ..CapacitanceModel::default()
+        };
+        let loads = model.loads(&c);
+        // A primary input still carries the load of the gate pins it drives,
+        // but no pin capacitance of its own; compare against a model that
+        // includes a pin capacitance.
+        let with_pin = CapacitanceModel {
+            primary_input_pin_ff: 10.0,
+            wire_per_fanout_ff: 0.0,
+            ..CapacitanceModel::default()
+        }
+        .loads(&c);
+        let pi = c.primary_inputs()[0];
+        assert!(with_pin.farads(pi) > loads.farads(pi));
+    }
+
+    #[test]
+    fn flip_flop_d_pin_contributes() {
+        let mut b = CircuitBuilder::new("ff");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Buf, "x", &[a]).unwrap();
+        let q = b.flip_flop("q", x);
+        b.primary_output(q);
+        let c = b.finish().unwrap();
+        let zero_dff = CapacitanceModel {
+            dff_input_ff: 0.0,
+            ..CapacitanceModel::default()
+        };
+        let with_dff = CapacitanceModel::default();
+        let x_id = c.net_by_name("x").unwrap().id();
+        assert!(with_dff.loads(&c).farads(x_id) > zero_dff.loads(&c).farads(x_id));
+    }
+
+    #[test]
+    fn from_farads_validates() {
+        let ok = LoadCapacitances::from_farads(vec![1e-15, 0.0]);
+        assert_eq!(ok.len(), 2);
+        assert!(!ok.is_empty());
+        let empty = LoadCapacitances::from_farads(vec![]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacitance_rejected() {
+        LoadCapacitances::from_farads(vec![-1.0]);
+    }
+
+    #[test]
+    fn magnitudes_are_reasonable() {
+        // A mid-size benchmark should have a total capacitance in the tens of
+        // picofarads — the ballpark that yields sub-milliwatt to few-milliwatt
+        // average power at 5 V / 20 MHz, as in Table 1 of the paper.
+        let c = iscas89::load("s298").unwrap();
+        let loads = CapacitanceModel::default().loads(&c);
+        let total_pf = loads.total_farads() * 1e12;
+        assert!(total_pf > 1.0 && total_pf < 1000.0, "total {total_pf} pF");
+    }
+}

@@ -1,0 +1,56 @@
+//! Dynamic power model for gate-level circuits.
+//!
+//! Implements Eq. (1) of the paper: for a circuit with `N_g` nodes, the power
+//! dissipated in one clock cycle is
+//!
+//! ```text
+//!        V_dd²
+//! P  =  ─────── · Σ  C_i · n_i
+//!         2 T      i
+//! ```
+//!
+//! where `C_i` is the load capacitance of node `i`, `n_i` the number of
+//! transitions the node made during the cycle, `T` the clock period and
+//! `V_dd` the supply voltage. The crate provides:
+//!
+//! * [`Technology`] — supply voltage and clock frequency (the paper uses
+//!   5 V / 20 MHz),
+//! * [`CapacitanceModel`] / [`LoadCapacitances`] — a fanout-based load model
+//!   assigning each net a capacitance,
+//! * [`PowerCalculator`] — turns per-cycle switching activity
+//!   ([`logicsim::CycleActivity`]) into per-cycle power.
+//!
+//! # Example
+//!
+//! ```
+//! use logicsim::{DelayModel, VariableDelaySimulator, ZeroDelaySimulator};
+//! use power::{CapacitanceModel, PowerCalculator, Technology};
+//! use netlist::iscas89;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = iscas89::load("s27")?;
+//! let calc = PowerCalculator::new(
+//!     &circuit,
+//!     Technology::default(),
+//!     &CapacitanceModel::default(),
+//! );
+//! let mut zero = ZeroDelaySimulator::new(&circuit);
+//! let mut full = VariableDelaySimulator::new(&circuit, DelayModel::default());
+//! let prev = zero.values().to_vec();
+//! let activity = full.simulate_cycle(&prev, &[true, false, true, false]);
+//! let power_mw = calc.cycle_power_w(&activity) * 1e3;
+//! assert!(power_mw >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod capacitance;
+mod energy;
+mod technology;
+
+pub use capacitance::{CapacitanceModel, LoadCapacitances};
+pub use energy::{PowerCalculator, PowerSummary};
+pub use technology::Technology;

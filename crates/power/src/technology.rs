@@ -1,0 +1,119 @@
+//! Supply/clock operating point.
+
+/// The electrical operating point used to convert switched capacitance into
+/// power.
+///
+/// The default matches the paper's experimental setup: a 5 V supply and a
+/// 20 MHz clock.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Technology {
+    vdd_v: f64,
+    clock_hz: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology {
+            vdd_v: 5.0,
+            clock_hz: 20.0e6,
+        }
+    }
+}
+
+impl Technology {
+    /// Creates an operating point from a supply voltage (volts) and clock
+    /// frequency (hertz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not strictly positive and finite.
+    pub fn new(vdd_v: f64, clock_hz: f64) -> Self {
+        assert!(vdd_v.is_finite() && vdd_v > 0.0, "supply voltage must be positive");
+        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock frequency must be positive");
+        Technology { vdd_v, clock_hz }
+    }
+
+    /// The supply voltage in volts.
+    #[inline]
+    pub fn vdd_v(&self) -> f64 {
+        self.vdd_v
+    }
+
+    /// The clock frequency in hertz.
+    #[inline]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// The clock period `T` in seconds.
+    #[inline]
+    pub fn clock_period_s(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// The factor `V_dd² / (2 T)` of Eq. (1), in watts per farad.
+    #[inline]
+    pub fn power_factor_w_per_f(&self) -> f64 {
+        self.vdd_v * self.vdd_v / (2.0 * self.clock_period_s())
+    }
+
+    /// Returns a copy with a different supply voltage.
+    pub fn with_vdd(mut self, vdd_v: f64) -> Self {
+        assert!(vdd_v.is_finite() && vdd_v > 0.0, "supply voltage must be positive");
+        self.vdd_v = vdd_v;
+        self
+    }
+
+    /// Returns a copy with a different clock frequency.
+    pub fn with_clock_hz(mut self, clock_hz: f64) -> Self {
+        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock frequency must be positive");
+        self.clock_hz = clock_hz;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let t = Technology::default();
+        assert_eq!(t.vdd_v(), 5.0);
+        assert_eq!(t.clock_hz(), 20.0e6);
+        assert!((t.clock_period_s() - 50e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn power_factor_formula() {
+        let t = Technology::new(5.0, 20.0e6);
+        // 25 / (2 * 50ns) = 2.5e8 W/F.
+        assert!((t.power_factor_w_per_f() - 2.5e8).abs() / 2.5e8 < 1e-12);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let t = Technology::default().with_vdd(3.3).with_clock_hz(100.0e6);
+        assert_eq!(t.vdd_v(), 3.3);
+        assert_eq!(t.clock_hz(), 100.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply voltage")]
+    fn zero_vdd_rejected() {
+        Technology::new(0.0, 1.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency")]
+    fn negative_clock_rejected() {
+        Technology::new(5.0, -1.0);
+    }
+
+    #[test]
+    fn scaling_vdd_scales_power_quadratically() {
+        let base = Technology::new(2.0, 1.0e6).power_factor_w_per_f();
+        let doubled = Technology::new(4.0, 1.0e6).power_factor_w_per_f();
+        assert!((doubled / base - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Autocorrelation and effective-sample-size diagnostics.
+//!
+//! The paper assumes the per-cycle power process is stationary and φ-mixing:
+//! correlation decays as the lag grows. These helpers quantify that decay —
+//! they are not part of the estimation algorithm itself, but they are useful
+//! to *verify* the assumption on simulated power sequences (and they make the
+//! Figure-3 style diagnostics easy to cross-check).
+
+/// The lag-`k` sample autocorrelation of a sequence.
+///
+/// Uses the standard biased estimator (normalising by `n` and the overall
+/// sample variance), which is the convention under which the values are
+/// bounded by 1 in magnitude for any input.
+///
+/// Returns 0 for lags `>= n` or when the sequence variance is 0.
+///
+/// # Panics
+///
+/// Panics on an empty sequence.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    assert!(!xs.is_empty(), "autocorrelation of an empty sequence is undefined");
+    let n = xs.len();
+    if lag == 0 {
+        return 1.0;
+    }
+    if lag >= n {
+        return 0.0;
+    }
+    let mean = crate::descriptive::mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let numer: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    numer / denom
+}
+
+/// The autocorrelation function for lags `0..=max_lag`.
+///
+/// # Panics
+///
+/// Panics on an empty sequence.
+pub fn autocorrelation_function(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    (0..=max_lag).map(|k| autocorrelation(xs, k)).collect()
+}
+
+/// The smallest lag at which the absolute autocorrelation drops below
+/// `threshold`, searching lags `1..=max_lag`. Returns `None` if it never
+/// does. A crude but useful estimate of the paper's independence interval.
+pub fn decorrelation_lag(xs: &[f64], threshold: f64, max_lag: usize) -> Option<usize> {
+    (1..=max_lag).find(|&k| autocorrelation(xs, k).abs() < threshold)
+}
+
+/// The effective sample size of a correlated sequence,
+/// `n / (1 + 2 Σ_k ρ_k)`, truncating the sum at the first non-positive
+/// autocorrelation (Geyer's initial positive sequence truncation, simplified).
+/// For an i.i.d. sequence this is approximately `n`.
+///
+/// # Panics
+///
+/// Panics on an empty sequence.
+pub fn effective_sample_size(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    assert!(n > 0, "effective sample size of an empty sequence is undefined");
+    let max_lag = (n / 2).max(1);
+    let mut rho_sum = 0.0;
+    for k in 1..max_lag {
+        let rho = autocorrelation(xs, k);
+        if rho <= 0.0 {
+            break;
+        }
+        rho_sum += rho;
+    }
+    n as f64 / (1.0 + 2.0 * rho_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn iid(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    /// AR(1) process with coefficient `phi`.
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut prev = 0.0;
+        for _ in 0..n {
+            let x = phi * prev + rng.gen::<f64>() - 0.5;
+            xs.push(x);
+            prev = x;
+        }
+        xs
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 0), 1.0);
+    }
+
+    #[test]
+    fn iid_data_has_small_autocorrelation() {
+        let xs = iid(5000, 7);
+        for lag in 1..5 {
+            assert!(autocorrelation(&xs, lag).abs() < 0.05, "lag {lag}");
+        }
+        let ess = effective_sample_size(&xs);
+        assert!(ess > 3000.0, "ess = {ess}");
+    }
+
+    #[test]
+    fn ar1_data_has_positive_decaying_autocorrelation() {
+        let xs = ar1(5000, 0.8, 11);
+        let r1 = autocorrelation(&xs, 1);
+        let r3 = autocorrelation(&xs, 3);
+        let r10 = autocorrelation(&xs, 10);
+        assert!(r1 > 0.6, "r1 = {r1}");
+        assert!(r3 > r10, "r3 = {r3}, r10 = {r10}");
+        assert!(effective_sample_size(&xs) < 2000.0);
+    }
+
+    #[test]
+    fn decorrelation_lag_finds_decay_point() {
+        let xs = ar1(5000, 0.7, 13);
+        let lag = decorrelation_lag(&xs, 0.1, 50).expect("AR(1) decorrelates");
+        assert!(lag >= 2 && lag <= 20, "lag = {lag}");
+        let iid_lag = decorrelation_lag(&iid(5000, 3), 0.1, 50).unwrap();
+        assert_eq!(iid_lag, 1);
+    }
+
+    #[test]
+    fn acf_has_requested_length_and_bounds() {
+        let xs = ar1(500, 0.5, 17);
+        let acf = autocorrelation_function(&xs, 10);
+        assert_eq!(acf.len(), 11);
+        assert_eq!(acf[0], 1.0);
+        assert!(acf.iter().all(|r| r.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // Constant sequence: zero variance.
+        assert_eq!(autocorrelation(&[2.0; 10], 1), 0.0);
+        // Lag beyond the data.
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+        // Effective sample size of a constant sequence is just n.
+        assert_eq!(effective_sample_size(&[2.0; 10]), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sequence_panics() {
+        autocorrelation(&[], 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Descriptive statistics: running moments, quantiles and order statistics.
+
+/// Numerically stable running mean/variance (Welford's algorithm) with
+/// min/max tracking.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / √n` (0 if empty).
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation `s / mean` (0 when the mean is 0).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean() == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean()
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = RunningStats::new();
+        for x in iter {
+            stats.add(x);
+        }
+        stats
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+/// The arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The unbiased sample variance of a slice (0 for fewer than two values).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// The sample median. For an even number of values, the average of the two
+/// central order statistics.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty slice is undefined");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("power data must not contain NaN"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// The `k`-th order statistic (1-based): the `k`-th smallest value.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or larger than the slice length, or on an empty slice.
+pub fn order_statistic(xs: &[f64], k: usize) -> f64 {
+    assert!(!xs.is_empty(), "order statistic of an empty slice is undefined");
+    assert!(
+        k >= 1 && k <= xs.len(),
+        "order statistic index {k} out of range 1..={}",
+        xs.len()
+    );
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("power data must not contain NaN"));
+    sorted[k - 1]
+}
+
+/// The empirical `q`-quantile using linear interpolation between order
+/// statistics (the common "type 7" definition).
+///
+/// # Panics
+///
+/// Panics on an empty slice or if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of an empty slice is undefined");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("power data must not contain NaN"));
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_match_closed_forms() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let stats: RunningStats = xs.iter().copied().collect();
+        assert_eq!(stats.count(), 8);
+        assert!((stats.mean() - 5.0).abs() < 1e-12);
+        assert!((stats.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((stats.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(stats.min(), 2.0);
+        assert_eq!(stats.max(), 9.0);
+        assert!((stats.std_error() - stats.std_dev() / 8.0f64.sqrt()).abs() < 1e-12);
+        assert!(stats.coefficient_of_variation() > 0.0);
+    }
+
+    #[test]
+    fn running_stats_extend_and_empty() {
+        let mut stats = RunningStats::new();
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.variance(), 0.0);
+        assert_eq!(stats.std_error(), 0.0);
+        stats.extend([1.0, 3.0]);
+        assert_eq!(stats.count(), 2);
+        assert!((stats.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn order_statistics_are_sorted_values() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(order_statistic(&xs, 1), 1.0);
+        assert_eq!(order_statistic(&xs, 3), 3.0);
+        assert_eq!(order_statistic(&xs, 5), 5.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+        assert_eq!(quantile(&[42.0], 0.3), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn median_of_empty_panics() {
+        median(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn order_statistic_out_of_range_panics() {
+        order_statistic(&[1.0, 2.0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_level_out_of_range_panics() {
+        quantile(&[1.0], 1.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Welford accumulation agrees with the two-pass formulas.
+        #[test]
+        fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let stats: RunningStats = xs.iter().copied().collect();
+            prop_assert!((stats.mean() - mean(&xs)).abs() < 1e-6 * (1.0 + mean(&xs).abs()));
+            prop_assert!((stats.variance() - variance(&xs)).abs() < 1e-4 * (1.0 + variance(&xs).abs()));
+        }
+
+        /// The median lies between the extremes and quantile(0.5) equals it.
+        #[test]
+        fn median_is_central(xs in proptest::collection::vec(0.0f64..1e3, 1..100)) {
+            let m = median(&xs);
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo && m <= hi);
+            prop_assert!((quantile(&xs, 0.5) - m).abs() < 1e-9);
+        }
+    }
+}

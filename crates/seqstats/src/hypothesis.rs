@@ -1,0 +1,118 @@
+//! Significance levels and two-sided acceptance regions.
+
+use crate::normal;
+
+/// A significance level α for a two-sided hypothesis test.
+///
+/// The paper's randomness test accepts the hypothesis "the sequence is
+/// random" when the test statistic `z` satisfies `|z| ≤ c`, where
+/// `c = Φ⁻¹(1 − α/2)` (Eq. 7). A *larger* α therefore makes the test more
+/// demanding (it rejects more easily); the paper uses α = 0.20.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SignificanceLevel {
+    alpha: f64,
+}
+
+impl SignificanceLevel {
+    /// Creates a significance level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "significance level must be strictly between 0 and 1, got {alpha}"
+        );
+        SignificanceLevel { alpha }
+    }
+
+    /// The α value.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The two-sided critical value `c = Φ⁻¹(1 − α/2)` (Eq. 7).
+    pub fn critical_value(&self) -> f64 {
+        normal::two_sided_critical_value(self.alpha)
+    }
+
+    /// Whether a test statistic `z` falls inside the acceptance region
+    /// `|z| ≤ c`.
+    pub fn accepts(&self, z: f64) -> bool {
+        z.abs() <= self.critical_value()
+    }
+
+    /// The two-sided p-value of an observed statistic `z` under the standard
+    /// normal null distribution, `Pr(|Z| ≥ |z|) = 2(1 − Φ(|z|))` (Eq. 6).
+    pub fn two_sided_p_value(z: f64) -> f64 {
+        2.0 * normal::survival(z.abs())
+    }
+}
+
+impl Default for SignificanceLevel {
+    /// The paper's default for the randomness test: α = 0.20.
+    fn default() -> Self {
+        SignificanceLevel::new(0.20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let s = SignificanceLevel::default();
+        assert_eq!(s.alpha(), 0.20);
+        assert!((s.critical_value() - 1.281_551_566).abs() < 1e-6);
+    }
+
+    #[test]
+    fn acceptance_region_is_symmetric() {
+        let s = SignificanceLevel::new(0.05);
+        assert!(s.accepts(1.9));
+        assert!(s.accepts(-1.9));
+        assert!(!s.accepts(2.0));
+        assert!(!s.accepts(-2.0));
+    }
+
+    #[test]
+    fn stricter_alpha_means_narrower_region() {
+        // Larger alpha -> smaller critical value -> rejects more.
+        let loose = SignificanceLevel::new(0.01);
+        let strict = SignificanceLevel::new(0.20);
+        assert!(loose.critical_value() > strict.critical_value());
+        assert!(loose.accepts(2.0));
+        assert!(!strict.accepts(2.0));
+    }
+
+    #[test]
+    fn p_values_match_tables() {
+        assert!((SignificanceLevel::two_sided_p_value(1.96) - 0.05).abs() < 1e-3);
+        assert!((SignificanceLevel::two_sided_p_value(0.0) - 1.0).abs() < 1e-9);
+        assert!(SignificanceLevel::two_sided_p_value(5.0) < 1e-5);
+        // Symmetric in z.
+        assert_eq!(
+            SignificanceLevel::two_sided_p_value(1.3),
+            SignificanceLevel::two_sided_p_value(-1.3)
+        );
+    }
+
+    #[test]
+    fn p_value_consistent_with_acceptance() {
+        let s = SignificanceLevel::new(0.2);
+        for &z in &[0.1, 0.5, 1.0, 1.2, 1.3, 2.0, 3.0] {
+            let by_region = s.accepts(z);
+            let by_p = SignificanceLevel::two_sided_p_value(z) >= s.alpha();
+            assert_eq!(by_region, by_p, "z = {z}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between 0 and 1")]
+    fn invalid_alpha_rejected() {
+        SignificanceLevel::new(0.0);
+    }
+}

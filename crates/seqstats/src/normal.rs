@@ -1,0 +1,192 @@
+//! Standard-normal distribution: CDF, survival function and quantile.
+//!
+//! The CDF uses the Abramowitz & Stegun 7.1.26 rational approximation of the
+//! error function (absolute error below 1.5·10⁻⁷, ample for significance
+//! levels); the quantile function uses Acklam's rational approximation
+//! (relative error below 1.2·10⁻⁹ over the open unit interval).
+
+/// The standard normal probability density function φ(z).
+pub fn pdf(z: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * z * z).exp()
+}
+
+/// The standard normal cumulative distribution function Φ(z).
+pub fn cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// The survival function 1 − Φ(z), computed without cancellation for large z.
+pub fn survival(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// The quantile (inverse CDF) Φ⁻¹(p).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn quantile(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile requires a probability strictly between 0 and 1, got {p}"
+    );
+    // Acklam's algorithm.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e+01,
+        2.209_460_984_245_205e+02,
+        -2.759_285_104_469_687e+02,
+        1.383_577_518_672_690e+02,
+        -3.066_479_806_614_716e+01,
+        2.506_628_277_459_239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e+01,
+        1.615_858_368_580_409e+02,
+        -1.556_989_798_598_866e+02,
+        6.680_131_188_771_972e+01,
+        -1.328_068_155_288_572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-03,
+        -3.223_964_580_411_365e-01,
+        -2.400_758_277_161_838e+00,
+        -2.549_732_539_343_734e+00,
+        4.374_664_141_464_968e+00,
+        2.938_163_982_698_783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-03,
+        3.224_671_290_700_398e-01,
+        2.445_134_137_142_996e+00,
+        3.754_408_661_907_416e+00,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The two-sided critical value `c` such that `Pr(|Z| > c) = alpha`
+/// (Eq. 7 of the paper: `c = Φ⁻¹(1 − α/2)`).
+///
+/// # Panics
+///
+/// Panics unless `0 < alpha < 1`.
+pub fn two_sided_critical_value(alpha: f64) -> f64 {
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "significance level must be strictly between 0 and 1, got {alpha}"
+    );
+    quantile(1.0 - alpha / 2.0)
+}
+
+/// Complementary error function via the Abramowitz & Stegun 7.1.26
+/// approximation, extended to the full real line by symmetry.
+fn erfc(x: f64) -> f64 {
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * ax);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erfc_pos = poly * (-ax * ax).exp();
+    if x >= 0.0 {
+        erfc_pos
+    } else {
+        2.0 - erfc_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_at_known_points() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((cdf(-1.0) - 0.158_655_254).abs() < 1e-6);
+        assert!((cdf(1.959_963_985) - 0.975).abs() < 1e-6);
+        assert!((cdf(2.575_829_304) - 0.995).abs() < 1e-6);
+        assert!(cdf(8.0) > 0.999_999_99);
+        assert!(cdf(-8.0) < 1e-8);
+    }
+
+    #[test]
+    fn survival_complements_cdf() {
+        for &z in &[-3.0, -1.0, 0.0, 0.5, 2.0, 4.0] {
+            assert!((survival(z) + cdf(z) - 1.0).abs() < 1e-9, "z={z}");
+        }
+    }
+
+    #[test]
+    fn quantile_at_known_points() {
+        assert!((quantile(0.5)).abs() < 1e-9);
+        assert!((quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((quantile(0.995) - 2.575_829_304).abs() < 1e-6);
+        assert!((quantile(0.9) - 1.281_551_566).abs() < 1e-6);
+        assert!((quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((quantile(1e-6) + 4.753_424).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        // The round trip is limited by the CDF approximation (~1.5e-7).
+        for &p in &[0.001, 0.01, 0.1, 0.2, 0.5, 0.8, 0.9, 0.99, 0.999] {
+            let z = quantile(p);
+            assert!((cdf(z) - p).abs() < 1e-6, "p={p}, z={z}, cdf={}", cdf(z));
+        }
+    }
+
+    #[test]
+    fn two_sided_critical_values_match_tables() {
+        // alpha = 0.05 -> 1.96, alpha = 0.20 -> 1.2816, alpha = 0.01 -> 2.5758.
+        assert!((two_sided_critical_value(0.05) - 1.959_963_985).abs() < 1e-6);
+        assert!((two_sided_critical_value(0.20) - 1.281_551_566).abs() < 1e-6);
+        assert!((two_sided_critical_value(0.01) - 2.575_829_304).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((pdf(1.3) - pdf(-1.3)).abs() < 1e-15);
+        assert!(pdf(0.0) > pdf(0.1));
+        assert!((pdf(0.0) - 0.398_942_280).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between 0 and 1")]
+    fn quantile_rejects_zero() {
+        quantile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between 0 and 1")]
+    fn critical_value_rejects_one() {
+        two_sided_critical_value(1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        let mut z = -6.0;
+        while z <= 6.0 {
+            let c = cdf(z);
+            assert!(c >= prev);
+            prev = c;
+            z += 0.01;
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The ordinary runs test for randomness (Section III.A of the paper).
+//!
+//! The test dichotomises an ordered sequence about its median: values below
+//! the median become symbol A, the remaining values symbol B (the paper's
+//! convention). Under the randomness hypothesis the number of runs `U` is
+//! asymptotically normal with
+//!
+//! ```text
+//! E[U]  = 1 + 2mn/N
+//! Var U = 2mn(2mn − N) / (N²(N−1))
+//! ```
+//!
+//! where `m` and `n` are the symbol counts and `N = m + n`. The test
+//! statistic `z` applies a continuity correction of 0.5 (Eq. 4) and is
+//! compared against the two-sided critical value of the chosen significance
+//! level (Eqs. 5–7). Too *few* runs indicate clustering (positive temporal
+//! correlation — the situation in consecutive-cycle power sequences); too
+//! *many* runs indicate alternation (negative correlation).
+
+use crate::hypothesis::SignificanceLevel;
+
+/// Result of evaluating the runs test on one sequence.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunsTestOutcome {
+    /// The continuity-corrected test statistic of Eq. (4).
+    pub z: f64,
+    /// Observed number of runs `U`.
+    pub runs: usize,
+    /// Number of values strictly below the median (symbol A count, `m`).
+    pub below: usize,
+    /// Number of values at or above the median (symbol B count, `n`).
+    pub above: usize,
+    /// Expected number of runs under the randomness hypothesis.
+    pub expected_runs: f64,
+    /// Whether the randomness hypothesis is accepted at the configured
+    /// significance level.
+    pub accepted: bool,
+    /// `true` when the sequence could not be meaningfully dichotomised (all
+    /// values on one side of the median); such sequences are treated as
+    /// degenerate and accepted with `z = 0`.
+    pub degenerate: bool,
+}
+
+/// The ordinary runs test at a fixed significance level.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunsTest {
+    significance: SignificanceLevel,
+}
+
+impl Default for RunsTest {
+    /// Uses the paper's significance level α = 0.20.
+    fn default() -> Self {
+        RunsTest {
+            significance: SignificanceLevel::default(),
+        }
+    }
+}
+
+impl RunsTest {
+    /// Creates a runs test with significance level `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        RunsTest {
+            significance: SignificanceLevel::new(alpha),
+        }
+    }
+
+    /// Creates a runs test from an existing [`SignificanceLevel`].
+    pub fn with_significance(significance: SignificanceLevel) -> Self {
+        RunsTest { significance }
+    }
+
+    /// The configured significance level.
+    pub fn significance(&self) -> SignificanceLevel {
+        self.significance
+    }
+
+    /// Evaluates the test on an ordered data sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence has fewer than 2 elements or contains NaN.
+    pub fn evaluate(&self, sequence: &[f64]) -> RunsTestOutcome {
+        assert!(
+            sequence.len() >= 2,
+            "runs test requires at least two observations, got {}",
+            sequence.len()
+        );
+        assert!(
+            sequence.iter().all(|x| !x.is_nan()),
+            "runs test input must not contain NaN"
+        );
+
+        let median = crate::descriptive::median(sequence);
+        // Symbol A: strictly below the median; symbol B: everything else
+        // (the paper's dichotomising convention).
+        let symbols: Vec<bool> = sequence.iter().map(|&x| x >= median).collect();
+        let above = symbols.iter().filter(|&&s| s).count();
+        let below = symbols.len() - above;
+
+        if below == 0 || above == 0 {
+            // Constant (or near-constant) sequence: no dichotomy exists. Such
+            // a power sequence carries no evidence of temporal correlation;
+            // treat it as random.
+            return RunsTestOutcome {
+                z: 0.0,
+                runs: 1,
+                below,
+                above,
+                expected_runs: 1.0,
+                accepted: true,
+                degenerate: true,
+            };
+        }
+
+        let runs = 1 + symbols.windows(2).filter(|w| w[0] != w[1]).count();
+
+        let m = below as f64;
+        let n = above as f64;
+        let total = m + n;
+        let expected = 1.0 + 2.0 * m * n / total;
+        let variance = 2.0 * m * n * (2.0 * m * n - total) / (total * total * (total - 1.0));
+        let std_dev = variance.max(0.0).sqrt();
+
+        let u = runs as f64;
+        let z = if std_dev == 0.0 {
+            0.0
+        } else if u < expected {
+            (u + 0.5 - expected) / std_dev
+        } else if u > expected {
+            (u - 0.5 - expected) / std_dev
+        } else {
+            0.0
+        };
+
+        RunsTestOutcome {
+            z,
+            runs,
+            below,
+            above,
+            expected_runs: expected,
+            accepted: self.significance.accepts(z),
+            degenerate: false,
+        }
+    }
+}
+
+/// Counts the runs in a boolean symbol sequence. Exposed for tests and for
+/// callers that dichotomise by their own criterion.
+pub fn count_runs(symbols: &[bool]) -> usize {
+    if symbols.is_empty() {
+        return 0;
+    }
+    1 + symbols.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_runs_basic() {
+        assert_eq!(count_runs(&[]), 0);
+        assert_eq!(count_runs(&[true]), 1);
+        assert_eq!(count_runs(&[true, true, true]), 1);
+        assert_eq!(count_runs(&[true, false, true, false]), 4);
+        assert_eq!(count_runs(&[true, true, false, false, true]), 3);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // Sequence: A A B B (values 1 1 2 2, median = 1.5).
+        // m = 2 (below), n = 2 (>= median), N = 4, U = 2.
+        // E[U] = 1 + 2*2*2/4 = 3, Var = 2*4*(8-4)/(16*3) = 32/48 = 2/3.
+        // z = (2 + 0.5 - 3)/sqrt(2/3) = -0.5/0.8165 = -0.6124.
+        let outcome = RunsTest::new(0.2).evaluate(&[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(outcome.runs, 2);
+        assert_eq!(outcome.below, 2);
+        assert_eq!(outcome.above, 2);
+        assert!((outcome.expected_runs - 3.0).abs() < 1e-12);
+        assert!((outcome.z + 0.612_372_435).abs() < 1e-6);
+        assert!(outcome.accepted); // |z| = 0.61 < 1.28
+        assert!(!outcome.degenerate);
+    }
+
+    #[test]
+    fn clustered_sequence_is_rejected() {
+        // 50 small values followed by 50 large values: exactly 2 runs, far
+        // fewer than the expected 51.
+        let xs: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 1.0 }).collect();
+        let outcome = RunsTest::new(0.05).evaluate(&xs);
+        assert_eq!(outcome.runs, 2);
+        assert!(outcome.z < -5.0);
+        assert!(!outcome.accepted);
+    }
+
+    #[test]
+    fn alternating_sequence_is_rejected() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let outcome = RunsTest::new(0.05).evaluate(&xs);
+        assert_eq!(outcome.runs, 100);
+        assert!(outcome.z > 5.0);
+        assert!(!outcome.accepted);
+    }
+
+    #[test]
+    fn iid_sequence_is_usually_accepted() {
+        // A fixed pseudo-random sequence (LCG) — i.i.d. uniform, so the test
+        // should accept at the 5% level.
+        let mut state: u64 = 88172645463325252;
+        let xs: Vec<f64> = (0..320)
+            .map(|_| {
+                // xorshift64
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 10_000) as f64 / 10_000.0
+            })
+            .collect();
+        let outcome = RunsTest::new(0.05).evaluate(&xs);
+        assert!(
+            outcome.accepted,
+            "i.i.d. sequence rejected with z = {}",
+            outcome.z
+        );
+    }
+
+    #[test]
+    fn constant_sequence_is_degenerate_but_accepted() {
+        let outcome = RunsTest::default().evaluate(&[3.0; 50]);
+        assert!(outcome.degenerate);
+        assert!(outcome.accepted);
+        assert_eq!(outcome.z, 0.0);
+    }
+
+    #[test]
+    fn significance_level_controls_acceptance() {
+        // Build a moderately non-random sequence whose |z| lands between the
+        // 0.20 and 0.01 critical values (1.28 and 2.58): 40 values, 20/20
+        // split, 16 runs (4 runs of length 4 followed by 12 runs of length 2)
+        // against an expectation of 21 runs, giving z ≈ -1.44.
+        let mut xs: Vec<f64> = Vec::new();
+        for block in 0..4 {
+            xs.extend(std::iter::repeat((block % 2) as f64).take(4));
+        }
+        for block in 0..12 {
+            xs.extend(std::iter::repeat((block % 2) as f64).take(2));
+        }
+        let z = RunsTest::new(0.2).evaluate(&xs).z;
+        assert!(z.abs() > 1.28 && z.abs() < 2.58, "z = {z} not in the target band");
+        assert!(!RunsTest::new(0.2).evaluate(&xs).accepted);
+        assert!(RunsTest::new(0.01).evaluate(&xs).accepted);
+    }
+
+    #[test]
+    fn default_uses_paper_significance() {
+        let t = RunsTest::default();
+        assert_eq!(t.significance().alpha(), 0.20);
+        let t2 = RunsTest::with_significance(SignificanceLevel::new(0.1));
+        assert_eq!(t2.significance().alpha(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two observations")]
+    fn single_element_panics() {
+        RunsTest::default().evaluate(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_input_panics() {
+        RunsTest::default().evaluate(&[1.0, f64::NAN, 2.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The acceptance rate of the runs test on genuinely i.i.d. data is
+        /// roughly 1 − α: over many seeds, an i.i.d. sequence should rarely be
+        /// rejected at a strict level. We assert per-case acceptance at a very
+        /// loose level (α so small that false rejections are vanishingly rare).
+        #[test]
+        fn iid_data_is_rarely_rejected(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+            let outcome = RunsTest::new(1e-6).evaluate(&xs);
+            prop_assert!(outcome.accepted, "z = {}", outcome.z);
+        }
+
+        /// |z| is invariant under affine transformations of the data (the test
+        /// only depends on the relation of each value to the median).
+        #[test]
+        fn affine_invariance(
+            seed in 0u64..1000,
+            scale in 0.1f64..100.0,
+            offset in -100.0f64..100.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..64).map(|_| rng.gen::<f64>()).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| scale * x + offset).collect();
+            let a = RunsTest::default().evaluate(&xs);
+            let b = RunsTest::default().evaluate(&ys);
+            prop_assert!((a.z - b.z).abs() < 1e-9);
+            prop_assert_eq!(a.runs, b.runs);
+        }
+
+        /// The statistic is finite and the counts are consistent for any
+        /// non-degenerate input.
+        #[test]
+        fn outcome_is_well_formed(xs in proptest::collection::vec(0.0f64..1.0, 2..300)) {
+            let outcome = RunsTest::default().evaluate(&xs);
+            prop_assert!(outcome.z.is_finite());
+            prop_assert_eq!(outcome.below + outcome.above, xs.len());
+            prop_assert!(outcome.runs >= 1 && outcome.runs <= xs.len());
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Stopping criteria for sequential mean estimation (Section IV of the paper).
+//!
+//! A stopping criterion watches a growing random sample of per-cycle power
+//! values and decides when the estimate of the mean has reached the requested
+//! accuracy: a maximum relative error `ε` with confidence `1 − δ`
+//! (the paper uses ε = 5 %, confidence 0.99).
+//!
+//! Three criteria are provided:
+//!
+//! * [`NormalCriterion`] — the classical Monte-Carlo criterion based on the
+//!   central limit theorem (Burch *et al.*, Najm *et al.* — refs. [1], [11]
+//!   of the paper). Parametric but, for the sample sizes involved, very close
+//!   to exact; this is the default used by the reproduction harness because
+//!   its sample-size behaviour matches the sizes reported in Table 1.
+//! * [`OrderStatisticCriterion`] — a distribution-free criterion built on the
+//!   binomial confidence interval for the median (order statistics), standing
+//!   in for the criterion of ref. [7] whose derivation is not contained in
+//!   this paper (see DESIGN.md §5).
+//! * [`DkwCriterion`] — a conservative distribution-free criterion based on
+//!   the Dvoretzky–Kiefer–Wolfowitz bound on the empirical CDF.
+//!
+//! All criteria implement [`StoppingCriterion`], so the estimator is generic
+//! over the choice.
+
+use crate::descriptive::{self, RunningStats};
+use crate::normal;
+
+/// The verdict of a stopping criterion on the sample collected so far.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StoppingDecision {
+    /// `true` when the accuracy specification is met and sampling may stop.
+    pub satisfied: bool,
+    /// The current point estimate of the mean.
+    pub estimate: f64,
+    /// The estimated relative half-width of the confidence interval around
+    /// the estimate (`∞` when it cannot be computed yet).
+    pub relative_half_width: f64,
+    /// Number of observations the decision is based on.
+    pub sample_size: usize,
+}
+
+/// A sequential stopping rule for mean estimation.
+pub trait StoppingCriterion {
+    /// A short human-readable name (used in reports and experiment logs).
+    fn name(&self) -> &'static str;
+
+    /// The target maximum relative error ε.
+    fn relative_error(&self) -> f64;
+
+    /// The target confidence level `1 − δ`.
+    fn confidence(&self) -> f64;
+
+    /// Evaluates the criterion on the sample collected so far.
+    fn evaluate(&self, sample: &[f64]) -> StoppingDecision;
+}
+
+fn validate_spec(relative_error: f64, confidence: f64, min_samples: usize) {
+    assert!(
+        relative_error > 0.0 && relative_error < 1.0,
+        "relative error must be in (0, 1), got {relative_error}"
+    );
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1), got {confidence}"
+    );
+    assert!(min_samples >= 2, "at least two samples are required");
+}
+
+/// CLT-based stopping criterion: stop when
+/// `z_{1−δ/2} · s / (√n · x̄) < ε`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NormalCriterion {
+    relative_error: f64,
+    confidence: f64,
+    min_samples: usize,
+}
+
+impl NormalCriterion {
+    /// Creates a CLT criterion with the given accuracy specification and a
+    /// minimum sample size before stopping is allowed (guards against
+    /// spuriously small variance estimates early on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is out of range.
+    pub fn new(relative_error: f64, confidence: f64, min_samples: usize) -> Self {
+        validate_spec(relative_error, confidence, min_samples);
+        NormalCriterion {
+            relative_error,
+            confidence,
+            min_samples,
+        }
+    }
+
+    /// The paper's specification: 5 % maximum error with 0.99 confidence,
+    /// with a minimum of 64 samples.
+    pub fn paper_default() -> Self {
+        NormalCriterion::new(0.05, 0.99, 64)
+    }
+
+    /// The minimum number of samples before the criterion can be satisfied.
+    pub fn min_samples(&self) -> usize {
+        self.min_samples
+    }
+
+    /// Predicts the total sample size needed for a population with the given
+    /// coefficient of variation — `n ≈ (z·cov/ε)²`. Useful for planning and
+    /// for tests.
+    pub fn predicted_sample_size(&self, coefficient_of_variation: f64) -> usize {
+        let z = normal::quantile(0.5 + self.confidence / 2.0);
+        ((z * coefficient_of_variation / self.relative_error).powi(2)).ceil() as usize
+    }
+}
+
+impl StoppingCriterion for NormalCriterion {
+    fn name(&self) -> &'static str {
+        "normal (CLT)"
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.relative_error
+    }
+
+    fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    fn evaluate(&self, sample: &[f64]) -> StoppingDecision {
+        let stats: RunningStats = sample.iter().copied().collect();
+        let n = stats.count() as usize;
+        let estimate = stats.mean();
+        if n < self.min_samples || estimate <= 0.0 {
+            return StoppingDecision {
+                satisfied: false,
+                estimate,
+                relative_half_width: f64::INFINITY,
+                sample_size: n,
+            };
+        }
+        let z = normal::quantile(0.5 + self.confidence / 2.0);
+        let half_width = z * stats.std_error();
+        let relative = half_width / estimate;
+        StoppingDecision {
+            satisfied: relative < self.relative_error,
+            estimate,
+            relative_half_width: relative,
+            sample_size: n,
+        }
+    }
+}
+
+/// Distribution-free criterion based on the binomial confidence interval for
+/// the median.
+///
+/// The interval `[x_(l), x_(u)]` with
+/// `l = ⌊(n − z√n)/2⌋` and `u = ⌈(n + z√n)/2⌉ + 1` (clamped to the sample)
+/// covers the population median with probability at least `1 − δ`
+/// (normal approximation to the binomial). The criterion stops when the
+/// half-width of this interval, relative to the sample median, is below ε.
+/// For the mildly skewed, unimodal per-cycle power distributions observed in
+/// practice the median tracks the mean closely, which is why this
+/// distribution-independent rule achieves comparable accuracy — exactly the
+/// trade-off the paper attributes to its nonparametric criterion [7].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OrderStatisticCriterion {
+    relative_error: f64,
+    confidence: f64,
+    min_samples: usize,
+}
+
+impl OrderStatisticCriterion {
+    /// Creates an order-statistic criterion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is out of range.
+    pub fn new(relative_error: f64, confidence: f64, min_samples: usize) -> Self {
+        validate_spec(relative_error, confidence, min_samples);
+        OrderStatisticCriterion {
+            relative_error,
+            confidence,
+            min_samples,
+        }
+    }
+
+    /// The paper's accuracy specification (5 %, 0.99) with a 64-sample floor.
+    pub fn paper_default() -> Self {
+        OrderStatisticCriterion::new(0.05, 0.99, 64)
+    }
+}
+
+impl StoppingCriterion for OrderStatisticCriterion {
+    fn name(&self) -> &'static str {
+        "order statistics (median CI)"
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.relative_error
+    }
+
+    fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    fn evaluate(&self, sample: &[f64]) -> StoppingDecision {
+        let n = sample.len();
+        let estimate = if n == 0 { 0.0 } else { descriptive::median(sample) };
+        if n < self.min_samples || estimate <= 0.0 {
+            return StoppingDecision {
+                satisfied: false,
+                estimate,
+                relative_half_width: f64::INFINITY,
+                sample_size: n,
+            };
+        }
+        let z = normal::quantile(0.5 + self.confidence / 2.0);
+        let nf = n as f64;
+        let spread = z * nf.sqrt();
+        let lower_rank = (((nf - spread) / 2.0).floor().max(1.0)) as usize;
+        let upper_rank = ((((nf + spread) / 2.0).ceil() + 1.0).min(nf)) as usize;
+        let lower = descriptive::order_statistic(sample, lower_rank);
+        let upper = descriptive::order_statistic(sample, upper_rank);
+        let half_width = 0.5 * (upper - lower);
+        let relative = half_width / estimate;
+        StoppingDecision {
+            satisfied: relative < self.relative_error,
+            estimate,
+            relative_half_width: relative,
+            sample_size: n,
+        }
+    }
+}
+
+/// Conservative distribution-free criterion based on the
+/// Dvoretzky–Kiefer–Wolfowitz inequality.
+///
+/// With probability `1 − δ`, the empirical CDF is uniformly within
+/// `ε_n = √(ln(2/δ)/(2n))` of the true CDF. For a distribution supported on
+/// the observed range `[min, max]`, the mean of any distribution compatible
+/// with that band differs from the sample mean by at most
+/// `ε_n · (max − min)`. The criterion stops when that bound, relative to the
+/// sample mean, is below ε. It needs larger samples than the CLT rule but
+/// makes no distributional assumption at all.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DkwCriterion {
+    relative_error: f64,
+    confidence: f64,
+    min_samples: usize,
+}
+
+impl DkwCriterion {
+    /// Creates a DKW criterion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is out of range.
+    pub fn new(relative_error: f64, confidence: f64, min_samples: usize) -> Self {
+        validate_spec(relative_error, confidence, min_samples);
+        DkwCriterion {
+            relative_error,
+            confidence,
+            min_samples,
+        }
+    }
+
+    /// The paper's accuracy specification (5 %, 0.99) with a 64-sample floor.
+    pub fn paper_default() -> Self {
+        DkwCriterion::new(0.05, 0.99, 64)
+    }
+
+    /// The DKW band half-width `ε_n` for a sample of size `n`.
+    pub fn band_half_width(&self, n: usize) -> f64 {
+        let delta = 1.0 - self.confidence;
+        ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+    }
+}
+
+impl StoppingCriterion for DkwCriterion {
+    fn name(&self) -> &'static str {
+        "Dvoretzky-Kiefer-Wolfowitz"
+    }
+
+    fn relative_error(&self) -> f64 {
+        self.relative_error
+    }
+
+    fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    fn evaluate(&self, sample: &[f64]) -> StoppingDecision {
+        let stats: RunningStats = sample.iter().copied().collect();
+        let n = stats.count() as usize;
+        let estimate = stats.mean();
+        if n < self.min_samples || estimate <= 0.0 {
+            return StoppingDecision {
+                satisfied: false,
+                estimate,
+                relative_half_width: f64::INFINITY,
+                sample_size: n,
+            };
+        }
+        let range = stats.max() - stats.min();
+        let half_width = self.band_half_width(n) * range;
+        let relative = half_width / estimate;
+        StoppingDecision {
+            satisfied: relative < self.relative_error,
+            estimate,
+            relative_half_width: relative,
+            sample_size: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+        // Box-Muller from a seeded RNG.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + sd * z
+            })
+            .collect()
+    }
+
+    #[test]
+    fn normal_criterion_stops_on_tight_samples() {
+        let crit = NormalCriterion::new(0.05, 0.99, 32);
+        // cov = 0.1: predicted n ≈ (2.576*0.1/0.05)^2 ≈ 27 -> min_samples governs.
+        let sample = normal_sample(200, 10.0, 1.0, 1);
+        let decision = crit.evaluate(&sample);
+        assert!(decision.satisfied);
+        assert!(decision.relative_half_width < 0.05);
+        assert!((decision.estimate - 10.0).abs() < 0.5);
+        assert_eq!(decision.sample_size, 200);
+    }
+
+    #[test]
+    fn normal_criterion_keeps_sampling_noisy_data() {
+        let crit = NormalCriterion::new(0.01, 0.99, 16);
+        let sample = normal_sample(100, 10.0, 5.0, 2);
+        assert!(!crit.evaluate(&sample).satisfied);
+    }
+
+    #[test]
+    fn normal_criterion_respects_min_samples() {
+        let crit = NormalCriterion::new(0.05, 0.99, 128);
+        let sample = normal_sample(100, 10.0, 0.01, 3);
+        let d = crit.evaluate(&sample);
+        assert!(!d.satisfied);
+        assert!(d.relative_half_width.is_infinite());
+        assert_eq!(crit.min_samples(), 128);
+    }
+
+    #[test]
+    fn predicted_sample_size_has_right_order() {
+        let crit = NormalCriterion::new(0.05, 0.99, 16);
+        // cov 0.5 -> (2.576*0.5/0.05)^2 ≈ 664.
+        let n = crit.predicted_sample_size(0.5);
+        assert!(n > 600 && n < 700, "n = {n}");
+    }
+
+    #[test]
+    fn sample_size_grows_with_variance_for_all_criteria() {
+        let criteria: Vec<Box<dyn StoppingCriterion>> = vec![
+            Box::new(NormalCriterion::new(0.05, 0.99, 16)),
+            Box::new(OrderStatisticCriterion::new(0.05, 0.99, 16)),
+            Box::new(DkwCriterion::new(0.05, 0.99, 16)),
+        ];
+        for crit in &criteria {
+            let tight = normal_sample(400, 10.0, 0.2, 7);
+            let noisy = normal_sample(400, 10.0, 4.0, 7);
+            let d_tight = crit.evaluate(&tight);
+            let d_noisy = crit.evaluate(&noisy);
+            assert!(
+                d_tight.relative_half_width < d_noisy.relative_half_width,
+                "{}: tighter data must give a tighter interval",
+                crit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn order_statistic_criterion_stops_eventually() {
+        let crit = OrderStatisticCriterion::new(0.05, 0.99, 32);
+        let sample = normal_sample(2000, 10.0, 1.0, 9);
+        let d = crit.evaluate(&sample);
+        assert!(d.satisfied, "relative width = {}", d.relative_half_width);
+        // The estimate is the median, close to 10.
+        assert!((d.estimate - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn dkw_criterion_is_most_conservative() {
+        let spec = (0.05, 0.99, 32);
+        let sample = normal_sample(500, 10.0, 1.0, 11);
+        let normal_w = NormalCriterion::new(spec.0, spec.1, spec.2)
+            .evaluate(&sample)
+            .relative_half_width;
+        let dkw_w = DkwCriterion::new(spec.0, spec.1, spec.2)
+            .evaluate(&sample)
+            .relative_half_width;
+        assert!(dkw_w > normal_w);
+    }
+
+    #[test]
+    fn dkw_band_shrinks_with_n() {
+        let crit = DkwCriterion::paper_default();
+        assert!(crit.band_half_width(1000) < crit.band_half_width(100));
+        // Known value: delta = 0.01 -> ln(200)/2n; n=100 -> sqrt(5.298/200) ≈ 0.1628.
+        assert!((crit.band_half_width(100) - 0.1628).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_defaults_have_paper_spec() {
+        for crit in [
+            &NormalCriterion::paper_default() as &dyn StoppingCriterion,
+            &OrderStatisticCriterion::paper_default(),
+            &DkwCriterion::paper_default(),
+        ] {
+            assert_eq!(crit.relative_error(), 0.05);
+            assert_eq!(crit.confidence(), 0.99);
+            assert!(!crit.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_mean_sample_never_satisfies() {
+        let crit = NormalCriterion::new(0.05, 0.99, 4);
+        let d = crit.evaluate(&[0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(!d.satisfied);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative error")]
+    fn invalid_spec_rejected() {
+        NormalCriterion::new(0.0, 0.99, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn invalid_confidence_rejected() {
+        DkwCriterion::new(0.05, 1.0, 16);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Monotonicity: adding more i.i.d. data never loosens the CLT
+        /// interval dramatically; in particular once a large sample satisfies
+        /// the criterion, doubling it still satisfies it.
+        #[test]
+        fn normal_criterion_is_stable_under_growth(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base: Vec<f64> = (0..512).map(|_| 5.0 + rng.gen::<f64>()).collect();
+            let crit = NormalCriterion::new(0.05, 0.99, 32);
+            let half = crit.evaluate(&base[..256]);
+            let full = crit.evaluate(&base);
+            if half.satisfied {
+                prop_assert!(full.satisfied);
+            }
+            prop_assert!(full.sample_size == 512);
+        }
+
+        /// For uniformly distributed positive data, all three criteria are
+        /// eventually satisfied with a big enough sample, and their reported
+        /// half-widths are non-negative.
+        #[test]
+        fn criteria_eventually_satisfied(seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sample: Vec<f64> = (0..6000).map(|_| 2.0 + rng.gen::<f64>()).collect();
+            for crit in [
+                &NormalCriterion::new(0.05, 0.95, 32) as &dyn StoppingCriterion,
+                &OrderStatisticCriterion::new(0.05, 0.95, 32),
+                &DkwCriterion::new(0.05, 0.95, 32),
+            ] {
+                let d = crit.evaluate(&sample);
+                prop_assert!(d.satisfied, "{} not satisfied", crit.name());
+                prop_assert!(d.relative_half_width >= 0.0);
+            }
+        }
+    }
+}

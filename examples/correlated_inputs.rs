@@ -1,0 +1,68 @@
+//! Demonstrates that DIPE handles correlated input streams "without any extra
+//! work" (Section V of the paper): the same estimator is run under
+//! independent, temporally correlated and spatially correlated input models,
+//! and each estimate is checked against its own long-simulation reference.
+//!
+//! Correlated inputs change the average power (and typically lengthen the
+//! independence interval), but the estimate still tracks the reference within
+//! the accuracy specification because the method makes no assumption about
+//! the input statistics.
+//!
+//! ```text
+//! cargo run --release --example correlated_inputs
+//! ```
+
+use dipe::input::InputModel;
+use dipe::report::TextTable;
+use dipe::{DipeConfig, DipeEstimator, LongSimulationReference};
+use netlist::iscas89;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = iscas89::load("s298")?;
+    let config = DipeConfig::default().with_seed(11);
+
+    let models: Vec<(&str, InputModel)> = vec![
+        ("independent p=0.5", InputModel::uniform()),
+        ("independent p=0.2", InputModel::independent(0.2)),
+        (
+            "temporally correlated (rho=0.8)",
+            InputModel::TemporallyCorrelated {
+                p_one: 0.5,
+                correlation: 0.8,
+            },
+        ),
+        (
+            "spatially correlated (groups of 3)",
+            InputModel::SpatiallyCorrelated {
+                p_one: 0.5,
+                group_size: 3,
+                flip_probability: 0.05,
+            },
+        ),
+    ];
+
+    let mut table = TextTable::new(&[
+        "Input model", "Reference (mW)", "DIPE (mW)", "I.I.", "Sample", "Dev (%)",
+    ]);
+
+    for (label, model) in models {
+        let reference = LongSimulationReference::new(20_000).run(&circuit, &config, &model)?;
+        let result = DipeEstimator::new(&circuit, config.clone(), model)?.run()?;
+        table.add_row(&[
+            label.to_string(),
+            format!("{:.3}", reference.mean_power_mw()),
+            format!("{:.3}", result.mean_power_mw()),
+            result.independence_interval().to_string(),
+            result.sample_size().to_string(),
+            format!(
+                "{:.2}",
+                100.0 * result.relative_deviation_from(reference.mean_power_w())
+            ),
+        ]);
+    }
+
+    println!("circuit {}: {}", circuit.name(), circuit.stats());
+    println!("{table}");
+    println!("(every row uses the same estimator configuration; only the input model differs)");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The "first approach" of Section III: explicit FSM analysis. For a small
+//! circuit the state transition graph can be extracted exhaustively, the
+//! Chapman–Kolmogorov equations solved for the stationary state
+//! probabilities, and the warm-up behaviour quantified — exactly the
+//! machinery the paper argues is intractable for large circuits and replaces
+//! with the runs-test procedure.
+//!
+//! ```text
+//! cargo run --release --example fsm_analysis
+//! ```
+
+use dipe::input::InputModel;
+use dipe::{DipeConfig, DipeEstimator};
+use markov::{warmup, StateTransitionGraph};
+use netlist::iscas89;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = iscas89::load("s27")?;
+    println!("circuit {}: {}", circuit.name(), circuit.stats());
+
+    // Exhaustive STG extraction (2^3 = 8 states for s27).
+    let stg = StateTransitionGraph::extract(&circuit, 0.5)?;
+    let chain = stg.chain();
+    println!("\nstate transition matrix ({} states):", chain.num_states());
+    for i in 0..chain.num_states() {
+        let row: Vec<String> = (0..chain.num_states())
+            .map(|j| format!("{:.3}", chain.probability(i, j)))
+            .collect();
+        println!("  state {i:03b}: [{}]", row.join(", "));
+    }
+
+    let pi = stg.stationary_state_probabilities();
+    println!("\nstationary state probabilities (Chapman-Kolmogorov fixed point):");
+    for (state, p) in pi.iter().enumerate() {
+        println!("  state {state:03b}: {p:.4}");
+    }
+    println!(
+        "per-latch stationary one-probabilities: {:?}",
+        stg.stationary_bit_probabilities()
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+
+    // How fast does this FSM mix?
+    let lambda2 = chain.second_eigenvalue_modulus(500);
+    let spectral = warmup::spectral_warmup_bound(chain, 0.01);
+    let empirical =
+        warmup::empirical_warmup(chain, &chain.point_distribution(0), 0.01, 10_000).unwrap();
+    let conservative = warmup::conservative_warmup(0.01, 0.05);
+    println!("\nmixing analysis:");
+    println!("  |lambda_2|                      = {lambda2:.4}");
+    println!("  spectral warm-up bound (1%)     = {spectral} cycles");
+    println!("  empirical warm-up from state 0  = {empirical} cycles");
+    println!("  conservative (Chou-Roy) warm-up = {conservative} cycles");
+
+    // And what does DIPE pick, without ever looking at the FSM?
+    let result = DipeEstimator::new(
+        &circuit,
+        DipeConfig::default().with_seed(3),
+        InputModel::uniform(),
+    )?
+    .run()?;
+    println!(
+        "\nDIPE independence interval (runs test, no FSM knowledge): {} cycles",
+        result.independence_interval()
+    );
+    println!(
+        "DIPE estimate: {:.4} mW from {} samples",
+        result.mean_power_mw(),
+        result.sample_size()
+    );
+    println!(
+        "\nThe dynamically selected interval is close to the true mixing behaviour of the\n\
+         FSM, while the a-priori conservative warm-up overshoots it by two orders of\n\
+         magnitude — the efficiency argument of the paper."
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the DIPE reproduction workspace.
+//!
+//! This crate exists to host the workspace-level [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and cross-crate integration tests. It re-exports the public surface of the
+//! member crates so examples can use a single import root.
+//!
+//! The actual library lives in the member crates:
+//!
+//! * [`netlist`] — gate-level circuit model, `.bench` I/O, synthetic ISCAS'89-like generator
+//! * [`logicsim`] — zero-delay and event-driven variable-delay logic simulation
+//! * [`power`] — capacitance / technology / per-cycle power model
+//! * [`seqstats`] — runs test, normal quantiles, stopping criteria
+//! * [`markov`] — FSM / Markov-chain analysis substrate
+//! * [`dipe`] — the paper's estimator (independence-interval selection + sampling)
+//!
+//! # Quick start
+//!
+//! ```
+//! use dipe::{DipeConfig, DipeEstimator};
+//! use dipe::input::InputModel;
+//! use netlist::iscas89;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = iscas89::load("s27")?;
+//! let config = DipeConfig::default().with_seed(7);
+//! let result = DipeEstimator::new(&circuit, config, InputModel::uniform())?.run()?;
+//! println!("average power: {:.3} mW", result.mean_power_mw());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dipe;
+pub use logicsim;
+pub use markov;
+pub use netlist;
+pub use power;
+pub use seqstats;

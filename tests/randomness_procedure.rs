@@ -1,0 +1,153 @@
+//! Integration tests of the independence-interval machinery: the runs test on
+//! real power sequences, the Figure-3 z-profile shape, and cross-checks
+//! against autocorrelation diagnostics.
+
+use dipe::independence::{select_independence_interval, z_statistic_profile};
+use dipe::input::InputModel;
+use dipe::{DipeConfig, PowerSampler};
+use netlist::iscas89;
+use seqstats::autocorr;
+use seqstats::runs_test::RunsTest;
+
+fn sampler<'c>(
+    circuit: &'c netlist::Circuit,
+    config: &DipeConfig,
+) -> PowerSampler<'c> {
+    let mut s = PowerSampler::new(circuit, config, &InputModel::uniform(), 0).unwrap();
+    s.advance(config.warmup_cycles);
+    s
+}
+
+#[test]
+fn consecutive_power_sequence_is_temporally_correlated() {
+    // The premise of the paper: per-cycle power of a sequential circuit is
+    // NOT an i.i.d. sequence. Check that consecutive-cycle power from s298
+    // carries positive lag-1 autocorrelation, while a subsampled sequence at
+    // a few cycles of separation carries much less.
+    let circuit = iscas89::load("s298").unwrap();
+    let config = DipeConfig::default().with_seed(42);
+    let mut s = sampler(&circuit, &config);
+    let consecutive = s.measure_consecutive_cycles_w(4_000);
+    let rho1 = autocorr::autocorrelation(&consecutive, 1);
+    assert!(
+        rho1 > 0.05,
+        "expected positive lag-1 autocorrelation in consecutive power, got {rho1:.3}"
+    );
+
+    let mut s2 = sampler(&circuit, &config);
+    let spaced = s2.collect_sequence(4_000, 4);
+    let rho_spaced = autocorr::autocorrelation(&spaced, 1);
+    assert!(
+        rho_spaced.abs() < rho1,
+        "separating samples should reduce correlation: {rho_spaced:.3} vs {rho1:.3}"
+    );
+}
+
+#[test]
+fn selected_interval_yields_sequences_that_pass_the_runs_test() {
+    let circuit = iscas89::load("s298").unwrap();
+    let config = DipeConfig::default().with_seed(9);
+    let mut s = sampler(&circuit, &config);
+    let selection = select_independence_interval(&mut s, &config).unwrap();
+
+    // A fresh sequence collected at the selected interval passes the test at
+    // the configured significance level most of the time. Use a slightly
+    // looser level to keep the assertion robust against the expected
+    // one-in-five false-rejection rate at alpha = 0.2.
+    let sequence = s.collect_sequence(config.sequence_length, selection.interval);
+    let outcome = RunsTest::new(0.02).evaluate(&sequence);
+    assert!(
+        outcome.accepted,
+        "sequence at the selected interval {} rejected with z = {:.2}",
+        selection.interval, outcome.z
+    );
+}
+
+#[test]
+fn figure3_shape_z_decays_and_crosses_the_threshold() {
+    // The Figure 3 claim on the paper's own circuit (s1494): at interval 0
+    // the z statistic is large; within a few cycles it falls below the
+    // acceptance threshold. A shorter sequence than the paper's 10 000 keeps
+    // the test fast while preserving the shape.
+    let circuit = iscas89::load("s1494").unwrap();
+    let config = DipeConfig::default().with_seed(1997);
+    let mut s = sampler(&circuit, &config);
+    let profile = z_statistic_profile(&mut s, &config, 8, 2_000);
+
+    let critical = seqstats::normal::two_sided_critical_value(config.significance_level);
+    let z0 = profile[0].z.abs();
+    assert!(
+        z0 > critical,
+        "interval 0 should look non-random for s1494 (z = {z0:.2}, c = {critical:.2})"
+    );
+    assert!(
+        profile.iter().any(|t| t.accepted),
+        "some interval within 8 cycles should be accepted"
+    );
+    // The minimum |z| over the sweep is attained at a positive interval.
+    let (best_interval, best_z) = profile
+        .iter()
+        .map(|t| (t.interval, t.z.abs()))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    assert!(
+        best_z < z0,
+        "spacing samples should reduce |z| (best {best_z:.2} at interval {best_interval})"
+    );
+}
+
+#[test]
+fn interval_selection_is_circuit_dependent() {
+    // Different circuits may pick different intervals, but all stay small —
+    // the "few clock cycles" observation of the paper.
+    let config = DipeConfig::default().with_seed(8);
+    let mut intervals = Vec::new();
+    for name in ["s27", "s298", "s386", "s832"] {
+        let circuit = iscas89::load(name).unwrap();
+        let mut s = sampler(&circuit, &config);
+        let selection = select_independence_interval(&mut s, &config).unwrap();
+        intervals.push((name, selection.interval));
+    }
+    for &(name, interval) in &intervals {
+        assert!(interval <= 10, "{name}: interval {interval}");
+    }
+}
+
+#[test]
+fn significance_level_influences_selection_strictness() {
+    // A stricter (smaller) alpha accepts more readily (wider acceptance
+    // region), so the selected interval can only be smaller or equal.
+    let circuit = iscas89::load("s298").unwrap();
+    let strict = DipeConfig::default().with_seed(4).with_significance_level(0.40);
+    let loose = DipeConfig::default().with_seed(4).with_significance_level(0.01);
+    let mut s1 = sampler(&circuit, &strict);
+    let mut s2 = sampler(&circuit, &loose);
+    let interval_strict = select_independence_interval(&mut s1, &strict).unwrap().interval;
+    let interval_loose = select_independence_interval(&mut s2, &loose).unwrap().interval;
+    assert!(
+        interval_loose <= interval_strict,
+        "alpha=0.01 interval {interval_loose} should be <= alpha=0.40 interval {interval_strict}"
+    );
+}
+
+#[test]
+fn runs_test_and_autocorrelation_agree_on_power_sequences() {
+    // Cross-validation of two independent diagnostics: when the runs test
+    // says "random enough", the measured lag-1 autocorrelation should be
+    // small, and vice versa.
+    let circuit = iscas89::load("s298").unwrap();
+    let config = DipeConfig::default().with_seed(20);
+    let mut s = sampler(&circuit, &config);
+    let consecutive = s.measure_consecutive_cycles_w(2_000);
+    let consecutive_rho = autocorr::autocorrelation(&consecutive, 1).abs();
+
+    let mut s2 = sampler(&circuit, &config);
+    let selection = select_independence_interval(&mut s2, &config).unwrap();
+    let decorrelated = s2.collect_sequence(2_000, selection.interval.max(1));
+    let decorrelated_rho = autocorr::autocorrelation(&decorrelated, 1).abs();
+
+    assert!(
+        decorrelated_rho <= consecutive_rho + 0.02,
+        "decorrelated rho {decorrelated_rho:.3} vs consecutive rho {consecutive_rho:.3}"
+    );
+}
