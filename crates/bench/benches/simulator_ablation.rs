@@ -60,7 +60,11 @@ fn bench_power_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/power_evaluation");
     for name in ["s298", "s1494"] {
         let circuit = iscas89::load(name).unwrap();
-        let calc = PowerCalculator::new(&circuit, Technology::default(), &CapacitanceModel::default());
+        let calc = PowerCalculator::new(
+            &circuit,
+            Technology::default(),
+            &CapacitanceModel::default(),
+        );
         let mut zero = ZeroDelaySimulator::new(&circuit);
         let mut full = VariableDelaySimulator::new(&circuit, DelayModel::default());
         let mut stream = InputModel::uniform().stream(&circuit, 5).unwrap();
@@ -68,9 +72,13 @@ fn bench_power_evaluation(c: &mut Criterion) {
         let prev = zero.values().to_vec();
         let activity = full.simulate_cycle(&prev, &inputs);
         zero.step_state_only(&inputs);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &activity, |b, activity| {
-            b.iter(|| calc.cycle_power_w(activity));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &activity,
+            |b, activity| {
+                b.iter(|| calc.cycle_power_w(activity));
+            },
+        );
     }
     group.finish();
 }

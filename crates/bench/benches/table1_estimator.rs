@@ -15,15 +15,14 @@ fn bench_dipe_estimation(c: &mut Criterion) {
         let circuit = iscas89::load(name).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circuit| {
             b.iter(|| {
-                DipeEstimator::new(
-                    circuit,
-                    DipeConfig::default().with_seed(7),
-                    InputModel::uniform(),
-                )
-                .unwrap()
-                .run()
-                .unwrap()
-                .mean_power_w()
+                DipeEstimator::new()
+                    .run(
+                        circuit,
+                        &DipeConfig::default().with_seed(7),
+                        &InputModel::uniform(),
+                    )
+                    .unwrap()
+                    .mean_power_w()
             });
         });
     }

@@ -16,15 +16,14 @@ fn bench_repeated_runs(c: &mut Criterion) {
             b.iter(|| {
                 let mut estimates = Vec::with_capacity(5);
                 for run in 0..5u64 {
-                    let result = DipeEstimator::new(
-                        circuit,
-                        DipeConfig::default().with_seed(1997),
-                        InputModel::uniform(),
-                    )
-                    .unwrap()
-                    .with_seed_offset(run + 1)
-                    .run()
-                    .unwrap();
+                    let result = DipeEstimator::new()
+                        .with_seed_offset(run + 1)
+                        .run(
+                            circuit,
+                            &DipeConfig::default().with_seed(1997),
+                            &InputModel::uniform(),
+                        )
+                        .unwrap();
                     estimates.push(result.mean_power_w());
                 }
                 estimates
@@ -56,5 +55,9 @@ fn bench_interval_statistics_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_repeated_runs, bench_interval_statistics_kernel);
+criterion_group!(
+    benches,
+    bench_repeated_runs,
+    bench_interval_statistics_kernel
+);
 criterion_main!(benches);

@@ -16,10 +16,10 @@
 //! contains the experiment drivers so they can also be exercised from the
 //! criterion benches and from integration tests.
 
-use dipe::baselines::{BaselineResult, FixedWarmupEstimator};
+use dipe::baselines::FixedWarmupEstimator;
 use dipe::input::InputModel;
 use dipe::report::TextTable;
-use dipe::{DipeConfig, DipeEstimator, LongSimulationReference};
+use dipe::{DipeConfig, DipeEstimator, Engine, Estimate, EstimationJob, LongSimulationReference};
 use netlist::{iscas89, Circuit};
 
 /// The per-circuit results published in Table 1 of the paper, used for
@@ -44,30 +44,198 @@ pub struct PaperTable1Row {
 
 /// Table 1 of the paper, verbatim.
 pub const PAPER_TABLE1: &[PaperTable1Row] = &[
-    PaperTable1Row { circuit: "s208", sim_mw: 0.276, interval: 2, estimate_mw: 0.276, sample_size: 4928, cpu_seconds: 138.8 },
-    PaperTable1Row { circuit: "s298", sim_mw: 0.430, interval: 2, estimate_mw: 0.429, sample_size: 2816, cpu_seconds: 73.6 },
-    PaperTable1Row { circuit: "s344", sim_mw: 0.751, interval: 1, estimate_mw: 0.751, sample_size: 960, cpu_seconds: 14.6 },
-    PaperTable1Row { circuit: "s349", sim_mw: 0.785, interval: 2, estimate_mw: 0.785, sample_size: 1088, cpu_seconds: 21.8 },
-    PaperTable1Row { circuit: "s382", sim_mw: 0.433, interval: 2, estimate_mw: 0.433, sample_size: 2176, cpu_seconds: 75.6 },
-    PaperTable1Row { circuit: "s386", sim_mw: 0.519, interval: 1, estimate_mw: 0.518, sample_size: 1728, cpu_seconds: 35.4 },
-    PaperTable1Row { circuit: "s400", sim_mw: 0.418, interval: 2, estimate_mw: 0.420, sample_size: 2272, cpu_seconds: 52.7 },
-    PaperTable1Row { circuit: "s420", sim_mw: 0.353, interval: 2, estimate_mw: 0.354, sample_size: 4576, cpu_seconds: 195.0 },
-    PaperTable1Row { circuit: "s444", sim_mw: 0.427, interval: 3, estimate_mw: 0.427, sample_size: 2400, cpu_seconds: 69.9 },
-    PaperTable1Row { circuit: "s510", sim_mw: 1.175, interval: 1, estimate_mw: 1.175, sample_size: 3168, cpu_seconds: 114.7 },
-    PaperTable1Row { circuit: "s526", sim_mw: 0.443, interval: 1, estimate_mw: 0.434, sample_size: 2176, cpu_seconds: 53.1 },
-    PaperTable1Row { circuit: "s641", sim_mw: 0.786, interval: 1, estimate_mw: 0.787, sample_size: 1088, cpu_seconds: 26.1 },
-    PaperTable1Row { circuit: "s713", sim_mw: 0.804, interval: 1, estimate_mw: 0.804, sample_size: 1088, cpu_seconds: 26.2 },
-    PaperTable1Row { circuit: "s820", sim_mw: 0.957, interval: 1, estimate_mw: 0.957, sample_size: 1952, cpu_seconds: 58.2 },
-    PaperTable1Row { circuit: "s832", sim_mw: 0.941, interval: 3, estimate_mw: 0.941, sample_size: 2080, cpu_seconds: 75.1 },
-    PaperTable1Row { circuit: "s838", sim_mw: 0.443, interval: 3, estimate_mw: 0.443, sample_size: 2272, cpu_seconds: 149.4 },
-    PaperTable1Row { circuit: "s1196", sim_mw: 3.080, interval: 1, estimate_mw: 3.079, sample_size: 608, cpu_seconds: 26.7 },
-    PaperTable1Row { circuit: "s1238", sim_mw: 3.009, interval: 0, estimate_mw: 3.010, sample_size: 576, cpu_seconds: 24.4 },
-    PaperTable1Row { circuit: "s1423", sim_mw: 2.773, interval: 1, estimate_mw: 2.774, sample_size: 2368, cpu_seconds: 275.0 },
-    PaperTable1Row { circuit: "s1488", sim_mw: 1.844, interval: 2, estimate_mw: 1.844, sample_size: 4000, cpu_seconds: 293.0 },
-    PaperTable1Row { circuit: "s1494", sim_mw: 1.735, interval: 5, estimate_mw: 1.735, sample_size: 3936, cpu_seconds: 392.5 },
-    PaperTable1Row { circuit: "s5378", sim_mw: 6.667, interval: 2, estimate_mw: 6.659, sample_size: 352, cpu_seconds: 51.9 },
-    PaperTable1Row { circuit: "s9234", sim_mw: 2.008, interval: 1, estimate_mw: 2.008, sample_size: 704, cpu_seconds: 79.6 },
-    PaperTable1Row { circuit: "s15850", sim_mw: 5.939, interval: 1, estimate_mw: 5.938, sample_size: 896, cpu_seconds: 462.8 },
+    PaperTable1Row {
+        circuit: "s208",
+        sim_mw: 0.276,
+        interval: 2,
+        estimate_mw: 0.276,
+        sample_size: 4928,
+        cpu_seconds: 138.8,
+    },
+    PaperTable1Row {
+        circuit: "s298",
+        sim_mw: 0.430,
+        interval: 2,
+        estimate_mw: 0.429,
+        sample_size: 2816,
+        cpu_seconds: 73.6,
+    },
+    PaperTable1Row {
+        circuit: "s344",
+        sim_mw: 0.751,
+        interval: 1,
+        estimate_mw: 0.751,
+        sample_size: 960,
+        cpu_seconds: 14.6,
+    },
+    PaperTable1Row {
+        circuit: "s349",
+        sim_mw: 0.785,
+        interval: 2,
+        estimate_mw: 0.785,
+        sample_size: 1088,
+        cpu_seconds: 21.8,
+    },
+    PaperTable1Row {
+        circuit: "s382",
+        sim_mw: 0.433,
+        interval: 2,
+        estimate_mw: 0.433,
+        sample_size: 2176,
+        cpu_seconds: 75.6,
+    },
+    PaperTable1Row {
+        circuit: "s386",
+        sim_mw: 0.519,
+        interval: 1,
+        estimate_mw: 0.518,
+        sample_size: 1728,
+        cpu_seconds: 35.4,
+    },
+    PaperTable1Row {
+        circuit: "s400",
+        sim_mw: 0.418,
+        interval: 2,
+        estimate_mw: 0.420,
+        sample_size: 2272,
+        cpu_seconds: 52.7,
+    },
+    PaperTable1Row {
+        circuit: "s420",
+        sim_mw: 0.353,
+        interval: 2,
+        estimate_mw: 0.354,
+        sample_size: 4576,
+        cpu_seconds: 195.0,
+    },
+    PaperTable1Row {
+        circuit: "s444",
+        sim_mw: 0.427,
+        interval: 3,
+        estimate_mw: 0.427,
+        sample_size: 2400,
+        cpu_seconds: 69.9,
+    },
+    PaperTable1Row {
+        circuit: "s510",
+        sim_mw: 1.175,
+        interval: 1,
+        estimate_mw: 1.175,
+        sample_size: 3168,
+        cpu_seconds: 114.7,
+    },
+    PaperTable1Row {
+        circuit: "s526",
+        sim_mw: 0.443,
+        interval: 1,
+        estimate_mw: 0.434,
+        sample_size: 2176,
+        cpu_seconds: 53.1,
+    },
+    PaperTable1Row {
+        circuit: "s641",
+        sim_mw: 0.786,
+        interval: 1,
+        estimate_mw: 0.787,
+        sample_size: 1088,
+        cpu_seconds: 26.1,
+    },
+    PaperTable1Row {
+        circuit: "s713",
+        sim_mw: 0.804,
+        interval: 1,
+        estimate_mw: 0.804,
+        sample_size: 1088,
+        cpu_seconds: 26.2,
+    },
+    PaperTable1Row {
+        circuit: "s820",
+        sim_mw: 0.957,
+        interval: 1,
+        estimate_mw: 0.957,
+        sample_size: 1952,
+        cpu_seconds: 58.2,
+    },
+    PaperTable1Row {
+        circuit: "s832",
+        sim_mw: 0.941,
+        interval: 3,
+        estimate_mw: 0.941,
+        sample_size: 2080,
+        cpu_seconds: 75.1,
+    },
+    PaperTable1Row {
+        circuit: "s838",
+        sim_mw: 0.443,
+        interval: 3,
+        estimate_mw: 0.443,
+        sample_size: 2272,
+        cpu_seconds: 149.4,
+    },
+    PaperTable1Row {
+        circuit: "s1196",
+        sim_mw: 3.080,
+        interval: 1,
+        estimate_mw: 3.079,
+        sample_size: 608,
+        cpu_seconds: 26.7,
+    },
+    PaperTable1Row {
+        circuit: "s1238",
+        sim_mw: 3.009,
+        interval: 0,
+        estimate_mw: 3.010,
+        sample_size: 576,
+        cpu_seconds: 24.4,
+    },
+    PaperTable1Row {
+        circuit: "s1423",
+        sim_mw: 2.773,
+        interval: 1,
+        estimate_mw: 2.774,
+        sample_size: 2368,
+        cpu_seconds: 275.0,
+    },
+    PaperTable1Row {
+        circuit: "s1488",
+        sim_mw: 1.844,
+        interval: 2,
+        estimate_mw: 1.844,
+        sample_size: 4000,
+        cpu_seconds: 293.0,
+    },
+    PaperTable1Row {
+        circuit: "s1494",
+        sim_mw: 1.735,
+        interval: 5,
+        estimate_mw: 1.735,
+        sample_size: 3936,
+        cpu_seconds: 392.5,
+    },
+    PaperTable1Row {
+        circuit: "s5378",
+        sim_mw: 6.667,
+        interval: 2,
+        estimate_mw: 6.659,
+        sample_size: 352,
+        cpu_seconds: 51.9,
+    },
+    PaperTable1Row {
+        circuit: "s9234",
+        sim_mw: 2.008,
+        interval: 1,
+        estimate_mw: 2.008,
+        sample_size: 704,
+        cpu_seconds: 79.6,
+    },
+    PaperTable1Row {
+        circuit: "s15850",
+        sim_mw: 5.939,
+        interval: 1,
+        estimate_mw: 5.938,
+        sample_size: 896,
+        cpu_seconds: 462.8,
+    },
 ];
 
 /// Looks up the paper's Table 1 row for a circuit name.
@@ -98,7 +266,10 @@ pub struct SuiteOptions {
 impl Default for SuiteOptions {
     fn default() -> Self {
         SuiteOptions {
-            circuits: iscas89::TABLE1_CIRCUITS.iter().map(|s| s.to_string()).collect(),
+            circuits: iscas89::TABLE1_CIRCUITS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             reference_cycles: 20_000,
             runs: 25,
             sequence_length: 10_000,
@@ -238,29 +409,57 @@ pub struct Table1Row {
 }
 
 /// Runs the Table 1 experiment: one reference simulation and one DIPE run per
-/// circuit.
+/// circuit, batched through the [`Engine`] (two jobs per circuit, all
+/// circuits in flight across the worker pool at once).
 pub fn run_table1(options: &SuiteOptions) -> Vec<Table1Row> {
     let config = options.config();
-    let mut rows = Vec::new();
+    let mut names = Vec::new();
+    let mut jobs = Vec::new();
     for (name, circuit) in options.load_circuits() {
-        let reference = LongSimulationReference::new(options.reference_cycles)
-            .run(&circuit, &config, &InputModel::uniform())
-            .expect("reference simulation cannot fail on catalogued circuits");
-        let result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
-            .expect("configuration is valid")
-            .run()
-            .expect("estimation converges on catalogued circuits");
-        rows.push(Table1Row {
-            circuit: name,
-            sim_mw: reference.mean_power_mw(),
-            interval: result.independence_interval(),
-            estimate_mw: result.mean_power_mw(),
-            sample_size: result.sample_size(),
-            cpu_seconds: result.elapsed_seconds(),
-            deviation_percent: 100.0 * result.relative_deviation_from(reference.mean_power_w()),
-        });
+        let circuit = std::sync::Arc::new(circuit);
+        jobs.push(EstimationJob::new(
+            format!("{name}/reference"),
+            circuit.clone(),
+            Box::new(LongSimulationReference::new(options.reference_cycles)),
+            config.clone(),
+            InputModel::uniform(),
+        ));
+        jobs.push(EstimationJob::new(
+            format!("{name}/dipe"),
+            circuit,
+            Box::new(DipeEstimator::new()),
+            config.clone(),
+            InputModel::uniform(),
+        ));
+        names.push(name);
     }
-    rows
+
+    let outcomes = Engine::new().run(jobs);
+    names
+        .into_iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(name, pair)| {
+            let reference = pair[0]
+                .result
+                .as_ref()
+                .expect("reference simulation cannot fail on catalogued circuits");
+            let result = pair[1]
+                .result
+                .as_ref()
+                .expect("estimation converges on catalogued circuits");
+            Table1Row {
+                circuit: name,
+                sim_mw: reference.mean_power_mw(),
+                interval: result
+                    .independence_interval()
+                    .expect("DIPE estimates carry an interval"),
+                estimate_mw: result.mean_power_mw(),
+                sample_size: result.sample_size,
+                cpu_seconds: result.elapsed_seconds,
+                deviation_percent: 100.0 * result.relative_deviation_from(reference.mean_power_w),
+            }
+        })
+        .collect()
 }
 
 /// Formats Table 1 rows side by side with the paper's published values.
@@ -287,7 +486,9 @@ pub fn format_table1(rows: &[Table1Row]) -> TextTable {
             row.sample_size.to_string(),
             format!("{:.1}", row.cpu_seconds),
             format!("{:.2}", row.deviation_percent),
-            paper.map(|p| format!("{:.3}", p.sim_mw)).unwrap_or_default(),
+            paper
+                .map(|p| format!("{:.3}", p.sim_mw))
+                .unwrap_or_default(),
             paper.map(|p| p.interval.to_string()).unwrap_or_default(),
             paper.map(|p| p.sample_size.to_string()).unwrap_or_default(),
         ]);
@@ -317,53 +518,98 @@ pub struct Table2Row {
 }
 
 /// Runs the Table 2 experiment: `options.runs` independent DIPE runs per
-/// circuit against one shared reference simulation.
+/// circuit against one shared reference simulation, batched through the
+/// [`Engine`]. Every repeated run is its own job with a deterministic seed
+/// offset, so the whole table parallelises across the worker pool while
+/// staying reproducible run to run.
 pub fn run_table2(options: &SuiteOptions) -> Vec<Table2Row> {
     let config = options.config();
-    let mut rows = Vec::new();
+    let mut names = Vec::new();
+    let mut jobs = Vec::new();
     for (name, circuit) in options.load_circuits() {
-        let reference = LongSimulationReference::new(options.reference_cycles)
-            .run(&circuit, &config, &InputModel::uniform())
-            .expect("reference simulation cannot fail on catalogued circuits");
-        let mut intervals = Vec::with_capacity(options.runs);
-        let mut sample_sizes = Vec::with_capacity(options.runs);
-        let mut estimates = Vec::with_capacity(options.runs);
+        let circuit = std::sync::Arc::new(circuit);
+        jobs.push(EstimationJob::new(
+            format!("{name}/reference"),
+            circuit.clone(),
+            Box::new(LongSimulationReference::new(options.reference_cycles)),
+            config.clone(),
+            InputModel::uniform(),
+        ));
         for run in 0..options.runs {
-            let result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
-                .expect("configuration is valid")
-                .with_seed_offset(run as u64 + 1)
-                .run()
-                .expect("estimation converges on catalogued circuits");
-            intervals.push(result.independence_interval());
-            sample_sizes.push(result.sample_size() as f64);
-            estimates.push(result.mean_power_w());
+            jobs.push(
+                EstimationJob::new(
+                    format!("{name}/dipe/{run}"),
+                    circuit.clone(),
+                    Box::new(DipeEstimator::new()),
+                    config.clone(),
+                    InputModel::uniform(),
+                )
+                .with_seed_offset(run as u64 + 1),
+            );
         }
-        rows.push(Table2Row {
-            circuit: name,
-            interval_min: intervals.iter().copied().min().unwrap_or(0),
-            interval_max: intervals.iter().copied().max().unwrap_or(0),
-            interval_avg: intervals.iter().map(|&i| i as f64).sum::<f64>()
-                / intervals.len().max(1) as f64,
-            sample_avg: seqstats::descriptive::mean(&sample_sizes),
-            deviation_avg_percent: dipe::report::average_percentage_deviation(
-                reference.mean_power_w(),
-                &estimates,
-            ),
-            error_exceedance_percent: dipe::report::error_exceedance_percentage(
-                reference.mean_power_w(),
-                &estimates,
-                config.relative_error,
-            ),
-            runs: options.runs,
-        });
+        names.push(name);
     }
-    rows
+
+    let outcomes = Engine::new().run(jobs);
+    names
+        .into_iter()
+        .zip(outcomes.chunks_exact(options.runs + 1))
+        .map(|(name, chunk)| {
+            let reference = chunk[0]
+                .result
+                .as_ref()
+                .expect("reference simulation cannot fail on catalogued circuits");
+            let results: Vec<&Estimate> = chunk[1..]
+                .iter()
+                .map(|outcome| {
+                    outcome
+                        .result
+                        .as_ref()
+                        .expect("estimation converges on catalogued circuits")
+                })
+                .collect();
+            let intervals: Vec<usize> = results
+                .iter()
+                .map(|r| {
+                    r.independence_interval()
+                        .expect("DIPE estimates carry an interval")
+                })
+                .collect();
+            let sample_sizes: Vec<f64> = results.iter().map(|r| r.sample_size as f64).collect();
+            let estimates: Vec<f64> = results.iter().map(|r| r.mean_power_w).collect();
+            Table2Row {
+                circuit: name,
+                interval_min: intervals.iter().copied().min().unwrap_or(0),
+                interval_max: intervals.iter().copied().max().unwrap_or(0),
+                interval_avg: intervals.iter().map(|&i| i as f64).sum::<f64>()
+                    / intervals.len().max(1) as f64,
+                sample_avg: seqstats::descriptive::mean(&sample_sizes),
+                deviation_avg_percent: dipe::report::average_percentage_deviation(
+                    reference.mean_power_w,
+                    &estimates,
+                ),
+                error_exceedance_percent: dipe::report::error_exceedance_percentage(
+                    reference.mean_power_w,
+                    &estimates,
+                    config.relative_error,
+                ),
+                runs: options.runs,
+            }
+        })
+        .collect()
 }
 
 /// Formats Table 2 rows.
 pub fn format_table2(rows: &[Table2Row]) -> TextTable {
     let mut table = TextTable::new(&[
-        "Circuit", "II min", "II max", "II avg", "S avg", "D avg (%)", "Err (%)", "runs",
+        "Circuit",
+        "II min",
+        "II max",
+        "II avg",
+        "S avg",
+        "D avg (%)",
+        "Err (%)",
+        "runs",
     ]);
     for row in rows {
         table.add_row(&[
@@ -422,7 +668,11 @@ pub fn format_figure3(points: &[Figure3Point], significance_level: f64) -> Strin
         table.add_row(&[
             p.interval.to_string(),
             format!("{:.3}", p.z.abs()),
-            if p.accepted { "yes".into() } else { "no".into() },
+            if p.accepted {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     let critical = seqstats::normal::two_sided_critical_value(significance_level);
@@ -437,7 +687,11 @@ pub fn format_figure3(points: &[Figure3Point], significance_level: f64) -> Strin
             "{:>3} | {}{}\n",
             p.interval,
             "#".repeat(width),
-            if p.z.abs() <= critical { "  <= c (accepted)" } else { "" }
+            if p.z.abs() <= critical {
+                "  <= c (accepted)"
+            } else {
+                ""
+            }
         ));
     }
     format!("{table}{plot}")
@@ -445,21 +699,38 @@ pub fn format_figure3(points: &[Figure3Point], significance_level: f64) -> Strin
 
 /// A small efficiency comparison used by the ablation bench and the
 /// baseline-comparison example: DIPE versus the fixed conservative warm-up
-/// estimator on one circuit.
-pub fn warmup_ablation(
-    circuit_name: &str,
-    seed: u64,
-) -> (dipe::DipeResult, BaselineResult) {
-    let circuit = iscas89::load(circuit_name).expect("catalogued circuit");
+/// estimator on one circuit, as two engine jobs.
+pub fn warmup_ablation(circuit_name: &str, seed: u64) -> (Estimate, Estimate) {
+    let circuit = std::sync::Arc::new(iscas89::load(circuit_name).expect("catalogued circuit"));
     let config = DipeConfig::default().with_seed(seed);
-    let dipe_result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
-        .expect("configuration is valid")
-        .run()
+    let jobs = vec![
+        EstimationJob::new(
+            format!("{circuit_name}/dipe"),
+            circuit.clone(),
+            Box::new(DipeEstimator::new()),
+            config.clone(),
+            InputModel::uniform(),
+        ),
+        EstimationJob::new(
+            format!("{circuit_name}/fixed-warmup"),
+            circuit,
+            Box::new(FixedWarmupEstimator::default()),
+            config,
+            InputModel::uniform(),
+        ),
+    ];
+    let mut outcomes = Engine::new().run(jobs).into_iter();
+    let dipe_estimate = outcomes
+        .next()
+        .expect("two jobs were submitted")
+        .result
         .expect("estimation converges");
-    let warmup_result = FixedWarmupEstimator::default()
-        .run(&circuit, &config, &InputModel::uniform())
+    let warmup_estimate = outcomes
+        .next()
+        .expect("two jobs were submitted")
+        .result
         .expect("estimation converges");
-    (dipe_result, warmup_result)
+    (dipe_estimate, warmup_estimate)
 }
 
 #[cfg(test)]
@@ -472,7 +743,11 @@ mod tests {
         for row in PAPER_TABLE1 {
             assert!(row.sim_mw > 0.0);
             assert!(row.sample_size > 0);
-            assert!(netlist::iscas89::profile(row.circuit).is_some(), "{}", row.circuit);
+            assert!(
+                netlist::iscas89::profile(row.circuit).is_some(),
+                "{}",
+                row.circuit
+            );
         }
         assert!(paper_table1_row("s1494").is_some());
         assert!(paper_table1_row("sXYZ").is_none());
@@ -482,13 +757,20 @@ mod tests {
     fn option_parsing_round_trips() {
         let options = SuiteOptions::parse(
             [
-                "--circuits", "s27,s298",
-                "--reference-cycles", "1234",
-                "--runs", "7",
-                "--sequence-length", "500",
-                "--max-interval", "12",
-                "--seed", "99",
-                "--max-gates", "700",
+                "--circuits",
+                "s27,s298",
+                "--reference-cycles",
+                "1234",
+                "--runs",
+                "7",
+                "--sequence-length",
+                "500",
+                "--max-interval",
+                "12",
+                "--seed",
+                "99",
+                "--max-gates",
+                "700",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -527,7 +809,11 @@ mod tests {
         assert_eq!(row.circuit, "s27");
         assert!(row.sim_mw > 0.0);
         assert!(row.estimate_mw > 0.0);
-        assert!(row.deviation_percent < 10.0, "deviation {}", row.deviation_percent);
+        assert!(
+            row.deviation_percent < 10.0,
+            "deviation {}",
+            row.deviation_percent
+        );
         let rendered = format_table1(&rows).render();
         assert!(rendered.contains("s27"));
         assert!(rendered.contains("paper SIM"));

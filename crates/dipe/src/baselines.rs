@@ -1,4 +1,5 @@
-//! Baseline estimators the paper compares against (Sections I and III).
+//! Baseline estimators the paper compares against (Sections I and III),
+//! exposed through the same [`PowerEstimator`] session API as DIPE itself.
 //!
 //! * [`DecoupledCombinationalEstimator`] — the "partition into combinational
 //!   part + latches" family of approaches (refs. [1–4] of the paper): the FSM
@@ -14,46 +15,20 @@
 //!   without looking at the circuit, so it simulates one to two orders of
 //!   magnitude more cycles per sample than DIPE's dynamically selected
 //!   independence interval.
+//!
+//! Both produce the unified [`Estimate`] record, so their results line up
+//! column-for-column against DIPE and the reference.
 
-use std::time::Instant;
-
-use logicsim::{VariableDelaySimulator, ZeroDelaySimulator};
 use netlist::Circuit;
-use power::PowerCalculator;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::config::DipeConfig;
 use crate::error::DipeError;
+use crate::estimate::{
+    run_to_completion, DecoupledSession, Estimate, EstimationSession, FixedWarmupSession,
+    PowerEstimator,
+};
 use crate::input::InputModel;
-use crate::sampler::{CycleCounts, PowerSampler};
-
-/// Result of a baseline estimation run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct BaselineResult {
-    /// Name of the baseline estimator.
-    pub name: String,
-    /// Estimated average power in watts.
-    pub mean_power_w: f64,
-    /// Number of power samples collected.
-    pub sample_size: usize,
-    /// Cycle bookkeeping (zero-delay vs measured cycles).
-    pub cycle_counts: CycleCounts,
-    /// Wall-clock seconds of the run.
-    pub elapsed_seconds: f64,
-}
-
-impl BaselineResult {
-    /// Estimated average power in milliwatts.
-    pub fn mean_power_mw(&self) -> f64 {
-        self.mean_power_w * 1e3
-    }
-
-    /// Relative deviation from a reference power (Eq. 8, single run).
-    pub fn relative_deviation_from(&self, reference_power_w: f64) -> f64 {
-        crate::report::relative_deviation(reference_power_w, self.mean_power_w)
-    }
-}
+use crate::sampler::PowerSampler;
 
 /// The decoupled estimator: latch bits drawn independently from their
 /// stationary signal probabilities, ignoring correlations.
@@ -76,7 +51,8 @@ impl Default for DecoupledCombinationalEstimator {
 }
 
 impl DecoupledCombinationalEstimator {
-    /// Runs the decoupled estimation.
+    /// Runs the decoupled estimation to completion — a thin wrapper driving
+    /// a [session](PowerEstimator::start) with an unbounded budget.
     ///
     /// # Errors
     ///
@@ -86,59 +62,32 @@ impl DecoupledCombinationalEstimator {
         circuit: &Circuit,
         config: &DipeConfig,
         input_model: &InputModel,
-    ) -> Result<BaselineResult, DipeError> {
-        config.validate()?;
-        input_model.validate(circuit)?;
-        let start = Instant::now();
-        let mut counts = CycleCounts::default();
+    ) -> Result<Estimate, DipeError> {
+        run_to_completion(self.start(circuit, config, input_model, 0)?)
+    }
+}
 
-        // Phase 1: characterise per-latch signal probabilities with a long
-        // zero-delay simulation (this is the "lump the FSM into switching
-        // metrics" step of the decoupled approaches).
-        let mut stream = input_model.stream(circuit, config.seed ^ 0xDECA_F000)?;
-        let mut zero = ZeroDelaySimulator::new(circuit);
-        let mut ones = vec![0u64; circuit.num_flip_flops()];
-        for _ in 0..self.characterization_cycles {
-            let inputs = stream.next_pattern();
-            zero.step_state_only(&inputs);
-            for (count, &q) in ones.iter_mut().zip(zero.latch_state().iter()) {
-                if q {
-                    *count += 1;
-                }
-            }
-        }
-        counts.zero_delay_cycles += self.characterization_cycles as u64;
-        let latch_probabilities: Vec<f64> = ones
-            .iter()
-            .map(|&c| c as f64 / self.characterization_cycles.max(1) as f64)
-            .collect();
+impl PowerEstimator for DecoupledCombinationalEstimator {
+    fn name(&self) -> String {
+        "decoupled (independent latch bits)".to_string()
+    }
 
-        // Phase 2: Monte-Carlo estimation with independently drawn latch bits.
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDECA_F001);
-        let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
-        let mut full = VariableDelaySimulator::new(circuit, config.delay_model);
-        let mut sum = 0.0;
-        for _ in 0..self.samples {
-            let state: Vec<bool> = latch_probabilities
-                .iter()
-                .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
-                .collect();
-            let present_inputs = stream.next_pattern();
-            let next_inputs = stream.next_pattern();
-            zero.reset_to(&state, &present_inputs);
-            let prev = zero.values().to_vec();
-            let activity = full.simulate_cycle(&prev, &next_inputs);
-            sum += calculator.cycle_power_w(&activity);
-            counts.measured_cycles += 1;
-        }
-
-        Ok(BaselineResult {
-            name: "decoupled (independent latch bits)".to_string(),
-            mean_power_w: sum / self.samples.max(1) as f64,
-            sample_size: self.samples,
-            cycle_counts: counts,
-            elapsed_seconds: start.elapsed().as_secs_f64(),
-        })
+    fn start<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        seed_offset: u64,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        Ok(Box::new(DecoupledSession::new(
+            self.name(),
+            circuit,
+            config,
+            input_model,
+            seed_offset,
+            self.characterization_cycles,
+            self.samples,
+        )?))
     }
 }
 
@@ -165,8 +114,9 @@ impl FixedWarmupEstimator {
         FixedWarmupEstimator { warmup_per_sample }
     }
 
-    /// Runs the estimation with the same stopping criterion as DIPE, but a
-    /// fixed warm-up between samples instead of the runs-test interval.
+    /// Runs the estimation to completion with the same stopping criterion as
+    /// DIPE, but a fixed warm-up between samples instead of the runs-test
+    /// interval.
     ///
     /// # Errors
     ///
@@ -177,39 +127,42 @@ impl FixedWarmupEstimator {
         circuit: &Circuit,
         config: &DipeConfig,
         input_model: &InputModel,
-    ) -> Result<BaselineResult, DipeError> {
-        let start = Instant::now();
-        let mut sampler = PowerSampler::new(circuit, config, input_model, 0xC0FFEE)?;
-        sampler.advance(config.warmup_cycles);
-        let criterion = config.build_criterion();
-        let mut sample = Vec::new();
-        loop {
-            for _ in 0..config.block_size {
-                sample.push(sampler.sample_power_w(self.warmup_per_sample));
-            }
-            let decision = criterion.evaluate(&sample);
-            if decision.satisfied {
-                return Ok(BaselineResult {
-                    name: format!("fixed warm-up ({} cycles/sample)", self.warmup_per_sample),
-                    mean_power_w: decision.estimate,
-                    sample_size: sample.len(),
-                    cycle_counts: sampler.cycle_counts(),
-                    elapsed_seconds: start.elapsed().as_secs_f64(),
-                });
-            }
-            if sample.len() >= config.max_samples {
-                return Err(DipeError::SampleBudgetExhausted {
-                    samples: sample.len(),
-                    achieved_relative_half_width: decision.relative_half_width,
-                });
-            }
-        }
+    ) -> Result<Estimate, DipeError> {
+        run_to_completion(self.start(circuit, config, input_model, 0)?)
+    }
+}
+
+impl PowerEstimator for FixedWarmupEstimator {
+    fn name(&self) -> String {
+        format!("fixed warm-up ({} cycles/sample)", self.warmup_per_sample)
+    }
+
+    fn start<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        seed_offset: u64,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        let sampler = PowerSampler::new(
+            circuit,
+            config,
+            input_model,
+            0xC0FFEE_u64.wrapping_add(seed_offset),
+        )?;
+        Ok(Box::new(FixedWarmupSession::new(
+            self.name(),
+            config,
+            self.warmup_per_sample,
+            sampler,
+        )))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimate::Diagnostics;
     use crate::estimator::DipeEstimator;
     use crate::reference::LongSimulationReference;
     use netlist::iscas89;
@@ -227,7 +180,18 @@ mod tests {
         assert!(baseline.mean_power_mw() > 0.0);
         assert_eq!(baseline.sample_size, 1_000);
         assert!(baseline.cycle_counts.zero_delay_cycles >= 5_000);
-        assert!(baseline.name.contains("decoupled"));
+        assert!(baseline.estimator.contains("decoupled"));
+        match &baseline.diagnostics {
+            Diagnostics::Decoupled {
+                latch_probabilities,
+                characterization_cycles,
+            } => {
+                assert_eq!(latch_probabilities.len(), c.num_flip_flops());
+                assert!(latch_probabilities.iter().all(|p| (0.0..=1.0).contains(p)));
+                assert_eq!(*characterization_cycles, 5_000);
+            }
+            other => panic!("expected decoupled diagnostics, got {other:?}"),
+        }
     }
 
     #[test]
@@ -243,16 +207,13 @@ mod tests {
             .unwrap();
         assert!(warmup.relative_deviation_from(reference.mean_power_w()) < 0.08);
 
-        let dipe = DipeEstimator::new(&c, config, InputModel::uniform())
-            .unwrap()
-            .run()
+        let dipe = DipeEstimator::new()
+            .run(&c, &config, &InputModel::uniform())
             .unwrap();
         // Same accuracy class, but the fixed warm-up simulates far more
         // zero-delay cycles per measured sample.
-        let warmup_ratio =
-            warmup.cycle_counts.zero_delay_cycles as f64 / warmup.sample_size as f64;
-        let dipe_ratio =
-            dipe.cycle_counts().zero_delay_cycles as f64 / dipe.sample_size() as f64;
+        let warmup_ratio = warmup.cycle_counts.zero_delay_cycles as f64 / warmup.sample_size as f64;
+        let dipe_ratio = dipe.cycle_counts().zero_delay_cycles as f64 / dipe.sample_size() as f64;
         assert!(
             warmup_ratio > 5.0 * dipe_ratio,
             "fixed warm-up ratio {warmup_ratio:.1} vs DIPE ratio {dipe_ratio:.1}"
@@ -263,19 +224,7 @@ mod tests {
     fn default_fixed_warmup_matches_chou_roy_figure() {
         let w = FixedWarmupEstimator::default();
         assert!((298..=300).contains(&w.warmup_per_sample));
-    }
-
-    #[test]
-    fn baseline_result_helpers() {
-        let r = BaselineResult {
-            name: "x".into(),
-            mean_power_w: 0.002,
-            sample_size: 10,
-            cycle_counts: CycleCounts::default(),
-            elapsed_seconds: 0.0,
-        };
-        assert!((r.mean_power_mw() - 2.0).abs() < 1e-12);
-        assert!((r.relative_deviation_from(0.0025) - 0.2).abs() < 1e-9);
+        assert!(w.name().contains("cycles/sample"));
     }
 
     #[test]
@@ -288,6 +237,8 @@ mod tests {
         assert!(DecoupledCombinationalEstimator::default()
             .run(&c, &config, &bad_model)
             .is_err());
-        assert!(FixedWarmupEstimator::new(10).run(&c, &config, &bad_model).is_err());
+        assert!(FixedWarmupEstimator::new(10)
+            .run(&c, &config, &bad_model)
+            .is_err());
     }
 }

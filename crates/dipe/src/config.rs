@@ -117,6 +117,21 @@ impl DipeConfig {
         self
     }
 
+    /// Sets the initial warm-up length in clock cycles (builder style).
+    pub fn with_warmup_cycles(mut self, warmup_cycles: usize) -> Self {
+        self.warmup_cycles = warmup_cycles;
+        self
+    }
+
+    /// Sets the sample budget (builder style): the minimum sample size before
+    /// the stopping criterion may fire and the hard maximum after which the
+    /// run fails with [`DipeError::SampleBudgetExhausted`].
+    pub fn with_sample_budget(mut self, min_samples: usize, max_samples: usize) -> Self {
+        self.min_samples = min_samples;
+        self.max_samples = max_samples;
+        self
+    }
+
     /// Sets the delay model of the measurement simulator (builder style).
     pub fn with_delay_model(mut self, delay_model: DelayModel) -> Self {
         self.delay_model = delay_model;
@@ -149,13 +164,28 @@ impl DipeConfig {
             ));
         }
         if !(self.confidence > 0.0 && self.confidence < 1.0) {
-            return fail(format!("confidence must be in (0, 1), got {}", self.confidence));
+            return fail(format!(
+                "confidence must be in (0, 1), got {}",
+                self.confidence
+            ));
         }
         if self.sequence_length < 16 {
             return fail(format!(
                 "randomness-test sequence length must be at least 16, got {}",
                 self.sequence_length
             ));
+        }
+        if self.max_independence_interval == 0 {
+            return fail(
+                "the maximum independence interval must be at least 1 — with a maximum of 0 \
+                 the selection procedure could only ever test consecutive sampling"
+                    .into(),
+            );
+        }
+        if self.warmup_cycles == 0 {
+            return fail(
+                "at least one warm-up cycle is required so the FSM leaves its reset state".into(),
+            );
         }
         if self.block_size == 0 {
             return fail("block size must be positive".into());
@@ -167,6 +197,13 @@ impl DipeConfig {
             return fail(format!(
                 "maximum sample size {} is below the minimum {}",
                 self.max_samples, self.min_samples
+            ));
+        }
+        if self.sequence_length > self.max_samples {
+            return fail(format!(
+                "randomness-test sequence length {} exceeds the sample budget {} — every \
+                 interval trial would cost more samples than the whole estimation may use",
+                self.sequence_length, self.max_samples
             ));
         }
         Ok(())
@@ -217,6 +254,8 @@ mod tests {
             .with_significance_level(0.1)
             .with_criterion(CriterionKind::Dkw)
             .with_sequence_length(128)
+            .with_warmup_cycles(512)
+            .with_sample_budget(128, 50_000)
             .with_delay_model(logicsim::DelayModel::Unit(100))
             .with_technology(Technology::new(3.3, 50.0e6));
         assert_eq!(c.seed, 7);
@@ -225,6 +264,9 @@ mod tests {
         assert_eq!(c.significance_level, 0.1);
         assert_eq!(c.criterion, CriterionKind::Dkw);
         assert_eq!(c.sequence_length, 128);
+        assert_eq!(c.warmup_cycles, 512);
+        assert_eq!(c.min_samples, 128);
+        assert_eq!(c.max_samples, 50_000);
         assert!(c.validate().is_ok());
     }
 
@@ -239,6 +281,8 @@ mod tests {
         assert!(bad(|c| c.relative_error = 1.5).is_err());
         assert!(bad(|c| c.confidence = 0.0).is_err());
         assert!(bad(|c| c.sequence_length = 4).is_err());
+        assert!(bad(|c| c.max_independence_interval = 0).is_err());
+        assert!(bad(|c| c.warmup_cycles = 0).is_err());
         assert!(bad(|c| c.block_size = 0).is_err());
         assert!(bad(|c| c.min_samples = 1).is_err());
         assert!(bad(|c| {
@@ -246,6 +290,9 @@ mod tests {
             c.max_samples = 50;
         })
         .is_err());
+        // The 320-sample randomness-test sequence must fit into the overall
+        // sample budget.
+        assert!(bad(|c| c.max_samples = 300).is_err());
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Batch execution of estimation jobs across threads.
+//!
+//! The ROADMAP's target is a service running many estimation workloads
+//! concurrently. The [`Engine`] is that front-end in library form: it takes a
+//! list of [`EstimationJob`]s (circuit × estimator × configuration × input
+//! model × seed), runs them on a worker pool, and returns one
+//! [`JobOutcome`] per job **in input order**.
+//!
+//! Determinism: each job's random streams are seeded from its own
+//! `config.seed` and `seed_offset` only, never from scheduling, so every
+//! statistical field of the results (mean power, samples, cycle counts,
+//! diagnostics) is identical whatever the thread count — only the
+//! wall-clock `elapsed_seconds` varies. Cancellation:
+//! workers drive sessions in [`CycleBudget`]-sized steps and poll a shared
+//! flag between steps, so a batch can be stopped with bounded latency.
+//!
+//! # Example
+//!
+//! ```
+//! use dipe::engine::{Engine, EstimationJob};
+//! use dipe::input::InputModel;
+//! use dipe::{DipeConfig, DipeEstimator, LongSimulationReference};
+//! use netlist::iscas89;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = DipeConfig::default().with_seed(7);
+//! let jobs = vec![
+//!     EstimationJob::new(
+//!         "s27/dipe",
+//!         iscas89::load("s27")?,
+//!         Box::new(DipeEstimator::new()),
+//!         config.clone(),
+//!         InputModel::uniform(),
+//!     ),
+//!     EstimationJob::new(
+//!         "s27/reference",
+//!         iscas89::load("s27")?,
+//!         Box::new(LongSimulationReference::new(5_000)),
+//!         config,
+//!         InputModel::uniform(),
+//!     ),
+//! ];
+//! for outcome in Engine::new().run(jobs) {
+//!     let estimate = outcome.result?;
+//!     println!("{}: {:.3} mW", outcome.label, estimate.mean_power_mw());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use netlist::Circuit;
+
+use crate::config::DipeConfig;
+use crate::error::DipeError;
+use crate::estimate::{CycleBudget, Estimate, PowerEstimator, Progress};
+use crate::input::InputModel;
+
+/// One unit of batch work: estimate the average power of `circuit` with
+/// `estimator` under `config` / `input_model`, seeded by
+/// `config.seed + seed_offset`.
+pub struct EstimationJob {
+    label: String,
+    circuit: Arc<Circuit>,
+    estimator: Box<dyn PowerEstimator>,
+    config: DipeConfig,
+    input_model: InputModel,
+    seed_offset: u64,
+}
+
+impl EstimationJob {
+    /// Creates a job with a seed offset of zero. `circuit` accepts either an
+    /// owned [`Circuit`] or an [`Arc<Circuit>`] — batches that run many jobs
+    /// on the same circuit should share one `Arc` instead of cloning the
+    /// netlist per job.
+    pub fn new(
+        label: impl Into<String>,
+        circuit: impl Into<Arc<Circuit>>,
+        estimator: Box<dyn PowerEstimator>,
+        config: DipeConfig,
+        input_model: InputModel,
+    ) -> Self {
+        EstimationJob {
+            label: label.into(),
+            circuit: circuit.into(),
+            estimator,
+            config,
+            input_model,
+            seed_offset: 0,
+        }
+    }
+
+    /// Sets the seed offset mixed into this job's RNG (builder style). Give
+    /// repeated runs of the same workload distinct offsets to make them
+    /// statistically independent while keeping the batch reproducible.
+    pub fn with_seed_offset(mut self, seed_offset: u64) -> Self {
+        self.seed_offset = seed_offset;
+        self
+    }
+
+    /// The job's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The circuit this job estimates.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+}
+
+impl std::fmt::Debug for EstimationJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimationJob")
+            .field("label", &self.label)
+            .field("circuit", &self.circuit.name())
+            .field("estimator", &self.estimator.name())
+            .field("seed_offset", &self.seed_offset)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The result of one job: its label and either the estimate or the error
+/// that stopped it. Jobs fail independently — one diverging estimation does
+/// not poison the batch.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Label of the job this outcome belongs to.
+    pub label: String,
+    /// The estimate, or the error that stopped the job.
+    pub result: Result<Estimate, DipeError>,
+}
+
+/// A fixed-size worker pool driving estimation sessions to completion.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    num_threads: usize,
+    step_budget: CycleBudget,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with one worker per available CPU and a step budget of
+    /// 200 000 cycles (cancellation latency of a fraction of a second on
+    /// mid-size circuits).
+    pub fn new() -> Self {
+        Engine {
+            num_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            step_budget: CycleBudget::cycles(200_000),
+        }
+    }
+
+    /// Sets the number of worker threads (builder style, clamped to ≥ 1).
+    /// The result set does not depend on this value, only the wall-clock
+    /// time does.
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
+        self
+    }
+
+    /// Sets the per-step cycle budget (builder style). Smaller budgets give
+    /// finer-grained cancellation at slightly more bookkeeping overhead.
+    pub fn with_step_budget(mut self, step_budget: CycleBudget) -> Self {
+        self.step_budget = step_budget;
+        self
+    }
+
+    /// Runs every job to completion and returns the outcomes in input order.
+    pub fn run(&self, jobs: Vec<EstimationJob>) -> Vec<JobOutcome> {
+        self.run_cancellable(jobs, &AtomicBool::new(false))
+    }
+
+    /// Runs the jobs, polling `cancel` between steps. Once `cancel` is set,
+    /// unfinished jobs complete with [`DipeError::Cancelled`] (finished
+    /// outcomes are kept) and unstarted jobs are not started.
+    pub fn run_cancellable(
+        &self,
+        jobs: Vec<EstimationJob>,
+        cancel: &AtomicBool,
+    ) -> Vec<JobOutcome> {
+        let slots: Vec<Mutex<Option<Result<Estimate, DipeError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next_job = AtomicUsize::new(0);
+        let workers = self.num_threads.min(jobs.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next_job.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs.len() {
+                        break;
+                    }
+                    let result = if cancel.load(Ordering::Relaxed) {
+                        Err(DipeError::Cancelled)
+                    } else {
+                        self.drive(&jobs[index], cancel)
+                    };
+                    *slots[index]
+                        .lock()
+                        .expect("no panics while holding the slot lock") = Some(result);
+                });
+            }
+        });
+
+        jobs.into_iter()
+            .zip(slots)
+            .map(|(job, slot)| JobOutcome {
+                label: job.label,
+                result: slot
+                    .into_inner()
+                    .expect("no panics while holding the slot lock")
+                    .expect("every claimed job writes its slot"),
+            })
+            .collect()
+    }
+
+    fn drive(&self, job: &EstimationJob, cancel: &AtomicBool) -> Result<Estimate, DipeError> {
+        let mut session =
+            job.estimator
+                .start(&job.circuit, &job.config, &job.input_model, job.seed_offset)?;
+        loop {
+            match session.step(self.step_budget)? {
+                Progress::Done(estimate) => return Ok(estimate),
+                Progress::Running { .. } => {
+                    if cancel.load(Ordering::Relaxed) {
+                        return Err(DipeError::Cancelled);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,7 +1,10 @@
 //! Error type of the DIPE estimator.
 
 /// Errors produced while configuring or running the estimator.
-#[derive(Debug)]
+///
+/// `Clone` so that a failed [`EstimationSession`](crate::EstimationSession)
+/// can keep returning its terminal error from every subsequent `step` call.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum DipeError {
     /// The configuration is inconsistent (e.g. a relative error of 0).
@@ -29,6 +32,9 @@ pub enum DipeError {
         /// The relative half-width achieved when the budget ran out.
         achieved_relative_half_width: f64,
     },
+    /// The job was cancelled before its session finished (batch
+    /// [`Engine`](crate::engine::Engine) runs only).
+    Cancelled,
 }
 
 impl std::fmt::Display for DipeError {
@@ -49,6 +55,7 @@ impl std::fmt::Display for DipeError {
                 f,
                 "accuracy not reached within {samples} samples (achieved relative half-width {achieved_relative_half_width:.4})"
             ),
+            DipeError::Cancelled => write!(f, "estimation cancelled before completion"),
         }
     }
 }
@@ -61,7 +68,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DipeError::InvalidConfig { message: "bad".into() };
+        let e = DipeError::InvalidConfig {
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("bad"));
         let e = DipeError::NoIndependenceInterval { max_interval: 64 };
         assert!(e.to_string().contains("64"));
@@ -70,7 +79,9 @@ mod tests {
             achieved_relative_half_width: 0.08,
         };
         assert!(e.to_string().contains("1000"));
-        let e = DipeError::InputModelMismatch { message: "5 != 4".into() };
+        let e = DipeError::InputModelMismatch {
+            message: "5 != 4".into(),
+        };
         assert!(e.to_string().contains("5 != 4"));
     }
 }

@@ -1,0 +1,335 @@
+//! Re-entrant sessions behind the two baseline estimators the paper
+//! discusses: the decoupled-combinational approach and the fixed conservative
+//! warm-up Monte-Carlo estimator.
+
+use std::time::Instant;
+
+use logicsim::{VariableDelaySimulator, ZeroDelaySimulator};
+use netlist::Circuit;
+use power::PowerCalculator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqstats::StoppingCriterion;
+
+use crate::config::DipeConfig;
+use crate::error::DipeError;
+use crate::estimate::{
+    CycleBudget, Diagnostics, Estimate, EstimationSession, Progress, SessionPhase,
+};
+use crate::input::InputStream;
+use crate::sampler::{CycleCounts, PowerSampler};
+
+// ---------------------------------------------------------------------------
+// Fixed conservative warm-up
+// ---------------------------------------------------------------------------
+
+enum FixedWarmupState {
+    Warmup {
+        remaining: usize,
+    },
+    Sampling {
+        sample: Vec<f64>,
+        last_rhw: Option<f64>,
+    },
+    Done(Estimate),
+    Failed(DipeError),
+}
+
+/// Session for the Chou–Roy style estimator: same stopping criterion as
+/// DIPE, but a fixed a-priori warm-up before every sample instead of the
+/// runs-test interval.
+pub(crate) struct FixedWarmupSession<'c> {
+    name: String,
+    config: DipeConfig,
+    warmup_per_sample: usize,
+    sampler: PowerSampler<'c>,
+    criterion: Box<dyn StoppingCriterion>,
+    state: FixedWarmupState,
+    elapsed_seconds: f64,
+}
+
+impl<'c> FixedWarmupSession<'c> {
+    pub(crate) fn new(
+        name: String,
+        config: &DipeConfig,
+        warmup_per_sample: usize,
+        sampler: PowerSampler<'c>,
+    ) -> FixedWarmupSession<'c> {
+        FixedWarmupSession {
+            name,
+            criterion: config.build_criterion(),
+            config: config.clone(),
+            warmup_per_sample,
+            sampler,
+            state: FixedWarmupState::Warmup {
+                remaining: config.warmup_cycles,
+            },
+            elapsed_seconds: 0.0,
+        }
+    }
+}
+
+impl EstimationSession for FixedWarmupSession<'_> {
+    fn estimator(&self) -> &str {
+        &self.name
+    }
+
+    fn cycles_done(&self) -> u64 {
+        self.sampler.cycle_counts().total()
+    }
+
+    fn step(&mut self, budget: CycleBudget) -> Result<Progress, DipeError> {
+        match &self.state {
+            FixedWarmupState::Done(estimate) => return Ok(Progress::Done(estimate.clone())),
+            FixedWarmupState::Failed(error) => return Err(error.clone()),
+            _ => {}
+        }
+        let step_start = Instant::now();
+        let deadline = self.cycles_done().saturating_add(budget.get());
+
+        loop {
+            match &mut self.state {
+                FixedWarmupState::Warmup { remaining } => {
+                    if !super::advance_warmup(&mut self.sampler, remaining, deadline) {
+                        break;
+                    }
+                    self.state = FixedWarmupState::Sampling {
+                        sample: Vec::new(),
+                        last_rhw: None,
+                    };
+                }
+                FixedWarmupState::Sampling { sample, last_rhw } => {
+                    match super::sample_in_blocks(
+                        &mut self.sampler,
+                        self.criterion.as_ref(),
+                        sample,
+                        last_rhw,
+                        self.warmup_per_sample,
+                        self.config.block_size,
+                        self.config.max_samples,
+                        deadline,
+                    ) {
+                        super::BlockSampling::OutOfBudget => break,
+                        super::BlockSampling::Satisfied(decision) => {
+                            // As for DIPE, the reported average power is the
+                            // sample mean; the criterion's point estimate
+                            // (the median under the order-statistic rule)
+                            // only governs termination, so the unified
+                            // records compare the same statistic.
+                            let estimate = Estimate {
+                                estimator: self.name.clone(),
+                                mean_power_w: seqstats::descriptive::mean(sample),
+                                relative_half_width: Some(decision.relative_half_width),
+                                sample_size: sample.len(),
+                                cycle_counts: self.sampler.cycle_counts(),
+                                elapsed_seconds: self.elapsed_seconds
+                                    + step_start.elapsed().as_secs_f64(),
+                                diagnostics: Diagnostics::FixedWarmup {
+                                    warmup_per_sample: self.warmup_per_sample,
+                                    criterion: self.criterion.name().to_string(),
+                                },
+                            };
+                            self.state = FixedWarmupState::Done(estimate.clone());
+                            return Ok(Progress::Done(estimate));
+                        }
+                        super::BlockSampling::BudgetExhausted(decision) => {
+                            let error = DipeError::SampleBudgetExhausted {
+                                samples: sample.len(),
+                                achieved_relative_half_width: decision.relative_half_width,
+                            };
+                            self.state = FixedWarmupState::Failed(error.clone());
+                            return Err(error);
+                        }
+                    }
+                }
+                FixedWarmupState::Done(_) | FixedWarmupState::Failed(_) => {
+                    unreachable!("handled at entry")
+                }
+            }
+        }
+
+        self.elapsed_seconds += step_start.elapsed().as_secs_f64();
+        let (samples, current_rhw, phase) = match &self.state {
+            FixedWarmupState::Sampling { sample, last_rhw } => {
+                (sample.len(), *last_rhw, SessionPhase::Sampling)
+            }
+            _ => (0, None, SessionPhase::Warmup),
+        };
+        Ok(Progress::Running {
+            cycles_done: self.cycles_done(),
+            samples,
+            current_rhw,
+            phase,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoupled combinational
+// ---------------------------------------------------------------------------
+
+enum DecoupledState {
+    Characterize {
+        remaining: usize,
+        ones: Vec<u64>,
+    },
+    MonteCarlo {
+        latch_probabilities: Vec<f64>,
+        drawn: usize,
+        sum: f64,
+    },
+    Done(Estimate),
+}
+
+/// Session for the decoupled estimator: a long zero-delay characterisation
+/// of per-latch signal probabilities, then Monte-Carlo sampling with
+/// *independently* drawn latch bits (discarding latch correlations — the
+/// accuracy problem that motivates the paper).
+pub(crate) struct DecoupledSession<'c> {
+    name: String,
+    characterization_cycles: usize,
+    samples: usize,
+    zero: ZeroDelaySimulator<'c>,
+    full: VariableDelaySimulator<'c>,
+    calculator: PowerCalculator,
+    stream: InputStream,
+    rng: StdRng,
+    counts: CycleCounts,
+    state: DecoupledState,
+    elapsed_seconds: f64,
+}
+
+impl<'c> DecoupledSession<'c> {
+    pub(crate) fn new(
+        name: String,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &crate::input::InputModel,
+        seed_offset: u64,
+        characterization_cycles: usize,
+        samples: usize,
+    ) -> Result<DecoupledSession<'c>, DipeError> {
+        config.validate()?;
+        let base_seed = config.seed.wrapping_add(seed_offset);
+        let stream = input_model.stream(circuit, base_seed ^ 0xDECA_F000)?;
+        Ok(DecoupledSession {
+            name,
+            characterization_cycles,
+            samples,
+            zero: ZeroDelaySimulator::new(circuit),
+            full: VariableDelaySimulator::new(circuit, config.delay_model),
+            calculator: PowerCalculator::new(circuit, config.technology, &config.capacitance),
+            stream,
+            rng: StdRng::seed_from_u64(base_seed ^ 0xDECA_F001),
+            counts: CycleCounts::default(),
+            state: DecoupledState::Characterize {
+                remaining: characterization_cycles,
+                ones: vec![0u64; circuit.num_flip_flops()],
+            },
+            elapsed_seconds: 0.0,
+        })
+    }
+}
+
+impl EstimationSession for DecoupledSession<'_> {
+    fn estimator(&self) -> &str {
+        &self.name
+    }
+
+    fn cycles_done(&self) -> u64 {
+        self.counts.total()
+    }
+
+    fn step(&mut self, budget: CycleBudget) -> Result<Progress, DipeError> {
+        if let DecoupledState::Done(estimate) = &self.state {
+            return Ok(Progress::Done(estimate.clone()));
+        }
+        let step_start = Instant::now();
+        let deadline = self.counts.total().saturating_add(budget.get());
+
+        loop {
+            match &mut self.state {
+                DecoupledState::Characterize { remaining, ones } => {
+                    if *remaining > 0 && self.counts.total() >= deadline {
+                        break;
+                    }
+                    if *remaining > 0 {
+                        let inputs = self.stream.next_pattern();
+                        self.zero.step_state_only(&inputs);
+                        for (count, &q) in ones.iter_mut().zip(self.zero.latch_state().iter()) {
+                            if q {
+                                *count += 1;
+                            }
+                        }
+                        self.counts.zero_delay_cycles += 1;
+                        *remaining -= 1;
+                    }
+                    if *remaining == 0 {
+                        let denominator = self.characterization_cycles.max(1) as f64;
+                        self.state = DecoupledState::MonteCarlo {
+                            latch_probabilities: ones
+                                .iter()
+                                .map(|&c| c as f64 / denominator)
+                                .collect(),
+                            drawn: 0,
+                            sum: 0.0,
+                        };
+                    }
+                }
+                DecoupledState::MonteCarlo {
+                    latch_probabilities,
+                    drawn,
+                    sum,
+                } => {
+                    if *drawn < self.samples && self.counts.total() >= deadline {
+                        break;
+                    }
+                    if *drawn < self.samples {
+                        let state: Vec<bool> = latch_probabilities
+                            .iter()
+                            .map(|&p| self.rng.gen_bool(p.clamp(0.0, 1.0)))
+                            .collect();
+                        let present_inputs = self.stream.next_pattern();
+                        let next_inputs = self.stream.next_pattern();
+                        self.zero.reset_to(&state, &present_inputs);
+                        let prev = self.zero.values().to_vec();
+                        let activity = self.full.simulate_cycle(&prev, &next_inputs);
+                        *sum += self.calculator.cycle_power_w(&activity);
+                        self.counts.measured_cycles += 1;
+                        *drawn += 1;
+                    }
+                    if *drawn == self.samples {
+                        let estimate = Estimate {
+                            estimator: self.name.clone(),
+                            mean_power_w: *sum / self.samples.max(1) as f64,
+                            relative_half_width: None,
+                            sample_size: self.samples,
+                            cycle_counts: self.counts,
+                            elapsed_seconds: self.elapsed_seconds
+                                + step_start.elapsed().as_secs_f64(),
+                            diagnostics: Diagnostics::Decoupled {
+                                latch_probabilities: std::mem::take(latch_probabilities),
+                                characterization_cycles: self.characterization_cycles,
+                            },
+                        };
+                        self.state = DecoupledState::Done(estimate.clone());
+                        return Ok(Progress::Done(estimate));
+                    }
+                }
+                DecoupledState::Done(_) => unreachable!("handled at entry"),
+            }
+        }
+
+        self.elapsed_seconds += step_start.elapsed().as_secs_f64();
+        let (samples, phase) = match &self.state {
+            DecoupledState::MonteCarlo { drawn, .. } => (*drawn, SessionPhase::Sampling),
+            _ => (0, SessionPhase::Characterization),
+        };
+        Ok(Progress::Running {
+            cycles_done: self.counts.total(),
+            samples,
+            current_rhw: None,
+            phase,
+        })
+    }
+}

@@ -1,0 +1,191 @@
+//! The re-entrant session behind the DIPE estimator (Fig. 1 of the paper):
+//! warm-up, sequential independence-interval selection, block-wise sampling
+//! under the stopping criterion.
+
+use std::time::Instant;
+
+use seqstats::StoppingCriterion;
+
+use crate::config::DipeConfig;
+use crate::error::DipeError;
+use crate::estimate::{
+    CycleBudget, Diagnostics, Estimate, EstimationSession, Progress, SessionPhase,
+};
+use crate::independence::{IndependenceSelection, IntervalSelector, SelectorStep};
+use crate::sampler::PowerSampler;
+
+enum State {
+    Warmup {
+        remaining: usize,
+    },
+    SelectInterval {
+        selector: IntervalSelector,
+    },
+    Sampling {
+        selection: IndependenceSelection,
+        sample: Vec<f64>,
+        last_rhw: Option<f64>,
+    },
+    Done(Estimate),
+    Failed(DipeError),
+}
+
+/// Session state machine for the DIPE flow. Stepping through it in any
+/// budget increments produces exactly the same simulation sequence — and
+/// therefore the same estimate — as running it to completion in one call.
+pub(crate) struct DipeSession<'c> {
+    name: String,
+    config: DipeConfig,
+    sampler: PowerSampler<'c>,
+    criterion: Box<dyn StoppingCriterion>,
+    state: State,
+    elapsed_seconds: f64,
+}
+
+impl<'c> DipeSession<'c> {
+    pub(crate) fn new(
+        name: String,
+        config: &DipeConfig,
+        sampler: PowerSampler<'c>,
+    ) -> DipeSession<'c> {
+        DipeSession {
+            name,
+            criterion: config.build_criterion(),
+            config: config.clone(),
+            sampler,
+            state: State::Warmup {
+                remaining: config.warmup_cycles,
+            },
+            elapsed_seconds: 0.0,
+        }
+    }
+
+    fn phase(&self) -> SessionPhase {
+        match self.state {
+            State::Warmup { .. } => SessionPhase::Warmup,
+            State::SelectInterval { .. } => SessionPhase::IntervalSelection,
+            _ => SessionPhase::Sampling,
+        }
+    }
+
+    fn samples_collected(&self) -> usize {
+        match &self.state {
+            State::Sampling { sample, .. } => sample.len(),
+            State::Done(estimate) => estimate.sample_size,
+            _ => 0,
+        }
+    }
+
+    fn current_rhw(&self) -> Option<f64> {
+        match &self.state {
+            State::Sampling { last_rhw, .. } => *last_rhw,
+            State::Done(estimate) => estimate.relative_half_width,
+            _ => None,
+        }
+    }
+}
+
+impl EstimationSession for DipeSession<'_> {
+    fn estimator(&self) -> &str {
+        &self.name
+    }
+
+    fn cycles_done(&self) -> u64 {
+        self.sampler.cycle_counts().total()
+    }
+
+    fn step(&mut self, budget: CycleBudget) -> Result<Progress, DipeError> {
+        match &self.state {
+            State::Done(estimate) => return Ok(Progress::Done(estimate.clone())),
+            State::Failed(error) => return Err(error.clone()),
+            _ => {}
+        }
+        let step_start = Instant::now();
+        let deadline = self.cycles_done().saturating_add(budget.get());
+
+        loop {
+            match &mut self.state {
+                State::Warmup { remaining } => {
+                    if !super::advance_warmup(&mut self.sampler, remaining, deadline) {
+                        break;
+                    }
+                    self.state = State::SelectInterval {
+                        selector: IntervalSelector::new(&self.config),
+                    };
+                }
+                State::SelectInterval { selector } => {
+                    match selector.advance(&mut self.sampler, deadline) {
+                        Ok(SelectorStep::OutOfBudget) => break,
+                        Ok(SelectorStep::Selected(selection)) => {
+                            self.state = State::Sampling {
+                                selection,
+                                sample: Vec::with_capacity(self.config.min_samples.max(256)),
+                                last_rhw: None,
+                            };
+                        }
+                        Err(error) => {
+                            self.state = State::Failed(error.clone());
+                            return Err(error);
+                        }
+                    }
+                }
+                State::Sampling {
+                    selection,
+                    sample,
+                    last_rhw,
+                } => {
+                    match super::sample_in_blocks(
+                        &mut self.sampler,
+                        self.criterion.as_ref(),
+                        sample,
+                        last_rhw,
+                        selection.interval,
+                        self.config.block_size,
+                        self.config.max_samples,
+                        deadline,
+                    ) {
+                        super::BlockSampling::OutOfBudget => break,
+                        super::BlockSampling::Satisfied(decision) => {
+                            // The reported average power is always the sample
+                            // mean; the criterion's own point estimate only
+                            // governs termination.
+                            let estimate = Estimate {
+                                estimator: self.name.clone(),
+                                mean_power_w: seqstats::descriptive::mean(sample),
+                                relative_half_width: Some(decision.relative_half_width),
+                                sample_size: sample.len(),
+                                cycle_counts: self.sampler.cycle_counts(),
+                                elapsed_seconds: self.elapsed_seconds
+                                    + step_start.elapsed().as_secs_f64(),
+                                diagnostics: Diagnostics::Dipe {
+                                    selection: selection.clone(),
+                                    criterion: self.criterion.name().to_string(),
+                                    sample: std::mem::take(sample),
+                                },
+                            };
+                            self.state = State::Done(estimate.clone());
+                            return Ok(Progress::Done(estimate));
+                        }
+                        super::BlockSampling::BudgetExhausted(decision) => {
+                            let error = DipeError::SampleBudgetExhausted {
+                                samples: sample.len(),
+                                achieved_relative_half_width: decision.relative_half_width,
+                            };
+                            self.state = State::Failed(error.clone());
+                            return Err(error);
+                        }
+                    }
+                }
+                State::Done(_) | State::Failed(_) => unreachable!("handled at entry"),
+            }
+        }
+
+        self.elapsed_seconds += step_start.elapsed().as_secs_f64();
+        Ok(Progress::Running {
+            cycles_done: self.cycles_done(),
+            samples: self.samples_collected(),
+            current_rhw: self.current_rhw(),
+            phase: self.phase(),
+        })
+    }
+}

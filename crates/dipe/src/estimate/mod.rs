@@ -1,0 +1,351 @@
+//! The unified estimation API.
+//!
+//! Every estimator in this crate — the paper's DIPE procedure, the two
+//! baselines it is compared against, and the brute-force long-simulation
+//! reference — is exposed through one trait pair:
+//!
+//! * [`PowerEstimator`] turns a (circuit, configuration, input model, seed)
+//!   quadruple into a running [`EstimationSession`];
+//! * [`EstimationSession::step`] advances the session by a bounded number of
+//!   simulated clock cycles (a [`CycleBudget`]) and reports [`Progress`] —
+//!   either `Running` with live counters or `Done` with the final
+//!   [`Estimate`].
+//!
+//! The session design makes every estimator *re-entrant*: callers decide how
+//! many cycles to spend per step, so they get incremental progress reporting,
+//! deadlines and cancellation for free, instead of a monolithic blocking
+//! `run()`. Stepping never changes the result — a session driven with a tiny
+//! budget produces exactly the same [`Estimate`] as one driven to completion
+//! in a single call, because the underlying simulation sequence is identical.
+//!
+//! All estimators produce the same [`Estimate`] record (mean power, CI
+//! half-width, sample size, cycle accounting, wall-clock time), with
+//! per-estimator extras carried in the [`Diagnostics`] tagged enum. This
+//! replaces the previous `DipeResult` / `BaselineResult` split and makes
+//! cross-estimator comparison — the substance of Tables 1 and 2 — a matter
+//! of lining up identical records.
+//!
+//! Batch execution over many (circuit × estimator × seed) jobs lives in
+//! [`crate::engine`].
+//!
+//! # Example
+//!
+//! ```
+//! use dipe::estimate::{CycleBudget, PowerEstimator, Progress};
+//! use dipe::input::InputModel;
+//! use dipe::{DipeConfig, DipeEstimator};
+//! use netlist::iscas89;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = iscas89::load("s27")?;
+//! let config = DipeConfig::default().with_seed(7);
+//! let mut session = DipeEstimator::new().start(&circuit, &config, &InputModel::uniform(), 0)?;
+//! let estimate = loop {
+//!     match session.step(CycleBudget::cycles(10_000))? {
+//!         Progress::Running { cycles_done, .. } => eprintln!("{cycles_done} cycles so far"),
+//!         Progress::Done(estimate) => break estimate,
+//!     }
+//! };
+//! println!("{}: {:.3} mW", estimate.estimator, estimate.mean_power_mw());
+//! # Ok(())
+//! # }
+//! ```
+
+mod baseline_sessions;
+mod dipe_session;
+mod reference_session;
+
+pub(crate) use baseline_sessions::{DecoupledSession, FixedWarmupSession};
+pub(crate) use dipe_session::DipeSession;
+pub(crate) use reference_session::ReferenceSession;
+
+use netlist::Circuit;
+
+use crate::config::DipeConfig;
+use crate::error::DipeError;
+use crate::independence::IndependenceSelection;
+use crate::input::InputModel;
+use crate::sampler::CycleCounts;
+
+/// An upper bound on the number of clock cycles (zero-delay and measured
+/// combined) one [`EstimationSession::step`] call may simulate.
+///
+/// Sessions stop at the first convenient point *at or after* the budget is
+/// consumed (they never split a power sample), so a step may overshoot by a
+/// few cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CycleBudget(u64);
+
+impl CycleBudget {
+    /// A budget of `n` simulated clock cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a zero budget could never make progress.
+    pub fn cycles(n: u64) -> Self {
+        assert!(n > 0, "a cycle budget must allow at least one cycle");
+        CycleBudget(n)
+    }
+
+    /// An effectively unlimited budget: the session runs to completion in a
+    /// single step.
+    pub const fn unbounded() -> Self {
+        CycleBudget(u64::MAX)
+    }
+
+    /// The number of cycles this budget allows.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Which stage of its flow a session is currently in (reported in
+/// [`Progress::Running`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum SessionPhase {
+    /// Initial warm-up: the FSM is forgetting its reset state.
+    Warmup,
+    /// Sequential independence-interval selection (DIPE, Fig. 2).
+    IntervalSelection,
+    /// Signal-probability characterisation (decoupled baseline).
+    Characterization,
+    /// Collecting power samples until the stopping criterion fires.
+    Sampling,
+    /// Measuring consecutive cycles (long-simulation reference).
+    Measurement,
+}
+
+/// The outcome of one [`EstimationSession::step`] call.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Progress {
+    /// The session consumed its cycle budget without finishing.
+    Running {
+        /// Total simulated cycles so far (all kinds, across all steps).
+        cycles_done: u64,
+        /// Power samples collected so far.
+        samples: usize,
+        /// Relative confidence-interval half-width at the most recent
+        /// stopping-criterion evaluation, when the estimator has one.
+        current_rhw: Option<f64>,
+        /// The stage the session is currently in.
+        phase: SessionPhase,
+    },
+    /// The session finished and produced its estimate. Subsequent `step`
+    /// calls return the same value.
+    Done(Estimate),
+}
+
+/// Estimator-specific diagnostics attached to an [`Estimate`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum Diagnostics {
+    /// DIPE: the independence-interval selection trace, the stopping
+    /// criterion used, and the raw power sample.
+    Dipe {
+        /// Outcome of the sequential interval-selection procedure.
+        selection: IndependenceSelection,
+        /// Name of the stopping criterion that terminated sampling.
+        criterion: String,
+        /// The raw power sample in watts, in collection order.
+        sample: Vec<f64>,
+    },
+    /// Decoupled-combinational baseline: the per-latch stationary signal
+    /// probabilities it sampled present states from.
+    Decoupled {
+        /// Estimated stationary one-probability of each latch.
+        latch_probabilities: Vec<f64>,
+        /// Zero-delay cycles spent estimating them.
+        characterization_cycles: usize,
+    },
+    /// Fixed conservative warm-up baseline.
+    FixedWarmup {
+        /// Zero-delay cycles simulated before every sample.
+        warmup_per_sample: usize,
+        /// Name of the stopping criterion that terminated sampling.
+        criterion: String,
+    },
+    /// Long-simulation reference: the full per-cycle power summary.
+    Reference {
+        /// Min/max/mean/variance of per-cycle power over the measured run.
+        summary: power::PowerSummary,
+    },
+}
+
+/// The unified result record every estimator produces.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Estimate {
+    /// Name of the estimator that produced this estimate.
+    pub estimator: String,
+    /// Estimated average power in watts.
+    pub mean_power_w: f64,
+    /// Relative half-width of the confidence interval achieved when the
+    /// estimator stopped, when it monitors one.
+    pub relative_half_width: Option<f64>,
+    /// Number of power samples behind the estimate (for the reference, the
+    /// number of measured cycles).
+    pub sample_size: usize,
+    /// Cycle bookkeeping (zero-delay vs measured cycles).
+    pub cycle_counts: CycleCounts,
+    /// Wall-clock seconds spent inside `step` calls, summed over the
+    /// session's lifetime.
+    pub elapsed_seconds: f64,
+    /// Estimator-specific extras.
+    pub diagnostics: Diagnostics,
+}
+
+impl Estimate {
+    /// Estimated average power in milliwatts (the unit of Table 1).
+    pub fn mean_power_mw(&self) -> f64 {
+        self.mean_power_w * 1e3
+    }
+
+    /// Relative deviation from a reference power (Eq. 8, single run), as a
+    /// fraction.
+    pub fn relative_deviation_from(&self, reference_power_w: f64) -> f64 {
+        crate::report::relative_deviation(reference_power_w, self.mean_power_w)
+    }
+
+    /// The selected independence interval, when this estimate came from DIPE.
+    pub fn independence_interval(&self) -> Option<usize> {
+        match &self.diagnostics {
+            Diagnostics::Dipe { selection, .. } => Some(selection.interval),
+            _ => None,
+        }
+    }
+}
+
+/// A configured estimation algorithm that can open sessions on circuits.
+///
+/// Implementations are plain value types carrying only algorithm parameters;
+/// everything run-specific (circuit, configuration, input model, seed) is
+/// supplied to [`start`](Self::start). `Send + Sync` is required so the batch
+/// [`Engine`](crate::engine::Engine) can share estimators across worker
+/// threads.
+pub trait PowerEstimator: Send + Sync {
+    /// Human-readable estimator name, used in reports and [`Estimate`]s.
+    fn name(&self) -> String;
+
+    /// Opens a session estimating the average power of `circuit` under
+    /// `input_model`.
+    ///
+    /// `seed_offset` is mixed into the RNG seed from `config.seed`, so batch
+    /// runs can make jobs statistically independent while staying
+    /// reproducible: the estimate depends only on the inputs to this call,
+    /// never on scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipeError::InvalidConfig`] or
+    /// [`DipeError::InputModelMismatch`] if `config` or `input_model` is
+    /// unusable for this circuit.
+    fn start<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        seed_offset: u64,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError>;
+}
+
+/// A running, re-entrant estimation.
+///
+/// Obtained from [`PowerEstimator::start`]. Call [`step`](Self::step)
+/// repeatedly; each call simulates at most the given [`CycleBudget`] and
+/// reports progress. After `Done` is returned, further calls keep returning
+/// the same `Done` value; after an error, further calls keep returning the
+/// same error.
+pub trait EstimationSession {
+    /// Name of the estimator driving this session.
+    fn estimator(&self) -> &str;
+
+    /// Total simulated cycles so far (all kinds, across all steps).
+    fn cycles_done(&self) -> u64;
+
+    /// Advances the estimation by at most `budget` simulated cycles.
+    ///
+    /// # Errors
+    ///
+    /// * [`DipeError::NoIndependenceInterval`] if no interval up to the
+    ///   configured maximum passes the randomness test (DIPE only);
+    /// * [`DipeError::SampleBudgetExhausted`] if the accuracy specification
+    ///   is not met within `config.max_samples` samples.
+    fn step(&mut self, budget: CycleBudget) -> Result<Progress, DipeError>;
+}
+
+/// Advances a sampler-backed warm-up by as much of the remaining budget as
+/// possible (shared by the DIPE, fixed warm-up and reference sessions).
+/// Returns `true` once the warm-up has completed; `false` means the cycle
+/// budget ran out first and the session should report `Running`.
+pub(crate) fn advance_warmup(
+    sampler: &mut crate::sampler::PowerSampler<'_>,
+    remaining: &mut usize,
+    deadline: u64,
+) -> bool {
+    let allowed = deadline.saturating_sub(sampler.cycle_counts().total());
+    let chunk = (*remaining).min(allowed.min(usize::MAX as u64) as usize);
+    sampler.advance(chunk);
+    *remaining -= chunk;
+    *remaining == 0
+}
+
+/// Outcome of one [`sample_in_blocks`] call.
+pub(crate) enum BlockSampling {
+    /// The cycle deadline was reached; call again to continue.
+    OutOfBudget,
+    /// The stopping criterion is satisfied.
+    Satisfied(seqstats::StoppingDecision),
+    /// `max_samples` was reached without satisfying the criterion.
+    BudgetExhausted(seqstats::StoppingDecision),
+}
+
+/// The shared sampling loop of the DIPE and fixed warm-up sessions: draw
+/// samples at `interval` decorrelation cycles each, evaluate the stopping
+/// criterion at block boundaries, and honour the cycle deadline with
+/// per-sample granularity (the overshoot is at most one sample, never a
+/// block).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_in_blocks(
+    sampler: &mut crate::sampler::PowerSampler<'_>,
+    criterion: &dyn seqstats::StoppingCriterion,
+    sample: &mut Vec<f64>,
+    last_rhw: &mut Option<f64>,
+    interval: usize,
+    block_size: usize,
+    max_samples: usize,
+    deadline: u64,
+) -> BlockSampling {
+    loop {
+        if sampler.cycle_counts().total() >= deadline {
+            return BlockSampling::OutOfBudget;
+        }
+        sample.push(sampler.sample_power_w(interval));
+        if !sample.len().is_multiple_of(block_size) {
+            continue;
+        }
+        let decision = criterion.evaluate(sample);
+        *last_rhw = Some(decision.relative_half_width);
+        if decision.satisfied {
+            return BlockSampling::Satisfied(decision);
+        }
+        if sample.len() >= max_samples {
+            return BlockSampling::BudgetExhausted(decision);
+        }
+    }
+}
+
+/// Drives `session` to completion and returns its estimate — the bridge from
+/// the session API back to a blocking call.
+///
+/// # Errors
+///
+/// Propagates the first error the session reports.
+pub fn run_to_completion(
+    mut session: Box<dyn EstimationSession + '_>,
+) -> Result<Estimate, DipeError> {
+    loop {
+        if let Progress::Done(estimate) = session.step(CycleBudget::unbounded())? {
+            return Ok(estimate);
+        }
+    }
+}

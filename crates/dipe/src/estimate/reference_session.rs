@@ -1,0 +1,123 @@
+//! Re-entrant session behind the brute-force long-simulation reference (the
+//! `SIM` column of Table 1): warm-up, then a fixed number of consecutive
+//! measured cycles.
+
+use std::time::Instant;
+
+use power::PowerSummary;
+
+use crate::error::DipeError;
+use crate::estimate::{
+    CycleBudget, Diagnostics, Estimate, EstimationSession, Progress, SessionPhase,
+};
+use crate::sampler::PowerSampler;
+
+enum State {
+    Warmup {
+        remaining: usize,
+    },
+    Measure {
+        remaining: usize,
+        summary: PowerSummary,
+    },
+    Done(Estimate),
+}
+
+/// Session measuring `cycles` consecutive clock cycles with the
+/// general-delay simulator and averaging their power.
+pub(crate) struct ReferenceSession<'c> {
+    name: String,
+    cycles: usize,
+    sampler: PowerSampler<'c>,
+    state: State,
+    elapsed_seconds: f64,
+}
+
+impl<'c> ReferenceSession<'c> {
+    pub(crate) fn new(
+        name: String,
+        warmup_cycles: usize,
+        cycles: usize,
+        sampler: PowerSampler<'c>,
+    ) -> ReferenceSession<'c> {
+        ReferenceSession {
+            name,
+            cycles,
+            sampler,
+            state: State::Warmup {
+                remaining: warmup_cycles,
+            },
+            elapsed_seconds: 0.0,
+        }
+    }
+}
+
+impl EstimationSession for ReferenceSession<'_> {
+    fn estimator(&self) -> &str {
+        &self.name
+    }
+
+    fn cycles_done(&self) -> u64 {
+        self.sampler.cycle_counts().total()
+    }
+
+    fn step(&mut self, budget: CycleBudget) -> Result<Progress, DipeError> {
+        if let State::Done(estimate) = &self.state {
+            return Ok(Progress::Done(estimate.clone()));
+        }
+        let step_start = Instant::now();
+        let deadline = self.cycles_done().saturating_add(budget.get());
+
+        loop {
+            match &mut self.state {
+                State::Warmup { remaining } => {
+                    if !super::advance_warmup(&mut self.sampler, remaining, deadline) {
+                        break;
+                    }
+                    self.state = State::Measure {
+                        remaining: self.cycles,
+                        summary: PowerSummary::new(),
+                    };
+                }
+                State::Measure { remaining, summary } => {
+                    if *remaining > 0 && self.sampler.cycle_counts().total() >= deadline {
+                        break;
+                    }
+                    if *remaining > 0 {
+                        summary.add(self.sampler.measure_cycle_power_w());
+                        *remaining -= 1;
+                    }
+                    if *remaining == 0 {
+                        let estimate = Estimate {
+                            estimator: self.name.clone(),
+                            mean_power_w: summary.mean_w(),
+                            relative_half_width: None,
+                            sample_size: self.cycles,
+                            cycle_counts: self.sampler.cycle_counts(),
+                            elapsed_seconds: self.elapsed_seconds
+                                + step_start.elapsed().as_secs_f64(),
+                            diagnostics: Diagnostics::Reference { summary: *summary },
+                        };
+                        self.state = State::Done(estimate.clone());
+                        return Ok(Progress::Done(estimate));
+                    }
+                }
+                State::Done(_) => unreachable!("handled at entry"),
+            }
+        }
+
+        self.elapsed_seconds += step_start.elapsed().as_secs_f64();
+        let (samples, phase) = match &self.state {
+            State::Measure { remaining, .. } => {
+                (self.cycles - *remaining, SessionPhase::Measurement)
+            }
+            _ => (0, SessionPhase::Warmup),
+        };
+        Ok(Progress::Running {
+            cycles_done: self.cycles_done(),
+            samples,
+            current_rhw: None,
+            phase,
+        })
+    }
+}

@@ -1,18 +1,21 @@
 //! The DIPE estimator: warm-up, independence-interval selection, sampling and
-//! stopping (Fig. 1 of the paper).
-
-use std::time::Instant;
+//! stopping (Fig. 1 of the paper), exposed through the unified
+//! [`PowerEstimator`] session API.
 
 use netlist::Circuit;
-use seqstats::StoppingDecision;
 
 use crate::config::DipeConfig;
 use crate::error::DipeError;
-use crate::independence::{select_independence_interval, IndependenceSelection};
+use crate::estimate::{
+    run_to_completion, Diagnostics, DipeSession, Estimate, EstimationSession, PowerEstimator,
+};
+use crate::independence::IndependenceSelection;
 use crate::input::InputModel;
 use crate::sampler::{CycleCounts, PowerSampler};
 
-/// The result of one DIPE estimation run.
+/// The result of one DIPE estimation run — the DIPE-shaped view of an
+/// [`Estimate`], kept for callers that want the selection diagnostics and
+/// raw sample without matching on [`Diagnostics`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DipeResult {
     mean_power_w: f64,
@@ -25,6 +28,33 @@ pub struct DipeResult {
 }
 
 impl DipeResult {
+    fn from_estimate(estimate: Estimate) -> DipeResult {
+        let Estimate {
+            mean_power_w,
+            relative_half_width,
+            cycle_counts,
+            elapsed_seconds,
+            diagnostics,
+            ..
+        } = estimate;
+        match diagnostics {
+            Diagnostics::Dipe {
+                selection,
+                criterion,
+                sample,
+            } => DipeResult {
+                mean_power_w,
+                relative_half_width: relative_half_width.unwrap_or(f64::NAN),
+                sample,
+                selection,
+                cycle_counts,
+                elapsed_seconds,
+                criterion_name: criterion,
+            },
+            _ => unreachable!("a DIPE session always attaches DIPE diagnostics"),
+        }
+    }
+
     /// The estimated average power in watts.
     #[inline]
     pub fn mean_power_w(&self) -> f64 {
@@ -96,107 +126,73 @@ impl DipeResult {
     }
 }
 
-/// The DIPE estimator bound to one circuit, configuration and input model.
-#[derive(Debug)]
-pub struct DipeEstimator<'c> {
-    circuit: &'c Circuit,
-    config: DipeConfig,
-    input_model: InputModel,
+/// The paper's estimator. A plain specification value: the circuit,
+/// configuration and input model are supplied when a session is
+/// [started](PowerEstimator::start) (or to the blocking [`run`](Self::run)
+/// wrapper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DipeEstimator {
     seed_offset: u64,
 }
 
-impl<'c> DipeEstimator<'c> {
-    /// Creates an estimator.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DipeError::InvalidConfig`] or
-    /// [`DipeError::InputModelMismatch`] if the configuration or input model
-    /// is unusable for this circuit.
-    pub fn new(
-        circuit: &'c Circuit,
-        config: DipeConfig,
-        input_model: InputModel,
-    ) -> Result<Self, DipeError> {
-        config.validate()?;
-        input_model.validate(circuit)?;
-        Ok(DipeEstimator {
-            circuit,
-            config,
-            input_model,
-            seed_offset: 0,
-        })
+impl DipeEstimator {
+    /// Creates the estimator with a seed offset of zero.
+    pub fn new() -> Self {
+        DipeEstimator::default()
     }
 
-    /// Sets an additional seed offset mixed into the sampler's RNG. Used by
-    /// the repeated-run harness (Table 2) to make runs statistically
-    /// independent while keeping the whole experiment reproducible.
+    /// Sets an additional seed offset mixed into the sampler's RNG (builder
+    /// style). Used by repeated-run harnesses (Table 2) to make runs
+    /// statistically independent while keeping the whole experiment
+    /// reproducible.
     pub fn with_seed_offset(mut self, seed_offset: u64) -> Self {
         self.seed_offset = seed_offset;
         self
     }
 
-    /// The configuration of this estimator.
-    pub fn config(&self) -> &DipeConfig {
-        &self.config
-    }
-
-    /// Runs the full estimation flow of Fig. 1: warm-up, independence
-    /// interval selection, block-wise sampling until the stopping criterion
-    /// is satisfied.
+    /// Runs the full estimation flow of Fig. 1 to completion — a thin
+    /// compatibility wrapper that opens a session and drives it with an
+    /// unbounded budget. Use [`PowerEstimator::start`] directly for
+    /// incremental progress, deadlines or cancellation.
     ///
     /// # Errors
     ///
+    /// * [`DipeError::InvalidConfig`] / [`DipeError::InputModelMismatch`]
+    ///   for unusable configurations or input models;
     /// * [`DipeError::NoIndependenceInterval`] if no interval up to the
     ///   configured maximum passes the randomness test;
     /// * [`DipeError::SampleBudgetExhausted`] if the accuracy specification is
     ///   not met within `max_samples` samples.
-    pub fn run(&mut self) -> Result<DipeResult, DipeError> {
-        let start = Instant::now();
-        let mut sampler =
-            PowerSampler::new(self.circuit, &self.config, &self.input_model, self.seed_offset)?;
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+    ) -> Result<DipeResult, DipeError> {
+        let session = self.start(circuit, config, input_model, 0)?;
+        Ok(DipeResult::from_estimate(run_to_completion(session)?))
+    }
+}
 
-        // Initial warm-up: let the FSM forget the reset state.
-        sampler.advance(self.config.warmup_cycles);
+impl PowerEstimator for DipeEstimator {
+    fn name(&self) -> String {
+        "DIPE (runs-test interval)".to_string()
+    }
 
-        // Phase 1: independence interval (Fig. 2).
-        let selection = select_independence_interval(&mut sampler, &self.config)?;
-        let interval = selection.interval;
-
-        // Phase 2: block-wise sampling with the stopping criterion (Fig. 1).
-        let criterion = self.config.build_criterion();
-        let mut sample: Vec<f64> = Vec::with_capacity(self.config.min_samples.max(256));
-        let mut decision: StoppingDecision;
-        loop {
-            for _ in 0..self.config.block_size {
-                sample.push(sampler.sample_power_w(interval));
-            }
-            decision = criterion.evaluate(&sample);
-            if decision.satisfied {
-                break;
-            }
-            if sample.len() >= self.config.max_samples {
-                return Err(DipeError::SampleBudgetExhausted {
-                    samples: sample.len(),
-                    achieved_relative_half_width: decision.relative_half_width,
-                });
-            }
-        }
-
-        // The reported average power is always the sample mean; the stopping
-        // criterion's own point estimate (e.g. the median for the
-        // order-statistic rule) only governs termination.
-        let mean_power_w = seqstats::descriptive::mean(&sample);
-
-        Ok(DipeResult {
-            mean_power_w,
-            relative_half_width: decision.relative_half_width,
-            sample,
-            selection,
-            cycle_counts: sampler.cycle_counts(),
-            elapsed_seconds: start.elapsed().as_secs_f64(),
-            criterion_name: criterion.name().to_string(),
-        })
+    fn start<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        seed_offset: u64,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        let sampler = PowerSampler::new(
+            circuit,
+            config,
+            input_model,
+            self.seed_offset.wrapping_add(seed_offset),
+        )?;
+        Ok(Box::new(DipeSession::new(self.name(), config, sampler)))
     }
 }
 
@@ -209,9 +205,8 @@ mod tests {
     fn run_on(name: &str, seed: u64) -> DipeResult {
         let c = iscas89::load(name).unwrap();
         let config = DipeConfig::default().with_seed(seed);
-        DipeEstimator::new(&c, config, InputModel::uniform())
-            .unwrap()
-            .run()
+        DipeEstimator::new()
+            .run(&c, &config, &InputModel::uniform())
             .unwrap()
     }
 
@@ -231,9 +226,8 @@ mod tests {
     fn estimate_matches_long_simulation_within_tolerance() {
         let c = iscas89::load("s27").unwrap();
         let config = DipeConfig::default().with_seed(5);
-        let result = DipeEstimator::new(&c, config.clone(), InputModel::uniform())
-            .unwrap()
-            .run()
+        let result = DipeEstimator::new()
+            .run(&c, &config, &InputModel::uniform())
             .unwrap();
         let reference = crate::reference::LongSimulationReference::new(30_000)
             .run(&c, &config, &InputModel::uniform())
@@ -260,18 +254,55 @@ mod tests {
     }
 
     #[test]
+    fn stepped_session_matches_blocking_run_exactly() {
+        // The re-entrancy contract: driving the session in tiny budget
+        // increments must produce the identical estimate, because the
+        // simulation sequence does not depend on the step boundaries.
+        use crate::estimate::{CycleBudget, Progress};
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(9);
+        let blocking = DipeEstimator::new()
+            .run(&c, &config, &InputModel::uniform())
+            .unwrap();
+
+        let mut session = DipeEstimator::new()
+            .start(&c, &config, &InputModel::uniform(), 0)
+            .unwrap();
+        let mut running_reports = 0usize;
+        let stepped = loop {
+            match session.step(CycleBudget::cycles(500)).unwrap() {
+                Progress::Running { .. } => running_reports += 1,
+                Progress::Done(estimate) => break estimate,
+            }
+        };
+        assert!(
+            running_reports > 1,
+            "a 500-cycle budget must interrupt the run"
+        );
+        assert_eq!(stepped.mean_power_w, blocking.mean_power_w());
+        assert_eq!(stepped.sample_size, blocking.sample_size());
+        assert_eq!(
+            stepped.independence_interval(),
+            Some(blocking.independence_interval())
+        );
+        // A finished session keeps reporting Done with the same estimate.
+        match session.step(CycleBudget::cycles(1)).unwrap() {
+            Progress::Done(again) => assert_eq!(again.mean_power_w, stepped.mean_power_w),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn seed_offset_changes_the_run_but_not_the_ballpark() {
         let c = iscas89::load("s27").unwrap();
         let config = DipeConfig::default().with_seed(3);
-        let a = DipeEstimator::new(&c, config.clone(), InputModel::uniform())
-            .unwrap()
+        let a = DipeEstimator::new()
             .with_seed_offset(1)
-            .run()
+            .run(&c, &config, &InputModel::uniform())
             .unwrap();
-        let b = DipeEstimator::new(&c, config, InputModel::uniform())
-            .unwrap()
+        let b = DipeEstimator::new()
             .with_seed_offset(2)
-            .run()
+            .run(&c, &config, &InputModel::uniform())
             .unwrap();
         assert_ne!(a.sample(), b.sample());
         let rel = (a.mean_power_w() - b.mean_power_w()).abs() / a.mean_power_w();
@@ -289,9 +320,8 @@ mod tests {
         let c = iscas89::load("s27").unwrap();
         for kind in [CriterionKind::OrderStatistic, CriterionKind::Dkw] {
             let config = DipeConfig::default().with_seed(21).with_criterion(kind);
-            let result = DipeEstimator::new(&c, config, InputModel::uniform())
-                .unwrap()
-                .run()
+            let result = DipeEstimator::new()
+                .run(&c, &config, &InputModel::uniform())
                 .unwrap();
             assert!(result.mean_power_w() > 0.0, "{kind:?}");
             assert!(result.relative_half_width() < 0.05, "{kind:?}");
@@ -306,7 +336,7 @@ mod tests {
             p_one: 0.5,
             correlation: 0.7,
         };
-        let result = DipeEstimator::new(&c, config, model).unwrap().run().unwrap();
+        let result = DipeEstimator::new().run(&c, &config, &model).unwrap();
         assert!(result.mean_power_w() > 0.0);
         // Correlated inputs slow the mixing, so the interval may be larger,
         // but it must still be found.
@@ -316,43 +346,73 @@ mod tests {
     #[test]
     fn tight_accuracy_needs_more_samples() {
         let c = iscas89::load("s27").unwrap();
-        let loose = DipeEstimator::new(
-            &c,
-            DipeConfig::default().with_seed(41).with_accuracy(0.10, 0.95),
-            InputModel::uniform(),
-        )
-        .unwrap()
-        .run()
-        .unwrap();
-        let tight = DipeEstimator::new(
-            &c,
-            DipeConfig::default().with_seed(41).with_accuracy(0.02, 0.99),
-            InputModel::uniform(),
-        )
-        .unwrap()
-        .run()
-        .unwrap();
+        let loose = DipeEstimator::new()
+            .run(
+                &c,
+                &DipeConfig::default()
+                    .with_seed(41)
+                    .with_accuracy(0.10, 0.95),
+                &InputModel::uniform(),
+            )
+            .unwrap();
+        let tight = DipeEstimator::new()
+            .run(
+                &c,
+                &DipeConfig::default()
+                    .with_seed(41)
+                    .with_accuracy(0.02, 0.99),
+                &InputModel::uniform(),
+            )
+            .unwrap();
         assert!(tight.sample_size() > loose.sample_size());
     }
 
     #[test]
     fn sample_budget_exhaustion_is_reported() {
         let c = iscas89::load("s27").unwrap();
-        let mut config = DipeConfig::default().with_seed(55).with_accuracy(0.001, 0.99);
-        config.max_samples = 256;
-        let err = DipeEstimator::new(&c, config, InputModel::uniform())
-            .unwrap()
-            .run()
+        let mut config = DipeConfig::default()
+            .with_seed(55)
+            .with_accuracy(0.001, 0.99);
+        config.max_samples = 320;
+        let err = DipeEstimator::new()
+            .run(&c, &config, &InputModel::uniform())
             .unwrap_err();
-        assert!(matches!(err, DipeError::SampleBudgetExhausted { samples, .. } if samples >= 256));
+        assert!(matches!(err, DipeError::SampleBudgetExhausted { samples, .. } if samples >= 320));
     }
 
     #[test]
-    fn invalid_input_model_rejected_at_construction() {
+    fn failed_sessions_keep_reporting_their_error() {
+        use crate::estimate::CycleBudget;
+        let c = iscas89::load("s27").unwrap();
+        let mut config = DipeConfig::default()
+            .with_seed(55)
+            .with_accuracy(0.001, 0.99);
+        config.max_samples = 320;
+        let mut session = DipeEstimator::new()
+            .start(&c, &config, &InputModel::uniform(), 0)
+            .unwrap();
+        let first = loop {
+            match session.step(CycleBudget::unbounded()) {
+                Ok(_) => continue,
+                Err(error) => break error,
+            }
+        };
+        assert!(matches!(first, DipeError::SampleBudgetExhausted { .. }));
+        let second = session.step(CycleBudget::cycles(1)).unwrap_err();
+        assert!(matches!(second, DipeError::SampleBudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn invalid_input_model_rejected_at_start() {
         let c = iscas89::load("s27").unwrap();
         let model = InputModel::PerInput {
             probabilities: vec![0.5],
         };
-        assert!(DipeEstimator::new(&c, DipeConfig::default(), model).is_err());
+        assert!(DipeEstimator::new()
+            .run(&c, &DipeConfig::default(), &model)
+            .is_err());
+        assert!(DipeEstimator::new()
+            .start(&c, &DipeConfig::default(), &model, 0)
+            .is_err());
     }
 }

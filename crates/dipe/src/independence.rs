@@ -50,36 +50,108 @@ impl IndependenceSelection {
     }
 }
 
-/// Runs the sequential selection procedure of Fig. 2.
+/// Outcome of one [`IntervalSelector::advance`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectorStep {
+    /// The cycle deadline was reached before an interval was accepted; call
+    /// [`advance`](IntervalSelector::advance) again to continue.
+    OutOfBudget,
+    /// An interval passed the randomness test.
+    Selected(IndependenceSelection),
+}
+
+/// Resumable driver of the sequential selection procedure of Fig. 2 — the
+/// single implementation behind both the blocking
+/// [`select_independence_interval`] and the re-entrant DIPE session, so the
+/// two can never diverge.
+#[derive(Debug, Clone)]
+pub struct IntervalSelector {
+    test: RunsTest,
+    sequence_length: usize,
+    max_interval: usize,
+    interval: usize,
+    sequence: Vec<f64>,
+    trials: Vec<IntervalTrial>,
+}
+
+impl IntervalSelector {
+    /// Creates a selector starting at a trial interval of zero.
+    pub fn new(config: &DipeConfig) -> Self {
+        IntervalSelector {
+            test: RunsTest::new(config.significance_level),
+            sequence_length: config.sequence_length,
+            max_interval: config.max_independence_interval,
+            interval: 0,
+            sequence: Vec::with_capacity(config.sequence_length),
+            trials: Vec::new(),
+        }
+    }
+
+    /// The trial interval currently being tested.
+    pub fn current_interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Continues the procedure until an interval is accepted or the sampler's
+    /// total simulated cycle count reaches `deadline_cycles` (checked before
+    /// every sample, so the overshoot is at most one sample).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipeError::NoIndependenceInterval`] if no interval up to the
+    /// configured maximum passes the test. In practice this only happens for
+    /// pathologically periodic circuits; the paper's φ-mixing assumption
+    /// guarantees an interval exists.
+    pub fn advance(
+        &mut self,
+        sampler: &mut PowerSampler<'_>,
+        deadline_cycles: u64,
+    ) -> Result<SelectorStep, DipeError> {
+        loop {
+            while self.sequence.len() < self.sequence_length {
+                if sampler.cycle_counts().total() >= deadline_cycles {
+                    return Ok(SelectorStep::OutOfBudget);
+                }
+                self.sequence.push(sampler.sample_power_w(self.interval));
+            }
+            let outcome = self.test.evaluate(&self.sequence);
+            self.trials.push(IntervalTrial {
+                interval: self.interval,
+                z: outcome.z,
+                runs: outcome.runs,
+                accepted: outcome.accepted,
+            });
+            if outcome.accepted {
+                return Ok(SelectorStep::Selected(IndependenceSelection {
+                    interval: self.interval,
+                    trials: std::mem::take(&mut self.trials),
+                }));
+            }
+            if self.interval >= self.max_interval {
+                return Err(DipeError::NoIndependenceInterval {
+                    max_interval: self.max_interval,
+                });
+            }
+            self.interval += 1;
+            self.sequence.clear();
+        }
+    }
+}
+
+/// Runs the sequential selection procedure of Fig. 2 to completion.
 ///
 /// # Errors
 ///
 /// Returns [`DipeError::NoIndependenceInterval`] if no interval up to
-/// `config.max_independence_interval` passes the test. In practice this only
-/// happens for pathologically periodic circuits; the paper's φ-mixing
-/// assumption guarantees an interval exists.
+/// `config.max_independence_interval` passes the test.
 pub fn select_independence_interval(
     sampler: &mut PowerSampler<'_>,
     config: &DipeConfig,
 ) -> Result<IndependenceSelection, DipeError> {
-    let test = RunsTest::new(config.significance_level);
-    let mut trials = Vec::new();
-    for interval in 0..=config.max_independence_interval {
-        let sequence = sampler.collect_sequence(config.sequence_length, interval);
-        let outcome = test.evaluate(&sequence);
-        trials.push(IntervalTrial {
-            interval,
-            z: outcome.z,
-            runs: outcome.runs,
-            accepted: outcome.accepted,
-        });
-        if outcome.accepted {
-            return Ok(IndependenceSelection { interval, trials });
-        }
+    match IntervalSelector::new(config).advance(sampler, u64::MAX)? {
+        SelectorStep::Selected(selection) => Ok(selection),
+        SelectorStep::OutOfBudget => unreachable!("the deadline is unbounded"),
     }
-    Err(DipeError::NoIndependenceInterval {
-        max_interval: config.max_independence_interval,
-    })
 }
 
 /// Evaluates the runs-test statistic at *every* interval in
@@ -159,7 +231,10 @@ mod tests {
         let profile = z_statistic_profile(&mut sampler, &config, 6, 1000);
         assert_eq!(profile.len(), 7);
         let z0 = profile[0].z.abs();
-        let z_late: f64 = profile[4..].iter().map(|t| t.z.abs()).fold(f64::INFINITY, f64::min);
+        let z_late: f64 = profile[4..]
+            .iter()
+            .map(|t| t.z.abs())
+            .fold(f64::INFINITY, f64::min);
         assert!(
             z_late <= z0 + 1e-9,
             "|z| should not grow with the interval: z0 = {z0}, late = {z_late}"

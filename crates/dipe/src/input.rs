@@ -310,7 +310,9 @@ mod tests {
         let mut s = model.stream(&c, 4).unwrap();
         // Track the first input bit over time and estimate its lag-1
         // autocorrelation.
-        let bits: Vec<f64> = (0..4000).map(|_| f64::from(u8::from(s.next_pattern()[0]))).collect();
+        let bits: Vec<f64> = (0..4000)
+            .map(|_| f64::from(u8::from(s.next_pattern()[0])))
+            .collect();
         let rho = seqstats::autocorr::autocorrelation(&bits, 1);
         assert!(rho > 0.6, "estimated lag-1 correlation {rho}");
         // Stationary frequency still about 0.5.
@@ -341,7 +343,9 @@ mod tests {
             vec![true, false, false, false],
             vec![false, true, false, false],
         ];
-        let model = InputModel::Trace { patterns: patterns.clone() };
+        let model = InputModel::Trace {
+            patterns: patterns.clone(),
+        };
         let mut s = model.stream(&c, 6).unwrap();
         assert_eq!(s.next_pattern(), patterns[0]);
         assert_eq!(s.next_pattern(), patterns[1]);

@@ -24,22 +24,42 @@
 //! correlations, and a fixed conservative warm-up Monte-Carlo estimator
 //! ([`baselines`]).
 //!
+//! # The unified estimation API
+//!
+//! All four estimators implement one trait pair ([`estimate`]):
+//! [`PowerEstimator::start`] opens a re-entrant [`EstimationSession`] whose
+//! [`step`](EstimationSession::step) advances the run by a bounded
+//! [`CycleBudget`] and reports [`Progress`] — incremental progress,
+//! deadlines and cancellation instead of a monolithic blocking call. Every
+//! session finishes with the same [`Estimate`] record, so estimators compare
+//! column-for-column. The batch [`Engine`] ([`engine`]) runs whole job lists
+//! (circuit × estimator × seed) across threads with deterministic per-job
+//! seeding — it powers the Table 1 and Table 2 sweeps.
+//!
 //! # Quick start
 //!
 //! ```
-//! use dipe::{DipeConfig, DipeEstimator};
 //! use dipe::input::InputModel;
+//! use dipe::{CycleBudget, DipeConfig, DipeEstimator, PowerEstimator, Progress};
 //! use netlist::iscas89;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let circuit = iscas89::load("s27")?;
 //! let config = DipeConfig::default().with_seed(42);
-//! let mut estimator = DipeEstimator::new(&circuit, config, InputModel::uniform())?;
-//! let result = estimator.run()?;
+//! let mut session =
+//!     DipeEstimator::new().start(&circuit, &config, &InputModel::uniform(), 0)?;
+//! let result = loop {
+//!     match session.step(CycleBudget::cycles(25_000))? {
+//!         Progress::Running { cycles_done, samples, .. } => {
+//!             eprintln!("... {cycles_done} cycles, {samples} samples");
+//!         }
+//!         Progress::Done(estimate) => break estimate,
+//!     }
+//! };
 //! println!(
-//!     "s27: {:.3} mW from {} samples (independence interval {})",
+//!     "s27: {:.3} mW from {} samples (independence interval {:?})",
 //!     result.mean_power_mw(),
-//!     result.sample_size(),
+//!     result.sample_size,
 //!     result.independence_interval()
 //! );
 //! # Ok(())
@@ -53,6 +73,8 @@ mod config;
 mod error;
 
 pub mod baselines;
+pub mod engine;
+pub mod estimate;
 pub mod estimator;
 pub mod independence;
 pub mod input;
@@ -60,8 +82,14 @@ pub mod reference;
 pub mod report;
 pub mod sampler;
 
+pub use baselines::{DecoupledCombinationalEstimator, FixedWarmupEstimator};
 pub use config::{CriterionKind, DipeConfig};
+pub use engine::{Engine, EstimationJob, JobOutcome};
 pub use error::DipeError;
+pub use estimate::{
+    run_to_completion, CycleBudget, Diagnostics, Estimate, EstimationSession, PowerEstimator,
+    Progress, SessionPhase,
+};
 pub use estimator::{DipeEstimator, DipeResult};
 pub use independence::{IndependenceSelection, IntervalTrial};
 pub use reference::{LongSimulationReference, ReferenceResult};

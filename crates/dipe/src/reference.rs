@@ -10,6 +10,9 @@ use power::PowerSummary;
 
 use crate::config::DipeConfig;
 use crate::error::DipeError;
+use crate::estimate::{
+    run_to_completion, Diagnostics, EstimationSession, PowerEstimator, ReferenceSession,
+};
 use crate::input::InputModel;
 use crate::sampler::PowerSampler;
 
@@ -82,9 +85,10 @@ impl LongSimulationReference {
         self.cycles
     }
 
-    /// Runs the reference simulation. The `config` supplies the technology,
-    /// capacitance and delay models plus the seed and warm-up length; the
-    /// accuracy-related fields are ignored.
+    /// Runs the reference simulation to completion — a thin wrapper driving
+    /// a [session](PowerEstimator::start) with an unbounded budget. The
+    /// `config` supplies the technology, capacitance and delay models plus
+    /// the seed and warm-up length; the accuracy-related fields are ignored.
     ///
     /// # Errors
     ///
@@ -95,18 +99,42 @@ impl LongSimulationReference {
         config: &DipeConfig,
         input_model: &InputModel,
     ) -> Result<ReferenceResult, DipeError> {
-        let start = std::time::Instant::now();
-        let mut sampler = PowerSampler::new(circuit, config, input_model, u64::MAX / 2)?;
-        sampler.advance(config.warmup_cycles);
-        let mut summary = PowerSummary::new();
-        for _ in 0..self.cycles {
-            summary.add(sampler.measure_cycle_power_w());
+        let estimate = run_to_completion(self.start(circuit, config, input_model, 0)?)?;
+        match estimate.diagnostics {
+            Diagnostics::Reference { summary } => Ok(ReferenceResult {
+                cycles: self.cycles,
+                summary,
+                elapsed_seconds: estimate.elapsed_seconds,
+            }),
+            _ => unreachable!("a reference session always attaches reference diagnostics"),
         }
-        Ok(ReferenceResult {
-            cycles: self.cycles,
-            summary,
-            elapsed_seconds: start.elapsed().as_secs_f64(),
-        })
+    }
+}
+
+impl PowerEstimator for LongSimulationReference {
+    fn name(&self) -> String {
+        format!("long simulation ({} consecutive cycles)", self.cycles)
+    }
+
+    fn start<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        seed_offset: u64,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        let sampler = PowerSampler::new(
+            circuit,
+            config,
+            input_model,
+            (u64::MAX / 2).wrapping_add(seed_offset),
+        )?;
+        Ok(Box::new(ReferenceSession::new(
+            self.name(),
+            config.warmup_cycles,
+            self.cycles,
+            sampler,
+        )))
     }
 }
 
@@ -131,7 +159,11 @@ mod tests {
         // Two independent halves of the same length agree within a couple of
         // percent — the reference itself is converged at this length.
         let b = LongSimulationReference::new(20_000)
-            .run(&c, &DipeConfig::default().with_seed(1234), &InputModel::uniform())
+            .run(
+                &c,
+                &DipeConfig::default().with_seed(1234),
+                &InputModel::uniform(),
+            )
             .unwrap();
         let rel = (a.mean_power_w() - b.mean_power_w()).abs() / a.mean_power_w();
         assert!(rel < 0.05, "two references differ by {rel}");

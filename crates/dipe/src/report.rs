@@ -17,7 +17,11 @@ pub fn average_percentage_deviation(exact: f64, estimates: &[f64]) -> f64 {
     if estimates.is_empty() {
         return 0.0;
     }
-    100.0 * estimates.iter().map(|&e| relative_deviation(exact, e)).sum::<f64>()
+    100.0
+        * estimates
+            .iter()
+            .map(|&e| relative_deviation(exact, e))
+            .sum::<f64>()
         / estimates.len() as f64
 }
 

@@ -64,8 +64,7 @@ impl<'c> PowerSampler<'c> {
     ) -> Result<Self, DipeError> {
         config.validate()?;
         let stream = input_model.stream(circuit, config.seed.wrapping_add(seed_offset))?;
-        let calculator =
-            PowerCalculator::new(circuit, config.technology, &config.capacitance);
+        let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
         Ok(PowerSampler {
             circuit,
             zero: ZeroDelaySimulator::new(circuit),

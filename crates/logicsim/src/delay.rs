@@ -44,9 +44,10 @@ impl DelayModel {
         match *self {
             DelayModel::Zero => 0,
             DelayModel::Unit(d) => d,
-            DelayModel::FanoutLoaded { base_ps, per_fanout_ps } => {
-                base_ps + per_fanout_ps * u64::from(circuit.fanout_count(gate.output()))
-            }
+            DelayModel::FanoutLoaded {
+                base_ps,
+                per_fanout_ps,
+            } => base_ps + per_fanout_ps * u64::from(circuit.fanout_count(gate.output())),
         }
     }
 
@@ -123,17 +124,31 @@ mod tests {
         b.primary_output(y1);
         b.primary_output(y2);
         let c = b.finish().unwrap();
-        let m = DelayModel::FanoutLoaded { base_ps: 100, per_fanout_ps: 10 };
-        let not_gate = c.gates().iter().find(|g| g.kind() == GateKind::Not).unwrap();
+        let m = DelayModel::FanoutLoaded {
+            base_ps: 100,
+            per_fanout_ps: 10,
+        };
+        let not_gate = c
+            .gates()
+            .iter()
+            .find(|g| g.kind() == GateKind::Not)
+            .unwrap();
         assert_eq!(m.gate_delay_ps(&c, not_gate), 130);
         // The buffers drive nothing (only primary outputs), so base delay only.
-        let buf = c.gates().iter().find(|g| g.kind() == GateKind::Buf).unwrap();
+        let buf = c
+            .gates()
+            .iter()
+            .find(|g| g.kind() == GateKind::Buf)
+            .unwrap();
         assert_eq!(m.gate_delay_ps(&c, buf), 100);
     }
 
     #[test]
     fn default_model_is_fanout_loaded() {
-        assert!(matches!(DelayModel::default(), DelayModel::FanoutLoaded { .. }));
+        assert!(matches!(
+            DelayModel::default(),
+            DelayModel::FanoutLoaded { .. }
+        ));
     }
 
     #[test]

@@ -115,7 +115,9 @@ mod tests {
         q.schedule(5, net(7), true);
         q.schedule(5, net(3), false);
         q.schedule(5, net(9), true);
-        let nets: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.net.index()).collect();
+        let nets: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.net.index())
+            .collect();
         assert_eq!(nets, vec![7, 3, 9]);
     }
 
@@ -142,9 +144,24 @@ mod tests {
 
     #[test]
     fn event_ordering_is_total_and_deterministic() {
-        let a = Event { time_ps: 1, net: net(0), value: true, sequence: 0 };
-        let b = Event { time_ps: 1, net: net(1), value: true, sequence: 1 };
-        let c = Event { time_ps: 2, net: net(0), value: true, sequence: 2 };
+        let a = Event {
+            time_ps: 1,
+            net: net(0),
+            value: true,
+            sequence: 0,
+        };
+        let b = Event {
+            time_ps: 1,
+            net: net(1),
+            value: true,
+            sequence: 1,
+        };
+        let c = Event {
+            time_ps: 2,
+            net: net(0),
+            value: true,
+            sequence: 2,
+        };
         // Max-heap ordering is inverted: "greater" means "earlier".
         assert!(a > b);
         assert!(b > c);

@@ -121,7 +121,11 @@ impl SimState {
 /// Draws a random primary-input pattern where every bit is an independent
 /// Bernoulli(`p_one`) variable — the input model used in the paper's
 /// experiments with `p_one = 0.5`.
-pub fn random_input_vector<R: Rng + ?Sized>(circuit: &Circuit, p_one: f64, rng: &mut R) -> Vec<bool> {
+pub fn random_input_vector<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    p_one: f64,
+    rng: &mut R,
+) -> Vec<bool> {
     (0..circuit.num_primary_inputs())
         .map(|_| rng.gen_bool(p_one))
         .collect()
@@ -130,7 +134,9 @@ pub fn random_input_vector<R: Rng + ?Sized>(circuit: &Circuit, p_one: f64, rng: 
 /// Draws a uniformly random present-state vector. Useful to start the Markov
 /// chain "somewhere" before a warm-up period.
 pub fn random_state_vector<R: Rng + ?Sized>(circuit: &Circuit, rng: &mut R) -> Vec<bool> {
-    (0..circuit.num_flip_flops()).map(|_| rng.gen_bool(0.5)).collect()
+    (0..circuit.num_flip_flops())
+        .map(|_| rng.gen_bool(0.5))
+        .collect()
 }
 
 #[cfg(test)]

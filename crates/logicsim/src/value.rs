@@ -6,7 +6,9 @@
 //! determines the latch contents before power measurement starts).
 
 /// A ternary logic value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum LogicValue {
     /// Logic low.
     Zero,
@@ -67,6 +69,7 @@ impl LogicValue {
 
     /// Ternary NOT.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // mirrors `and`/`or`/`xor`, not an operator impl
     pub fn not(self) -> Self {
         use LogicValue::*;
         match self {

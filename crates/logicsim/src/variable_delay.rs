@@ -240,10 +240,19 @@ mod tests {
             );
             // Per net: if the stable value changed, the event count is odd and
             // at least 1; if unchanged, it is even.
-            for (idx, (&f, &z)) in full_act.per_net().iter().zip(zero_act.per_net()).enumerate() {
+            for (idx, (&f, &z)) in full_act
+                .per_net()
+                .iter()
+                .zip(zero_act.per_net())
+                .enumerate()
+            {
                 if z == 1 {
                     assert!(f >= 1, "net {idx} changed functionally but saw no events");
-                    assert_eq!(f % 2, 1, "net {idx} changed functionally, count must be odd");
+                    assert_eq!(
+                        f % 2,
+                        1,
+                        "net {idx} changed functionally, count must be odd"
+                    );
                 } else {
                     assert_eq!(f % 2, 0, "net {idx} unchanged, count must be even");
                 }

@@ -257,7 +257,10 @@ mod tests {
         // q0: 1->0, q1: 0->1, q2: 0->0, d0: depends. At least the two state
         // bits that changed count one transition each.
         assert!(activity.total_transitions() >= 2);
-        assert!(activity.per_net().iter().all(|&t| t <= 1), "zero-delay counts are 0/1");
+        assert!(
+            activity.per_net().iter().all(|&t| t <= 1),
+            "zero-delay counts are 0/1"
+        );
     }
 
     #[test]

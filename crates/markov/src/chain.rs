@@ -27,10 +27,16 @@ impl std::fmt::Display for MarkovError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MarkovError::NotSquare { rows, row_len } => {
-                write!(f, "transition matrix is not square: {rows} rows but a row of length {row_len}")
+                write!(
+                    f,
+                    "transition matrix is not square: {rows} rows but a row of length {row_len}"
+                )
             }
             MarkovError::NotStochastic { row, sum } => {
-                write!(f, "row {row} is not a probability distribution (sum = {sum})")
+                write!(
+                    f,
+                    "row {row} is not a probability distribution (sum = {sum})"
+                )
             }
             MarkovError::Empty => write!(f, "a Markov chain needs at least one state"),
         }
@@ -156,11 +162,7 @@ impl MarkovChain {
         for _ in 0..max_iterations {
             let next = self.step_distribution(&p);
             // Average consecutive iterates (damps period-2 oscillation).
-            let averaged: Vec<f64> = next
-                .iter()
-                .zip(&p)
-                .map(|(&a, &b)| 0.5 * (a + b))
-                .collect();
+            let averaged: Vec<f64> = next.iter().zip(&p).map(|(&a, &b)| 0.5 * (a + b)).collect();
             let delta = total_variation(&averaged, &previous);
             previous = averaged.clone();
             p = averaged;
@@ -192,8 +194,8 @@ impl MarkovChain {
         let mut stack = vec![start];
         reached[start] = true;
         while let Some(i) = stack.pop() {
-            for j in 0..n {
-                if !reached[j] && self.matrix[i][j] > 0.0 {
+            for (j, probability) in self.matrix[i].iter().enumerate() {
+                if !reached[j] && *probability > 0.0 {
                     reached[j] = true;
                     stack.push(j);
                 }
@@ -312,22 +314,14 @@ mod tests {
 
     #[test]
     fn reducible_chain_detected() {
-        let chain = MarkovChain::new(vec![
-            vec![1.0, 0.0],
-            vec![0.5, 0.5],
-        ])
-        .unwrap();
+        let chain = MarkovChain::new(vec![vec![1.0, 0.0], vec![0.5, 0.5]]).unwrap();
         assert!(!chain.is_irreducible());
     }
 
     #[test]
     fn second_eigenvalue_of_fast_mixing_chain_is_small() {
         // A chain whose rows are all equal mixes in one step: λ₂ = 0.
-        let chain = MarkovChain::new(vec![
-            vec![0.25, 0.75],
-            vec![0.25, 0.75],
-        ])
-        .unwrap();
+        let chain = MarkovChain::new(vec![vec![0.25, 0.75], vec![0.25, 0.75]]).unwrap();
         assert!(chain.second_eigenvalue_modulus(100) < 1e-6);
         // A sticky chain mixes slowly: λ₂ close to 1.
         let sticky = two_state(0.01, 0.01);

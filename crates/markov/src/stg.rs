@@ -153,7 +153,9 @@ impl StateTransitionGraph {
 
     /// Decodes a state code into a latch bit vector.
     pub fn decode_state(&self, code: usize) -> Vec<bool> {
-        (0..self.num_flip_flops).map(|i| (code >> i) & 1 == 1).collect()
+        (0..self.num_flip_flops)
+            .map(|i| (code >> i) & 1 == 1)
+            .collect()
     }
 }
 

@@ -63,12 +63,18 @@ pub fn parse(source: &str, name: impl Into<String>) -> Result<Circuit, NetlistEr
         }
 
         if let Some(arg) = parse_directive(line, "INPUT") {
-            let arg = arg.map_err(|message| NetlistError::Parse { line: line_no, message })?;
+            let arg = arg.map_err(|message| NetlistError::Parse {
+                line: line_no,
+                message,
+            })?;
             builder.try_primary_input(arg)?;
             continue;
         }
         if let Some(arg) = parse_directive(line, "OUTPUT") {
-            let arg = arg.map_err(|message| NetlistError::Parse { line: line_no, message })?;
+            let arg = arg.map_err(|message| NetlistError::Parse {
+                line: line_no,
+                message,
+            })?;
             pending_outputs.push((line_no, arg));
             continue;
         }
@@ -114,7 +120,10 @@ pub fn parse(source: &str, name: impl Into<String>) -> Result<Circuit, NetlistEr
             if args.len() != 1 {
                 return Err(NetlistError::Parse {
                     line: line_no,
-                    message: format!("DFF `{lhs}` must have exactly one input, has {}", args.len()),
+                    message: format!(
+                        "DFF `{lhs}` must have exactly one input, has {}",
+                        args.len()
+                    ),
                 });
             }
             let d = builder.net(args[0]);

@@ -89,7 +89,8 @@ impl CircuitBuilder {
     /// Panics if the net already has a driver. Use [`try_primary_input`]
     /// (CircuitBuilder::try_primary_input) for a fallible version.
     pub fn primary_input(&mut self, name: impl Into<String>) -> NetId {
-        self.try_primary_input(name).expect("duplicate driver for primary input")
+        self.try_primary_input(name)
+            .expect("duplicate driver for primary input")
     }
 
     /// Fallible version of [`primary_input`](CircuitBuilder::primary_input).
@@ -119,7 +120,11 @@ impl CircuitBuilder {
     ///
     /// Returns [`NetlistError::DuplicateDriver`] if the named net is already
     /// driven.
-    pub fn constant(&mut self, name: impl Into<String>, value: bool) -> Result<NetId, NetlistError> {
+    pub fn constant(
+        &mut self,
+        name: impl Into<String>,
+        value: bool,
+    ) -> Result<NetId, NetlistError> {
         let id = self.net(name);
         self.set_driver(id, NetDriver::Constant(value))?;
         Ok(id)
@@ -132,7 +137,8 @@ impl CircuitBuilder {
     /// Panics if the `Q` net name is already driven. Use
     /// [`try_flip_flop`](CircuitBuilder::try_flip_flop) for a fallible version.
     pub fn flip_flop(&mut self, q_name: impl Into<String>, d: NetId) -> NetId {
-        self.try_flip_flop(q_name, d).expect("duplicate driver for flip-flop output")
+        self.try_flip_flop(q_name, d)
+            .expect("duplicate driver for flip-flop output")
     }
 
     /// Fallible version of [`flip_flop`](CircuitBuilder::flip_flop).

@@ -294,7 +294,11 @@ impl Circuit {
     /// Depth of the combinational logic in levels (0 for a circuit with no
     /// gates).
     pub fn depth(&self) -> usize {
-        self.gate_levels.iter().map(|&l| l as usize + 1).max().unwrap_or(0)
+        self.gate_levels
+            .iter()
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Summary statistics in ISCAS'89 style.

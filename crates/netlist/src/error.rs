@@ -76,11 +76,7 @@ impl std::fmt::Display for NetlistError {
                 write!(f, "gate driving `{name}` has no inputs")
             }
             NetlistError::CombinationalCycle { nets } => {
-                write!(
-                    f,
-                    "combinational cycle involving nets: {}",
-                    nets.join(", ")
-                )
+                write!(f, "combinational cycle involving nets: {}", nets.join(", "))
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -128,7 +124,9 @@ mod tests {
         };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("bad token"));
-        let e = NetlistError::UnknownBenchmark { name: "s999".into() };
+        let e = NetlistError::UnknownBenchmark {
+            name: "s999".into(),
+        };
         assert!(e.to_string().contains("s999"));
     }
 

@@ -286,28 +286,45 @@ pub fn generate(config: &GeneratorConfig) -> Result<Circuit, NetlistError> {
         available.push(out);
     }
 
-    // State-holding flip-flops: d = (q AND NOT en) OR (new AND en), with the
-    // enable and the "new value" picked from the existing logic. This keeps
-    // part of the state sticky across cycles, giving the per-cycle power
-    // process the multi-cycle temporal correlation real controllers exhibit.
+    // State-holding flip-flops: d = q XOR (pi_a AND pi_b AND pi_c) with the
+    // conjunction drawn from *primary inputs*. The bit toggles only when the
+    // conjunction fires (probability ~1/8 for independent balanced inputs),
+    // so it keeps its value for several cycles and mixes on the multi-cycle
+    // timescale real controllers exhibit — the temporal power correlation
+    // the paper's runs-test procedure measures. Using primary inputs (always
+    // live, re-randomised every cycle) guarantees the toggle condition can
+    // never get stuck, even if the rest of the state space collapses to a
+    // fixed point — randomly wired next-state functions frequently do. Four
+    // gates per holding flip-flop: two ANDs, one XOR, one BUF keeping the
+    // gate budget exact.
+    let pi_sources = &sources[..config.primary_inputs];
     for (i, &q) in ff_outputs.iter().take(num_holding).enumerate() {
-        let en = pick_biased(&available, config.locality, &mut rng);
-        let new_value = pick_biased(&available, config.locality, &mut rng);
-        let en_n = builder
-            .gate(GateKind::Not, format!("h{i}_enn"), &[en])
+        let pick_pi = |rng: &mut StdRng| {
+            if pi_sources.is_empty() {
+                // Degenerate input-less circuit: fall back to internal nets.
+                pick_biased(&available, config.locality, rng)
+            } else {
+                pi_sources[rng.gen_range(0..pi_sources.len())]
+            }
+        };
+        let a = pick_pi(&mut rng);
+        let b = pick_pi(&mut rng);
+        let c = pick_pi(&mut rng);
+        let ab = builder
+            .gate(GateKind::And, format!("h{i}_ab"), &[a, b])
             .expect("generated gate names are unique");
-        let keep = builder
-            .gate(GateKind::And, format!("h{i}_keep"), &[q, en_n])
-            .expect("generated gate names are unique");
-        let load = builder
-            .gate(GateKind::And, format!("h{i}_load"), &[new_value, en])
+        let toggle = builder
+            .gate(GateKind::And, format!("h{i}_t"), &[ab, c])
             .expect("generated gate names are unique");
         let d = builder
-            .gate(GateKind::Or, format!("h{i}_d"), &[keep, load])
+            .gate(GateKind::Xor, format!("h{i}_d"), &[q, toggle])
+            .expect("generated gate names are unique");
+        let tap = builder
+            .gate(GateKind::Buf, format!("h{i}_q"), &[d])
             .expect("generated gate names are unique");
         builder.bind_flip_flop(q, d).expect("q is a placeholder");
-        gate_outputs.extend([en_n, keep, load, d]);
-        available.extend([en_n, keep, load, d]);
+        gate_outputs.extend([ab, toggle, d, tap]);
+        available.extend([ab, toggle, d, tap]);
     }
 
     // Bind the remaining flip-flop D inputs to gate outputs, preferring late
@@ -426,7 +443,11 @@ mod tests {
             assert!(c.fanout_count(pi) > 0, "primary input {pi} unused");
         }
         for ff in c.flip_flops() {
-            assert!(c.fanout_count(ff.q()) > 0, "flip-flop output {} unused", ff.q());
+            assert!(
+                c.fanout_count(ff.q()) > 0,
+                "flip-flop output {} unused",
+                ff.q()
+            );
         }
     }
 
@@ -448,7 +469,11 @@ mod tests {
         let c = generate(&cfg).unwrap();
         assert_eq!(c.num_gates(), 2779);
         assert_eq!(c.num_flip_flops(), 179);
-        assert!(c.depth() > 3, "expected non-trivial depth, got {}", c.depth());
+        assert!(
+            c.depth() > 3,
+            "expected non-trivial depth, got {}",
+            c.depth()
+        );
     }
 
     #[test]
@@ -458,7 +483,9 @@ mod tests {
         assert!(generate(&GeneratorConfig::new("x", 2, 1, 20, 10)).is_err());
         assert!(generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_fanin(1, 4)).is_err());
         assert!(generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_fanin(5, 4)).is_err());
-        assert!(generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_unary_fraction(1.5)).is_err());
+        assert!(
+            generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_unary_fraction(1.5)).is_err()
+        );
         assert!(generate(&GeneratorConfig::new("x", 2, 1, 2, 10).with_locality(-0.1)).is_err());
     }
 
@@ -483,11 +510,11 @@ mod tests {
         assert_eq!(none.num_gates(), 60);
         assert_eq!(all.num_gates(), 60);
         assert_eq!(all.num_flip_flops(), 6);
-        // With full state holding, every flip-flop's D is driven by an OR
-        // gate (the hold/load merge).
+        // With full state holding, every flip-flop's D is driven by an XOR
+        // gate (the toggle structure).
         for ff in all.flip_flops() {
             let d_gate = all.next_state_gate(ff.id()).unwrap();
-            assert_eq!(d_gate.kind(), GateKind::Or, "flip-flop {}", ff.id());
+            assert_eq!(d_gate.kind(), GateKind::Xor, "flip-flop {}", ff.id());
         }
         assert_ne!(none, all);
     }

@@ -64,46 +64,196 @@ pub struct BenchmarkProfile {
 /// `s27` (commonly used as a smoke-test circuit). Gate counts are the usual
 /// published figures for the ISCAS'89 suite.
 pub const PROFILES: &[BenchmarkProfile] = &[
-    BenchmarkProfile { name: "s27", primary_inputs: 4, primary_outputs: 1, flip_flops: 3, gates: 10 },
-    BenchmarkProfile { name: "s208", primary_inputs: 10, primary_outputs: 1, flip_flops: 8, gates: 96 },
-    BenchmarkProfile { name: "s298", primary_inputs: 3, primary_outputs: 6, flip_flops: 14, gates: 119 },
-    BenchmarkProfile { name: "s344", primary_inputs: 9, primary_outputs: 11, flip_flops: 15, gates: 160 },
-    BenchmarkProfile { name: "s349", primary_inputs: 9, primary_outputs: 11, flip_flops: 15, gates: 161 },
-    BenchmarkProfile { name: "s382", primary_inputs: 3, primary_outputs: 6, flip_flops: 21, gates: 158 },
-    BenchmarkProfile { name: "s386", primary_inputs: 7, primary_outputs: 7, flip_flops: 6, gates: 159 },
-    BenchmarkProfile { name: "s400", primary_inputs: 3, primary_outputs: 6, flip_flops: 21, gates: 162 },
-    BenchmarkProfile { name: "s420", primary_inputs: 18, primary_outputs: 1, flip_flops: 16, gates: 218 },
-    BenchmarkProfile { name: "s444", primary_inputs: 3, primary_outputs: 6, flip_flops: 21, gates: 181 },
-    BenchmarkProfile { name: "s510", primary_inputs: 19, primary_outputs: 7, flip_flops: 6, gates: 211 },
-    BenchmarkProfile { name: "s526", primary_inputs: 3, primary_outputs: 6, flip_flops: 21, gates: 193 },
-    BenchmarkProfile { name: "s641", primary_inputs: 35, primary_outputs: 24, flip_flops: 19, gates: 379 },
-    BenchmarkProfile { name: "s713", primary_inputs: 35, primary_outputs: 23, flip_flops: 19, gates: 393 },
-    BenchmarkProfile { name: "s820", primary_inputs: 18, primary_outputs: 19, flip_flops: 5, gates: 289 },
-    BenchmarkProfile { name: "s832", primary_inputs: 18, primary_outputs: 19, flip_flops: 5, gates: 287 },
-    BenchmarkProfile { name: "s838", primary_inputs: 34, primary_outputs: 1, flip_flops: 32, gates: 446 },
-    BenchmarkProfile { name: "s1196", primary_inputs: 14, primary_outputs: 14, flip_flops: 18, gates: 529 },
-    BenchmarkProfile { name: "s1238", primary_inputs: 14, primary_outputs: 14, flip_flops: 18, gates: 508 },
-    BenchmarkProfile { name: "s1423", primary_inputs: 17, primary_outputs: 5, flip_flops: 74, gates: 657 },
-    BenchmarkProfile { name: "s1488", primary_inputs: 8, primary_outputs: 19, flip_flops: 6, gates: 653 },
-    BenchmarkProfile { name: "s1494", primary_inputs: 8, primary_outputs: 19, flip_flops: 6, gates: 647 },
-    BenchmarkProfile { name: "s5378", primary_inputs: 35, primary_outputs: 49, flip_flops: 179, gates: 2779 },
-    BenchmarkProfile { name: "s9234", primary_inputs: 36, primary_outputs: 39, flip_flops: 211, gates: 5597 },
-    BenchmarkProfile { name: "s15850", primary_inputs: 77, primary_outputs: 150, flip_flops: 534, gates: 9772 },
+    BenchmarkProfile {
+        name: "s27",
+        primary_inputs: 4,
+        primary_outputs: 1,
+        flip_flops: 3,
+        gates: 10,
+    },
+    BenchmarkProfile {
+        name: "s208",
+        primary_inputs: 10,
+        primary_outputs: 1,
+        flip_flops: 8,
+        gates: 96,
+    },
+    BenchmarkProfile {
+        name: "s298",
+        primary_inputs: 3,
+        primary_outputs: 6,
+        flip_flops: 14,
+        gates: 119,
+    },
+    BenchmarkProfile {
+        name: "s344",
+        primary_inputs: 9,
+        primary_outputs: 11,
+        flip_flops: 15,
+        gates: 160,
+    },
+    BenchmarkProfile {
+        name: "s349",
+        primary_inputs: 9,
+        primary_outputs: 11,
+        flip_flops: 15,
+        gates: 161,
+    },
+    BenchmarkProfile {
+        name: "s382",
+        primary_inputs: 3,
+        primary_outputs: 6,
+        flip_flops: 21,
+        gates: 158,
+    },
+    BenchmarkProfile {
+        name: "s386",
+        primary_inputs: 7,
+        primary_outputs: 7,
+        flip_flops: 6,
+        gates: 159,
+    },
+    BenchmarkProfile {
+        name: "s400",
+        primary_inputs: 3,
+        primary_outputs: 6,
+        flip_flops: 21,
+        gates: 162,
+    },
+    BenchmarkProfile {
+        name: "s420",
+        primary_inputs: 18,
+        primary_outputs: 1,
+        flip_flops: 16,
+        gates: 218,
+    },
+    BenchmarkProfile {
+        name: "s444",
+        primary_inputs: 3,
+        primary_outputs: 6,
+        flip_flops: 21,
+        gates: 181,
+    },
+    BenchmarkProfile {
+        name: "s510",
+        primary_inputs: 19,
+        primary_outputs: 7,
+        flip_flops: 6,
+        gates: 211,
+    },
+    BenchmarkProfile {
+        name: "s526",
+        primary_inputs: 3,
+        primary_outputs: 6,
+        flip_flops: 21,
+        gates: 193,
+    },
+    BenchmarkProfile {
+        name: "s641",
+        primary_inputs: 35,
+        primary_outputs: 24,
+        flip_flops: 19,
+        gates: 379,
+    },
+    BenchmarkProfile {
+        name: "s713",
+        primary_inputs: 35,
+        primary_outputs: 23,
+        flip_flops: 19,
+        gates: 393,
+    },
+    BenchmarkProfile {
+        name: "s820",
+        primary_inputs: 18,
+        primary_outputs: 19,
+        flip_flops: 5,
+        gates: 289,
+    },
+    BenchmarkProfile {
+        name: "s832",
+        primary_inputs: 18,
+        primary_outputs: 19,
+        flip_flops: 5,
+        gates: 287,
+    },
+    BenchmarkProfile {
+        name: "s838",
+        primary_inputs: 34,
+        primary_outputs: 1,
+        flip_flops: 32,
+        gates: 446,
+    },
+    BenchmarkProfile {
+        name: "s1196",
+        primary_inputs: 14,
+        primary_outputs: 14,
+        flip_flops: 18,
+        gates: 529,
+    },
+    BenchmarkProfile {
+        name: "s1238",
+        primary_inputs: 14,
+        primary_outputs: 14,
+        flip_flops: 18,
+        gates: 508,
+    },
+    BenchmarkProfile {
+        name: "s1423",
+        primary_inputs: 17,
+        primary_outputs: 5,
+        flip_flops: 74,
+        gates: 657,
+    },
+    BenchmarkProfile {
+        name: "s1488",
+        primary_inputs: 8,
+        primary_outputs: 19,
+        flip_flops: 6,
+        gates: 653,
+    },
+    BenchmarkProfile {
+        name: "s1494",
+        primary_inputs: 8,
+        primary_outputs: 19,
+        flip_flops: 6,
+        gates: 647,
+    },
+    BenchmarkProfile {
+        name: "s5378",
+        primary_inputs: 35,
+        primary_outputs: 49,
+        flip_flops: 179,
+        gates: 2779,
+    },
+    BenchmarkProfile {
+        name: "s9234",
+        primary_inputs: 36,
+        primary_outputs: 39,
+        flip_flops: 211,
+        gates: 5597,
+    },
+    BenchmarkProfile {
+        name: "s15850",
+        primary_inputs: 77,
+        primary_outputs: 150,
+        flip_flops: 534,
+        gates: 9772,
+    },
 ];
 
 /// The circuit names of Table 1 of the paper, in table order.
 pub const TABLE1_CIRCUITS: &[&str] = &[
-    "s208", "s298", "s344", "s349", "s382", "s386", "s400", "s420", "s444", "s510", "s526",
-    "s641", "s713", "s820", "s832", "s838", "s1196", "s1238", "s1423", "s1488", "s1494",
-    "s5378", "s9234", "s15850",
+    "s208", "s298", "s344", "s349", "s382", "s386", "s400", "s420", "s444", "s510", "s526", "s641",
+    "s713", "s820", "s832", "s838", "s1196", "s1238", "s1423", "s1488", "s1494", "s5378", "s9234",
+    "s15850",
 ];
 
 /// The circuit names of Table 2 of the paper (Table 1 minus `s444`, matching
 /// the published table), in table order.
 pub const TABLE2_CIRCUITS: &[&str] = &[
-    "s208", "s298", "s344", "s349", "s382", "s386", "s400", "s420", "s510", "s526", "s641",
-    "s713", "s820", "s832", "s838", "s1196", "s1238", "s1423", "s1488", "s1494", "s5378",
-    "s9234", "s15850",
+    "s208", "s298", "s344", "s349", "s382", "s386", "s400", "s420", "s510", "s526", "s641", "s713",
+    "s820", "s832", "s838", "s1196", "s1238", "s1423", "s1488", "s1494", "s5378", "s9234",
+    "s15850",
 ];
 
 /// Looks up the published profile for a benchmark name.
@@ -173,6 +323,13 @@ fn generator_config(profile: &BenchmarkProfile) -> GeneratorConfig {
         profile.gates,
     )
     .with_seed(DEFAULT_SEED)
+    // Half the flip-flops hold their value over multi-cycle windows. Purely
+    // random next-state functions routinely collapse to a fixed point (the
+    // synthetic s298 froze entirely), which destroys the temporal power
+    // correlation the paper's procedure exists to measure; the real
+    // benchmarks are controllers and datapaths whose state persists. See
+    // `GeneratorConfig::state_holding_fraction`.
+    .with_state_holding_fraction(0.5)
 }
 
 #[cfg(test)]
@@ -199,8 +356,18 @@ mod tests {
         // they are covered by integration tests and the bench harness.
         for profile in PROFILES.iter().filter(|p| p.gates <= 1000) {
             let c = load(profile.name).unwrap();
-            assert_eq!(c.num_primary_inputs(), profile.primary_inputs, "{}", profile.name);
-            assert_eq!(c.num_primary_outputs(), profile.primary_outputs, "{}", profile.name);
+            assert_eq!(
+                c.num_primary_inputs(),
+                profile.primary_inputs,
+                "{}",
+                profile.name
+            );
+            assert_eq!(
+                c.num_primary_outputs(),
+                profile.primary_outputs,
+                "{}",
+                profile.name
+            );
             assert_eq!(c.num_flip_flops(), profile.flip_flops, "{}", profile.name);
             assert_eq!(c.num_gates(), profile.gates, "{}", profile.name);
         }

@@ -57,7 +57,9 @@ pub use gate::{Gate, GateKind};
 /// Net ids are dense indices assigned in creation order, so they can be used
 /// directly to index per-net side tables (simulation values, capacitances,
 /// transition counters, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NetId(pub(crate) u32);
 
 impl NetId {
@@ -84,7 +86,9 @@ impl std::fmt::Display for NetId {
 }
 
 /// Identifier of a combinational gate within a [`Circuit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct GateId(pub(crate) u32);
 
 impl GateId {
@@ -108,7 +112,9 @@ impl std::fmt::Display for GateId {
 }
 
 /// Identifier of a D flip-flop within a [`Circuit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct FlipFlopId(pub(crate) u32);
 
 impl FlipFlopId {

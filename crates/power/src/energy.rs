@@ -234,8 +234,8 @@ mod tests {
         let loads = CapacitanceModel::default().loads(&c);
         let p5 = PowerCalculator::with_loads(Technology::new(5.0, 20.0e6), loads.clone())
             .cycle_power_w(&act);
-        let p2_5 = PowerCalculator::with_loads(Technology::new(2.5, 20.0e6), loads)
-            .cycle_power_w(&act);
+        let p2_5 =
+            PowerCalculator::with_loads(Technology::new(2.5, 20.0e6), loads).cycle_power_w(&act);
         assert!((p5 / p2_5 - 4.0).abs() < 1e-12);
     }
 
@@ -262,7 +262,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut summary = PowerSummary::new();
         for _ in 0..500 {
-            let inputs: Vec<bool> = (0..c.num_primary_inputs()).map(|_| rng.gen_bool(0.5)).collect();
+            let inputs: Vec<bool> = (0..c.num_primary_inputs())
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
             let prev = zero.values().to_vec();
             let act = full.simulate_cycle(&prev, &inputs);
             zero.step(&inputs);

@@ -28,8 +28,14 @@ impl Technology {
     ///
     /// Panics if either value is not strictly positive and finite.
     pub fn new(vdd_v: f64, clock_hz: f64) -> Self {
-        assert!(vdd_v.is_finite() && vdd_v > 0.0, "supply voltage must be positive");
-        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock frequency must be positive");
+        assert!(
+            vdd_v.is_finite() && vdd_v > 0.0,
+            "supply voltage must be positive"
+        );
+        assert!(
+            clock_hz.is_finite() && clock_hz > 0.0,
+            "clock frequency must be positive"
+        );
         Technology { vdd_v, clock_hz }
     }
 
@@ -59,14 +65,20 @@ impl Technology {
 
     /// Returns a copy with a different supply voltage.
     pub fn with_vdd(mut self, vdd_v: f64) -> Self {
-        assert!(vdd_v.is_finite() && vdd_v > 0.0, "supply voltage must be positive");
+        assert!(
+            vdd_v.is_finite() && vdd_v > 0.0,
+            "supply voltage must be positive"
+        );
         self.vdd_v = vdd_v;
         self
     }
 
     /// Returns a copy with a different clock frequency.
     pub fn with_clock_hz(mut self, clock_hz: f64) -> Self {
-        assert!(clock_hz.is_finite() && clock_hz > 0.0, "clock frequency must be positive");
+        assert!(
+            clock_hz.is_finite() && clock_hz > 0.0,
+            "clock frequency must be positive"
+        );
         self.clock_hz = clock_hz;
         self
     }

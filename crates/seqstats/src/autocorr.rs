@@ -18,7 +18,10 @@
 ///
 /// Panics on an empty sequence.
 pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
-    assert!(!xs.is_empty(), "autocorrelation of an empty sequence is undefined");
+    assert!(
+        !xs.is_empty(),
+        "autocorrelation of an empty sequence is undefined"
+    );
     let n = xs.len();
     if lag == 0 {
         return 1.0;
@@ -63,7 +66,10 @@ pub fn decorrelation_lag(xs: &[f64], threshold: f64, max_lag: usize) -> Option<u
 /// Panics on an empty sequence.
 pub fn effective_sample_size(xs: &[f64]) -> f64 {
     let n = xs.len();
-    assert!(n > 0, "effective sample size of an empty sequence is undefined");
+    assert!(
+        n > 0,
+        "effective sample size of an empty sequence is undefined"
+    );
     let max_lag = (n / 2).max(1);
     let mut rho_sum = 0.0;
     for k in 1..max_lag {
@@ -130,7 +136,7 @@ mod tests {
     fn decorrelation_lag_finds_decay_point() {
         let xs = ar1(5000, 0.7, 13);
         let lag = decorrelation_lag(&xs, 0.1, 50).expect("AR(1) decorrelates");
-        assert!(lag >= 2 && lag <= 20, "lag = {lag}");
+        assert!((2..=20).contains(&lag), "lag = {lag}");
         let iid_lag = decorrelation_lag(&iid(5000, 3), 0.1, 50).unwrap();
         assert_eq!(iid_lag, 1);
     }

@@ -160,7 +160,10 @@ pub fn median(xs: &[f64]) -> f64 {
 ///
 /// Panics if `k` is 0 or larger than the slice length, or on an empty slice.
 pub fn order_statistic(xs: &[f64], k: usize) -> f64 {
-    assert!(!xs.is_empty(), "order statistic of an empty slice is undefined");
+    assert!(
+        !xs.is_empty(),
+        "order statistic of an empty slice is undefined"
+    );
     assert!(
         k >= 1 && k <= xs.len(),
         "order statistic index {k} out of range 1..={}",
@@ -179,7 +182,10 @@ pub fn order_statistic(xs: &[f64], k: usize) -> f64 {
 /// Panics on an empty slice or if `q` is outside `[0, 1]`.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of an empty slice is undefined");
-    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level {q} outside [0, 1]"
+    );
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("power data must not contain NaN"));
     let n = sorted.len();

@@ -36,7 +36,7 @@ pub fn quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e+01,
         2.209_460_984_245_205e+02,
         -2.759_285_104_469_687e+02,
-        1.383_577_518_672_690e+02,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e+01,
         2.506_628_277_459_239e+00,
     ];
@@ -101,7 +101,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * ax);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erfc_pos = poly * (-ax * ax).exp();
     if x >= 0.0 {
         erfc_pos

@@ -244,13 +244,16 @@ mod tests {
         // against an expectation of 21 runs, giving z ≈ -1.44.
         let mut xs: Vec<f64> = Vec::new();
         for block in 0..4 {
-            xs.extend(std::iter::repeat((block % 2) as f64).take(4));
+            xs.extend(std::iter::repeat_n((block % 2) as f64, 4));
         }
         for block in 0..12 {
-            xs.extend(std::iter::repeat((block % 2) as f64).take(2));
+            xs.extend(std::iter::repeat_n((block % 2) as f64, 2));
         }
         let z = RunsTest::new(0.2).evaluate(&xs).z;
-        assert!(z.abs() > 1.28 && z.abs() < 2.58, "z = {z} not in the target band");
+        assert!(
+            z.abs() > 1.28 && z.abs() < 2.58,
+            "z = {z} not in the target band"
+        );
         assert!(!RunsTest::new(0.2).evaluate(&xs).accepted);
         assert!(RunsTest::new(0.01).evaluate(&xs).accepted);
     }

@@ -204,7 +204,11 @@ impl StoppingCriterion for OrderStatisticCriterion {
 
     fn evaluate(&self, sample: &[f64]) -> StoppingDecision {
         let n = sample.len();
-        let estimate = if n == 0 { 0.0 } else { descriptive::median(sample) };
+        let estimate = if n == 0 {
+            0.0
+        } else {
+            descriptive::median(sample)
+        };
         if n < self.min_samples || estimate <= 0.0 {
             return StoppingDecision {
                 satisfied: false,

@@ -1,4 +1,5 @@
-//! Compares DIPE against the baselines discussed in the paper:
+//! Compares DIPE against the baselines discussed in the paper, all four
+//! estimators running as one [`Engine`] batch:
 //!
 //! * the brute-force long-simulation reference (accuracy gold standard,
 //!   enormous cycle count),
@@ -9,6 +10,9 @@
 //!   Chou & Roy (accurate, but simulates two orders of magnitude more cycles
 //!   per sample than DIPE's dynamically selected interval).
 //!
+//! Because every estimator returns the same unified `Estimate` record, the
+//! comparison table is a single loop over the outcomes.
+//!
 //! ```text
 //! cargo run --release --example baseline_comparison
 //! ```
@@ -16,25 +20,43 @@
 use dipe::baselines::{DecoupledCombinationalEstimator, FixedWarmupEstimator};
 use dipe::input::InputModel;
 use dipe::report::TextTable;
-use dipe::{DipeConfig, DipeEstimator, LongSimulationReference};
+use dipe::{
+    DipeConfig, DipeEstimator, Engine, EstimationJob, LongSimulationReference, PowerEstimator,
+};
 use netlist::iscas89;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = iscas89::load("s298")?;
+    let circuit = std::sync::Arc::new(iscas89::load("s298")?);
     let config = DipeConfig::default().with_seed(5);
     let inputs = InputModel::uniform();
 
     println!("circuit {}: {}", circuit.name(), circuit.stats());
 
-    let reference = LongSimulationReference::new(50_000).run(&circuit, &config, &inputs)?;
+    let estimators: Vec<Box<dyn PowerEstimator>> = vec![
+        Box::new(LongSimulationReference::new(50_000)),
+        Box::new(DipeEstimator::new()),
+        Box::new(DecoupledCombinationalEstimator::default()),
+        Box::new(FixedWarmupEstimator::default()),
+    ];
+    let jobs: Vec<EstimationJob> = estimators
+        .into_iter()
+        .map(|estimator| {
+            EstimationJob::new(
+                estimator.name(),
+                circuit.clone(),
+                estimator,
+                config.clone(),
+                inputs.clone(),
+            )
+        })
+        .collect();
+
+    let mut outcomes = Engine::new().run(jobs).into_iter();
+    let reference = outcomes.next().expect("four jobs were submitted").result?;
     println!(
         "reference (50k consecutive measured cycles): {:.3} mW\n",
         reference.mean_power_mw()
     );
-
-    let dipe_result = DipeEstimator::new(&circuit, config.clone(), inputs.clone())?.run()?;
-    let decoupled = DecoupledCombinationalEstimator::default().run(&circuit, &config, &inputs)?;
-    let fixed = FixedWarmupEstimator::default().run(&circuit, &config, &inputs)?;
 
     let mut table = TextTable::new(&[
         "Estimator",
@@ -44,44 +66,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Measured cycles",
         "Zero-delay cycles",
     ]);
-    table.add_row(&[
-        "DIPE (runs-test interval)".to_string(),
-        format!("{:.3}", dipe_result.mean_power_mw()),
-        format!(
-            "{:.2}",
-            100.0 * dipe_result.relative_deviation_from(reference.mean_power_w())
-        ),
-        dipe_result.sample_size().to_string(),
-        dipe_result.cycle_counts().measured_cycles.to_string(),
-        dipe_result.cycle_counts().zero_delay_cycles.to_string(),
-    ]);
-    table.add_row(&[
-        decoupled.name.clone(),
-        format!("{:.3}", decoupled.mean_power_mw()),
-        format!(
-            "{:.2}",
-            100.0 * decoupled.relative_deviation_from(reference.mean_power_w())
-        ),
-        decoupled.sample_size.to_string(),
-        decoupled.cycle_counts.measured_cycles.to_string(),
-        decoupled.cycle_counts.zero_delay_cycles.to_string(),
-    ]);
-    table.add_row(&[
-        fixed.name.clone(),
-        format!("{:.3}", fixed.mean_power_mw()),
-        format!(
-            "{:.2}",
-            100.0 * fixed.relative_deviation_from(reference.mean_power_w())
-        ),
-        fixed.sample_size.to_string(),
-        fixed.cycle_counts.measured_cycles.to_string(),
-        fixed.cycle_counts.zero_delay_cycles.to_string(),
-    ]);
+    let mut estimates = Vec::new();
+    for outcome in outcomes {
+        let estimate = outcome.result?;
+        table.add_row(&[
+            estimate.estimator.clone(),
+            format!("{:.3}", estimate.mean_power_mw()),
+            format!(
+                "{:.2}",
+                100.0 * estimate.relative_deviation_from(reference.mean_power_w)
+            ),
+            estimate.sample_size.to_string(),
+            estimate.cycle_counts.measured_cycles.to_string(),
+            estimate.cycle_counts.zero_delay_cycles.to_string(),
+        ]);
+        estimates.push(estimate);
+    }
 
     println!("{table}");
+    let dipe_estimate = &estimates[0];
+    let fixed = &estimates[2];
     println!(
         "DIPE decorrelation cost: {:.1} zero-delay cycles per sample;  fixed warm-up: {:.1}",
-        dipe_result.cycle_counts().zero_delay_cycles as f64 / dipe_result.sample_size() as f64,
+        dipe_estimate.cycle_counts.zero_delay_cycles as f64 / dipe_estimate.sample_size as f64,
         fixed.cycle_counts.zero_delay_cycles as f64 / fixed.sample_size as f64,
     );
     Ok(())

@@ -2,6 +2,8 @@
 //! work" (Section V of the paper): the same estimator is run under
 //! independent, temporally correlated and spatially correlated input models,
 //! and each estimate is checked against its own long-simulation reference.
+//! The whole experiment — two jobs per input model — runs as one [`Engine`]
+//! batch.
 //!
 //! Correlated inputs change the average power (and typically lengthen the
 //! independence interval), but the estimate still tracks the reference within
@@ -14,11 +16,11 @@
 
 use dipe::input::InputModel;
 use dipe::report::TextTable;
-use dipe::{DipeConfig, DipeEstimator, LongSimulationReference};
+use dipe::{DipeConfig, DipeEstimator, Engine, EstimationJob, LongSimulationReference};
 use netlist::iscas89;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = iscas89::load("s298")?;
+    let circuit = std::sync::Arc::new(iscas89::load("s298")?);
     let config = DipeConfig::default().with_seed(11);
 
     let models: Vec<(&str, InputModel)> = vec![
@@ -41,22 +43,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    let mut table = TextTable::new(&[
-        "Input model", "Reference (mW)", "DIPE (mW)", "I.I.", "Sample", "Dev (%)",
-    ]);
-
+    let mut labels = Vec::new();
+    let mut jobs = Vec::new();
     for (label, model) in models {
-        let reference = LongSimulationReference::new(20_000).run(&circuit, &config, &model)?;
-        let result = DipeEstimator::new(&circuit, config.clone(), model)?.run()?;
+        jobs.push(EstimationJob::new(
+            format!("{label}/reference"),
+            circuit.clone(),
+            Box::new(LongSimulationReference::new(20_000)),
+            config.clone(),
+            model.clone(),
+        ));
+        jobs.push(EstimationJob::new(
+            format!("{label}/dipe"),
+            circuit.clone(),
+            Box::new(DipeEstimator::new()),
+            config.clone(),
+            model,
+        ));
+        labels.push(label);
+    }
+
+    let outcomes = Engine::new().run(jobs);
+
+    let mut table = TextTable::new(&[
+        "Input model",
+        "Reference (mW)",
+        "DIPE (mW)",
+        "I.I.",
+        "Sample",
+        "Dev (%)",
+    ]);
+    for (label, pair) in labels.into_iter().zip(outcomes.chunks_exact(2)) {
+        let reference = pair[0].result.as_ref().map_err(|e| e.to_string())?;
+        let result = pair[1].result.as_ref().map_err(|e| e.to_string())?;
         table.add_row(&[
             label.to_string(),
             format!("{:.3}", reference.mean_power_mw()),
             format!("{:.3}", result.mean_power_mw()),
-            result.independence_interval().to_string(),
-            result.sample_size().to_string(),
+            result
+                .independence_interval()
+                .map(|i| i.to_string())
+                .unwrap_or_default(),
+            result.sample_size.to_string(),
             format!(
                 "{:.2}",
-                100.0 * result.relative_deviation_from(reference.mean_power_w())
+                100.0 * result.relative_deviation_from(reference.mean_power_w)
             ),
         ]);
     }

@@ -10,7 +10,7 @@
 //! ```
 
 use dipe::input::InputModel;
-use dipe::{DipeConfig, DipeEstimator};
+use dipe::{run_to_completion, DipeConfig, DipeEstimator, PowerEstimator};
 use markov::{warmup, StateTransitionGraph};
 use netlist::iscas89;
 
@@ -55,20 +55,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  conservative (Chou-Roy) warm-up = {conservative} cycles");
 
     // And what does DIPE pick, without ever looking at the FSM?
-    let result = DipeEstimator::new(
+    let result = run_to_completion(DipeEstimator::new().start(
         &circuit,
-        DipeConfig::default().with_seed(3),
-        InputModel::uniform(),
-    )?
-    .run()?;
+        &DipeConfig::default().with_seed(3),
+        &InputModel::uniform(),
+        0,
+    )?)?;
     println!(
-        "\nDIPE independence interval (runs test, no FSM knowledge): {} cycles",
+        "\nDIPE independence interval (runs test, no FSM knowledge): {:?} cycles",
         result.independence_interval()
     );
     println!(
         "DIPE estimate: {:.4} mW from {} samples",
         result.mean_power_mw(),
-        result.sample_size()
+        result.sample_size
     );
     println!(
         "\nThe dynamically selected interval is close to the true mixing behaviour of the\n\

@@ -1,7 +1,9 @@
-//! Sweep a slice of the ISCAS'89 benchmark suite and print a Table-1-style
-//! summary (reference power, independence interval, estimate, sample size,
-//! run time). This is a lighter-weight version of the `table1` binary in the
-//! `dipe-bench` crate, meant as an API walkthrough.
+//! Sweep a slice of the ISCAS'89 benchmark suite through the batch [`Engine`]
+//! and print a Table-1-style summary (reference power, independence interval,
+//! estimate, sample size, run time). This is a lighter-weight version of the
+//! `table1` binary in the `dipe-bench` crate, meant as an API walkthrough:
+//! every circuit becomes two jobs (reference + DIPE) and the engine runs the
+//! whole sweep across the worker pool.
 //!
 //! ```text
 //! cargo run --release --example iscas_sweep
@@ -10,7 +12,7 @@
 
 use dipe::input::InputModel;
 use dipe::report::TextTable;
-use dipe::{DipeConfig, DipeEstimator, LongSimulationReference};
+use dipe::{DipeConfig, DipeEstimator, Engine, EstimationJob, LongSimulationReference};
 use netlist::iscas89;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,29 +25,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let config = DipeConfig::default().with_seed(7);
+    let mut jobs = Vec::new();
+    let mut loaded = Vec::new();
+    for name in &circuits {
+        let circuit = std::sync::Arc::new(iscas89::load(name)?);
+        jobs.push(EstimationJob::new(
+            format!("{name}/reference"),
+            circuit.clone(),
+            Box::new(LongSimulationReference::new(10_000)),
+            config.clone(),
+            InputModel::uniform(),
+        ));
+        jobs.push(EstimationJob::new(
+            format!("{name}/dipe"),
+            circuit.clone(),
+            Box::new(DipeEstimator::new()),
+            config.clone(),
+            InputModel::uniform(),
+        ));
+        loaded.push((name.clone(), circuit));
+    }
+
+    let outcomes = Engine::new().run(jobs);
+
     let mut table = TextTable::new(&[
         "Circuit", "Gates", "FFs", "SIM (mW)", "I.I.", "p̄ (mW)", "Sample", "Time (s)",
     ]);
-
-    for name in &circuits {
-        let circuit = iscas89::load(name)?;
-        let reference =
-            LongSimulationReference::new(10_000).run(&circuit, &config, &InputModel::uniform())?;
-        let result =
-            DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())?.run()?;
+    for ((name, circuit), pair) in loaded.into_iter().zip(outcomes.chunks_exact(2)) {
+        let reference = pair[0].result.as_ref().map_err(|e| e.to_string())?;
+        let result = pair[1].result.as_ref().map_err(|e| e.to_string())?;
         table.add_row(&[
-            name.clone(),
+            name,
             circuit.num_gates().to_string(),
             circuit.num_flip_flops().to_string(),
             format!("{:.3}", reference.mean_power_mw()),
-            result.independence_interval().to_string(),
+            result
+                .independence_interval()
+                .map(|i| i.to_string())
+                .unwrap_or_default(),
             format!("{:.3}", result.mean_power_mw()),
-            result.sample_size().to_string(),
-            format!("{:.2}", result.elapsed_seconds()),
+            result.sample_size.to_string(),
+            format!("{:.2}", result.elapsed_seconds),
         ]);
     }
 
     println!("{table}");
-    println!("(reference = 10 000 consecutive cycles; estimator spec = 5 % error at 0.99 confidence)");
+    println!(
+        "(reference = 10 000 consecutive cycles; estimator spec = 5 % error at 0.99 confidence)"
+    );
     Ok(())
 }

@@ -1,12 +1,16 @@
-//! Quickstart: estimate the average power of one benchmark circuit and
-//! compare against a brute-force reference simulation.
+//! Quickstart: estimate the average power of one benchmark circuit with the
+//! session API (incremental progress included) and compare against a
+//! brute-force reference simulation.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use dipe::input::InputModel;
-use dipe::{DipeConfig, DipeEstimator, LongSimulationReference};
+use dipe::{
+    run_to_completion, CycleBudget, DipeConfig, DipeEstimator, LongSimulationReference,
+    PowerEstimator, Progress,
+};
 use netlist::iscas89;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,33 +26,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    error with 0.99 confidence, 5 V / 20 MHz.
     let config = DipeConfig::default().with_seed(2024);
 
-    // 3. Run DIPE.
-    let result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())?.run()?;
+    // 3. Open a DIPE session and drive it in bounded steps. Each step
+    //    simulates at most the given cycle budget, so the caller owns the
+    //    pacing — print progress, enforce a deadline, or cancel by simply
+    //    not stepping again. The estimate is identical however the run is
+    //    sliced.
+    let mut session = DipeEstimator::new().start(&circuit, &config, &InputModel::uniform(), 0)?;
+    let result = loop {
+        match session.step(CycleBudget::cycles(1_000))? {
+            Progress::Running {
+                cycles_done,
+                samples,
+                phase,
+                ..
+            } => println!("  ... {phase:?}: {cycles_done} cycles, {samples} samples"),
+            Progress::Done(estimate) => break estimate,
+        }
+    };
     println!(
-        "DIPE estimate: {:.4} mW  (independence interval {} cycles, {} samples, {:.2} s)",
+        "DIPE estimate: {:.4} mW  (independence interval {:?} cycles, {} samples, {:.2} s)",
         result.mean_power_mw(),
         result.independence_interval(),
-        result.sample_size(),
-        result.elapsed_seconds()
+        result.sample_size,
+        result.elapsed_seconds
     );
     println!(
         "  measured cycles: {}   zero-delay cycles: {}",
-        result.cycle_counts().measured_cycles,
-        result.cycle_counts().zero_delay_cycles
+        result.cycle_counts.measured_cycles, result.cycle_counts.zero_delay_cycles
     );
 
     // 4. Compare against a long consecutive-cycle reference (the `SIM` column
     //    of Table 1; the paper uses one million cycles, 50k is plenty for
-    //    s27).
-    let reference =
-        LongSimulationReference::new(50_000).run(&circuit, &config, &InputModel::uniform())?;
+    //    s27). The reference is just another PowerEstimator, so it can also
+    //    be driven to completion in one call.
+    let reference = run_to_completion(LongSimulationReference::new(50_000).start(
+        &circuit,
+        &config,
+        &InputModel::uniform(),
+        0,
+    )?)?;
     println!(
         "reference (50k consecutive cycles): {:.4} mW",
         reference.mean_power_mw()
     );
     println!(
         "relative deviation: {:.2} %  (specification: 5 % at 0.99 confidence)",
-        100.0 * result.relative_deviation_from(reference.mean_power_w())
+        100.0 * result.relative_deviation_from(reference.mean_power_w)
     );
 
     Ok(())

@@ -11,23 +11,50 @@
 //! * [`power`] — capacitance / technology / per-cycle power model
 //! * [`seqstats`] — runs test, normal quantiles, stopping criteria
 //! * [`markov`] — FSM / Markov-chain analysis substrate
-//! * [`dipe`] — the paper's estimator (independence-interval selection + sampling)
+//! * [`dipe`] — the paper's estimator plus the unified estimation API:
+//!   the `PowerEstimator` trait, re-entrant `EstimationSession`s, the unified
+//!   `Estimate` record and the batch `Engine`
 //!
 //! # Quick start
 //!
+//! Every estimator (DIPE, both baselines, the long-simulation reference) is
+//! a [`dipe::PowerEstimator`]; sessions opened from it are stepped under a
+//! cycle budget, and the batch [`dipe::Engine`] runs whole job lists across
+//! threads:
+//!
 //! ```
-//! use dipe::{DipeConfig, DipeEstimator};
 //! use dipe::input::InputModel;
+//! use dipe::{DipeConfig, DipeEstimator, Engine, EstimationJob, LongSimulationReference};
 //! use netlist::iscas89;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let circuit = iscas89::load("s27")?;
 //! let config = DipeConfig::default().with_seed(7);
-//! let result = DipeEstimator::new(&circuit, config, InputModel::uniform())?.run()?;
-//! println!("average power: {:.3} mW", result.mean_power_mw());
+//! let jobs = vec![
+//!     EstimationJob::new(
+//!         "s27/dipe",
+//!         iscas89::load("s27")?,
+//!         Box::new(DipeEstimator::new()),
+//!         config.clone(),
+//!         InputModel::uniform(),
+//!     ),
+//!     EstimationJob::new(
+//!         "s27/reference",
+//!         iscas89::load("s27")?,
+//!         Box::new(LongSimulationReference::new(10_000)),
+//!         config,
+//!         InputModel::uniform(),
+//!     ),
+//! ];
+//! for outcome in Engine::new().run(jobs) {
+//!     let estimate = outcome.result?;
+//!     println!("{}: {:.3} mW", outcome.label, estimate.mean_power_mw());
+//! }
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! For incremental progress and cancellation, open a session directly — see
+//! the `quickstart` example and [`dipe::EstimationSession`].
 
 pub use dipe;
 pub use logicsim;

@@ -26,9 +26,8 @@ fn fixed_warmup_baseline_is_accurate_but_wasteful() {
         fixed.relative_deviation_from(reference.mean_power_w())
     );
 
-    let dipe_result = DipeEstimator::new(&circuit, config, inputs)
-        .unwrap()
-        .run()
+    let dipe_result = DipeEstimator::new()
+        .run(&circuit, &config, &inputs)
         .unwrap();
     // Cost per sample: the fixed warm-up spends ~300 zero-delay cycles per
     // sample; DIPE spends the independence interval (a few cycles).
@@ -133,9 +132,8 @@ fn generated_circuits_flow_through_the_whole_stack() {
     assert_eq!(reparsed.stats(), circuit.stats());
 
     let config = DipeConfig::default().with_seed(64);
-    let result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
-        .unwrap()
-        .run()
+    let result = DipeEstimator::new()
+        .run(&circuit, &config, &InputModel::uniform())
         .unwrap();
     let reference = LongSimulationReference::new(20_000)
         .run(&circuit, &config, &InputModel::uniform())
@@ -169,9 +167,8 @@ fn correlated_inputs_change_power_but_not_accuracy() {
         reference_ind.mean_power_w()
     );
     // DIPE still tracks its own reference under correlated inputs.
-    let result = DipeEstimator::new(&circuit, config, correlated)
-        .unwrap()
-        .run()
+    let result = DipeEstimator::new()
+        .run(&circuit, &config, &correlated)
         .unwrap();
     assert!(
         result.relative_deviation_from(reference_cor.mean_power_w()) < 0.08,

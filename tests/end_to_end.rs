@@ -10,9 +10,8 @@ use netlist::iscas89;
 fn estimate_and_reference(name: &str, seed: u64, reference_cycles: usize) -> (f64, f64) {
     let circuit = iscas89::load(name).unwrap();
     let config = DipeConfig::default().with_seed(seed);
-    let result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
-        .unwrap()
-        .run()
+    let result = DipeEstimator::new()
+        .run(&circuit, &config, &InputModel::uniform())
         .unwrap();
     let reference = LongSimulationReference::new(reference_cycles)
         .run(&circuit, &config, &InputModel::uniform())
@@ -55,9 +54,8 @@ fn table1_shape_holds_on_a_small_suite() {
     for (name, seed) in [("s27", 11u64), ("s208", 12), ("s344", 13)] {
         let circuit = iscas89::load(name).unwrap();
         let config = DipeConfig::default().with_seed(seed);
-        let result = DipeEstimator::new(&circuit, config.clone(), InputModel::uniform())
-            .unwrap()
-            .run()
+        let result = DipeEstimator::new()
+            .run(&circuit, &config, &InputModel::uniform())
             .unwrap();
         let reference = LongSimulationReference::new(20_000)
             .run(&circuit, &config, &InputModel::uniform())
@@ -95,9 +93,8 @@ fn estimation_works_with_every_stopping_criterion() {
         CriterionKind::Dkw,
     ] {
         let config = DipeConfig::default().with_seed(50).with_criterion(kind);
-        let result = DipeEstimator::new(&circuit, config, InputModel::uniform())
-            .unwrap()
-            .run()
+        let result = DipeEstimator::new()
+            .run(&circuit, &config, &InputModel::uniform())
             .unwrap();
         let deviation = result.relative_deviation_from(reference.mean_power_w());
         assert!(
@@ -112,14 +109,13 @@ fn estimation_works_with_every_stopping_criterion() {
 fn whole_flow_is_deterministic() {
     let circuit = iscas89::load("s298").unwrap();
     let run = |seed: u64| {
-        DipeEstimator::new(
-            &circuit,
-            DipeConfig::default().with_seed(seed),
-            InputModel::uniform(),
-        )
-        .unwrap()
-        .run()
-        .unwrap()
+        DipeEstimator::new()
+            .run(
+                &circuit,
+                &DipeConfig::default().with_seed(seed),
+                &InputModel::uniform(),
+            )
+            .unwrap()
     };
     let a = run(77);
     let b = run(77);
@@ -142,9 +138,8 @@ fn power_scales_with_clock_and_supply() {
         .with_seed(31)
         .with_technology(power::Technology::new(5.0, 40.0e6));
     let run = |config: DipeConfig| {
-        DipeEstimator::new(&circuit, config, InputModel::uniform())
-            .unwrap()
-            .run()
+        DipeEstimator::new()
+            .run(&circuit, &config, &InputModel::uniform())
             .unwrap()
             .mean_power_w()
     };

@@ -9,10 +9,7 @@ use netlist::iscas89;
 use seqstats::autocorr;
 use seqstats::runs_test::RunsTest;
 
-fn sampler<'c>(
-    circuit: &'c netlist::Circuit,
-    config: &DipeConfig,
-) -> PowerSampler<'c> {
+fn sampler<'c>(circuit: &'c netlist::Circuit, config: &DipeConfig) -> PowerSampler<'c> {
     let mut s = PowerSampler::new(circuit, config, &InputModel::uniform(), 0).unwrap();
     s.advance(config.warmup_cycles);
     s
@@ -118,12 +115,20 @@ fn significance_level_influences_selection_strictness() {
     // A stricter (smaller) alpha accepts more readily (wider acceptance
     // region), so the selected interval can only be smaller or equal.
     let circuit = iscas89::load("s298").unwrap();
-    let strict = DipeConfig::default().with_seed(4).with_significance_level(0.40);
-    let loose = DipeConfig::default().with_seed(4).with_significance_level(0.01);
+    let strict = DipeConfig::default()
+        .with_seed(4)
+        .with_significance_level(0.40);
+    let loose = DipeConfig::default()
+        .with_seed(4)
+        .with_significance_level(0.01);
     let mut s1 = sampler(&circuit, &strict);
     let mut s2 = sampler(&circuit, &loose);
-    let interval_strict = select_independence_interval(&mut s1, &strict).unwrap().interval;
-    let interval_loose = select_independence_interval(&mut s2, &loose).unwrap().interval;
+    let interval_strict = select_independence_interval(&mut s1, &strict)
+        .unwrap()
+        .interval;
+    let interval_loose = select_independence_interval(&mut s2, &loose)
+        .unwrap()
+        .interval;
     assert!(
         interval_loose <= interval_strict,
         "alpha=0.01 interval {interval_loose} should be <= alpha=0.40 interval {interval_strict}"

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access, so the real `criterion`
+//! cannot be fetched. This crate keeps the workspace's benches compiling and
+//! runnable (`cargo bench`) with the same source: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, [`BenchmarkId`] and [`Bencher::iter`].
+//!
+//! Instead of criterion's statistical sampling it runs each benchmark a small
+//! fixed number of iterations and reports min/mean wall-clock time — enough
+//! to compare orders of magnitude between the simulators and estimators,
+//! which is all the reproduction tables need. Swap the path dependency for
+//! the real `criterion` to get confidence intervals and HTML reports.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed iterations per benchmark (the real criterion adapts this;
+/// the stand-in keeps it small because the workloads here are seconds-long).
+const ITERATIONS: u32 = 3;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            iterations: ITERATIONS,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(ITERATIONS);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    iterations: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the stand-in maps criterion's
+    /// sample count onto its (much smaller) iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u32).clamp(1, ITERATIONS);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.iterations);
+        f(&mut bencher, input);
+        bencher.report(&id.0);
+        self
+    }
+
+    /// Benchmarks a closure without an input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.iterations);
+        f(&mut bencher);
+        bencher.report(&id.0);
+        self
+    }
+
+    /// Closes the group (no-op; kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id built from a function name and a parameter.
+    pub fn new<D: Display>(name: &str, parameter: D) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id built from the parameter alone.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing driver passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u32,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iterations: u32) -> Self {
+        Bencher {
+            iterations,
+            times: Vec::new(),
+        }
+    }
+
+    /// Times `f` over the configured number of iterations. The closure's
+    /// return value is dropped (returning it defeats dead-code elimination,
+    /// as in the real criterion).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.times.clear();
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            let value = f();
+            self.times.push(start.elapsed());
+            drop(value);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.times.is_empty() {
+            println!("  {name}: no measurements");
+            return;
+        }
+        let min = self.times.iter().min().expect("non-empty");
+        let total: Duration = self.times.iter().sum();
+        let mean = total / self.times.len() as u32;
+        println!(
+            "  {name}: min {:.3} ms, mean {:.3} ms over {} iterations",
+            min.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            self.times.len()
+        );
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order
+/// (source-compatible subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("square"), &21u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_and_bencher_run() {
+        benches();
+        let mut c = Criterion::default();
+        c.bench_function("inline", |b| b.iter(|| 2 + 2));
+        assert_eq!(BenchmarkId::new("a", 3), BenchmarkId(String::from("a/3")));
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this repository builds in has no network access, so the real
+//! `serde` cannot be fetched from crates.io. The workspace only *annotates*
+//! types with `#[derive(serde::Serialize, serde::Deserialize)]` — nothing
+//! serialises values at runtime — so this crate provides just enough surface
+//! for those annotations to compile: marker traits plus no-op derive macros.
+//!
+//! Replacing this path dependency with the real `serde = { version = "1",
+//! features = ["derive"] }` is a one-line change in each crate manifest once
+//! a registry is reachable.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name. The no-op derive does not
+/// implement it; it exists so fully-qualified bounds keep compiling.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the real `serde` stack cannot be fetched. Nothing in the workspace
+//! actually serialises values (there is no `serde_json`/`bincode` consumer);
+//! the `#[derive(serde::Serialize, serde::Deserialize)]` attributes on the
+//! result types only exist so that downstream users with the real `serde`
+//! can swap it in. These derive macros therefore accept the same syntax and
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
