@@ -1,12 +1,19 @@
-//! Ablation bench for the two-phase simulation design (Section IV):
-//! zero-delay next-state simulation versus event-driven general-delay
-//! measurement, and the per-cycle power computation. The gap between the two
+//! Ablation bench for the simulation backends: the two-phase design of the
+//! paper (zero-delay next-state simulation versus event-driven general-delay
+//! measurement, Section IV) plus the compiled scalar and 64-lane
+//! bit-parallel zero-delay backends. The gap between the cheap and expensive
 //! simulators is what makes DIPE's "simulate cheaply during the independence
-//! interval, measure expensively only at sampling cycles" scheme pay off.
+//! interval, measure expensively only at sampling cycles" scheme pay off;
+//! the gap between the zero-delay backends is what batch replicated runs
+//! exploit. The `simulators` binary measures the same comparison and writes
+//! `BENCH_simulators.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dipe::input::InputModel;
-use logicsim::{DelayModel, VariableDelaySimulator, ZeroDelaySimulator};
+use dipe::input::{InputModel, InputStream};
+use logicsim::{
+    pack_lane_bit, BitParallelSimulator, CompiledSimulator, DelayModel, VariableDelaySimulator,
+    ZeroDelaySimulator, LANES,
+};
 use netlist::iscas89;
 use power::{CapacitanceModel, PowerCalculator, Technology};
 
@@ -20,11 +27,92 @@ fn bench_zero_delay(c: &mut Criterion) {
             let mut stream = InputModel::uniform().stream(circuit, 5).unwrap();
             b.iter(|| {
                 let mut sim = ZeroDelaySimulator::new(circuit);
-                for _ in 0..CYCLES {
-                    let inputs = stream.next_pattern();
-                    sim.step_state_only(&inputs);
-                }
+                sim.advance_with(CYCLES, |buffer| stream.next_pattern_into(buffer));
                 sim.values()[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/compiled_1k_cycles");
+    for name in ["s298", "s1494", "s5378"] {
+        let circuit = iscas89::load(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circuit| {
+            let mut stream = InputModel::uniform().stream(circuit, 5).unwrap();
+            b.iter(|| {
+                let mut sim = CompiledSimulator::new(circuit);
+                sim.advance_with(CYCLES, |buffer| stream.next_pattern_into(buffer));
+                sim.values()[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bit_parallel(c: &mut Criterion) {
+    // Same 1k shared cycles as the scalar groups, but every pass advances 64
+    // replications: divide by 64 for the per-lane-cycle comparison.
+    let mut group = c.benchmark_group("ablation/bit_parallel_64x1k_lane_cycles");
+    for name in ["s298", "s1494", "s5378"] {
+        let circuit = iscas89::load(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circuit| {
+            let mut streams: Vec<InputStream> = (0..LANES)
+                .map(|lane| {
+                    InputModel::uniform()
+                        .stream(circuit, 5 + lane as u64)
+                        .unwrap()
+                })
+                .collect();
+            let mut pattern = vec![false; circuit.num_primary_inputs()];
+            b.iter(|| {
+                let mut sim = BitParallelSimulator::new(circuit);
+                sim.advance_with(CYCLES, |words| {
+                    for (lane, stream) in streams.iter_mut().enumerate() {
+                        stream.next_pattern_into(&mut pattern);
+                        for (word, &bit) in words.iter_mut().zip(&pattern) {
+                            pack_lane_bit(word, lane, bit);
+                        }
+                    }
+                });
+                sim.words()[0]
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bit_parallel_transition_counting(c: &mut Criterion) {
+    // Counted stepping: XOR diff masks folded against the per-net
+    // capacitances with one count_ones per net — the word-level energy
+    // accumulation path.
+    let mut group = c.benchmark_group("ablation/bit_parallel_counted_64x1k");
+    for name in ["s298", "s1494"] {
+        let circuit = iscas89::load(name).unwrap();
+        let calc = PowerCalculator::new(
+            &circuit,
+            Technology::default(),
+            &CapacitanceModel::default(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circuit| {
+            let mut stream = InputModel::uniform().stream(circuit, 5).unwrap();
+            let mut pattern = vec![false; circuit.num_primary_inputs()];
+            let mut words = vec![0u64; circuit.num_primary_inputs()];
+            b.iter(|| {
+                let mut sim = BitParallelSimulator::new(circuit);
+                let mut energy = 0.0;
+                for _ in 0..CYCLES {
+                    for lane in 0..LANES {
+                        stream.next_pattern_into(&mut pattern);
+                        for (word, &bit) in words.iter_mut().zip(&pattern) {
+                            pack_lane_bit(word, lane, bit);
+                        }
+                    }
+                    let activity = sim.step(&words);
+                    energy += calc.total_switched_capacitance_f(activity);
+                }
+                energy
             });
         });
     }
@@ -86,6 +174,9 @@ fn bench_power_evaluation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_zero_delay,
+    bench_compiled,
+    bench_bit_parallel,
+    bench_bit_parallel_transition_counting,
     bench_variable_delay,
     bench_power_evaluation
 );

@@ -1,0 +1,92 @@
+//! Simulator-backend ablation: zero-delay decorrelation throughput of the
+//! interpreted scalar, compiled scalar and 64-lane bit-parallel backends,
+//! written to a machine-readable `BENCH_simulators.json`.
+//!
+//! ```text
+//! cargo run --release -p dipe-bench --bin simulators
+//! cargo run --release -p dipe-bench --bin simulators -- \
+//!     --circuits s27,s298,s1494 --cycles 200000 --out BENCH_simulators.json
+//! ```
+
+use dipe_bench::simulators::{format_rows, run_simulator_ablation, to_json};
+
+struct Options {
+    circuits: Vec<String>,
+    cycles: usize,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            circuits: vec!["s27".into(), "s298".into(), "s1494".into()],
+            cycles: 200_000,
+            seed: 1997,
+            out: "BENCH_simulators.json".into(),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: simulators [--circuits s27,s298,...] [--cycles N] [--seed N] [--out FILE]".to_string()
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut take_value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--circuits" => {
+                options.circuits = take_value("--circuits")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--cycles" => {
+                options.cycles = take_value("--cycles")?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = take_value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => options.out = take_value("--out")?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# Simulator ablation — {} decorrelation cycles per backend, seed = {}",
+        options.cycles, options.seed
+    );
+    let rows = run_simulator_ablation(&options.circuits, options.cycles, options.seed);
+    if rows.is_empty() {
+        eprintln!("no circuits could be loaded");
+        std::process::exit(1);
+    }
+    println!("{}", format_rows(&rows));
+    let json = to_json(&rows, options.cycles, options.seed);
+    if let Err(error) = std::fs::write(&options.out, json) {
+        eprintln!("failed to write {}: {error}", options.out);
+        std::process::exit(1);
+    }
+    println!("# wrote {}", options.out);
+}

@@ -19,8 +19,13 @@
 use dipe::baselines::FixedWarmupEstimator;
 use dipe::input::InputModel;
 use dipe::report::TextTable;
-use dipe::{DipeConfig, DipeEstimator, Engine, Estimate, EstimationJob, LongSimulationReference};
+use dipe::{
+    DipeConfig, DipeEstimator, Engine, Estimate, EstimationJob, LongSimulationReference,
+    ReplicatedJob,
+};
 use netlist::{iscas89, Circuit};
+
+pub mod simulators;
 
 /// The per-circuit results published in Table 1 of the paper, used for
 /// side-by-side comparison in EXPERIMENTS.md. `sim_mw` is the reference power
@@ -518,52 +523,64 @@ pub struct Table2Row {
 }
 
 /// Runs the Table 2 experiment: `options.runs` independent DIPE runs per
-/// circuit against one shared reference simulation, batched through the
-/// [`Engine`]. Every repeated run is its own job with a deterministic seed
-/// offset, so the whole table parallelises across the worker pool while
-/// staying reproducible run to run.
+/// circuit against one shared reference simulation. The repeated runs are
+/// mapped onto the 64 lanes of a shared bit-parallel simulation via
+/// [`Engine::run_replicated`] — replication `r` keeps seed offset `r + 1`
+/// and is bit-exact with the scalar job it replaces, so the table's
+/// statistics are unchanged while the zero-delay work (warm-up and
+/// decorrelation, the bulk of every run) is done word-wide. References run
+/// as ordinary scalar jobs in the same worker pool.
 pub fn run_table2(options: &SuiteOptions) -> Vec<Table2Row> {
     let config = options.config();
     let mut names = Vec::new();
-    let mut jobs = Vec::new();
+    let mut reference_jobs = Vec::new();
+    let mut dipe_jobs = Vec::new();
     for (name, circuit) in options.load_circuits() {
         let circuit = std::sync::Arc::new(circuit);
-        jobs.push(EstimationJob::new(
+        reference_jobs.push(EstimationJob::new(
             format!("{name}/reference"),
             circuit.clone(),
             Box::new(LongSimulationReference::new(options.reference_cycles)),
             config.clone(),
             InputModel::uniform(),
         ));
-        for run in 0..options.runs {
-            jobs.push(
-                EstimationJob::new(
-                    format!("{name}/dipe/{run}"),
-                    circuit.clone(),
-                    Box::new(DipeEstimator::new()),
-                    config.clone(),
-                    InputModel::uniform(),
-                )
-                .with_seed_offset(run as u64 + 1),
-            );
-        }
+        dipe_jobs.push(ReplicatedJob::new(
+            format!("{name}/dipe"),
+            circuit,
+            config.clone(),
+            InputModel::uniform(),
+            options.runs,
+            1,
+        ));
         names.push(name);
     }
 
-    let outcomes = Engine::new().run(jobs);
+    // Run the scalar reference batch and the lane-replicated DIPE batch
+    // concurrently so neither acts as a barrier for the other (with few
+    // circuits, one batch alone cannot fill a wide machine). Determinism is
+    // unaffected: both batches seed from their jobs only.
+    let engine = Engine::new();
+    let (references, replicated) = std::thread::scope(|scope| {
+        let reference_handle = scope.spawn(|| engine.run(reference_jobs));
+        let replicated = engine.run_replicated(dipe_jobs);
+        let references = reference_handle
+            .join()
+            .expect("the reference batch does not panic");
+        (references, replicated)
+    });
     names
         .into_iter()
-        .zip(outcomes.chunks_exact(options.runs + 1))
-        .map(|(name, chunk)| {
-            let reference = chunk[0]
+        .zip(references.iter().zip(&replicated))
+        .map(|(name, (reference_outcome, dipe_outcome))| {
+            let reference = reference_outcome
                 .result
                 .as_ref()
                 .expect("reference simulation cannot fail on catalogued circuits");
-            let results: Vec<&Estimate> = chunk[1..]
+            let results: Vec<&Estimate> = dipe_outcome
+                .results
                 .iter()
-                .map(|outcome| {
-                    outcome
-                        .result
+                .map(|result| {
+                    result
                         .as_ref()
                         .expect("estimation converges on catalogued circuits")
                 })

@@ -1,0 +1,232 @@
+//! Simulator-backend ablation: decorrelation-advance throughput of the
+//! three zero-delay backends.
+//!
+//! The measured workload is exactly the estimator's hot path — `advance`
+//! during the independence interval: draw one input pattern per replication
+//! per cycle from a [`dipe::input::InputModel::uniform`] stream and step the
+//! next-state logic, with no power measurement. Three backends are compared:
+//!
+//! * `zero_delay` — the interpreted scalar [`ZeroDelaySimulator`] (1 lane);
+//! * `compiled` — the compiled scalar [`CompiledSimulator`] (1 lane);
+//! * `bit_parallel` — the 64-lane [`BitParallelSimulator`], with one
+//!   independent deterministically-seeded input stream per lane.
+//!
+//! Throughput is reported in **aggregate lane-cycles per second** (simulated
+//! clock cycles × concurrent replications ÷ wall time), the figure of merit
+//! for batch replicated estimation. Results serialise to the
+//! machine-readable `BENCH_simulators.json` consumed by CI, so the perf
+//! trajectory of the backends is tracked over time.
+//!
+//! Each run cross-checks the backends against each other before timing is
+//! trusted: the compiled scalar simulator must end bit-exact with the
+//! interpreted one, and lane 0 of the bit-parallel simulator must end
+//! bit-exact with both (it shares their input-stream seed).
+
+use std::time::Instant;
+
+use dipe::input::{InputModel, InputStream};
+use logicsim::{pack_lane_bit, BitParallelSimulator, CompiledSimulator, ZeroDelaySimulator, LANES};
+use netlist::{iscas89, Circuit};
+
+/// One backend × circuit measurement.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimulatorBenchRow {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Backend identifier: `zero_delay`, `compiled` or `bit_parallel`.
+    pub backend: &'static str,
+    /// Simulated clock cycles (shared across lanes).
+    pub cycles: u64,
+    /// Concurrent replications evaluated per pass.
+    pub lanes: u32,
+    /// Wall-clock seconds for the advance loop, input generation included.
+    pub elapsed_seconds: f64,
+    /// Aggregate throughput: `cycles * lanes / elapsed_seconds`.
+    pub lane_cycles_per_sec: f64,
+    /// Throughput relative to the interpreted `zero_delay` backend on the
+    /// same circuit (1.0 for the baseline itself).
+    pub speedup_vs_zero_delay: f64,
+}
+
+fn uniform_stream(circuit: &Circuit, seed: u64) -> InputStream {
+    InputModel::uniform()
+        .stream(circuit, seed)
+        .expect("the uniform model fits every circuit")
+}
+
+/// Runs the decorrelation-advance ablation for every named circuit. Unknown
+/// circuit names are skipped with a note on stderr, mirroring the other
+/// experiment drivers.
+pub fn run_simulator_ablation(
+    circuits: &[String],
+    cycles: usize,
+    seed: u64,
+) -> Vec<SimulatorBenchRow> {
+    let mut rows = Vec::new();
+    for name in circuits {
+        let circuit = match iscas89::load(name) {
+            Ok(circuit) => circuit,
+            Err(error) => {
+                eprintln!("skipping {name}: {error}");
+                continue;
+            }
+        };
+        rows.extend(ablate_circuit(name, &circuit, cycles, seed));
+    }
+    rows
+}
+
+fn ablate_circuit(
+    name: &str,
+    circuit: &Circuit,
+    cycles: usize,
+    seed: u64,
+) -> Vec<SimulatorBenchRow> {
+    // Interpreted scalar baseline.
+    let mut interpreted = ZeroDelaySimulator::new(circuit);
+    let mut stream = uniform_stream(circuit, seed);
+    let started = Instant::now();
+    interpreted.advance_with(cycles, |buffer| stream.next_pattern_into(buffer));
+    let zero_delay_elapsed = started.elapsed().as_secs_f64();
+
+    // Compiled scalar: same stream seed, must end bit-exact.
+    let mut compiled = CompiledSimulator::new(circuit);
+    let mut stream = uniform_stream(circuit, seed);
+    let started = Instant::now();
+    compiled.advance_with(cycles, |buffer| stream.next_pattern_into(buffer));
+    let compiled_elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(
+        interpreted.values(),
+        compiled.values(),
+        "{name}: compiled backend diverged from the interpreted simulator"
+    );
+
+    // Bit-parallel: 64 independent streams; lane 0 shares the scalar seed.
+    let mut bit_parallel = BitParallelSimulator::new(circuit);
+    let mut streams: Vec<InputStream> = (0..LANES)
+        .map(|lane| uniform_stream(circuit, seed.wrapping_add(lane as u64)))
+        .collect();
+    let mut pattern = vec![false; circuit.num_primary_inputs()];
+    let started = Instant::now();
+    bit_parallel.advance_with(cycles, |words| {
+        for (lane, stream) in streams.iter_mut().enumerate() {
+            stream.next_pattern_into(&mut pattern);
+            for (word, &bit) in words.iter_mut().zip(&pattern) {
+                pack_lane_bit(word, lane, bit);
+            }
+        }
+    });
+    let bit_parallel_elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(
+        interpreted.values(),
+        bit_parallel.lane_values(0).as_slice(),
+        "{name}: bit-parallel lane 0 diverged from the interpreted simulator"
+    );
+
+    let rate = |lanes: u64, elapsed: f64| cycles as f64 * lanes as f64 / elapsed.max(1e-12);
+    let baseline = rate(1, zero_delay_elapsed);
+    let row = |backend: &'static str, lanes: u64, elapsed: f64| SimulatorBenchRow {
+        circuit: name.to_string(),
+        backend,
+        cycles: cycles as u64,
+        lanes: lanes as u32,
+        elapsed_seconds: elapsed,
+        lane_cycles_per_sec: rate(lanes, elapsed),
+        speedup_vs_zero_delay: rate(lanes, elapsed) / baseline,
+    };
+    vec![
+        row("zero_delay", 1, zero_delay_elapsed),
+        row("compiled", 1, compiled_elapsed),
+        row("bit_parallel", LANES as u64, bit_parallel_elapsed),
+    ]
+}
+
+/// Serialises the rows as the `BENCH_simulators.json` document: a flat,
+/// machine-readable record of cycles/sec per backend per circuit.
+pub fn to_json(rows: &[SimulatorBenchRow], cycles: usize, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"simulator_ablation\",\n");
+    out.push_str(
+        "  \"workload\": \"decorrelation advance (uniform input stream + state-only step)\",\n",
+    );
+    out.push_str(&format!("  \"cycles\": {cycles},\n  \"seed\": {seed},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"circuit\": \"{}\", \"backend\": \"{}\", \"cycles\": {}, \"lanes\": {}, \
+             \"elapsed_seconds\": {:.6}, \"lane_cycles_per_sec\": {:.1}, \
+             \"speedup_vs_zero_delay\": {:.2}}}{}\n",
+            row.circuit,
+            row.backend,
+            row.cycles,
+            row.lanes,
+            row.elapsed_seconds,
+            row.lane_cycles_per_sec,
+            row.speedup_vs_zero_delay,
+            if index + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Formats the rows as a human-readable table for the binary's stdout.
+pub fn format_rows(rows: &[SimulatorBenchRow]) -> dipe::report::TextTable {
+    let mut table = dipe::report::TextTable::new(&[
+        "Circuit",
+        "Backend",
+        "Lanes",
+        "Cycles",
+        "Elapsed (s)",
+        "Lane-cycles/s",
+        "Speedup",
+    ]);
+    for row in rows {
+        table.add_row(&[
+            row.circuit.clone(),
+            row.backend.to_string(),
+            row.lanes.to_string(),
+            row.cycles.to_string(),
+            format!("{:.3}", row.elapsed_seconds),
+            format!("{:.0}", row.lane_cycles_per_sec),
+            format!("{:.1}x", row.speedup_vs_zero_delay),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_produces_three_rows_per_circuit() {
+        let rows = run_simulator_ablation(&["s27".into(), "nope".into()], 2_000, 9);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].backend, "zero_delay");
+        assert_eq!(rows[1].backend, "compiled");
+        assert_eq!(rows[2].backend, "bit_parallel");
+        assert_eq!(rows[2].lanes, 64);
+        for row in &rows {
+            assert_eq!(row.circuit, "s27");
+            assert_eq!(row.cycles, 2_000);
+            assert!(row.lane_cycles_per_sec > 0.0);
+            assert!(row.speedup_vs_zero_delay > 0.0);
+        }
+        assert!((rows[0].speedup_vs_zero_delay - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough_for_ci() {
+        let rows = run_simulator_ablation(&["s27".into()], 500, 1);
+        let json = to_json(&rows, 500, 1);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"benchmark\": \"simulator_ablation\""));
+        assert!(json.contains("\"backend\": \"bit_parallel\""));
+        assert!(json.contains("\"lane_cycles_per_sec\""));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
+        let rendered = format_rows(&rows).render();
+        assert!(rendered.contains("Lane-cycles/s"));
+    }
+}

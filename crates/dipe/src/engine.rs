@@ -122,6 +122,78 @@ impl std::fmt::Debug for EstimationJob {
     }
 }
 
+/// One replicated unit of batch work: run the DIPE flow on `circuit` once
+/// per entry of `seed_offsets`, mapping replications onto bit-parallel
+/// simulation lanes. The lane-group counterpart of [`EstimationJob`].
+pub struct ReplicatedJob {
+    label: String,
+    circuit: Arc<Circuit>,
+    config: DipeConfig,
+    input_model: InputModel,
+    seed_offsets: Vec<u64>,
+}
+
+impl ReplicatedJob {
+    /// Creates a job running `runs` replications with consecutive seed
+    /// offsets `first_seed_offset, first_seed_offset + 1, ...` — the Table 2
+    /// convention.
+    pub fn new(
+        label: impl Into<String>,
+        circuit: impl Into<Arc<Circuit>>,
+        config: DipeConfig,
+        input_model: InputModel,
+        runs: usize,
+        first_seed_offset: u64,
+    ) -> Self {
+        ReplicatedJob {
+            label: label.into(),
+            circuit: circuit.into(),
+            config,
+            input_model,
+            seed_offsets: (0..runs as u64)
+                .map(|r| first_seed_offset.wrapping_add(r))
+                .collect(),
+        }
+    }
+
+    /// Replaces the seed offsets with an explicit list (builder style), for
+    /// batches that need non-consecutive replication seeds.
+    pub fn with_seed_offsets(mut self, seed_offsets: Vec<u64>) -> Self {
+        self.seed_offsets = seed_offsets;
+        self
+    }
+
+    /// The job's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The seed offsets of the replications, in run order.
+    pub fn seed_offsets(&self) -> &[u64] {
+        &self.seed_offsets
+    }
+}
+
+impl std::fmt::Debug for ReplicatedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedJob")
+            .field("label", &self.label)
+            .field("circuit", &self.circuit.name())
+            .field("runs", &self.seed_offsets.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of one [`ReplicatedJob`]: per-replication results in seed
+/// offset order. Replications fail independently.
+#[derive(Debug)]
+pub struct ReplicatedOutcome {
+    /// Label of the job this outcome belongs to.
+    pub label: String,
+    /// One result per replication, in the job's seed-offset order.
+    pub results: Vec<Result<Estimate, DipeError>>,
+}
+
 /// The result of one job: its label and either the estimate or the error
 /// that stopped it. Jobs fail independently — one diverging estimation does
 /// not poison the batch.
@@ -187,26 +259,16 @@ impl Engine {
     ) -> Vec<JobOutcome> {
         let slots: Vec<Mutex<Option<Result<Estimate, DipeError>>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
-        let next_job = AtomicUsize::new(0);
-        let workers = self.num_threads.min(jobs.len().max(1));
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next_job.fetch_add(1, Ordering::Relaxed);
-                    if index >= jobs.len() {
-                        break;
-                    }
-                    let result = if cancel.load(Ordering::Relaxed) {
-                        Err(DipeError::Cancelled)
-                    } else {
-                        self.drive(&jobs[index], cancel)
-                    };
-                    *slots[index]
-                        .lock()
-                        .expect("no panics while holding the slot lock") = Some(result);
-                });
-            }
+        self.claim_across_workers(jobs.len(), |index| {
+            let result = if cancel.load(Ordering::Relaxed) {
+                Err(DipeError::Cancelled)
+            } else {
+                self.drive(&jobs[index], cancel)
+            };
+            *slots[index]
+                .lock()
+                .expect("no panics while holding the slot lock") = Some(result);
         });
 
         jobs.into_iter()
@@ -219,6 +281,109 @@ impl Engine {
                     .expect("every claimed job writes its slot"),
             })
             .collect()
+    }
+
+    /// Runs batches of *replicated* DIPE jobs — the Table 2 workload of many
+    /// independent runs per circuit — by mapping replications onto the 64
+    /// lanes of a shared bit-parallel simulation
+    /// ([`crate::lanes::run_replicated_dipe`]). Each job is split into lane
+    /// groups of at most [`logicsim::LANES`] replications; groups are the
+    /// scheduling unit across the worker pool.
+    ///
+    /// Determinism: replication `r` of a job is seeded from
+    /// `config.seed + seed_offsets[r]` only and its estimate is bit-exact
+    /// with the scalar session [`run`](Self::run) would have produced for an
+    /// [`EstimationJob`] with the same seed offset — whatever the thread
+    /// count or group packing. Outcomes are returned in input order, each
+    /// carrying its per-replication results in seed-offset order.
+    pub fn run_replicated(&self, jobs: Vec<ReplicatedJob>) -> Vec<ReplicatedOutcome> {
+        self.run_replicated_cancellable(jobs, &AtomicBool::new(false))
+    }
+
+    /// Runs the replicated jobs, polling `cancel` once per shared simulation
+    /// cycle inside every lane group. Once `cancel` is set, unfinished
+    /// replications complete with [`DipeError::Cancelled`] (finished
+    /// replications keep their results) and unstarted lane groups are not
+    /// started — the replicated counterpart of
+    /// [`run_cancellable`](Self::run_cancellable).
+    pub fn run_replicated_cancellable(
+        &self,
+        jobs: Vec<ReplicatedJob>,
+        cancel: &AtomicBool,
+    ) -> Vec<ReplicatedOutcome> {
+        // Flatten every job into (job index, offset range) lane groups.
+        let mut groups: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for (job_index, job) in jobs.iter().enumerate() {
+            let mut start = 0;
+            while start < job.seed_offsets.len() {
+                let end = (start + logicsim::LANES).min(job.seed_offsets.len());
+                groups.push((job_index, start..end));
+                start = end;
+            }
+        }
+
+        // Per-job result slots, one entry per replication.
+        type ReplicationSlots = Mutex<Vec<Option<Result<Estimate, DipeError>>>>;
+        let slots: Vec<ReplicationSlots> = jobs
+            .iter()
+            .map(|job| Mutex::new(vec![None; job.seed_offsets.len()]))
+            .collect();
+        self.claim_across_workers(groups.len(), |index| {
+            let (job_index, ref range) = groups[index];
+            let job = &jobs[job_index];
+            let offsets = &job.seed_offsets[range.clone()];
+            let results = if cancel.load(Ordering::Relaxed) {
+                offsets.iter().map(|_| Err(DipeError::Cancelled)).collect()
+            } else {
+                crate::lanes::run_replicated_dipe_cancellable(
+                    &job.circuit,
+                    &job.config,
+                    &job.input_model,
+                    offsets,
+                    cancel,
+                )
+                .unwrap_or_else(|error| offsets.iter().map(|_| Err(error.clone())).collect())
+            };
+            let mut slot = slots[job_index]
+                .lock()
+                .expect("no panics while holding the slot lock");
+            for (position, result) in range.clone().zip(results) {
+                slot[position] = Some(result);
+            }
+        });
+
+        jobs.into_iter()
+            .zip(slots)
+            .map(|(job, slot)| ReplicatedOutcome {
+                label: job.label,
+                results: slot
+                    .into_inner()
+                    .expect("no panics while holding the slot lock")
+                    .into_iter()
+                    .map(|result| result.expect("every lane group writes its slots"))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The shared worker-pool scaffold of [`run_cancellable`](Self::run_cancellable)
+    /// and [`run_replicated_cancellable`](Self::run_replicated_cancellable):
+    /// claims indices `0..count` across at most `num_threads` scoped workers
+    /// and calls `work` for each claimed index exactly once.
+    fn claim_across_workers(&self, count: usize, work: impl Fn(usize) + Sync) {
+        let next = AtomicUsize::new(0);
+        let workers = self.num_threads.min(count.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        break;
+                    }
+                    work(index);
+                });
+            }
+        });
     }
 
     fn drive(&self, job: &EstimationJob, cancel: &AtomicBool) -> Result<Estimate, DipeError> {
@@ -235,5 +400,117 @@ impl Engine {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DipeEstimator;
+    use netlist::iscas89;
+
+    /// The lane-mapped replicated path and the scalar job path must agree on
+    /// every statistical field — the Engine-level version of the lane
+    /// equivalence contract, covering group packing and scheduling.
+    #[test]
+    fn run_replicated_matches_scalar_jobs() {
+        let circuit = Arc::new(iscas89::load("s27").unwrap());
+        let config = DipeConfig::default().with_seed(2024);
+        let runs = 4;
+
+        let scalar_jobs: Vec<EstimationJob> = (0..runs)
+            .map(|r| {
+                EstimationJob::new(
+                    format!("s27/dipe/{r}"),
+                    circuit.clone(),
+                    Box::new(DipeEstimator::new()),
+                    config.clone(),
+                    InputModel::uniform(),
+                )
+                .with_seed_offset(r as u64 + 1)
+            })
+            .collect();
+        let scalar = Engine::new().with_threads(2).run(scalar_jobs);
+
+        let replicated = Engine::new()
+            .with_threads(2)
+            .run_replicated(vec![ReplicatedJob::new(
+                "s27/dipe",
+                circuit.clone(),
+                config,
+                InputModel::uniform(),
+                runs,
+                1,
+            )]);
+        assert_eq!(replicated.len(), 1);
+        assert_eq!(replicated[0].label, "s27/dipe");
+        assert_eq!(replicated[0].results.len(), runs);
+
+        for (scalar_outcome, lane_result) in scalar.iter().zip(&replicated[0].results) {
+            let scalar_estimate = scalar_outcome.result.as_ref().unwrap();
+            let lane_estimate = lane_result.as_ref().unwrap();
+            assert_eq!(lane_estimate.mean_power_w, scalar_estimate.mean_power_w);
+            assert_eq!(lane_estimate.sample_size, scalar_estimate.sample_size);
+            assert_eq!(lane_estimate.cycle_counts, scalar_estimate.cycle_counts);
+            assert_eq!(lane_estimate.diagnostics, scalar_estimate.diagnostics);
+        }
+    }
+
+    #[test]
+    fn run_replicated_reports_start_errors_per_replication() {
+        let circuit = Arc::new(iscas89::load("s27").unwrap());
+        let model = InputModel::PerInput {
+            probabilities: vec![0.5; 2], // wrong arity for s27
+        };
+        let outcomes = Engine::new().run_replicated(vec![ReplicatedJob::new(
+            "bad",
+            circuit,
+            DipeConfig::default(),
+            model,
+            3,
+            0,
+        )]);
+        assert_eq!(outcomes[0].results.len(), 3);
+        for result in &outcomes[0].results {
+            assert!(matches!(result, Err(DipeError::InputModelMismatch { .. })));
+        }
+    }
+
+    #[test]
+    fn run_replicated_cancellable_stops_without_running() {
+        let circuit = Arc::new(iscas89::load("s298").unwrap());
+        let cancel = AtomicBool::new(true); // pre-set: nothing may start
+        let outcomes = Engine::new().run_replicated_cancellable(
+            vec![ReplicatedJob::new(
+                "cancelled",
+                circuit,
+                DipeConfig::default(),
+                InputModel::uniform(),
+                5,
+                1,
+            )],
+            &cancel,
+        );
+        assert_eq!(outcomes[0].results.len(), 5);
+        for result in &outcomes[0].results {
+            assert!(matches!(result, Err(DipeError::Cancelled)));
+        }
+    }
+
+    #[test]
+    fn replicated_job_accessors_and_explicit_offsets() {
+        let circuit = Arc::new(iscas89::load("s27").unwrap());
+        let job = ReplicatedJob::new(
+            "j",
+            circuit,
+            DipeConfig::default(),
+            InputModel::uniform(),
+            3,
+            5,
+        )
+        .with_seed_offsets(vec![9, 4, 7]);
+        assert_eq!(job.label(), "j");
+        assert_eq!(job.seed_offsets(), &[9, 4, 7]);
+        assert!(format!("{job:?}").contains("runs: 3"));
     }
 }

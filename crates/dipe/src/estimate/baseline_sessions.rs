@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use logicsim::{VariableDelaySimulator, ZeroDelaySimulator};
+use logicsim::{CompiledSimulator, VariableDelaySimulator};
 use netlist::Circuit;
 use power::PowerCalculator;
 use rand::rngs::StdRng;
@@ -189,7 +189,7 @@ pub(crate) struct DecoupledSession<'c> {
     name: String,
     characterization_cycles: usize,
     samples: usize,
-    zero: ZeroDelaySimulator<'c>,
+    zero: CompiledSimulator<'c>,
     full: VariableDelaySimulator<'c>,
     calculator: PowerCalculator,
     stream: InputStream,
@@ -197,6 +197,12 @@ pub(crate) struct DecoupledSession<'c> {
     counts: CycleCounts,
     state: DecoupledState,
     elapsed_seconds: f64,
+    /// Reused input-pattern buffer (one slot per primary input).
+    pattern: Vec<bool>,
+    /// Second pattern buffer for the Monte-Carlo measurement cycle.
+    next_pattern: Vec<bool>,
+    /// Reused previous-stable-values buffer for measured cycles.
+    prev: Vec<bool>,
 }
 
 impl<'c> DecoupledSession<'c> {
@@ -216,7 +222,7 @@ impl<'c> DecoupledSession<'c> {
             name,
             characterization_cycles,
             samples,
-            zero: ZeroDelaySimulator::new(circuit),
+            zero: CompiledSimulator::new(circuit),
             full: VariableDelaySimulator::new(circuit, config.delay_model),
             calculator: PowerCalculator::new(circuit, config.technology, &config.capacitance),
             stream,
@@ -227,6 +233,9 @@ impl<'c> DecoupledSession<'c> {
                 ones: vec![0u64; circuit.num_flip_flops()],
             },
             elapsed_seconds: 0.0,
+            pattern: vec![false; circuit.num_primary_inputs()],
+            next_pattern: vec![false; circuit.num_primary_inputs()],
+            prev: vec![false; circuit.num_nets()],
         })
     }
 }
@@ -254,8 +263,8 @@ impl EstimationSession for DecoupledSession<'_> {
                         break;
                     }
                     if *remaining > 0 {
-                        let inputs = self.stream.next_pattern();
-                        self.zero.step_state_only(&inputs);
+                        self.stream.next_pattern_into(&mut self.pattern);
+                        self.zero.step_state_only(&self.pattern);
                         for (count, &q) in ones.iter_mut().zip(self.zero.latch_state().iter()) {
                             if q {
                                 *count += 1;
@@ -289,11 +298,11 @@ impl EstimationSession for DecoupledSession<'_> {
                             .iter()
                             .map(|&p| self.rng.gen_bool(p.clamp(0.0, 1.0)))
                             .collect();
-                        let present_inputs = self.stream.next_pattern();
-                        let next_inputs = self.stream.next_pattern();
-                        self.zero.reset_to(&state, &present_inputs);
-                        let prev = self.zero.values().to_vec();
-                        let activity = self.full.simulate_cycle(&prev, &next_inputs);
+                        self.stream.next_pattern_into(&mut self.pattern);
+                        self.stream.next_pattern_into(&mut self.next_pattern);
+                        self.zero.reset_to(&state, &self.pattern);
+                        self.prev.copy_from_slice(self.zero.values());
+                        let activity = self.full.simulate_cycle(&self.prev, &self.next_pattern);
                         *sum += self.calculator.cycle_power_w(&activity);
                         self.counts.measured_cycles += 1;
                         *drawn += 1;

@@ -8,9 +8,7 @@ use seqstats::StoppingCriterion;
 
 use crate::config::DipeConfig;
 use crate::error::DipeError;
-use crate::estimate::{
-    CycleBudget, Diagnostics, Estimate, EstimationSession, Progress, SessionPhase,
-};
+use crate::estimate::{CycleBudget, Estimate, EstimationSession, Progress, SessionPhase};
 use crate::independence::{IndependenceSelection, IntervalSelector, SelectorStep};
 use crate::sampler::PowerSampler;
 
@@ -146,23 +144,15 @@ impl EstimationSession for DipeSession<'_> {
                     ) {
                         super::BlockSampling::OutOfBudget => break,
                         super::BlockSampling::Satisfied(decision) => {
-                            // The reported average power is always the sample
-                            // mean; the criterion's own point estimate only
-                            // governs termination.
-                            let estimate = Estimate {
-                                estimator: self.name.clone(),
-                                mean_power_w: seqstats::descriptive::mean(sample),
-                                relative_half_width: Some(decision.relative_half_width),
-                                sample_size: sample.len(),
-                                cycle_counts: self.sampler.cycle_counts(),
-                                elapsed_seconds: self.elapsed_seconds
-                                    + step_start.elapsed().as_secs_f64(),
-                                diagnostics: Diagnostics::Dipe {
-                                    selection: selection.clone(),
-                                    criterion: self.criterion.name().to_string(),
-                                    sample: std::mem::take(sample),
-                                },
-                            };
+                            let estimate = super::dipe_estimate(
+                                self.name.clone(),
+                                std::mem::take(sample),
+                                decision.relative_half_width,
+                                self.sampler.cycle_counts(),
+                                self.elapsed_seconds + step_start.elapsed().as_secs_f64(),
+                                selection.clone(),
+                                self.criterion.name().to_string(),
+                            );
                             self.state = State::Done(estimate.clone());
                             return Ok(Progress::Done(estimate));
                         }

@@ -289,6 +289,76 @@ pub(crate) fn advance_warmup(
     *remaining == 0
 }
 
+/// Outcome of feeding one power observation into the block-wise stopping
+/// policy ([`push_block_sample`]).
+pub(crate) enum SamplePush {
+    /// Keep sampling.
+    Continue,
+    /// The stopping criterion is satisfied.
+    Satisfied(seqstats::StoppingDecision),
+    /// `max_samples` was reached without satisfying the criterion.
+    Exhausted(seqstats::StoppingDecision),
+}
+
+/// The single block-wise stopping policy shared by the scalar sessions
+/// (through [`sample_in_blocks`]) and the lane-replicated runner
+/// ([`crate::lanes`]): append the observation, evaluate the criterion at
+/// block boundaries only, and fail once `max_samples` is reached. Keeping
+/// this in one place makes the lane/scalar bit-exactness contract
+/// structural rather than test-enforced.
+pub(crate) fn push_block_sample(
+    sample: &mut Vec<f64>,
+    power_w: f64,
+    criterion: &dyn seqstats::StoppingCriterion,
+    block_size: usize,
+    max_samples: usize,
+    last_rhw: &mut Option<f64>,
+) -> SamplePush {
+    sample.push(power_w);
+    if !sample.len().is_multiple_of(block_size) {
+        return SamplePush::Continue;
+    }
+    let decision = criterion.evaluate(sample);
+    *last_rhw = Some(decision.relative_half_width);
+    if decision.satisfied {
+        SamplePush::Satisfied(decision)
+    } else if sample.len() >= max_samples {
+        SamplePush::Exhausted(decision)
+    } else {
+        SamplePush::Continue
+    }
+}
+
+/// Builds the DIPE-shaped [`Estimate`] from a finished sample — shared by
+/// the scalar DIPE session and the lane-replicated runner so the reported
+/// record (sample mean as the point estimate, selection + raw sample as
+/// diagnostics) can never diverge between the two paths.
+pub(crate) fn dipe_estimate(
+    estimator: String,
+    sample: Vec<f64>,
+    relative_half_width: f64,
+    cycle_counts: CycleCounts,
+    elapsed_seconds: f64,
+    selection: IndependenceSelection,
+    criterion_name: String,
+) -> Estimate {
+    Estimate {
+        estimator,
+        // The reported average power is always the sample mean; the
+        // criterion's own point estimate only governs termination.
+        mean_power_w: seqstats::descriptive::mean(&sample),
+        relative_half_width: Some(relative_half_width),
+        sample_size: sample.len(),
+        cycle_counts,
+        elapsed_seconds,
+        diagnostics: Diagnostics::Dipe {
+            selection,
+            criterion: criterion_name,
+            sample,
+        },
+    }
+}
+
 /// Outcome of one [`sample_in_blocks`] call.
 pub(crate) enum BlockSampling {
     /// The cycle deadline was reached; call again to continue.
@@ -300,10 +370,9 @@ pub(crate) enum BlockSampling {
 }
 
 /// The shared sampling loop of the DIPE and fixed warm-up sessions: draw
-/// samples at `interval` decorrelation cycles each, evaluate the stopping
-/// criterion at block boundaries, and honour the cycle deadline with
-/// per-sample granularity (the overshoot is at most one sample, never a
-/// block).
+/// samples at `interval` decorrelation cycles each, apply the block-wise
+/// stopping policy, and honour the cycle deadline with per-sample
+/// granularity (the overshoot is at most one sample, never a block).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn sample_in_blocks(
     sampler: &mut crate::sampler::PowerSampler<'_>,
@@ -319,17 +388,18 @@ pub(crate) fn sample_in_blocks(
         if sampler.cycle_counts().total() >= deadline {
             return BlockSampling::OutOfBudget;
         }
-        sample.push(sampler.sample_power_w(interval));
-        if !sample.len().is_multiple_of(block_size) {
-            continue;
-        }
-        let decision = criterion.evaluate(sample);
-        *last_rhw = Some(decision.relative_half_width);
-        if decision.satisfied {
-            return BlockSampling::Satisfied(decision);
-        }
-        if sample.len() >= max_samples {
-            return BlockSampling::BudgetExhausted(decision);
+        let power_w = sampler.sample_power_w(interval);
+        match push_block_sample(
+            sample,
+            power_w,
+            criterion,
+            block_size,
+            max_samples,
+            last_rhw,
+        ) {
+            SamplePush::Continue => {}
+            SamplePush::Satisfied(decision) => return BlockSampling::Satisfied(decision),
+            SamplePush::Exhausted(decision) => return BlockSampling::BudgetExhausted(decision),
         }
     }
 }

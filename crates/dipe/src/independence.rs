@@ -87,9 +87,57 @@ impl IntervalSelector {
         }
     }
 
-    /// The trial interval currently being tested.
+    /// The trial interval currently being tested. The *next* power sample
+    /// offered to the selector must be drawn with this many decorrelation
+    /// cycles.
     pub fn current_interval(&self) -> usize {
         self.interval
+    }
+
+    /// Feeds one power observation (drawn at [`current_interval`]
+    /// decorrelation cycles) into the procedure — the push-based core shared
+    /// by the pull-driven [`advance`](Self::advance) and the lane-parallel
+    /// replicated runner, which interleaves many selectors over one shared
+    /// simulation.
+    ///
+    /// Returns `Ok(Some(selection))` once an interval is accepted and
+    /// `Ok(None)` when more samples are needed (re-read
+    /// [`current_interval`](Self::current_interval): a rejection advances
+    /// the trial interval).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipeError::NoIndependenceInterval`] if the configured
+    /// maximum interval is rejected.
+    pub fn push_sample(
+        &mut self,
+        power_w: f64,
+    ) -> Result<Option<IndependenceSelection>, DipeError> {
+        self.sequence.push(power_w);
+        if self.sequence.len() < self.sequence_length {
+            return Ok(None);
+        }
+        let outcome = self.test.evaluate(&self.sequence);
+        self.trials.push(IntervalTrial {
+            interval: self.interval,
+            z: outcome.z,
+            runs: outcome.runs,
+            accepted: outcome.accepted,
+        });
+        if outcome.accepted {
+            return Ok(Some(IndependenceSelection {
+                interval: self.interval,
+                trials: std::mem::take(&mut self.trials),
+            }));
+        }
+        if self.interval >= self.max_interval {
+            return Err(DipeError::NoIndependenceInterval {
+                max_interval: self.max_interval,
+            });
+        }
+        self.interval += 1;
+        self.sequence.clear();
+        Ok(None)
     }
 
     /// Continues the procedure until an interval is accepted or the sampler's
@@ -108,32 +156,13 @@ impl IntervalSelector {
         deadline_cycles: u64,
     ) -> Result<SelectorStep, DipeError> {
         loop {
-            while self.sequence.len() < self.sequence_length {
-                if sampler.cycle_counts().total() >= deadline_cycles {
-                    return Ok(SelectorStep::OutOfBudget);
-                }
-                self.sequence.push(sampler.sample_power_w(self.interval));
+            if sampler.cycle_counts().total() >= deadline_cycles {
+                return Ok(SelectorStep::OutOfBudget);
             }
-            let outcome = self.test.evaluate(&self.sequence);
-            self.trials.push(IntervalTrial {
-                interval: self.interval,
-                z: outcome.z,
-                runs: outcome.runs,
-                accepted: outcome.accepted,
-            });
-            if outcome.accepted {
-                return Ok(SelectorStep::Selected(IndependenceSelection {
-                    interval: self.interval,
-                    trials: std::mem::take(&mut self.trials),
-                }));
+            let power_w = sampler.sample_power_w(self.interval);
+            if let Some(selection) = self.push_sample(power_w)? {
+                return Ok(SelectorStep::Selected(selection));
             }
-            if self.interval >= self.max_interval {
-                return Err(DipeError::NoIndependenceInterval {
-                    max_interval: self.max_interval,
-                });
-            }
-            self.interval += 1;
-            self.sequence.clear();
         }
     }
 }

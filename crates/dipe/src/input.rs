@@ -168,37 +168,55 @@ pub struct InputStream {
 }
 
 impl InputStream {
-    /// Draws the input pattern for the next clock cycle.
-    pub fn next_pattern(&mut self) -> Vec<bool> {
-        let pattern = match &self.model {
+    /// Writes the input pattern for the next clock cycle into `out` without
+    /// allocating — the hot-path variant: one pattern is drawn for *every*
+    /// simulated cycle, so this runs millions of times per estimation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have one slot per primary input.
+    pub fn next_pattern_into(&mut self, out: &mut [bool]) {
+        assert_eq!(
+            out.len(),
+            self.num_inputs,
+            "pattern buffer length must equal the number of primary inputs"
+        );
+        // Destructure so the model can be matched immutably while the RNG
+        // and history buffers are borrowed mutably (disjoint fields).
+        let InputStream {
+            model,
+            rng,
+            previous,
+            has_previous,
+            trace_cursor,
+            ..
+        } = self;
+        match &*model {
             InputModel::Independent { p_one } => {
-                let p = *p_one;
-                (0..self.num_inputs).map(|_| self.rng.gen_bool(p)).collect()
+                for slot in out.iter_mut() {
+                    *slot = rng.gen_bool(*p_one);
+                }
             }
-            InputModel::PerInput { probabilities } => probabilities
-                .clone()
-                .iter()
-                .map(|&p| self.rng.gen_bool(p))
-                .collect(),
+            InputModel::PerInput { probabilities } => {
+                for (slot, &p) in out.iter_mut().zip(probabilities) {
+                    *slot = rng.gen_bool(p);
+                }
+            }
             InputModel::TemporallyCorrelated { p_one, correlation } => {
-                let p = *p_one;
-                let rho = *correlation;
-                if !self.has_previous {
-                    (0..self.num_inputs).map(|_| self.rng.gen_bool(p)).collect()
+                if !*has_previous {
+                    for slot in out.iter_mut() {
+                        *slot = rng.gen_bool(*p_one);
+                    }
                 } else {
                     // Two-state Markov chain with stationary probability p and
                     // lag-1 autocorrelation rho:
                     //   P(1 -> 1) = p + rho (1 - p),  P(0 -> 1) = p (1 - rho).
-                    let stay_one = p + rho * (1.0 - p);
-                    let go_one = p * (1.0 - rho);
-                    self.previous
-                        .clone()
-                        .iter()
-                        .map(|&prev| {
-                            let p1 = if prev { stay_one } else { go_one };
-                            self.rng.gen_bool(p1.clamp(0.0, 1.0))
-                        })
-                        .collect()
+                    let stay_one = p_one + correlation * (1.0 - p_one);
+                    let go_one = p_one * (1.0 - correlation);
+                    for (slot, &prev) in out.iter_mut().zip(previous.iter()) {
+                        let p1 = if prev { stay_one } else { go_one };
+                        *slot = rng.gen_bool(p1.clamp(0.0, 1.0));
+                    }
                 }
             }
             InputModel::SpatiallyCorrelated {
@@ -206,29 +224,32 @@ impl InputStream {
                 group_size,
                 flip_probability,
             } => {
-                let p = *p_one;
-                let flip = *flip_probability;
                 let group = (*group_size).max(1);
-                let mut pattern = Vec::with_capacity(self.num_inputs);
                 let mut latent = false;
-                for i in 0..self.num_inputs {
+                for (i, slot) in out.iter_mut().enumerate() {
                     if i % group == 0 {
-                        latent = self.rng.gen_bool(p);
+                        latent = rng.gen_bool(*p_one);
                     }
-                    let flipped = self.rng.gen_bool(flip);
-                    pattern.push(latent ^ flipped);
+                    let flipped = rng.gen_bool(*flip_probability);
+                    *slot = latent ^ flipped;
                 }
-                pattern
             }
             InputModel::Trace { patterns } => {
-                let pattern = patterns[self.trace_cursor % patterns.len()].clone();
-                self.trace_cursor += 1;
-                pattern
+                out.copy_from_slice(&patterns[*trace_cursor % patterns.len()]);
+                *trace_cursor += 1;
             }
-        };
-        self.previous.clone_from(&pattern);
-        self.has_previous = true;
-        pattern
+        }
+        previous.copy_from_slice(out);
+        *has_previous = true;
+    }
+
+    /// Draws the input pattern for the next clock cycle as a fresh vector.
+    /// Allocates; prefer [`next_pattern_into`](Self::next_pattern_into) when
+    /// drawing one pattern per cycle.
+    pub fn next_pattern(&mut self) -> Vec<bool> {
+        let mut out = vec![false; self.num_inputs];
+        self.next_pattern_into(&mut out);
+        out
     }
 
     /// The number of values in each generated pattern.
@@ -375,6 +396,50 @@ mod tests {
         }
         .validate(&c)
         .is_err());
+    }
+
+    /// The borrow-based fill and the allocating draw walk the same RNG
+    /// stream for every model family, so call sites can migrate freely.
+    #[test]
+    fn next_pattern_into_matches_next_pattern() {
+        let c = circuit();
+        let models = [
+            InputModel::uniform(),
+            InputModel::independent(0.3),
+            InputModel::PerInput {
+                probabilities: vec![0.1, 0.9, 0.5, 0.5],
+            },
+            InputModel::TemporallyCorrelated {
+                p_one: 0.5,
+                correlation: 0.8,
+            },
+            InputModel::SpatiallyCorrelated {
+                p_one: 0.5,
+                group_size: 2,
+                flip_probability: 0.1,
+            },
+            InputModel::Trace {
+                patterns: vec![vec![true, false, true, false], vec![false; 4]],
+            },
+        ];
+        for model in models {
+            let mut a = model.stream(&c, 42).unwrap();
+            let mut b = model.stream(&c, 42).unwrap();
+            let mut buf = vec![false; b.num_inputs()];
+            for _ in 0..100 {
+                let expected = a.next_pattern();
+                b.next_pattern_into(&mut buf);
+                assert_eq!(expected, buf, "{model:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern buffer length")]
+    fn next_pattern_into_rejects_wrong_length() {
+        let c = circuit();
+        let mut s = InputModel::uniform().stream(&c, 1).unwrap();
+        s.next_pattern_into(&mut [false; 2]);
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Lane-parallel replicated estimation: up to 64 independent DIPE runs on
+//! one shared bit-parallel simulation.
+//!
+//! Repeated-run experiments (Table 2 of the paper) execute the *same*
+//! estimation many times with different seeds. The dominant cost of each run
+//! is its zero-delay cycles — warm-up plus `l` decorrelation cycles per
+//! power sample — and those cycles are pure next-state simulation, which the
+//! [`BitParallelSimulator`] evaluates for 64 independent replications in a
+//! single pass (one `u64` word per net, one bit per replication).
+//!
+//! [`run_replicated_dipe`] maps each run onto a lane: every shared clock
+//! cycle draws one input pattern per live lane (deterministic per-lane
+//! seeding, identical to the scalar [`PowerSampler`]'s stream), packs the
+//! patterns into words and steps all lanes at once. A lane that reaches a
+//! sampling cycle projects its previous stable values out of the words,
+//! measures that one cycle with the scalar general-delay simulator (glitch
+//! power cannot be bit-parallelised) and feeds the observation into its own
+//! per-lane DIPE state machine — warm-up, runs-test interval selection
+//! ([`IntervalSelector::push_sample`]), block-wise stopping. Lanes finish
+//! independently; finished lanes stop consuming their input stream and their
+//! word bits become don't-cares.
+//!
+//! Every statistical field of the per-lane [`Estimate`] is **bit-exact**
+//! with the scalar session the [`crate::engine::Engine`] would have run for
+//! the same seed offset (asserted by the equivalence tests below); only the
+//! wall-clock `elapsed_seconds` differs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use logicsim::{pack_lane_bit, BitParallelSimulator, VariableDelaySimulator, LANES};
+use netlist::Circuit;
+use power::PowerCalculator;
+use seqstats::StoppingCriterion;
+
+use crate::config::DipeConfig;
+use crate::error::DipeError;
+use crate::estimate::{push_block_sample, Estimate, PowerEstimator, SamplePush};
+use crate::independence::{IndependenceSelection, IntervalSelector};
+use crate::input::{InputModel, InputStream};
+use crate::sampler::CycleCounts;
+
+/// The per-lane DIPE flow position.
+enum LanePhase {
+    Warmup {
+        remaining: usize,
+    },
+    Selecting {
+        selector: IntervalSelector,
+    },
+    Sampling {
+        selection: IndependenceSelection,
+        sample: Vec<f64>,
+    },
+    Finished(Result<Estimate, DipeError>),
+}
+
+/// One replication: its input stream, stopping criterion, cycle accounting
+/// and flow position.
+struct Lane {
+    stream: InputStream,
+    criterion: Box<dyn StoppingCriterion>,
+    counts: CycleCounts,
+    /// Zero-delay cycles still to simulate before this lane's next measured
+    /// cycle (meaningless during warm-up).
+    decorrelate: usize,
+    phase: LanePhase,
+}
+
+impl Lane {
+    fn is_finished(&self) -> bool {
+        matches!(self.phase, LanePhase::Finished(_))
+    }
+}
+
+/// Runs up to [`LANES`] replications of the DIPE flow concurrently on one
+/// shared bit-parallel simulation, one replication per `seed_offsets` entry.
+/// Replication `r` is seeded exactly like a scalar
+/// [`crate::DipeEstimator`] session started with `seed_offsets[r]`, and its
+/// estimate is bit-exact with that session (except `elapsed_seconds`).
+///
+/// Replications fail independently: one lane exhausting its sample budget
+/// (or finding no independence interval) does not poison the others.
+///
+/// # Errors
+///
+/// Returns an error only for conditions that would fail *every* replication
+/// before simulation starts: an invalid configuration or an input model that
+/// does not fit the circuit.
+///
+/// # Panics
+///
+/// Panics if `seed_offsets` is empty or longer than [`LANES`].
+pub fn run_replicated_dipe(
+    circuit: &Circuit,
+    config: &DipeConfig,
+    input_model: &InputModel,
+    seed_offsets: &[u64],
+) -> Result<Vec<Result<Estimate, DipeError>>, DipeError> {
+    run_replicated_dipe_cancellable(
+        circuit,
+        config,
+        input_model,
+        seed_offsets,
+        &AtomicBool::new(false),
+    )
+}
+
+/// Like [`run_replicated_dipe`], polling `cancel` once per shared clock
+/// cycle: when the flag is set, every unfinished replication completes with
+/// [`DipeError::Cancelled`] (finished replications keep their results), so
+/// a large replicated batch can be stopped with bounded latency.
+///
+/// # Errors
+///
+/// As for [`run_replicated_dipe`].
+///
+/// # Panics
+///
+/// Panics if `seed_offsets` is empty or longer than [`LANES`].
+pub fn run_replicated_dipe_cancellable(
+    circuit: &Circuit,
+    config: &DipeConfig,
+    input_model: &InputModel,
+    seed_offsets: &[u64],
+    cancel: &AtomicBool,
+) -> Result<Vec<Result<Estimate, DipeError>>, DipeError> {
+    assert!(
+        !seed_offsets.is_empty() && seed_offsets.len() <= LANES,
+        "a lane group holds 1..={LANES} replications, got {}",
+        seed_offsets.len()
+    );
+    config.validate()?;
+    let started = Instant::now();
+    let estimator_name = crate::DipeEstimator::new().name();
+
+    let mut lanes = seed_offsets
+        .iter()
+        .map(|&offset| {
+            Ok(Lane {
+                stream: input_model.stream(circuit, config.seed.wrapping_add(offset))?,
+                criterion: config.build_criterion(),
+                counts: CycleCounts::default(),
+                decorrelate: 0,
+                phase: LanePhase::Warmup {
+                    remaining: config.warmup_cycles,
+                },
+            })
+        })
+        .collect::<Result<Vec<Lane>, DipeError>>()?;
+
+    let mut sim = BitParallelSimulator::new(circuit);
+    let mut full = VariableDelaySimulator::new(circuit, config.delay_model);
+    let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
+
+    let mut pattern = vec![false; circuit.num_primary_inputs()];
+    let mut words = vec![0u64; circuit.num_primary_inputs()];
+    let mut prev = vec![false; circuit.num_nets()];
+
+    while lanes.iter().any(|lane| !lane.is_finished()) {
+        if cancel.load(Ordering::Relaxed) {
+            for lane in lanes.iter_mut().filter(|lane| !lane.is_finished()) {
+                lane.phase = LanePhase::Finished(Err(DipeError::Cancelled));
+            }
+            break;
+        }
+        for (lane_index, lane) in lanes.iter_mut().enumerate() {
+            if lane.is_finished() {
+                continue; // word bits of finished lanes are don't-cares
+            }
+            lane.stream.next_pattern_into(&mut pattern);
+            for (word, &bit) in words.iter_mut().zip(&pattern) {
+                pack_lane_bit(word, lane_index, bit);
+            }
+            let measure_now =
+                !matches!(lane.phase, LanePhase::Warmup { .. }) && lane.decorrelate == 0;
+            if measure_now {
+                // This lane's sampling cycle: general-delay measurement from
+                // its previous stable values, exactly like
+                // `PowerSampler::measure_cycle_power_w`. The shared
+                // bit-parallel step below advances the lane to the same
+                // stable values the event-driven simulator settles to.
+                sim.lane_values_into(lane_index, &mut prev);
+                let activity = full.simulate_cycle(&prev, &pattern);
+                let power_w = calculator.cycle_power_w(&activity);
+                lane.counts.measured_cycles += 1;
+                record_measurement(lane, power_w, config, &estimator_name, &started);
+            } else {
+                lane.counts.zero_delay_cycles += 1;
+                match &mut lane.phase {
+                    LanePhase::Warmup { remaining } => {
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            // First selection sample measures on the next
+                            // cycle (the selector starts at interval 0).
+                            lane.decorrelate = 0;
+                            lane.phase = LanePhase::Selecting {
+                                selector: IntervalSelector::new(config),
+                            };
+                        }
+                    }
+                    _ => lane.decorrelate -= 1,
+                }
+            }
+        }
+        sim.step_state_only(&words);
+    }
+
+    Ok(lanes
+        .into_iter()
+        .map(|lane| match lane.phase {
+            LanePhase::Finished(result) => result,
+            _ => unreachable!("the group loop runs until every lane finishes"),
+        })
+        .collect())
+}
+
+/// Feeds one measured power observation into a lane's state machine and
+/// schedules its next measurement (mirrors the scalar
+/// `sample_power_w(interval)` = `interval` decorrelation cycles + 1 measured
+/// cycle contract).
+fn record_measurement(
+    lane: &mut Lane,
+    power_w: f64,
+    config: &DipeConfig,
+    estimator_name: &str,
+    started: &Instant,
+) {
+    match &mut lane.phase {
+        LanePhase::Selecting { selector } => match selector.push_sample(power_w) {
+            Ok(Some(selection)) => {
+                lane.decorrelate = selection.interval;
+                lane.phase = LanePhase::Sampling {
+                    selection,
+                    sample: Vec::with_capacity(config.min_samples.max(256)),
+                };
+            }
+            Ok(None) => lane.decorrelate = selector.current_interval(),
+            Err(error) => lane.phase = LanePhase::Finished(Err(error)),
+        },
+        LanePhase::Sampling { selection, sample } => {
+            lane.decorrelate = selection.interval;
+            let mut last_rhw = None;
+            match push_block_sample(
+                sample,
+                power_w,
+                lane.criterion.as_ref(),
+                config.block_size,
+                config.max_samples,
+                &mut last_rhw,
+            ) {
+                SamplePush::Continue => {}
+                SamplePush::Satisfied(decision) => {
+                    let estimate = crate::estimate::dipe_estimate(
+                        estimator_name.to_string(),
+                        std::mem::take(sample),
+                        decision.relative_half_width,
+                        lane.counts,
+                        started.elapsed().as_secs_f64(),
+                        std::mem::replace(
+                            selection,
+                            IndependenceSelection {
+                                interval: 0,
+                                trials: Vec::new(),
+                            },
+                        ),
+                        lane.criterion.name().to_string(),
+                    );
+                    lane.phase = LanePhase::Finished(Ok(estimate));
+                }
+                SamplePush::Exhausted(decision) => {
+                    lane.phase = LanePhase::Finished(Err(DipeError::SampleBudgetExhausted {
+                        samples: sample.len(),
+                        achieved_relative_half_width: decision.relative_half_width,
+                    }));
+                }
+            }
+        }
+        LanePhase::Warmup { .. } | LanePhase::Finished(_) => {
+            unreachable!("measurements only occur in the selecting/sampling phases")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{run_to_completion, PowerEstimator};
+    use crate::DipeEstimator;
+    use netlist::iscas89;
+
+    fn scalar_estimate(
+        circuit: &Circuit,
+        config: &DipeConfig,
+        seed_offset: u64,
+    ) -> Result<Estimate, DipeError> {
+        let session =
+            DipeEstimator::new().start(circuit, config, &InputModel::uniform(), seed_offset)?;
+        run_to_completion(session)
+    }
+
+    /// Field-by-field equality modulo wall-clock time.
+    fn assert_estimates_match(lane: &Estimate, scalar: &Estimate, label: &str) {
+        assert_eq!(lane.estimator, scalar.estimator, "{label}: estimator");
+        assert_eq!(lane.mean_power_w, scalar.mean_power_w, "{label}: mean");
+        assert_eq!(
+            lane.relative_half_width, scalar.relative_half_width,
+            "{label}: rhw"
+        );
+        assert_eq!(lane.sample_size, scalar.sample_size, "{label}: samples");
+        assert_eq!(lane.cycle_counts, scalar.cycle_counts, "{label}: cycles");
+        assert_eq!(lane.diagnostics, scalar.diagnostics, "{label}: diagnostics");
+    }
+
+    #[test]
+    fn lane_runs_are_bit_exact_with_scalar_sessions() {
+        let circuit = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(1997);
+        let offsets: Vec<u64> = (1..=6).collect();
+        let replicated =
+            run_replicated_dipe(&circuit, &config, &InputModel::uniform(), &offsets).unwrap();
+        assert_eq!(replicated.len(), offsets.len());
+        for (&offset, result) in offsets.iter().zip(&replicated) {
+            let lane = result.as_ref().expect("replication converges on s27");
+            let scalar = scalar_estimate(&circuit, &config, offset).unwrap();
+            assert_estimates_match(lane, &scalar, &format!("offset {offset}"));
+        }
+    }
+
+    #[test]
+    fn lane_runs_are_bit_exact_on_a_larger_circuit() {
+        let circuit = iscas89::load("s298").unwrap();
+        let config = DipeConfig::default().with_seed(7);
+        let offsets = [1u64, 2];
+        let replicated =
+            run_replicated_dipe(&circuit, &config, &InputModel::uniform(), &offsets).unwrap();
+        for (&offset, result) in offsets.iter().zip(&replicated) {
+            let lane = result.as_ref().expect("replication converges on s298");
+            let scalar = scalar_estimate(&circuit, &config, offset).unwrap();
+            assert_estimates_match(lane, &scalar, &format!("offset {offset}"));
+        }
+    }
+
+    #[test]
+    fn lanes_fail_independently_on_budget_exhaustion() {
+        let circuit = iscas89::load("s27").unwrap();
+        // An accuracy nobody reaches within the budget: every lane must
+        // report SampleBudgetExhausted, mirroring the scalar behaviour.
+        let mut config = DipeConfig::default()
+            .with_seed(55)
+            .with_accuracy(0.001, 0.99);
+        config.max_samples = 320;
+        let replicated =
+            run_replicated_dipe(&circuit, &config, &InputModel::uniform(), &[0, 1]).unwrap();
+        for (offset, result) in replicated.iter().enumerate() {
+            let error = result.as_ref().unwrap_err();
+            assert!(
+                matches!(error, DipeError::SampleBudgetExhausted { samples, .. } if *samples >= 320),
+                "offset {offset}: {error:?}"
+            );
+            let scalar = scalar_estimate(&circuit, &config, offset as u64).unwrap_err();
+            assert_eq!(format!("{error}"), format!("{scalar}"));
+        }
+    }
+
+    #[test]
+    fn invalid_input_model_is_rejected_up_front() {
+        let circuit = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default();
+        let model = InputModel::PerInput {
+            probabilities: vec![0.5; 2],
+        };
+        assert!(matches!(
+            run_replicated_dipe(&circuit, &config, &model, &[0]),
+            Err(DipeError::InputModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane group")]
+    fn oversized_groups_are_rejected() {
+        let circuit = iscas89::load("s27").unwrap();
+        let offsets: Vec<u64> = (0..65).collect();
+        let _ = run_replicated_dipe(
+            &circuit,
+            &DipeConfig::default(),
+            &InputModel::uniform(),
+            &offsets,
+        );
+    }
+}

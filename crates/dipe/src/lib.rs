@@ -78,13 +78,14 @@ pub mod estimate;
 pub mod estimator;
 pub mod independence;
 pub mod input;
+pub mod lanes;
 pub mod reference;
 pub mod report;
 pub mod sampler;
 
 pub use baselines::{DecoupledCombinationalEstimator, FixedWarmupEstimator};
 pub use config::{CriterionKind, DipeConfig};
-pub use engine::{Engine, EstimationJob, JobOutcome};
+pub use engine::{Engine, EstimationJob, JobOutcome, ReplicatedJob, ReplicatedOutcome};
 pub use error::DipeError;
 pub use estimate::{
     run_to_completion, CycleBudget, Diagnostics, Estimate, EstimationSession, PowerEstimator,
@@ -92,5 +93,6 @@ pub use estimate::{
 };
 pub use estimator::{DipeEstimator, DipeResult};
 pub use independence::{IndependenceSelection, IntervalTrial};
+pub use lanes::{run_replicated_dipe, run_replicated_dipe_cancellable};
 pub use reference::{LongSimulationReference, ReferenceResult};
 pub use sampler::PowerSampler;

@@ -8,7 +8,7 @@
 //! Eq. (1). The [`PowerSampler`] encapsulates this machinery and keeps the
 //! cycle accounting that the efficiency comparisons need.
 
-use logicsim::{VariableDelaySimulator, ZeroDelaySimulator};
+use logicsim::{CompiledSimulator, VariableDelaySimulator};
 use netlist::Circuit;
 use power::PowerCalculator;
 
@@ -35,14 +35,25 @@ impl CycleCounts {
 
 /// Generates per-cycle power observations from a circuit under an input
 /// model, using the two-phase zero-delay / general-delay scheme.
+///
+/// The zero-delay phase runs on the compiled scalar simulator
+/// ([`CompiledSimulator`], bit-exact with the interpreted
+/// [`logicsim::ZeroDelaySimulator`]) and draws input patterns into reused
+/// buffers, so decorrelation cycles — the dominant cost of the whole
+/// estimator (Section IV) — perform no per-cycle allocation and no per-gate
+/// dispatch.
 #[derive(Debug)]
 pub struct PowerSampler<'c> {
     circuit: &'c Circuit,
-    zero: ZeroDelaySimulator<'c>,
+    zero: CompiledSimulator<'c>,
     full: VariableDelaySimulator<'c>,
     calculator: PowerCalculator,
     stream: InputStream,
     counts: CycleCounts,
+    /// Reused input-pattern buffer (one slot per primary input).
+    pattern: Vec<bool>,
+    /// Reused previous-stable-values buffer for measured cycles.
+    prev: Vec<bool>,
 }
 
 impl<'c> PowerSampler<'c> {
@@ -67,11 +78,13 @@ impl<'c> PowerSampler<'c> {
         let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
         Ok(PowerSampler {
             circuit,
-            zero: ZeroDelaySimulator::new(circuit),
+            zero: CompiledSimulator::new(circuit),
             full: VariableDelaySimulator::new(circuit, config.delay_model),
             calculator,
             stream,
             counts: CycleCounts::default(),
+            pattern: vec![false; circuit.num_primary_inputs()],
+            prev: vec![false; circuit.num_nets()],
         })
     }
 
@@ -95,8 +108,8 @@ impl<'c> PowerSampler<'c> {
     /// for the decorrelation cycles of the independence interval.
     pub fn advance(&mut self, cycles: usize) {
         for _ in 0..cycles {
-            let inputs = self.stream.next_pattern();
-            self.zero.step_state_only(&inputs);
+            self.stream.next_pattern_into(&mut self.pattern);
+            self.zero.step_state_only(&self.pattern);
         }
         self.counts.zero_delay_cycles += cycles as u64;
     }
@@ -105,11 +118,11 @@ impl<'c> PowerSampler<'c> {
     /// the power dissipated in that cycle, in watts. The circuit state
     /// advances exactly one cycle.
     pub fn measure_cycle_power_w(&mut self) -> f64 {
-        let inputs = self.stream.next_pattern();
-        let prev = self.zero.values().to_vec();
-        let activity = self.full.simulate_cycle(&prev, &inputs);
+        self.stream.next_pattern_into(&mut self.pattern);
+        self.prev.copy_from_slice(self.zero.values());
+        let activity = self.full.simulate_cycle(&self.prev, &self.pattern);
         // Keep the cheap simulator's state in sync (same stable values).
-        self.zero.step_state_only(&inputs);
+        self.zero.step_state_only(&self.pattern);
         debug_assert_eq!(self.full.stable_values(), self.zero.values());
         self.counts.measured_cycles += 1;
         self.calculator.cycle_power_w(&activity)

@@ -1,10 +1,11 @@
 //! Gate-level logic simulation.
 //!
-//! Two simulators are provided, matching the two-phase simulation strategy of
-//! the paper (Section IV):
+//! Four simulators are provided. Two match the two-phase simulation strategy
+//! of the paper (Section IV):
 //!
 //! * [`ZeroDelaySimulator`] — levelised zero-delay evaluation of the
-//!   combinational logic. This is the cheap simulator used to advance the
+//!   combinational logic, interpreting the gate objects directly. This is the
+//!   reference implementation of the cheap simulator used to advance the
 //!   circuit state during the independence interval, when only the next-state
 //!   function matters and no power is sampled. It also produces zero-delay
 //!   (functional) transition counts.
@@ -13,6 +14,16 @@
 //!   cycle, including glitches, and therefore yields the "general delay"
 //!   transition counts the paper feeds into the power model at sampling
 //!   cycles.
+//!
+//! Two execute a [`netlist::CompiledCircuit`] — the same logic lowered to a
+//! flat instruction stream — for throughput:
+//!
+//! * [`CompiledSimulator`] — the compiled scalar zero-delay path, bit-exact
+//!   with [`ZeroDelaySimulator`] but without per-gate dispatch. The
+//!   estimator's decorrelation cycles run here.
+//! * [`BitParallelSimulator`] — 64 independent replications at once, one bit
+//!   per lane in a `u64` word per net, with transition counting via XOR +
+//!   `count_ones` ([`WordActivity`]). Batch replicated runs map onto lanes.
 //!
 //! Both simulators agree on the *stable* (end-of-cycle) net values; they
 //! differ only in how many transitions they observe on the way there.
@@ -42,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod compiled;
 mod delay;
 mod event;
 mod state;
@@ -50,10 +62,11 @@ mod value;
 mod variable_delay;
 mod zero_delay;
 
+pub use compiled::{broadcast, pack_lane_bit, BitParallelSimulator, CompiledSimulator, LANES};
 pub use delay::DelayModel;
 pub use event::{Event, EventQueue};
 pub use state::{random_input_vector, random_state_vector, SimState};
-pub use trace::{ActivityAccumulator, CycleActivity};
+pub use trace::{ActivityAccumulator, CycleActivity, WordActivity};
 pub use value::LogicValue;
 pub use variable_delay::VariableDelaySimulator;
 pub use zero_delay::{compute_next_state, ZeroDelaySimulator};

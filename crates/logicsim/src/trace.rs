@@ -60,6 +60,72 @@ impl CycleActivity {
     }
 }
 
+/// The switching activity of one clock cycle across the 64 lanes of a
+/// bit-parallel simulation, stored as one XOR mask per net: bit `l` of the
+/// mask for net `i` is set iff net `i` toggled in lane `l` this cycle.
+///
+/// Aggregate counts reduce to [`u64::count_ones`]; a single lane can be
+/// projected out with [`lane_activity`](Self::lane_activity) for code that
+/// expects the scalar [`CycleActivity`] shape.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WordActivity {
+    diffs: Vec<u64>,
+}
+
+impl WordActivity {
+    /// Creates an all-zero record for `num_nets` nets.
+    pub fn zeroed(num_nets: usize) -> Self {
+        WordActivity {
+            diffs: vec![0; num_nets],
+        }
+    }
+
+    /// Creates a record from a dense per-net XOR-mask vector.
+    pub fn from_diff_words(diffs: Vec<u64>) -> Self {
+        WordActivity { diffs }
+    }
+
+    /// The per-net XOR masks, indexed by [`NetId::index`].
+    #[inline]
+    pub fn diff_words(&self) -> &[u64] {
+        &self.diffs
+    }
+
+    /// Mutable access to the per-net XOR masks, for simulators that fill the
+    /// record in place.
+    #[inline]
+    pub fn diff_words_mut(&mut self) -> &mut [u64] {
+        &mut self.diffs
+    }
+
+    /// Whether a net toggled in a given lane this cycle (0 or 1, the
+    /// zero-delay transition count of that lane).
+    #[inline]
+    pub fn transitions_on_lane(&self, net: NetId, lane: usize) -> u32 {
+        ((self.diffs[net.index()] >> lane) & 1) as u32
+    }
+
+    /// Total transitions across all nets and all 64 lanes this cycle.
+    pub fn total_transitions(&self) -> u64 {
+        self.diffs.iter().map(|d| u64::from(d.count_ones())).sum()
+    }
+
+    /// Total transitions across all nets within one lane this cycle.
+    pub fn lane_total_transitions(&self, lane: usize) -> u64 {
+        self.diffs.iter().map(|d| (d >> lane) & 1).sum()
+    }
+
+    /// Projects one lane out into a scalar [`CycleActivity`] record.
+    pub fn lane_activity(&self, lane: usize) -> CycleActivity {
+        CycleActivity::from_counts(
+            self.diffs
+                .iter()
+                .map(|d| ((d >> lane) & 1) as u32)
+                .collect(),
+        )
+    }
+}
+
 /// Accumulates switching activity over many cycles, yielding per-net toggle
 /// densities (average transitions per cycle). This is the quantity
 /// probabilistic power estimators call the *transition density*; the

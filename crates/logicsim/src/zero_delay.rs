@@ -18,7 +18,14 @@ use crate::trace::CycleActivity;
 pub struct ZeroDelaySimulator<'c> {
     circuit: &'c Circuit,
     values: Vec<bool>,
+    /// The stable values of the previous cycle. Written only by [`step`]
+    /// (never used as scratch), so the per-cycle transition counts stay
+    /// correct however `step` and `step_state_only` are interleaved.
     prev: Vec<bool>,
+    /// Dedicated latch-capture scratch (one slot per flip-flop).
+    latch_scratch: Vec<bool>,
+    /// Reused input buffer for the closure-driven advance loops.
+    input_scratch: Vec<bool>,
     activity: CycleActivity,
 }
 
@@ -31,6 +38,8 @@ impl<'c> ZeroDelaySimulator<'c> {
             circuit,
             values: state.values().to_vec(),
             prev: vec![false; circuit.num_nets()],
+            latch_scratch: vec![false; circuit.num_flip_flops()],
+            input_scratch: vec![false; circuit.num_primary_inputs()],
             activity: CycleActivity::zeroed(circuit.num_nets()),
         };
         sim.evaluate_combinational();
@@ -145,6 +154,9 @@ impl<'c> ZeroDelaySimulator<'c> {
     /// drawn from the provided closure, discarding activity counts. This is
     /// the "decorrelation only" fast path used during the independence
     /// interval.
+    ///
+    /// Allocates one `Vec` per cycle; prefer
+    /// [`advance_with`](Self::advance_with) on hot paths.
     pub fn advance<F>(&mut self, cycles: usize, mut next_inputs: F)
     where
         F: FnMut() -> Vec<bool>,
@@ -155,17 +167,35 @@ impl<'c> ZeroDelaySimulator<'c> {
         }
     }
 
+    /// Allocation-free variant of [`advance`](Self::advance): `fill` writes
+    /// each cycle's input pattern into a buffer the simulator reuses across
+    /// cycles.
+    pub fn advance_with<F>(&mut self, cycles: usize, mut fill: F)
+    where
+        F: FnMut(&mut [bool]),
+    {
+        let mut inputs = std::mem::take(&mut self.input_scratch);
+        for _ in 0..cycles {
+            fill(&mut inputs);
+            self.step_state_only(&inputs);
+        }
+        self.input_scratch = inputs;
+    }
+
     /// Like [`step`](Self::step) but skips transition counting. Roughly twice
     /// as fast for large circuits; used when only the next state matters.
     pub fn step_state_only(&mut self, inputs: &[bool]) {
         assert_eq!(inputs.len(), self.circuit.num_primary_inputs());
-        // Latch capture must read pre-update values; gather first.
-        for i in 0..self.circuit.num_flip_flops() {
-            let ff = &self.circuit.flip_flops()[i];
-            self.prev[ff.q().index()] = self.values[ff.d().index()];
+        // Latch capture must read pre-update values; gather into the
+        // dedicated scratch first. (`self.prev` must NOT be used here: it
+        // holds the previous stable values backing the last `step`'s
+        // transition counts, and clobbering it would corrupt the activity of
+        // interleaved `step` calls.)
+        for (slot, ff) in self.latch_scratch.iter_mut().zip(self.circuit.flip_flops()) {
+            *slot = self.values[ff.d().index()];
         }
-        for ff in self.circuit.flip_flops() {
-            self.values[ff.q().index()] = self.prev[ff.q().index()];
+        for (slot, ff) in self.latch_scratch.iter().zip(self.circuit.flip_flops()) {
+            self.values[ff.q().index()] = *slot;
         }
         for (&pi, &v) in self.circuit.primary_inputs().iter().zip(inputs) {
             self.values[pi.index()] = v;
@@ -277,6 +307,55 @@ mod tests {
             b.step_state_only(&inputs);
             assert_eq!(a.values(), b.values());
         }
+    }
+
+    /// Regression test for the `step_state_only` latch-capture scratch: the
+    /// old implementation borrowed `self.prev` as scratch, leaving `prev`
+    /// inconsistent with the last stable values. Interleaving
+    /// `step`/`step_state_only` must produce exactly the same states *and*
+    /// per-cycle activity counts as a reference simulator that was stepped
+    /// identically.
+    #[test]
+    fn interleaved_state_only_steps_do_not_corrupt_activity() {
+        let c = iscas89::load("s298").unwrap();
+        let mut mixed = ZeroDelaySimulator::new(&c);
+        let mut reference = ZeroDelaySimulator::new(&c);
+        let mut rng = StdRng::seed_from_u64(77);
+        for round in 0..40 {
+            let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+            if round % 3 == 2 {
+                // Counted cycle: both simulators step with counting; the
+                // interleaved state-only cycles before it must not have
+                // disturbed the transition bookkeeping.
+                let a = mixed.step(&inputs).per_net().to_vec();
+                let b = reference.step(&inputs).per_net().to_vec();
+                assert_eq!(a, b, "activity diverged at round {round}");
+                assert_eq!(
+                    mixed.step(&inputs).total_transitions(),
+                    reference.step(&inputs).total_transitions()
+                );
+            } else {
+                mixed.step_state_only(&inputs);
+                reference.step(&inputs); // reference always counts
+            }
+            assert_eq!(mixed.values(), reference.values());
+        }
+    }
+
+    #[test]
+    fn advance_with_matches_allocating_advance() {
+        let c = iscas89::load("s27").unwrap();
+        let mut a = ZeroDelaySimulator::new(&c);
+        let mut b = ZeroDelaySimulator::new(&c);
+        let mut ra = StdRng::seed_from_u64(13);
+        let mut rb = StdRng::seed_from_u64(13);
+        a.advance(20, || crate::state::random_input_vector(&c, 0.5, &mut ra));
+        b.advance_with(20, |buf| {
+            for v in buf.iter_mut() {
+                *v = rb.gen_bool(0.5);
+            }
+        });
+        assert_eq!(a.values(), b.values());
     }
 
     #[test]

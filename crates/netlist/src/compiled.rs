@@ -1,0 +1,239 @@
+//! A compiled, levelised form of a [`Circuit`] for high-throughput
+//! simulation.
+//!
+//! The interpreted simulators walk [`Circuit::topological_order`] and call
+//! [`crate::Gate::eval_with`] per gate, which costs a [`crate::GateId`]
+//! indirection, a `Vec<NetId>` pointer chase and an iterator-driven fold per
+//! evaluation. [`CompiledCircuit`] lowers the combinational part once into a
+//! flat instruction stream — one [`Instruction`] per gate in topological
+//! order, with an opcode and dense `u32` net indices into a shared operand
+//! pool — so an evaluation pass is a tight loop over contiguous memory with
+//! no per-gate dispatch.
+//!
+//! The same program drives both the scalar compiled simulator and the 64-lane
+//! bit-parallel simulator in the `logicsim` crate: the instruction encoding
+//! is value-type agnostic (a net value may be a `bool` or a 64-lane `u64`
+//! word).
+
+use crate::circuit::{Circuit, NetDriver};
+use crate::gate::GateKind;
+
+/// The logic operation of one [`Instruction`].
+///
+/// One-to-one with [`GateKind`], but `#[repr(u8)]` and free of the gate
+/// bookkeeping so a decoded instruction fits in 16 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// AND of all operands.
+    And,
+    /// NOT of the AND of all operands.
+    Nand,
+    /// OR of all operands.
+    Or,
+    /// NOT of the OR of all operands.
+    Nor,
+    /// Odd parity of all operands.
+    Xor,
+    /// Even parity of all operands.
+    Xnor,
+    /// Complement of the single operand.
+    Not,
+    /// Identity of the single operand.
+    Buf,
+}
+
+impl From<GateKind> for Opcode {
+    fn from(kind: GateKind) -> Self {
+        match kind {
+            GateKind::And => Opcode::And,
+            GateKind::Nand => Opcode::Nand,
+            GateKind::Or => Opcode::Or,
+            GateKind::Nor => Opcode::Nor,
+            GateKind::Xor => Opcode::Xor,
+            GateKind::Xnor => Opcode::Xnor,
+            GateKind::Not => Opcode::Not,
+            GateKind::Buf => Opcode::Buf,
+        }
+    }
+}
+
+/// One gate evaluation in the flat program: apply `opcode` to the operand
+/// net indices `operands[first_operand .. first_operand + num_operands]` and
+/// write the result to net index `output`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Instruction {
+    /// The logic operation.
+    pub opcode: Opcode,
+    /// Dense index of the output net.
+    pub output: u32,
+    /// Start of this instruction's operand run in
+    /// [`CompiledCircuit::operands`].
+    pub first_operand: u32,
+    /// Number of operands (≥ 1; exactly 1 for `Not`/`Buf`).
+    pub num_operands: u32,
+}
+
+/// A [`Circuit`] lowered to a flat instruction stream plus the dense index
+/// tables the simulators need (flip-flop `D`/`Q` pairs, primary inputs,
+/// constant nets).
+///
+/// Instructions are stored in topological order of the combinational part, so
+/// executing them front to back performs one complete zero-delay settle.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CompiledCircuit {
+    num_nets: usize,
+    instructions: Vec<Instruction>,
+    operands: Vec<u32>,
+    /// `(d, q)` net-index pairs, in flip-flop declaration order.
+    flip_flops: Vec<(u32, u32)>,
+    /// Primary-input net indices, in declaration order.
+    primary_inputs: Vec<u32>,
+    /// `(net, value)` pairs for constant-driven nets.
+    constants: Vec<(u32, bool)>,
+}
+
+impl CompiledCircuit {
+    /// Lowers `circuit` into the flat form. The compilation walks the
+    /// topological order once; cost is linear in the number of gate pins.
+    pub fn compile(circuit: &Circuit) -> Self {
+        let mut instructions = Vec::with_capacity(circuit.num_gates());
+        let mut operands = Vec::new();
+        for &gid in circuit.topological_order() {
+            let gate = circuit.gate(gid);
+            let first_operand = operands.len() as u32;
+            operands.extend(gate.inputs().iter().map(|n| n.index() as u32));
+            instructions.push(Instruction {
+                opcode: gate.kind().into(),
+                output: gate.output().index() as u32,
+                first_operand,
+                num_operands: gate.fanin() as u32,
+            });
+        }
+        let flip_flops = circuit
+            .flip_flops()
+            .iter()
+            .map(|ff| (ff.d().index() as u32, ff.q().index() as u32))
+            .collect();
+        let primary_inputs = circuit
+            .primary_inputs()
+            .iter()
+            .map(|n| n.index() as u32)
+            .collect();
+        let constants = circuit
+            .nets()
+            .iter()
+            .filter_map(|n| match n.driver() {
+                NetDriver::Constant(v) => Some((n.id().index() as u32, v)),
+                _ => None,
+            })
+            .collect();
+        CompiledCircuit {
+            num_nets: circuit.num_nets(),
+            instructions,
+            operands,
+            flip_flops,
+            primary_inputs,
+            constants,
+        }
+    }
+
+    /// Number of nets of the source circuit (the length a dense value vector
+    /// must have).
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// The instruction stream, in topological order.
+    #[inline]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// The shared operand pool referenced by the instructions.
+    #[inline]
+    pub fn operands(&self) -> &[u32] {
+        &self.operands
+    }
+
+    /// The operand net indices of one instruction.
+    #[inline]
+    pub fn operands_of(&self, instruction: &Instruction) -> &[u32] {
+        let start = instruction.first_operand as usize;
+        &self.operands[start..start + instruction.num_operands as usize]
+    }
+
+    /// `(d, q)` net-index pairs, in flip-flop declaration order.
+    #[inline]
+    pub fn flip_flops(&self) -> &[(u32, u32)] {
+        &self.flip_flops
+    }
+
+    /// Primary-input net indices, in declaration order.
+    #[inline]
+    pub fn primary_inputs(&self) -> &[u32] {
+        &self.primary_inputs
+    }
+
+    /// `(net, value)` pairs for constant-driven nets.
+    #[inline]
+    pub fn constants(&self) -> &[(u32, bool)] {
+        &self.constants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{iscas89, CircuitBuilder};
+
+    #[test]
+    fn compile_covers_every_gate_in_topological_order() {
+        let c = iscas89::load("s27").unwrap();
+        let p = CompiledCircuit::compile(&c);
+        assert_eq!(p.instructions().len(), c.num_gates());
+        assert_eq!(p.num_nets(), c.num_nets());
+        assert_eq!(p.flip_flops().len(), c.num_flip_flops());
+        assert_eq!(p.primary_inputs().len(), c.num_primary_inputs());
+        for (inst, &gid) in p.instructions().iter().zip(c.topological_order()) {
+            let gate = c.gate(gid);
+            assert_eq!(inst.output as usize, gate.output().index());
+            assert_eq!(inst.num_operands as usize, gate.fanin());
+            assert_eq!(Opcode::from(gate.kind()), inst.opcode);
+            let want: Vec<u32> = gate.inputs().iter().map(|n| n.index() as u32).collect();
+            assert_eq!(p.operands_of(inst), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn constants_are_recorded() {
+        let mut b = CircuitBuilder::new("k");
+        let one = b.constant("tie1", true).unwrap();
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::And, "x", &[a, one]).unwrap();
+        b.primary_output(x);
+        let c = b.finish().unwrap();
+        let p = CompiledCircuit::compile(&c);
+        let one_idx = c.net_by_name("tie1").unwrap().id().index() as u32;
+        assert_eq!(p.constants(), &[(one_idx, true)]);
+    }
+
+    #[test]
+    fn opcode_maps_one_to_one_with_gate_kind() {
+        use GateKind as G;
+        use Opcode as O;
+        for (kind, want) in [
+            (G::And, O::And),
+            (G::Nand, O::Nand),
+            (G::Or, O::Or),
+            (G::Nor, O::Nor),
+            (G::Xor, O::Xor),
+            (G::Xnor, O::Xnor),
+            (G::Not, O::Not),
+            (G::Buf, O::Buf),
+        ] {
+            assert_eq!(Opcode::from(kind), want);
+        }
+    }
+}

@@ -44,11 +44,13 @@ mod error;
 mod gate;
 
 pub mod bench_format;
+pub mod compiled;
 pub mod generator;
 pub mod iscas89;
 
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, CircuitStats, FlipFlop, Net, NetDriver};
+pub use compiled::{CompiledCircuit, Instruction, Opcode};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
 

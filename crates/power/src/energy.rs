@@ -1,6 +1,7 @@
-//! Per-cycle power computation (Eq. 1 of the paper).
+//! Per-cycle power computation (Eq. 1 of the paper), for both scalar and
+//! 64-lane word-level activity records.
 
-use logicsim::CycleActivity;
+use logicsim::{CycleActivity, WordActivity};
 use netlist::Circuit;
 
 use crate::capacitance::{CapacitanceModel, LoadCapacitances};
@@ -63,6 +64,54 @@ impl PowerCalculator {
     /// `P = V_dd²/(2T) · Σ C_i n_i`.
     pub fn cycle_power_w(&self, activity: &CycleActivity) -> f64 {
         self.technology.power_factor_w_per_f() * self.switched_capacitance_f(activity)
+    }
+
+    /// The switched capacitance of one cycle in a single lane of a
+    /// bit-parallel simulation, `Σ C_i · n_i` over that lane's toggles, in
+    /// farads.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the activity record does not match the
+    /// circuit, or if `lane >= 64`.
+    pub fn lane_switched_capacitance_f(&self, activity: &WordActivity, lane: usize) -> f64 {
+        debug_assert_eq!(activity.diff_words().len(), self.loads.len());
+        debug_assert!(lane < logicsim::LANES);
+        activity
+            .diff_words()
+            .iter()
+            .zip(self.loads.as_slice())
+            .map(|(&diff, &c)| ((diff >> lane) & 1) as f64 * c)
+            .sum()
+    }
+
+    /// The switched capacitance of one cycle summed over *all 64 lanes* of a
+    /// bit-parallel simulation, in farads: the XOR masks are folded against
+    /// the per-net capacitances with one `count_ones` per net, so the cost
+    /// is independent of the lane count.
+    pub fn total_switched_capacitance_f(&self, activity: &WordActivity) -> f64 {
+        debug_assert_eq!(activity.diff_words().len(), self.loads.len());
+        activity
+            .diff_words()
+            .iter()
+            .zip(self.loads.as_slice())
+            .map(|(&diff, &c)| f64::from(diff.count_ones()) * c)
+            .sum()
+    }
+
+    /// The power dissipated in one cycle within one lane, in watts (Eq. 1
+    /// applied to that lane's toggles).
+    pub fn lane_cycle_power_w(&self, activity: &WordActivity, lane: usize) -> f64 {
+        self.technology.power_factor_w_per_f() * self.lane_switched_capacitance_f(activity, lane)
+    }
+
+    /// The *average* per-lane power of one cycle across all 64 lanes, in
+    /// watts — the word-level accumulation primitive: summing this over
+    /// cycles and dividing by the cycle count yields the mean per-cycle
+    /// power of the whole 64-replication ensemble.
+    pub fn mean_lane_cycle_power_w(&self, activity: &WordActivity) -> f64 {
+        self.technology.power_factor_w_per_f() * self.total_switched_capacitance_f(activity)
+            / logicsim::LANES as f64
     }
 
     /// Averages per-cycle power over an iterator of cycle activities.
@@ -248,6 +297,66 @@ mod tests {
         let avg = calc.average_power_w([&a, &b]);
         assert!((avg - calc.cycle_power_w(&a) / 2.0).abs() < 1e-18);
         assert_eq!(calc.average_power_w(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn word_level_capacitance_matches_lane_sum() {
+        let (c, calc) = s27_calc();
+        // Hand-built diff masks: net 0 toggles in lanes 0 and 5, net 1 in
+        // lane 5 only.
+        let mut diffs = vec![0u64; c.num_nets()];
+        diffs[0] = (1 << 0) | (1 << 5);
+        diffs[1] = 1 << 5;
+        let activity = WordActivity::from_diff_words(diffs);
+        let lane_sum: f64 = (0..logicsim::LANES)
+            .map(|l| calc.lane_switched_capacitance_f(&activity, l))
+            .sum();
+        let total = calc.total_switched_capacitance_f(&activity);
+        assert!((lane_sum - total).abs() < 1e-24);
+        // Lane 5 switched both nets, lane 0 only net 0, lane 1 nothing.
+        let loads = calc.loads().as_slice().to_vec();
+        assert!(
+            (calc.lane_switched_capacitance_f(&activity, 5) - (loads[0] + loads[1])).abs() < 1e-24
+        );
+        assert!((calc.lane_switched_capacitance_f(&activity, 0) - loads[0]).abs() < 1e-24);
+        assert_eq!(calc.lane_switched_capacitance_f(&activity, 1), 0.0);
+        // Power variants are the capacitances scaled by the same factor.
+        let factor = calc.technology().power_factor_w_per_f();
+        assert!(
+            (calc.lane_cycle_power_w(&activity, 5) - factor * (loads[0] + loads[1])).abs() < 1e-18
+        );
+        assert!((calc.mean_lane_cycle_power_w(&activity) - factor * total / 64.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn word_level_power_matches_scalar_projection() {
+        // Drive a bit-parallel simulator with divergent lanes and check that
+        // each lane's word-level power equals the scalar computation on the
+        // projected CycleActivity.
+        use logicsim::{pack_lane_bit, BitParallelSimulator};
+        let c = iscas89::load("s298").unwrap();
+        let calc = PowerCalculator::new(&c, Technology::default(), &CapacitanceModel::default());
+        let mut sim = BitParallelSimulator::new(&c);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut words = vec![0u64; c.num_primary_inputs()];
+        for _ in 0..20 {
+            for lane in 0..logicsim::LANES {
+                for w in words.iter_mut() {
+                    pack_lane_bit(w, lane, rng.gen_bool(0.5));
+                }
+            }
+            let activity = sim.step(&words).clone();
+            let mut lane_sum = 0.0;
+            for lane in [0usize, 7, 63] {
+                let scalar = calc.cycle_power_w(&activity.lane_activity(lane));
+                let word = calc.lane_cycle_power_w(&activity, lane);
+                assert!((scalar - word).abs() < 1e-15, "lane {lane}");
+            }
+            for lane in 0..logicsim::LANES {
+                lane_sum += calc.lane_cycle_power_w(&activity, lane);
+            }
+            assert!((lane_sum / 64.0 - calc.mean_lane_cycle_power_w(&activity)).abs() < 1e-12);
+        }
     }
 
     #[test]

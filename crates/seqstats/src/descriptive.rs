@@ -136,25 +136,40 @@ pub fn variance(xs: &[f64]) -> f64 {
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
 }
 
+fn total_cmp_no_nan(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.partial_cmp(b).expect("power data must not contain NaN")
+}
+
 /// The sample median. For an even number of values, the average of the two
 /// central order statistics.
+///
+/// Runs in O(n) via [`slice::select_nth_unstable_by`] — the runs test
+/// evaluates the median on every trial-interval sequence, so this sits on
+/// the interval-selection hot path.
 ///
 /// # Panics
 ///
 /// Panics on an empty slice.
 pub fn median(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "median of an empty slice is undefined");
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("power data must not contain NaN"));
-    let n = sorted.len();
+    let mut scratch = xs.to_vec();
+    let n = scratch.len();
+    // `select_nth_unstable_by(k)` partitions the slice around the k-th order
+    // statistic: everything left of index k is <= it.
+    let (below, upper, _) = scratch.select_nth_unstable_by(n / 2, total_cmp_no_nan);
+    let upper = *upper;
     if n % 2 == 1 {
-        sorted[n / 2]
+        upper
     } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        // The lower of the two central order statistics is the maximum of
+        // the left partition (which holds exactly n/2 elements, all <= upper).
+        let lower = below.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (lower + upper)
     }
 }
 
-/// The `k`-th order statistic (1-based): the `k`-th smallest value.
+/// The `k`-th order statistic (1-based): the `k`-th smallest value, in O(n)
+/// by the same selection routine as [`median`].
 ///
 /// # Panics
 ///
@@ -169,9 +184,8 @@ pub fn order_statistic(xs: &[f64], k: usize) -> f64 {
         "order statistic index {k} out of range 1..={}",
         xs.len()
     );
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("power data must not contain NaN"));
-    sorted[k - 1]
+    let mut scratch = xs.to_vec();
+    *scratch.select_nth_unstable_by(k - 1, total_cmp_no_nan).1
 }
 
 /// The empirical `q`-quantile using linear interpolation between order
@@ -243,6 +257,32 @@ mod tests {
         assert_eq!(median(&[7.0]), 7.0);
     }
 
+    /// Pins the selection-based median against the sort-based definition on
+    /// awkward inputs: duplicates straddling the centre, two elements,
+    /// all-equal values and negative values.
+    #[test]
+    fn selection_median_parity_with_sort() {
+        let cases: &[&[f64]] = &[
+            &[2.0, 2.0, 2.0, 2.0],
+            &[1.0, 2.0],
+            &[5.0, -1.0, 5.0, -1.0, 5.0, -1.0],
+            &[0.0, 0.0, 1.0, 1.0],
+            &[9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0],
+            &[-3.5, -1.25, -9.75],
+        ];
+        for xs in cases {
+            let mut sorted = xs.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = sorted.len();
+            let reference = if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+            };
+            assert_eq!(median(xs), reference, "case {xs:?}");
+        }
+    }
+
     #[test]
     fn order_statistics_are_sorted_values() {
         let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
@@ -302,6 +342,37 @@ mod proptests {
             let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             prop_assert!(m >= lo && m <= hi);
             prop_assert!((quantile(&xs, 0.5) - m).abs() < 1e-9);
+        }
+
+        /// The selection-based median is exactly the sort-based one,
+        /// including the even-length averaging of the two central order
+        /// statistics (ties and duplicates included).
+        #[test]
+        fn selection_median_matches_sort_based(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        ) {
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let n = sorted.len();
+            let reference = if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+            };
+            prop_assert_eq!(median(&xs), reference);
+        }
+
+        /// The selection-based order statistic equals indexing into the
+        /// sorted slice for every valid rank.
+        #[test]
+        fn selection_order_statistic_matches_sort_based(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..60),
+            k_seed in 0usize..1000,
+        ) {
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let k = 1 + k_seed % xs.len();
+            prop_assert_eq!(order_statistic(&xs, k), sorted[k - 1]);
         }
     }
 }
