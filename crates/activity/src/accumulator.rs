@@ -1,0 +1,342 @@
+//! Streaming per-net activity accumulation over sampled cycles.
+
+use logicsim::{CycleActivity, WordActivity, LANES};
+use netlist::{Circuit, NetId};
+
+/// Folds per-cycle transition records into per-net switching-activity
+/// estimates: mean transitions per cycle with a standard error for every net.
+///
+/// Internally the accumulator keeps exact integer power sums (`Σ nᵢ` and
+/// `Σ nᵢ²` per net), so accumulation is order-independent and bit-identical
+/// across the scalar, compiled and bit-parallel backends; the floating-point
+/// moments are only formed on read-out. This is equivalent to a Welford
+/// stream for these small counts but cheaper on the vectorized path: one
+/// [`u64::count_ones`] per net folds a whole 64-lane
+/// [`WordActivity`] word — 64 observations — in a single update.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NodeActivityAccumulator {
+    observations: u64,
+    /// Per-net Σ nᵢ over all observations.
+    totals: Vec<u64>,
+    /// Per-net Σ nᵢ² over all observations.
+    totals_sq: Vec<u64>,
+}
+
+impl NodeActivityAccumulator {
+    /// Creates an accumulator for `num_nets` nets.
+    pub fn new(num_nets: usize) -> Self {
+        NodeActivityAccumulator {
+            observations: 0,
+            totals: vec![0; num_nets],
+            totals_sq: vec![0; num_nets],
+        }
+    }
+
+    /// Creates an accumulator sized for a circuit.
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        Self::new(circuit.num_nets())
+    }
+
+    /// Number of nets tracked.
+    pub fn num_nets(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Number of accumulated observations. Every scalar cycle contributes
+    /// one observation; every 64-lane word cycle contributes [`LANES`].
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Adds one scalar cycle record (zero-delay counts are 0/1; the
+    /// event-driven measurement simulator can report higher counts when
+    /// glitches occur — both are handled exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the record does not match the net count.
+    pub fn add_cycle(&mut self, activity: &CycleActivity) {
+        debug_assert_eq!(activity.per_net().len(), self.totals.len());
+        self.observations += 1;
+        for ((total, total_sq), &n) in self
+            .totals
+            .iter_mut()
+            .zip(self.totals_sq.iter_mut())
+            .zip(activity.per_net())
+        {
+            let n = u64::from(n);
+            *total += n;
+            *total_sq += n * n;
+        }
+    }
+
+    /// Adds one 64-lane word cycle: every lane is an independent observation,
+    /// so this folds [`LANES`] observations per net with a single
+    /// `count_ones` each (lane toggles are 0/1, hence `nᵢ² = nᵢ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the record does not match the net count.
+    pub fn add_word_cycle(&mut self, activity: &WordActivity) {
+        debug_assert_eq!(activity.diff_words().len(), self.totals.len());
+        self.observations += LANES as u64;
+        for ((total, total_sq), &diff) in self
+            .totals
+            .iter_mut()
+            .zip(self.totals_sq.iter_mut())
+            .zip(activity.diff_words())
+        {
+            let k = u64::from(diff.count_ones());
+            *total += k;
+            *total_sq += k;
+        }
+    }
+
+    /// Merges another accumulator into this one (e.g. per-thread partials).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net counts disagree.
+    pub fn merge(&mut self, other: &NodeActivityAccumulator) {
+        assert_eq!(
+            self.totals.len(),
+            other.totals.len(),
+            "accumulators must track the same nets"
+        );
+        self.observations += other.observations;
+        for (a, b) in self.totals.iter_mut().zip(&other.totals) {
+            *a += b;
+        }
+        for (a, b) in self.totals_sq.iter_mut().zip(&other.totals_sq) {
+            *a += b;
+        }
+    }
+
+    /// Total transitions observed on one net.
+    pub fn total_transitions_on(&self, net: NetId) -> u64 {
+        self.totals[net.index()]
+    }
+
+    /// Total transitions across all nets and all observations — by
+    /// construction equal to the sum of the aggregate totals of every folded
+    /// record, whichever backend produced them.
+    pub fn total_transitions(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// Mean transitions per observed cycle for one net (0 when empty).
+    pub fn mean(&self, net: NetId) -> f64 {
+        if self.observations == 0 {
+            return 0.0;
+        }
+        self.totals[net.index()] as f64 / self.observations as f64
+    }
+
+    /// Dense per-net mean transitions per cycle (the toggle densities).
+    pub fn means(&self) -> Vec<f64> {
+        if self.observations == 0 {
+            return vec![0.0; self.totals.len()];
+        }
+        let n = self.observations as f64;
+        self.totals.iter().map(|&t| t as f64 / n).collect()
+    }
+
+    /// Unbiased sample variance of one net's per-cycle transition count
+    /// (0 for fewer than two observations).
+    pub fn variance(&self, net: NetId) -> f64 {
+        if self.observations < 2 {
+            return 0.0;
+        }
+        let n = self.observations as f64;
+        let idx = net.index();
+        let mean = self.totals[idx] as f64 / n;
+        let centred = self.totals_sq[idx] as f64 - n * mean * mean;
+        // Integer sums make the numerator exact; clamp the last-digit
+        // cancellation of the subtraction rather than returning -0.0-ish.
+        (centred / (n - 1.0)).max(0.0)
+    }
+
+    /// Standard error of one net's mean activity.
+    pub fn std_error(&self, net: NetId) -> f64 {
+        if self.observations == 0 {
+            return 0.0;
+        }
+        (self.variance(net) / self.observations as f64).sqrt()
+    }
+
+    /// Dense per-net standard errors of the mean activities.
+    pub fn std_errors(&self) -> Vec<f64> {
+        (0..self.totals.len())
+            .map(|i| self.std_error(NetId::from_index(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(counts: &[u32]) -> CycleActivity {
+        CycleActivity::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn empty_accumulator_is_benign() {
+        let acc = NodeActivityAccumulator::new(3);
+        assert_eq!(acc.num_nets(), 3);
+        assert_eq!(acc.observations(), 0);
+        assert_eq!(acc.total_transitions(), 0);
+        assert_eq!(acc.means(), vec![0.0; 3]);
+        assert_eq!(acc.std_errors(), vec![0.0; 3]);
+        assert_eq!(acc.mean(NetId::from_index(0)), 0.0);
+        assert_eq!(acc.variance(NetId::from_index(0)), 0.0);
+    }
+
+    #[test]
+    fn scalar_moments_match_closed_forms() {
+        let mut acc = NodeActivityAccumulator::new(2);
+        // Net 0 observes [1, 0, 1, 2]; net 1 observes [0, 0, 0, 0].
+        for counts in [[1, 0], [0, 0], [1, 0], [2, 0]] {
+            acc.add_cycle(&record(&counts));
+        }
+        assert_eq!(acc.observations(), 4);
+        let n0 = NetId::from_index(0);
+        assert_eq!(acc.total_transitions_on(n0), 4);
+        assert_eq!(acc.total_transitions(), 4);
+        assert!((acc.mean(n0) - 1.0).abs() < 1e-15);
+        // Sample variance of [1,0,1,2] about mean 1 is (0+1+0+1)/3.
+        assert!((acc.variance(n0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc.std_error(n0) - (2.0 / 3.0f64 / 4.0).sqrt()).abs() < 1e-12);
+        assert_eq!(acc.variance(NetId::from_index(1)), 0.0);
+    }
+
+    #[test]
+    fn word_cycles_count_64_observations() {
+        let mut acc = NodeActivityAccumulator::new(2);
+        // Net 0 toggles in 3 lanes, net 1 in none.
+        acc.add_word_cycle(&WordActivity::from_diff_words(vec![0b1011, 0]));
+        assert_eq!(acc.observations(), 64);
+        let n0 = NetId::from_index(0);
+        assert_eq!(acc.total_transitions_on(n0), 3);
+        assert!((acc.mean(n0) - 3.0 / 64.0).abs() < 1e-15);
+        // Bernoulli sample variance: 64/63 * p(1-p).
+        let p = 3.0 / 64.0;
+        assert!((acc.variance(n0) - 64.0 / 63.0 * p * (1.0 - p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_and_scalar_lane_projection_agree() {
+        // Folding a WordActivity must equal folding its 64 per-lane scalar
+        // projections one by one.
+        let diffs = vec![0xDEAD_BEEF_0123_4567u64, 0, u64::MAX, 1 << 63];
+        let word = WordActivity::from_diff_words(diffs);
+        let mut via_word = NodeActivityAccumulator::new(4);
+        via_word.add_word_cycle(&word);
+        let mut via_lanes = NodeActivityAccumulator::new(4);
+        for lane in 0..LANES {
+            via_lanes.add_cycle(&word.lane_activity(lane));
+        }
+        assert_eq!(via_word, via_lanes);
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let records = [[1u32, 0], [0, 2], [1, 1], [3, 0]];
+        let mut whole = NodeActivityAccumulator::new(2);
+        let mut left = NodeActivityAccumulator::new(2);
+        let mut right = NodeActivityAccumulator::new(2);
+        for (i, counts) in records.iter().enumerate() {
+            whole.add_cycle(&record(counts));
+            if i < 2 {
+                left.add_cycle(&record(counts));
+            } else {
+                right.add_cycle(&record(counts));
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "same nets")]
+    fn merge_rejects_mismatched_sizes() {
+        NodeActivityAccumulator::new(2).merge(&NodeActivityAccumulator::new(3));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use logicsim::{pack_lane_bit, BitParallelSimulator, CompiledSimulator, ZeroDelaySimulator};
+    use netlist::generator::{generate, GeneratorConfig};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Conservation across every backend: the per-net transition counts
+        /// the accumulator folds sum — over all nets — to the aggregate
+        /// totals of the raw activity records, for the interpreted scalar,
+        /// compiled scalar and 64-lane bit-parallel simulators; and the
+        /// scalar accumulators agree with lane 0 of the word accumulator.
+        #[test]
+        fn per_net_totals_match_aggregate_totals(
+            seed in 0u64..200,
+            circuit_seed in 0u64..50,
+        ) {
+            let cfg = GeneratorConfig::new("prop_accum", 5, 2, 6, 40).with_seed(circuit_seed);
+            let c = generate(&cfg).unwrap();
+            let mut interpreted = ZeroDelaySimulator::new(&c);
+            let mut compiled = CompiledSimulator::new(&c);
+            let mut bitpar = BitParallelSimulator::new(&c);
+            let mut acc_interpreted = NodeActivityAccumulator::for_circuit(&c);
+            let mut acc_compiled = NodeActivityAccumulator::for_circuit(&c);
+            let mut acc_word = NodeActivityAccumulator::for_circuit(&c);
+            let mut aggregate_scalar = 0u64;
+            let mut aggregate_word = 0u64;
+
+            let mut rngs: Vec<StdRng> = (0..LANES)
+                .map(|l| StdRng::seed_from_u64(seed.wrapping_mul(97).wrapping_add(l as u64)))
+                .collect();
+            let mut words = vec![0u64; c.num_primary_inputs()];
+            for _ in 0..25 {
+                let mut lane0_pattern = Vec::new();
+                for (lane, rng) in rngs.iter_mut().enumerate() {
+                    let pattern = logicsim::random_input_vector(&c, 0.5, rng);
+                    for (w, &bit) in words.iter_mut().zip(&pattern) {
+                        pack_lane_bit(w, lane, bit);
+                    }
+                    if lane == 0 {
+                        lane0_pattern = pattern;
+                    }
+                }
+                let a = interpreted.step(&lane0_pattern).clone();
+                let b = compiled.step(&lane0_pattern).clone();
+                let w = bitpar.step(&words).clone();
+                aggregate_scalar += a.total_transitions();
+                aggregate_word += w.total_transitions();
+                acc_interpreted.add_cycle(&a);
+                acc_compiled.add_cycle(&b);
+                acc_word.add_word_cycle(&w);
+            }
+
+            // Summed per-net counts equal the aggregate record totals.
+            prop_assert_eq!(acc_interpreted.total_transitions(), aggregate_scalar);
+            prop_assert_eq!(acc_compiled.total_transitions(), aggregate_scalar);
+            prop_assert_eq!(acc_word.total_transitions(), aggregate_word);
+            // The two scalar backends fold to identical accumulators.
+            prop_assert_eq!(&acc_interpreted, &acc_compiled);
+            // Lane 0 of the word path carries the scalar trajectory: its
+            // per-net totals are bounded by the word accumulator's.
+            for net in 0..c.num_nets() {
+                let id = NetId::from_index(net);
+                prop_assert!(
+                    acc_interpreted.total_transitions_on(id)
+                        <= acc_word.total_transitions_on(id)
+                );
+            }
+        }
+    }
+}

@@ -9,7 +9,12 @@
 //! * `zero_delay` — the interpreted scalar [`ZeroDelaySimulator`] (1 lane);
 //! * `compiled` — the compiled scalar [`CompiledSimulator`] (1 lane);
 //! * `bit_parallel` — the 64-lane [`BitParallelSimulator`], with one
-//!   independent deterministically-seeded input stream per lane.
+//!   independent deterministically-seeded input stream per lane;
+//! * `compiled+accum` / `bit_parallel+accum` — the same stepping with
+//!   transition counting *and* per-net activity accumulation
+//!   ([`activity::NodeActivityAccumulator`]) folded in every cycle, so the
+//!   cost of node-resolved estimation over plain state advancement is
+//!   visible in the same table.
 //!
 //! Throughput is reported in **aggregate lane-cycles per second** (simulated
 //! clock cycles × concurrent replications ÷ wall time), the figure of merit
@@ -24,6 +29,7 @@
 
 use std::time::Instant;
 
+use activity::NodeActivityAccumulator;
 use dipe::input::{InputModel, InputStream};
 use logicsim::{pack_lane_bit, BitParallelSimulator, CompiledSimulator, ZeroDelaySimulator, LANES};
 use netlist::{iscas89, Circuit};
@@ -123,6 +129,52 @@ fn ablate_circuit(
         "{name}: bit-parallel lane 0 diverged from the interpreted simulator"
     );
 
+    // Per-node accumulation overhead: the same compiled scalar stepping, but
+    // with transition counting on and every cycle's per-net counts folded
+    // into a NodeActivityAccumulator — the extra work node-resolved
+    // estimation performs over a plain decorrelation advance.
+    let mut accum_compiled = CompiledSimulator::new(circuit);
+    let mut accumulator = NodeActivityAccumulator::for_circuit(circuit);
+    let mut stream = uniform_stream(circuit, seed);
+    let mut pattern = vec![false; circuit.num_primary_inputs()];
+    let started = Instant::now();
+    for _ in 0..cycles {
+        stream.next_pattern_into(&mut pattern);
+        accumulator.add_cycle(accum_compiled.step(&pattern));
+    }
+    let compiled_accum_elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(
+        interpreted.values(),
+        accum_compiled.values(),
+        "{name}: accumulating compiled backend diverged from the interpreted simulator"
+    );
+    assert_eq!(accumulator.observations(), cycles as u64);
+
+    // And the 64-lane equivalent: one count_ones fold per net per cycle.
+    let mut accum_bitpar = BitParallelSimulator::new(circuit);
+    let mut word_accumulator = NodeActivityAccumulator::for_circuit(circuit);
+    let mut streams: Vec<InputStream> = (0..LANES)
+        .map(|lane| uniform_stream(circuit, seed.wrapping_add(lane as u64)))
+        .collect();
+    let mut words = vec![0u64; circuit.num_primary_inputs()];
+    let started = Instant::now();
+    for _ in 0..cycles {
+        for (lane, stream) in streams.iter_mut().enumerate() {
+            stream.next_pattern_into(&mut pattern);
+            for (word, &bit) in words.iter_mut().zip(&pattern) {
+                pack_lane_bit(word, lane, bit);
+            }
+        }
+        word_accumulator.add_word_cycle(accum_bitpar.step(&words));
+    }
+    let bit_parallel_accum_elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(
+        interpreted.values(),
+        accum_bitpar.lane_values(0).as_slice(),
+        "{name}: accumulating bit-parallel lane 0 diverged from the interpreted simulator"
+    );
+    assert_eq!(word_accumulator.observations(), (cycles * LANES) as u64);
+
     let rate = |lanes: u64, elapsed: f64| cycles as f64 * lanes as f64 / elapsed.max(1e-12);
     let baseline = rate(1, zero_delay_elapsed);
     let row = |backend: &'static str, lanes: u64, elapsed: f64| SimulatorBenchRow {
@@ -138,6 +190,12 @@ fn ablate_circuit(
         row("zero_delay", 1, zero_delay_elapsed),
         row("compiled", 1, compiled_elapsed),
         row("bit_parallel", LANES as u64, bit_parallel_elapsed),
+        row("compiled+accum", 1, compiled_accum_elapsed),
+        row(
+            "bit_parallel+accum",
+            LANES as u64,
+            bit_parallel_accum_elapsed,
+        ),
     ]
 }
 
@@ -200,13 +258,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ablation_produces_three_rows_per_circuit() {
+    fn ablation_produces_five_rows_per_circuit() {
         let rows = run_simulator_ablation(&["s27".into(), "nope".into()], 2_000, 9);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].backend, "zero_delay");
         assert_eq!(rows[1].backend, "compiled");
         assert_eq!(rows[2].backend, "bit_parallel");
+        assert_eq!(rows[3].backend, "compiled+accum");
+        assert_eq!(rows[4].backend, "bit_parallel+accum");
         assert_eq!(rows[2].lanes, 64);
+        assert_eq!(rows[3].lanes, 1);
+        assert_eq!(rows[4].lanes, 64);
         for row in &rows {
             assert_eq!(row.circuit, "s27");
             assert_eq!(row.cycles, 2_000);
@@ -223,6 +285,8 @@ mod tests {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"benchmark\": \"simulator_ablation\""));
         assert!(json.contains("\"backend\": \"bit_parallel\""));
+        assert!(json.contains("\"backend\": \"compiled+accum\""));
+        assert!(json.contains("\"backend\": \"bit_parallel+accum\""));
         assert!(json.contains("\"lane_cycles_per_sec\""));
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n  ]"));

@@ -1,0 +1,485 @@
+//! `dipe` — command-line average-power estimation for sequential circuits.
+//!
+//! Loads an ISCAS'89 benchmark by name (or any `.bench` netlist by path) and
+//! runs the paper's estimator:
+//!
+//! ```text
+//! dipe s1494                         # total average power (DIPE)
+//! dipe s1494 --lanes 16              # 16 replicated runs on the 64-lane backend
+//! dipe s1494 --breakdown             # per-net activity + power, per-node stopping
+//! dipe s1494 --breakdown --target total --json report.json
+//! dipe path/to/custom.bench --breakdown --top 20
+//! ```
+//!
+//! `--breakdown` produces the spatial report: per-net switching activity with
+//! confidence intervals, mapped through the load capacitances to per-net and
+//! per-driver-class power, with the ranked hot spots printed and the full
+//! per-net table exported as JSON via `--json`. Per-node convergence follows
+//! the two-tier rule: maximum relative error over the top-K (power-ranked)
+//! nets, an absolute activity floor for everything else.
+
+use std::process::ExitCode;
+
+use activity::{BreakdownEstimator, ConvergenceTarget};
+use dipe::input::InputModel;
+use dipe::report::TextTable;
+use dipe::{
+    run_replicated_dipe, CycleBudget, DipeConfig, DipeEstimator, Estimate, PowerEstimator, Progress,
+};
+use netlist::{bench_format, iscas89, Circuit};
+use seqstats::NodeStoppingPolicy;
+
+struct Options {
+    circuit: String,
+    breakdown: bool,
+    target: ConvergenceTarget,
+    lanes: usize,
+    top: usize,
+    seed: u64,
+    relative_error: f64,
+    confidence: f64,
+    node_relative_error: f64,
+    node_confidence: f64,
+    top_k: usize,
+    activity_floor: f64,
+    json: Option<String>,
+    quiet: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        let node_default = NodeStoppingPolicy::default_spec();
+        Options {
+            circuit: String::new(),
+            breakdown: false,
+            target: ConvergenceTarget::NodeBreakdown,
+            lanes: 1,
+            top: 10,
+            seed: 1997,
+            relative_error: 0.05,
+            confidence: 0.99,
+            node_relative_error: node_default.relative_error(),
+            node_confidence: node_default.confidence(),
+            top_k: node_default.top_k(),
+            activity_floor: node_default.activity_floor(),
+            json: None,
+            quiet: false,
+        }
+    }
+}
+
+fn usage() -> String {
+    "\
+usage: dipe <circuit-name | netlist.bench> [options]
+
+modes:
+  (default)               total average power (the paper's DIPE estimator)
+  --lanes N               N replicated total-power runs on the 64-lane backend
+  --breakdown             per-net activity + power breakdown
+  --target node|total     breakdown convergence target (default: node)
+
+accuracy:
+  --error E               total-power max relative error (default 0.05)
+  --confidence C          total-power confidence (default 0.99)
+  --node-error E          per-node max relative error over the top-K nets
+  --node-confidence C     per-node confidence (default 0.95)
+  --top-k K               nets held to the relative criterion (default 20)
+  --activity-floor F      absolute half-width bound for quiet nets (default 0.05)
+
+output:
+  --top N                 hot spots to print (default 10)
+  --json FILE             write the full machine-readable report
+  --seed N                RNG seed (default 1997)
+  --quiet                 suppress progress lines"
+        .to_string()
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut take_value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        let parse_f64 =
+            |name: &str, v: String| v.parse::<f64>().map_err(|e| format!("{name}: {e}"));
+        match arg.as_str() {
+            "--breakdown" => options.breakdown = true,
+            "--target" => {
+                options.target = match take_value("--target")?.as_str() {
+                    "node" => ConvergenceTarget::NodeBreakdown,
+                    "total" => ConvergenceTarget::TotalPower,
+                    other => return Err(format!("--target must be node|total, got `{other}`")),
+                }
+            }
+            "--lanes" => {
+                options.lanes = take_value("--lanes")?
+                    .parse()
+                    .map_err(|e| format!("--lanes: {e}"))?;
+            }
+            "--top" => {
+                options.top = take_value("--top")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = take_value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--error" => options.relative_error = parse_f64("--error", take_value("--error")?)?,
+            "--confidence" => {
+                options.confidence = parse_f64("--confidence", take_value("--confidence")?)?;
+            }
+            "--node-error" => {
+                options.node_relative_error =
+                    parse_f64("--node-error", take_value("--node-error")?)?;
+            }
+            "--node-confidence" => {
+                options.node_confidence =
+                    parse_f64("--node-confidence", take_value("--node-confidence")?)?;
+            }
+            "--top-k" => {
+                options.top_k = take_value("--top-k")?
+                    .parse()
+                    .map_err(|e| format!("--top-k: {e}"))?;
+            }
+            "--activity-floor" => {
+                options.activity_floor =
+                    parse_f64("--activity-floor", take_value("--activity-floor")?)?;
+            }
+            "--json" => options.json = Some(take_value("--json")?),
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => {
+                // Requested help is not an error: usage on stdout, exit 0.
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if options.circuit.is_empty() && !other.starts_with('-') => {
+                options.circuit = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
+        }
+    }
+    if options.circuit.is_empty() {
+        return Err(usage());
+    }
+    if options.lanes < 1 || options.lanes > 64 {
+        return Err("--lanes must be in 1..=64".to_string());
+    }
+    if options.lanes > 1 && options.breakdown {
+        return Err("--lanes applies to total-power mode only".to_string());
+    }
+    if options.lanes > 1 && options.json.is_some() {
+        return Err("--json is not implemented for replicated (--lanes) runs".to_string());
+    }
+    // Validate the per-node policy spec here so a bad flag yields a clean
+    // usage error instead of the policy constructor's panic.
+    if !(options.node_relative_error > 0.0 && options.node_relative_error < 1.0) {
+        return Err(format!(
+            "--node-error must be in (0, 1), got {}",
+            options.node_relative_error
+        ));
+    }
+    if !(options.node_confidence > 0.0 && options.node_confidence < 1.0) {
+        return Err(format!(
+            "--node-confidence must be in (0, 1), got {}",
+            options.node_confidence
+        ));
+    }
+    if options.top_k < 1 {
+        return Err("--top-k must be at least 1".to_string());
+    }
+    if options.activity_floor <= 0.0 {
+        return Err(format!(
+            "--activity-floor must be positive, got {}",
+            options.activity_floor
+        ));
+    }
+    Ok(options)
+}
+
+fn load_circuit(name: &str) -> Result<Circuit, netlist::NetlistError> {
+    if name.ends_with(".bench") {
+        bench_format::parse_file(name)
+    } else {
+        iscas89::load(name)
+    }
+}
+
+/// Drives a session to completion, printing progress lines between steps.
+fn run_session(
+    estimator: &dyn PowerEstimator,
+    circuit: &Circuit,
+    config: &DipeConfig,
+    quiet: bool,
+) -> Result<Estimate, dipe::DipeError> {
+    let mut session = estimator.start(circuit, config, &InputModel::uniform(), 0)?;
+    loop {
+        match session.step(CycleBudget::cycles(250_000))? {
+            Progress::Running {
+                cycles_done,
+                samples,
+                current_rhw,
+                phase,
+            } => {
+                if !quiet {
+                    let rhw = current_rhw
+                        .map(|r| format!("{:.1} %", r * 100.0))
+                        .unwrap_or_else(|| "-".to_string());
+                    eprintln!(
+                        "  [{phase:?}] {cycles_done} cycles, {samples} samples, worst rhw {rhw}"
+                    );
+                }
+            }
+            Progress::Done(estimate) => return Ok(estimate),
+        }
+    }
+}
+
+fn print_estimate_summary(circuit: &Circuit, estimate: &Estimate) {
+    println!("circuit {}: {}", circuit.name(), circuit.stats());
+    println!("estimator: {}", estimate.estimator);
+    println!(
+        "average power: {:.4} mW (relative CI half-width {})",
+        estimate.mean_power_mw(),
+        estimate
+            .relative_half_width
+            .map(|r| format!("{:.2} %", r * 100.0))
+            .unwrap_or_else(|| "n/a".to_string())
+    );
+    if let Some(interval) = estimate.independence_interval() {
+        println!("independence interval: {interval} cycles");
+    }
+    println!(
+        "samples: {} ({} zero-delay + {} measured cycles, {:.2} s)",
+        estimate.sample_size,
+        estimate.cycle_counts.zero_delay_cycles,
+        estimate.cycle_counts.measured_cycles,
+        estimate.elapsed_seconds
+    );
+}
+
+fn json_header(circuit: &Circuit, estimate: &Estimate) -> String {
+    format!(
+        "  \"circuit\": \"{}\",\n  \"estimator\": \"{}\",\n  \"mean_power_w\": {:e},\n  \
+         \"relative_half_width\": {},\n  \"sample_size\": {},\n  \
+         \"independence_interval\": {},\n  \"zero_delay_cycles\": {},\n  \
+         \"measured_cycles\": {},\n  \"elapsed_seconds\": {:.6}",
+        circuit.name(),
+        estimate.estimator,
+        estimate.mean_power_w,
+        estimate
+            .relative_half_width
+            .map(|r| format!("{r:e}"))
+            .unwrap_or_else(|| "null".to_string()),
+        estimate.sample_size,
+        estimate
+            .independence_interval()
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        estimate.cycle_counts.zero_delay_cycles,
+        estimate.cycle_counts.measured_cycles,
+        estimate.elapsed_seconds,
+    )
+}
+
+fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Result<(), String> {
+    if options.lanes > 1 {
+        return run_replicated(options, circuit, config);
+    }
+    let estimate = run_session(&DipeEstimator::new(), circuit, config, options.quiet)
+        .map_err(|e| e.to_string())?;
+    print_estimate_summary(circuit, &estimate);
+    if let Some(path) = &options.json {
+        let json = format!("{{\n{}\n}}\n", json_header(circuit, &estimate));
+        std::fs::write(path, json).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run_replicated(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Result<(), String> {
+    let offsets: Vec<u64> = (0..options.lanes as u64).collect();
+    let results = run_replicated_dipe(circuit, config, &InputModel::uniform(), &offsets)
+        .map_err(|e| e.to_string())?;
+    let mut table = TextTable::new(&["Lane", "p̄ (mW)", "RHW (%)", "Samples", "I.I."]);
+    let mut pooled = 0.0;
+    let mut finished = 0usize;
+    for (lane, result) in results.iter().enumerate() {
+        match result {
+            Ok(estimate) => {
+                pooled += estimate.mean_power_w;
+                finished += 1;
+                table.add_row(&[
+                    lane.to_string(),
+                    format!("{:.4}", estimate.mean_power_mw()),
+                    estimate
+                        .relative_half_width
+                        .map(|r| format!("{:.2}", r * 100.0))
+                        .unwrap_or_default(),
+                    estimate.sample_size.to_string(),
+                    estimate
+                        .independence_interval()
+                        .map(|i| i.to_string())
+                        .unwrap_or_default(),
+                ]);
+            }
+            Err(error) => {
+                table.add_row(&[
+                    lane.to_string(),
+                    format!("failed: {error}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    println!("circuit {}: {}", circuit.name(), circuit.stats());
+    println!(
+        "{} replicated DIPE runs on the 64-lane bit-parallel backend:",
+        options.lanes
+    );
+    println!("{table}");
+    if finished > 0 {
+        println!(
+            "pooled mean over {} finished lanes: {:.4} mW",
+            finished,
+            pooled / finished as f64 * 1e3
+        );
+    }
+    Ok(())
+}
+
+fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Result<(), String> {
+    let policy = NodeStoppingPolicy::new(
+        options.node_relative_error,
+        options.node_confidence,
+        options.top_k,
+        options.activity_floor,
+        config.min_samples,
+    );
+    let estimator = BreakdownEstimator::new(policy, options.target);
+    let estimate =
+        run_session(&estimator, circuit, config, options.quiet).map_err(|e| e.to_string())?;
+    print_estimate_summary(circuit, &estimate);
+
+    let node = estimate
+        .node_diagnostics()
+        .ok_or_else(|| "breakdown session produced non-breakdown diagnostics".to_string())?;
+    let (breakdown, node_decision, criterion) =
+        (&node.breakdown, &node.node_decision, &node.criterion);
+    println!("stopping rule: {criterion}");
+    println!(
+        "per-node verdict: satisfied={}, {} relative-tier nets, worst rhw {:.2} % (net {}), worst floor half-width {:.4}",
+        node_decision.satisfied,
+        node_decision.relative_nets,
+        node_decision.worst_relative_half_width * 100.0,
+        node_decision
+            .worst_net
+            .map(|n| breakdown.per_net()[n].name.clone())
+            .unwrap_or_else(|| "-".to_string()),
+        node_decision.worst_absolute_half_width,
+    );
+
+    // Consistency: the capacitance-weighted activity total *is* the scalar
+    // power estimate (Eq. 1 over the same measured cycles).
+    let total = breakdown.total_power_w();
+    let gap = if estimate.mean_power_w > 0.0 {
+        (total - estimate.mean_power_w).abs() / estimate.mean_power_w
+    } else {
+        0.0
+    };
+    println!(
+        "breakdown total: {:.4} mW (vs session estimate: {:.4} mW, gap {:.3e})",
+        total * 1e3,
+        estimate.mean_power_mw(),
+        gap
+    );
+
+    println!("\npower by driver class:");
+    let mut groups = TextTable::new(&["Class", "Nets", "Power (mW)", "Share (%)"]);
+    for group in breakdown.group_totals() {
+        groups.add_row(&[
+            group.class.label().to_string(),
+            group.nets.to_string(),
+            format!("{:.4}", group.power_w * 1e3),
+            format!(
+                "{:.1}",
+                100.0 * group.power_w / total.max(f64::MIN_POSITIVE)
+            ),
+        ]);
+    }
+    println!("{groups}");
+
+    println!("top {} hot nets:", options.top);
+    let mut hot = TextTable::new(&[
+        "#",
+        "Net",
+        "Driver",
+        "Activity (tr/cyc)",
+        "±SE",
+        "C (fF)",
+        "Power (µW)",
+        "Share (%)",
+    ]);
+    for (rank, net) in breakdown.hot_spots(options.top).iter().enumerate() {
+        hot.add_row(&[
+            (rank + 1).to_string(),
+            net.name.clone(),
+            net.driver.label().to_string(),
+            format!("{:.4}", net.activity),
+            format!("{:.4}", net.activity_std_error),
+            format!("{:.1}", net.capacitance_f * 1e15),
+            format!("{:.3}", net.power_w * 1e6),
+            format!("{:.1}", 100.0 * net.power_w / total.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    println!("{hot}");
+
+    if let Some(path) = &options.json {
+        let json = format!(
+            "{{\n{},\n  \"breakdown_total_power_w\": {:e},\n  \"breakdown\": {}}}\n",
+            json_header(circuit, &estimate),
+            total,
+            breakdown.to_json()
+        );
+        std::fs::write(path, json).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let circuit = match load_circuit(&options.circuit) {
+        Ok(circuit) => circuit,
+        Err(error) => {
+            eprintln!("failed to load `{}`: {error}", options.circuit);
+            return ExitCode::from(1);
+        }
+    };
+    let config = DipeConfig::default()
+        .with_seed(options.seed)
+        .with_accuracy(options.relative_error, options.confidence);
+    let outcome = if options.breakdown {
+        run_breakdown(&options, &circuit, &config)
+    } else {
+        run_total(&options, &circuit, &config)
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(1)
+        }
+    }
+}

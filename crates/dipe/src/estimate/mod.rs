@@ -170,6 +170,27 @@ pub enum Diagnostics {
         /// Min/max/mean/variance of per-cycle power over the measured run.
         summary: power::PowerSummary,
     },
+    /// Node-resolved (per-net) breakdown estimation: the spatial power report
+    /// and the per-node stopping verdict, alongside the DIPE-style interval
+    /// selection it rode on. Produced by the `activity` crate's estimator.
+    /// Boxed so this largest payload does not inflate every [`Estimate`] (and
+    /// every session-state enum holding one).
+    NodeBreakdown(Box<NodeBreakdownDiagnostics>),
+}
+
+/// The payload of [`Diagnostics::NodeBreakdown`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NodeBreakdownDiagnostics {
+    /// Outcome of the sequential interval-selection procedure.
+    pub selection: IndependenceSelection,
+    /// Name of the stopping rule that terminated sampling.
+    pub criterion: String,
+    /// Per-net activity mapped through capacitance to power.
+    pub breakdown: power::PowerBreakdown,
+    /// The per-node stopping verdict at termination.
+    pub node_decision: seqstats::NodeStoppingDecision,
+    /// The raw total-power sample in watts, in collection order.
+    pub sample: Vec<f64>,
 }
 
 /// The unified result record every estimator produces.
@@ -206,10 +227,28 @@ impl Estimate {
         crate::report::relative_deviation(reference_power_w, self.mean_power_w)
     }
 
-    /// The selected independence interval, when this estimate came from DIPE.
+    /// The selected independence interval, when this estimate came from DIPE
+    /// or the node-breakdown estimator built on it.
     pub fn independence_interval(&self) -> Option<usize> {
         match &self.diagnostics {
             Diagnostics::Dipe { selection, .. } => Some(selection.interval),
+            Diagnostics::NodeBreakdown(node) => Some(node.selection.interval),
+            _ => None,
+        }
+    }
+
+    /// The spatial power breakdown, when this estimate carries one.
+    pub fn breakdown(&self) -> Option<&power::PowerBreakdown> {
+        match &self.diagnostics {
+            Diagnostics::NodeBreakdown(node) => Some(&node.breakdown),
+            _ => None,
+        }
+    }
+
+    /// The full node-breakdown diagnostics, when this estimate carries them.
+    pub fn node_diagnostics(&self) -> Option<&NodeBreakdownDiagnostics> {
+        match &self.diagnostics {
+            Diagnostics::NodeBreakdown(node) => Some(node),
             _ => None,
         }
     }

@@ -88,8 +88,8 @@ pub use config::{CriterionKind, DipeConfig};
 pub use engine::{Engine, EstimationJob, JobOutcome, ReplicatedJob, ReplicatedOutcome};
 pub use error::DipeError;
 pub use estimate::{
-    run_to_completion, CycleBudget, Diagnostics, Estimate, EstimationSession, PowerEstimator,
-    Progress, SessionPhase,
+    run_to_completion, CycleBudget, Diagnostics, Estimate, EstimationSession,
+    NodeBreakdownDiagnostics, PowerEstimator, Progress, SessionPhase,
 };
 pub use estimator::{DipeEstimator, DipeResult};
 pub use independence::{IndependenceSelection, IntervalTrial};

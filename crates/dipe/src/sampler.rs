@@ -118,6 +118,24 @@ impl<'c> PowerSampler<'c> {
     /// the power dissipated in that cycle, in watts. The circuit state
     /// advances exactly one cycle.
     pub fn measure_cycle_power_w(&mut self) -> f64 {
+        self.measure_cycle(|_| {})
+    }
+
+    /// Like [`measure_cycle_power_w`](Self::measure_cycle_power_w), but hands
+    /// the measured cycle's per-net transition counts to `observe` before the
+    /// record is recycled — the hook node-resolved (per-net) accumulators
+    /// attach to, without the sampler knowing about them.
+    pub fn measure_cycle_power_w_observing<F>(&mut self, observe: F) -> f64
+    where
+        F: FnOnce(&logicsim::CycleActivity),
+    {
+        self.measure_cycle(observe)
+    }
+
+    fn measure_cycle<F>(&mut self, observe: F) -> f64
+    where
+        F: FnOnce(&logicsim::CycleActivity),
+    {
         self.stream.next_pattern_into(&mut self.pattern);
         self.prev.copy_from_slice(self.zero.values());
         let activity = self.full.simulate_cycle(&self.prev, &self.pattern);
@@ -125,6 +143,7 @@ impl<'c> PowerSampler<'c> {
         self.zero.step_state_only(&self.pattern);
         debug_assert_eq!(self.full.stable_values(), self.zero.values());
         self.counts.measured_cycles += 1;
+        observe(&activity);
         self.calculator.cycle_power_w(&activity)
     }
 
@@ -133,6 +152,16 @@ impl<'c> PowerSampler<'c> {
     pub fn sample_power_w(&mut self, interval: usize) -> f64 {
         self.advance(interval);
         self.measure_cycle_power_w()
+    }
+
+    /// Like [`sample_power_w`](Self::sample_power_w), exposing the measured
+    /// cycle's per-net transition counts to `observe`.
+    pub fn sample_power_w_observing<F>(&mut self, interval: usize, observe: F) -> f64
+    where
+        F: FnOnce(&logicsim::CycleActivity),
+    {
+        self.advance(interval);
+        self.measure_cycle(observe)
     }
 
     /// Collects an ordered power sequence of `length` observations in which
@@ -215,6 +244,25 @@ mod tests {
         let seq = s.measure_consecutive_cycles_w(200);
         assert_eq!(seq.len(), 200);
         assert!(seqstats::descriptive::variance(&seq) > 0.0);
+    }
+
+    #[test]
+    fn observing_variant_matches_plain_measurement() {
+        let (c, config) = sampler_for("s298", 9);
+        let mut plain = PowerSampler::new(&c, &config, &InputModel::uniform(), 0).unwrap();
+        let mut observed = PowerSampler::new(&c, &config, &InputModel::uniform(), 0).unwrap();
+        let calc = observed.calculator().clone();
+        for interval in [0usize, 1, 3] {
+            let expected = plain.sample_power_w(interval);
+            let mut from_activity = None;
+            let got = observed.sample_power_w_observing(interval, |activity| {
+                from_activity = Some(calc.cycle_power_w(activity));
+            });
+            assert_eq!(expected, got);
+            // The observed record is exactly the one the power came from.
+            assert_eq!(from_activity, Some(got));
+        }
+        assert_eq!(plain.cycle_counts(), observed.cycle_counts());
     }
 
     #[test]

@@ -105,6 +105,13 @@ impl WordActivity {
         ((self.diffs[net.index()] >> lane) & 1) as u32
     }
 
+    /// The number of lanes in which a net toggled this cycle — the per-net
+    /// aggregate a node-activity accumulator folds with one `count_ones`.
+    #[inline]
+    pub fn transitions_on(&self, net: NetId) -> u32 {
+        self.diffs[net.index()].count_ones()
+    }
+
     /// Total transitions across all nets and all 64 lanes this cycle.
     pub fn total_transitions(&self) -> u64 {
         self.diffs.iter().map(|d| u64::from(d.count_ones())).sum()
@@ -206,6 +213,15 @@ mod tests {
     fn from_counts_round_trips() {
         let a = CycleActivity::from_counts(vec![1, 0, 3]);
         assert_eq!(a.per_net(), &[1, 0, 3]);
+    }
+
+    #[test]
+    fn word_activity_per_net_aggregate() {
+        let w = WordActivity::from_diff_words(vec![0, 0b1011, u64::MAX]);
+        assert_eq!(w.transitions_on(NetId::from_index(0)), 0);
+        assert_eq!(w.transitions_on(NetId::from_index(1)), 3);
+        assert_eq!(w.transitions_on(NetId::from_index(2)), 64);
+        assert_eq!(w.total_transitions(), 67);
     }
 
     #[test]

@@ -57,90 +57,89 @@ pub fn parse(source: &str, name: impl Into<String>) -> Result<Circuit, NetlistEr
 
     for (idx, raw_line) in source.lines().enumerate() {
         let line_no = idx + 1;
-        let line = strip_comment(raw_line).trim();
+        let parse_error = |message: String| NetlistError::Parse {
+            line: line_no,
+            message,
+        };
+        // `str::lines` strips a trailing `\r` itself, but CRLF files edited
+        // on mixed platforms can carry stray carriage returns elsewhere on
+        // the line; treat them as plain whitespace.
+        let line = strip_comment(raw_line).trim_matches(|c: char| c.is_whitespace() || c == '\r');
         if line.is_empty() {
             continue;
         }
 
         if let Some(arg) = parse_directive(line, "INPUT") {
-            let arg = arg.map_err(|message| NetlistError::Parse {
-                line: line_no,
-                message,
-            })?;
-            builder.try_primary_input(arg)?;
+            let arg = arg.map_err(parse_error)?;
+            check_identifier(&arg, line_no)?;
+            // Declaration-time problems (e.g. a duplicate INPUT) belong to
+            // this line; report them with its number.
+            builder
+                .try_primary_input(arg)
+                .map_err(|e| parse_error(e.to_string()))?;
             continue;
         }
         if let Some(arg) = parse_directive(line, "OUTPUT") {
-            let arg = arg.map_err(|message| NetlistError::Parse {
-                line: line_no,
-                message,
-            })?;
+            let arg = arg.map_err(parse_error)?;
+            check_identifier(&arg, line_no)?;
             pending_outputs.push((line_no, arg));
             continue;
         }
 
         // Assignment: <name> = KEYWORD(arg, arg, ...)
-        let (lhs, rhs) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
-            line: line_no,
-            message: format!("expected `name = GATE(...)`, got `{line}`"),
-        })?;
+        let (lhs, rhs) = line
+            .split_once('=')
+            .ok_or_else(|| parse_error(format!("expected `name = GATE(...)`, got `{line}`")))?;
         let lhs = lhs.trim();
         if lhs.is_empty() {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: "empty left-hand side".into(),
-            });
+            return Err(parse_error("empty left-hand side".into()));
         }
+        check_identifier(lhs, line_no)?;
         let rhs = rhs.trim();
-        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
-            line: line_no,
-            message: format!("missing `(` in `{rhs}`"),
-        })?;
+        let open = rhs
+            .find('(')
+            .ok_or_else(|| parse_error(format!("missing `(` in `{rhs}`")))?;
         if !rhs.ends_with(')') {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: format!("missing `)` in `{rhs}`"),
-            });
+            return Err(parse_error(format!("missing `)` in `{rhs}`")));
         }
         let keyword = rhs[..open].trim();
         let args_str = &rhs[open + 1..rhs.len() - 1];
-        let args: Vec<&str> = args_str
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .collect();
-        if args.is_empty() {
-            return Err(NetlistError::Parse {
-                line: line_no,
-                message: format!("gate `{lhs}` has no arguments"),
-            });
+        if args_str.trim().is_empty() {
+            return Err(parse_error(format!("gate `{lhs}` has no arguments")));
+        }
+        let args: Vec<&str> = args_str.split(',').map(str::trim).collect();
+        for arg in &args {
+            if arg.is_empty() {
+                return Err(parse_error(format!(
+                    "empty argument in `{lhs}` (consecutive or trailing comma?)"
+                )));
+            }
+            check_identifier(arg, line_no)?;
         }
 
         if keyword.eq_ignore_ascii_case("DFF") {
             if args.len() != 1 {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: format!(
-                        "DFF `{lhs}` must have exactly one input, has {}",
-                        args.len()
-                    ),
-                });
+                return Err(parse_error(format!(
+                    "DFF `{lhs}` must have exactly one input, has {}",
+                    args.len()
+                )));
             }
             let d = builder.net(args[0]);
-            builder.try_flip_flop(lhs, d)?;
+            builder
+                .try_flip_flop(lhs, d)
+                .map_err(|e| parse_error(e.to_string()))?;
         } else if let Some(kind) = GateKind::from_bench_keyword(keyword) {
             if kind.is_unary() && args.len() != 1 {
-                return Err(NetlistError::Parse {
-                    line: line_no,
-                    message: format!(
-                        "{keyword} `{lhs}` must have exactly one input, has {}",
-                        args.len()
-                    ),
-                });
+                return Err(parse_error(format!(
+                    "{keyword} `{lhs}` must have exactly one input, has {}",
+                    args.len()
+                )));
             }
             let inputs: Vec<_> = args.iter().map(|a| builder.net(*a)).collect();
             let out = builder.net(lhs);
-            builder.gate_onto(out, kind, &inputs)?;
+            builder
+                .gate_onto(out, kind, &inputs)
+                .map_err(|e| parse_error(e.to_string()))?;
         } else {
             return Err(NetlistError::UnknownGateKeyword {
                 line: line_no,
@@ -250,6 +249,25 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
+/// Validates a net name: non-empty and free of whitespace and parentheses.
+/// Internal whitespace almost always means a missing comma (`AND(a b)`), and
+/// stray parentheses mean a mangled argument list — both used to produce a
+/// silently wrong circuit (a net literally named `"a b"`) caught only later
+/// as an undriven net without a line number.
+fn check_identifier(name: &str, line_no: usize) -> Result<(), NetlistError> {
+    debug_assert!(!name.is_empty(), "callers reject empty names first");
+    if name
+        .chars()
+        .any(|c| c.is_whitespace() || c == '(' || c == ')')
+    {
+        return Err(NetlistError::Parse {
+            line: line_no,
+            message: format!("invalid net name `{name}` (missing comma or stray parenthesis?)"),
+        });
+    }
+    Ok(())
+}
+
 /// Parses `KEYWORD(arg)` directives (INPUT/OUTPUT). Returns `None` when the
 /// line does not start with the keyword, `Some(Err)` when it does but is
 /// malformed.
@@ -357,6 +375,88 @@ d = AND(en, nq)   # next state
             parse("= AND(a)\n", "bad").unwrap_err(),
             NetlistError::Parse { line: 1, .. }
         ));
+    }
+
+    #[test]
+    fn crlf_sources_parse_identically() {
+        let crlf = TOGGLE.replace('\n', "\r\n");
+        let c = parse(&crlf, "toggle").unwrap();
+        let reference = parse(TOGGLE, "toggle").unwrap();
+        assert_eq!(c, reference);
+    }
+
+    #[test]
+    fn whitespace_inside_argument_lists_is_tolerated() {
+        let src = "INPUT( a )\nINPUT(\tb\t)\nOUTPUT( y )\ny = AND(  a ,\tb  )\n";
+        let c = parse(src, "ws").unwrap();
+        assert_eq!(c.num_gates(), 1);
+        assert!(c.net_by_name("a").is_some());
+        assert!(c.net_by_name("b").is_some());
+    }
+
+    #[test]
+    fn blank_and_comment_only_lines_with_crlf() {
+        let src = "\r\n   \r\n# header\r\n  # indented\r\nINPUT(a)\r\nOUTPUT(b)\r\nb = NOT(a)\r\n";
+        let c = parse(src, "c").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    /// The malformed-input battery: every broken shape is rejected with the
+    /// offending line number instead of silently mis-parsing.
+    #[test]
+    fn malformed_input_battery() {
+        let cases: &[(&str, usize, &str)] = &[
+            // Missing comma: used to create a net literally named "a b".
+            (
+                "INPUT(a)\nINPUT(b)\nx = AND(a b)\nOUTPUT(x)\n",
+                3,
+                "missing comma",
+            ),
+            // Consecutive commas: the empty argument used to be dropped.
+            (
+                "INPUT(a)\nINPUT(b)\nx = AND(a,,b)\nOUTPUT(x)\n",
+                3,
+                "empty argument",
+            ),
+            // Trailing comma.
+            ("INPUT(a)\nx = NOT(a,)\nOUTPUT(x)\n", 2, "empty argument"),
+            // Only-commas argument list.
+            ("INPUT(a)\nx = AND(,)\nOUTPUT(x)\n", 2, "empty argument"),
+            // Trailing garbage after the closing parenthesis.
+            (
+                "INPUT(a)\nx = NOT(a) extra\nOUTPUT(x)\n",
+                2,
+                "trailing garbage",
+            ),
+            // Stray parenthesis inside an argument.
+            ("INPUT(a)\nx = NOT(a(\nOUTPUT(x)\n", 2, "stray parenthesis"),
+            // Duplicate INPUT declaration, reported at the second line.
+            (
+                "INPUT(a)\nINPUT(a)\nx = NOT(a)\nOUTPUT(x)\n",
+                2,
+                "duplicate input",
+            ),
+            // Redefinition of a driven net, reported at the offending line.
+            (
+                "INPUT(a)\nx = NOT(a)\nx = BUF(a)\nOUTPUT(x)\n",
+                3,
+                "duplicate driver",
+            ),
+            // Whitespace inside an INPUT name.
+            ("INPUT(a b)\nOUTPUT(a)\n", 1, "space in INPUT"),
+            // Malformed directive (unterminated).
+            ("INPUT(a\nOUTPUT(a)\n", 1, "unterminated INPUT"),
+            // Empty directive argument.
+            ("INPUT()\nOUTPUT(a)\n", 1, "empty INPUT"),
+        ];
+        for &(src, line, what) in cases {
+            match parse(src, "battery") {
+                Err(NetlistError::Parse { line: got, .. }) => {
+                    assert_eq!(got, line, "{what}: wrong line");
+                }
+                other => panic!("{what}: expected a line-numbered parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -47,10 +47,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod breakdown;
 mod capacitance;
 mod energy;
 mod technology;
 
+pub use breakdown::{DriverClass, GroupPower, NetPower, PowerBreakdown};
 pub use capacitance::{CapacitanceModel, LoadCapacitances};
 pub use energy::{PowerCalculator, PowerSummary};
 pub use technology::Technology;

@@ -38,12 +38,14 @@
 pub mod autocorr;
 pub mod descriptive;
 pub mod hypothesis;
+pub mod node_stopping;
 pub mod normal;
 pub mod runs_test;
 pub mod stopping;
 
 pub use descriptive::RunningStats;
 pub use hypothesis::SignificanceLevel;
+pub use node_stopping::{NodeStoppingDecision, NodeStoppingPolicy};
 pub use runs_test::{RunsTest, RunsTestOutcome};
 pub use stopping::{
     DkwCriterion, NormalCriterion, OrderStatisticCriterion, StoppingCriterion, StoppingDecision,

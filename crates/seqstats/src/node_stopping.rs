@@ -1,0 +1,399 @@
+//! Per-node stopping policy for spatial (node-resolved) estimation.
+//!
+//! The scalar criteria in [`crate::stopping`] watch one growing sample — the
+//! total per-cycle power. A node-resolved estimator instead tracks one mean
+//! per circuit net (its switching activity), and the natural accuracy
+//! specification is *spatial*: the nets that dominate the power budget must
+//! be known to a maximum relative error, while nets that barely toggle only
+//! need to be pinned down in absolute terms (their relative error is
+//! meaningless near zero and would never converge).
+//!
+//! [`NodeStoppingPolicy`] encodes exactly that two-tier rule:
+//!
+//! * **top-K relative criterion** — rank the nets by a caller-supplied weight
+//!   (estimated activity, or capacitance-weighted power); every net in the
+//!   top K with a mean at or above the activity floor must satisfy
+//!   `z·se_i / mean_i < ε`;
+//! * **absolute floor** — every other net must satisfy `z·se_i < floor` *or*
+//!   the relative spec, whichever is easier: genuinely quiet nets converge
+//!   through the absolute branch (their relative error is meaningless near
+//!   zero), while active non-top nets converge through the relative branch
+//!   (an absolute bound in transitions/cycle would be far stricter than ε
+//!   for glitchy nets whose counts exceed 1).
+//!
+//! The policy is evaluated on per-net mean / standard-error arrays rather
+//! than raw samples, so accumulation stays streaming (Welford-style) and the
+//! evaluation cost is `O(nets)` per check, independent of the sample size.
+
+use crate::normal;
+
+/// The verdict of a [`NodeStoppingPolicy`] evaluation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NodeStoppingDecision {
+    /// `true` when every net meets its (relative or absolute) criterion.
+    pub satisfied: bool,
+    /// Number of observations the decision is based on.
+    pub sample_size: usize,
+    /// The largest relative half-width observed among the nets held to the
+    /// relative criterion (`∞` before `min_samples` observations or when a
+    /// relative-tier net still has a zero mean).
+    pub worst_relative_half_width: f64,
+    /// Index of the net behind [`worst_relative_half_width`]
+    /// (`None` when no net was held to the relative criterion).
+    ///
+    /// [`worst_relative_half_width`]: Self::worst_relative_half_width
+    pub worst_net: Option<usize>,
+    /// The largest absolute confidence half-width among the floor-tier nets
+    /// that did not already meet the relative spec (the binding quantity of
+    /// the absolute branch; 0 when every floor-tier net met the relative
+    /// spec).
+    pub worst_absolute_half_width: f64,
+    /// How many nets were held to the relative criterion this evaluation.
+    pub relative_nets: usize,
+}
+
+/// The two-tier per-node stopping rule: maximum relative error over the
+/// top-K nets, absolute-error floor for everything else.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NodeStoppingPolicy {
+    relative_error: f64,
+    confidence: f64,
+    top_k: usize,
+    activity_floor: f64,
+    min_samples: usize,
+}
+
+impl NodeStoppingPolicy {
+    /// Creates a policy.
+    ///
+    /// * `relative_error` — maximum relative error ε for the top-K nets;
+    /// * `confidence` — confidence level `1 − δ` of every per-net interval;
+    /// * `top_k` — how many of the highest-ranked nets are held to the
+    ///   relative criterion;
+    /// * `activity_floor` — the absolute half-width bound (in the unit of the
+    ///   tracked means, transitions/cycle for activity) applied to every
+    ///   other net that does not already meet the relative spec, and the
+    ///   mean below which even a top-K net falls back to the absolute tier;
+    /// * `min_samples` — observations required before the policy may fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is out of range.
+    pub fn new(
+        relative_error: f64,
+        confidence: f64,
+        top_k: usize,
+        activity_floor: f64,
+        min_samples: usize,
+    ) -> Self {
+        assert!(
+            relative_error > 0.0 && relative_error < 1.0,
+            "relative error must be in (0, 1), got {relative_error}"
+        );
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1), got {confidence}"
+        );
+        assert!(top_k >= 1, "at least one net must be tracked");
+        assert!(
+            activity_floor > 0.0,
+            "the activity floor must be positive, got {activity_floor}"
+        );
+        assert!(min_samples >= 2, "at least two samples are required");
+        NodeStoppingPolicy {
+            relative_error,
+            confidence,
+            top_k,
+            activity_floor,
+            min_samples,
+        }
+    }
+
+    /// A practical default mirroring the paper's total-power specification:
+    /// 5 % relative error at 0.95 confidence over the 20 highest-ranked
+    /// nets, a 0.05 transitions/cycle floor elsewhere (glitchy nets can
+    /// observe counts above 1, so a much tighter absolute floor would
+    /// dominate the sample size), 64-sample minimum.
+    pub fn default_spec() -> Self {
+        NodeStoppingPolicy::new(0.05, 0.95, 20, 0.05, 64)
+    }
+
+    /// The target maximum relative error ε of the top-K tier.
+    pub fn relative_error(&self) -> f64 {
+        self.relative_error
+    }
+
+    /// The per-net confidence level.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The number of top-ranked nets held to the relative criterion.
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// The absolute half-width bound of the floor tier.
+    pub fn activity_floor(&self) -> f64 {
+        self.activity_floor
+    }
+
+    /// The minimum number of observations before the policy may fire.
+    pub fn min_samples(&self) -> usize {
+        self.min_samples
+    }
+
+    /// Evaluates the policy. `means` and `std_errors` are dense per-net
+    /// arrays; `weights` ranks the nets for top-K membership (pass the means
+    /// themselves for an activity ranking, or capacitance-weighted means for
+    /// a power ranking); `sample_size` is the number of observations behind
+    /// each mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array lengths disagree.
+    pub fn evaluate(
+        &self,
+        means: &[f64],
+        std_errors: &[f64],
+        weights: &[f64],
+        sample_size: usize,
+    ) -> NodeStoppingDecision {
+        assert_eq!(means.len(), std_errors.len(), "per-net arrays must agree");
+        assert_eq!(means.len(), weights.len(), "per-net arrays must agree");
+        if sample_size < self.min_samples || means.is_empty() {
+            return NodeStoppingDecision {
+                satisfied: false,
+                sample_size,
+                worst_relative_half_width: f64::INFINITY,
+                worst_net: None,
+                worst_absolute_half_width: f64::INFINITY,
+                relative_nets: 0,
+            };
+        }
+
+        let z = normal::quantile(0.5 + self.confidence / 2.0);
+        let top = top_k_indices(weights, self.top_k);
+
+        let mut in_top = vec![false; means.len()];
+        for &net in &top {
+            in_top[net] = true;
+        }
+
+        let mut worst_relative = 0.0f64;
+        let mut worst_net = None;
+        let mut worst_absolute = 0.0f64;
+        let mut relative_nets = 0usize;
+        let mut satisfied = true;
+
+        for net in 0..means.len() {
+            let half_width = z * std_errors[net];
+            // A top-K net with a mean below the floor has too little signal
+            // for a meaningful relative bound; hold it to the absolute tier.
+            if in_top[net] && means[net] >= self.activity_floor {
+                relative_nets += 1;
+                let relative = if means[net] > 0.0 {
+                    half_width / means[net]
+                } else {
+                    f64::INFINITY
+                };
+                if relative > worst_relative {
+                    worst_relative = relative;
+                    worst_net = Some(net);
+                }
+                if relative >= self.relative_error {
+                    satisfied = false;
+                }
+            } else {
+                // Floor tier: the absolute floor or the relative spec,
+                // whichever is easier for this net.
+                let relative_ok = means[net] > 0.0 && half_width / means[net] < self.relative_error;
+                if !relative_ok {
+                    worst_absolute = worst_absolute.max(half_width);
+                    if half_width >= self.activity_floor {
+                        satisfied = false;
+                    }
+                }
+            }
+        }
+        if relative_nets == 0 {
+            worst_relative = f64::INFINITY;
+        }
+
+        NodeStoppingDecision {
+            satisfied,
+            sample_size,
+            worst_relative_half_width: worst_relative,
+            worst_net,
+            worst_absolute_half_width: worst_absolute,
+            relative_nets,
+        }
+    }
+}
+
+/// Indices of the `k` largest weights (ties broken by lower index), in
+/// `O(n log n)` on a scratch vector — evaluation-rate code, not per-cycle.
+fn top_k_indices(weights: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .expect("weights must not contain NaN")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> NodeStoppingPolicy {
+        NodeStoppingPolicy::new(0.05, 0.95, 2, 0.01, 8)
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let p = policy();
+        assert_eq!(p.relative_error(), 0.05);
+        assert_eq!(p.confidence(), 0.95);
+        assert_eq!(p.top_k(), 2);
+        assert_eq!(p.activity_floor(), 0.01);
+        assert_eq!(p.min_samples(), 8);
+        assert_eq!(NodeStoppingPolicy::default_spec().top_k(), 20);
+    }
+
+    #[test]
+    fn min_samples_gates_the_decision() {
+        let p = policy();
+        let d = p.evaluate(&[0.5], &[0.0001], &[0.5], 4);
+        assert!(!d.satisfied);
+        assert!(d.worst_relative_half_width.is_infinite());
+        assert_eq!(d.worst_net, None);
+    }
+
+    #[test]
+    fn tight_top_nets_and_quiet_rest_satisfy() {
+        let p = policy();
+        // Nets 0 and 1 are the top-2 by weight with tiny standard errors;
+        // net 2 is a quiet net with a sub-floor half-width.
+        let means = [0.5, 0.3, 0.001];
+        let ses = [0.001, 0.001, 0.001];
+        let d = p.evaluate(&means, &ses, &means, 100);
+        assert!(d.satisfied, "decision: {d:?}");
+        assert_eq!(d.relative_nets, 2);
+        assert!(d.worst_relative_half_width < 0.05);
+        // Worst relative net is the smaller-mean top net.
+        assert_eq!(d.worst_net, Some(1));
+    }
+
+    #[test]
+    fn loose_top_net_blocks() {
+        let p = policy();
+        let means = [0.5, 0.3, 0.001];
+        let ses = [0.1, 0.001, 0.0001];
+        let d = p.evaluate(&means, &ses, &means, 100);
+        assert!(!d.satisfied);
+        assert_eq!(d.worst_net, Some(0));
+        assert!(d.worst_relative_half_width > 0.05);
+    }
+
+    #[test]
+    fn noisy_quiet_net_blocks_via_floor() {
+        let p = policy();
+        // The quiet net's absolute half-width (1.96 * 0.02 ≈ 0.039) exceeds
+        // the 0.01 floor even though its relative error is never checked.
+        let means = [0.5, 0.3, 0.001];
+        let ses = [0.0001, 0.0001, 0.02];
+        let d = p.evaluate(&means, &ses, &means, 100);
+        assert!(!d.satisfied);
+        assert!(d.worst_absolute_half_width > 0.01);
+    }
+
+    #[test]
+    fn active_non_top_net_converges_through_the_relative_branch() {
+        let p = policy();
+        // Net 2 is outside the top-2 with a glitchy mean of 3 transitions per
+        // cycle: its half-width (1.96*0.05 ≈ 0.098) violates the 0.01 floor,
+        // but its relative error (~3.3 %) meets the spec — satisfied.
+        let means = [5.0, 4.0, 3.0];
+        let ses = [0.02, 0.02, 0.05];
+        let d = p.evaluate(&means, &ses, &means, 100);
+        assert!(d.satisfied, "decision: {d:?}");
+        // No floor-tier net was bound by the absolute branch.
+        assert_eq!(d.worst_absolute_half_width, 0.0);
+    }
+
+    #[test]
+    fn sub_floor_top_net_falls_back_to_absolute_tier() {
+        // Rank net 1 into the top-2 but give it a mean below the floor: the
+        // policy must not demand 5 % relative accuracy of a ~0 mean.
+        let p = policy();
+        let means = [0.5, 0.002];
+        let ses = [0.0001, 0.003];
+        let d = p.evaluate(&means, &ses, &means, 100);
+        assert_eq!(d.relative_nets, 1);
+        assert!(d.satisfied, "decision: {d:?}");
+    }
+
+    #[test]
+    fn weights_control_the_ranking() {
+        let p = NodeStoppingPolicy::new(0.05, 0.95, 1, 0.01, 8);
+        let means = [0.5, 0.3];
+        let ses = [0.1, 0.0001];
+        // By activity, net 0 (loose) tops the ranking -> not satisfied.
+        let by_activity = p.evaluate(&means, &ses, &means, 100);
+        assert!(!by_activity.satisfied);
+        // Weight net 1 on top instead (e.g. it drives a huge capacitance):
+        // net 0 drops to the absolute tier, where its half-width also fails
+        // the floor — but the worst *relative* net is now net 1.
+        let by_power = p.evaluate(&means, &ses, &[0.1, 0.9], 100);
+        assert_eq!(by_power.worst_net, Some(1));
+        assert!(by_power.worst_relative_half_width < 0.05);
+    }
+
+    #[test]
+    fn more_samples_eventually_satisfy() {
+        let p = policy();
+        let means = [0.4, 0.2, 0.005];
+        // Bernoulli-ish standard errors shrinking as 1/sqrt(n).
+        let ses_at = |n: f64| {
+            [
+                (0.4f64 * 0.6 / n).sqrt(),
+                (0.2f64 * 0.8 / n).sqrt(),
+                (0.005f64 * 0.995 / n).sqrt(),
+            ]
+        };
+        assert!(!p.evaluate(&means, &ses_at(100.0), &means, 100).satisfied);
+        assert!(
+            p.evaluate(&means, &ses_at(50_000.0), &means, 50_000)
+                .satisfied
+        );
+    }
+
+    #[test]
+    fn empty_nets_never_satisfy() {
+        let d = policy().evaluate(&[], &[], &[], 100);
+        assert!(!d.satisfied);
+    }
+
+    #[test]
+    fn top_k_indices_rank_and_truncate() {
+        assert_eq!(top_k_indices(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
+        assert_eq!(top_k_indices(&[0.5, 0.5], 1), vec![0]);
+        assert_eq!(top_k_indices(&[0.5], 10), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative error")]
+    fn invalid_epsilon_rejected() {
+        NodeStoppingPolicy::new(0.0, 0.95, 1, 0.01, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity floor")]
+    fn invalid_floor_rejected() {
+        NodeStoppingPolicy::new(0.05, 0.95, 1, 0.0, 8);
+    }
+}

@@ -9,6 +9,7 @@
 //! cargo run --release --example fsm_analysis
 //! ```
 
+use activity::BreakdownEstimator;
 use dipe::input::InputModel;
 use dipe::{run_to_completion, DipeConfig, DipeEstimator, PowerEstimator};
 use markov::{warmup, StateTransitionGraph};
@@ -75,5 +76,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          FSM, while the a-priori conservative warm-up overshoots it by two orders of\n\
          magnitude — the efficiency argument of the paper."
     );
+
+    // The same sampled cycles also resolve *where* the power goes: per-net
+    // activity with per-node confidence intervals (top-K relative error,
+    // absolute floor for quiet nets).
+    let spatial = run_to_completion(BreakdownEstimator::per_node().start(
+        &circuit,
+        &DipeConfig::default().with_seed(3),
+        &InputModel::uniform(),
+        0,
+    )?)?;
+    let breakdown = spatial.breakdown().expect("breakdown diagnostics");
+    let total = breakdown.total_power_w();
+    println!(
+        "\nspatial breakdown ({} samples, per-node stop): top-5 hot nets",
+        spatial.sample_size
+    );
+    for (rank, net) in breakdown.hot_spots(5).iter().enumerate() {
+        println!(
+            "  {}. {:<4} {:>7.3} µW ({:>4.1} % of total, activity {:.3} ± {:.3} tr/cyc)",
+            rank + 1,
+            net.name,
+            net.power_w * 1e6,
+            100.0 * net.power_w / total,
+            net.activity,
+            net.activity_std_error,
+        );
+    }
     Ok(())
 }

@@ -1,18 +1,23 @@
 //! Sweep a slice of the ISCAS'89 benchmark suite through the batch [`Engine`]
 //! and print a Table-1-style summary (reference power, independence interval,
-//! estimate, sample size, run time). This is a lighter-weight version of the
-//! `table1` binary in the `dipe-bench` crate, meant as an API walkthrough:
-//! every circuit becomes two jobs (reference + DIPE) and the engine runs the
-//! whole sweep across the worker pool.
+//! estimate, sample size, run time) plus the top-5 hot nets of every circuit
+//! from the per-net activity breakdown. This is a lighter-weight version of
+//! the `table1` binary in the `dipe-bench` crate, meant as an API
+//! walkthrough: every circuit becomes two jobs (reference + breakdown) and
+//! the engine runs the whole sweep across the worker pool. The breakdown
+//! estimator with the total-power target *is* a DIPE run that additionally
+//! records per-net activity, so one job yields both the Table-1 columns and
+//! the hot-spot ranking.
 //!
 //! ```text
 //! cargo run --release --example iscas_sweep
 //! cargo run --release --example iscas_sweep -- s27 s298 s386 s832
 //! ```
 
+use activity::BreakdownEstimator;
 use dipe::input::InputModel;
 use dipe::report::TextTable;
-use dipe::{DipeConfig, DipeEstimator, Engine, EstimationJob, LongSimulationReference};
+use dipe::{DipeConfig, Engine, EstimationJob, LongSimulationReference};
 use netlist::iscas89;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,10 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             config.clone(),
             InputModel::uniform(),
         ));
+        // The spatial breakdown rides the same sampling machinery; the
+        // total-power target keeps the sweep at DIPE cost while still
+        // producing per-net activities with standard errors.
         jobs.push(EstimationJob::new(
-            format!("{name}/dipe"),
+            format!("{name}/breakdown"),
             circuit.clone(),
-            Box::new(DipeEstimator::new()),
+            Box::new(BreakdownEstimator::total_power()),
             config.clone(),
             InputModel::uniform(),
         ));
@@ -51,27 +59,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = TextTable::new(&[
         "Circuit", "Gates", "FFs", "SIM (mW)", "I.I.", "p̄ (mW)", "Sample", "Time (s)",
     ]);
+    let mut hot_lines = Vec::new();
     for ((name, circuit), pair) in loaded.into_iter().zip(outcomes.chunks_exact(2)) {
         let reference = pair[0].result.as_ref().map_err(|e| e.to_string())?;
-        let result = pair[1].result.as_ref().map_err(|e| e.to_string())?;
+        let spatial = pair[1].result.as_ref().map_err(|e| e.to_string())?;
         table.add_row(&[
-            name,
+            name.clone(),
             circuit.num_gates().to_string(),
             circuit.num_flip_flops().to_string(),
             format!("{:.3}", reference.mean_power_mw()),
-            result
+            spatial
                 .independence_interval()
                 .map(|i| i.to_string())
                 .unwrap_or_default(),
-            format!("{:.3}", result.mean_power_mw()),
-            result.sample_size.to_string(),
-            format!("{:.2}", result.elapsed_seconds),
+            format!("{:.3}", spatial.mean_power_mw()),
+            spatial.sample_size.to_string(),
+            format!("{:.2}", spatial.elapsed_seconds),
         ]);
+        let breakdown = spatial.breakdown().expect("breakdown diagnostics");
+        let total = breakdown.total_power_w();
+        let hot: Vec<String> = breakdown
+            .hot_spots(5)
+            .iter()
+            .map(|net| {
+                format!(
+                    "{} {:.1}µW ({:.0}%)",
+                    net.name,
+                    net.power_w * 1e6,
+                    100.0 * net.power_w / total
+                )
+            })
+            .collect();
+        hot_lines.push(format!("  {name}: {}", hot.join(", ")));
     }
 
     println!("{table}");
     println!(
         "(reference = 10 000 consecutive cycles; estimator spec = 5 % error at 0.99 confidence)"
     );
+    println!("\ntop-5 hot nets per circuit (capacitance-weighted activity):");
+    for line in hot_lines {
+        println!("{line}");
+    }
     Ok(())
 }

@@ -14,6 +14,8 @@
 //! * [`dipe`] — the paper's estimator plus the unified estimation API:
 //!   the `PowerEstimator` trait, re-entrant `EstimationSession`s, the unified
 //!   `Estimate` record and the batch `Engine`
+//! * [`activity`] — per-net switching-activity estimation: node
+//!   accumulators, per-node stopping sessions and spatial power breakdowns
 //!
 //! # Quick start
 //!
@@ -56,6 +58,7 @@
 //! For incremental progress and cancellation, open a session directly — see
 //! the `quickstart` example and [`dipe::EstimationSession`].
 
+pub use activity;
 pub use dipe;
 pub use logicsim;
 pub use markov;

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests of the per-node activity subsystem: the
+//! breakdown session on real benchmarks, its consistency with the scalar
+//! power estimate, and its integration with the batch engine.
+
+use std::sync::Arc;
+
+use activity::{BreakdownEstimator, ConvergenceTarget};
+use dipe::input::InputModel;
+use dipe::{run_to_completion, DipeConfig, Engine, Estimate, EstimationJob, PowerEstimator};
+use netlist::iscas89;
+use seqstats::NodeStoppingPolicy;
+
+/// A relaxed per-node spec keeping debug-mode runtime small; the CI workflow
+/// exercises the default spec on s27/s298/s1494 through the release CLI.
+fn relaxed_policy() -> NodeStoppingPolicy {
+    NodeStoppingPolicy::new(0.15, 0.90, 5, 0.10, 64)
+}
+
+fn run_per_node(name: &str, policy: NodeStoppingPolicy) -> Estimate {
+    let circuit = iscas89::load(name).unwrap();
+    let config = DipeConfig::default().with_seed(1997);
+    run_to_completion(
+        BreakdownEstimator::new(policy, ConvergenceTarget::NodeBreakdown)
+            .start(&circuit, &config, &InputModel::uniform(), 0)
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+fn assert_converged_and_consistent(name: &str, estimate: &Estimate) {
+    let node = estimate
+        .node_diagnostics()
+        .unwrap_or_else(|| panic!("{name}: wrong diagnostics"));
+    let (node_decision, breakdown, selection) =
+        (&node.node_decision, &node.breakdown, &node.selection);
+    assert!(node_decision.satisfied, "{name}: {node_decision:?}");
+    assert!(node_decision.relative_nets >= 1, "{name}");
+    assert!(
+        node_decision.worst_relative_half_width < 0.15,
+        "{name}: worst rhw {}",
+        node_decision.worst_relative_half_width
+    );
+    assert!(selection.trials.last().unwrap().accepted, "{name}");
+    // The acceptance contract: the capacitance-weighted per-net activities
+    // sum to the session's total-power estimate (they share every measured
+    // cycle, so the bound is floating-point association, far inside 1 %).
+    let gap = (breakdown.total_power_w() - estimate.mean_power_w).abs() / estimate.mean_power_w;
+    assert!(gap < 1e-9, "{name}: breakdown total diverges by {gap}");
+    assert_eq!(breakdown.observations() as usize, estimate.sample_size);
+}
+
+#[test]
+fn per_node_stopping_converges_on_s27() {
+    let estimate = run_per_node("s27", relaxed_policy());
+    assert_converged_and_consistent("s27", &estimate);
+}
+
+#[test]
+fn per_node_stopping_converges_on_s298() {
+    let estimate = run_per_node("s298", relaxed_policy());
+    assert_converged_and_consistent("s298", &estimate);
+    // s298's breakdown resolves a real spatial structure: the top net is a
+    // strict hot spot, well above the median net power.
+    let breakdown = estimate.breakdown().unwrap();
+    let hot = breakdown.hot_spots(1)[0];
+    let total = breakdown.total_power_w();
+    assert!(hot.power_w > total / breakdown.per_net().len() as f64 * 3.0);
+}
+
+/// The default-spec s1494 run of the acceptance criterion. Ignored by
+/// default because the event-driven measurement cycles are slow without
+/// optimisation; run with `cargo test --release -- --ignored`, or see the CI
+/// workflow's `dipe` CLI smoke which performs the same run on every push.
+#[test]
+#[ignore = "release-speed run; covered by the CI dipe CLI smoke"]
+fn per_node_stopping_converges_on_s1494() {
+    let estimate = run_per_node("s1494", NodeStoppingPolicy::default_spec());
+    assert_converged_and_consistent("s1494", &estimate);
+}
+
+#[test]
+fn breakdown_jobs_run_through_the_engine() {
+    let circuit = Arc::new(iscas89::load("s27").unwrap());
+    let config = DipeConfig::default().with_seed(5);
+    let jobs = vec![
+        EstimationJob::new(
+            "s27/breakdown-total",
+            circuit.clone(),
+            Box::new(BreakdownEstimator::total_power()),
+            config.clone(),
+            InputModel::uniform(),
+        ),
+        EstimationJob::new(
+            "s27/breakdown-node",
+            circuit.clone(),
+            Box::new(BreakdownEstimator::new(
+                relaxed_policy(),
+                ConvergenceTarget::NodeBreakdown,
+            )),
+            config.clone(),
+            InputModel::uniform(),
+        ),
+    ];
+    let outcomes = Engine::new().run(jobs);
+    assert_eq!(outcomes.len(), 2);
+    for outcome in &outcomes {
+        let estimate = outcome.result.as_ref().unwrap();
+        let breakdown = estimate.breakdown().unwrap();
+        assert_eq!(breakdown.per_net().len(), circuit.num_nets());
+        assert!(breakdown.total_power_w() > 0.0);
+    }
+    // The total-power-target job meets the scalar DIPE accuracy spec.
+    let total_job = outcomes[0].result.as_ref().unwrap();
+    assert!(total_job.relative_half_width.unwrap() < config.relative_error);
+}
+
+#[test]
+fn breakdown_estimate_agrees_with_scalar_dipe() {
+    // Same circuit, same seed: the breakdown session's sampling phase visits
+    // different cycles than plain DIPE only through its own stopping rule,
+    // so the two estimates must agree within their joint confidence bands —
+    // a loose 3-sigma-ish sanity bound, not a statistical test.
+    let circuit = iscas89::load("s298").unwrap();
+    let config = DipeConfig::default().with_seed(7);
+    let dipe_estimate = run_to_completion(
+        dipe::DipeEstimator::new()
+            .start(&circuit, &config, &InputModel::uniform(), 0)
+            .unwrap(),
+    )
+    .unwrap();
+    let spatial = run_to_completion(
+        BreakdownEstimator::total_power()
+            .start(&circuit, &config, &InputModel::uniform(), 0)
+            .unwrap(),
+    )
+    .unwrap();
+    let gap =
+        (spatial.mean_power_w - dipe_estimate.mean_power_w).abs() / dipe_estimate.mean_power_w;
+    assert!(gap < 0.15, "estimates diverge by {gap}");
+}
