@@ -1,6 +1,6 @@
 //! Streaming per-net activity accumulation over sampled cycles.
 
-use logicsim::{CycleActivity, WordActivity, LANES};
+use logicsim::{CycleActivity, GlitchActivity, WordActivity, LANES};
 use netlist::{Circuit, NetId};
 
 /// Folds per-cycle transition records into per-net switching-activity
@@ -20,6 +20,10 @@ pub struct NodeActivityAccumulator {
     totals: Vec<u64>,
     /// Per-net Σ nᵢ² over all observations.
     totals_sq: Vec<u64>,
+    /// Per-net Σ gᵢ (glitch transitions) over all observations. Stays zero
+    /// when the folded records carry no glitch decomposition (zero-delay
+    /// backends).
+    glitch_totals: Vec<u64>,
 }
 
 impl NodeActivityAccumulator {
@@ -29,6 +33,7 @@ impl NodeActivityAccumulator {
             observations: 0,
             totals: vec![0; num_nets],
             totals_sq: vec![0; num_nets],
+            glitch_totals: vec![0; num_nets],
         }
     }
 
@@ -92,6 +97,39 @@ impl NodeActivityAccumulator {
         }
     }
 
+    /// Adds one glitch-decomposed measured cycle (the record the delay-aware
+    /// [`logicsim::EventDrivenSimulator`] produces): the *total* counts feed
+    /// the per-net moment sums exactly like [`add_cycle`](Self::add_cycle),
+    /// and the glitch component (`total − settled`) accumulates separately so
+    /// the estimate can split every net's activity into functional and glitch
+    /// parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the record does not match the net count.
+    pub fn add_glitch_cycle(&mut self, activity: &GlitchActivity) {
+        debug_assert_eq!(activity.total().per_net().len(), self.totals.len());
+        self.observations += 1;
+        for (((total, total_sq), glitch), (&n, &s)) in self
+            .totals
+            .iter_mut()
+            .zip(self.totals_sq.iter_mut())
+            .zip(self.glitch_totals.iter_mut())
+            .zip(
+                activity
+                    .total()
+                    .per_net()
+                    .iter()
+                    .zip(activity.settled().per_net()),
+            )
+        {
+            let n = u64::from(n);
+            *total += n;
+            *total_sq += n * n;
+            *glitch += n - u64::from(s);
+        }
+    }
+
     /// Merges another accumulator into this one (e.g. per-thread partials).
     ///
     /// # Panics
@@ -108,6 +146,9 @@ impl NodeActivityAccumulator {
             *a += b;
         }
         for (a, b) in self.totals_sq.iter_mut().zip(&other.totals_sq) {
+            *a += b;
+        }
+        for (a, b) in self.glitch_totals.iter_mut().zip(&other.glitch_totals) {
             *a += b;
         }
     }
@@ -139,6 +180,35 @@ impl NodeActivityAccumulator {
         }
         let n = self.observations as f64;
         self.totals.iter().map(|&t| t as f64 / n).collect()
+    }
+
+    /// Total glitch transitions observed on one net (0 unless
+    /// glitch-decomposed records were folded).
+    pub fn glitch_transitions_on(&self, net: NetId) -> u64 {
+        self.glitch_totals[net.index()]
+    }
+
+    /// Total glitch transitions across all nets and all observations.
+    pub fn total_glitch_transitions(&self) -> u64 {
+        self.glitch_totals.iter().sum()
+    }
+
+    /// Mean glitch transitions per observed cycle for one net (0 when empty).
+    pub fn glitch_mean(&self, net: NetId) -> f64 {
+        if self.observations == 0 {
+            return 0.0;
+        }
+        self.glitch_totals[net.index()] as f64 / self.observations as f64
+    }
+
+    /// Dense per-net mean glitch transitions per cycle. All zeros when the
+    /// folded records carried no glitch decomposition.
+    pub fn glitch_means(&self) -> Vec<f64> {
+        if self.observations == 0 {
+            return vec![0.0; self.glitch_totals.len()];
+        }
+        let n = self.observations as f64;
+        self.glitch_totals.iter().map(|&t| t as f64 / n).collect()
     }
 
     /// Unbiased sample variance of one net's per-cycle transition count
@@ -237,6 +307,63 @@ mod tests {
             via_lanes.add_cycle(&word.lane_activity(lane));
         }
         assert_eq!(via_word, via_lanes);
+    }
+
+    #[test]
+    fn glitch_cycles_split_total_into_functional_and_glitch() {
+        let mut acc = NodeActivityAccumulator::new(2);
+        // Net 0: totals [3, 1], settled [1, 1] -> glitch [2, 0].
+        // Net 1: totals [2, 0], settled [0, 0] -> glitch [2, 0].
+        acc.add_glitch_cycle(&GlitchActivity::from_counts(
+            CycleActivity::from_counts(vec![3, 2]),
+            CycleActivity::from_counts(vec![1, 0]),
+        ));
+        acc.add_glitch_cycle(&GlitchActivity::from_counts(
+            CycleActivity::from_counts(vec![1, 0]),
+            CycleActivity::from_counts(vec![1, 0]),
+        ));
+        let n0 = NetId::from_index(0);
+        let n1 = NetId::from_index(1);
+        assert_eq!(acc.observations(), 2);
+        assert_eq!(acc.total_transitions_on(n0), 4);
+        assert_eq!(acc.glitch_transitions_on(n0), 2);
+        assert_eq!(acc.glitch_transitions_on(n1), 2);
+        assert_eq!(acc.total_glitch_transitions(), 4);
+        assert!((acc.glitch_mean(n0) - 1.0).abs() < 1e-15);
+        assert_eq!(acc.glitch_means(), vec![1.0, 1.0]);
+        // The total-count moments match a plain accumulator fed the totals,
+        // so glitch tracking never disturbs the existing estimates.
+        let mut plain = NodeActivityAccumulator::new(2);
+        plain.add_cycle(&CycleActivity::from_counts(vec![3, 2]));
+        plain.add_cycle(&CycleActivity::from_counts(vec![1, 0]));
+        assert_eq!(acc.means(), plain.means());
+        assert_eq!(acc.std_errors(), plain.std_errors());
+    }
+
+    #[test]
+    fn zero_delay_records_accumulate_no_glitch() {
+        let mut acc = NodeActivityAccumulator::new(3);
+        acc.add_cycle(&record(&[1, 0, 1]));
+        acc.add_word_cycle(&WordActivity::from_diff_words(vec![0b11, 0, 1]));
+        assert_eq!(acc.total_glitch_transitions(), 0);
+        assert_eq!(acc.glitch_means(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn merge_combines_glitch_totals() {
+        let mut left = NodeActivityAccumulator::new(1);
+        left.add_glitch_cycle(&GlitchActivity::from_counts(
+            CycleActivity::from_counts(vec![3]),
+            CycleActivity::from_counts(vec![1]),
+        ));
+        let mut right = NodeActivityAccumulator::new(1);
+        right.add_glitch_cycle(&GlitchActivity::from_counts(
+            CycleActivity::from_counts(vec![2]),
+            CycleActivity::from_counts(vec![0]),
+        ));
+        left.merge(&right);
+        assert_eq!(left.glitch_transitions_on(NetId::from_index(0)), 4);
+        assert_eq!(left.observations(), 2);
     }
 
     #[test]

@@ -231,6 +231,7 @@ impl<'c> BreakdownSession<'c> {
             self.sampler.calculator().loads(),
             &self.accumulator.means(),
             &self.accumulator.std_errors(),
+            &self.accumulator.glitch_means(),
             self.accumulator.observations(),
         );
         let criterion = match self.target {
@@ -322,7 +323,7 @@ impl EstimationSession for BreakdownSession<'_> {
                         }
                         let accumulator = &mut self.accumulator;
                         let power_w = self.sampler.sample_power_w_observing(interval, |activity| {
-                            accumulator.add_cycle(activity)
+                            accumulator.add_glitch_cycle(activity)
                         });
                         let State::Sampling {
                             sample,

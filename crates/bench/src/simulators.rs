@@ -14,7 +14,13 @@
 //!   transition counting *and* per-net activity accumulation
 //!   ([`activity::NodeActivityAccumulator`]) folded in every cycle, so the
 //!   cost of node-resolved estimation over plain state advancement is
-//!   visible in the same table.
+//!   visible in the same table;
+//! * `event_driven(measure)` / `variable_delay(measure)` — the two
+//!   delay-aware *measurement* backends under the default fanout-loaded
+//!   delay model, measuring every cycle (the estimator only measures one
+//!   cycle per sample, so these rows bound the per-measurement cost): the
+//!   compiled timing-wheel [`EventDrivenSimulator`] versus the interpreted
+//!   heap-based [`VariableDelaySimulator`].
 //!
 //! Throughput is reported in **aggregate lane-cycles per second** (simulated
 //! clock cycles × concurrent replications ÷ wall time), the figure of merit
@@ -31,7 +37,10 @@ use std::time::Instant;
 
 use activity::NodeActivityAccumulator;
 use dipe::input::{InputModel, InputStream};
-use logicsim::{pack_lane_bit, BitParallelSimulator, CompiledSimulator, ZeroDelaySimulator, LANES};
+use logicsim::{
+    pack_lane_bit, BitParallelSimulator, CompiledSimulator, DelayModel, EventDrivenSimulator,
+    VariableDelaySimulator, ZeroDelaySimulator, LANES,
+};
 use netlist::{iscas89, Circuit};
 
 /// One backend × circuit measurement.
@@ -175,7 +184,47 @@ fn ablate_circuit(
     );
     assert_eq!(word_accumulator.observations(), (cycles * LANES) as u64);
 
+    // Delay-aware measurement backends: every cycle is a measured cycle
+    // (previous stable values from a compiled zero-delay companion, then one
+    // event-driven settle with glitch counting).
+    let measure_cycles = (cycles / 10).max(1);
+    let mut state = CompiledSimulator::new(circuit);
+    let mut event_driven = EventDrivenSimulator::new(circuit, DelayModel::default());
+    let mut stream = uniform_stream(circuit, seed);
+    let mut prev = vec![false; circuit.num_nets()];
+    let started = Instant::now();
+    for _ in 0..measure_cycles {
+        stream.next_pattern_into(&mut pattern);
+        prev.copy_from_slice(state.values());
+        event_driven.simulate_cycle(&prev, &pattern);
+        state.step_state_only(&pattern);
+    }
+    let event_driven_elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(
+        event_driven.stable_values(),
+        state.values(),
+        "{name}: event-driven backend diverged from the compiled simulator"
+    );
+
+    let mut state = CompiledSimulator::new(circuit);
+    let mut variable_delay = VariableDelaySimulator::new(circuit, DelayModel::default());
+    let mut stream = uniform_stream(circuit, seed);
+    let started = Instant::now();
+    for _ in 0..measure_cycles {
+        stream.next_pattern_into(&mut pattern);
+        prev.copy_from_slice(state.values());
+        variable_delay.simulate_cycle(&prev, &pattern);
+        state.step_state_only(&pattern);
+    }
+    let variable_delay_elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(
+        variable_delay.stable_values(),
+        state.values(),
+        "{name}: variable-delay backend diverged from the compiled simulator"
+    );
+
     let rate = |lanes: u64, elapsed: f64| cycles as f64 * lanes as f64 / elapsed.max(1e-12);
+    let measure_rate = |elapsed: f64| measure_cycles as f64 / elapsed.max(1e-12);
     let baseline = rate(1, zero_delay_elapsed);
     let row = |backend: &'static str, lanes: u64, elapsed: f64| SimulatorBenchRow {
         circuit: name.to_string(),
@@ -185,6 +234,15 @@ fn ablate_circuit(
         elapsed_seconds: elapsed,
         lane_cycles_per_sec: rate(lanes, elapsed),
         speedup_vs_zero_delay: rate(lanes, elapsed) / baseline,
+    };
+    let measure_row = |backend: &'static str, elapsed: f64| SimulatorBenchRow {
+        circuit: name.to_string(),
+        backend,
+        cycles: measure_cycles as u64,
+        lanes: 1,
+        elapsed_seconds: elapsed,
+        lane_cycles_per_sec: measure_rate(elapsed),
+        speedup_vs_zero_delay: measure_rate(elapsed) / baseline,
     };
     vec![
         row("zero_delay", 1, zero_delay_elapsed),
@@ -196,6 +254,8 @@ fn ablate_circuit(
             LANES as u64,
             bit_parallel_accum_elapsed,
         ),
+        measure_row("event_driven(measure)", event_driven_elapsed),
+        measure_row("variable_delay(measure)", variable_delay_elapsed),
     ]
 }
 
@@ -258,20 +318,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ablation_produces_five_rows_per_circuit() {
+    fn ablation_produces_seven_rows_per_circuit() {
         let rows = run_simulator_ablation(&["s27".into(), "nope".into()], 2_000, 9);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 7);
         assert_eq!(rows[0].backend, "zero_delay");
         assert_eq!(rows[1].backend, "compiled");
         assert_eq!(rows[2].backend, "bit_parallel");
         assert_eq!(rows[3].backend, "compiled+accum");
         assert_eq!(rows[4].backend, "bit_parallel+accum");
+        assert_eq!(rows[5].backend, "event_driven(measure)");
+        assert_eq!(rows[6].backend, "variable_delay(measure)");
         assert_eq!(rows[2].lanes, 64);
         assert_eq!(rows[3].lanes, 1);
         assert_eq!(rows[4].lanes, 64);
+        assert_eq!(rows[5].lanes, 1);
+        for row in &rows[..5] {
+            assert_eq!(row.cycles, 2_000);
+        }
+        for row in &rows[5..] {
+            assert_eq!(row.cycles, 200, "measurement rows run cycles/10");
+        }
         for row in &rows {
             assert_eq!(row.circuit, "s27");
-            assert_eq!(row.cycles, 2_000);
             assert!(row.lane_cycles_per_sec > 0.0);
             assert!(row.speedup_vs_zero_delay > 0.0);
         }

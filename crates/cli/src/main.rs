@@ -7,9 +7,16 @@
 //! dipe s1494                         # total average power (DIPE)
 //! dipe s1494 --lanes 16              # 16 replicated runs on the 64-lane backend
 //! dipe s1494 --breakdown             # per-net activity + power, per-node stopping
-//! dipe s1494 --breakdown --target total --json report.json
-//! dipe path/to/custom.bench --breakdown --top 20
+//! dipe s1494 --breakdown --delay-model unit --json report.json
+//! dipe path/to/custom.bench --breakdown --top 20 --delay-model random:7
 //! ```
+//!
+//! `--delay-model` selects the gate delays of the event-driven measurement
+//! backend (`zero`, `unit[:<ps>]`, `fanout` — the default — or
+//! `random:<seed>`); decorrelation cycles always run the fast compiled
+//! zero-delay path regardless. Glitch power (transitions that exist only
+//! because of unequal path delays) is decomposed per net and reported in the
+//! breakdown tables and the JSON export.
 //!
 //! `--breakdown` produces the spatial report: per-net switching activity with
 //! confidence intervals, mapped through the load capacitances to per-net and
@@ -26,13 +33,14 @@ use dipe::report::TextTable;
 use dipe::{
     run_replicated_dipe, CycleBudget, DipeConfig, DipeEstimator, Estimate, PowerEstimator, Progress,
 };
-use netlist::{bench_format, iscas89, Circuit};
+use netlist::{bench_format, iscas89, Circuit, DelayModel};
 use seqstats::NodeStoppingPolicy;
 
 struct Options {
     circuit: String,
     breakdown: bool,
     target: ConvergenceTarget,
+    delay_model: DelayModel,
     lanes: usize,
     top: usize,
     seed: u64,
@@ -53,6 +61,7 @@ impl Default for Options {
             circuit: String::new(),
             breakdown: false,
             target: ConvergenceTarget::NodeBreakdown,
+            delay_model: DelayModel::default(),
             lanes: 1,
             top: 10,
             seed: 1997,
@@ -78,6 +87,13 @@ modes:
   --breakdown             per-net activity + power breakdown
   --target node|total     breakdown convergence target (default: node)
 
+simulation:
+  --delay-model M         gate delays of the event-driven measurement backend:
+                          zero         no delays: functional counts, no glitches
+                          unit[:PS]    every gate PS picoseconds (default 100)
+                          fanout       200 ps + 80 ps per fanout (the default)
+                          random:SEED  per-gate uniform 60-340 ps from SEED
+
 accuracy:
   --error E               total-power max relative error (default 0.05)
   --confidence C          total-power confidence (default 0.99)
@@ -92,6 +108,41 @@ output:
   --seed N                RNG seed (default 1997)
   --quiet                 suppress progress lines"
         .to_string()
+}
+
+fn parse_delay_model(value: &str) -> Result<DelayModel, String> {
+    if let Some(rest) = value.strip_prefix("random:") {
+        let seed: u64 = rest
+            .parse()
+            .map_err(|e| format!("--delay-model random:<seed>: {e}"))?;
+        return Ok(DelayModel::random(seed));
+    }
+    if let Some(rest) = value.strip_prefix("unit:") {
+        let ps: u64 = rest
+            .parse()
+            .map_err(|e| format!("--delay-model unit:<ps>: {e}"))?;
+        if ps == 0 {
+            return Err("--delay-model unit:<ps> requires ps >= 1 (use `zero` instead)".into());
+        }
+        // The event-driven timing wheel allocates one bucket per picosecond
+        // of critical path; bound the per-gate delay so a typo cannot
+        // request a multi-gigabyte wheel. 10 ns/gate is far beyond any
+        // physical gate at the paper's technology node.
+        if ps > 10_000 {
+            return Err(format!(
+                "--delay-model unit:<ps> supports at most 10000 ps per gate, got {ps}"
+            ));
+        }
+        return Ok(DelayModel::Unit(ps));
+    }
+    match value {
+        "zero" => Ok(DelayModel::Zero),
+        "unit" => Ok(DelayModel::Unit(100)),
+        "fanout" => Ok(DelayModel::default()),
+        other => Err(format!(
+            "--delay-model must be zero|unit[:<ps>]|fanout|random:<seed>, got `{other}`"
+        )),
+    }
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -112,6 +163,9 @@ fn parse_options() -> Result<Options, String> {
                     "total" => ConvergenceTarget::TotalPower,
                     other => return Err(format!("--target must be node|total, got `{other}`")),
                 }
+            }
+            "--delay-model" => {
+                options.delay_model = parse_delay_model(&take_value("--delay-model")?)?;
             }
             "--lanes" => {
                 options.lanes = take_value("--lanes")?
@@ -238,9 +292,10 @@ fn run_session(
     }
 }
 
-fn print_estimate_summary(circuit: &Circuit, estimate: &Estimate) {
+fn print_estimate_summary(circuit: &Circuit, estimate: &Estimate, model: DelayModel) {
     println!("circuit {}: {}", circuit.name(), circuit.stats());
     println!("estimator: {}", estimate.estimator);
+    println!("delay model: {}", delay_model_label(model));
     println!(
         "average power: {:.4} mW (relative CI half-width {})",
         estimate.mean_power_mw(),
@@ -261,14 +316,34 @@ fn print_estimate_summary(circuit: &Circuit, estimate: &Estimate) {
     );
 }
 
-fn json_header(circuit: &Circuit, estimate: &Estimate) -> String {
+/// Stable machine-readable identifier of a delay model, carried in the JSON
+/// report so consumers can tell functional-only from glitch-aware runs.
+fn delay_model_id(model: DelayModel) -> String {
+    match model {
+        DelayModel::Zero => "zero".to_string(),
+        DelayModel::Unit(ps) => format!("unit:{ps}"),
+        DelayModel::FanoutLoaded {
+            base_ps,
+            per_fanout_ps,
+        } => format!("fanout:{base_ps}:{per_fanout_ps}"),
+        DelayModel::Random {
+            seed,
+            min_ps,
+            max_ps,
+        } => format!("random:{seed}:{min_ps}:{max_ps}"),
+    }
+}
+
+fn json_header(circuit: &Circuit, estimate: &Estimate, model: DelayModel) -> String {
     format!(
-        "  \"circuit\": \"{}\",\n  \"estimator\": \"{}\",\n  \"mean_power_w\": {:e},\n  \
+        "  \"circuit\": \"{}\",\n  \"estimator\": \"{}\",\n  \"delay_model\": \"{}\",\n  \
+         \"mean_power_w\": {:e},\n  \
          \"relative_half_width\": {},\n  \"sample_size\": {},\n  \
          \"independence_interval\": {},\n  \"zero_delay_cycles\": {},\n  \
          \"measured_cycles\": {},\n  \"elapsed_seconds\": {:.6}",
         circuit.name(),
         estimate.estimator,
+        delay_model_id(model),
         estimate.mean_power_w,
         estimate
             .relative_half_width
@@ -291,9 +366,12 @@ fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Resul
     }
     let estimate = run_session(&DipeEstimator::new(), circuit, config, options.quiet)
         .map_err(|e| e.to_string())?;
-    print_estimate_summary(circuit, &estimate);
+    print_estimate_summary(circuit, &estimate, options.delay_model);
     if let Some(path) = &options.json {
-        let json = format!("{{\n{}\n}}\n", json_header(circuit, &estimate));
+        let json = format!(
+            "{{\n{}\n}}\n",
+            json_header(circuit, &estimate, options.delay_model)
+        );
         std::fs::write(path, json).map_err(|e| format!("failed to write {path}: {e}"))?;
         println!("wrote {path}");
     }
@@ -338,6 +416,7 @@ fn run_replicated(options: &Options, circuit: &Circuit, config: &DipeConfig) -> 
         }
     }
     println!("circuit {}: {}", circuit.name(), circuit.stats());
+    println!("delay model: {}", delay_model_label(options.delay_model));
     println!(
         "{} replicated DIPE runs on the 64-lane bit-parallel backend:",
         options.lanes
@@ -353,6 +432,22 @@ fn run_replicated(options: &Options, circuit: &Circuit, config: &DipeConfig) -> 
     Ok(())
 }
 
+fn delay_model_label(model: DelayModel) -> String {
+    match model {
+        DelayModel::Zero => "zero".to_string(),
+        DelayModel::Unit(ps) => format!("unit ({ps} ps/gate)"),
+        DelayModel::FanoutLoaded {
+            base_ps,
+            per_fanout_ps,
+        } => format!("fanout-loaded ({base_ps} ps + {per_fanout_ps} ps/fanout)"),
+        DelayModel::Random {
+            seed,
+            min_ps,
+            max_ps,
+        } => format!("random (seed {seed}, {min_ps}-{max_ps} ps/gate)"),
+    }
+}
+
 fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Result<(), String> {
     let policy = NodeStoppingPolicy::new(
         options.node_relative_error,
@@ -364,7 +459,7 @@ fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> R
     let estimator = BreakdownEstimator::new(policy, options.target);
     let estimate =
         run_session(&estimator, circuit, config, options.quiet).map_err(|e| e.to_string())?;
-    print_estimate_summary(circuit, &estimate);
+    print_estimate_summary(circuit, &estimate, options.delay_model);
 
     let node = estimate
         .node_diagnostics()
@@ -398,14 +493,28 @@ fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> R
         estimate.mean_power_mw(),
         gap
     );
+    println!(
+        "glitch power: {:.4} mW ({:.1} % of total)",
+        breakdown.total_glitch_power_w() * 1e3,
+        100.0 * breakdown.glitch_fraction(),
+    );
 
     println!("\npower by driver class:");
-    let mut groups = TextTable::new(&["Class", "Nets", "Power (mW)", "Share (%)"]);
+    let mut groups = TextTable::new(&[
+        "Class",
+        "Nets",
+        "Power (mW)",
+        "Glitch (mW)",
+        "Glitch (%)",
+        "Share (%)",
+    ]);
     for group in breakdown.group_totals() {
         groups.add_row(&[
             group.class.label().to_string(),
             group.nets.to_string(),
             format!("{:.4}", group.power_w * 1e3),
+            format!("{:.4}", group.glitch_power_w * 1e3),
+            format!("{:.1}", 100.0 * group.glitch_fraction()),
             format!(
                 "{:.1}",
                 100.0 * group.power_w / total.max(f64::MIN_POSITIVE)
@@ -421,8 +530,10 @@ fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> R
         "Driver",
         "Activity (tr/cyc)",
         "±SE",
+        "Glitch (tr/cyc)",
         "C (fF)",
         "Power (µW)",
+        "Glitch (µW)",
         "Share (%)",
     ]);
     for (rank, net) in breakdown.hot_spots(options.top).iter().enumerate() {
@@ -432,17 +543,42 @@ fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> R
             net.driver.label().to_string(),
             format!("{:.4}", net.activity),
             format!("{:.4}", net.activity_std_error),
+            format!("{:.4}", net.glitch_activity),
             format!("{:.1}", net.capacitance_f * 1e15),
             format!("{:.3}", net.power_w * 1e6),
+            format!("{:.3}", net.glitch_power_w * 1e6),
             format!("{:.1}", 100.0 * net.power_w / total.max(f64::MIN_POSITIVE)),
         ]);
     }
     println!("{hot}");
 
+    if breakdown.total_glitch_power_w() > 0.0 {
+        println!("top {} glitch nets (ranked by glitch power):", options.top);
+        let mut glitchy = TextTable::new(&[
+            "#",
+            "Net",
+            "Driver",
+            "Glitch (tr/cyc)",
+            "Glitch (µW)",
+            "Glitch share of net (%)",
+        ]);
+        for (rank, net) in breakdown.glitch_hot_spots(options.top).iter().enumerate() {
+            glitchy.add_row(&[
+                (rank + 1).to_string(),
+                net.name.clone(),
+                net.driver.label().to_string(),
+                format!("{:.4}", net.glitch_activity),
+                format!("{:.3}", net.glitch_power_w * 1e6),
+                format!("{:.1}", 100.0 * net.glitch_fraction()),
+            ]);
+        }
+        println!("{glitchy}");
+    }
+
     if let Some(path) = &options.json {
         let json = format!(
             "{{\n{},\n  \"breakdown_total_power_w\": {:e},\n  \"breakdown\": {}}}\n",
-            json_header(circuit, &estimate),
+            json_header(circuit, &estimate, options.delay_model),
             total,
             breakdown.to_json()
         );
@@ -469,7 +605,8 @@ fn main() -> ExitCode {
     };
     let config = DipeConfig::default()
         .with_seed(options.seed)
-        .with_accuracy(options.relative_error, options.confidence);
+        .with_accuracy(options.relative_error, options.confidence)
+        .with_delay_model(options.delay_model);
     let outcome = if options.breakdown {
         run_breakdown(&options, &circuit, &config)
     } else {

@@ -1,0 +1,166 @@
+//! Smoke tests of the `dipe` binary's flag surface, run in CI as part of
+//! `cargo test`:
+//!
+//! * `--help` must document every flag the parser accepts (adding a flag
+//!   without documenting it fails here);
+//! * bad flag values and invalid flag combinations must exit non-zero with a
+//!   one-line diagnostic on stderr, never a panic or a silent success.
+
+use std::process::{Command, Output};
+
+fn dipe(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dipe"))
+        .args(args)
+        .output()
+        .expect("the dipe binary runs")
+}
+
+/// Every flag the CLI parser accepts. Keep in sync with `parse_options` in
+/// `src/main.rs` — the test fails when a flag is added without updating the
+/// help text (and this list forces the list itself to be updated too,
+/// because unknown flags error out in the combination tests below).
+const FLAGS: &[&str] = &[
+    "--breakdown",
+    "--target",
+    "--delay-model",
+    "--lanes",
+    "--top",
+    "--seed",
+    "--error",
+    "--confidence",
+    "--node-error",
+    "--node-confidence",
+    "--top-k",
+    "--activity-floor",
+    "--json",
+    "--quiet",
+];
+
+#[test]
+fn help_documents_every_flag_and_exits_zero() {
+    let output = dipe(&["--help"]);
+    assert!(output.status.success(), "--help must exit 0");
+    let help = String::from_utf8(output.stdout).unwrap();
+    for flag in FLAGS {
+        assert!(
+            help.contains(flag),
+            "--help does not document `{flag}`:\n{help}"
+        );
+    }
+    // The delay-model values are spelled out.
+    for value in ["zero", "unit", "fanout", "random:"] {
+        assert!(
+            help.contains(value),
+            "--help does not document delay model `{value}`:\n{help}"
+        );
+    }
+}
+
+/// Asserts a bad invocation exits non-zero with a short stderr diagnostic
+/// (and that the diagnostic is a usage error, not a panic backtrace).
+fn assert_usage_error(args: &[&str]) {
+    let output = dipe(args);
+    assert!(!output.status.success(), "{args:?} must fail, but exited 0");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "{args:?} should exit with the usage-error code"
+    );
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(!stderr.trim().is_empty(), "{args:?} printed no diagnostic");
+    assert!(
+        !stderr.contains("panicked"),
+        "{args:?} panicked instead of reporting a usage error:\n{stderr}"
+    );
+}
+
+#[test]
+fn missing_circuit_is_a_usage_error() {
+    assert_usage_error(&[]);
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    assert_usage_error(&["s27", "--no-such-flag"]);
+}
+
+#[test]
+fn bad_flag_values_are_rejected() {
+    assert_usage_error(&["s27", "--lanes", "0"]);
+    assert_usage_error(&["s27", "--lanes", "65"]);
+    assert_usage_error(&["s27", "--lanes", "many"]);
+    assert_usage_error(&["s27", "--target", "sideways"]);
+    assert_usage_error(&["s27", "--seed"]); // value missing
+    assert_usage_error(&["s27", "--node-error", "1.5"]);
+    assert_usage_error(&["s27", "--node-confidence", "0"]);
+    assert_usage_error(&["s27", "--top-k", "0"]);
+    assert_usage_error(&["s27", "--activity-floor", "-1"]);
+}
+
+#[test]
+fn bad_delay_models_are_rejected() {
+    assert_usage_error(&["s27", "--delay-model", "warp"]);
+    assert_usage_error(&["s27", "--delay-model", "random:"]);
+    assert_usage_error(&["s27", "--delay-model", "random:notanumber"]);
+    assert_usage_error(&["s27", "--delay-model", "unit:0"]);
+    assert_usage_error(&["s27", "--delay-model", "unit:fast"]);
+    // Above the per-gate cap: must be a usage error, not an OOM-sized
+    // timing-wheel allocation.
+    assert_usage_error(&["s27", "--delay-model", "unit:1000000000"]);
+    assert_usage_error(&["s27", "--delay-model", "unit:18446744073709551615"]);
+    assert_usage_error(&["s27", "--delay-model"]); // value missing
+}
+
+#[test]
+fn invalid_flag_combinations_are_rejected() {
+    assert_usage_error(&["s27", "--lanes", "2", "--breakdown"]);
+    assert_usage_error(&["s27", "--lanes", "2", "--json", "out.json"]);
+}
+
+#[test]
+fn unknown_circuits_fail_with_exit_one() {
+    let output = dipe(&["not_a_circuit"]);
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("failed to load"), "stderr: {stderr}");
+}
+
+#[test]
+fn json_reports_identify_their_delay_model() {
+    let path = std::env::temp_dir().join(format!("dipe_smoke_{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let output = dipe(&[
+        "s27",
+        "--quiet",
+        "--delay-model",
+        "unit:70",
+        "--json",
+        path_str,
+    ]);
+    assert!(
+        output.status.success(),
+        "json run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        json.contains("\"delay_model\": \"unit:70\""),
+        "report does not identify its delay model:\n{json}"
+    );
+}
+
+#[test]
+fn tiny_total_run_succeeds_under_every_delay_model() {
+    for model in ["zero", "unit", "unit:50", "fanout", "random:3"] {
+        let output = dipe(&["s27", "--quiet", "--delay-model", model]);
+        assert!(
+            output.status.success(),
+            "s27 --delay-model {model} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8(output.stdout).unwrap();
+        assert!(stdout.contains("average power"), "stdout: {stdout}");
+        assert!(stdout.contains("delay model"), "stdout: {stdout}");
+    }
+}

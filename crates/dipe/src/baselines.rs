@@ -9,7 +9,7 @@
 //!   long-simulation reference demonstrates the accuracy claim that motivates
 //!   DIPE.
 //! * [`FixedWarmupEstimator`] — a Chou–Roy style Monte-Carlo estimator
-//!   (ref. [9]): statistically sound (each sample is preceded by a long fixed
+//!   (ref. \[9]): statistically sound (each sample is preceded by a long fixed
 //!   warm-up, so samples are essentially independent draws from the
 //!   stationary process), but pessimistic — the warm-up is chosen a priori
 //!   without looking at the circuit, so it simulates one to two orders of

@@ -11,10 +11,10 @@ use crate::error::DipeError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CriterionKind {
     /// The parametric criterion based on the central limit theorem
-    /// (refs. [1] and [11] of the paper). Default for the reproduction tables.
+    /// (refs. \[1] and \[11] of the paper). Default for the reproduction tables.
     Normal,
     /// A distribution-free criterion built on the binomial confidence
-    /// interval for the median (order statistics), standing in for ref. [7].
+    /// interval for the median (order statistics), standing in for ref. \[7].
     OrderStatistic,
     /// A conservative distribution-free criterion based on the
     /// Dvoretzky–Kiefer–Wolfowitz bound.

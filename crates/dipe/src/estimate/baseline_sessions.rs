@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use logicsim::{CompiledSimulator, VariableDelaySimulator};
+use logicsim::{CompiledSimulator, EventDrivenSimulator};
 use netlist::Circuit;
 use power::PowerCalculator;
 use rand::rngs::StdRng;
@@ -190,7 +190,7 @@ pub(crate) struct DecoupledSession<'c> {
     characterization_cycles: usize,
     samples: usize,
     zero: CompiledSimulator<'c>,
-    full: VariableDelaySimulator<'c>,
+    full: EventDrivenSimulator<'c>,
     calculator: PowerCalculator,
     stream: InputStream,
     rng: StdRng,
@@ -223,7 +223,7 @@ impl<'c> DecoupledSession<'c> {
             characterization_cycles,
             samples,
             zero: CompiledSimulator::new(circuit),
-            full: VariableDelaySimulator::new(circuit, config.delay_model),
+            full: EventDrivenSimulator::new(circuit, config.delay_model),
             calculator: PowerCalculator::new(circuit, config.technology, &config.capacitance),
             stream,
             rng: StdRng::seed_from_u64(base_seed ^ 0xDECA_F001),
@@ -303,7 +303,7 @@ impl EstimationSession for DecoupledSession<'_> {
                         self.zero.reset_to(&state, &self.pattern);
                         self.prev.copy_from_slice(self.zero.values());
                         let activity = self.full.simulate_cycle(&self.prev, &self.next_pattern);
-                        *sum += self.calculator.cycle_power_w(&activity);
+                        *sum += self.calculator.cycle_power_w(activity.total());
                         self.counts.measured_cycles += 1;
                         *drawn += 1;
                     }

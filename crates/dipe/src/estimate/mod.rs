@@ -261,6 +261,32 @@ impl Estimate {
 /// supplied to [`start`](Self::start). `Send + Sync` is required so the batch
 /// [`Engine`](crate::engine::Engine) can share estimators across worker
 /// threads.
+///
+/// # Example
+///
+/// A complete end-to-end estimate on a tiny inline `.bench` netlist — a
+/// 1-bit toggle register with an XOR next-state function:
+///
+/// ```
+/// use dipe::input::InputModel;
+/// use dipe::{run_to_completion, DipeConfig, DipeEstimator, PowerEstimator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = netlist::bench_format::parse(
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(a, q)\ny = NAND(b, q)\n",
+///     "toggle",
+/// )?;
+/// let config = DipeConfig::default()
+///     .with_seed(7)
+///     .with_warmup_cycles(32)
+///     .with_accuracy(0.2, 0.9);
+/// let session = DipeEstimator::new().start(&circuit, &config, &InputModel::uniform(), 0)?;
+/// let estimate = run_to_completion(session)?;
+/// assert!(estimate.mean_power_w > 0.0);
+/// assert!(estimate.independence_interval().is_some());
+/// # Ok(())
+/// # }
+/// ```
 pub trait PowerEstimator: Send + Sync {
     /// Human-readable estimator name, used in reports and [`Estimate`]s.
     fn name(&self) -> String;
@@ -294,6 +320,37 @@ pub trait PowerEstimator: Send + Sync {
 /// reports progress. After `Done` is returned, further calls keep returning
 /// the same `Done` value; after an error, further calls keep returning the
 /// same error.
+///
+/// # Example
+///
+/// Stepping a session in small budget slices on a tiny inline `.bench`
+/// circuit — the result is identical to a blocking run:
+///
+/// ```
+/// use dipe::input::InputModel;
+/// use dipe::{CycleBudget, DipeConfig, DipeEstimator, PowerEstimator, Progress};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = netlist::bench_format::parse(
+///     "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(a, q)\ny = NOT(q)\n",
+///     "tiny",
+/// )?;
+/// let config = DipeConfig::default()
+///     .with_seed(3)
+///     .with_warmup_cycles(32)
+///     .with_accuracy(0.2, 0.9);
+/// let mut session =
+///     DipeEstimator::new().start(&circuit, &config, &InputModel::uniform(), 0)?;
+/// let estimate = loop {
+///     match session.step(CycleBudget::cycles(500))? {
+///         Progress::Running { cycles_done, .. } => assert!(cycles_done > 0),
+///         Progress::Done(estimate) => break estimate,
+///     }
+/// };
+/// assert!(estimate.sample_size >= 64);
+/// # Ok(())
+/// # }
+/// ```
 pub trait EstimationSession {
     /// Name of the estimator driving this session.
     fn estimator(&self) -> &str;

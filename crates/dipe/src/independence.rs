@@ -94,7 +94,7 @@ impl IntervalSelector {
         self.interval
     }
 
-    /// Feeds one power observation (drawn at [`current_interval`]
+    /// Feeds one power observation (drawn at [`current_interval`](Self::current_interval)
     /// decorrelation cycles) into the procedure — the push-based core shared
     /// by the pull-driven [`advance`](Self::advance) and the lane-parallel
     /// replicated runner, which interleaves many selectors over one shared

@@ -15,6 +15,34 @@ use crate::error::DipeError;
 
 /// A statistical model of the primary-input patterns applied to the circuit,
 /// one pattern per clock cycle.
+///
+/// # Example
+///
+/// Driving a complete estimate of a tiny inline `.bench` circuit with a
+/// biased independent input model (every input high 30 % of the time):
+///
+/// ```
+/// use dipe::input::InputModel;
+/// use dipe::{run_to_completion, DipeConfig, DipeEstimator, PowerEstimator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = netlist::bench_format::parse(
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(a, q)\ny = OR(b, q)\n",
+///     "biased",
+/// )?;
+/// let model = InputModel::independent(0.3);
+/// // A model must fit the circuit: one probability stream per input.
+/// model.validate(&circuit)?;
+/// let config = DipeConfig::default()
+///     .with_seed(11)
+///     .with_warmup_cycles(32)
+///     .with_accuracy(0.2, 0.9);
+/// let estimate =
+///     run_to_completion(DipeEstimator::new().start(&circuit, &config, &model, 0)?)?;
+/// assert!(estimate.mean_power_w > 0.0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum InputModel {
     /// Every input is an independent Bernoulli(`p_one`) variable each cycle

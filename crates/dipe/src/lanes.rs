@@ -10,7 +10,7 @@
 //!
 //! [`run_replicated_dipe`] maps each run onto a lane: every shared clock
 //! cycle draws one input pattern per live lane (deterministic per-lane
-//! seeding, identical to the scalar [`PowerSampler`]'s stream), packs the
+//! seeding, identical to the scalar [`crate::PowerSampler`]'s stream), packs the
 //! patterns into words and steps all lanes at once. A lane that reaches a
 //! sampling cycle projects its previous stable values out of the words,
 //! measures that one cycle with the scalar general-delay simulator (glitch
@@ -28,7 +28,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use logicsim::{pack_lane_bit, BitParallelSimulator, VariableDelaySimulator, LANES};
+use logicsim::{pack_lane_bit, BitParallelSimulator, EventDrivenSimulator, LANES};
 use netlist::Circuit;
 use power::PowerCalculator;
 use seqstats::StoppingCriterion;
@@ -150,7 +150,7 @@ pub fn run_replicated_dipe_cancellable(
         .collect::<Result<Vec<Lane>, DipeError>>()?;
 
     let mut sim = BitParallelSimulator::new(circuit);
-    let mut full = VariableDelaySimulator::new(circuit, config.delay_model);
+    let mut full = EventDrivenSimulator::new(circuit, config.delay_model);
     let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
 
     let mut pattern = vec![false; circuit.num_primary_inputs()];
@@ -182,7 +182,7 @@ pub fn run_replicated_dipe_cancellable(
                 // stable values the event-driven simulator settles to.
                 sim.lane_values_into(lane_index, &mut prev);
                 let activity = full.simulate_cycle(&prev, &pattern);
-                let power_w = calculator.cycle_power_w(&activity);
+                let power_w = calculator.cycle_power_w(activity.total());
                 lane.counts.measured_cycles += 1;
                 record_measurement(lane, power_w, config, &estimator_name, &started);
             } else {

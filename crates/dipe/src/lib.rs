@@ -19,7 +19,7 @@
 //!    ([`estimator`]).
 //!
 //! The crate also contains the comparison points used in the paper's
-//! discussion: the brute-force long-simulation reference ([`reference`], the
+//! discussion: the brute-force long-simulation reference ([`mod@reference`], the
 //! `SIM` column of Table 1), a decoupled estimator that ignores latch
 //! correlations, and a fixed conservative warm-up Monte-Carlo estimator
 //! ([`baselines`]).

@@ -8,7 +8,7 @@
 //! Eq. (1). The [`PowerSampler`] encapsulates this machinery and keeps the
 //! cycle accounting that the efficiency comparisons need.
 
-use logicsim::{CompiledSimulator, VariableDelaySimulator};
+use logicsim::{CompiledSimulator, EventDrivenSimulator, GlitchActivity};
 use netlist::Circuit;
 use power::PowerCalculator;
 
@@ -46,7 +46,7 @@ impl CycleCounts {
 pub struct PowerSampler<'c> {
     circuit: &'c Circuit,
     zero: CompiledSimulator<'c>,
-    full: VariableDelaySimulator<'c>,
+    full: EventDrivenSimulator<'c>,
     calculator: PowerCalculator,
     stream: InputStream,
     counts: CycleCounts,
@@ -79,7 +79,7 @@ impl<'c> PowerSampler<'c> {
         Ok(PowerSampler {
             circuit,
             zero: CompiledSimulator::new(circuit),
-            full: VariableDelaySimulator::new(circuit, config.delay_model),
+            full: EventDrivenSimulator::new(circuit, config.delay_model),
             calculator,
             stream,
             counts: CycleCounts::default(),
@@ -114,6 +114,11 @@ impl<'c> PowerSampler<'c> {
         self.counts.zero_delay_cycles += cycles as u64;
     }
 
+    /// The delay-annotated measurement simulator in use.
+    pub fn delay_model(&self) -> logicsim::DelayModel {
+        self.full.delay_model()
+    }
+
     /// Simulates one clock cycle with the general-delay simulator and returns
     /// the power dissipated in that cycle, in watts. The circuit state
     /// advances exactly one cycle.
@@ -122,29 +127,33 @@ impl<'c> PowerSampler<'c> {
     }
 
     /// Like [`measure_cycle_power_w`](Self::measure_cycle_power_w), but hands
-    /// the measured cycle's per-net transition counts to `observe` before the
-    /// record is recycled — the hook node-resolved (per-net) accumulators
-    /// attach to, without the sampler knowing about them.
+    /// the measured cycle's glitch-decomposed per-net transition record to
+    /// `observe` before it is recycled — the hook node-resolved (per-net)
+    /// accumulators attach to, without the sampler knowing about them.
     pub fn measure_cycle_power_w_observing<F>(&mut self, observe: F) -> f64
     where
-        F: FnOnce(&logicsim::CycleActivity),
+        F: FnOnce(&GlitchActivity),
     {
         self.measure_cycle(observe)
     }
 
     fn measure_cycle<F>(&mut self, observe: F) -> f64
     where
-        F: FnOnce(&logicsim::CycleActivity),
+        F: FnOnce(&GlitchActivity),
     {
         self.stream.next_pattern_into(&mut self.pattern);
         self.prev.copy_from_slice(self.zero.values());
-        let activity = self.full.simulate_cycle(&self.prev, &self.pattern);
+        let power_w = {
+            let activity = self.full.simulate_cycle(&self.prev, &self.pattern);
+            observe(activity);
+            // Eq. (1) charges every transition, glitches included.
+            self.calculator.cycle_power_w(activity.total())
+        };
         // Keep the cheap simulator's state in sync (same stable values).
         self.zero.step_state_only(&self.pattern);
         debug_assert_eq!(self.full.stable_values(), self.zero.values());
         self.counts.measured_cycles += 1;
-        observe(&activity);
-        self.calculator.cycle_power_w(&activity)
+        power_w
     }
 
     /// Draws one power sample at the given independence interval: advances
@@ -155,10 +164,10 @@ impl<'c> PowerSampler<'c> {
     }
 
     /// Like [`sample_power_w`](Self::sample_power_w), exposing the measured
-    /// cycle's per-net transition counts to `observe`.
+    /// cycle's glitch-decomposed per-net transition record to `observe`.
     pub fn sample_power_w_observing<F>(&mut self, interval: usize, observe: F) -> f64
     where
-        F: FnOnce(&logicsim::CycleActivity),
+        F: FnOnce(&GlitchActivity),
     {
         self.advance(interval);
         self.measure_cycle(observe)
@@ -256,7 +265,7 @@ mod tests {
             let expected = plain.sample_power_w(interval);
             let mut from_activity = None;
             let got = observed.sample_power_w_observing(interval, |activity| {
-                from_activity = Some(calc.cycle_power_w(activity));
+                from_activity = Some(calc.cycle_power_w(activity.total()));
             });
             assert_eq!(expected, got);
             // The observed record is exactly the one the power came from.

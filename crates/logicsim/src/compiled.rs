@@ -34,7 +34,7 @@ pub const LANES: usize = 64;
 
 /// The value-type abstraction shared by the scalar and bit-parallel
 /// evaluators: anything with lane-wise boolean algebra.
-trait LogicWord:
+pub(crate) trait LogicWord:
     Copy + BitAnd<Output = Self> + BitOr<Output = Self> + BitXor<Output = Self> + Not<Output = Self>
 {
 }
@@ -50,7 +50,7 @@ fn settle<W: LogicWord>(program: &CompiledCircuit, values: &mut [W]) {
 }
 
 #[inline]
-fn eval_instruction<W: LogicWord>(
+pub(crate) fn eval_instruction<W: LogicWord>(
     program: &CompiledCircuit,
     instruction: &Instruction,
     values: &[W],

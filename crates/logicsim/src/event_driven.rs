@@ -1,0 +1,715 @@
+//! The compiled event-driven simulator: a timing-wheel scheduler over a
+//! delay-annotated [`CompiledCircuit`], with inertial pulse filtering and
+//! glitch-decomposed transition counting.
+//!
+//! Where [`crate::VariableDelaySimulator`] interprets gate objects through a
+//! binary-heap event queue, this simulator executes the same flat instruction
+//! stream as the compiled zero-delay backends and schedules value changes on
+//! a *timing wheel*: one bucket per picosecond up to the annotation's
+//! critical-path horizon, so scheduling and cancellation are O(1) and the
+//! whole cycle is one forward sweep over the wheel. Delays are **inertial**:
+//! each net holds at most one pending change; a re-evaluation of its driver
+//! that contradicts a not-yet-matured change cancels it, so a pulse narrower
+//! than the gate's own delay never appears on the output — exactly how a real
+//! gate with finite drive strength behaves, and the reason this backend's
+//! transition counts are physically meaningful where a naive event queue
+//! would double-count arbitrarily narrow spikes.
+//!
+//! Per cycle the simulator reports a [`GlitchActivity`]: the *total*
+//! transition count of every net (what Eq. 1 charges for power) and the
+//! *settled* functional 0/1 count (what a zero-delay simulation would see).
+//! Their difference is the glitch activity — the power component the paper's
+//! zero-delay backends structurally cannot observe.
+//!
+//! Changes scheduled for the same instant coalesce before they are counted:
+//! a net that ends a timestamp at the value it entered it with has produced a
+//! zero-width pulse, which inertial filtering swallows. This is what makes
+//! the simulator degenerate *bit-identically* to the zero-delay backends
+//! under [`DelayModel::Zero`] (asserted by property tests over the whole
+//! ISCAS'89 catalogue): with every delay zero, all events fall on timestamp
+//! 0, the coalesced count per net is exactly "did the stable value change",
+//! and no glitches survive.
+
+use netlist::{Circuit, CompiledCircuit, DelayModel, NetId};
+
+use crate::compiled::eval_instruction;
+use crate::trace::GlitchActivity;
+
+/// One scheduled value change in the timing wheel. `seq` is matched against
+/// the net's current pending generation so cancelled events are recognised
+/// as stale when their bucket is drained (cancellation never searches the
+/// wheel).
+#[derive(Debug, Clone, Copy)]
+struct WheelEvent {
+    net: u32,
+    value: bool,
+    seq: u32,
+}
+
+/// Event-driven gate-level simulator executing a delay-annotated
+/// [`CompiledCircuit`].
+///
+/// The simulator is stateless across cycles, mirroring
+/// [`crate::VariableDelaySimulator`]:
+/// [`simulate_cycle`](EventDrivenSimulator::simulate_cycle) takes the previous stable values
+/// and returns the glitch-decomposed activity of one clock cycle; the caller
+/// (usually the DIPE sampler) owns the evolution of the circuit state via a
+/// zero-delay backend.
+#[derive(Debug)]
+pub struct EventDrivenSimulator<'c> {
+    circuit: &'c Circuit,
+    program: CompiledCircuit,
+    model: DelayModel,
+    /// CSR adjacency: instruction indices consuming each net.
+    consumer_offsets: Vec<u32>,
+    consumers: Vec<u32>,
+    /// Timing wheel: bucket `t` holds the events scheduled for `t`
+    /// picoseconds after the cycle's stimulus. Sized to the critical-path
+    /// horizon — an event can never be scheduled past it.
+    buckets: Vec<Vec<WheelEvent>>,
+    /// Min-heap of bucket indices that currently hold events, so the sweep
+    /// jumps between occupied timestamps instead of scanning every empty
+    /// picosecond up to the horizon (the horizon can be thousands of
+    /// buckets; a cycle only touches a few dozen of them).
+    active_times: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Committed net values at the current simulation time (scratch).
+    values: Vec<bool>,
+    /// Stable values at the start of the cycle (for settled counts).
+    prev: Vec<bool>,
+    /// Per-net single pending change: value, generation and liveness.
+    pending_value: Vec<bool>,
+    pending_seq: Vec<u32>,
+    has_pending: Vec<bool>,
+    /// Per-timestamp coalescing state: the nets that changed at the
+    /// timestamp being processed and their value when it began.
+    touched: Vec<u32>,
+    in_touched: Vec<bool>,
+    start_val: Vec<bool>,
+    /// Nets applied in the current delta round (scratch for the two-phase
+    /// apply-then-evaluate sweep of one timestamp).
+    frontier: Vec<u32>,
+    activity: GlitchActivity,
+}
+
+impl<'c> EventDrivenSimulator<'c> {
+    /// Creates a simulator for `circuit` under the given delay model,
+    /// compiling the circuit with a per-instruction delay annotation.
+    pub fn new(circuit: &'c Circuit, model: DelayModel) -> Self {
+        Self::with_delays(circuit, model, &model.annotate(circuit))
+    }
+
+    /// The largest critical path (in picoseconds) a simulator will accept:
+    /// the timing wheel allocates one bucket per picosecond, so this bounds
+    /// the wheel at ~2²⁴ buckets (a few hundred MB). Real annotations are
+    /// orders of magnitude below it — the bound exists to turn a nonsense
+    /// delay annotation into a clear panic instead of an OOM abort.
+    pub const MAX_CRITICAL_PATH_PS: u64 = 1 << 24;
+
+    /// Creates a simulator from an explicit per-gate delay annotation (e.g.
+    /// back-annotated timing); `model` is only recorded for reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` was not built for a circuit with the same gate
+    /// count, or if its critical path exceeds
+    /// [`MAX_CRITICAL_PATH_PS`](Self::MAX_CRITICAL_PATH_PS).
+    pub fn with_delays(
+        circuit: &'c Circuit,
+        model: DelayModel,
+        delays: &netlist::GateDelays,
+    ) -> Self {
+        assert!(
+            delays.critical_path_ps() <= Self::MAX_CRITICAL_PATH_PS,
+            "critical path of {} ps exceeds the event-driven horizon limit of {} ps \
+             (the timing wheel allocates one bucket per picosecond)",
+            delays.critical_path_ps(),
+            Self::MAX_CRITICAL_PATH_PS,
+        );
+        let program = CompiledCircuit::compile_with_delays(circuit, delays);
+        let num_nets = circuit.num_nets();
+
+        // CSR of net -> consuming instructions.
+        let mut counts = vec![0u32; num_nets];
+        for instruction in program.instructions() {
+            for &operand in program.operands_of(instruction) {
+                counts[operand as usize] += 1;
+            }
+        }
+        let mut consumer_offsets = vec![0u32; num_nets + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            consumer_offsets[i + 1] = consumer_offsets[i] + c;
+        }
+        let mut consumers = vec![0u32; consumer_offsets[num_nets] as usize];
+        let mut cursor = consumer_offsets.clone();
+        for (index, instruction) in program.instructions().iter().enumerate() {
+            for &operand in program.operands_of(instruction) {
+                let slot = &mut cursor[operand as usize];
+                consumers[*slot as usize] = index as u32;
+                *slot += 1;
+            }
+        }
+
+        let horizon = program.critical_path_ps() as usize + 1;
+        EventDrivenSimulator {
+            circuit,
+            model,
+            consumer_offsets,
+            consumers,
+            buckets: (0..horizon).map(|_| Vec::new()).collect(),
+            active_times: std::collections::BinaryHeap::new(),
+            values: vec![false; num_nets],
+            prev: vec![false; num_nets],
+            pending_value: vec![false; num_nets],
+            pending_seq: vec![0; num_nets],
+            has_pending: vec![false; num_nets],
+            touched: Vec::new(),
+            in_touched: vec![false; num_nets],
+            start_val: vec![false; num_nets],
+            frontier: Vec::new(),
+            activity: GlitchActivity::zeroed(num_nets),
+            program,
+        }
+    }
+
+    /// The circuit this simulator operates on.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The delay model the program was annotated with.
+    pub fn delay_model(&self) -> DelayModel {
+        self.model
+    }
+
+    /// The delay-annotated compiled program being executed.
+    pub fn program(&self) -> &CompiledCircuit {
+        &self.program
+    }
+
+    /// The settled per-net values after the last call to
+    /// [`simulate_cycle`](EventDrivenSimulator::simulate_cycle).
+    pub fn stable_values(&self) -> &[bool] {
+        &self.values
+    }
+
+    #[inline]
+    fn consumers_of(&self, net: usize) -> std::ops::Range<usize> {
+        self.consumer_offsets[net] as usize..self.consumer_offsets[net + 1] as usize
+    }
+
+    /// Schedules (or replaces) the pending change of `net`. The caller has
+    /// already cancelled any contradicting pending event.
+    #[inline]
+    fn schedule(&mut self, net: usize, value: bool, time_ps: u64) {
+        let t = time_ps as usize;
+        debug_assert!(t < self.buckets.len(), "event past the critical path");
+        let seq = self.pending_seq[net].wrapping_add(1);
+        self.pending_seq[net] = seq;
+        self.pending_value[net] = value;
+        self.has_pending[net] = true;
+        if self.buckets[t].is_empty() {
+            self.active_times.push(std::cmp::Reverse(t as u32));
+        }
+        self.buckets[t].push(WheelEvent {
+            net: net as u32,
+            value,
+            seq,
+        });
+    }
+
+    /// Simulates one clock cycle.
+    ///
+    /// * `prev_stable` — the stable net values at the end of the previous
+    ///   cycle (e.g. [`crate::CompiledSimulator::values`]).
+    /// * `inputs` — the primary-input pattern applied in this cycle.
+    ///
+    /// At time zero the flip-flop outputs change to the values captured from
+    /// their `D` nets in `prev_stable` and the primary inputs change to the
+    /// new pattern; events then propagate through the combinational logic
+    /// under the per-instruction delays, with inertial cancellation of
+    /// contradicted pending changes and per-timestamp coalescing of
+    /// simultaneous ones. The returned [`GlitchActivity`] carries both the
+    /// total and the settled (functional) transition counts; the reference
+    /// is valid until the next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev_stable` or `inputs` have the wrong length.
+    pub fn simulate_cycle(&mut self, prev_stable: &[bool], inputs: &[bool]) -> &GlitchActivity {
+        assert_eq!(
+            prev_stable.len(),
+            self.circuit.num_nets(),
+            "previous stable values must cover every net"
+        );
+        assert_eq!(
+            inputs.len(),
+            self.circuit.num_primary_inputs(),
+            "input pattern length must equal the number of primary inputs"
+        );
+
+        self.values.copy_from_slice(prev_stable);
+        self.prev.copy_from_slice(prev_stable);
+        self.activity.reset();
+        debug_assert!(self.has_pending.iter().all(|p| !p), "stale pending events");
+
+        // Stimulus at t = 0: latch captures and the new input pattern.
+        for ff in 0..self.program.flip_flops().len() {
+            let (d, q) = self.program.flip_flops()[ff];
+            let captured = prev_stable[d as usize];
+            if captured != self.values[q as usize] {
+                self.schedule(q as usize, captured, 0);
+            }
+        }
+        for (pi, &v) in inputs.iter().enumerate() {
+            let net = self.program.primary_inputs()[pi] as usize;
+            if v != self.values[net] {
+                self.schedule(net, v, 0);
+            }
+        }
+
+        // Forward sweep over the occupied wheel buckets, in time order. Each
+        // timestamp is processed in two-phase delta rounds: first *apply*
+        // every matured event of the round as a batch (so simultaneous
+        // arrivals act simultaneously, like synchronous hardware), then
+        // *evaluate* the consumers of the changed nets, scheduling their
+        // output changes — possibly back into the same timestamp when an
+        // instruction's delay is zero, which starts another round. Buckets
+        // may grow while they are drained; newly occupied future buckets
+        // enter the active-times heap.
+        while let Some(std::cmp::Reverse(time)) = self.active_times.pop() {
+            let t = time as usize;
+            let mut i = 0;
+            loop {
+                // Phase 1: apply every event matured in this round.
+                while i < self.buckets[t].len() {
+                    let event = self.buckets[t][i];
+                    i += 1;
+                    let net = event.net as usize;
+                    if !self.has_pending[net] || self.pending_seq[net] != event.seq {
+                        continue; // cancelled or superseded
+                    }
+                    self.has_pending[net] = false;
+                    if self.values[net] == event.value {
+                        continue;
+                    }
+                    if !self.in_touched[net] {
+                        self.in_touched[net] = true;
+                        self.start_val[net] = self.values[net];
+                        self.touched.push(event.net);
+                    }
+                    self.values[net] = event.value;
+                    self.frontier.push(event.net);
+                }
+                if self.frontier.is_empty() {
+                    break; // the timestamp has quiesced
+                }
+
+                // Phase 2: re-evaluate every instruction consuming a net
+                // that changed in phase 1.
+                for f in 0..self.frontier.len() {
+                    let net = self.frontier[f] as usize;
+                    for c in self.consumers_of(net) {
+                        let index = self.consumers[c] as usize;
+                        let instruction = &self.program.instructions()[index];
+                        let new_out = eval_instruction(&self.program, instruction, &self.values);
+                        let out = instruction.output as usize;
+                        let projected = if self.has_pending[out] {
+                            self.pending_value[out]
+                        } else {
+                            self.values[out]
+                        };
+                        if new_out == projected {
+                            continue; // already heading there (or already there)
+                        }
+                        if self.has_pending[out] {
+                            // Inertial cancellation: the contradicted pending
+                            // change never matures; its wheel entry goes
+                            // stale.
+                            self.has_pending[out] = false;
+                            self.pending_seq[out] = self.pending_seq[out].wrapping_add(1);
+                        }
+                        if new_out != self.values[out] {
+                            let delay = self.program.instruction_delays_ps()[index];
+                            self.schedule(out, new_out, t as u64 + delay);
+                        }
+                        // else: the pulse was swallowed entirely.
+                    }
+                }
+                self.frontier.clear();
+            }
+            self.buckets[t].clear();
+
+            // Coalesce the timestamp: a net that left timestamp `t` at the
+            // value it entered with produced a zero-width pulse, which
+            // inertial filtering swallows; anything else is one transition.
+            for k in 0..self.touched.len() {
+                let net = self.touched[k] as usize;
+                self.in_touched[net] = false;
+                if self.values[net] != self.start_val[net] {
+                    self.activity.total_mut().per_net_mut()[net] += 1;
+                }
+            }
+            self.touched.clear();
+        }
+
+        // Settled (functional) counts: did the stable value change?
+        let settled = self.activity.settled_mut().per_net_mut();
+        for (slot, (&old, &new)) in settled.iter_mut().zip(self.prev.iter().zip(&self.values)) {
+            *slot = u32::from(old != new);
+        }
+        &self.activity
+    }
+
+    /// The total transitions of one net in the last simulated cycle.
+    pub fn transitions_on(&self, net: NetId) -> u32 {
+        self.activity.total().transitions_on(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledSimulator;
+    use crate::variable_delay::VariableDelaySimulator;
+    use crate::zero_delay::ZeroDelaySimulator;
+    use netlist::{iscas89, CircuitBuilder, GateKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// out = AND(a, NOT(a)): a rising edge on `a` produces a glitch on `out`
+    /// because the inverted path is slower.
+    fn glitch_circuit() -> netlist::Circuit {
+        let mut b = CircuitBuilder::new("glitch");
+        let a = b.primary_input("a");
+        let na = b.gate(GateKind::Not, "na", &[a]).unwrap();
+        let out = b.gate(GateKind::And, "out", &[a, na]).unwrap();
+        b.primary_output(out);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn glitch_is_counted_and_decomposed_under_unit_delay() {
+        let c = glitch_circuit();
+        let mut sim = EventDrivenSimulator::new(&c, DelayModel::Unit(100));
+        // Previous cycle: a = 0 -> na = 1, out = 0.
+        let mut prev = vec![false; c.num_nets()];
+        let a = c.net_by_name("a").unwrap().id();
+        let na = c.net_by_name("na").unwrap().id();
+        let out = c.net_by_name("out").unwrap().id();
+        prev[na.index()] = true;
+        // New cycle: a rises. Functionally `out` stays 0, but the hazard
+        // produces a 100 ps high pulse: two total transitions, zero settled.
+        let activity = sim.simulate_cycle(&prev, &[true]);
+        assert_eq!(activity.total().transitions_on(out), 2);
+        assert_eq!(activity.settled().transitions_on(out), 0);
+        assert_eq!(activity.glitch_on(out), 2);
+        assert_eq!(activity.total().transitions_on(a), 1);
+        assert_eq!(activity.settled().transitions_on(a), 1);
+        assert_eq!(activity.glitch_on(na), 0);
+        assert!(!sim.stable_values()[out.index()]);
+    }
+
+    #[test]
+    fn zero_delay_model_sees_no_glitch_at_all() {
+        let c = glitch_circuit();
+        let mut sim = EventDrivenSimulator::new(&c, DelayModel::Zero);
+        let mut prev = vec![false; c.num_nets()];
+        let na = c.net_by_name("na").unwrap().id();
+        let out = c.net_by_name("out").unwrap().id();
+        prev[na.index()] = true;
+        let activity = sim.simulate_cycle(&prev, &[true]);
+        // Everything coalesces at t = 0: the zero-width pulse on `out` is
+        // filtered, counts are exactly the functional ones.
+        assert_eq!(activity.total(), activity.settled());
+        assert_eq!(activity.glitch_on(out), 0);
+        assert_eq!(activity.total_glitch_transitions(), 0);
+        assert!(!sim.stable_values()[out.index()]);
+    }
+
+    /// The hazard circuit with an output buffer: NOT and AND are fast, the
+    /// buffer's delay is set by the caller. Returns (circuit, prev values
+    /// with `na` high, out id, y id).
+    fn buffered_hazard() -> (netlist::Circuit, Vec<bool>, NetId, NetId) {
+        let mut b = CircuitBuilder::new("inertial");
+        let a = b.primary_input("a");
+        let na = b.gate(GateKind::Not, "na", &[a]).unwrap();
+        let out = b.gate(GateKind::And, "out", &[a, na]).unwrap();
+        let y = b.gate(GateKind::Buf, "y", &[out]).unwrap();
+        b.primary_output(y);
+        let c = b.finish().unwrap();
+        let mut prev = vec![false; c.num_nets()];
+        prev[c.net_by_name("na").unwrap().id().index()] = true;
+        let out_id = c.net_by_name("out").unwrap().id();
+        let y_id = c.net_by_name("y").unwrap().id();
+        (c, prev, out_id, y_id)
+    }
+
+    #[test]
+    fn inertial_filtering_swallows_narrow_pulses() {
+        // A rising `a` creates a 100 ps pulse on `out` ([100, 200) ps). A
+        // 300 ps buffer has more inertia than the pulse is wide: the pulse
+        // must die there, never reaching `y`.
+        let (c, prev, out_id, y_id) = buffered_hazard();
+        let delays = netlist::GateDelays::from_delays(&c, vec![100, 100, 300]);
+        let mut sim = EventDrivenSimulator::with_delays(&c, DelayModel::Unit(100), &delays);
+        let activity = sim.simulate_cycle(&prev, &[true]);
+        assert_eq!(activity.glitch_on(out_id), 2, "hazard pulse on the AND");
+        assert_eq!(
+            activity.total().transitions_on(y_id),
+            0,
+            "the slow buffer must filter the narrow pulse"
+        );
+        assert!(!sim.stable_values()[y_id.index()]);
+    }
+
+    #[test]
+    fn wide_enough_pulses_propagate_through_buffers() {
+        // The same hazard with a buffer exactly as fast as the pulse is
+        // wide: classical inertial semantics let it through.
+        let (c, prev, out_id, y_id) = buffered_hazard();
+        let delays = netlist::GateDelays::from_delays(&c, vec![100, 100, 100]);
+        let mut sim = EventDrivenSimulator::with_delays(&c, DelayModel::Unit(100), &delays);
+        let activity = sim.simulate_cycle(&prev, &[true]);
+        assert_eq!(activity.glitch_on(out_id), 2);
+        assert_eq!(
+            activity.glitch_on(y_id),
+            2,
+            "pulse as wide as the delay propagates"
+        );
+    }
+
+    #[test]
+    fn simultaneous_arrivals_coalesce() {
+        // XOR(a, b) with both inputs flipping in the same cycle: under any
+        // uniform delay both changes arrive simultaneously, the output
+        // re-evaluates to its old value before any pulse can mature, and no
+        // transition is recorded on the output.
+        let mut b = CircuitBuilder::new("xor2");
+        let a = b.primary_input("a");
+        let bb = b.primary_input("b");
+        let x = b.gate(GateKind::Xor, "x", &[a, bb]).unwrap();
+        b.primary_output(x);
+        let c = b.finish().unwrap();
+        let mut sim = EventDrivenSimulator::new(&c, DelayModel::Unit(80));
+        let prev = vec![false; c.num_nets()];
+        let activity = sim.simulate_cycle(&prev, &[true, true]);
+        let x_id = c.net_by_name("x").unwrap().id();
+        assert_eq!(activity.total().transitions_on(x_id), 0);
+        assert_eq!(activity.glitch_on(x_id), 0);
+    }
+
+    #[test]
+    fn zero_model_is_bit_identical_to_zero_delay_backends_on_s1494() {
+        let c = iscas89::load("s1494").unwrap();
+        let mut zero = ZeroDelaySimulator::new(&c);
+        let mut compiled = CompiledSimulator::new(&c);
+        let mut event = EventDrivenSimulator::new(&c, DelayModel::Zero);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+            let prev = zero.values().to_vec();
+            let glitch = event.simulate_cycle(&prev, &inputs).clone();
+            let a = zero.step(&inputs).per_net().to_vec();
+            let b = compiled.step(&inputs).per_net().to_vec();
+            assert_eq!(glitch.total().per_net(), a.as_slice());
+            assert_eq!(glitch.settled().per_net(), a.as_slice());
+            assert_eq!(a, b);
+            assert_eq!(event.stable_values(), zero.values());
+        }
+    }
+
+    #[test]
+    fn settles_to_functional_values_under_every_model() {
+        let c = iscas89::load("s298").unwrap();
+        for model in [
+            DelayModel::Zero,
+            DelayModel::Unit(100),
+            DelayModel::default(),
+            DelayModel::random(5),
+        ] {
+            let mut zero = ZeroDelaySimulator::new(&c);
+            let mut event = EventDrivenSimulator::new(&c, model);
+            let mut rng = StdRng::seed_from_u64(23);
+            for _ in 0..60 {
+                let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+                let prev = zero.values().to_vec();
+                let activity = event.simulate_cycle(&prev, &inputs).clone();
+                let functional = zero.step(&inputs).per_net().to_vec();
+                assert_eq!(event.stable_values(), zero.values(), "{model:?}");
+                // Settled counts are exactly the functional ones; totals
+                // dominate them and agree in parity.
+                assert_eq!(activity.settled().per_net(), functional.as_slice());
+                for (t, s) in activity.total().per_net().iter().zip(&functional) {
+                    assert!(t >= s, "{model:?}: total below settled");
+                    assert_eq!(t % 2, s % 2, "{model:?}: parity mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_at_most_the_unfiltered_event_simulator_sees() {
+        // The interpreted VariableDelaySimulator neither filters pulses nor
+        // coalesces simultaneous changes, so per net it is an upper bound on
+        // this simulator's total counts under the same delay model.
+        let c = iscas89::load("s298").unwrap();
+        for model in [DelayModel::Unit(100), DelayModel::default()] {
+            let mut zero = ZeroDelaySimulator::new(&c);
+            let mut unfiltered = VariableDelaySimulator::new(&c, model);
+            let mut event = EventDrivenSimulator::new(&c, model);
+            let mut rng = StdRng::seed_from_u64(31);
+            for _ in 0..40 {
+                let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+                let prev = zero.values().to_vec();
+                let filtered = event.simulate_cycle(&prev, &inputs).clone();
+                let raw = unfiltered.simulate_cycle(&prev, &inputs);
+                zero.step(&inputs);
+                for (f, r) in filtered.total().per_net().iter().zip(raw.per_net()) {
+                    assert!(f <= r, "{model:?}: filtered count above raw count");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_instances() {
+        let c = iscas89::load("s298").unwrap();
+        let mut a = EventDrivenSimulator::new(&c, DelayModel::random(9));
+        let mut b = EventDrivenSimulator::new(&c, DelayModel::random(9));
+        let mut rng = StdRng::seed_from_u64(30);
+        let prev = {
+            let mut zero = ZeroDelaySimulator::new(&c);
+            zero.randomize(&mut rng);
+            zero.values().to_vec()
+        };
+        let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+        let act_a = a.simulate_cycle(&prev, &inputs).clone();
+        let act_b = b.simulate_cycle(&prev, &inputs).clone();
+        assert_eq!(act_a, act_b);
+        assert_eq!(a.stable_values(), b.stable_values());
+        // And re-simulating the same cycle gives the same record again.
+        let act_c = a.simulate_cycle(&prev, &inputs).clone();
+        assert_eq!(act_a, act_c);
+    }
+
+    #[test]
+    fn no_stimulus_means_no_activity() {
+        let c = iscas89::load("s27").unwrap();
+        let mut zero = ZeroDelaySimulator::new(&c);
+        for _ in 0..9 {
+            zero.step(&[false, false, false, false]);
+        }
+        let before = zero.values().to_vec();
+        zero.step(&[false, false, false, false]);
+        let after = zero.values().to_vec();
+        if before == after {
+            let mut event = EventDrivenSimulator::new(&c, DelayModel::default());
+            let act = event.simulate_cycle(&after, &[false, false, false, false]);
+            assert_eq!(act.total().total_transitions(), 0);
+            assert_eq!(act.total_glitch_transitions(), 0);
+        }
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let c = iscas89::load("s27").unwrap();
+        let sim = EventDrivenSimulator::new(&c, DelayModel::Unit(50));
+        assert_eq!(sim.delay_model(), DelayModel::Unit(50));
+        assert_eq!(sim.circuit().name(), "s27");
+        assert!(sim.program().is_delay_annotated());
+        assert_eq!(
+            sim.program().critical_path_ps(),
+            DelayModel::Unit(50).critical_path_ps(&c)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "previous stable values")]
+    fn wrong_prev_length_panics() {
+        let c = iscas89::load("s27").unwrap();
+        let mut sim = EventDrivenSimulator::new(&c, DelayModel::default());
+        sim.simulate_cycle(&[false; 3], &[false; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event-driven horizon limit")]
+    fn absurd_delay_annotations_are_rejected_not_allocated() {
+        // A nonsense per-gate delay must produce a clear panic, not a
+        // multi-gigabyte (or overflowed) timing-wheel allocation. The
+        // saturating critical-path accumulation in `GateDelays` feeds this
+        // check even when the path sum would overflow u64.
+        let c = iscas89::load("s27").unwrap();
+        let _ = EventDrivenSimulator::new(&c, DelayModel::Unit(u64::MAX / 2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::compiled::CompiledSimulator;
+    use crate::zero_delay::ZeroDelaySimulator;
+    use netlist::generator::{generate, GeneratorConfig};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Under `DelayModel::Zero` the event-driven simulator is
+        /// bit-identical to the zero-delay backends — values *and* per-net
+        /// transition counts — on arbitrary generated circuits.
+        #[test]
+        fn zero_model_is_bit_identical_on_random_circuits(
+            circuit_seed in 0u64..40,
+            stream_seed in 0u64..40,
+        ) {
+            let cfg = GeneratorConfig::new("prop_ev", 4, 2, 5, 35).with_seed(circuit_seed);
+            let c = generate(&cfg).unwrap();
+            let mut zero = ZeroDelaySimulator::new(&c);
+            let mut compiled = CompiledSimulator::new(&c);
+            let mut event = EventDrivenSimulator::new(&c, DelayModel::Zero);
+            let mut rng = StdRng::seed_from_u64(stream_seed);
+            for _ in 0..10 {
+                let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+                let prev = zero.values().to_vec();
+                let glitch = event.simulate_cycle(&prev, &inputs).clone();
+                let a = zero.step(&inputs).per_net().to_vec();
+                let b = compiled.step(&inputs).per_net().to_vec();
+                prop_assert_eq!(glitch.total().per_net(), a.as_slice());
+                prop_assert_eq!(glitch.settled().per_net(), a.as_slice());
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(event.stable_values(), zero.values());
+                prop_assert_eq!(glitch.total_glitch_transitions(), 0);
+            }
+        }
+
+        /// Under any delay model: stable values settle to the functional
+        /// fixpoint, settled counts equal the zero-delay counts, totals
+        /// dominate with matching parity.
+        #[test]
+        fn glitch_decomposition_is_consistent(
+            circuit_seed in 0u64..40,
+            stream_seed in 0u64..40,
+            delay_seed in 0u64..1000,
+        ) {
+            let cfg = GeneratorConfig::new("prop_ev2", 4, 2, 5, 35).with_seed(circuit_seed);
+            let c = generate(&cfg).unwrap();
+            let mut zero = ZeroDelaySimulator::new(&c);
+            let mut event = EventDrivenSimulator::new(&c, DelayModel::random(delay_seed));
+            let mut rng = StdRng::seed_from_u64(stream_seed);
+            for _ in 0..8 {
+                let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+                let prev = zero.values().to_vec();
+                let activity = event.simulate_cycle(&prev, &inputs).clone();
+                let functional = zero.step(&inputs).per_net().to_vec();
+                prop_assert_eq!(event.stable_values(), zero.values());
+                prop_assert_eq!(activity.settled().per_net(), functional.as_slice());
+                for (t, s) in activity.total().per_net().iter().zip(&functional) {
+                    prop_assert!(t >= s);
+                    prop_assert_eq!(t % 2, s % 2);
+                }
+            }
+        }
+    }
+}

@@ -1,61 +1,67 @@
 //! Gate-level logic simulation.
 //!
-//! Four simulators are provided. Two match the two-phase simulation strategy
-//! of the paper (Section IV):
+//! Five simulators are provided. Three are zero-delay (functional) backends
+//! sharing one semantics — bit-exact with each other, enforced by property
+//! tests:
 //!
-//! * [`ZeroDelaySimulator`] — levelised zero-delay evaluation of the
-//!   combinational logic, interpreting the gate objects directly. This is the
-//!   reference implementation of the cheap simulator used to advance the
-//!   circuit state during the independence interval, when only the next-state
-//!   function matters and no power is sampled. It also produces zero-delay
-//!   (functional) transition counts.
-//! * [`VariableDelaySimulator`] — an event-driven simulator with a per-gate
-//!   [`DelayModel`]. It reproduces the transient behaviour within a clock
-//!   cycle, including glitches, and therefore yields the "general delay"
-//!   transition counts the paper feeds into the power model at sampling
-//!   cycles.
-//!
-//! Two execute a [`netlist::CompiledCircuit`] — the same logic lowered to a
-//! flat instruction stream — for throughput:
-//!
-//! * [`CompiledSimulator`] — the compiled scalar zero-delay path, bit-exact
-//!   with [`ZeroDelaySimulator`] but without per-gate dispatch. The
-//!   estimator's decorrelation cycles run here.
+//! * [`ZeroDelaySimulator`] — levelised zero-delay evaluation interpreting
+//!   the gate objects directly: the reference semantics, used for tests and
+//!   one-off stepping.
+//! * [`CompiledSimulator`] — the compiled scalar zero-delay path executing a
+//!   [`netlist::CompiledCircuit`] flat instruction stream with no per-gate
+//!   dispatch. The estimator's decorrelation cycles run here.
 //! * [`BitParallelSimulator`] — 64 independent replications at once, one bit
 //!   per lane in a `u64` word per net, with transition counting via XOR +
 //!   `count_ones` ([`WordActivity`]). Batch replicated runs map onto lanes.
 //!
-//! Both simulators agree on the *stable* (end-of-cycle) net values; they
+//! Two are delay-aware ("general delay", Section IV of the paper) and model
+//! the transient within a clock cycle — unequal path delays make gate
+//! outputs toggle several times before settling (glitches), and every one of
+//! those transitions dissipates power:
+//!
+//! * [`EventDrivenSimulator`] — the measurement backend: a timing-wheel
+//!   scheduler over the *compiled* instruction stream with per-gate inertial
+//!   delays (a [`netlist::DelayModel`] annotation). It reports a
+//!   [`GlitchActivity`] per cycle: total transition counts alongside the
+//!   settled functional ones, so glitch activity is `total − settled` per
+//!   net. Under [`DelayModel::Zero`] it degenerates bit-identically to the
+//!   zero-delay backends.
+//! * [`VariableDelaySimulator`] — the interpreted event-queue reference:
+//!   no pulse filtering, no compilation; per net it upper-bounds the
+//!   inertial simulator's counts and anchors its tests.
+//!
+//! All simulators agree on the *stable* (end-of-cycle) net values; they
 //! differ only in how many transitions they observe on the way there.
 //!
 //! # Example
 //!
 //! ```
-//! use logicsim::{ZeroDelaySimulator, VariableDelaySimulator, DelayModel};
+//! use logicsim::{ZeroDelaySimulator, EventDrivenSimulator, DelayModel};
 //! use netlist::iscas89;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let circuit = iscas89::load("s27")?;
 //! let mut zero = ZeroDelaySimulator::new(&circuit);
-//! let mut full = VariableDelaySimulator::new(&circuit, DelayModel::default());
+//! let mut full = EventDrivenSimulator::new(&circuit, DelayModel::default());
 //!
 //! let inputs = vec![true, false, true, false];
 //! let before = zero.values().to_vec();
 //! let activity = full.simulate_cycle(&before, &inputs);
 //! let cycle = zero.step(&inputs);
-//! // The event-driven simulator sees at least as many transitions
-//! // (glitches) as the zero-delay one.
-//! assert!(activity.total_transitions() >= cycle.total_transitions());
+//! // The event-driven totals dominate the functional counts; the settled
+//! // component *is* the functional count.
+//! assert!(activity.total().total_transitions() >= cycle.total_transitions());
+//! assert_eq!(activity.settled().per_net(), cycle.per_net());
 //! # Ok(())
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod compiled;
-mod delay;
 mod event;
+mod event_driven;
 mod state;
 mod trace;
 mod value;
@@ -63,10 +69,11 @@ mod variable_delay;
 mod zero_delay;
 
 pub use compiled::{broadcast, pack_lane_bit, BitParallelSimulator, CompiledSimulator, LANES};
-pub use delay::DelayModel;
 pub use event::{Event, EventQueue};
+pub use event_driven::EventDrivenSimulator;
+pub use netlist::{DelayModel, GateDelays};
 pub use state::{random_input_vector, random_state_vector, SimState};
-pub use trace::{ActivityAccumulator, CycleActivity, WordActivity};
+pub use trace::{ActivityAccumulator, CycleActivity, GlitchActivity, WordActivity};
 pub use value::LogicValue;
 pub use variable_delay::VariableDelaySimulator;
 pub use zero_delay::{compute_next_state, ZeroDelaySimulator};

@@ -133,6 +133,96 @@ impl WordActivity {
     }
 }
 
+/// The glitch-decomposed switching activity of one clock cycle, as reported
+/// by the delay-aware [`crate::EventDrivenSimulator`]:
+///
+/// * [`total`](Self::total) — every transition each net made while the cycle
+///   settled, glitches included (the counts Eq. 1 charges for power);
+/// * [`settled`](Self::settled) — the functional 0/1 transition counts, i.e.
+///   whether the net's stable end-of-cycle value differs from the previous
+///   cycle's (exactly what a zero-delay simulation reports).
+///
+/// The glitch activity of a net is the difference `total − settled`: the
+/// transitions that exist only because unequal path delays let the net toggle
+/// on the way to its final value. It is always even and non-negative (every
+/// glitch is a there-and-back pulse), which [`glitch_on`](Self::glitch_on)
+/// relies on.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GlitchActivity {
+    total: CycleActivity,
+    settled: CycleActivity,
+}
+
+impl GlitchActivity {
+    /// Creates an all-zero record for `num_nets` nets.
+    pub fn zeroed(num_nets: usize) -> Self {
+        GlitchActivity {
+            total: CycleActivity::zeroed(num_nets),
+            settled: CycleActivity::zeroed(num_nets),
+        }
+    }
+
+    /// Builds a record from explicit total and settled counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two records cover different net counts, or if any net's
+    /// total count is below its settled count (a glitch count cannot be
+    /// negative).
+    pub fn from_counts(total: CycleActivity, settled: CycleActivity) -> Self {
+        assert_eq!(
+            total.per_net().len(),
+            settled.per_net().len(),
+            "total and settled records must cover the same nets"
+        );
+        assert!(
+            total
+                .per_net()
+                .iter()
+                .zip(settled.per_net())
+                .all(|(t, s)| t >= s),
+            "total transitions must dominate settled transitions"
+        );
+        GlitchActivity { total, settled }
+    }
+
+    /// Every transition of the cycle, glitches included.
+    #[inline]
+    pub fn total(&self) -> &CycleActivity {
+        &self.total
+    }
+
+    /// The functional (zero-delay) 0/1 transition counts of the cycle.
+    #[inline]
+    pub fn settled(&self) -> &CycleActivity {
+        &self.settled
+    }
+
+    /// Glitch transitions on one net this cycle (`total − settled`).
+    #[inline]
+    pub fn glitch_on(&self, net: NetId) -> u32 {
+        self.total.transitions_on(net) - self.settled.transitions_on(net)
+    }
+
+    /// Total glitch transitions across all nets this cycle.
+    pub fn total_glitch_transitions(&self) -> u64 {
+        self.total.total_transitions() - self.settled.total_transitions()
+    }
+
+    pub(crate) fn total_mut(&mut self) -> &mut CycleActivity {
+        &mut self.total
+    }
+
+    pub(crate) fn settled_mut(&mut self) -> &mut CycleActivity {
+        &mut self.settled
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.total.reset();
+        self.settled.reset();
+    }
+}
+
 /// Accumulates switching activity over many cycles, yielding per-net toggle
 /// densities (average transitions per cycle). This is the quantity
 /// probabilistic power estimators call the *transition density*; the
@@ -222,6 +312,34 @@ mod tests {
         assert_eq!(w.transitions_on(NetId::from_index(1)), 3);
         assert_eq!(w.transitions_on(NetId::from_index(2)), 64);
         assert_eq!(w.total_transitions(), 67);
+    }
+
+    #[test]
+    fn glitch_activity_decomposes() {
+        let total = CycleActivity::from_counts(vec![3, 1, 0, 2]);
+        let settled = CycleActivity::from_counts(vec![1, 1, 0, 0]);
+        let g = GlitchActivity::from_counts(total, settled);
+        assert_eq!(g.glitch_on(NetId::from_index(0)), 2);
+        assert_eq!(g.glitch_on(NetId::from_index(1)), 0);
+        assert_eq!(g.glitch_on(NetId::from_index(3)), 2);
+        assert_eq!(g.total_glitch_transitions(), 4);
+        assert_eq!(g.total().total_transitions(), 6);
+        assert_eq!(g.settled().total_transitions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dominate")]
+    fn glitch_activity_rejects_negative_glitch() {
+        GlitchActivity::from_counts(
+            CycleActivity::from_counts(vec![0, 1]),
+            CycleActivity::from_counts(vec![1, 1]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same nets")]
+    fn glitch_activity_rejects_mismatched_lengths() {
+        GlitchActivity::from_counts(CycleActivity::zeroed(2), CycleActivity::zeroed(3));
     }
 
     #[test]

@@ -7,16 +7,15 @@
 //! power. The paper's two-phase scheme runs this simulator only at sampling
 //! cycles, which is what makes the overall estimation cheap.
 
-use netlist::{Circuit, GateId};
+use netlist::{Circuit, DelayModel, GateId};
 
-use crate::delay::DelayModel;
 use crate::event::EventQueue;
 use crate::trace::CycleActivity;
 
 /// Event-driven gate-level simulator.
 ///
-/// The simulator is stateless across cycles: [`simulate_cycle`]
-/// (VariableDelaySimulator::simulate_cycle) takes the previous stable values
+/// The simulator is stateless across cycles:
+/// [`simulate_cycle`](VariableDelaySimulator::simulate_cycle) takes the previous stable values
 /// as input and returns the activity of one clock cycle. The caller (usually
 /// the DIPE sampler) owns the evolution of the circuit state, typically via a
 /// [`crate::ZeroDelaySimulator`].
@@ -83,8 +82,8 @@ impl<'c> VariableDelaySimulator<'c> {
     /// their `D` nets in `prev_stable` and the primary inputs change to the
     /// new pattern; events then propagate through the combinational logic
     /// under the delay model. The returned [`CycleActivity`] counts every
-    /// transition, glitches included. [`stable_values`]
-    /// (VariableDelaySimulator::stable_values) exposes the settled values
+    /// transition, glitches included.
+    /// [`stable_values`](VariableDelaySimulator::stable_values) exposes the settled values
     /// afterwards.
     ///
     /// # Panics

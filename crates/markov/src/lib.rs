@@ -8,7 +8,7 @@
 //! rejects this route for large circuits — the state space is exponential in
 //! the latch count — but it is the natural *reference* against which the
 //! paper's runs-test procedure is validated, and it underlies the fixed
-//! warm-up baseline of Chou & Roy (ref. [9]).
+//! warm-up baseline of Chou & Roy (ref. \[9]).
 //!
 //! This crate provides that machinery for circuits where it is feasible:
 //!
@@ -20,7 +20,7 @@
 //!   roughly 20 flip-flops);
 //! * [`warmup`] — warm-up-period estimation: the empirical
 //!   time-to-stationarity, a spectral-gap bound, and the conservative fixed
-//!   warm-up the paper attributes to ref. [9].
+//!   warm-up the paper attributes to ref. \[9].
 //!
 //! # Example
 //!

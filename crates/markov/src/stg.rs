@@ -38,7 +38,7 @@ impl StateTransitionGraph {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit exceeds [`MAX_EXHAUSTIVE_FLIP_FLOPS`] flip-flops
+    /// Panics if the circuit exceeds the exhaustive-extraction limit (20) of flip-flops
     /// or has more than 16 primary inputs, or if `input_one_probability` is
     /// outside `[0, 1]`.
     pub fn extract(circuit: &Circuit, input_one_probability: f64) -> Result<Self, MarkovError> {

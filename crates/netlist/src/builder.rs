@@ -86,8 +86,9 @@ impl CircuitBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the net already has a driver. Use [`try_primary_input`]
-    /// (CircuitBuilder::try_primary_input) for a fallible version.
+    /// Panics if the net already has a driver. Use
+    /// [`try_primary_input`](CircuitBuilder::try_primary_input) for a
+    /// fallible version.
     pub fn primary_input(&mut self, name: impl Into<String>) -> NetId {
         self.try_primary_input(name)
             .expect("duplicate driver for primary input")

@@ -16,6 +16,7 @@
 //! word).
 
 use crate::circuit::{Circuit, NetDriver};
+use crate::delay::GateDelays;
 use crate::gate::GateKind;
 
 /// The logic operation of one [`Instruction`].
@@ -91,6 +92,13 @@ pub struct CompiledCircuit {
     primary_inputs: Vec<u32>,
     /// `(net, value)` pairs for constant-driven nets.
     constants: Vec<(u32, bool)>,
+    /// Per-instruction propagation delays in picoseconds (one per
+    /// instruction, in instruction order), or empty when the program carries
+    /// no delay annotation. See [`compile_with_delays`]
+    /// (CompiledCircuit::compile_with_delays).
+    delays_ps: Vec<u64>,
+    /// The critical-path bound implied by `delays_ps` (0 when unannotated).
+    critical_path_ps: u64,
 }
 
 impl CompiledCircuit {
@@ -135,7 +143,34 @@ impl CompiledCircuit {
             flip_flops,
             primary_inputs,
             constants,
+            delays_ps: Vec::new(),
+            critical_path_ps: 0,
         }
+    }
+
+    /// Lowers `circuit` and attaches a per-instruction delay annotation: the
+    /// propagation delay of each instruction's source gate under `delays`,
+    /// in instruction (topological) order. This is the program form the
+    /// event-driven compiled simulator executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays` was not built for a circuit with the same gate
+    /// count.
+    pub fn compile_with_delays(circuit: &Circuit, delays: &GateDelays) -> Self {
+        assert_eq!(
+            delays.len(),
+            circuit.num_gates(),
+            "delay annotation does not match the circuit"
+        );
+        let mut program = Self::compile(circuit);
+        program.delays_ps = circuit
+            .topological_order()
+            .iter()
+            .map(|&gid| delays.delay_of(gid))
+            .collect();
+        program.critical_path_ps = delays.critical_path_ps();
+        program
     }
 
     /// Number of nets of the source circuit (the length a dense value vector
@@ -181,6 +216,28 @@ impl CompiledCircuit {
     pub fn constants(&self) -> &[(u32, bool)] {
         &self.constants
     }
+
+    /// Whether this program carries a delay annotation
+    /// ([`compile_with_delays`](CompiledCircuit::compile_with_delays)).
+    #[inline]
+    pub fn is_delay_annotated(&self) -> bool {
+        !self.delays_ps.is_empty() || self.instructions.is_empty()
+    }
+
+    /// Per-instruction propagation delays in picoseconds, in instruction
+    /// order; empty when the program was compiled without delays.
+    #[inline]
+    pub fn instruction_delays_ps(&self) -> &[u64] {
+        &self.delays_ps
+    }
+
+    /// The critical-path bound of the delay annotation: no event within a
+    /// clock cycle can occur later than this many picoseconds after the
+    /// cycle's stimulus. 0 for unannotated programs.
+    #[inline]
+    pub fn critical_path_ps(&self) -> u64 {
+        self.critical_path_ps
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +274,40 @@ mod tests {
         let p = CompiledCircuit::compile(&c);
         let one_idx = c.net_by_name("tie1").unwrap().id().index() as u32;
         assert_eq!(p.constants(), &[(one_idx, true)]);
+    }
+
+    #[test]
+    fn plain_compile_is_unannotated() {
+        let c = iscas89::load("s27").unwrap();
+        let p = CompiledCircuit::compile(&c);
+        assert!(!p.is_delay_annotated());
+        assert!(p.instruction_delays_ps().is_empty());
+        assert_eq!(p.critical_path_ps(), 0);
+    }
+
+    #[test]
+    fn annotated_compile_carries_delays_in_instruction_order() {
+        use crate::delay::DelayModel;
+        let c = iscas89::load("s27").unwrap();
+        let model = DelayModel::Unit(100);
+        let delays = model.annotate(&c);
+        let p = CompiledCircuit::compile_with_delays(&c, &delays);
+        assert!(p.is_delay_annotated());
+        assert_eq!(p.instruction_delays_ps().len(), p.instructions().len());
+        assert_eq!(p.critical_path_ps(), delays.critical_path_ps());
+        for (&d, &gid) in p.instruction_delays_ps().iter().zip(c.topological_order()) {
+            assert_eq!(d, delays.delay_of(gid));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delay annotation does not match")]
+    fn mismatched_annotation_is_rejected() {
+        use crate::delay::{DelayModel, GateDelays};
+        let small = iscas89::load("s27").unwrap();
+        let delays: GateDelays = DelayModel::Unit(1).annotate(&small);
+        let other = iscas89::load("s298").unwrap();
+        let _ = CompiledCircuit::compile_with_delays(&other, &delays);
     }
 
     #[test]

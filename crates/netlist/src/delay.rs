@@ -1,0 +1,360 @@
+//! Gate delay models and per-gate delay annotation.
+//!
+//! The paper's "general delay circuit simulator" is abstract about the delay
+//! model; what matters for power is that *unequal path delays create
+//! glitches*, which a zero-delay functional simulation structurally cannot
+//! see. This module owns the delay vocabulary of the workspace:
+//!
+//! * [`DelayModel`] — a compact, serialisable description of how gate delays
+//!   are assigned (zero, uniform, fanout-loaded, or per-gate random);
+//! * [`GateDelays`] — the dense per-gate annotation a model produces for a
+//!   concrete [`Circuit`], the form the event-driven simulators consume
+//!   (see [`crate::CompiledCircuit::compile_with_delays`]).
+//!
+//! All delays are inertial: a gate whose output is scheduled to change but is
+//! re-evaluated to the old value before the change matures swallows the
+//! pulse, as a real gate with finite drive strength would.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::GateId;
+
+/// How much time (in picoseconds) a gate takes to propagate an input change
+/// to its output.
+///
+/// The [`FanoutLoaded`](DelayModel::FanoutLoaded) model is the default: a
+/// fixed intrinsic delay plus a contribution per fanout, the classic
+/// first-order gate-delay approximation for static CMOS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DelayModel {
+    /// Every gate switches instantaneously. With this model the event-driven
+    /// simulators degenerate to the functional (zero-delay) result: no
+    /// glitches, transition counts bit-identical to the zero-delay backends.
+    Zero,
+    /// Every gate has the same delay of the given number of picoseconds.
+    Unit(u64),
+    /// `base_ps + per_fanout_ps * fanout(output net)`, the default.
+    FanoutLoaded {
+        /// Intrinsic gate delay in picoseconds.
+        base_ps: u64,
+        /// Additional delay per driven gate input, in picoseconds.
+        per_fanout_ps: u64,
+    },
+    /// Every gate draws an independent uniformly random delay in
+    /// `[min_ps, max_ps]`, deterministically derived from `seed` and the
+    /// gate's index — a process-variation-style spread that maximises path
+    /// imbalance (and therefore glitching) without any structural bias.
+    Random {
+        /// Seed of the per-gate delay assignment; equal seeds give equal
+        /// annotations.
+        seed: u64,
+        /// Smallest assignable gate delay in picoseconds (must be ≥ 1 so a
+        /// random annotation never degenerates to zero-delay gates).
+        min_ps: u64,
+        /// Largest assignable gate delay in picoseconds.
+        max_ps: u64,
+    },
+}
+
+impl Default for DelayModel {
+    /// 200 ps intrinsic + 80 ps per fanout, representative of a 0.8 µm
+    /// standard-cell library at 5 V (the technology era of the paper).
+    fn default() -> Self {
+        DelayModel::FanoutLoaded {
+            base_ps: 200,
+            per_fanout_ps: 80,
+        }
+    }
+}
+
+/// SplitMix64 — the per-gate hash behind [`DelayModel::Random`]. Cheap,
+/// stateless and well distributed, so random annotations do not depend on an
+/// RNG crate or on gate evaluation order.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl DelayModel {
+    /// A [`DelayModel::Random`] with the default spread (60–340 ps, bracketing
+    /// the default fanout-loaded delays) — what the `dipe` CLI's
+    /// `--delay-model random:<seed>` selects.
+    pub fn random(seed: u64) -> Self {
+        DelayModel::Random {
+            seed,
+            min_ps: 60,
+            max_ps: 340,
+        }
+    }
+
+    /// The propagation delay of `gate` in picoseconds under this model.
+    pub fn gate_delay_ps(&self, circuit: &Circuit, gate: &Gate) -> u64 {
+        match *self {
+            DelayModel::Zero => 0,
+            DelayModel::Unit(d) => d,
+            DelayModel::FanoutLoaded {
+                base_ps,
+                per_fanout_ps,
+            } => base_ps + per_fanout_ps * u64::from(circuit.fanout_count(gate.output())),
+            DelayModel::Random {
+                seed,
+                min_ps,
+                max_ps,
+            } => {
+                let (lo, hi) = (min_ps.max(1), max_ps.max(min_ps.max(1)));
+                lo + splitmix64(
+                    seed ^ (gate.id().index() as u64).wrapping_mul(0xd134_2543_de82_ef95),
+                ) % (hi - lo + 1)
+            }
+        }
+    }
+
+    /// Produces the dense per-gate delay annotation of `circuit` under this
+    /// model — the form the event-driven simulators consume.
+    pub fn annotate(&self, circuit: &Circuit) -> GateDelays {
+        let delays_ps: Vec<u64> = circuit
+            .gates()
+            .iter()
+            .map(|g| self.gate_delay_ps(circuit, g))
+            .collect();
+        GateDelays::from_delays(circuit, delays_ps)
+    }
+
+    /// An upper bound on the settling time of one clock cycle: the critical
+    /// path length under this delay model. Event-driven simulation within a
+    /// cycle never schedules past this horizon (the combinational part is
+    /// acyclic, so every event time is bounded by the longest path).
+    pub fn critical_path_ps(&self, circuit: &Circuit) -> u64 {
+        match *self {
+            DelayModel::Zero => 0,
+            _ => self.annotate(circuit).critical_path_ps(),
+        }
+    }
+}
+
+/// A dense per-gate delay annotation of one concrete [`Circuit`]: the
+/// propagation delay of every gate in picoseconds, indexed by [`GateId`],
+/// plus the critical-path bound derived from it.
+///
+/// Produced by [`DelayModel::annotate`]; consumed by
+/// [`crate::CompiledCircuit::compile_with_delays`] and the event-driven
+/// simulators. Delays are inertial: the pulse-filtering window of each gate
+/// equals its propagation delay.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GateDelays {
+    delays_ps: Vec<u64>,
+    critical_path_ps: u64,
+}
+
+impl GateDelays {
+    /// Wraps an explicit per-gate delay vector (indexed by [`GateId`]) and
+    /// computes the critical path it implies over `circuit`'s topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays_ps` does not have exactly one entry per gate.
+    pub fn from_delays(circuit: &Circuit, delays_ps: Vec<u64>) -> Self {
+        assert_eq!(
+            delays_ps.len(),
+            circuit.num_gates(),
+            "one delay per gate is required"
+        );
+        // Longest path: accumulate max arrival over the topological order.
+        // Saturating, so absurd per-gate delays yield a saturated (and then
+        // rejected) critical path instead of wrapping in release builds.
+        let mut arrival = vec![0u64; circuit.num_nets()];
+        let mut critical = 0u64;
+        for &gid in circuit.topological_order() {
+            let gate = circuit.gate(gid);
+            let input_arrival = gate
+                .inputs()
+                .iter()
+                .map(|n| arrival[n.index()])
+                .max()
+                .unwrap_or(0);
+            let out = input_arrival.saturating_add(delays_ps[gid.index()]);
+            arrival[gate.output().index()] = out;
+            critical = critical.max(out);
+        }
+        GateDelays {
+            delays_ps,
+            critical_path_ps: critical,
+        }
+    }
+
+    /// The propagation delay of one gate in picoseconds.
+    #[inline]
+    pub fn delay_of(&self, id: GateId) -> u64 {
+        self.delays_ps[id.index()]
+    }
+
+    /// The dense per-gate delays, indexed by [`GateId::index`].
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.delays_ps
+    }
+
+    /// Number of annotated gates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.delays_ps.len()
+    }
+
+    /// `true` when the circuit has no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.delays_ps.is_empty()
+    }
+
+    /// The critical-path length in picoseconds: the latest time any event can
+    /// occur within a clock cycle under this annotation.
+    #[inline]
+    pub fn critical_path_ps(&self) -> u64 {
+        self.critical_path_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, GateKind};
+
+    fn chain(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.primary_input("a");
+        let mut prev = a;
+        for i in 0..n {
+            prev = b.gate(GateKind::Not, format!("x{i}"), &[prev]).unwrap();
+        }
+        b.primary_output(prev);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn zero_model_has_zero_delay() {
+        let c = chain(4);
+        let m = DelayModel::Zero;
+        for g in c.gates() {
+            assert_eq!(m.gate_delay_ps(&c, g), 0);
+        }
+        assert_eq!(m.critical_path_ps(&c), 0);
+    }
+
+    #[test]
+    fn unit_model_sums_along_chain() {
+        let c = chain(5);
+        let m = DelayModel::Unit(100);
+        assert_eq!(m.critical_path_ps(&c), 500);
+    }
+
+    #[test]
+    fn fanout_model_charges_per_fanout() {
+        let mut b = CircuitBuilder::new("fan");
+        let a = b.primary_input("a");
+        let x = b.gate(GateKind::Not, "x", &[a]).unwrap();
+        // x drives three gates.
+        let y0 = b.gate(GateKind::Buf, "y0", &[x]).unwrap();
+        let y1 = b.gate(GateKind::Buf, "y1", &[x]).unwrap();
+        let y2 = b.gate(GateKind::Buf, "y2", &[x]).unwrap();
+        b.primary_output(y0);
+        b.primary_output(y1);
+        b.primary_output(y2);
+        let c = b.finish().unwrap();
+        let m = DelayModel::FanoutLoaded {
+            base_ps: 100,
+            per_fanout_ps: 10,
+        };
+        let not_gate = c
+            .gates()
+            .iter()
+            .find(|g| g.kind() == GateKind::Not)
+            .unwrap();
+        assert_eq!(m.gate_delay_ps(&c, not_gate), 130);
+        // The buffers drive nothing (only primary outputs), so base delay only.
+        let buf = c
+            .gates()
+            .iter()
+            .find(|g| g.kind() == GateKind::Buf)
+            .unwrap();
+        assert_eq!(m.gate_delay_ps(&c, buf), 100);
+    }
+
+    #[test]
+    fn default_model_is_fanout_loaded() {
+        assert!(matches!(
+            DelayModel::default(),
+            DelayModel::FanoutLoaded { .. }
+        ));
+    }
+
+    #[test]
+    fn critical_path_is_monotone_in_chain_length() {
+        let m = DelayModel::default();
+        let short = m.critical_path_ps(&chain(3));
+        let long = m.critical_path_ps(&chain(9));
+        assert!(long > short);
+    }
+
+    #[test]
+    fn random_model_is_deterministic_and_in_range() {
+        let c = chain(20);
+        let m = DelayModel::random(42);
+        let a = m.annotate(&c);
+        let b = m.annotate(&c);
+        assert_eq!(a, b, "equal seeds give equal annotations");
+        let DelayModel::Random { min_ps, max_ps, .. } = m else {
+            unreachable!()
+        };
+        for &d in a.as_slice() {
+            assert!((min_ps..=max_ps).contains(&d), "delay {d} out of range");
+        }
+        // Different seeds give different annotations (with overwhelming
+        // probability over 20 gates and a 281-value range).
+        let other = DelayModel::random(43).annotate(&c);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn random_model_never_assigns_zero_delay() {
+        let c = chain(10);
+        let m = DelayModel::Random {
+            seed: 7,
+            min_ps: 0, // deliberately degenerate: clamped to 1
+            max_ps: 3,
+        };
+        for &d in m.annotate(&c).as_slice() {
+            assert!(d >= 1);
+        }
+    }
+
+    #[test]
+    fn annotation_matches_model_per_gate() {
+        let c = chain(6);
+        let m = DelayModel::default();
+        let delays = m.annotate(&c);
+        assert_eq!(delays.len(), c.num_gates());
+        assert!(!delays.is_empty());
+        for g in c.gates() {
+            assert_eq!(delays.delay_of(g.id()), m.gate_delay_ps(&c, g));
+        }
+        assert_eq!(delays.critical_path_ps(), m.critical_path_ps(&c));
+    }
+
+    #[test]
+    fn explicit_annotation_computes_critical_path() {
+        let c = chain(3);
+        let delays = GateDelays::from_delays(&c, vec![5, 7, 11]);
+        assert_eq!(delays.critical_path_ps(), 23);
+        assert_eq!(delays.as_slice(), &[5, 7, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per gate")]
+    fn wrong_length_annotation_is_rejected() {
+        let c = chain(3);
+        GateDelays::from_delays(&c, vec![1, 2]);
+    }
+}

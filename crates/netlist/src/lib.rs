@@ -40,6 +40,7 @@
 
 mod builder;
 mod circuit;
+mod delay;
 mod error;
 mod gate;
 
@@ -51,6 +52,7 @@ pub mod iscas89;
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, CircuitStats, FlipFlop, Net, NetDriver};
 pub use compiled::{CompiledCircuit, Instruction, Opcode};
+pub use delay::{DelayModel, GateDelays};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
 

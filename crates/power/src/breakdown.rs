@@ -65,14 +65,35 @@ pub struct NetPower {
     pub net_index: usize,
     /// What drives the net.
     pub driver: DriverClass,
-    /// Estimated switching activity in transitions/cycle.
+    /// Estimated switching activity in transitions/cycle (glitches included).
     pub activity: f64,
     /// Standard error of the activity estimate (0 when unknown).
     pub activity_std_error: f64,
+    /// The glitch component of `activity`: mean transitions/cycle that exist
+    /// only because of unequal path delays (0 under zero-delay measurement).
+    pub glitch_activity: f64,
     /// Load capacitance in farads.
     pub capacitance_f: f64,
-    /// Average power dissipated charging this net, in watts.
+    /// Average power dissipated charging this net, in watts. Equals
+    /// `functional_power_w + glitch_power_w` up to one last-place rounding
+    /// (≤ 1e-12 relative; asserted in CI on the s1494 JSON export).
     pub power_w: f64,
+    /// The part of `power_w` due to glitch transitions.
+    pub glitch_power_w: f64,
+    /// The part of `power_w` due to functional (settled) transitions.
+    pub functional_power_w: f64,
+}
+
+impl NetPower {
+    /// The glitch fraction of this net's power, in `[0, 1]` (0 for idle
+    /// nets).
+    pub fn glitch_fraction(&self) -> f64 {
+        if self.power_w > 0.0 {
+            self.glitch_power_w / self.power_w
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Per-driver-class power subtotal.
@@ -84,6 +105,19 @@ pub struct GroupPower {
     pub nets: usize,
     /// Summed average power of the class, in watts.
     pub power_w: f64,
+    /// Summed glitch power of the class, in watts.
+    pub glitch_power_w: f64,
+}
+
+impl GroupPower {
+    /// The glitch fraction of this class's power, in `[0, 1]`.
+    pub fn glitch_fraction(&self) -> f64 {
+        if self.power_w > 0.0 {
+            self.glitch_power_w / self.power_w
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The spatial power breakdown of a circuit under an activity estimate.
@@ -98,9 +132,16 @@ pub struct PowerBreakdown {
 impl PowerBreakdown {
     /// Builds the breakdown from dense per-net activity estimates.
     ///
-    /// `means` are mean transitions/cycle and `std_errors` their standard
-    /// errors, both indexed by [`NetId::index`]; `observations` is the number
-    /// of sampled cycles behind the means.
+    /// `means` are mean transitions/cycle (glitches included) and
+    /// `std_errors` their standard errors; `glitch_means` is the glitch
+    /// component of each mean (all zeros under zero-delay measurement). All
+    /// three are indexed by [`NetId::index`]; `observations` is the number of
+    /// sampled cycles behind the means.
+    ///
+    /// Per net, the functional part is *defined* as `power_w −
+    /// glitch_power_w`, so the decomposition recombines to the total with at
+    /// most one last-place rounding error (≤ 1e-12 relative) and never goes
+    /// negative (glitch activity cannot exceed total activity).
     ///
     /// # Panics
     ///
@@ -111,10 +152,16 @@ impl PowerBreakdown {
         loads: &LoadCapacitances,
         means: &[f64],
         std_errors: &[f64],
+        glitch_means: &[f64],
         observations: u64,
     ) -> Self {
         assert_eq!(means.len(), circuit.num_nets(), "one mean per net");
         assert_eq!(std_errors.len(), circuit.num_nets(), "one SE per net");
+        assert_eq!(
+            glitch_means.len(),
+            circuit.num_nets(),
+            "one glitch mean per net"
+        );
         assert_eq!(loads.len(), circuit.num_nets(), "one load per net");
         let factor = technology.power_factor_w_per_f();
         let per_net = circuit
@@ -123,14 +170,21 @@ impl PowerBreakdown {
             .map(|net| {
                 let idx = net.id().index();
                 let capacitance_f = loads.farads(net.id());
+                let power_w = factor * capacitance_f * means[idx];
+                let glitch_power_w = factor * capacitance_f * glitch_means[idx];
                 NetPower {
                     name: net.name().to_string(),
                     net_index: idx,
                     driver: DriverClass::of(net.driver()),
                     activity: means[idx],
                     activity_std_error: std_errors[idx],
+                    glitch_activity: glitch_means[idx],
                     capacitance_f,
-                    power_w: factor * capacitance_f * means[idx],
+                    power_w,
+                    glitch_power_w,
+                    // Defined as the difference so the decomposition sums
+                    // back exactly; glitch ≤ total keeps it non-negative.
+                    functional_power_w: power_w - glitch_power_w,
                 }
             })
             .collect();
@@ -173,6 +227,22 @@ impl PowerBreakdown {
         self.per_net.iter().map(|n| n.power_w).sum()
     }
 
+    /// Total glitch power: the capacitance-weighted sum of the per-net
+    /// glitch activities. 0 under zero-delay measurement.
+    pub fn total_glitch_power_w(&self) -> f64 {
+        self.per_net.iter().map(|n| n.glitch_power_w).sum()
+    }
+
+    /// The glitch fraction of the total power, in `[0, 1]`.
+    pub fn glitch_fraction(&self) -> f64 {
+        let total = self.total_power_w();
+        if total > 0.0 {
+            self.total_glitch_power_w() / total
+        } else {
+            0.0
+        }
+    }
+
     /// Mean total switching activity in transitions/cycle (unweighted sum of
     /// the per-net activities).
     pub fn total_activity(&self) -> f64 {
@@ -182,10 +252,21 @@ impl PowerBreakdown {
     /// The `k` highest-power nets, ranked by descending power (ties broken
     /// by net index).
     pub fn hot_spots(&self, k: usize) -> Vec<&NetPower> {
+        self.ranked_by(k, |n| n.power_w)
+    }
+
+    /// The `k` highest-*glitch*-power nets, ranked by descending glitch
+    /// power (ties broken by net index) — where glitch-suppression effort
+    /// (path balancing, gate resizing) pays off first.
+    pub fn glitch_hot_spots(&self, k: usize) -> Vec<&NetPower> {
+        self.ranked_by(k, |n| n.glitch_power_w)
+    }
+
+    fn ranked_by(&self, k: usize, key: impl Fn(&NetPower) -> f64) -> Vec<&NetPower> {
         let mut ranked: Vec<&NetPower> = self.per_net.iter().collect();
         ranked.sort_by(|a, b| {
-            b.power_w
-                .partial_cmp(&a.power_w)
+            key(b)
+                .partial_cmp(&key(a))
                 .expect("powers must not contain NaN")
                 .then(a.net_index.cmp(&b.net_index))
         });
@@ -213,6 +294,7 @@ impl PowerBreakdown {
                 class,
                 nets: members.len(),
                 power_w: members.iter().map(|n| n.power_w).sum(),
+                glitch_power_w: members.iter().map(|n| n.glitch_power_w).sum(),
             })
         })
         .collect()
@@ -225,21 +307,26 @@ impl PowerBreakdown {
         let mut out = String::from("{\n");
         out.push_str(&format!(
             "  \"circuit\": \"{}\",\n  \"vdd_v\": {},\n  \"clock_hz\": {},\n  \
-             \"observations\": {},\n  \"total_power_w\": {:e},\n",
+             \"observations\": {},\n  \"total_power_w\": {:e},\n  \
+             \"total_glitch_power_w\": {:e},\n  \"glitch_fraction\": {:e},\n",
             json_escape(&self.circuit),
             self.technology.vdd_v(),
             self.technology.clock_hz(),
             self.observations,
             self.total_power_w(),
+            self.total_glitch_power_w(),
+            self.glitch_fraction(),
         ));
         out.push_str("  \"groups\": [\n");
         let groups = self.group_totals();
         for (i, g) in groups.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"class\": \"{}\", \"nets\": {}, \"power_w\": {:e}}}{}\n",
+                "    {{\"class\": \"{}\", \"nets\": {}, \"power_w\": {:e}, \
+                 \"glitch_power_w\": {:e}}}{}\n",
                 g.class.label(),
                 g.nets,
                 g.power_w,
+                g.glitch_power_w,
                 if i + 1 == groups.len() { "" } else { "," }
             ));
         }
@@ -248,14 +335,19 @@ impl PowerBreakdown {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"net\": {}, \"driver\": \"{}\", \
                  \"activity\": {:e}, \"activity_std_error\": {:e}, \
-                 \"capacitance_f\": {:e}, \"power_w\": {:e}}}{}\n",
+                 \"glitch_activity\": {:e}, \"capacitance_f\": {:e}, \
+                 \"power_w\": {:e}, \"functional_power_w\": {:e}, \
+                 \"glitch_power_w\": {:e}}}{}\n",
                 json_escape(&n.name),
                 n.net_index,
                 n.driver.label(),
                 n.activity,
                 n.activity_std_error,
+                n.glitch_activity,
                 n.capacitance_f,
                 n.power_w,
+                n.functional_power_w,
+                n.glitch_power_w,
                 if i + 1 == self.per_net.len() { "" } else { "," }
             ));
         }
@@ -288,10 +380,24 @@ mod tests {
     fn s27_breakdown() -> (Circuit, PowerBreakdown) {
         let c = iscas89::load("s27").unwrap();
         let loads = CapacitanceModel::default().loads(&c);
-        // Deterministic synthetic activities: net i toggles (i mod 4) / 8.
+        // Deterministic synthetic activities: net i toggles (i mod 4) / 8,
+        // half of which is glitching on every other net.
         let means: Vec<f64> = (0..c.num_nets()).map(|i| (i % 4) as f64 / 8.0).collect();
         let ses: Vec<f64> = vec![0.001; c.num_nets()];
-        let b = PowerBreakdown::from_activity(&c, Technology::default(), &loads, &means, &ses, 500);
+        let glitch: Vec<f64> = means
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| if i % 2 == 0 { m / 2.0 } else { 0.0 })
+            .collect();
+        let b = PowerBreakdown::from_activity(
+            &c,
+            Technology::default(),
+            &loads,
+            &means,
+            &ses,
+            &glitch,
+            500,
+        );
         (c, b)
     }
 
@@ -367,8 +473,63 @@ mod tests {
         let c = iscas89::load("s27").unwrap();
         let loads = CapacitanceModel::default().loads(&c);
         let zeros = vec![0.0; c.num_nets()];
-        let b = PowerBreakdown::from_activity(&c, Technology::default(), &loads, &zeros, &zeros, 0);
+        let b = PowerBreakdown::from_activity(
+            &c,
+            Technology::default(),
+            &loads,
+            &zeros,
+            &zeros,
+            &zeros,
+            0,
+        );
         assert_eq!(b.total_power_w(), 0.0);
         assert_eq!(b.total_activity(), 0.0);
+        assert_eq!(b.total_glitch_power_w(), 0.0);
+        assert_eq!(b.glitch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn glitch_decomposition_sums_exactly() {
+        let (_, b) = s27_breakdown();
+        for n in b.per_net() {
+            // Exact for this synthetic data (every glitch mean is exactly
+            // half its activity mean, so the subtraction is Sterbenz-exact);
+            // the CI acceptance check asserts ≤ 1e-12 relative on real runs.
+            assert_eq!(n.functional_power_w + n.glitch_power_w, n.power_w);
+            assert!(n.glitch_power_w >= 0.0 && n.functional_power_w >= 0.0);
+            assert!((0.0..=1.0).contains(&n.glitch_fraction()));
+        }
+        let group_glitch: f64 = b.group_totals().iter().map(|g| g.glitch_power_w).sum();
+        let relative = (group_glitch - b.total_glitch_power_w()).abs()
+            / b.total_glitch_power_w().max(f64::MIN_POSITIVE);
+        assert!(relative < 1e-12);
+        assert!(b.glitch_fraction() > 0.0 && b.glitch_fraction() < 1.0);
+    }
+
+    #[test]
+    fn glitch_hot_spots_rank_by_glitch_power() {
+        let (_, b) = s27_breakdown();
+        let hot = b.glitch_hot_spots(5);
+        assert_eq!(hot.len(), 5);
+        for pair in hot.windows(2) {
+            assert!(pair[0].glitch_power_w >= pair[1].glitch_power_w);
+        }
+        // Synthetic glitch lives only on even net indices.
+        assert!(hot.iter().all(|n| n.net_index % 2 == 0));
+        // The glitch ranking genuinely differs from the power ranking here.
+        let by_power: Vec<usize> = b.hot_spots(5).iter().map(|n| n.net_index).collect();
+        let by_glitch: Vec<usize> = hot.iter().map(|n| n.net_index).collect();
+        assert_ne!(by_power, by_glitch);
+    }
+
+    #[test]
+    fn json_export_carries_the_glitch_fields() {
+        let (_, b) = s27_breakdown();
+        let json = b.to_json();
+        assert!(json.contains("\"total_glitch_power_w\""));
+        assert!(json.contains("\"glitch_fraction\""));
+        assert!(json.contains("\"glitch_activity\""));
+        assert!(json.contains("\"functional_power_w\""));
+        assert!(json.contains("\"glitch_power_w\""));
     }
 }

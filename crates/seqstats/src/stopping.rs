@@ -8,13 +8,13 @@
 //! Three criteria are provided:
 //!
 //! * [`NormalCriterion`] — the classical Monte-Carlo criterion based on the
-//!   central limit theorem (Burch *et al.*, Najm *et al.* — refs. [1], [11]
+//!   central limit theorem (Burch *et al.*, Najm *et al.* — refs. \[1], \[11]
 //!   of the paper). Parametric but, for the sample sizes involved, very close
 //!   to exact; this is the default used by the reproduction harness because
 //!   its sample-size behaviour matches the sizes reported in Table 1.
 //! * [`OrderStatisticCriterion`] — a distribution-free criterion built on the
 //!   binomial confidence interval for the median (order statistics), standing
-//!   in for the criterion of ref. [7] whose derivation is not contained in
+//!   in for the criterion of ref. \[7] whose derivation is not contained in
 //!   this paper (see DESIGN.md §5).
 //! * [`DkwCriterion`] — a conservative distribution-free criterion based on
 //!   the Dvoretzky–Kiefer–Wolfowitz bound on the empirical CDF.
@@ -160,7 +160,7 @@ impl StoppingCriterion for NormalCriterion {
 /// For the mildly skewed, unimodal per-cycle power distributions observed in
 /// practice the median tracks the mean closely, which is why this
 /// distribution-independent rule achieves comparable accuracy — exactly the
-/// trade-off the paper attributes to its nonparametric criterion [7].
+/// trade-off the paper attributes to its nonparametric criterion \[7].
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct OrderStatisticCriterion {
     relative_error: f64,

@@ -6,9 +6,12 @@
 //!
 //! The actual library lives in the member crates:
 //!
-//! * [`netlist`] — gate-level circuit model, `.bench` I/O, synthetic ISCAS'89-like generator
-//! * [`logicsim`] — zero-delay and event-driven variable-delay logic simulation
-//! * [`power`] — capacitance / technology / per-cycle power model
+//! * [`netlist`] — gate-level circuit model, `.bench` I/O, synthetic
+//!   ISCAS'89-like generator, compiled programs and per-gate delay annotation
+//! * [`logicsim`] — zero-delay (interpreted, compiled, 64-lane bit-parallel)
+//!   and delay-aware event-driven simulation with glitch decomposition
+//! * [`power`] — capacitance / technology / per-cycle power model and the
+//!   spatial breakdown with per-net functional/glitch components
 //! * [`seqstats`] — runs test, normal quantiles, stopping criteria
 //! * [`markov`] — FSM / Markov-chain analysis substrate
 //! * [`dipe`] — the paper's estimator plus the unified estimation API:

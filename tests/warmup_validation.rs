@@ -1,0 +1,121 @@
+//! External validation of `markov::warmup` against the warm-up DIPE actually
+//! uses on the synthetic ISCAS'89 catalogue.
+//!
+//! DIPE does not compute chain-specific warm-up bounds: it burns a fixed
+//! `DipeConfig::warmup_cycles` (default 256) before any sampling and relies
+//! on the runs test afterwards. The `markov` crate can check that choice
+//! exactly on the catalogue circuits whose state space is small enough for
+//! exhaustive STG extraction: the empirical time-to-stationarity must be
+//! comfortably below the configured warm-up, the spectral bound must agree
+//! on the order of magnitude, and the conservative Chou–Roy warm-up must
+//! dwarf both (the paper's waste argument).
+
+use dipe::input::InputModel;
+use dipe::{run_to_completion, DipeConfig, DipeEstimator, PowerEstimator};
+use markov::{warmup, StateTransitionGraph};
+use netlist::iscas89;
+
+/// Catalogue circuits tractable for exhaustive STG extraction (≤ 6 latches,
+/// ≤ 16 primary inputs — the extractor enumerates state × input pairs).
+const TRACTABLE: &[&str] = &["s27", "s386", "s1488", "s1494"];
+
+fn extracted(name: &str) -> StateTransitionGraph {
+    let circuit = iscas89::load(name).unwrap();
+    assert!(
+        StateTransitionGraph::is_tractable(&circuit),
+        "{name} should be tractable for exhaustive extraction"
+    );
+    StateTransitionGraph::extract(&circuit, 0.5).unwrap()
+}
+
+#[test]
+fn dipe_default_warmup_covers_the_tractable_catalogue() {
+    let configured = DipeConfig::default().warmup_cycles;
+    for name in TRACTABLE {
+        let stg = extracted(name);
+        let chain = stg.chain();
+        // Worst case: start concentrated in one state (the all-zero reset
+        // state), demand 1 % total variation from stationarity.
+        let empirical =
+            warmup::empirical_warmup(chain, &chain.point_distribution(0), 0.01, configured)
+                .unwrap_or_else(|| {
+                    panic!("{name}: no stationarity within the configured {configured} cycles")
+                });
+        assert!(
+            empirical <= configured / 2,
+            "{name}: empirical warm-up {empirical} leaves no safety margin \
+             under the configured {configured}"
+        );
+    }
+}
+
+#[test]
+fn spectral_bound_brackets_the_empirical_warmup() {
+    for name in TRACTABLE {
+        let stg = extracted(name);
+        let chain = stg.chain();
+        let empirical = warmup::empirical_warmup(chain, &chain.point_distribution(0), 0.01, 10_000)
+            .expect("catalogue chains mix");
+        let spectral = warmup::spectral_warmup_bound(chain, 0.01);
+        assert!(
+            spectral != usize::MAX,
+            "{name}: catalogue chain reported as non-mixing"
+        );
+        // The spectral figure bounds the asymptotic decay; the empirical
+        // number includes the transient, so agreement is order-of-magnitude:
+        // within 8x of each other and never absurdly large.
+        assert!(
+            empirical <= spectral.saturating_mul(8).max(8),
+            "{name}: empirical {empirical} far above spectral bound {spectral}"
+        );
+        assert!(
+            spectral <= 200,
+            "{name}: spectral warm-up bound {spectral} implausibly large"
+        );
+    }
+}
+
+#[test]
+fn conservative_warmup_dwarfs_every_catalogue_chain() {
+    // The fixed Chou–Roy-style warm-up (~300 cycles per sample with the
+    // reproduction defaults) against what the chains actually need.
+    let conservative = warmup::conservative_warmup(0.01, 0.05);
+    assert!((298..=300).contains(&conservative));
+    for name in TRACTABLE {
+        let stg = extracted(name);
+        let chain = stg.chain();
+        let empirical = warmup::empirical_warmup(chain, &chain.point_distribution(0), 0.01, 10_000)
+            .expect("catalogue chains mix");
+        assert!(
+            conservative >= 10 * empirical.max(1),
+            "{name}: conservative {conservative} vs empirical {empirical}"
+        );
+    }
+}
+
+#[test]
+fn warmup_theory_matches_a_real_dipe_run_on_s27() {
+    // End to end: the chain-level warm-up analysis and the estimator must
+    // tell one coherent story. s27 mixes in a handful of cycles, so after
+    // DIPE's 256 warm-up cycles the sampled process is stationary and the
+    // runs test settles on a short independence interval.
+    let stg = extracted("s27");
+    let chain = stg.chain();
+    let empirical = warmup::empirical_warmup(chain, &chain.point_distribution(0), 0.01, 10_000)
+        .expect("s27 mixes");
+
+    let circuit = iscas89::load("s27").unwrap();
+    let config = DipeConfig::default().with_seed(1997);
+    let estimate = run_to_completion(
+        DipeEstimator::new()
+            .start(&circuit, &config, &InputModel::uniform(), 0)
+            .unwrap(),
+    )
+    .unwrap();
+    let interval = estimate.independence_interval().expect("DIPE diagnostics");
+    // Both the mixing time and the selected decorrelation interval are
+    // "a few cycles" — and both are dwarfed by the configured warm-up.
+    assert!(empirical <= 20, "empirical warm-up {empirical}");
+    assert!(interval <= 20, "selected interval {interval}");
+    assert!(config.warmup_cycles >= 10 * empirical.max(1));
+}
