@@ -63,6 +63,8 @@
 
 mod accumulator;
 mod session;
+mod sharded;
 
 pub use accumulator::NodeActivityAccumulator;
 pub use session::{BreakdownEstimator, BreakdownSession, ConvergenceTarget};
+pub use sharded::{ShardedBreakdownEstimator, ShardedBreakdownSession};

@@ -202,19 +202,7 @@ impl<'c> BreakdownSession<'c> {
     /// Evaluates the per-node policy on the accumulator's current state,
     /// ranking nets by estimated power (capacitance-weighted activity).
     fn evaluate_node_policy(&self) -> NodeStoppingDecision {
-        let means = self.accumulator.means();
-        let std_errors = self.accumulator.std_errors();
-        let weights: Vec<f64> = means
-            .iter()
-            .zip(&self.capacitances_f)
-            .map(|(&mean, &cap)| mean * cap)
-            .collect();
-        self.node_policy.evaluate(
-            &means,
-            &std_errors,
-            &weights,
-            self.accumulator.observations() as usize,
-        )
+        evaluate_node_policy(&self.accumulator, &self.capacitances_f, self.node_policy)
     }
 
     fn finish(
@@ -225,43 +213,106 @@ impl<'c> BreakdownSession<'c> {
         node_decision: NodeStoppingDecision,
         elapsed_seconds: f64,
     ) -> Estimate {
-        let breakdown = power::PowerBreakdown::from_activity(
-            self.sampler.circuit(),
-            self.sampler.calculator().technology(),
-            self.sampler.calculator().loads(),
-            &self.accumulator.means(),
-            &self.accumulator.std_errors(),
-            &self.accumulator.glitch_means(),
-            self.accumulator.observations(),
-        );
         let criterion = match self.target {
             ConvergenceTarget::TotalPower => self.criterion.name().to_string(),
-            ConvergenceTarget::NodeBreakdown => format!(
-                "per-node top-{} (eps {}, confidence {}, floor {})",
-                self.node_policy.top_k(),
-                self.node_policy.relative_error(),
-                self.node_policy.confidence(),
-                self.node_policy.activity_floor()
-            ),
+            ConvergenceTarget::NodeBreakdown => node_criterion_label(self.node_policy),
         };
-        Estimate {
-            estimator: self.name.clone(),
-            // As in the scalar sessions, the reported power is the sample
-            // mean; by Eq. (1) it equals the breakdown's capacitance-weighted
-            // activity total up to floating-point association.
-            mean_power_w: seqstats::descriptive::mean(&sample),
-            relative_half_width: Some(total_rhw),
-            sample_size: sample.len(),
+        breakdown_estimate(BreakdownEstimateParts {
+            name: self.name.clone(),
+            circuit: self.sampler.circuit(),
+            technology: self.sampler.calculator().technology(),
+            loads: self.sampler.calculator().loads(),
+            accumulator: &self.accumulator,
+            sample,
+            total_rhw,
+            node_decision,
+            selection,
+            criterion,
             cycle_counts: self.sampler.cycle_counts(),
             elapsed_seconds,
-            diagnostics: Diagnostics::NodeBreakdown(Box::new(dipe::NodeBreakdownDiagnostics {
-                selection,
-                criterion,
-                breakdown,
-                node_decision,
-                sample,
-            })),
-        }
+        })
+    }
+}
+
+/// Evaluates the two-tier per-node policy on an accumulator's current
+/// state, ranking nets by estimated power (capacitance-weighted activity).
+/// Shared by the single-threaded session and the sharded merger.
+pub(crate) fn evaluate_node_policy(
+    accumulator: &NodeActivityAccumulator,
+    capacitances_f: &[f64],
+    node_policy: NodeStoppingPolicy,
+) -> NodeStoppingDecision {
+    let means = accumulator.means();
+    let std_errors = accumulator.std_errors();
+    let weights: Vec<f64> = means
+        .iter()
+        .zip(capacitances_f)
+        .map(|(&mean, &cap)| mean * cap)
+        .collect();
+    node_policy.evaluate(
+        &means,
+        &std_errors,
+        &weights,
+        accumulator.observations() as usize,
+    )
+}
+
+/// The stopping-rule label of a node-targeted session.
+pub(crate) fn node_criterion_label(node_policy: NodeStoppingPolicy) -> String {
+    format!(
+        "per-node top-{} (eps {}, confidence {}, floor {})",
+        node_policy.top_k(),
+        node_policy.relative_error(),
+        node_policy.confidence(),
+        node_policy.activity_floor()
+    )
+}
+
+/// Everything needed to assemble a breakdown [`Estimate`] — shared by the
+/// single-threaded session and the sharded runner so the reported record
+/// can never diverge between the two paths.
+pub(crate) struct BreakdownEstimateParts<'a> {
+    pub name: String,
+    pub circuit: &'a Circuit,
+    pub technology: power::Technology,
+    pub loads: &'a power::LoadCapacitances,
+    pub accumulator: &'a NodeActivityAccumulator,
+    pub sample: Vec<f64>,
+    pub total_rhw: f64,
+    pub node_decision: NodeStoppingDecision,
+    pub selection: IndependenceSelection,
+    pub criterion: String,
+    pub cycle_counts: dipe::sampler::CycleCounts,
+    pub elapsed_seconds: f64,
+}
+
+pub(crate) fn breakdown_estimate(parts: BreakdownEstimateParts<'_>) -> Estimate {
+    let breakdown = power::PowerBreakdown::from_activity(
+        parts.circuit,
+        parts.technology,
+        parts.loads,
+        &parts.accumulator.means(),
+        &parts.accumulator.std_errors(),
+        &parts.accumulator.glitch_means(),
+        parts.accumulator.observations(),
+    );
+    Estimate {
+        estimator: parts.name,
+        // As in the scalar sessions, the reported power is the sample
+        // mean; by Eq. (1) it equals the breakdown's capacitance-weighted
+        // activity total up to floating-point association.
+        mean_power_w: seqstats::descriptive::mean(&parts.sample),
+        relative_half_width: Some(parts.total_rhw),
+        sample_size: parts.sample.len(),
+        cycle_counts: parts.cycle_counts,
+        elapsed_seconds: parts.elapsed_seconds,
+        diagnostics: Diagnostics::NodeBreakdown(Box::new(dipe::NodeBreakdownDiagnostics {
+            selection: parts.selection,
+            criterion: parts.criterion,
+            breakdown,
+            node_decision: parts.node_decision,
+            sample: parts.sample,
+        })),
     }
 }
 

@@ -1,0 +1,436 @@
+//! Sharded node-resolved estimation: the breakdown session's sampling
+//! phase fanned out across worker shards via [`dipe::shards`].
+//!
+//! Warm-up and interval selection run once on the primary shard, exactly
+//! like [`BreakdownSession`](crate::BreakdownSession); block sampling then
+//! runs on N concurrent chains. Each shard folds its measured cycles into
+//! its **own** per-block [`NodeActivityAccumulator`] delta, and the merger
+//! absorbs every round's deltas (deterministic shard order — and the
+//! accumulator's exact integer sums make the merge order-independent on
+//! top of that) into the pooled accumulator before evaluating the stopping
+//! rule: the scalar total-power criterion, the two-tier
+//! [`seqstats::NodeStoppingPolicy`], or both, depending on the
+//! [`ConvergenceTarget`]. The glitch decomposition rides along untouched —
+//! per-shard glitch sums merge exactly, so the `power ≡ functional +
+//! glitch` identity of the breakdown holds on the sharded path bit-for-bit
+//! as it does on the single-threaded one.
+//!
+//! With one shard the pooled sample, the accumulator, the stopping trace
+//! and the cycle accounting are identical to the single-threaded session
+//! for the same seed (asserted by the workspace determinism tests); with K
+//! shards the estimate is statistically equivalent and independent of
+//! thread scheduling.
+
+use std::time::Instant;
+
+use dipe::estimate::{CycleBudget, Estimate, EstimationSession, Progress, SessionPhase};
+use dipe::independence::IndependenceSelection;
+use dipe::shards::{
+    pooled_cycle_counts, run_sharded_blocks, FrontStep, RoundVerdict, SerialFront, ShardFold,
+};
+use dipe::{DipeConfig, DipeError, PowerEstimator, PowerSampler};
+use logicsim::GlitchActivity;
+use netlist::Circuit;
+use seqstats::{NodeStoppingDecision, NodeStoppingPolicy, StoppingCriterion};
+
+use crate::accumulator::NodeActivityAccumulator;
+use crate::session::{
+    breakdown_estimate, evaluate_node_policy, node_criterion_label, BreakdownEstimateParts,
+};
+use crate::ConvergenceTarget;
+
+/// The per-shard fold of node-resolved estimation: every block carries an
+/// exact per-net activity delta for just that block's measured cycles.
+struct ActivityFold {
+    num_nets: usize,
+}
+
+impl ShardFold for ActivityFold {
+    type Block = NodeActivityAccumulator;
+
+    fn new_block(&self) -> NodeActivityAccumulator {
+        NodeActivityAccumulator::new(self.num_nets)
+    }
+
+    fn observe(&self, block: &mut NodeActivityAccumulator, activity: &GlitchActivity) {
+        block.add_glitch_cycle(activity);
+    }
+}
+
+/// A [`PowerEstimator`] producing spatial power breakdowns with the
+/// sampling phase sharded across cores.
+///
+/// The sharded counterpart of [`crate::BreakdownEstimator`]; construct one
+/// with [`sharded`](crate::BreakdownEstimator::sharded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedBreakdownEstimator {
+    node_policy: NodeStoppingPolicy,
+    target: ConvergenceTarget,
+    shards: usize,
+}
+
+impl ShardedBreakdownEstimator {
+    /// Creates an estimator with the given per-node policy, target and
+    /// shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(node_policy: NodeStoppingPolicy, target: ConvergenceTarget, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        ShardedBreakdownEstimator {
+            node_policy,
+            target,
+            shards,
+        }
+    }
+
+    /// The number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-node stopping policy.
+    pub fn node_policy(&self) -> NodeStoppingPolicy {
+        self.node_policy
+    }
+
+    /// The convergence target.
+    pub fn target(&self) -> ConvergenceTarget {
+        self.target
+    }
+}
+
+impl crate::BreakdownEstimator {
+    /// The sharded counterpart of this estimator: same policy and target,
+    /// with the sampling phase fanned out across `shards` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn sharded(&self, shards: usize) -> ShardedBreakdownEstimator {
+        ShardedBreakdownEstimator::new(self.node_policy(), self.target(), shards)
+    }
+}
+
+impl PowerEstimator for ShardedBreakdownEstimator {
+    fn name(&self) -> String {
+        let base = match self.target {
+            ConvergenceTarget::TotalPower => "node breakdown (total-power stop".to_string(),
+            ConvergenceTarget::NodeBreakdown => format!(
+                "node breakdown (top-{} per-node stop",
+                self.node_policy.top_k()
+            ),
+        };
+        format!("{base}, {} shards)", self.shards)
+    }
+
+    fn start<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &dipe::input::InputModel,
+        seed_offset: u64,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        let sampler = PowerSampler::new(circuit, config, input_model, seed_offset)?;
+        Ok(Box::new(ShardedBreakdownSession {
+            name: self.name(),
+            circuit,
+            criterion: config.build_criterion(),
+            state: State::Front(SerialFront::new(sampler, config)),
+            config: config.clone(),
+            input_model: input_model.clone(),
+            base_seed_offset: seed_offset,
+            node_policy: self.node_policy,
+            target: self.target,
+            shards: self.shards,
+            elapsed_seconds: 0.0,
+        }))
+    }
+}
+
+enum State<'c> {
+    /// Warm-up + interval selection (the serial front shared with
+    /// [`dipe::shards::ShardedSession`]).
+    Front(SerialFront<'c>),
+    Done(Estimate),
+    Failed(DipeError),
+}
+
+/// The running session behind [`ShardedBreakdownEstimator`]. Warm-up and
+/// selection honour the [`CycleBudget`]; the sharded sampling phase runs
+/// to completion within the step that starts it, bounded by the pooled
+/// stopping rule.
+pub struct ShardedBreakdownSession<'c> {
+    name: String,
+    circuit: &'c Circuit,
+    config: DipeConfig,
+    input_model: dipe::input::InputModel,
+    criterion: Box<dyn StoppingCriterion>,
+    base_seed_offset: u64,
+    node_policy: NodeStoppingPolicy,
+    target: ConvergenceTarget,
+    shards: usize,
+    state: State<'c>,
+    elapsed_seconds: f64,
+}
+
+impl<'c> ShardedBreakdownSession<'c> {
+    fn run_fanout(
+        &mut self,
+        sampler: PowerSampler<'c>,
+        selection: IndependenceSelection,
+        step_start: Instant,
+    ) -> Result<Estimate, DipeError> {
+        let counts_at_fanout = sampler.cycle_counts();
+        let technology = sampler.calculator().technology();
+        let capacitances_f: Vec<f64> = sampler.calculator().loads().as_slice().to_vec();
+        let fold = ActivityFold {
+            num_nets: self.circuit.num_nets(),
+        };
+        let mut accumulator = NodeActivityAccumulator::for_circuit(self.circuit);
+        let criterion = self.criterion.as_ref();
+        let node_policy = self.node_policy;
+        let target = self.target;
+        let max_samples = self.config.max_samples;
+        let mut last_total: Option<seqstats::StoppingDecision> = None;
+        let mut last_node: Option<NodeStoppingDecision> = None;
+        let mut exhausted = false;
+        let pooled = run_sharded_blocks(
+            self.circuit,
+            &self.config,
+            &self.input_model,
+            self.base_seed_offset,
+            sampler,
+            selection.interval,
+            self.shards,
+            &fold,
+            |sample: &[f64], deltas: Vec<NodeActivityAccumulator>| {
+                for delta in &deltas {
+                    accumulator.merge(delta);
+                }
+                let total = criterion.evaluate(sample);
+                let node = evaluate_node_policy(&accumulator, &capacitances_f, node_policy);
+                let satisfied = match target {
+                    ConvergenceTarget::TotalPower => total.satisfied,
+                    ConvergenceTarget::NodeBreakdown => node.satisfied,
+                };
+                last_total = Some(total);
+                last_node = Some(node);
+                if satisfied {
+                    RoundVerdict::Satisfied
+                } else if sample.len() >= max_samples {
+                    exhausted = true;
+                    RoundVerdict::Exhausted
+                } else {
+                    RoundVerdict::Continue
+                }
+            },
+        )?;
+        let total = last_total.expect("at least one round was decided");
+        let node = last_node.expect("at least one round was decided");
+        if exhausted {
+            return Err(DipeError::SampleBudgetExhausted {
+                samples: pooled.sample.len(),
+                achieved_relative_half_width: match self.target {
+                    ConvergenceTarget::TotalPower => total.relative_half_width,
+                    ConvergenceTarget::NodeBreakdown => node.worst_relative_half_width,
+                },
+            });
+        }
+        let cycle_counts = pooled_cycle_counts(
+            counts_at_fanout,
+            &self.config,
+            self.shards,
+            selection.interval,
+            pooled.sample.len(),
+        );
+        let criterion_label = match self.target {
+            ConvergenceTarget::TotalPower => self.criterion.name().to_string(),
+            ConvergenceTarget::NodeBreakdown => node_criterion_label(self.node_policy),
+        };
+        // The loads were computed by the (now consumed) sampler's
+        // calculator; rebuild them the same way for the report.
+        let calculator =
+            power::PowerCalculator::new(self.circuit, technology, &self.config.capacitance);
+        Ok(breakdown_estimate(BreakdownEstimateParts {
+            name: self.name.clone(),
+            circuit: self.circuit,
+            technology,
+            loads: calculator.loads(),
+            accumulator: &accumulator,
+            sample: pooled.sample,
+            total_rhw: total.relative_half_width,
+            node_decision: node,
+            selection,
+            criterion: criterion_label,
+            cycle_counts,
+            elapsed_seconds: self.elapsed_seconds + step_start.elapsed().as_secs_f64(),
+        }))
+    }
+}
+
+impl EstimationSession for ShardedBreakdownSession<'_> {
+    fn estimator(&self) -> &str {
+        &self.name
+    }
+
+    fn cycles_done(&self) -> u64 {
+        match &self.state {
+            State::Front(front) => front.cycles_done(),
+            State::Done(estimate) => estimate.cycle_counts.total(),
+            State::Failed(_) => 0,
+        }
+    }
+
+    fn step(&mut self, budget: CycleBudget) -> Result<Progress, DipeError> {
+        match &self.state {
+            State::Done(estimate) => return Ok(Progress::Done(estimate.clone())),
+            State::Failed(error) => return Err(error.clone()),
+            State::Front(_) => {}
+        }
+        let step_start = Instant::now();
+        let deadline = self.cycles_done().saturating_add(budget.get());
+
+        let front_step = match &mut self.state {
+            State::Front(front) => front.advance(&self.config, deadline),
+            _ => unreachable!("handled at entry"),
+        };
+        match front_step {
+            Ok(FrontStep::OutOfBudget) => {}
+            Ok(FrontStep::Selected(sampler, selection)) => {
+                match self.run_fanout(*sampler, selection, step_start) {
+                    Ok(estimate) => {
+                        self.state = State::Done(estimate.clone());
+                        return Ok(Progress::Done(estimate));
+                    }
+                    Err(error) => {
+                        self.state = State::Failed(error.clone());
+                        return Err(error);
+                    }
+                }
+            }
+            Err(error) => {
+                self.state = State::Failed(error.clone());
+                return Err(error);
+            }
+        }
+
+        self.elapsed_seconds += step_start.elapsed().as_secs_f64();
+        let phase = match &self.state {
+            State::Front(front) => front.phase(),
+            _ => SessionPhase::Sampling,
+        };
+        Ok(Progress::Running {
+            cycles_done: self.cycles_done(),
+            samples: 0,
+            current_rhw: None,
+            phase,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BreakdownEstimator;
+    use dipe::estimate::run_to_completion;
+    use dipe::input::InputModel;
+    use netlist::iscas89;
+
+    fn relaxed_policy() -> NodeStoppingPolicy {
+        NodeStoppingPolicy::new(0.15, 0.90, 5, 0.05, 64)
+    }
+
+    fn config() -> DipeConfig {
+        DipeConfig::default().with_seed(11)
+    }
+
+    fn run(circuit: &Circuit, estimator: &dyn PowerEstimator) -> Estimate {
+        run_to_completion(
+            estimator
+                .start(circuit, &config(), &InputModel::uniform(), 0)
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_shard_matches_the_single_threaded_breakdown_session() {
+        let circuit = iscas89::load("s27").unwrap();
+        let base = BreakdownEstimator::new(relaxed_policy(), ConvergenceTarget::NodeBreakdown);
+        let scalar = run(&circuit, &base);
+        let sharded = run(&circuit, &base.sharded(1));
+        assert_eq!(sharded.mean_power_w, scalar.mean_power_w);
+        assert_eq!(sharded.relative_half_width, scalar.relative_half_width);
+        assert_eq!(sharded.sample_size, scalar.sample_size);
+        assert_eq!(sharded.cycle_counts, scalar.cycle_counts);
+        assert_eq!(sharded.breakdown(), scalar.breakdown());
+        let a = sharded.node_diagnostics().unwrap();
+        let b = scalar.node_diagnostics().unwrap();
+        assert_eq!(a.node_decision, b.node_decision);
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.sample, b.sample);
+    }
+
+    #[test]
+    fn sharded_breakdown_is_deterministic_and_internally_consistent() {
+        let circuit = iscas89::load("s27").unwrap();
+        let estimator =
+            ShardedBreakdownEstimator::new(relaxed_policy(), ConvergenceTarget::NodeBreakdown, 3);
+        let first = run(&circuit, &estimator);
+        let second = run(&circuit, &estimator);
+        assert_eq!(first.mean_power_w, second.mean_power_w);
+        assert_eq!(first.breakdown(), second.breakdown());
+        assert_eq!(first.cycle_counts, second.cycle_counts);
+        // The pooled breakdown total still equals the scalar estimate
+        // (Eq. 1 over the same measured cycles).
+        let breakdown = first.breakdown().unwrap();
+        let gap = (breakdown.total_power_w() - first.mean_power_w).abs() / first.mean_power_w;
+        assert!(gap < 1e-9, "gap {gap}");
+        assert_eq!(breakdown.observations() as usize, first.sample_size);
+        // And the glitch identity survives pooling: per net,
+        // power == functional + glitch.
+        for net in breakdown.per_net() {
+            let recombined = net.functional_power_w + net.glitch_power_w;
+            assert!(
+                (recombined - net.power_w).abs() <= 1e-12 * net.power_w.max(f64::MIN_POSITIVE),
+                "net {}: {} != {}",
+                net.name,
+                recombined,
+                net.power_w
+            );
+        }
+    }
+
+    #[test]
+    fn total_power_target_converges_sharded() {
+        let circuit = iscas89::load("s298").unwrap();
+        let estimator =
+            ShardedBreakdownEstimator::new(relaxed_policy(), ConvergenceTarget::TotalPower, 2);
+        let estimate = run(&circuit, &estimator);
+        assert!(estimate.relative_half_width.unwrap() < config().relative_error);
+        assert!(estimate.breakdown().is_some());
+        assert_eq!(
+            estimate.sample_size % (2 * config().block_size),
+            0,
+            "pooled samples arrive in complete rounds"
+        );
+    }
+
+    #[test]
+    fn estimator_metadata_and_conversion() {
+        let base = BreakdownEstimator::per_node();
+        let sharded = base.sharded(4);
+        assert_eq!(sharded.shards(), 4);
+        assert_eq!(sharded.target(), ConvergenceTarget::NodeBreakdown);
+        assert_eq!(sharded.node_policy().top_k(), base.node_policy().top_k());
+        assert!(sharded.name().contains("4 shards"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = BreakdownEstimator::per_node().sharded(0);
+    }
+}

@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dipe::input::{InputModel, InputStream};
 use logicsim::{
-    pack_lane_bit, BitParallelSimulator, CompiledSimulator, DelayModel, VariableDelaySimulator,
-    ZeroDelaySimulator, LANES,
+    pack_lane_bit, BitParallelSimulator, CompiledSimulator, DelayModel, EventDrivenSimulator,
+    VariableDelaySimulator, ZeroDelaySimulator, LANES,
 };
 use netlist::iscas89;
 use power::{CapacitanceModel, PowerCalculator, Technology};
@@ -144,6 +144,47 @@ fn bench_variable_delay(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_event_driven_wheel(c: &mut Criterion) {
+    // The arena-wheel measurement hot path: every cycle measured on the
+    // compiled event-driven backend, with a zero-delay companion advancing
+    // the state — exactly the per-sample cost of glitch-aware estimation.
+    // Regressions in the wheel / inline-evaluation layout show up here;
+    // the zero-annotation row exercises the levelized fast path.
+    let mut group = c.benchmark_group("ablation/event_driven_measure_1k_cycles");
+    group.sample_size(10);
+    for (label, name, model) in [
+        ("s298_fanout", "s298", DelayModel::default()),
+        ("s1494_fanout", "s1494", DelayModel::default()),
+        ("s1494_unit", "s1494", DelayModel::Unit(100)),
+        ("s1494_zero", "s1494", DelayModel::Zero),
+    ] {
+        let circuit = iscas89::load(name).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(circuit, model),
+            |b, (circuit, model)| {
+                let mut stream = InputModel::uniform().stream(circuit, 5).unwrap();
+                let mut pattern = vec![false; circuit.num_primary_inputs()];
+                let mut prev = vec![false; circuit.num_nets()];
+                b.iter(|| {
+                    let mut state = CompiledSimulator::new(circuit);
+                    let mut full = EventDrivenSimulator::new(circuit, *model);
+                    let mut total = 0u64;
+                    for _ in 0..CYCLES {
+                        stream.next_pattern_into(&mut pattern);
+                        prev.copy_from_slice(state.values());
+                        let activity = full.simulate_cycle(&prev, &pattern);
+                        total += activity.total().total_transitions();
+                        state.step_state_only(&pattern);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_power_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/power_evaluation");
     for name in ["s298", "s1494"] {
@@ -178,6 +219,7 @@ criterion_group!(
     bench_bit_parallel,
     bench_bit_parallel_transition_counting,
     bench_variable_delay,
+    bench_event_driven_wheel,
     bench_power_evaluation
 );
 criterion_main!(benches);

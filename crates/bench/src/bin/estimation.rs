@@ -1,0 +1,111 @@
+//! End-to-end sharded estimation benchmark: full DIPE breakdown runs to
+//! convergence across (circuit × delay model × shard count), written to a
+//! machine-readable `BENCH_estimation.json`.
+//!
+//! ```text
+//! cargo run --release -p dipe-bench --bin estimation
+//! cargo run --release -p dipe-bench --bin estimation -- \
+//!     --circuits s27,s298,s1494 --shard-counts 1,2,4,8 --out BENCH_estimation.json
+//! ```
+
+use dipe_bench::estimation::{format_rows, run_estimation_bench, to_json};
+use logicsim::DelayModel;
+
+struct Options {
+    circuits: Vec<String>,
+    shard_counts: Vec<usize>,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            circuits: vec!["s27".into(), "s298".into(), "s1494".into()],
+            shard_counts: vec![1, 2, 4, 8],
+            seed: 1997,
+            out: "BENCH_estimation.json".into(),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: estimation [--circuits s27,s298,...] [--shard-counts 1,2,4,8] [--seed N] [--out FILE]"
+        .to_string()
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut take_value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--circuits" => {
+                options.circuits = take_value("--circuits")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--shard-counts" => {
+                options.shard_counts = take_value("--shard-counts")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--shard-counts: {e}"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if options.shard_counts.is_empty() || options.shard_counts.contains(&0) {
+                    return Err("--shard-counts requires positive shard counts".into());
+                }
+            }
+            "--seed" => {
+                options.seed = take_value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => options.out = take_value("--out")?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "# Estimation benchmark — breakdown runs to convergence, seed = {}, host CPUs = {}",
+        options.seed, host_cpus
+    );
+    // The paper's `zero` model (functional counts only) and the unit model
+    // (the glitch-heavy workload of the CLI's `--delay-model unit`).
+    let delay_models = [DelayModel::Zero, DelayModel::Unit(100)];
+    let rows = run_estimation_bench(
+        &options.circuits,
+        &delay_models,
+        &options.shard_counts,
+        options.seed,
+    );
+    if rows.is_empty() {
+        eprintln!("no circuits could be loaded");
+        std::process::exit(1);
+    }
+    println!("{}", format_rows(&rows));
+    let json = to_json(&rows, options.seed);
+    if let Err(error) = std::fs::write(&options.out, json) {
+        eprintln!("failed to write {}: {error}", options.out);
+        std::process::exit(1);
+    }
+    println!("# wrote {}", options.out);
+}

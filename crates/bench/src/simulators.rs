@@ -19,12 +19,17 @@
 //!   delay-aware *measurement* backends under the default fanout-loaded
 //!   delay model, measuring every cycle (the estimator only measures one
 //!   cycle per sample, so these rows bound the per-measurement cost): the
-//!   compiled timing-wheel [`EventDrivenSimulator`] versus the interpreted
-//!   heap-based [`VariableDelaySimulator`].
+//!   compiled arena-wheel [`EventDrivenSimulator`] versus the interpreted
+//!   heap-based [`VariableDelaySimulator`];
+//! * `event_driven(measure,zero)` / `event_driven(measure,unit)` — the same
+//!   measurement workload under the all-zero annotation (the levelized
+//!   fast path) and the 100 ps unit model.
 //!
-//! Throughput is reported in **aggregate lane-cycles per second** (simulated
-//! clock cycles × concurrent replications ÷ wall time), the figure of merit
-//! for batch replicated estimation. Results serialise to the
+//! Every row runs the **same cycle budget**, so elapsed times compare
+//! directly; `cycles_per_sec_basis` names what one unit of each row's rate
+//! means (`state_advance_lane_cycles` for the zero-delay advance rows,
+//! `measured_cycles` for the measurement rows), so speedup columns are
+//! only formed over rows with a matching basis. Results serialise to the
 //! machine-readable `BENCH_simulators.json` consumed by CI, so the perf
 //! trajectory of the backends is tracked over time.
 //!
@@ -58,10 +63,23 @@ pub struct SimulatorBenchRow {
     pub elapsed_seconds: f64,
     /// Aggregate throughput: `cycles * lanes / elapsed_seconds`.
     pub lane_cycles_per_sec: f64,
-    /// Throughput relative to the interpreted `zero_delay` backend on the
-    /// same circuit (1.0 for the baseline itself).
-    pub speedup_vs_zero_delay: f64,
+    /// What one unit of `lane_cycles_per_sec` means:
+    /// `state_advance_lane_cycles` (zero-delay next-state stepping, one per
+    /// lane) or `measured_cycles` (full delay-aware measurement with
+    /// transition counting). Speedups are only comparable within one basis.
+    pub cycles_per_sec_basis: &'static str,
+    /// Throughput relative to this row's *basis baseline* on the same
+    /// circuit (1.0 for the baselines themselves): the interpreted
+    /// `zero_delay` backend for state-advance rows, the interpreted
+    /// `variable_delay(measure)` reference for measurement rows — never a
+    /// cross-basis ratio.
+    pub speedup_vs_baseline: f64,
 }
+
+/// Basis tag of the zero-delay advance rows.
+pub const BASIS_STATE_ADVANCE: &str = "state_advance_lane_cycles";
+/// Basis tag of the delay-aware measurement rows.
+pub const BASIS_MEASURED: &str = "measured_cycles";
 
 fn uniform_stream(circuit: &Circuit, seed: u64) -> InputStream {
     InputModel::uniform()
@@ -185,32 +203,38 @@ fn ablate_circuit(
     assert_eq!(word_accumulator.observations(), (cycles * LANES) as u64);
 
     // Delay-aware measurement backends: every cycle is a measured cycle
-    // (previous stable values from a compiled zero-delay companion, then one
-    // event-driven settle with glitch counting).
-    let measure_cycles = (cycles / 10).max(1);
-    let mut state = CompiledSimulator::new(circuit);
-    let mut event_driven = EventDrivenSimulator::new(circuit, DelayModel::default());
-    let mut stream = uniform_stream(circuit, seed);
+    // (previous stable values from a compiled zero-delay companion, then
+    // one delay-aware settle with glitch counting), at the same common
+    // cycle budget as every other row.
     let mut prev = vec![false; circuit.num_nets()];
-    let started = Instant::now();
-    for _ in 0..measure_cycles {
-        stream.next_pattern_into(&mut pattern);
-        prev.copy_from_slice(state.values());
-        event_driven.simulate_cycle(&prev, &pattern);
-        state.step_state_only(&pattern);
-    }
-    let event_driven_elapsed = started.elapsed().as_secs_f64();
-    assert_eq!(
-        event_driven.stable_values(),
-        state.values(),
-        "{name}: event-driven backend diverged from the compiled simulator"
-    );
+    let mut measure_event_driven = |model: DelayModel| -> f64 {
+        let mut state = CompiledSimulator::new(circuit);
+        let mut event_driven = EventDrivenSimulator::new(circuit, model);
+        let mut stream = uniform_stream(circuit, seed);
+        let started = Instant::now();
+        for _ in 0..cycles {
+            stream.next_pattern_into(&mut pattern);
+            prev.copy_from_slice(state.values());
+            event_driven.simulate_cycle(&prev, &pattern);
+            state.step_state_only(&pattern);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(
+            event_driven.stable_values(),
+            state.values(),
+            "{name}: event-driven backend diverged from the compiled simulator"
+        );
+        elapsed
+    };
+    let event_driven_elapsed = measure_event_driven(DelayModel::default());
+    let event_driven_zero_elapsed = measure_event_driven(DelayModel::Zero);
+    let event_driven_unit_elapsed = measure_event_driven(DelayModel::Unit(100));
 
     let mut state = CompiledSimulator::new(circuit);
     let mut variable_delay = VariableDelaySimulator::new(circuit, DelayModel::default());
     let mut stream = uniform_stream(circuit, seed);
     let started = Instant::now();
-    for _ in 0..measure_cycles {
+    for _ in 0..cycles {
         stream.next_pattern_into(&mut pattern);
         prev.copy_from_slice(state.values());
         variable_delay.simulate_cycle(&prev, &pattern);
@@ -224,8 +248,8 @@ fn ablate_circuit(
     );
 
     let rate = |lanes: u64, elapsed: f64| cycles as f64 * lanes as f64 / elapsed.max(1e-12);
-    let measure_rate = |elapsed: f64| measure_cycles as f64 / elapsed.max(1e-12);
-    let baseline = rate(1, zero_delay_elapsed);
+    let advance_baseline = rate(1, zero_delay_elapsed);
+    let measured_baseline = rate(1, variable_delay_elapsed);
     let row = |backend: &'static str, lanes: u64, elapsed: f64| SimulatorBenchRow {
         circuit: name.to_string(),
         backend,
@@ -233,16 +257,13 @@ fn ablate_circuit(
         lanes: lanes as u32,
         elapsed_seconds: elapsed,
         lane_cycles_per_sec: rate(lanes, elapsed),
-        speedup_vs_zero_delay: rate(lanes, elapsed) / baseline,
+        cycles_per_sec_basis: BASIS_STATE_ADVANCE,
+        speedup_vs_baseline: rate(lanes, elapsed) / advance_baseline,
     };
     let measure_row = |backend: &'static str, elapsed: f64| SimulatorBenchRow {
-        circuit: name.to_string(),
-        backend,
-        cycles: measure_cycles as u64,
-        lanes: 1,
-        elapsed_seconds: elapsed,
-        lane_cycles_per_sec: measure_rate(elapsed),
-        speedup_vs_zero_delay: measure_rate(elapsed) / baseline,
+        cycles_per_sec_basis: BASIS_MEASURED,
+        speedup_vs_baseline: rate(1, elapsed) / measured_baseline,
+        ..row(backend, 1, elapsed)
     };
     vec![
         row("zero_delay", 1, zero_delay_elapsed),
@@ -255,6 +276,8 @@ fn ablate_circuit(
             bit_parallel_accum_elapsed,
         ),
         measure_row("event_driven(measure)", event_driven_elapsed),
+        measure_row("event_driven(measure,zero)", event_driven_zero_elapsed),
+        measure_row("event_driven(measure,unit)", event_driven_unit_elapsed),
         measure_row("variable_delay(measure)", variable_delay_elapsed),
     ]
 }
@@ -273,14 +296,15 @@ pub fn to_json(rows: &[SimulatorBenchRow], cycles: usize, seed: u64) -> String {
         out.push_str(&format!(
             "    {{\"circuit\": \"{}\", \"backend\": \"{}\", \"cycles\": {}, \"lanes\": {}, \
              \"elapsed_seconds\": {:.6}, \"lane_cycles_per_sec\": {:.1}, \
-             \"speedup_vs_zero_delay\": {:.2}}}{}\n",
+             \"cycles_per_sec_basis\": \"{}\", \"speedup_vs_baseline\": {:.2}}}{}\n",
             row.circuit,
             row.backend,
             row.cycles,
             row.lanes,
             row.elapsed_seconds,
             row.lane_cycles_per_sec,
-            row.speedup_vs_zero_delay,
+            row.cycles_per_sec_basis,
+            row.speedup_vs_baseline,
             if index + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -297,6 +321,7 @@ pub fn format_rows(rows: &[SimulatorBenchRow]) -> dipe::report::TextTable {
         "Cycles",
         "Elapsed (s)",
         "Lane-cycles/s",
+        "Basis",
         "Speedup",
     ]);
     for row in rows {
@@ -307,7 +332,8 @@ pub fn format_rows(rows: &[SimulatorBenchRow]) -> dipe::report::TextTable {
             row.cycles.to_string(),
             format!("{:.3}", row.elapsed_seconds),
             format!("{:.0}", row.lane_cycles_per_sec),
-            format!("{:.1}x", row.speedup_vs_zero_delay),
+            row.cycles_per_sec_basis.to_string(),
+            format!("{:.1}x", row.speedup_vs_baseline),
         ]);
     }
     table
@@ -318,32 +344,44 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ablation_produces_seven_rows_per_circuit() {
+    fn ablation_produces_nine_rows_per_circuit_at_one_budget() {
         let rows = run_simulator_ablation(&["s27".into(), "nope".into()], 2_000, 9);
-        assert_eq!(rows.len(), 7);
-        assert_eq!(rows[0].backend, "zero_delay");
-        assert_eq!(rows[1].backend, "compiled");
-        assert_eq!(rows[2].backend, "bit_parallel");
-        assert_eq!(rows[3].backend, "compiled+accum");
-        assert_eq!(rows[4].backend, "bit_parallel+accum");
-        assert_eq!(rows[5].backend, "event_driven(measure)");
-        assert_eq!(rows[6].backend, "variable_delay(measure)");
+        assert_eq!(rows.len(), 9);
+        let backends: Vec<&str> = rows.iter().map(|r| r.backend).collect();
+        assert_eq!(
+            backends,
+            [
+                "zero_delay",
+                "compiled",
+                "bit_parallel",
+                "compiled+accum",
+                "bit_parallel+accum",
+                "event_driven(measure)",
+                "event_driven(measure,zero)",
+                "event_driven(measure,unit)",
+                "variable_delay(measure)",
+            ]
+        );
         assert_eq!(rows[2].lanes, 64);
         assert_eq!(rows[3].lanes, 1);
         assert_eq!(rows[4].lanes, 64);
         assert_eq!(rows[5].lanes, 1);
-        for row in &rows[..5] {
-            assert_eq!(row.cycles, 2_000);
-        }
-        for row in &rows[5..] {
-            assert_eq!(row.cycles, 200, "measurement rows run cycles/10");
-        }
         for row in &rows {
+            // The normalised budget: every row simulates the same cycles.
+            assert_eq!(row.cycles, 2_000);
             assert_eq!(row.circuit, "s27");
             assert!(row.lane_cycles_per_sec > 0.0);
-            assert!(row.speedup_vs_zero_delay > 0.0);
+            assert!(row.speedup_vs_baseline > 0.0);
         }
-        assert!((rows[0].speedup_vs_zero_delay - 1.0).abs() < 1e-9);
+        for row in &rows[..5] {
+            assert_eq!(row.cycles_per_sec_basis, BASIS_STATE_ADVANCE);
+        }
+        for row in &rows[5..] {
+            assert_eq!(row.cycles_per_sec_basis, BASIS_MEASURED);
+        }
+        // Each basis anchors to its own baseline row, never across bases.
+        assert!((rows[0].speedup_vs_baseline - 1.0).abs() < 1e-9);
+        assert!((rows[8].speedup_vs_baseline - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -356,6 +394,9 @@ mod tests {
         assert!(json.contains("\"backend\": \"compiled+accum\""));
         assert!(json.contains("\"backend\": \"bit_parallel+accum\""));
         assert!(json.contains("\"lane_cycles_per_sec\""));
+        assert!(json.contains("\"cycles_per_sec_basis\": \"measured_cycles\""));
+        assert!(json.contains("\"speedup_vs_baseline\""));
+        assert!(json.contains("\"backend\": \"event_driven(measure,zero)\""));
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n  ]"));
         let rendered = format_rows(&rows).render();

@@ -31,7 +31,8 @@ use activity::{BreakdownEstimator, ConvergenceTarget};
 use dipe::input::InputModel;
 use dipe::report::TextTable;
 use dipe::{
-    run_replicated_dipe, CycleBudget, DipeConfig, DipeEstimator, Estimate, PowerEstimator, Progress,
+    run_replicated_dipe, CycleBudget, DipeConfig, DipeEstimator, Estimate, PowerEstimator,
+    Progress, ShardedDipeEstimator,
 };
 use netlist::{bench_format, iscas89, Circuit, DelayModel};
 use seqstats::NodeStoppingPolicy;
@@ -42,6 +43,9 @@ struct Options {
     target: ConvergenceTarget,
     delay_model: DelayModel,
     lanes: usize,
+    /// `None` until `--shards` is given; resolved to the available
+    /// parallelism at run time.
+    shards: Option<usize>,
     top: usize,
     seed: u64,
     relative_error: f64,
@@ -63,6 +67,7 @@ impl Default for Options {
             target: ConvergenceTarget::NodeBreakdown,
             delay_model: DelayModel::default(),
             lanes: 1,
+            shards: None,
             top: 10,
             seed: 1997,
             relative_error: 0.05,
@@ -93,6 +98,8 @@ simulation:
                           unit[:PS]    every gate PS picoseconds (default 100)
                           fanout       200 ps + 80 ps per fanout (the default)
                           random:SEED  per-gate uniform 60-340 ps from SEED
+  --shards N              worker shards the sampling phase fans out to
+                          (default: the available parallelism; 1 disables)
 
 accuracy:
   --error E               total-power max relative error (default 0.05)
@@ -172,6 +179,13 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--lanes: {e}"))?;
             }
+            "--shards" => {
+                options.shards = Some(
+                    take_value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
+            }
             "--top" => {
                 options.top = take_value("--top")?
                     .parse()
@@ -228,6 +242,16 @@ fn parse_options() -> Result<Options, String> {
     if options.lanes > 1 && options.json.is_some() {
         return Err("--json is not implemented for replicated (--lanes) runs".to_string());
     }
+    if let Some(shards) = options.shards {
+        if !(1..=256).contains(&shards) {
+            return Err("--shards must be in 1..=256".to_string());
+        }
+        if options.lanes > 1 {
+            return Err(
+                "--shards applies to single-run modes, not --lanes replication".to_string(),
+            );
+        }
+    }
     // Validate the per-node policy spec here so a bad flag yields a clean
     // usage error instead of the policy constructor's panic.
     if !(options.node_relative_error > 0.0 && options.node_relative_error < 1.0) {
@@ -252,6 +276,15 @@ fn parse_options() -> Result<Options, String> {
         ));
     }
     Ok(options)
+}
+
+/// Resolves `--shards`: an explicit value wins, otherwise one shard per
+/// available CPU.
+fn resolve_shards(options: &Options) -> usize {
+    options
+        .shards
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
 }
 
 fn load_circuit(name: &str) -> Result<Circuit, netlist::NetlistError> {
@@ -364,8 +397,18 @@ fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Resul
     if options.lanes > 1 {
         return run_replicated(options, circuit, config);
     }
-    let estimate = run_session(&DipeEstimator::new(), circuit, config, options.quiet)
-        .map_err(|e| e.to_string())?;
+    let shards = resolve_shards(options);
+    let estimate = if shards > 1 {
+        run_session(
+            &ShardedDipeEstimator::new(shards),
+            circuit,
+            config,
+            options.quiet,
+        )
+    } else {
+        run_session(&DipeEstimator::new(), circuit, config, options.quiet)
+    }
+    .map_err(|e| e.to_string())?;
     print_estimate_summary(circuit, &estimate, options.delay_model);
     if let Some(path) = &options.json {
         let json = format!(
@@ -457,8 +500,13 @@ fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> R
         config.min_samples,
     );
     let estimator = BreakdownEstimator::new(policy, options.target);
-    let estimate =
-        run_session(&estimator, circuit, config, options.quiet).map_err(|e| e.to_string())?;
+    let shards = resolve_shards(options);
+    let estimate = if shards > 1 {
+        run_session(&estimator.sharded(shards), circuit, config, options.quiet)
+    } else {
+        run_session(&estimator, circuit, config, options.quiet)
+    }
+    .map_err(|e| e.to_string())?;
     print_estimate_summary(circuit, &estimate, options.delay_model);
 
     let node = estimate

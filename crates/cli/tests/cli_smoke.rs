@@ -24,6 +24,7 @@ const FLAGS: &[&str] = &[
     "--target",
     "--delay-model",
     "--lanes",
+    "--shards",
     "--top",
     "--seed",
     "--error",
@@ -90,6 +91,10 @@ fn bad_flag_values_are_rejected() {
     assert_usage_error(&["s27", "--lanes", "65"]);
     assert_usage_error(&["s27", "--lanes", "many"]);
     assert_usage_error(&["s27", "--target", "sideways"]);
+    assert_usage_error(&["s27", "--shards", "0"]);
+    assert_usage_error(&["s27", "--shards", "257"]);
+    assert_usage_error(&["s27", "--shards", "lots"]);
+    assert_usage_error(&["s27", "--shards"]); // value missing
     assert_usage_error(&["s27", "--seed"]); // value missing
     assert_usage_error(&["s27", "--node-error", "1.5"]);
     assert_usage_error(&["s27", "--node-confidence", "0"]);
@@ -115,6 +120,33 @@ fn bad_delay_models_are_rejected() {
 fn invalid_flag_combinations_are_rejected() {
     assert_usage_error(&["s27", "--lanes", "2", "--breakdown"]);
     assert_usage_error(&["s27", "--lanes", "2", "--json", "out.json"]);
+    assert_usage_error(&["s27", "--lanes", "2", "--shards", "2"]);
+}
+
+#[test]
+fn sharded_runs_succeed_in_both_modes() {
+    for args in [
+        vec!["s27", "--quiet", "--shards", "2"],
+        vec![
+            "s27",
+            "--quiet",
+            "--shards",
+            "2",
+            "--breakdown",
+            "--top",
+            "3",
+        ],
+        vec!["s27", "--quiet", "--shards", "1"],
+    ] {
+        let output = dipe(&args);
+        assert!(
+            output.status.success(),
+            "{args:?} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8(output.stdout).unwrap();
+        assert!(stdout.contains("average power"), "stdout: {stdout}");
+    }
 }
 
 #[test]

@@ -82,6 +82,7 @@ pub mod lanes;
 pub mod reference;
 pub mod report;
 pub mod sampler;
+pub mod shards;
 
 pub use baselines::{DecoupledCombinationalEstimator, FixedWarmupEstimator};
 pub use config::{CriterionKind, DipeConfig};
@@ -96,3 +97,4 @@ pub use independence::{IndependenceSelection, IntervalTrial};
 pub use lanes::{run_replicated_dipe, run_replicated_dipe_cancellable};
 pub use reference::{LongSimulationReference, ReferenceResult};
 pub use sampler::PowerSampler;
+pub use shards::{ShardedDipeEstimator, ShardedSession};

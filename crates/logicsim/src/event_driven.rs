@@ -1,4 +1,4 @@
-//! The compiled event-driven simulator: a timing-wheel scheduler over a
+//! The compiled event-driven simulator: a flat-arena timing wheel over a
 //! delay-annotated [`CompiledCircuit`], with inertial pulse filtering and
 //! glitch-decomposed transition counting.
 //!
@@ -14,6 +14,40 @@
 //! gate with finite drive strength behaves, and the reason this backend's
 //! transition counts are physically meaningful where a naive event queue
 //! would double-count arbitrarily narrow spikes.
+//!
+//! # Hot-path layout
+//!
+//! Measurement is the per-sample cost of every estimator, so the wheel is
+//! built for zero steady-state allocation and minimal cache traffic:
+//!
+//! * **Flat event arena** — all events of a cycle live in one bump-allocated
+//!   `Vec<WheelEvent>` that is truncated (capacity kept) between cycles;
+//!   buckets are intrusive singly-linked lists threaded through the arena
+//!   (`bucket_head[t]` + per-event `next`), so scheduling is an append plus
+//!   two stores, and no per-bucket `Vec` headers exist.
+//! * **Circular wheel + occupancy bitmap** — the wheel has
+//!   `next_power_of_two(max_gate_delay + 1)` slots (every pending event lies
+//!   within one revolution of the sweep cursor, so the mapping is
+//!   collision-free) instead of one slot per critical-path picosecond,
+//!   keeping it cache-resident; a one-bit-per-slot occupancy bitmap replaces
+//!   the min-heap of occupied timestamps, and every drained bucket clears
+//!   its bit, so the bitmap is all-zero again at cycle end (no per-cycle
+//!   reset).
+//! * **Packed per-net scratch** — the pending-event scalars
+//!   (`has_pending`/`pending_value`/`in_touched`/`start_val` flags plus the
+//!   cancellation generation) are packed into one 8-byte [`NetScratch`] per
+//!   net, one cache line per eight nets instead of five parallel arrays.
+//! * **Sparse count clearing** — only the nets that actually transitioned in
+//!   the previous cycle have their total counts re-zeroed.
+//! * **Levelized fast path** — programs whose delay annotation is uniformly
+//!   zero (the [`DelayModel::Zero`] degenerate case) skip wheel scheduling
+//!   entirely: the stimulus cone is re-evaluated once in topological
+//!   (levelized) instruction order, which is exact because with all delays
+//!   zero no net can glitch. Cycles whose stimulus frontier is empty return
+//!   without touching the wheel under every model. Delay-annotated programs
+//!   with a non-zero delay anywhere cannot skip the wheel for larger
+//!   frontiers without changing glitch counts, so the threshold is exactly
+//!   the empty frontier there.
 //!
 //! Per cycle the simulator reports a [`GlitchActivity`]: the *total*
 //! transition count of every net (what Eq. 1 charges for power) and the
@@ -35,15 +69,170 @@ use netlist::{Circuit, CompiledCircuit, DelayModel, NetId};
 use crate::compiled::eval_instruction;
 use crate::trace::GlitchActivity;
 
-/// One scheduled value change in the timing wheel. `seq` is matched against
-/// the net's current pending generation so cancelled events are recognised
-/// as stale when their bucket is drained (cancellation never searches the
-/// wheel).
+/// Sentinel terminating an intrusive bucket list / marking an empty bucket.
+const NIL: u32 = u32::MAX;
+
+/// One scheduled value change in the flat event arena, packed to 12 bytes:
+/// the target net with the scheduled value in bit 31, the pending generation
+/// (`seq` is matched against the net's current generation so cancelled
+/// events are recognised as stale when their bucket is drained —
+/// cancellation never searches the wheel), and the intrusive link of the
+/// bucket the event was scheduled into.
 #[derive(Debug, Clone, Copy)]
 struct WheelEvent {
-    net: u32,
-    value: bool,
+    net_val: u32,
     seq: u32,
+    next: u32,
+}
+
+impl WheelEvent {
+    const VALUE_BIT: u32 = 1 << 31;
+
+    #[inline]
+    fn pack(net: usize, value: bool) -> u32 {
+        net as u32 | if value { Self::VALUE_BIT } else { 0 }
+    }
+
+    #[inline]
+    fn net(self) -> usize {
+        (self.net_val & !Self::VALUE_BIT) as usize
+    }
+
+    #[inline]
+    fn value(self) -> bool {
+        self.net_val & Self::VALUE_BIT != 0
+    }
+}
+
+/// One gate of the inline evaluation table, packed to 12 bytes: four
+/// operand slots (shorter gates are padded with the family's neutral
+/// constant net, so evaluation is branch-free), the gate family (AND/OR/XOR
+/// reduction) and an output-negation flag. Built only when every gate has
+/// at most four operands and the net count fits the u16 operand slots —
+/// otherwise the sweep falls back to the general operand-gather evaluator.
+#[derive(Debug, Clone, Copy)]
+struct InlineGate {
+    ops: [u16; 4],
+    family: u8,
+    negate: bool,
+}
+
+impl InlineGate {
+    const FAM_AND: u8 = 0;
+    const FAM_OR: u8 = 1;
+    const FAM_XOR: u8 = 2;
+
+    /// Builds the table, or `None` when a gate does not fit the packed shape.
+    fn build(program: &CompiledCircuit, num_nets: usize) -> Option<Vec<InlineGate>> {
+        use netlist::Opcode;
+        // Two virtual pad nets appended to the value array: always-true
+        // (AND-neutral) and always-false (OR/XOR-neutral).
+        let true_net = u16::try_from(num_nets).ok()?;
+        let false_net = true_net.checked_add(1)?;
+        let mut gates = Vec::with_capacity(program.instructions().len());
+        for instruction in program.instructions() {
+            let operands = program.operands_of(instruction);
+            if operands.len() > 4 {
+                return None;
+            }
+            let (family, negate) = match instruction.opcode {
+                Opcode::And => (Self::FAM_AND, false),
+                Opcode::Nand => (Self::FAM_AND, true),
+                Opcode::Or | Opcode::Buf => (Self::FAM_OR, false),
+                Opcode::Nor => (Self::FAM_OR, true),
+                Opcode::Xor => (Self::FAM_XOR, false),
+                Opcode::Xnor => (Self::FAM_XOR, true),
+                Opcode::Not => (Self::FAM_XOR, true),
+            };
+            let pad = if family == Self::FAM_AND {
+                true_net
+            } else {
+                false_net
+            };
+            let mut ops = [pad; 4];
+            for (slot, &operand) in ops.iter_mut().zip(operands) {
+                *slot = u16::try_from(operand).ok()?;
+            }
+            gates.push(InlineGate {
+                ops,
+                family,
+                negate,
+            });
+        }
+        Some(gates)
+    }
+
+    /// Evaluates the gate against the padded value array.
+    #[inline]
+    fn eval(self, values: &[bool]) -> bool {
+        let a = values[self.ops[0] as usize];
+        let b = values[self.ops[1] as usize];
+        let c = values[self.ops[2] as usize];
+        let d = values[self.ops[3] as usize];
+        let raw = match self.family {
+            Self::FAM_AND => a & b & c & d,
+            Self::FAM_OR => a | b | c | d,
+            _ => a ^ b ^ c ^ d,
+        };
+        raw ^ self.negate
+    }
+}
+
+/// The packed per-net scratch state of one cycle: four flag bits and the
+/// pending-event generation, in 8 bytes (one cache line per eight nets).
+#[derive(Debug, Clone, Copy, Default)]
+struct NetScratch {
+    flags: u8,
+    seq: u32,
+}
+
+impl NetScratch {
+    const HAS_PENDING: u8 = 1 << 0;
+    const PENDING_VALUE: u8 = 1 << 1;
+    const IN_TOUCHED: u8 = 1 << 2;
+    const START_VAL: u8 = 1 << 3;
+
+    #[inline]
+    fn has_pending(self) -> bool {
+        self.flags & Self::HAS_PENDING != 0
+    }
+
+    #[inline]
+    fn pending_value(self) -> bool {
+        self.flags & Self::PENDING_VALUE != 0
+    }
+
+    #[inline]
+    fn in_touched(self) -> bool {
+        self.flags & Self::IN_TOUCHED != 0
+    }
+
+    #[inline]
+    fn start_val(self) -> bool {
+        self.flags & Self::START_VAL != 0
+    }
+
+    #[inline]
+    fn set_pending(&mut self, value: bool) {
+        self.flags = (self.flags & !Self::PENDING_VALUE)
+            | Self::HAS_PENDING
+            | if value { Self::PENDING_VALUE } else { 0 };
+    }
+
+    #[inline]
+    fn clear_pending(&mut self) {
+        self.flags &= !Self::HAS_PENDING;
+    }
+
+    #[inline]
+    fn set_touched(&mut self, start_val: bool) {
+        self.flags |= Self::IN_TOUCHED | if start_val { Self::START_VAL } else { 0 };
+    }
+
+    #[inline]
+    fn clear_touched(&mut self) {
+        self.flags &= !(Self::IN_TOUCHED | Self::START_VAL);
+    }
 }
 
 /// Event-driven gate-level simulator executing a delay-annotated
@@ -63,31 +252,52 @@ pub struct EventDrivenSimulator<'c> {
     /// CSR adjacency: instruction indices consuming each net.
     consumer_offsets: Vec<u32>,
     consumers: Vec<u32>,
-    /// Timing wheel: bucket `t` holds the events scheduled for `t`
-    /// picoseconds after the cycle's stimulus. Sized to the critical-path
-    /// horizon — an event can never be scheduled past it.
-    buckets: Vec<Vec<WheelEvent>>,
-    /// Min-heap of bucket indices that currently hold events, so the sweep
-    /// jumps between occupied timestamps instead of scanning every empty
-    /// picosecond up to the horizon (the horizon can be thousands of
-    /// buckets; a cycle only touches a few dozen of them).
-    active_times: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
-    /// Committed net values at the current simulation time (scratch).
+    /// Flat event arena, truncated (capacity kept) between cycles.
+    events: Vec<WheelEvent>,
+    /// Circular timing wheel: `bucket_head[t & wheel_mask]` heads the
+    /// intrusive arena list of the events scheduled for absolute time `t`.
+    /// The wheel has `next_power_of_two(max_delay + 1)` slots — every
+    /// pending event lies within one revolution of the sweep cursor, so the
+    /// slot mapping is collision-free, and the array stays a few KB for
+    /// realistic annotations (instead of one slot per critical-path
+    /// picosecond), which keeps it cache-resident.
+    bucket_head: Vec<u32>,
+    wheel_mask: usize,
+    /// Circular occupancy bitmap over the wheel slots: bit `s` is set while
+    /// slot `s` holds events. Replaces a min-heap of occupied times: the
+    /// forward sweep finds the next occupied time with a few word scans,
+    /// and every drained bucket clears its bit, so the bitmap is all-zero
+    /// again at cycle end (no per-cycle reset).
+    occupied: Vec<u64>,
+    /// Committed net values at the current simulation time (scratch). Kept
+    /// as a plain dense `bool` array because instruction evaluation reads it.
     values: Vec<bool>,
-    /// Stable values at the start of the cycle (for settled counts).
-    prev: Vec<bool>,
-    /// Per-net single pending change: value, generation and liveness.
-    pending_value: Vec<bool>,
-    pending_seq: Vec<u32>,
-    has_pending: Vec<bool>,
-    /// Per-timestamp coalescing state: the nets that changed at the
-    /// timestamp being processed and their value when it began.
+    /// Packed per-net pending/coalescing scratch.
+    scratch: Vec<NetScratch>,
+    /// Zero-delay re-schedules targeting the timestamp being drained; they
+    /// mature in the next delta round of the same timestamp (scratch).
+    round_events: Vec<WheelEvent>,
+    /// Nets that changed at the timestamp being processed (coalescing).
     touched: Vec<u32>,
-    in_touched: Vec<bool>,
-    start_val: Vec<bool>,
-    /// Nets applied in the current delta round (scratch for the two-phase
-    /// apply-then-evaluate sweep of one timestamp).
+    /// Nets applied in the delta round being evaluated.
     frontier: Vec<u32>,
+    /// Per-instruction output nets and delays, copied out of the program so
+    /// the sweep reads one dense array instead of 16-byte instructions.
+    outputs: Vec<u32>,
+    delays_ps: Vec<u32>,
+    /// The packed inline evaluation table (`None` when a gate does not fit;
+    /// the sweep then uses the general operand-gather evaluator).
+    inline_gates: Option<Vec<InlineGate>>,
+    /// Nets with a non-zero total count from the previous cycle — the only
+    /// slots that need re-zeroing (sparse clear).
+    counted: Vec<u32>,
+    /// Worklist of the levelized zero-delay fast path: dirty instruction
+    /// indices, popped in topological (= instruction) order.
+    dirty_heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>>,
+    in_dirty: Vec<bool>,
+    /// Largest per-instruction delay of the annotation; zero selects the
+    /// levelized fast path.
+    max_delay_ps: u64,
     activity: GlitchActivity,
 }
 
@@ -99,10 +309,11 @@ impl<'c> EventDrivenSimulator<'c> {
     }
 
     /// The largest critical path (in picoseconds) a simulator will accept:
-    /// the timing wheel allocates one bucket per picosecond, so this bounds
-    /// the wheel at ~2²⁴ buckets (a few hundred MB). Real annotations are
-    /// orders of magnitude below it — the bound exists to turn a nonsense
-    /// delay annotation into a clear panic instead of an OOM abort.
+    /// the timing wheel allocates one bucket head (4 bytes) plus one bitmap
+    /// bit per picosecond, so this bounds the wheel at ~2²⁴ buckets (tens of
+    /// MB). Real annotations are orders of magnitude below it — the bound
+    /// exists to turn a nonsense delay annotation into a clear panic instead
+    /// of an OOM abort.
     pub const MAX_CRITICAL_PATH_PS: u64 = 1 << 24;
 
     /// Creates a simulator from an explicit per-gate delay annotation (e.g.
@@ -149,23 +360,52 @@ impl<'c> EventDrivenSimulator<'c> {
             }
         }
 
-        let horizon = program.critical_path_ps() as usize + 1;
+        let max_delay_ps = program
+            .instruction_delays_ps()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        // One wheel revolution must cover the largest schedulable delay; a
+        // power-of-two slot count makes the circular mapping a mask.
+        let wheel_slots = ((max_delay_ps as usize) + 1).next_power_of_two().max(64);
+        let num_instructions = program.instructions().len();
+        let inline_gates = InlineGate::build(&program, num_nets);
+        // Two constant pad slots appended for the inline evaluator:
+        // always-true (AND-neutral) and always-false (OR/XOR-neutral).
+        let mut values = vec![false; num_nets + 2];
+        values[num_nets] = true;
+        let outputs: Vec<u32> = program
+            .instructions()
+            .iter()
+            .map(|instruction| instruction.output)
+            .collect();
+        let delays_ps: Vec<u32> = program
+            .instruction_delays_ps()
+            .iter()
+            .map(|&d| d as u32)
+            .collect();
         EventDrivenSimulator {
             circuit,
             model,
             consumer_offsets,
             consumers,
-            buckets: (0..horizon).map(|_| Vec::new()).collect(),
-            active_times: std::collections::BinaryHeap::new(),
-            values: vec![false; num_nets],
-            prev: vec![false; num_nets],
-            pending_value: vec![false; num_nets],
-            pending_seq: vec![0; num_nets],
-            has_pending: vec![false; num_nets],
+            events: Vec::new(),
+            bucket_head: vec![NIL; wheel_slots],
+            wheel_mask: wheel_slots - 1,
+            occupied: vec![0; wheel_slots / 64],
+            values,
+            scratch: vec![NetScratch::default(); num_nets],
+            round_events: Vec::new(),
             touched: Vec::new(),
-            in_touched: vec![false; num_nets],
-            start_val: vec![false; num_nets],
             frontier: Vec::new(),
+            outputs,
+            delays_ps,
+            inline_gates,
+            counted: Vec::new(),
+            dirty_heap: std::collections::BinaryHeap::new(),
+            in_dirty: vec![false; num_instructions],
+            max_delay_ps,
             activity: GlitchActivity::zeroed(num_nets),
             program,
         }
@@ -189,7 +429,7 @@ impl<'c> EventDrivenSimulator<'c> {
     /// The settled per-net values after the last call to
     /// [`simulate_cycle`](EventDrivenSimulator::simulate_cycle).
     pub fn stable_values(&self) -> &[bool] {
-        &self.values
+        &self.values[..self.circuit.num_nets()]
     }
 
     #[inline]
@@ -197,24 +437,109 @@ impl<'c> EventDrivenSimulator<'c> {
         self.consumer_offsets[net] as usize..self.consumer_offsets[net + 1] as usize
     }
 
-    /// Schedules (or replaces) the pending change of `net`. The caller has
-    /// already cancelled any contradicting pending event.
+    #[inline]
+    fn mark_occupied(&mut self, slot: usize) {
+        self.occupied[slot >> 6] |= 1 << (slot & 63);
+    }
+
+    /// The smallest occupied absolute timestamp at or after `from`. Every
+    /// pending event lies within one wheel revolution of the sweep cursor,
+    /// so a circular scan of the occupancy words starting at `from`'s slot
+    /// is exhaustive, and the circular slot distance recovers the absolute
+    /// time.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let mask = self.wheel_mask;
+        let from_slot = from & mask;
+        let nwords = self.occupied.len();
+        let word_mask = nwords - 1;
+        let first = self.occupied[from_slot >> 6] & (!0u64 << (from_slot & 63));
+        if first != 0 {
+            let slot = ((from_slot >> 6) << 6) | first.trailing_zeros() as usize;
+            return Some(from + (slot.wrapping_sub(from_slot) & mask));
+        }
+        for step in 1..=nwords {
+            let idx = ((from_slot >> 6) + step) & word_mask;
+            let mut bits = self.occupied[idx];
+            if step == nwords {
+                // Back at the starting word: only the bits below `from`'s
+                // position are unseen (they sit almost a revolution ahead).
+                bits &= !(!0u64 << (from_slot & 63));
+            }
+            if bits != 0 {
+                let slot = (idx << 6) | bits.trailing_zeros() as usize;
+                return Some(from + (slot.wrapping_sub(from_slot) & mask));
+            }
+        }
+        None
+    }
+
+    /// Schedules (or replaces) the pending change of `net` in the wheel. The
+    /// caller has already cancelled any contradicting pending event, and the
+    /// event's delay never exceeds `max_delay_ps`, so the circular slot
+    /// mapping cannot collide with a different pending time.
     #[inline]
     fn schedule(&mut self, net: usize, value: bool, time_ps: u64) {
-        let t = time_ps as usize;
-        debug_assert!(t < self.buckets.len(), "event past the critical path");
-        let seq = self.pending_seq[net].wrapping_add(1);
-        self.pending_seq[net] = seq;
-        self.pending_value[net] = value;
-        self.has_pending[net] = true;
-        if self.buckets[t].is_empty() {
-            self.active_times.push(std::cmp::Reverse(t as u32));
-        }
-        self.buckets[t].push(WheelEvent {
-            net: net as u32,
-            value,
+        let slot = time_ps as usize & self.wheel_mask;
+        let scratch = &mut self.scratch[net];
+        let seq = scratch.seq.wrapping_add(1);
+        scratch.seq = seq;
+        scratch.set_pending(value);
+        let index = self.events.len() as u32;
+        self.events.push(WheelEvent {
+            net_val: WheelEvent::pack(net, value),
             seq,
+            next: self.bucket_head[slot],
         });
+        if self.bucket_head[slot] == NIL {
+            self.mark_occupied(slot);
+        }
+        self.bucket_head[slot] = index;
+    }
+
+    /// Applies one matured event: commits the value change, records the
+    /// coalescing state of the timestamp and joins the delta round's
+    /// frontier. The seq comparison alone identifies stale events — every
+    /// cancellation and re-schedule bumps the generation, so a matching
+    /// generation is necessarily the unique live entry.
+    #[inline]
+    fn apply_event(&mut self, event: WheelEvent) {
+        let net = event.net();
+        let value = event.value();
+        let scratch = &mut self.scratch[net];
+        if scratch.seq != event.seq {
+            return; // cancelled or superseded
+        }
+        scratch.clear_pending();
+        if self.values[net] == value {
+            return;
+        }
+        if !scratch.in_touched() {
+            scratch.set_touched(self.values[net]);
+            self.touched.push(net as u32);
+        }
+        self.values[net] = value;
+        self.frontier.push(net as u32);
+    }
+
+    /// Clears the total counts the previous cycle produced (sparse) and
+    /// re-bases `values` on the caller's previous stable values.
+    fn begin_cycle(&mut self, prev_stable: &[bool]) {
+        assert_eq!(
+            prev_stable.len(),
+            self.circuit.num_nets(),
+            "previous stable values must cover every net"
+        );
+        self.values[..prev_stable.len()].copy_from_slice(prev_stable);
+        let totals = self.activity.total_mut().per_net_mut();
+        for &net in &self.counted {
+            totals[net as usize] = 0;
+        }
+        self.counted.clear();
+        self.events.clear();
+        debug_assert!(
+            self.scratch.iter().all(|s| !s.has_pending()),
+            "stale pending events"
+        );
     }
 
     /// Simulates one clock cycle.
@@ -237,21 +562,97 @@ impl<'c> EventDrivenSimulator<'c> {
     /// Panics if `prev_stable` or `inputs` have the wrong length.
     pub fn simulate_cycle(&mut self, prev_stable: &[bool], inputs: &[bool]) -> &GlitchActivity {
         assert_eq!(
-            prev_stable.len(),
-            self.circuit.num_nets(),
-            "previous stable values must cover every net"
-        );
-        assert_eq!(
             inputs.len(),
             self.circuit.num_primary_inputs(),
             "input pattern length must equal the number of primary inputs"
         );
+        self.begin_cycle(prev_stable);
 
-        self.values.copy_from_slice(prev_stable);
-        self.prev.copy_from_slice(prev_stable);
-        self.activity.reset();
-        debug_assert!(self.has_pending.iter().all(|p| !p), "stale pending events");
+        if self.max_delay_ps == 0 {
+            self.simulate_cycle_levelized(prev_stable, inputs);
+        } else {
+            self.simulate_cycle_wheel(prev_stable, inputs);
+        }
 
+        // Settled (functional) counts: did the stable value change?
+        let settled = self.activity.settled_mut().per_net_mut();
+        for (slot, (&old, &new)) in settled.iter_mut().zip(prev_stable.iter().zip(&self.values)) {
+            *slot = u32::from(old != new);
+        }
+        &self.activity
+    }
+
+    /// The levelized fast path for all-zero delay annotations: with every
+    /// delay zero no pulse can out-run another, so no net glitches and the
+    /// cycle is exactly one re-evaluation of the stimulus cone in
+    /// topological (instruction) order — wheel scheduling, inertial
+    /// bookkeeping and per-timestamp coalescing are all skipped. Bit-exact
+    /// with the zero-delay backends by construction, and with the general
+    /// wheel path by the coalescing argument in the module docs.
+    fn simulate_cycle_levelized(&mut self, prev_stable: &[bool], inputs: &[bool]) {
+        debug_assert!(self.dirty_heap.is_empty());
+        // Stimulus: latch captures and the new input pattern, seeding the
+        // consumer worklist with every instruction reading a changed net.
+        for ff in 0..self.program.flip_flops().len() {
+            let (d, q) = self.program.flip_flops()[ff];
+            let captured = prev_stable[d as usize];
+            if captured != self.values[q as usize] {
+                self.values[q as usize] = captured;
+                self.touched.push(q);
+                self.mark_consumers_dirty(q as usize);
+            }
+        }
+        for (pi, &v) in inputs.iter().enumerate() {
+            let net = self.program.primary_inputs()[pi];
+            if v != self.values[net as usize] {
+                self.values[net as usize] = v;
+                self.touched.push(net);
+                self.mark_consumers_dirty(net as usize);
+            }
+        }
+        // Process the cone in instruction order: every consumer of a changed
+        // net has a higher instruction index than the change's producer
+        // (topological program order), so each affected instruction is
+        // evaluated exactly once, with final operand values.
+        while let Some(std::cmp::Reverse(index)) = self.dirty_heap.pop() {
+            let index = index as usize;
+            self.in_dirty[index] = false;
+            let new_out = if let Some(gates) = &self.inline_gates {
+                gates[index].eval(&self.values)
+            } else {
+                let instruction = &self.program.instructions()[index];
+                eval_instruction(&self.program, instruction, &self.values)
+            };
+            let out = self.outputs[index] as usize;
+            if new_out != self.values[out] {
+                self.values[out] = new_out;
+                self.touched.push(out as u32);
+                self.mark_consumers_dirty(out);
+            }
+        }
+        // Every touched net changed exactly once: one settled transition.
+        let totals = self.activity.total_mut().per_net_mut();
+        for k in 0..self.touched.len() {
+            let net = self.touched[k];
+            totals[net as usize] = 1;
+            self.counted.push(net);
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn mark_consumers_dirty(&mut self, net: usize) {
+        for c in self.consumers_of(net) {
+            let index = self.consumers[c] as usize;
+            if !self.in_dirty[index] {
+                self.in_dirty[index] = true;
+                self.dirty_heap.push(std::cmp::Reverse(index as u32));
+            }
+        }
+    }
+
+    /// The general wheel path for delay-annotated programs.
+    fn simulate_cycle_wheel(&mut self, prev_stable: &[bool], inputs: &[bool]) {
         // Stimulus at t = 0: latch captures and the new input pattern.
         for ff in 0..self.program.flip_flops().len() {
             let (d, q) = self.program.flip_flops()[ff];
@@ -266,98 +667,129 @@ impl<'c> EventDrivenSimulator<'c> {
                 self.schedule(net, v, 0);
             }
         }
+        if self.events.is_empty() {
+            return; // empty stimulus frontier: nothing can move
+        }
 
         // Forward sweep over the occupied wheel buckets, in time order. Each
         // timestamp is processed in two-phase delta rounds: first *apply*
         // every matured event of the round as a batch (so simultaneous
         // arrivals act simultaneously, like synchronous hardware), then
         // *evaluate* the consumers of the changed nets, scheduling their
-        // output changes — possibly back into the same timestamp when an
-        // instruction's delay is zero, which starts another round. Buckets
-        // may grow while they are drained; newly occupied future buckets
-        // enter the active-times heap.
-        while let Some(std::cmp::Reverse(time)) = self.active_times.pop() {
-            let t = time as usize;
-            let mut i = 0;
+        // output changes — into the wheel for positive delays, or into the
+        // next round of the same timestamp for zero-delay instructions.
+        let mut cursor = 0usize;
+        while let Some(t) = self.next_occupied(cursor) {
+            // Drain bucket t: detach its intrusive list and clear its
+            // occupancy (positive delays can never re-occupy a past bucket).
+            let slot = t & self.wheel_mask;
+            let mut head = self.bucket_head[slot];
+            self.bucket_head[slot] = NIL;
+            self.occupied[slot >> 6] &= !(1 << (slot & 63));
+
+            // Round 0, phase 1: apply the bucket's events straight off the
+            // intrusive chain (no staging copy). Applying is a batch, so
+            // simultaneous arrivals act simultaneously, like synchronous
+            // hardware.
+            while head != NIL {
+                let event = self.events[head as usize];
+                head = event.next;
+                self.apply_event(event);
+            }
+
             loop {
-                // Phase 1: apply every event matured in this round.
-                while i < self.buckets[t].len() {
-                    let event = self.buckets[t][i];
-                    i += 1;
-                    let net = event.net as usize;
-                    if !self.has_pending[net] || self.pending_seq[net] != event.seq {
-                        continue; // cancelled or superseded
-                    }
-                    self.has_pending[net] = false;
-                    if self.values[net] == event.value {
-                        continue;
-                    }
-                    if !self.in_touched[net] {
-                        self.in_touched[net] = true;
-                        self.start_val[net] = self.values[net];
-                        self.touched.push(event.net);
-                    }
-                    self.values[net] = event.value;
-                    self.frontier.push(event.net);
-                }
                 if self.frontier.is_empty() {
                     break; // the timestamp has quiesced
                 }
 
                 // Phase 2: re-evaluate every instruction consuming a net
-                // that changed in phase 1.
+                // that changed in phase 1 (an instruction with several
+                // changed operands re-evaluates once per occurrence; the
+                // repeats see the same batch-applied values, so they are
+                // no-ops), scheduling the output changes — into the wheel
+                // for positive delays, or into the next round of the same
+                // timestamp for zero-delay instructions.
+                self.round_events.clear();
                 for f in 0..self.frontier.len() {
                     let net = self.frontier[f] as usize;
                     for c in self.consumers_of(net) {
                         let index = self.consumers[c] as usize;
-                        let instruction = &self.program.instructions()[index];
-                        let new_out = eval_instruction(&self.program, instruction, &self.values);
-                        let out = instruction.output as usize;
-                        let projected = if self.has_pending[out] {
-                            self.pending_value[out]
+                        let new_out = if let Some(gates) = &self.inline_gates {
+                            gates[index].eval(&self.values)
+                        } else {
+                            let instruction = &self.program.instructions()[index];
+                            eval_instruction(&self.program, instruction, &self.values)
+                        };
+                        let out = self.outputs[index] as usize;
+                        let scratch = self.scratch[out];
+                        let projected = if scratch.has_pending() {
+                            scratch.pending_value()
                         } else {
                             self.values[out]
                         };
                         if new_out == projected {
                             continue; // already heading there (or already there)
                         }
-                        if self.has_pending[out] {
-                            // Inertial cancellation: the contradicted pending
-                            // change never matures; its wheel entry goes
-                            // stale.
-                            self.has_pending[out] = false;
-                            self.pending_seq[out] = self.pending_seq[out].wrapping_add(1);
+                        if scratch.has_pending() {
+                            // Inertial cancellation: the contradicted
+                            // pending change never matures; its wheel entry
+                            // goes stale.
+                            let scratch = &mut self.scratch[out];
+                            scratch.clear_pending();
+                            scratch.seq = scratch.seq.wrapping_add(1);
                         }
                         if new_out != self.values[out] {
-                            let delay = self.program.instruction_delays_ps()[index];
-                            self.schedule(out, new_out, t as u64 + delay);
+                            let delay = self.delays_ps[index];
+                            if delay == 0 {
+                                // Matures in the next delta round of this
+                                // same timestamp.
+                                let scratch = &mut self.scratch[out];
+                                let seq = scratch.seq.wrapping_add(1);
+                                scratch.seq = seq;
+                                scratch.set_pending(new_out);
+                                self.round_events.push(WheelEvent {
+                                    net_val: WheelEvent::pack(out, new_out),
+                                    seq,
+                                    next: NIL,
+                                });
+                            } else {
+                                self.schedule(out, new_out, t as u64 + u64::from(delay));
+                            }
                         }
                         // else: the pulse was swallowed entirely.
                     }
                 }
                 self.frontier.clear();
+                if self.round_events.is_empty() {
+                    break;
+                }
+
+                // Next round, phase 1: apply the same-timestamp reschedules.
+                for k in 0..self.round_events.len() {
+                    let event = self.round_events[k];
+                    self.apply_event(event);
+                }
             }
-            self.buckets[t].clear();
 
             // Coalesce the timestamp: a net that left timestamp `t` at the
             // value it entered with produced a zero-width pulse, which
             // inertial filtering swallows; anything else is one transition.
+            let totals = self.activity.total_mut().per_net_mut();
             for k in 0..self.touched.len() {
                 let net = self.touched[k] as usize;
-                self.in_touched[net] = false;
-                if self.values[net] != self.start_val[net] {
-                    self.activity.total_mut().per_net_mut()[net] += 1;
+                let scratch = &mut self.scratch[net];
+                let start = scratch.start_val();
+                scratch.clear_touched();
+                if self.values[net] != start {
+                    if totals[net] == 0 {
+                        self.counted.push(net as u32);
+                    }
+                    totals[net] += 1;
                 }
             }
             self.touched.clear();
+            cursor = t + 1;
         }
-
-        // Settled (functional) counts: did the stable value change?
-        let settled = self.activity.settled_mut().per_net_mut();
-        for (slot, (&old, &new)) in settled.iter_mut().zip(self.prev.iter().zip(&self.values)) {
-            *slot = u32::from(old != new);
-        }
-        &self.activity
     }
 
     /// The total transitions of one net in the last simulated cycle.
@@ -476,6 +908,27 @@ mod tests {
             2,
             "pulse as wide as the delay propagates"
         );
+    }
+
+    #[test]
+    fn mixed_zero_and_positive_delays_use_the_wheel_path() {
+        // NOT and AND are instantaneous, the buffer is slow: zero-delay
+        // instructions re-schedule into the timestamp being drained (the
+        // delta-round queue), so the hazard never forms on `out` — both its
+        // changes coalesce at the same instant — and `y` stays quiet too.
+        let (c, prev, out_id, y_id) = buffered_hazard();
+        let delays = netlist::GateDelays::from_delays(&c, vec![0, 0, 250]);
+        let mut sim = EventDrivenSimulator::with_delays(&c, DelayModel::Unit(100), &delays);
+        let activity = sim.simulate_cycle(&prev, &[true]).clone();
+        assert_eq!(activity.total().transitions_on(out_id), 0);
+        assert_eq!(activity.total().transitions_on(y_id), 0);
+        // The settled values still match the functional fixpoint (a fresh
+        // zero-delay simulator settles to exactly the `prev` state).
+        let mut zero = ZeroDelaySimulator::new(&c);
+        assert_eq!(zero.values(), prev.as_slice());
+        let functional = zero.step(&[true]).per_net().to_vec();
+        assert_eq!(activity.settled().per_net(), functional.as_slice());
+        assert_eq!(sim.stable_values(), zero.values());
     }
 
     #[test]
@@ -611,6 +1064,23 @@ mod tests {
     }
 
     #[test]
+    fn counts_are_fully_cleared_between_cycles() {
+        // The sparse clear must erase exactly the previous cycle's counts:
+        // run a glitchy cycle (multi-transition counts), then a quiet one
+        // (same input, settled state, no latches to recapture) and check
+        // every count returns to zero — the regression test for the
+        // counted-nets bookkeeping.
+        let (c, prev, out_id, _) = buffered_hazard();
+        let mut event = EventDrivenSimulator::new(&c, DelayModel::Unit(100));
+        let busy = event.simulate_cycle(&prev, &[true]).clone();
+        assert_eq!(busy.glitch_on(out_id), 2, "the hazard cycle must glitch");
+        let settled_prev = event.stable_values().to_vec();
+        let quiet = event.simulate_cycle(&settled_prev, &[true]).clone();
+        assert_eq!(quiet.total().total_transitions(), 0);
+        assert_eq!(quiet.settled().total_transitions(), 0);
+    }
+
+    #[test]
     fn accessors_report_configuration() {
         let c = iscas89::load("s27").unwrap();
         let sim = EventDrivenSimulator::new(&c, DelayModel::Unit(50));
@@ -658,7 +1128,8 @@ mod proptests {
 
         /// Under `DelayModel::Zero` the event-driven simulator is
         /// bit-identical to the zero-delay backends — values *and* per-net
-        /// transition counts — on arbitrary generated circuits.
+        /// transition counts — on arbitrary generated circuits (this
+        /// exercises the levelized fast path).
         #[test]
         fn zero_model_is_bit_identical_on_random_circuits(
             circuit_seed in 0u64..40,
@@ -702,6 +1173,42 @@ mod proptests {
                 let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
                 let prev = zero.values().to_vec();
                 let activity = event.simulate_cycle(&prev, &inputs).clone();
+                let functional = zero.step(&inputs).per_net().to_vec();
+                prop_assert_eq!(event.stable_values(), zero.values());
+                prop_assert_eq!(activity.settled().per_net(), functional.as_slice());
+                for (t, s) in activity.total().per_net().iter().zip(&functional) {
+                    prop_assert!(t >= s);
+                    prop_assert_eq!(t % 2, s % 2);
+                }
+            }
+        }
+
+        /// Mixed annotations with zero-delay instructions interleaved among
+        /// positive ones exercise the same-timestamp delta-round queue:
+        /// settled counts still equal the functional ones, totals dominate
+        /// with matching parity, and runs are deterministic.
+        #[test]
+        fn mixed_zero_positive_annotations_are_consistent(
+            circuit_seed in 0u64..30,
+            stream_seed in 0u64..30,
+        ) {
+            let cfg = GeneratorConfig::new("prop_ev3", 4, 2, 5, 30).with_seed(circuit_seed);
+            let c = generate(&cfg).unwrap();
+            // Every third gate is instantaneous, the rest take 70 ps.
+            let per_gate: Vec<u64> = (0..c.num_gates())
+                .map(|g| if g % 3 == 0 { 0 } else { 70 })
+                .collect();
+            let delays = netlist::GateDelays::from_delays(&c, per_gate);
+            let mut zero = ZeroDelaySimulator::new(&c);
+            let mut event = EventDrivenSimulator::with_delays(&c, DelayModel::Unit(70), &delays);
+            let mut replay = EventDrivenSimulator::with_delays(&c, DelayModel::Unit(70), &delays);
+            let mut rng = StdRng::seed_from_u64(stream_seed);
+            for _ in 0..8 {
+                let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+                let prev = zero.values().to_vec();
+                let activity = event.simulate_cycle(&prev, &inputs).clone();
+                let again = replay.simulate_cycle(&prev, &inputs).clone();
+                prop_assert_eq!(&activity, &again);
                 let functional = zero.step(&inputs).per_net().to_vec();
                 prop_assert_eq!(event.stable_values(), zero.values());
                 prop_assert_eq!(activity.settled().per_net(), functional.as_slice());

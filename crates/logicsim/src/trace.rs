@@ -46,7 +46,7 @@ impl CycleActivity {
 
     /// Resets all counts to zero (reuse between cycles without reallocating).
     pub fn reset(&mut self) {
-        self.transitions.iter_mut().for_each(|t| *t = 0);
+        self.transitions.fill(0);
     }
 
     /// Total number of transitions across all nets this cycle.
@@ -215,11 +215,6 @@ impl GlitchActivity {
 
     pub(crate) fn settled_mut(&mut self) -> &mut CycleActivity {
         &mut self.settled
-    }
-
-    pub(crate) fn reset(&mut self) {
-        self.total.reset();
-        self.settled.reset();
     }
 }
 

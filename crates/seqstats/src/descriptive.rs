@@ -213,6 +213,46 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
+/// Pools per-group sample statistics into the mean and unbiased variance of
+/// the union sample — the analytic pooling identity behind sharded
+/// estimation, where each group is one shard's sub-sample:
+///
+/// ```text
+/// x̄ = Σ nᵢ x̄ᵢ / N
+/// s² = [Σ (nᵢ − 1) sᵢ² + Σ nᵢ (x̄ᵢ − x̄)²] / (N − 1)
+/// ```
+///
+/// Each group is `(n, mean, unbiased variance)`. The result is exactly the
+/// `(mean, variance)` of the concatenated sample (up to floating-point
+/// association), so a merger can evaluate a pooled stopping rule from
+/// per-shard summaries alone. Groups with `n == 0` contribute nothing.
+///
+/// Returns `(0.0, 0.0)` for an empty pool and variance `0.0` when the pool
+/// has fewer than two observations.
+pub fn pooled_mean_variance(groups: &[(usize, f64, f64)]) -> (f64, f64) {
+    let total: usize = groups.iter().map(|&(n, _, _)| n).sum();
+    if total == 0 {
+        return (0.0, 0.0);
+    }
+    let pooled_mean = groups
+        .iter()
+        .map(|&(n, mean, _)| n as f64 * mean)
+        .sum::<f64>()
+        / total as f64;
+    if total < 2 {
+        return (pooled_mean, 0.0);
+    }
+    let within: f64 = groups
+        .iter()
+        .map(|&(n, _, var)| (n.saturating_sub(1)) as f64 * var)
+        .sum();
+    let between: f64 = groups
+        .iter()
+        .map(|&(n, mean, _)| n as f64 * (mean - pooled_mean).powi(2))
+        .sum();
+    (pooled_mean, (within + between) / (total - 1) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +358,34 @@ mod tests {
     fn quantile_level_out_of_range_panics() {
         quantile(&[1.0], 1.5);
     }
+
+    #[test]
+    fn pooled_statistics_match_the_union_sample() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 12.0];
+        let c = [5.0];
+        let groups = [
+            (a.len(), mean(&a), variance(&a)),
+            (b.len(), mean(&b), variance(&b)),
+            (c.len(), mean(&c), variance(&c)),
+        ];
+        let union: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let (pooled_mean, pooled_var) = pooled_mean_variance(&groups);
+        assert!((pooled_mean - mean(&union)).abs() < 1e-12);
+        assert!((pooled_var - variance(&union)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_statistics_edge_cases() {
+        assert_eq!(pooled_mean_variance(&[]), (0.0, 0.0));
+        assert_eq!(pooled_mean_variance(&[(0, 0.0, 0.0)]), (0.0, 0.0));
+        let (m, v) = pooled_mean_variance(&[(1, 3.5, 0.0)]);
+        assert_eq!((m, v), (3.5, 0.0));
+        // Empty groups contribute nothing.
+        let (m, v) = pooled_mean_variance(&[(2, 1.0, 2.0), (0, 99.0, 99.0)]);
+        let (m2, v2) = pooled_mean_variance(&[(2, 1.0, 2.0)]);
+        assert_eq!((m, v), (m2, v2));
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +441,24 @@ mod proptests {
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let k = 1 + k_seed % xs.len();
             prop_assert_eq!(order_statistic(&xs, k), sorted[k - 1]);
+        }
+
+        /// The analytic pooling identity: per-group statistics recombine to
+        /// the union sample's mean and unbiased variance for any partition.
+        #[test]
+        fn pooled_statistics_match_any_partition(
+            xs in proptest::collection::vec(0.1f64..1e3, 2..120),
+            cut_seed in 0usize..1000,
+        ) {
+            let first = 1 + cut_seed % (xs.len() - 1);
+            let (a, b) = xs.split_at(first);
+            let groups = [
+                (a.len(), mean(a), variance(a)),
+                (b.len(), mean(b), variance(b)),
+            ];
+            let (pooled_mean, pooled_var) = pooled_mean_variance(&groups);
+            prop_assert!((pooled_mean - mean(&xs)).abs() <= 1e-9 * mean(&xs).abs().max(1.0));
+            prop_assert!((pooled_var - variance(&xs)).abs() <= 1e-9 * variance(&xs).max(1.0));
         }
     }
 }

@@ -8,8 +8,12 @@
 //! Instead of criterion's statistical sampling it runs each benchmark a small
 //! fixed number of iterations and reports min/mean wall-clock time — enough
 //! to compare orders of magnitude between the simulators and estimators,
-//! which is all the reproduction tables need. Swap the path dependency for
-//! the real `criterion` to get confidence intervals and HTML reports.
+//! which is all the reproduction tables need. Like the real criterion, a
+//! positional argument acts as a substring filter over `group/id` names
+//! (`cargo bench -- event_driven` runs just the matching benches — CI uses
+//! this to gate individual hot paths); `--`-prefixed harness flags are
+//! ignored. Swap the path dependency for the real `criterion` to get
+//! confidence intervals and HTML reports.
 
 #![warn(missing_docs)]
 
@@ -21,16 +25,40 @@ use std::time::{Duration, Instant};
 const ITERATIONS: u32 = 3;
 
 /// Entry point handed to benchmark functions.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    /// Substring filter over `group/id` names, from the first positional
+    /// command-line argument (the real criterion's filtering convention).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Criterion { filter }
+    }
 }
 
 impl Criterion {
+    /// A criterion that runs only benches whose `group/id` contains
+    /// `filter` (tests use this; `Default` reads the process arguments).
+    pub fn with_filter(filter: impl Into<String>) -> Self {
+        Criterion {
+            filter: Some(filter.into()),
+        }
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|needle| full_id.contains(needle))
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        println!("\ngroup {name}");
         BenchmarkGroup {
+            name: name.to_string(),
+            announced: false,
             _criterion: self,
             iterations: ITERATIONS,
         }
@@ -38,9 +66,11 @@ impl Criterion {
 
     /// Runs a single stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut bencher = Bencher::new(ITERATIONS);
-        f(&mut bencher);
-        bencher.report(name);
+        if self.matches(name) {
+            let mut bencher = Bencher::new(ITERATIONS);
+            f(&mut bencher);
+            bencher.report(name);
+        }
         self
     }
 }
@@ -48,6 +78,10 @@ impl Criterion {
 /// A group of benchmarks sharing a name prefix and sampling configuration.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
+    name: String,
+    /// Whether the `group <name>` header has been printed (only once a
+    /// bench in the group actually runs, so filtered runs stay quiet).
+    announced: bool,
     _criterion: &'a mut Criterion,
     iterations: u32,
 }
@@ -60,6 +94,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &BenchmarkId, mut f: F) {
+        let full_id = format!("{}/{}", self.name, id.0);
+        if !self._criterion.matches(&full_id) {
+            return;
+        }
+        if !self.announced {
+            println!("\ngroup {}", self.name);
+            self.announced = true;
+        }
+        let mut bencher = Bencher::new(self.iterations);
+        f(&mut bencher);
+        bencher.report(&id.0);
+    }
+
     /// Benchmarks `f` with a fixed input value.
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
@@ -70,9 +118,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher::new(self.iterations);
-        f(&mut bencher, input);
-        bencher.report(&id.0);
+        self.run_one(&id, |bencher| f(bencher, input));
         self
     }
 
@@ -82,9 +128,7 @@ impl BenchmarkGroup<'_> {
         id: BenchmarkId,
         mut f: F,
     ) -> &mut Self {
-        let mut bencher = Bencher::new(self.iterations);
-        f(&mut bencher);
-        bencher.report(&id.0);
+        self.run_one(&id, &mut f);
         self
     }
 
@@ -196,5 +240,36 @@ mod tests {
         let mut c = Criterion::default();
         c.bench_function("inline", |b| b.iter(|| 2 + 2));
         assert_eq!(BenchmarkId::new("a", 3), BenchmarkId(String::from("a/3")));
+    }
+
+    #[test]
+    fn filters_select_benches_by_group_and_id() {
+        let mut c = Criterion::with_filter("stub/square");
+        let mut ran = false;
+        {
+            let mut group = c.benchmark_group("stub");
+            group.bench_with_input(BenchmarkId::from_parameter("square"), &2u64, |b, &x| {
+                b.iter(|| {
+                    ran = true;
+                    x * x
+                });
+            });
+            group.finish();
+        }
+        assert!(ran, "matching benches must run");
+
+        let mut c = Criterion::with_filter("no-such-bench");
+        let mut ran = false;
+        {
+            let mut group = c.benchmark_group("stub");
+            group.bench_with_input(BenchmarkId::from_parameter("square"), &2u64, |b, &x| {
+                b.iter(|| {
+                    ran = true;
+                    x * x
+                });
+            });
+            group.finish();
+        }
+        assert!(!ran, "filtered-out benches must be skipped");
     }
 }
