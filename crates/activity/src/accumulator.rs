@@ -130,6 +130,44 @@ impl NodeActivityAccumulator {
         }
     }
 
+    /// Captures the exact integer moment sums as a plain-data
+    /// [`seqstats::MomentAccumulatorState`] — the unit the session
+    /// checkpoints serialize. Restoring via
+    /// [`from_state`](Self::from_state) reproduces this accumulator exactly
+    /// (the fields are integers, so there is no precision to lose).
+    pub fn snapshot(&self) -> seqstats::MomentAccumulatorState {
+        seqstats::MomentAccumulatorState {
+            observations: self.observations,
+            totals: self.totals.clone(),
+            totals_sq: self.totals_sq.clone(),
+            glitch_totals: self.glitch_totals.clone(),
+        }
+    }
+
+    /// Rebuilds an accumulator from a [snapshot](Self::snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when the state's per-net vectors
+    /// have mismatched lengths or do not cover `num_nets` nets.
+    pub fn from_state(
+        state: &seqstats::MomentAccumulatorState,
+        num_nets: usize,
+    ) -> Result<Self, String> {
+        let nets = state.validate()?;
+        if nets != num_nets {
+            return Err(format!(
+                "accumulator state tracks {nets} nets but the circuit has {num_nets}"
+            ));
+        }
+        Ok(NodeActivityAccumulator {
+            observations: state.observations,
+            totals: state.totals.clone(),
+            totals_sq: state.totals_sq.clone(),
+            glitch_totals: state.glitch_totals.clone(),
+        })
+    }
+
     /// Merges another accumulator into this one (e.g. per-thread partials).
     ///
     /// # Panics

@@ -6,11 +6,12 @@
 
 use std::time::Instant;
 
+use dipe::checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
 use dipe::estimate::{CycleBudget, Estimate, EstimationSession, Progress, SessionPhase};
 use dipe::independence::{IndependenceSelection, IntervalSelector, SelectorStep};
 use dipe::{Diagnostics, DipeConfig, DipeError, PowerEstimator, PowerSampler};
 use netlist::Circuit;
-use seqstats::{NodeStoppingDecision, NodeStoppingPolicy, StoppingCriterion};
+use seqstats::{NodeStoppingDecision, NodeStoppingPolicy, PooledSampleState, StoppingCriterion};
 
 use crate::accumulator::NodeActivityAccumulator;
 
@@ -73,6 +74,52 @@ impl BreakdownEstimator {
     /// The convergence target.
     pub fn target(&self) -> ConvergenceTarget {
         self.target
+    }
+
+    /// Reopens a session at a [checkpoint](dipe::checkpoint) captured from an
+    /// earlier breakdown session. The inputs must be the ones the
+    /// checkpointed session was started with; the resumed session continues
+    /// the identical simulation sequence, so its final estimate *and per-net
+    /// breakdown* match the uninterrupted run bit-for-bit (wall-clock
+    /// diagnostics aside).
+    ///
+    /// # Errors
+    ///
+    /// * [`DipeError::InvalidCheckpoint`] on a version or estimator mismatch,
+    ///   a missing or circuit-incompatible accumulator state, or sampler
+    ///   state that does not fit `circuit`;
+    /// * the usual [`DipeError::InvalidConfig`] /
+    ///   [`DipeError::InputModelMismatch`] for unusable inputs.
+    pub fn resume<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &dipe::input::InputModel,
+        checkpoint: &SessionCheckpoint,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        checkpoint.validate_for(&self.name())?;
+        let state =
+            checkpoint
+                .accumulator
+                .as_ref()
+                .ok_or_else(|| DipeError::InvalidCheckpoint {
+                    message: "checkpoint carries no per-net accumulator state; it was not taken \
+                          from a breakdown session"
+                        .to_string(),
+                })?;
+        let accumulator = NodeActivityAccumulator::from_state(state, circuit.num_nets())
+            .map_err(|message| DipeError::InvalidCheckpoint { message })?;
+        let mut sampler = PowerSampler::new(circuit, config, input_model, 0)?;
+        sampler.restore(&checkpoint.sampler)?;
+        Ok(Box::new(BreakdownSession::resume_at(
+            self.name(),
+            config,
+            sampler,
+            self.node_policy,
+            self.target,
+            accumulator,
+            checkpoint,
+        )))
     }
 }
 
@@ -138,6 +185,9 @@ pub struct BreakdownSession<'c> {
     capacitances_f: Vec<f64>,
     state: State,
     elapsed_seconds: f64,
+    /// Snapshot taken at sampling entry — see
+    /// [`EstimationSession::warm_checkpoint`].
+    warm: Option<SessionCheckpoint>,
 }
 
 impl<'c> BreakdownSession<'c> {
@@ -163,6 +213,61 @@ impl<'c> BreakdownSession<'c> {
                 remaining: config.warmup_cycles,
             },
             elapsed_seconds: 0.0,
+            warm: None,
+        }
+    }
+
+    /// Rebuilds a session at a checkpoint's exact position, directly in the
+    /// sampling phase. `sampler` must already be restored to the
+    /// checkpoint's sampler state and `accumulator` to its moment sums.
+    fn resume_at(
+        name: String,
+        config: &DipeConfig,
+        sampler: PowerSampler<'c>,
+        node_policy: NodeStoppingPolicy,
+        target: ConvergenceTarget,
+        accumulator: NodeActivityAccumulator,
+        checkpoint: &SessionCheckpoint,
+    ) -> BreakdownSession<'c> {
+        let capacitances_f = sampler.calculator().loads().as_slice().to_vec();
+        BreakdownSession {
+            name,
+            criterion: config.build_criterion(),
+            config: config.clone(),
+            node_policy,
+            target,
+            accumulator,
+            capacitances_f,
+            sampler,
+            state: State::Sampling {
+                selection: checkpoint.selection.clone(),
+                sample: checkpoint.sample.to_values(),
+                last_total_rhw: checkpoint.last_rhw(),
+                // Re-established at the next block boundary; only progress
+                // reporting between boundaries is affected, never the final
+                // estimate (termination re-evaluates the policy anyway).
+                last_node: None,
+            },
+            elapsed_seconds: checkpoint.elapsed_seconds,
+            warm: checkpoint.is_warm().then(|| checkpoint.clone()),
+        }
+    }
+
+    fn checkpoint_from(
+        &self,
+        selection: &IndependenceSelection,
+        sample: &[f64],
+        last_total_rhw: Option<f64>,
+    ) -> SessionCheckpoint {
+        SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            estimator: self.name.clone(),
+            sampler: self.sampler.snapshot(),
+            selection: selection.clone(),
+            sample: PooledSampleState::from_values(sample),
+            last_rhw_bits: last_total_rhw.map(f64::to_bits),
+            elapsed_seconds: self.elapsed_seconds,
+            accumulator: Some(self.accumulator.snapshot()),
         }
     }
 
@@ -358,6 +463,12 @@ impl EstimationSession for BreakdownSession<'_> {
                                 last_total_rhw: None,
                                 last_node: None,
                             };
+                            // Warm checkpoint at sampling entry: the
+                            // accumulator is still empty, so this snapshot
+                            // predates every accuracy-dependent decision.
+                            if let State::Sampling { selection, .. } = &self.state {
+                                self.warm = Some(self.checkpoint_from(selection, &[], None));
+                            }
                         }
                         Err(error) => {
                             self.state = State::Failed(error.clone());
@@ -456,6 +567,22 @@ impl EstimationSession for BreakdownSession<'_> {
             phase: self.phase(),
         })
     }
+
+    fn checkpoint(&self) -> Option<SessionCheckpoint> {
+        match &self.state {
+            State::Sampling {
+                selection,
+                sample,
+                last_total_rhw,
+                ..
+            } => Some(self.checkpoint_from(selection, sample, *last_total_rhw)),
+            _ => None,
+        }
+    }
+
+    fn warm_checkpoint(&self) -> Option<SessionCheckpoint> {
+        self.warm.clone()
+    }
 }
 
 enum SamplingOutcome {
@@ -552,6 +679,101 @@ mod tests {
             session.step(CycleBudget::cycles(1)).unwrap(),
             Progress::Done(_)
         ));
+    }
+
+    #[test]
+    fn checkpointed_breakdown_resumes_bit_for_bit() {
+        let c = iscas89::load("s27").unwrap();
+        let estimator = BreakdownEstimator::new(relaxed_policy(), ConvergenceTarget::NodeBreakdown);
+        let uninterrupted = run(&c, &estimator);
+
+        // Kill a session mid-sampling; keep only its checkpoint.
+        let mut session = estimator
+            .start(&c, &config(), &InputModel::uniform(), 0)
+            .unwrap();
+        let checkpoint = loop {
+            match session.step(CycleBudget::cycles(2_000)).unwrap() {
+                Progress::Running { .. } => {
+                    if let Some(cp) = session.checkpoint() {
+                        if !cp.is_warm() {
+                            break cp;
+                        }
+                    }
+                }
+                Progress::Done(_) => panic!("finished before a mid-sampling checkpoint"),
+            }
+        };
+        assert!(checkpoint.accumulator.is_some());
+        drop(session);
+
+        let resumed = run_to_completion(
+            estimator
+                .resume(&c, &config(), &InputModel::uniform(), &checkpoint)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.mean_power_w.to_bits(),
+            uninterrupted.mean_power_w.to_bits()
+        );
+        assert_eq!(resumed.sample_size, uninterrupted.sample_size);
+        assert_eq!(resumed.cycle_counts, uninterrupted.cycle_counts);
+        // The per-net breakdown — built from the restored integer moment
+        // sums — is also identical, not merely close.
+        assert_eq!(resumed.breakdown(), uninterrupted.breakdown());
+    }
+
+    #[test]
+    fn resume_requires_accumulator_state() {
+        let c = iscas89::load("s27").unwrap();
+        let estimator = BreakdownEstimator::new(relaxed_policy(), ConvergenceTarget::NodeBreakdown);
+        let mut session = estimator
+            .start(&c, &config(), &InputModel::uniform(), 0)
+            .unwrap();
+        let checkpoint = loop {
+            if let Progress::Done(_) = session.step(CycleBudget::cycles(2_000)).unwrap() {
+                panic!("finished early");
+            }
+            if let Some(cp) = session.checkpoint() {
+                break cp;
+            }
+        };
+        let mut stripped = checkpoint.clone();
+        stripped.accumulator = None;
+        assert!(matches!(
+            estimator.resume(&c, &config(), &InputModel::uniform(), &stripped),
+            Err(DipeError::InvalidCheckpoint { .. })
+        ));
+        // And a scalar DIPE estimator refuses a breakdown checkpoint.
+        assert!(matches!(
+            dipe::DipeEstimator::new().resume(&c, &config(), &InputModel::uniform(), &checkpoint),
+            Err(DipeError::InvalidCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn accumulator_snapshot_round_trips_exactly() {
+        let c = iscas89::load("s298").unwrap();
+        let estimator = BreakdownEstimator::new(relaxed_policy(), ConvergenceTarget::TotalPower);
+        let mut session = estimator
+            .start(&c, &config(), &InputModel::uniform(), 0)
+            .unwrap();
+        let checkpoint = loop {
+            if let Progress::Done(_) = session.step(CycleBudget::cycles(500)).unwrap() {
+                panic!("finished early");
+            }
+            if let Some(cp) = session.checkpoint() {
+                if !cp.is_warm() {
+                    break cp;
+                }
+            }
+        };
+        let state = checkpoint.accumulator.as_ref().unwrap();
+        assert!(state.observations > 0, "mid-sampling accumulator is live");
+        let restored = NodeActivityAccumulator::from_state(state, c.num_nets()).unwrap();
+        assert_eq!(restored.snapshot(), *state);
+        // Wrong net count is rejected.
+        assert!(NodeActivityAccumulator::from_state(state, c.num_nets() + 1).is_err());
     }
 
     #[test]

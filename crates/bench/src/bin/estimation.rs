@@ -8,7 +8,7 @@
 //!     --circuits s27,s298,s1494 --shard-counts 1,2,4,8 --out BENCH_estimation.json
 //! ```
 
-use dipe_bench::estimation::{format_rows, run_estimation_bench, to_json};
+use dipe_bench::estimation::{format_rows, run_estimation_bench, scaling_warning, to_json};
 use logicsim::DelayModel;
 
 struct Options {
@@ -102,6 +102,11 @@ fn main() {
         std::process::exit(1);
     }
     println!("{}", format_rows(&rows));
+    if let Some(warning) = scaling_warning(&rows) {
+        eprintln!("\n========================= WARNING =========================");
+        eprintln!("{warning}");
+        eprintln!("===========================================================\n");
+    }
     let json = to_json(&rows, options.seed);
     if let Err(error) = std::fs::write(&options.out, json) {
         eprintln!("failed to write {}: {error}", options.out);

@@ -1,0 +1,113 @@
+//! Client-storm benchmark of `dipe-serve`, written to a machine-readable
+//! `BENCH_service.json`.
+//!
+//! ```text
+//! cargo run --release -p dipe-bench --bin service
+//! cargo run --release -p dipe-bench --bin service -- \
+//!     --clients 8 --jobs 8 --streams 4 --workers 2 --out BENCH_service.json
+//! ```
+
+use dipe_bench::service::{format_report, run_service_storm, to_json, ServiceBenchOptions};
+
+fn usage() -> String {
+    "usage: service [--clients N] [--jobs N] [--streams N] [--workers N] [--slice CYCLES] \
+     [--circuits s27,s298,...] [--seed N] [--rel-err E] [--confidence C] [--out FILE]"
+        .to_string()
+}
+
+fn parse_options() -> Result<(ServiceBenchOptions, String), String> {
+    let mut options = ServiceBenchOptions::default();
+    let mut out = "BENCH_service.json".to_string();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut take_value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--clients" => {
+                options.clients = take_value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--jobs" => {
+                options.jobs_per_client = take_value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--streams" => {
+                options.streams = take_value("--streams")?
+                    .parse()
+                    .map_err(|e| format!("--streams: {e}"))?;
+            }
+            "--workers" => {
+                options.workers = take_value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--slice" => {
+                options.slice_cycles = take_value("--slice")?
+                    .parse()
+                    .map_err(|e| format!("--slice: {e}"))?;
+            }
+            "--circuits" => {
+                options.circuits = take_value("--circuits")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--seed" => {
+                options.seed = take_value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--rel-err" => {
+                options.relative_error = take_value("--rel-err")?
+                    .parse()
+                    .map_err(|e| format!("--rel-err: {e}"))?;
+            }
+            "--confidence" => {
+                options.confidence = take_value("--confidence")?
+                    .parse()
+                    .map_err(|e| format!("--confidence: {e}"))?;
+            }
+            "--out" => out = take_value("--out")?,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if options.clients == 0 || options.jobs_per_client == 0 || options.circuits.is_empty() {
+        return Err("storm needs at least one client, one job and one circuit".into());
+    }
+    Ok((options, out))
+}
+
+fn main() {
+    let (options, out) = match parse_options() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# Service benchmark — {} clients x {} jobs over {} streams, {} workers, seed = {}",
+        options.clients, options.jobs_per_client, options.streams, options.workers, options.seed
+    );
+    let report = run_service_storm(&options);
+    println!("{}", format_report(&report));
+    println!(
+        "# {} jobs in {:.2}s = {:.2} jobs/s (p50 {:.1} ms, p95 {:.1} ms)",
+        report.total_jobs,
+        report.elapsed_seconds,
+        report.jobs_per_sec,
+        report.p50_ms,
+        report.p95_ms
+    );
+    let json = to_json(&report);
+    if let Err(error) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {error}");
+        std::process::exit(1);
+    }
+    println!("# wrote {out}");
+}

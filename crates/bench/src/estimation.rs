@@ -135,9 +135,26 @@ pub fn delay_model_id(model: DelayModel) -> String {
     }
 }
 
+/// `Some(warning)` when the grid's largest shard count exceeds the host's
+/// parallelism — the speedup columns then measure scheduling overhead, not
+/// scaling. The driver prints this loudly; the JSON document records the
+/// same fact as `"scaling_valid": false`.
+pub fn scaling_warning(rows: &[EstimationBenchRow]) -> Option<String> {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_shards = rows.iter().map(|row| row.shards).max()?;
+    (host_cpus < max_shards).then(|| {
+        format!(
+            "host has {host_cpus} CPU(s) but the grid runs up to {max_shards} shards: \
+             speedup_vs_one_shard columns do NOT measure parallel scaling on this host \
+             (document is marked scaling_valid: false)"
+        )
+    })
+}
+
 /// Serialises the rows as the `BENCH_estimation.json` document.
 pub fn to_json(rows: &[EstimationBenchRow], seed: u64) -> String {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scaling_valid = scaling_warning(rows).is_none();
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"estimation\",\n");
     out.push_str(
@@ -145,7 +162,8 @@ pub fn to_json(rows: &[EstimationBenchRow], seed: u64) -> String {
          default policy, uniform inputs)\",\n",
     );
     out.push_str(&format!(
-        "  \"seed\": {seed},\n  \"host_cpus\": {host_cpus},\n"
+        "  \"seed\": {seed},\n  \"host_cpus\": {host_cpus},\n  \
+         \"scaling_valid\": {scaling_valid},\n"
     ));
     out.push_str(
         "  \"notes\": \"speedup_vs_one_shard is wall-clock and bounded by host_cpus; on hosts \
@@ -253,9 +271,36 @@ mod tests {
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"benchmark\": \"estimation\""));
         assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"scaling_valid\""));
         assert!(json.contains("\"speedup_vs_one_shard\""));
         assert!(!json.contains(",\n  ]"));
         let rendered = format_rows(&rows).render();
         assert!(rendered.contains("Speedup"));
+        // A 1-shard grid never oversubscribes the host.
+        assert!(scaling_warning(&rows).is_none());
+        assert!(json.contains("\"scaling_valid\": true"));
+    }
+
+    #[test]
+    fn oversubscribed_grid_is_marked_scaling_invalid() {
+        let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let row = EstimationBenchRow {
+            circuit: "s27".into(),
+            delay_model: "zero".into(),
+            shards: host_cpus + 1,
+            elapsed_seconds: 1.0,
+            samples: 64,
+            measured_cycles: 64,
+            zero_delay_cycles: 64,
+            mean_power_w: 1e-5,
+            speedup_vs_one_shard: 1.0,
+        };
+        let warning = scaling_warning(std::slice::from_ref(&row)).expect("must warn");
+        assert!(warning.contains("do NOT measure parallel scaling"));
+        assert!(to_json(&[row], 3).contains("\"scaling_valid\": false"));
+        assert!(
+            scaling_warning(&[]).is_none(),
+            "empty grid has nothing to warn about"
+        );
     }
 }

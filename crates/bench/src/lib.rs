@@ -26,6 +26,7 @@ use dipe::{
 use netlist::{iscas89, Circuit};
 
 pub mod estimation;
+pub mod service;
 pub mod simulators;
 
 /// The per-circuit results published in Table 1 of the paper, used for

@@ -118,38 +118,9 @@ output:
 }
 
 fn parse_delay_model(value: &str) -> Result<DelayModel, String> {
-    if let Some(rest) = value.strip_prefix("random:") {
-        let seed: u64 = rest
-            .parse()
-            .map_err(|e| format!("--delay-model random:<seed>: {e}"))?;
-        return Ok(DelayModel::random(seed));
-    }
-    if let Some(rest) = value.strip_prefix("unit:") {
-        let ps: u64 = rest
-            .parse()
-            .map_err(|e| format!("--delay-model unit:<ps>: {e}"))?;
-        if ps == 0 {
-            return Err("--delay-model unit:<ps> requires ps >= 1 (use `zero` instead)".into());
-        }
-        // The event-driven timing wheel allocates one bucket per picosecond
-        // of critical path; bound the per-gate delay so a typo cannot
-        // request a multi-gigabyte wheel. 10 ns/gate is far beyond any
-        // physical gate at the paper's technology node.
-        if ps > 10_000 {
-            return Err(format!(
-                "--delay-model unit:<ps> supports at most 10000 ps per gate, got {ps}"
-            ));
-        }
-        return Ok(DelayModel::Unit(ps));
-    }
-    match value {
-        "zero" => Ok(DelayModel::Zero),
-        "unit" => Ok(DelayModel::Unit(100)),
-        "fanout" => Ok(DelayModel::default()),
-        other => Err(format!(
-            "--delay-model must be zero|unit[:<ps>]|fanout|random:<seed>, got `{other}`"
-        )),
-    }
+    // The accepted vocabulary (and the per-gate delay cap) lives with the
+    // model itself so the CLI and the `dipe-serve` job protocol stay in sync.
+    DelayModel::parse(value).map_err(|e| format!("--delay-model: {e}"))
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -349,34 +320,16 @@ fn print_estimate_summary(circuit: &Circuit, estimate: &Estimate, model: DelayMo
     );
 }
 
-/// Stable machine-readable identifier of a delay model, carried in the JSON
-/// report so consumers can tell functional-only from glitch-aware runs.
-fn delay_model_id(model: DelayModel) -> String {
-    match model {
-        DelayModel::Zero => "zero".to_string(),
-        DelayModel::Unit(ps) => format!("unit:{ps}"),
-        DelayModel::FanoutLoaded {
-            base_ps,
-            per_fanout_ps,
-        } => format!("fanout:{base_ps}:{per_fanout_ps}"),
-        DelayModel::Random {
-            seed,
-            min_ps,
-            max_ps,
-        } => format!("random:{seed}:{min_ps}:{max_ps}"),
-    }
-}
-
-fn json_header(circuit: &Circuit, estimate: &Estimate, model: DelayModel) -> String {
+fn json_header(circuit: &Circuit, estimate: &Estimate, model: DelayModel, seed: u64) -> String {
     format!(
         "  \"circuit\": \"{}\",\n  \"estimator\": \"{}\",\n  \"delay_model\": \"{}\",\n  \
-         \"mean_power_w\": {:e},\n  \
+         \"seed\": {seed},\n  \"mean_power_w\": {:e},\n  \
          \"relative_half_width\": {},\n  \"sample_size\": {},\n  \
          \"independence_interval\": {},\n  \"zero_delay_cycles\": {},\n  \
          \"measured_cycles\": {},\n  \"elapsed_seconds\": {:.6}",
         circuit.name(),
         estimate.estimator,
-        delay_model_id(model),
+        model.id(),
         estimate.mean_power_w,
         estimate
             .relative_half_width
@@ -413,7 +366,7 @@ fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Resul
     if let Some(path) = &options.json {
         let json = format!(
             "{{\n{}\n}}\n",
-            json_header(circuit, &estimate, options.delay_model)
+            json_header(circuit, &estimate, options.delay_model, options.seed)
         );
         std::fs::write(path, json).map_err(|e| format!("failed to write {path}: {e}"))?;
         println!("wrote {path}");
@@ -626,7 +579,7 @@ fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> R
     if let Some(path) = &options.json {
         let json = format!(
             "{{\n{},\n  \"breakdown_total_power_w\": {:e},\n  \"breakdown\": {}}}\n",
-            json_header(circuit, &estimate, options.delay_model),
+            json_header(circuit, &estimate, options.delay_model, options.seed),
             total,
             breakdown.to_json()
         );

@@ -35,6 +35,12 @@ pub enum DipeError {
     /// The job was cancelled before its session finished (batch
     /// [`Engine`](crate::engine::Engine) runs only).
     Cancelled,
+    /// A session checkpoint could not be restored (version mismatch, wrong
+    /// estimator, or state vectors inconsistent with the circuit).
+    InvalidCheckpoint {
+        /// Human-readable description of the problem.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DipeError {
@@ -56,6 +62,9 @@ impl std::fmt::Display for DipeError {
                 "accuracy not reached within {samples} samples (achieved relative half-width {achieved_relative_half_width:.4})"
             ),
             DipeError::Cancelled => write!(f, "estimation cancelled before completion"),
+            DipeError::InvalidCheckpoint { message } => {
+                write!(f, "checkpoint cannot be restored: {message}")
+            }
         }
     }
 }

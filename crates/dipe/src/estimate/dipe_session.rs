@@ -4,8 +4,9 @@
 
 use std::time::Instant;
 
-use seqstats::StoppingCriterion;
+use seqstats::{PooledSampleState, StoppingCriterion};
 
+use crate::checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
 use crate::config::DipeConfig;
 use crate::error::DipeError;
 use crate::estimate::{CycleBudget, Estimate, EstimationSession, Progress, SessionPhase};
@@ -38,6 +39,9 @@ pub(crate) struct DipeSession<'c> {
     criterion: Box<dyn StoppingCriterion>,
     state: State,
     elapsed_seconds: f64,
+    /// Snapshot taken the moment the session entered its sampling phase
+    /// (empty sample) — see [`EstimationSession::warm_checkpoint`].
+    warm: Option<SessionCheckpoint>,
 }
 
 impl<'c> DipeSession<'c> {
@@ -55,6 +59,51 @@ impl<'c> DipeSession<'c> {
                 remaining: config.warmup_cycles,
             },
             elapsed_seconds: 0.0,
+            warm: None,
+        }
+    }
+
+    /// Rebuilds a session at a checkpoint's exact position, directly in the
+    /// sampling phase. `sampler` must already be [restored]
+    /// (PowerSampler::restore) to the checkpoint's sampler state.
+    pub(crate) fn resume(
+        name: String,
+        config: &DipeConfig,
+        sampler: PowerSampler<'c>,
+        checkpoint: &SessionCheckpoint,
+    ) -> DipeSession<'c> {
+        DipeSession {
+            name,
+            criterion: config.build_criterion(),
+            config: config.clone(),
+            sampler,
+            state: State::Sampling {
+                selection: checkpoint.selection.clone(),
+                sample: checkpoint.sample.to_values(),
+                last_rhw: checkpoint.last_rhw(),
+            },
+            elapsed_seconds: checkpoint.elapsed_seconds,
+            // A warm checkpoint restores to sampling entry, so it is still
+            // this session's warm checkpoint; a mid-sampling one is not.
+            warm: checkpoint.is_warm().then(|| checkpoint.clone()),
+        }
+    }
+
+    fn checkpoint_from(
+        &self,
+        selection: &IndependenceSelection,
+        sample: &[f64],
+        last_rhw: Option<f64>,
+    ) -> SessionCheckpoint {
+        SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            estimator: self.name.clone(),
+            sampler: self.sampler.snapshot(),
+            selection: selection.clone(),
+            sample: PooledSampleState::from_values(sample),
+            last_rhw_bits: last_rhw.map(f64::to_bits),
+            elapsed_seconds: self.elapsed_seconds,
+            accumulator: None,
         }
     }
 
@@ -120,6 +169,13 @@ impl EstimationSession for DipeSession<'_> {
                                 sample: Vec::with_capacity(self.config.min_samples.max(256)),
                                 last_rhw: None,
                             };
+                            // Capture the warm checkpoint at sampling entry:
+                            // nothing accuracy-dependent has happened yet, so
+                            // this snapshot can seed a resume under any
+                            // convergence target.
+                            if let State::Sampling { selection, .. } = &self.state {
+                                self.warm = Some(self.checkpoint_from(selection, &[], None));
+                            }
                         }
                         Err(error) => {
                             self.state = State::Failed(error.clone());
@@ -177,5 +233,20 @@ impl EstimationSession for DipeSession<'_> {
             current_rhw: self.current_rhw(),
             phase: self.phase(),
         })
+    }
+
+    fn checkpoint(&self) -> Option<SessionCheckpoint> {
+        match &self.state {
+            State::Sampling {
+                selection,
+                sample,
+                last_rhw,
+            } => Some(self.checkpoint_from(selection, sample, *last_rhw)),
+            _ => None,
+        }
+    }
+
+    fn warm_checkpoint(&self) -> Option<SessionCheckpoint> {
+        self.warm.clone()
     }
 }

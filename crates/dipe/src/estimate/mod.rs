@@ -367,6 +367,30 @@ pub trait EstimationSession {
     /// * [`DipeError::SampleBudgetExhausted`] if the accuracy specification
     ///   is not met within `config.max_samples` samples.
     fn step(&mut self, budget: CycleBudget) -> Result<Progress, DipeError>;
+
+    /// Captures the session's exact state so it can be resumed later,
+    /// bit-identically (see [`crate::checkpoint`]).
+    ///
+    /// Returns `None` when the session is not checkpointable right now —
+    /// either it has not reached its sampling phase yet (warm-up and interval
+    /// selection carry transient trial state that is cheaper to replay than
+    /// to capture), it has already finished, or the estimator simply does not
+    /// support checkpoints (the default).
+    fn checkpoint(&self) -> Option<crate::checkpoint::SessionCheckpoint> {
+        None
+    }
+
+    /// The warm checkpoint captured when this session entered its sampling
+    /// phase (empty sample, RNG positioned right after interval selection),
+    /// if it supports one and has got that far.
+    ///
+    /// Resuming from a warm checkpoint skips warm-up and interval selection
+    /// while still producing the bit-identical estimate — under *any*
+    /// accuracy target, because no accuracy-dependent decision has been made
+    /// at the capture point. This is what the `dipe-serve` warm cache stores.
+    fn warm_checkpoint(&self) -> Option<crate::checkpoint::SessionCheckpoint> {
+        None
+    }
 }
 
 /// Advances a sampler-backed warm-up by as much of the remaining budget as

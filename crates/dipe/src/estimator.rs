@@ -172,6 +172,111 @@ impl DipeEstimator {
         let session = self.start(circuit, config, input_model, 0)?;
         Ok(DipeResult::from_estimate(run_to_completion(session)?))
     }
+
+    /// Reopens a session at a [checkpoint](crate::checkpoint) captured from
+    /// an earlier session with
+    /// [`EstimationSession::checkpoint`]
+    /// (or its warm variant). `circuit`, `config` and `input_model` must be
+    /// the ones the checkpointed session was started with; the resumed
+    /// session then continues the identical simulation sequence, so its final
+    /// estimate matches the uninterrupted run bit-for-bit (wall-clock
+    /// diagnostics aside).
+    ///
+    /// # Errors
+    ///
+    /// * [`DipeError::InvalidCheckpoint`] on a version or estimator mismatch,
+    ///   or when the checkpoint's state vectors do not fit `circuit`;
+    /// * the usual [`DipeError::InvalidConfig`] /
+    ///   [`DipeError::InputModelMismatch`] for unusable inputs.
+    pub fn resume<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        checkpoint: &crate::checkpoint::SessionCheckpoint,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        // The seed only positions the RNG, which the restore overwrites with
+        // the checkpoint's exact stream state.
+        let sampler = PowerSampler::new(circuit, config, input_model, self.seed_offset)?;
+        self.resume_with(sampler, config, checkpoint)
+    }
+
+    /// [`PowerEstimator::start`] with a precompiled program and delay
+    /// annotation (see [`PowerSampler::with_compiled`]) — the cache-hit path
+    /// of `dipe-serve`. Produces exactly the session
+    /// [`PowerEstimator::start`] would.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PowerEstimator::start`].
+    pub fn start_compiled<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        seed_offset: u64,
+        program: netlist::CompiledCircuit,
+        delays: &netlist::GateDelays,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        let sampler = PowerSampler::with_compiled(
+            circuit,
+            config,
+            input_model,
+            self.seed_offset.wrapping_add(seed_offset),
+            program,
+            delays,
+        )?;
+        Ok(Box::new(DipeSession::new(self.name(), config, sampler)))
+    }
+
+    /// [`resume`](Self::resume) with a precompiled program and delay
+    /// annotation — the warm-cache path of `dipe-serve`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`resume`](Self::resume).
+    pub fn resume_compiled<'c>(
+        &self,
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        checkpoint: &crate::checkpoint::SessionCheckpoint,
+        program: netlist::CompiledCircuit,
+        delays: &netlist::GateDelays,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        let sampler = PowerSampler::with_compiled(
+            circuit,
+            config,
+            input_model,
+            self.seed_offset,
+            program,
+            delays,
+        )?;
+        self.resume_with(sampler, config, checkpoint)
+    }
+
+    fn resume_with<'c>(
+        &self,
+        mut sampler: PowerSampler<'c>,
+        config: &DipeConfig,
+        checkpoint: &crate::checkpoint::SessionCheckpoint,
+    ) -> Result<Box<dyn EstimationSession + 'c>, DipeError> {
+        checkpoint.validate_for(&self.name())?;
+        if checkpoint.accumulator.is_some() {
+            return Err(DipeError::InvalidCheckpoint {
+                message: "checkpoint carries per-net accumulator state; resume it with the \
+                          breakdown estimator"
+                    .to_string(),
+            });
+        }
+        sampler.restore(&checkpoint.sampler)?;
+        Ok(Box::new(DipeSession::resume(
+            self.name(),
+            config,
+            sampler,
+            checkpoint,
+        )))
+    }
 }
 
 impl PowerEstimator for DipeEstimator {
@@ -400,6 +505,160 @@ mod tests {
         assert!(matches!(first, DipeError::SampleBudgetExhausted { .. }));
         let second = session.step(CycleBudget::cycles(1)).unwrap_err();
         assert!(matches!(second, DipeError::SampleBudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn checkpointed_session_resumes_bit_for_bit() {
+        use crate::estimate::{CycleBudget, Progress};
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(17);
+        let model = InputModel::uniform();
+        let uninterrupted = DipeEstimator::new().run(&c, &config, &model).unwrap();
+
+        // Step a fresh session until it is mid-sampling, then kill it and
+        // keep only its checkpoint — the serve-layer crash/resume scenario.
+        let mut session = DipeEstimator::new().start(&c, &config, &model, 0).unwrap();
+        let checkpoint = loop {
+            match session.step(CycleBudget::cycles(2_000)).unwrap() {
+                Progress::Running { .. } => {
+                    if let Some(cp) = session.checkpoint() {
+                        if !cp.is_warm() {
+                            break cp;
+                        }
+                    }
+                }
+                Progress::Done(_) => panic!("session finished before a mid-sampling checkpoint"),
+            }
+        };
+        assert!(!checkpoint.sample.is_empty());
+        drop(session);
+
+        let resumed = crate::run_to_completion(
+            DipeEstimator::new()
+                .resume(&c, &config, &model, &checkpoint)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.mean_power_w.to_bits(),
+            uninterrupted.mean_power_w().to_bits()
+        );
+        assert_eq!(resumed.sample_size, uninterrupted.sample_size());
+        assert_eq!(resumed.cycle_counts, uninterrupted.cycle_counts());
+        match &resumed.diagnostics {
+            Diagnostics::Dipe {
+                selection, sample, ..
+            } => {
+                assert_eq!(selection, uninterrupted.selection());
+                let expected: Vec<u64> =
+                    uninterrupted.sample().iter().map(|v| v.to_bits()).collect();
+                let got: Vec<u64> = sample.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, expected, "resumed sample must match bit-for-bit");
+            }
+            other => panic!("unexpected diagnostics {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_checkpoint_resumes_under_any_accuracy_target() {
+        use crate::estimate::{CycleBudget, Progress};
+        let c = iscas89::load("s298").unwrap();
+        let model = InputModel::uniform();
+        let loose = DipeConfig::default()
+            .with_seed(23)
+            .with_accuracy(0.10, 0.95);
+        // Harvest the warm checkpoint from a completed loose run.
+        let mut session = DipeEstimator::new().start(&c, &loose, &model, 0).unwrap();
+        while !matches!(
+            session.step(CycleBudget::unbounded()).unwrap(),
+            Progress::Done(_)
+        ) {}
+        let warm = session
+            .warm_checkpoint()
+            .expect("finished run has a warm checkpoint");
+        assert!(warm.is_warm());
+
+        // Resume it under a *different* (tighter) accuracy target: the warm
+        // snapshot predates every accuracy-dependent decision, so the result
+        // matches a cold run under that target bit-for-bit.
+        let tight = DipeConfig::default()
+            .with_seed(23)
+            .with_accuracy(0.04, 0.99);
+        let cold = DipeEstimator::new().run(&c, &tight, &model).unwrap();
+        let resumed = crate::run_to_completion(
+            DipeEstimator::new()
+                .resume(&c, &tight, &model, &warm)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.mean_power_w.to_bits(),
+            cold.mean_power_w().to_bits()
+        );
+        assert_eq!(resumed.sample_size, cold.sample_size());
+        assert_eq!(resumed.cycle_counts, cold.cycle_counts());
+    }
+
+    #[test]
+    fn resume_rejects_bad_checkpoints() {
+        use crate::estimate::{CycleBudget, Progress};
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(3);
+        let model = InputModel::uniform();
+        let mut session = DipeEstimator::new().start(&c, &config, &model, 0).unwrap();
+        let checkpoint = loop {
+            if let Progress::Done(_) = session.step(CycleBudget::cycles(2_000)).unwrap() {
+                panic!("finished early");
+            }
+            if let Some(cp) = session.checkpoint() {
+                break cp;
+            }
+        };
+
+        let mut wrong_version = checkpoint.clone();
+        wrong_version.version += 1;
+        assert!(matches!(
+            DipeEstimator::new().resume(&c, &config, &model, &wrong_version),
+            Err(DipeError::InvalidCheckpoint { .. })
+        ));
+
+        let mut wrong_estimator = checkpoint.clone();
+        wrong_estimator.estimator = "someone else".to_string();
+        assert!(matches!(
+            DipeEstimator::new().resume(&c, &config, &model, &wrong_estimator),
+            Err(DipeError::InvalidCheckpoint { .. })
+        ));
+
+        // A checkpoint from one circuit cannot restore onto another.
+        let other = iscas89::load("s298").unwrap();
+        assert!(matches!(
+            DipeEstimator::new().resume(&other, &config, &model, &checkpoint),
+            Err(DipeError::InvalidCheckpoint { .. })
+        ));
+
+        let mut zero_rng = checkpoint.clone();
+        zero_rng.sampler.input_stream.rng_state = [0; 4];
+        assert!(matches!(
+            DipeEstimator::new().resume(&c, &config, &model, &zero_rng),
+            Err(DipeError::InvalidCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn sessions_before_sampling_have_no_checkpoint() {
+        use crate::estimate::{CycleBudget, Progress};
+        let c = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default().with_seed(5);
+        let mut session = DipeEstimator::new()
+            .start(&c, &config, &InputModel::uniform(), 0)
+            .unwrap();
+        // One tiny step: still warming up.
+        match session.step(CycleBudget::cycles(10)).unwrap() {
+            Progress::Running { .. } => {}
+            Progress::Done(_) => panic!("cannot finish in 10 cycles"),
+        }
+        assert!(session.checkpoint().is_none());
+        assert!(session.warm_checkpoint().is_none());
     }
 
     #[test]

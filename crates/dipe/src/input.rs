@@ -284,6 +284,59 @@ impl InputStream {
     pub fn num_inputs(&self) -> usize {
         self.num_inputs
     }
+
+    /// Captures the stream's exact position: the RNG state, the previous
+    /// pattern (for temporally correlated models) and the trace cursor. A
+    /// stream [restored](Self::restore) from this state continues the
+    /// identical pattern sequence bit-for-bit.
+    pub fn state(&self) -> crate::checkpoint::InputStreamState {
+        crate::checkpoint::InputStreamState {
+            rng_state: self.rng.state(),
+            previous: self.previous.clone(),
+            has_previous: self.has_previous,
+            trace_cursor: self.trace_cursor as u64,
+        }
+    }
+
+    /// Repositions the stream at a previously [captured](Self::state) state.
+    /// The model itself is not part of the state — the caller re-creates the
+    /// stream from the same [`InputModel`] and then restores the position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipeError::InvalidCheckpoint`] if the state is inconsistent
+    /// with this stream (wrong pattern width, or an RNG state xoshiro256++
+    /// can never reach).
+    pub fn restore(
+        &mut self,
+        state: &crate::checkpoint::InputStreamState,
+    ) -> Result<(), DipeError> {
+        if state.previous.len() != self.num_inputs {
+            return Err(DipeError::InvalidCheckpoint {
+                message: format!(
+                    "input-stream state has {} previous-pattern values for {} primary inputs",
+                    state.previous.len(),
+                    self.num_inputs
+                ),
+            });
+        }
+        if state.rng_state.iter().all(|&w| w == 0) {
+            return Err(DipeError::InvalidCheckpoint {
+                message: "the all-zero RNG state is not a valid xoshiro256++ position".to_string(),
+            });
+        }
+        self.rng = StdRng::from_state(state.rng_state);
+        self.previous.copy_from_slice(&state.previous);
+        self.has_previous = state.has_previous;
+        self.trace_cursor =
+            usize::try_from(state.trace_cursor).map_err(|_| DipeError::InvalidCheckpoint {
+                message: format!(
+                    "trace cursor {} does not fit this platform",
+                    state.trace_cursor
+                ),
+            })?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,7 @@ mod config;
 mod error;
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod engine;
 pub mod estimate;
 pub mod estimator;
@@ -85,6 +86,7 @@ pub mod sampler;
 pub mod shards;
 
 pub use baselines::{DecoupledCombinationalEstimator, FixedWarmupEstimator};
+pub use checkpoint::{InputStreamState, SamplerState, SessionCheckpoint, CHECKPOINT_VERSION};
 pub use config::{CriterionKind, DipeConfig};
 pub use engine::{Engine, EstimationJob, JobOutcome, ReplicatedJob, ReplicatedOutcome};
 pub use error::DipeError;

@@ -88,6 +88,44 @@ impl<'c> PowerSampler<'c> {
         })
     }
 
+    /// Like [`new`](Self::new), but reuses a previously compiled zero-delay
+    /// program and delay annotation instead of recompiling them — the
+    /// constructor behind the `dipe-serve` compiled-circuit cache. Both
+    /// compilation and annotation are deterministic, so a sampler built this
+    /// way is indistinguishable from one built with [`new`](Self::new) for
+    /// the same circuit and configuration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` or `delays` was not built for `circuit` (the
+    /// underlying simulators check the sizes).
+    pub fn with_compiled(
+        circuit: &'c Circuit,
+        config: &DipeConfig,
+        input_model: &InputModel,
+        seed_offset: u64,
+        program: netlist::CompiledCircuit,
+        delays: &netlist::GateDelays,
+    ) -> Result<Self, DipeError> {
+        config.validate()?;
+        let stream = input_model.stream(circuit, config.seed.wrapping_add(seed_offset))?;
+        let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
+        Ok(PowerSampler {
+            circuit,
+            zero: CompiledSimulator::with_program(circuit, program),
+            full: EventDrivenSimulator::with_delays(circuit, config.delay_model, delays),
+            calculator,
+            stream,
+            counts: CycleCounts::default(),
+            pattern: vec![false; circuit.num_primary_inputs()],
+            prev: vec![false; circuit.num_nets()],
+        })
+    }
+
     /// The circuit being sampled.
     pub fn circuit(&self) -> &'c Circuit {
         self.circuit
@@ -184,6 +222,58 @@ impl<'c> PowerSampler<'c> {
     /// values — the brute-force reference simulation of the `SIM` column.
     pub fn measure_consecutive_cycles_w(&mut self, cycles: usize) -> Vec<f64> {
         (0..cycles).map(|_| self.measure_cycle_power_w()).collect()
+    }
+
+    /// Captures the sampler's exact state: input-stream position, latch
+    /// state, last applied input pattern and cycle accounting.
+    ///
+    /// The zero-delay simulator's settled values are a deterministic function
+    /// of the latch state and input pattern, and the event-driven measurement
+    /// simulator carries no state across cycles, so these four pieces are
+    /// sufficient: a sampler [restored](Self::restore) from this snapshot
+    /// produces the identical observation sequence bit-for-bit.
+    pub fn snapshot(&self) -> crate::checkpoint::SamplerState {
+        crate::checkpoint::SamplerState {
+            input_stream: self.stream.state(),
+            latch_state: self.zero.latch_state(),
+            input_pattern: self.zero.input_pattern(),
+            cycle_counts: self.counts,
+        }
+    }
+
+    /// Repositions this sampler at a previously
+    /// [captured](Self::snapshot) state. The sampler must have been created
+    /// for the same circuit, configuration and input model as the captured
+    /// one; the RNG seed it was created with is overwritten by the restored
+    /// stream position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipeError::InvalidCheckpoint`] if the state's vectors do not
+    /// match this circuit.
+    pub fn restore(&mut self, state: &crate::checkpoint::SamplerState) -> Result<(), DipeError> {
+        if state.latch_state.len() != self.circuit.num_flip_flops() {
+            return Err(DipeError::InvalidCheckpoint {
+                message: format!(
+                    "sampler state has {} latch values for {} flip-flops",
+                    state.latch_state.len(),
+                    self.circuit.num_flip_flops()
+                ),
+            });
+        }
+        if state.input_pattern.len() != self.circuit.num_primary_inputs() {
+            return Err(DipeError::InvalidCheckpoint {
+                message: format!(
+                    "sampler state has {} input values for {} primary inputs",
+                    state.input_pattern.len(),
+                    self.circuit.num_primary_inputs()
+                ),
+            });
+        }
+        self.stream.restore(&state.input_stream)?;
+        self.zero.reset_to(&state.latch_state, &state.input_pattern);
+        self.counts = state.cycle_counts;
+        Ok(())
     }
 }
 

@@ -90,6 +90,117 @@ impl DelayModel {
         }
     }
 
+    /// Stable machine-readable identifier of this model (`zero`, `unit:<ps>`,
+    /// `fanout:<base>:<per_fanout>`, `random:<seed>:<min>:<max>`), carried in
+    /// JSON reports and in the `dipe-serve` job protocol, and accepted back by
+    /// [`parse`](Self::parse).
+    pub fn id(&self) -> String {
+        match *self {
+            DelayModel::Zero => "zero".to_string(),
+            DelayModel::Unit(ps) => format!("unit:{ps}"),
+            DelayModel::FanoutLoaded {
+                base_ps,
+                per_fanout_ps,
+            } => format!("fanout:{base_ps}:{per_fanout_ps}"),
+            DelayModel::Random {
+                seed,
+                min_ps,
+                max_ps,
+            } => format!("random:{seed}:{min_ps}:{max_ps}"),
+        }
+    }
+
+    /// Parses a delay-model specification string — the `--delay-model`
+    /// vocabulary of the `dipe` CLI and the `delay_model` field of the
+    /// `dipe-serve` job protocol.
+    ///
+    /// Accepted forms: `zero`, `unit` (100 ps), `unit:<ps>`, `fanout` (the
+    /// default), `fanout:<base_ps>:<per_fanout_ps>`, `random:<seed>` (default
+    /// 60–340 ps spread) and `random:<seed>:<min_ps>:<max_ps>`, so
+    /// `parse(&model.id())` round-trips for every model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown forms, malformed numbers,
+    /// or out-of-range delays (per-gate delays are capped at 10 000 ps: the
+    /// event-driven timing wheel allocates one bucket per picosecond of
+    /// critical path, so a typo must not be able to request a multi-gigabyte
+    /// wheel).
+    pub fn parse(value: &str) -> Result<DelayModel, String> {
+        const MAX_GATE_PS: u64 = 10_000;
+        fn parse_ps(what: &str, text: &str) -> Result<u64, String> {
+            let ps: u64 = text.parse().map_err(|e| format!("{what}: {e}"))?;
+            if ps > MAX_GATE_PS {
+                return Err(format!(
+                    "{what} supports at most {MAX_GATE_PS} ps per gate, got {ps}"
+                ));
+            }
+            Ok(ps)
+        }
+        if let Some(rest) = value.strip_prefix("random:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            let seed: u64 = parts[0]
+                .parse()
+                .map_err(|e| format!("delay model random:<seed>: {e}"))?;
+            return match parts.len() {
+                1 => Ok(DelayModel::random(seed)),
+                3 => {
+                    let min_ps = parse_ps("delay model random:<seed>:<min>:<max>", parts[1])?;
+                    let max_ps = parse_ps("delay model random:<seed>:<min>:<max>", parts[2])?;
+                    if min_ps == 0 || max_ps < min_ps {
+                        return Err(format!(
+                            "delay model random requires 1 <= min <= max, got {min_ps}..{max_ps}"
+                        ));
+                    }
+                    Ok(DelayModel::Random {
+                        seed,
+                        min_ps,
+                        max_ps,
+                    })
+                }
+                _ => Err(
+                    "delay model random takes `random:<seed>` or `random:<seed>:<min>:<max>`"
+                        .to_string(),
+                ),
+            };
+        }
+        if let Some(rest) = value.strip_prefix("unit:") {
+            let ps = parse_ps("delay model unit:<ps>", rest)?;
+            if ps == 0 {
+                return Err("delay model unit:<ps> requires ps >= 1 (use `zero` instead)".into());
+            }
+            return Ok(DelayModel::Unit(ps));
+        }
+        if let Some(rest) = value.strip_prefix("fanout:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 2 {
+                return Err(
+                    "delay model fanout takes `fanout` or `fanout:<base>:<per_fanout>`".to_string(),
+                );
+            }
+            let base_ps = parse_ps("delay model fanout:<base>:<per_fanout>", parts[0])?;
+            let per_fanout_ps = parse_ps("delay model fanout:<base>:<per_fanout>", parts[1])?;
+            if base_ps == 0 && per_fanout_ps == 0 {
+                return Err(
+                    "delay model fanout:0:0 would be zero-delay (use `zero` instead)".to_string(),
+                );
+            }
+            return Ok(DelayModel::FanoutLoaded {
+                base_ps,
+                per_fanout_ps,
+            });
+        }
+        match value {
+            "zero" => Ok(DelayModel::Zero),
+            "unit" => Ok(DelayModel::Unit(100)),
+            "fanout" => Ok(DelayModel::default()),
+            other => Err(format!(
+                "delay model must be zero|unit[:<ps>]|fanout[:<base>:<per_fanout>]|\
+                 random:<seed>[:<min>:<max>], got `{other}`"
+            )),
+        }
+    }
+
     /// The propagation delay of `gate` in picoseconds under this model.
     pub fn gate_delay_ps(&self, circuit: &Circuit, gate: &Gate) -> u64 {
         match *self {
@@ -356,5 +467,73 @@ mod tests {
     fn wrong_length_annotation_is_rejected() {
         let c = chain(3);
         GateDelays::from_delays(&c, vec![1, 2]);
+    }
+
+    #[test]
+    fn parse_accepts_the_cli_vocabulary() {
+        assert_eq!(DelayModel::parse("zero").unwrap(), DelayModel::Zero);
+        assert_eq!(DelayModel::parse("unit").unwrap(), DelayModel::Unit(100));
+        assert_eq!(
+            DelayModel::parse("unit:250").unwrap(),
+            DelayModel::Unit(250)
+        );
+        assert_eq!(DelayModel::parse("fanout").unwrap(), DelayModel::default());
+        assert_eq!(
+            DelayModel::parse("fanout:150:40").unwrap(),
+            DelayModel::FanoutLoaded {
+                base_ps: 150,
+                per_fanout_ps: 40
+            }
+        );
+        assert_eq!(
+            DelayModel::parse("random:7").unwrap(),
+            DelayModel::random(7)
+        );
+        assert_eq!(
+            DelayModel::parse("random:7:50:90").unwrap(),
+            DelayModel::Random {
+                seed: 7,
+                min_ps: 50,
+                max_ps: 90
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in [
+            "fast",
+            "unit:0",
+            "unit:20000",
+            "unit:x",
+            "fanout:1",
+            "fanout:0:0",
+            "random:",
+            "random:1:2",
+            "random:1:0:5",
+            "random:1:9:5",
+        ] {
+            assert!(
+                DelayModel::parse(bad).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn id_round_trips_through_parse() {
+        for model in [
+            DelayModel::Zero,
+            DelayModel::Unit(170),
+            DelayModel::default(),
+            DelayModel::random(13),
+            DelayModel::Random {
+                seed: 3,
+                min_ps: 80,
+                max_ps: 120,
+            },
+        ] {
+            assert_eq!(DelayModel::parse(&model.id()).unwrap(), model);
+        }
     }
 }

@@ -41,12 +41,14 @@ pub mod hypothesis;
 pub mod node_stopping;
 pub mod normal;
 pub mod runs_test;
+pub mod snapshot;
 pub mod stopping;
 
 pub use descriptive::RunningStats;
 pub use hypothesis::SignificanceLevel;
 pub use node_stopping::{NodeStoppingDecision, NodeStoppingPolicy};
 pub use runs_test::{RunsTest, RunsTestOutcome};
+pub use snapshot::{MomentAccumulatorState, PooledSampleState};
 pub use stopping::{
     DkwCriterion, NormalCriterion, OrderStatisticCriterion, StoppingCriterion, StoppingDecision,
 };

@@ -1,0 +1,192 @@
+//! Bit-exact snapshots of pooled sample state.
+//!
+//! The estimator sessions accumulate two kinds of state that a checkpoint
+//! must capture *exactly* for a resumed run to reproduce the uninterrupted
+//! result bit-for-bit:
+//!
+//! * the **pooled sample** — the growing sequence of block-averaged power
+//!   observations a [`StoppingCriterion`](crate::stopping::StoppingCriterion)
+//!   is evaluated against, and
+//! * the **integer moment sums** kept by per-node activity accumulators
+//!   (observation count, per-node transition totals and squared totals,
+//!   per-node glitch totals).
+//!
+//! Both are plain-old-data here so that higher layers (the `dipe` session
+//! checkpoint and the `dipe-serve` wire/disk formats) can serialize them
+//! without pulling estimator types into the encoding layer. Floating-point
+//! samples are stored as raw IEEE-754 bit patterns ([`f64::to_bits`]), never
+//! as decimal text, so the round trip is exact for every value including
+//! `-0.0` and subnormals.
+
+/// A pooled sample of `f64` observations, stored as raw IEEE-754 bits.
+///
+/// Converting through this type is lossless: `to_values(from_values(v)) == v`
+/// bit-for-bit. The snapshot of an empty sample is valid and restores to an
+/// empty sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PooledSampleState {
+    /// `f64::to_bits` of each observation, in pool order.
+    pub bits: Vec<u64>,
+}
+
+impl PooledSampleState {
+    /// Captures a sample as raw bit patterns.
+    pub fn from_values(values: &[f64]) -> Self {
+        PooledSampleState {
+            bits: values.iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+
+    /// Restores the original observations, bit-for-bit.
+    pub fn to_values(&self) -> Vec<f64> {
+        self.bits.iter().map(|&b| f64::from_bits(b)).collect()
+    }
+
+    /// Number of pooled observations in the snapshot.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the snapshot holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+/// Exact integer moment sums of a per-node activity accumulator.
+///
+/// Every field is an integer (counts of logic transitions), so equality of
+/// two states is exact equality of the underlying accumulators — there is no
+/// floating-point representation to lose precision through. The per-node
+/// vectors must all have the same length (one entry per observed node);
+/// [`validate`](Self::validate) checks that invariant after deserialization.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MomentAccumulatorState {
+    /// Number of measured cycles folded into the sums.
+    pub observations: u64,
+    /// Per-node sum of transition counts over all observations.
+    pub totals: Vec<u64>,
+    /// Per-node sum of squared per-cycle transition counts.
+    pub totals_sq: Vec<u64>,
+    /// Per-node sum of glitch (hazard) transition counts.
+    pub glitch_totals: Vec<u64>,
+}
+
+impl MomentAccumulatorState {
+    /// Checks the per-node vectors are mutually consistent.
+    ///
+    /// Returns the node count on success, or a description of the mismatch.
+    pub fn validate(&self) -> Result<usize, String> {
+        let n = self.totals.len();
+        if self.totals_sq.len() != n {
+            return Err(format!(
+                "totals_sq has {} entries but totals has {n}",
+                self.totals_sq.len()
+            ));
+        }
+        if self.glitch_totals.len() != n {
+            return Err(format!(
+                "glitch_totals has {} entries but totals has {n}",
+                self.glitch_totals.len()
+            ));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_sample_round_trips() {
+        let state = PooledSampleState::from_values(&[]);
+        assert!(state.is_empty());
+        assert_eq!(state.len(), 0);
+        assert_eq!(state.to_values(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn edge_values_round_trip_exactly() {
+        let values = [
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0 + f64::EPSILON,
+        ];
+        let state = PooledSampleState::from_values(&values);
+        let back = state.to_values();
+        for (orig, restored) in values.iter().zip(&back) {
+            assert_eq!(orig.to_bits(), restored.to_bits());
+        }
+        // -0.0 survives as -0.0, which `==` on f64 would not distinguish.
+        assert!(back[1].is_sign_negative());
+    }
+
+    #[test]
+    fn moment_state_validate_rejects_mismatched_lengths() {
+        let good = MomentAccumulatorState {
+            observations: 3,
+            totals: vec![1, 2],
+            totals_sq: vec![1, 4],
+            glitch_totals: vec![0, 1],
+        };
+        assert_eq!(good.validate(), Ok(2));
+
+        let bad = MomentAccumulatorState {
+            totals_sq: vec![1],
+            ..good.clone()
+        };
+        assert!(bad.validate().is_err());
+
+        let bad = MomentAccumulatorState {
+            glitch_totals: vec![0, 1, 2],
+            ..good
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Serialize → deserialize of a pooled sample is the identity on the
+        /// underlying bit patterns, for arbitrary magnitudes and signs.
+        #[test]
+        fn pooled_sample_round_trips_exactly(
+            raw in collection::vec((0u64..u64::MAX).prop_map(f64::from_bits), 0..200usize),
+        ) {
+            let state = PooledSampleState::from_values(&raw);
+            prop_assert_eq!(state.len(), raw.len());
+            let restored = state.to_values();
+            prop_assert_eq!(restored.len(), raw.len());
+            for (orig, back) in raw.iter().zip(&restored) {
+                prop_assert_eq!(orig.to_bits(), back.to_bits());
+            }
+            // And the snapshot of the restored values is the same snapshot.
+            prop_assert_eq!(PooledSampleState::from_values(&restored), state);
+        }
+
+        /// Moment sums survive a capture → restore cycle exactly: the state
+        /// type is plain integers, so equality is exact.
+        #[test]
+        fn moment_state_round_trips_exactly(
+            observations in 0u64..u64::MAX,
+            totals in collection::vec(0u64..u64::MAX, 0..64usize),
+        ) {
+            let state = MomentAccumulatorState {
+                observations,
+                totals_sq: totals.iter().map(|t| t.wrapping_mul(*t)).collect(),
+                glitch_totals: totals.iter().map(|t| t / 2).collect(),
+                totals,
+            };
+            prop_assert!(state.validate().is_ok());
+            let copied = state.clone();
+            prop_assert_eq!(copied, state);
+        }
+    }
+}

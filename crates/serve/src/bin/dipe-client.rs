@@ -1,0 +1,148 @@
+//! Minimal scriptable client for `dipe-serve`, used by the CI smoke tests.
+//!
+//! ```text
+//! dipe-client ADDR submit CIRCUIT [--source FILE] [--seed N]
+//!             [--rel-err E] [--confidence C] [--input-model M]
+//!             [--delay-model D] [--no-wait]
+//! dipe-client ADDR resume PATH
+//! dipe-client ADDR checkpoint JOB_ID [--stop]
+//! dipe-client ADDR stats | ping | shutdown
+//! ```
+//!
+//! `submit` waits for the job's terminal event by default and prints the
+//! result event as a single JSON line on stdout; progress events go to
+//! stderr. Exit status is non-zero if the job fails.
+
+use std::process::ExitCode;
+
+use dipe_serve::{Client, Event, JobSpec};
+use netlist::DelayModel;
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().ok_or("usage: dipe-client ADDR COMMAND ...")?;
+    let command = args.next().ok_or("missing command")?;
+    let mut client = Client::connect(&addr)?;
+    match command.as_str() {
+        "submit" => {
+            let circuit = args.next().ok_or("submit: missing circuit name")?;
+            let mut spec = JobSpec::named(&circuit);
+            let mut wait = true;
+            while let Some(arg) = args.next() {
+                let mut value_of = |name: &str| {
+                    args.next()
+                        .ok_or_else(|| format!("{name} requires a value"))
+                };
+                match arg.as_str() {
+                    "--source" => {
+                        let path = value_of("--source")?;
+                        let source = std::fs::read_to_string(&path)
+                            .map_err(|e| format!("--source {path}: {e}"))?;
+                        spec.circuit = dipe_serve::CircuitRef::Inline {
+                            name: circuit.clone(),
+                            source,
+                        };
+                    }
+                    "--seed" => {
+                        spec.seed = value_of("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?;
+                    }
+                    "--rel-err" => {
+                        spec.relative_error = value_of("--rel-err")?
+                            .parse()
+                            .map_err(|e| format!("--rel-err: {e}"))?;
+                    }
+                    "--confidence" => {
+                        spec.confidence = value_of("--confidence")?
+                            .parse()
+                            .map_err(|e| format!("--confidence: {e}"))?;
+                    }
+                    "--input-model" => spec.input_model = value_of("--input-model")?,
+                    "--delay-model" => {
+                        spec.delay_model = DelayModel::parse(&value_of("--delay-model")?)
+                            .map_err(|e| format!("--delay-model: {e}"))?;
+                    }
+                    "--no-wait" => wait = false,
+                    other => return Err(format!("submit: unknown argument `{other}`")),
+                }
+            }
+            spec.validate()?;
+            let job_id = client.submit(&spec)?;
+            eprintln!("accepted job {job_id}");
+            if wait {
+                wait_and_print(&mut client, job_id)?;
+            } else {
+                println!("{{\"job_id\":{job_id}}}");
+            }
+        }
+        "resume" => {
+            let path = args.next().ok_or("resume: missing checkpoint path")?;
+            let job_id = client.resume(&path)?;
+            eprintln!("accepted resumed job {job_id}");
+            wait_and_print(&mut client, job_id)?;
+        }
+        "checkpoint" => {
+            let job_id: u64 = args
+                .next()
+                .ok_or("checkpoint: missing job id")?
+                .parse()
+                .map_err(|e| format!("checkpoint: bad job id: {e}"))?;
+            let stop = match args.next().as_deref() {
+                None => false,
+                Some("--stop") => true,
+                Some(other) => return Err(format!("checkpoint: unknown argument `{other}`")),
+            };
+            let path = client.checkpoint(job_id, stop)?;
+            println!("{path}");
+        }
+        "stats" => println!("{}", client.stats()?.to_line()),
+        "ping" => {
+            client.ping()?;
+            println!("pong");
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("bye");
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+/// Streams progress to stderr until the job ends, then prints its result
+/// event JSON on stdout.
+fn wait_and_print(client: &mut Client, job_id: u64) -> Result<(), String> {
+    loop {
+        match client.next_event()? {
+            Event::Progress {
+                job_id: id,
+                phase,
+                cycles_done,
+                samples,
+                ..
+            } if id == job_id => {
+                eprintln!("job {id}: {phase} cycles={cycles_done} samples={samples}");
+            }
+            Event::Result(result) if result.job_id == job_id => {
+                println!("{}", Event::Result(result).to_json().to_line());
+                return Ok(());
+            }
+            Event::Failed {
+                job_id: id,
+                message,
+            } if id == job_id => return Err(format!("job {id} failed: {message}")),
+            _ => {}
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dipe-client: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

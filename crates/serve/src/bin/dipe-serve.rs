@@ -1,0 +1,107 @@
+//! The `dipe-serve` server binary.
+//!
+//! ```text
+//! dipe-serve [--port P] [--port-file PATH] [--workers N] [--slice CYCLES]
+//!            [--checkpoint-dir DIR] [--quiet]
+//! ```
+//!
+//! Binds `127.0.0.1:P` (default port 0 = ephemeral), prints
+//! `dipe-serve listening on ADDR` on stdout (and writes the bound port to
+//! `--port-file` if given — how scripts discover an ephemeral port), then
+//! serves until a `shutdown` request arrives.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use dipe_serve::{Server, ServerConfig};
+
+struct Options {
+    port: u16,
+    port_file: Option<String>,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        port: 0,
+        port_file: None,
+        config: ServerConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--port" => {
+                options.port = value_of("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+            }
+            "--port-file" => options.port_file = Some(value_of("--port-file")?),
+            "--workers" => {
+                options.config.workers = value_of("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if options.config.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--slice" => {
+                options.config.slice_cycles = value_of("--slice")?
+                    .parse()
+                    .map_err(|e| format!("--slice: {e}"))?;
+                if options.config.slice_cycles == 0 {
+                    return Err("--slice must be at least 1".to_string());
+                }
+            }
+            "--checkpoint-dir" => {
+                options.config.checkpoint_dir = value_of("--checkpoint-dir")?.into();
+            }
+            "--quiet" => options.config.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dipe-serve [--port P] [--port-file PATH] [--workers N] \
+                     [--slice CYCLES] [--checkpoint-dir DIR] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("dipe-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(("127.0.0.1", options.port), options.config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("dipe-serve: bind failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    if let Some(path) = &options.port_file {
+        if let Err(error) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("dipe-serve: cannot write port file {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("dipe-serve listening on {addr}");
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("dipe-serve: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The server's two content-hash keyed caches.
+//!
+//! * The **compiled tier** ([`CircuitCache::compiled`]) maps
+//!   [`JobSpec::circuit_key`] — netlist content + delay model — to the loaded
+//!   [`Circuit`], its [`CompiledCircuit`] program and the [`GateDelays`]
+//!   annotation. A hit skips parsing/generation, levelisation and compilation
+//!   entirely: the job's sampler is built with
+//!   `DipeEstimator::start_compiled`, which is bit-identical to the cold
+//!   path.
+//! * The **warm tier** ([`CircuitCache::warm`]) maps [`JobSpec::warm_key`] —
+//!   compiled key + input model + seed — to the warm
+//!   [`SessionCheckpoint`] harvested when an earlier job on the same stream
+//!   entered its sampling phase. A hit additionally skips warm-up and
+//!   independence-interval selection; because the warm checkpoint predates
+//!   every accuracy-dependent decision, it is valid under *any* convergence
+//!   target (asserted by `dipe`'s checkpoint tests).
+//!
+//! Both tiers keep hit/miss counters so "the repeat job skipped the work" is
+//! an observable fact (`stats` RPC), not an inference from timing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dipe::SessionCheckpoint;
+use netlist::{Circuit, CompiledCircuit, DelayModel, GateDelays, NetlistError};
+
+use crate::spec::JobSpec;
+
+/// One compiled-tier entry: everything derived from (netlist, delay model).
+pub struct CompiledEntry {
+    /// The loaded circuit. Shared by reference: concurrent jobs on the same
+    /// netlist all borrow this one instance.
+    pub circuit: Arc<Circuit>,
+    /// The compiled zero-delay program.
+    pub program: CompiledCircuit,
+    /// The per-gate delay annotation of the job's delay model.
+    pub delays: Arc<GateDelays>,
+}
+
+impl Clone for CompiledEntry {
+    fn clone(&self) -> Self {
+        CompiledEntry {
+            circuit: Arc::clone(&self.circuit),
+            program: self.program.clone(),
+            delays: Arc::clone(&self.delays),
+        }
+    }
+}
+
+/// Monotonic hit/miss counters of both tiers.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Compiled-tier hits (parse+compile skipped).
+    pub compiled_hits: AtomicU64,
+    /// Compiled-tier misses (entry built and inserted).
+    pub compiled_misses: AtomicU64,
+    /// Warm-tier hits (warm-up + interval selection skipped).
+    pub warm_hits: AtomicU64,
+    /// Warm-tier misses.
+    pub warm_misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// A `(compiled_hits, compiled_misses, warm_hits, warm_misses)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.compiled_hits.load(Ordering::Relaxed),
+            self.compiled_misses.load(Ordering::Relaxed),
+            self.warm_hits.load(Ordering::Relaxed),
+            self.warm_misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The two-tier cache. Interior mutability: one instance is shared across
+/// every connection and job thread.
+#[derive(Default)]
+pub struct CircuitCache {
+    compiled: Mutex<HashMap<u64, CompiledEntry>>,
+    warm: Mutex<HashMap<u64, SessionCheckpoint>>,
+    /// Hit/miss counters (public: the stats RPC reads them directly).
+    pub stats: CacheStats,
+}
+
+impl CircuitCache {
+    /// An empty cache.
+    pub fn new() -> CircuitCache {
+        CircuitCache::default()
+    }
+
+    /// Looks up — or builds, inserts and returns — the compiled entry for
+    /// `spec`, with `true` on a hit. The build happens outside the map lock,
+    /// so a slow compile never blocks unrelated lookups; if two jobs race on
+    /// the same key the loser's entry is dropped in favour of the winner's
+    /// (both are deterministic products of the same content, so either is
+    /// correct).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit loading/parsing failures.
+    pub fn compiled(&self, spec: &JobSpec) -> Result<(CompiledEntry, bool), NetlistError> {
+        let key = spec.circuit_key();
+        if let Some(entry) = self.compiled.lock().unwrap().get(&key) {
+            self.stats.compiled_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((entry.clone(), true));
+        }
+        let entry = build_entry(spec)?;
+        self.stats.compiled_misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.compiled.lock().unwrap();
+        Ok((map.entry(key).or_insert(entry).clone(), false))
+    }
+
+    /// The warm checkpoint for `spec`'s stream, if one has been harvested.
+    pub fn warm(&self, spec: &JobSpec) -> Option<SessionCheckpoint> {
+        let found = self.warm.lock().unwrap().get(&spec.warm_key()).cloned();
+        match &found {
+            Some(_) => self.stats.warm_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.warm_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a warm checkpoint harvested from a finished (or running)
+    /// session. First writer wins: the warm state of a given (content, input
+    /// model, seed) stream is unique, so overwriting would only churn.
+    pub fn store_warm(&self, spec: &JobSpec, checkpoint: SessionCheckpoint) {
+        debug_assert!(checkpoint.is_warm(), "only warm checkpoints belong here");
+        self.warm
+            .lock()
+            .unwrap()
+            .entry(spec.warm_key())
+            .or_insert(checkpoint);
+    }
+
+    /// Number of entries per tier: `(compiled, warm)`.
+    pub fn sizes(&self) -> (usize, usize) {
+        (
+            self.compiled.lock().unwrap().len(),
+            self.warm.lock().unwrap().len(),
+        )
+    }
+}
+
+/// Builds a compiled-tier entry from scratch (the miss path).
+fn build_entry(spec: &JobSpec) -> Result<CompiledEntry, NetlistError> {
+    let circuit = Arc::new(spec.circuit.load()?);
+    // The compiled program embeds the event-driven backend's delay
+    // annotation, and both are deterministic functions of the content key.
+    let delays = Arc::new(spec.delay_model.annotate(&circuit));
+    let program = match spec.delay_model {
+        DelayModel::Zero => CompiledCircuit::compile(&circuit),
+        _ => CompiledCircuit::compile_with_delays(&circuit, &delays),
+    };
+    Ok(CompiledEntry {
+        circuit,
+        program,
+        delays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_lookup_hits() {
+        let cache = CircuitCache::new();
+        let spec = JobSpec::named("s27");
+        let (first, was_hit) = cache.compiled(&spec).unwrap();
+        assert!(!was_hit);
+        let (second, was_hit) = cache.compiled(&spec).unwrap();
+        assert!(was_hit);
+        assert!(Arc::ptr_eq(&first.circuit, &second.circuit));
+        let (hits, misses, _, _) = cache.stats.snapshot();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(cache.sizes().0, 1);
+    }
+
+    #[test]
+    fn different_delay_models_get_distinct_entries() {
+        let cache = CircuitCache::new();
+        let fanout = JobSpec::named("s27");
+        let mut zero = JobSpec::named("s27");
+        zero.delay_model = DelayModel::Zero;
+        cache.compiled(&fanout).unwrap();
+        cache.compiled(&zero).unwrap();
+        assert_eq!(cache.sizes().0, 2);
+        let (hits, misses, _, _) = cache.stats.snapshot();
+        assert_eq!((hits, misses), (0, 2));
+    }
+
+    #[test]
+    fn unknown_circuits_fail_without_inserting() {
+        let cache = CircuitCache::new();
+        assert!(cache.compiled(&JobSpec::named("nonesuch")).is_err());
+        assert_eq!(cache.sizes().0, 0);
+    }
+}

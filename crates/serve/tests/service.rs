@@ -1,0 +1,245 @@
+//! End-to-end tests of the `dipe-serve` job server over real TCP sockets.
+//!
+//! Every estimate the service produces is checked against the *serial*
+//! library path (`DipeEstimator::start` + `run_to_completion`) bit-for-bit:
+//! the service, its caches and its checkpoint files must be invisible in the
+//! numbers.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use dipe::{run_to_completion, DipeEstimator, Estimate, PowerEstimator};
+use dipe_serve::{CachePath, Client, JobSpec, Server, ServerConfig};
+
+fn start_server(workers: usize, slice_cycles: u64) -> (SocketAddr, JoinHandle<()>) {
+    let dir = std::env::temp_dir().join(format!(
+        "dipe-serve-test-{}-{workers}-{slice_cycles}",
+        std::process::id()
+    ));
+    let config = ServerConfig {
+        workers,
+        slice_cycles,
+        checkpoint_dir: dir,
+        quiet: true,
+    };
+    let server = Server::bind(("127.0.0.1", 0), config).expect("bind");
+    let addr = server.local_addr();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, thread)
+}
+
+fn shutdown(addr: SocketAddr, thread: JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.shutdown().expect("shutdown");
+    thread.join().expect("server thread");
+}
+
+/// The serial reference: same spec, same seed, no service in the loop.
+fn serial_estimate(spec: &JobSpec) -> Estimate {
+    let circuit = spec.circuit.load().expect("load");
+    let config = spec.config();
+    let input_model = spec.parsed_input_model().expect("input model");
+    let session = DipeEstimator::new()
+        .start(&circuit, &config, &input_model, 0)
+        .expect("start");
+    run_to_completion(session).expect("serial run")
+}
+
+fn assert_matches_serial(result: &dipe_serve::JobResult, reference: &Estimate) {
+    assert_eq!(
+        result.mean_power_w.to_bits(),
+        reference.mean_power_w.to_bits(),
+        "service mean ({}) != serial mean ({})",
+        result.mean_power_w,
+        reference.mean_power_w
+    );
+    assert_eq!(result.sample_size, reference.sample_size as u64);
+    assert_eq!(
+        result.zero_delay_cycles,
+        reference.cycle_counts.zero_delay_cycles
+    );
+    assert_eq!(
+        result.measured_cycles,
+        reference.cycle_counts.measured_cycles
+    );
+    assert_eq!(
+        result.independence_interval,
+        reference.independence_interval().map(|i| i as u64)
+    );
+    assert_eq!(
+        result.relative_half_width.map(f64::to_bits),
+        reference.relative_half_width.map(f64::to_bits)
+    );
+}
+
+#[test]
+fn service_estimate_matches_serial_run_bit_for_bit() {
+    // 400-cycle slices: the ~1600-cycle job spans several slices, so the
+    // progress stream is observable.
+    let (addr, thread) = start_server(2, 400);
+    let spec = JobSpec::named("s27").with_seed(7).with_accuracy(0.10, 0.95);
+    let reference = serial_estimate(&spec);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let job_id = client.submit(&spec).expect("submit");
+    let result = client.wait_result(job_id).expect("result");
+
+    assert_matches_serial(&result, &reference);
+    assert_eq!(result.cache, CachePath::Cold);
+    assert!(
+        client.progress_count(job_id) >= 1,
+        "expected streamed progress events before the result"
+    );
+    assert_eq!(result.executed_cycles, reference.cycle_counts.total());
+    shutdown(addr, thread);
+}
+
+#[test]
+fn eight_concurrent_jobs_multiplex_over_two_workers() {
+    let (addr, thread) = start_server(2, 2_000);
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Eight distinct streams (different seeds), all in flight at once on a
+    // two-permit worker pool, submitted before any result is consumed.
+    let specs: Vec<JobSpec> = (0..8)
+        .map(|i| {
+            JobSpec::named("s27")
+                .with_seed(100 + i)
+                .with_accuracy(0.15, 0.90)
+        })
+        .collect();
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|spec| client.submit(spec).expect("submit"))
+        .collect();
+
+    // While they run, the server must still answer control requests.
+    client.ping().expect("ping under load");
+    let stats = client.stats().expect("stats under load");
+    assert_eq!(
+        stats.get("workers").and_then(dipe_serve::Json::as_u64),
+        Some(2)
+    );
+
+    for (spec, id) in specs.iter().zip(&ids) {
+        let result = client.wait_result(*id).expect("result");
+        let reference = serial_estimate(spec);
+        assert_matches_serial(&result, &reference);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("jobs_completed")
+            .and_then(dipe_serve::Json::as_u64),
+        Some(8)
+    );
+    shutdown(addr, thread);
+}
+
+#[test]
+fn duplicate_submission_hits_both_cache_tiers_and_matches() {
+    let (addr, thread) = start_server(2, 2_000);
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = JobSpec::named("s298")
+        .with_seed(41)
+        .with_accuracy(0.15, 0.90);
+
+    let first_id = client.submit(&spec).expect("submit");
+    let first = client.wait_result(first_id).expect("first result");
+    assert_eq!(first.cache, CachePath::Cold);
+
+    let second_id = client.submit(&spec).expect("resubmit");
+    let second = client.wait_result(second_id).expect("second result");
+
+    // The warm hit skips parse+compile AND warm-up+interval selection...
+    assert_eq!(second.cache, CachePath::Warm);
+    assert!(
+        second.executed_cycles < first.executed_cycles,
+        "warm job executed {} cycles, cold executed {}",
+        second.executed_cycles,
+        first.executed_cycles
+    );
+    // ...yet the estimate is byte-identical.
+    assert_eq!(second.mean_power_w.to_bits(), first.mean_power_w.to_bits());
+    assert_eq!(second.sample_size, first.sample_size);
+    assert_eq!(second.measured_cycles, first.measured_cycles);
+
+    // The skipped work is an instrumented fact, not a timing inference.
+    let stats = client.stats().expect("stats");
+    let count = |k: &str| stats.get(k).and_then(dipe_serve::Json::as_u64).unwrap();
+    assert!(count("compiled_hits") >= 1, "stats: {}", stats.to_line());
+    assert!(count("warm_hits") >= 1, "stats: {}", stats.to_line());
+    shutdown(addr, thread);
+}
+
+#[test]
+fn checkpoint_stop_resume_reproduces_the_uninterrupted_estimate() {
+    // Small slices so the checkpoint lands mid-sampling, not at the end.
+    let (addr, thread) = start_server(2, 400);
+    let spec = JobSpec::named("s27")
+        .with_seed(23)
+        .with_accuracy(0.04, 0.99);
+    let reference = serial_estimate(&spec);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let job_id = client.submit(&spec).expect("submit");
+    // Kill the job the moment it becomes checkpointable (first sampling
+    // slice): the server parks this request until then, writes the file,
+    // then cancels the job.
+    let path = client.checkpoint(job_id, true).expect("checkpoint");
+    let killed = client.wait_result(job_id);
+    assert!(
+        killed.is_err(),
+        "job should have been stopped, got {killed:?}"
+    );
+
+    let resumed_id = client.resume(&path).expect("resume");
+    let resumed = client.wait_result(resumed_id).expect("resumed result");
+    assert_eq!(resumed.cache, CachePath::Resumed);
+    assert_matches_serial(&resumed, &reference);
+    assert!(
+        resumed.executed_cycles < reference.cycle_counts.total(),
+        "a resumed job must not redo the pre-checkpoint work"
+    );
+    shutdown(addr, thread);
+}
+
+#[test]
+fn error_paths_and_clean_shutdown() {
+    let (addr, thread) = start_server(1, 2_000);
+    let mut client = Client::connect(addr).expect("connect");
+
+    client.ping().expect("ping");
+
+    // Unknown benchmark: accepted (the name is only resolved at job start),
+    // then a `failed` event.
+    let job_id = client.submit(&JobSpec::named("nonesuch")).expect("submit");
+    let failure = client.wait_result(job_id).expect_err("must fail");
+    assert!(
+        failure.contains("nonesuch"),
+        "failure should name the circuit: {failure}"
+    );
+
+    // Control errors come back as error responses, not disconnects.
+    assert!(client.cancel(9999).is_err());
+    assert!(client.status(9999).is_err());
+    assert!(client.checkpoint(job_id, false).is_err(), "job not running");
+
+    // A long-ish job can be cancelled.
+    let spec = JobSpec::named("s298")
+        .with_seed(5)
+        .with_accuracy(0.01, 0.99);
+    let victim = client.submit(&spec).expect("submit victim");
+    client.cancel(victim).expect("cancel");
+    let outcome = client.wait_result(victim).expect_err("cancelled job fails");
+    assert!(outcome.contains("cancelled"), "got: {outcome}");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("jobs_cancelled")
+            .and_then(dipe_serve::Json::as_u64),
+        Some(1)
+    );
+    shutdown(addr, thread);
+}

@@ -199,6 +199,32 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The full 256-bit xoshiro256++ state. Together with
+        /// [`from_state`](Self::from_state) this makes the generator's
+        /// position exactly serializable, which checkpoint/resume of long
+        /// sampling runs relies on: a restored generator continues the
+        /// identical output stream bit-for-bit.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact position previously captured
+        /// with [`state`](Self::state).
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro256++ can never reach
+        /// from any seed and would lock the generator at zero forever.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            assert!(
+                state.iter().any(|&w| w != 0),
+                "the all-zero state is not a valid xoshiro256++ position"
+            );
+            StdRng { s: state }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
             // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
