@@ -1,20 +1,25 @@
 //! Simulator-backend ablation: zero-delay decorrelation throughput of the
 //! interpreted scalar, compiled scalar and 64-lane bit-parallel backends,
-//! written to a machine-readable `BENCH_simulators.json`.
+//! plus the compiled-vs-partitioned gate-count scaling sweep over synthetic
+//! tiled circuits, written to a machine-readable `BENCH_simulators.json`.
 //!
 //! ```text
 //! cargo run --release -p dipe-bench --bin simulators
 //! cargo run --release -p dipe-bench --bin simulators -- \
 //!     --circuits s27,s298,s1494 --cycles 200000 --out BENCH_simulators.json
+//! cargo run --release -p dipe-bench --bin simulators -- \
+//!     --scaling-gates 1000,10000,100000,1000000
 //! ```
 
-use dipe_bench::simulators::{format_rows, run_simulator_ablation, to_json};
+use dipe_bench::scaling::{format_scaling_rows, run_gate_scaling};
+use dipe_bench::simulators::{format_rows, run_simulator_ablation, to_json_with_scaling};
 
 struct Options {
     circuits: Vec<String>,
     cycles: usize,
     seed: u64,
     out: String,
+    scaling_gates: Vec<usize>,
 }
 
 impl Default for Options {
@@ -24,12 +29,15 @@ impl Default for Options {
             cycles: 200_000,
             seed: 1997,
             out: "BENCH_simulators.json".into(),
+            scaling_gates: vec![1_000, 10_000, 100_000, 1_000_000],
         }
     }
 }
 
 fn usage() -> String {
-    "usage: simulators [--circuits s27,s298,...] [--cycles N] [--seed N] [--out FILE]".to_string()
+    "usage: simulators [--circuits s27,s298,...] [--cycles N] [--seed N] [--out FILE] \
+     [--scaling-gates 1000,10000,... | --no-scaling]"
+        .to_string()
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -58,6 +66,17 @@ fn parse_options() -> Result<Options, String> {
                     .map_err(|e| format!("--seed: {e}"))?;
             }
             "--out" => options.out = take_value("--out")?,
+            "--scaling-gates" => {
+                options.scaling_gates = take_value("--scaling-gates")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|e| format!("--scaling-gates: {e}"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            "--no-scaling" => options.scaling_gates.clear(),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -83,7 +102,17 @@ fn main() {
         std::process::exit(1);
     }
     println!("{}", format_rows(&rows));
-    let json = to_json(&rows, options.cycles, options.seed);
+    let scaling = if options.scaling_gates.is_empty() {
+        Vec::new()
+    } else {
+        println!(
+            "# Gate-count scaling — tiled synthetic circuits, equal instruction budget per size"
+        );
+        let scaling = run_gate_scaling(&options.scaling_gates, options.seed);
+        println!("{}", format_scaling_rows(&scaling));
+        scaling
+    };
+    let json = to_json_with_scaling(&rows, &scaling, options.cycles, options.seed);
     if let Err(error) = std::fs::write(&options.out, json) {
         eprintln!("failed to write {}: {error}", options.out);
         std::process::exit(1);

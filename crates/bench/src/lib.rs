@@ -26,6 +26,7 @@ use dipe::{
 use netlist::{iscas89, Circuit};
 
 pub mod estimation;
+pub mod scaling;
 pub mod service;
 pub mod simulators;
 

@@ -81,7 +81,7 @@ pub const BASIS_STATE_ADVANCE: &str = "state_advance_lane_cycles";
 /// Basis tag of the delay-aware measurement rows.
 pub const BASIS_MEASURED: &str = "measured_cycles";
 
-fn uniform_stream(circuit: &Circuit, seed: u64) -> InputStream {
+pub(crate) fn uniform_stream(circuit: &Circuit, seed: u64) -> InputStream {
     InputModel::uniform()
         .stream(circuit, seed)
         .expect("the uniform model fits every circuit")
@@ -283,14 +283,26 @@ fn ablate_circuit(
 }
 
 /// Serialises the rows as the `BENCH_simulators.json` document: a flat,
-/// machine-readable record of cycles/sec per backend per circuit.
-pub fn to_json(rows: &[SimulatorBenchRow], cycles: usize, seed: u64) -> String {
+/// machine-readable record of cycles/sec per backend per circuit. When
+/// `scaling` is non-empty, the document also carries the `gate_scaling`
+/// array — the compiled-vs-partitioned synthetic sweep
+/// ([`crate::scaling::run_gate_scaling`]).
+pub fn to_json_with_scaling(
+    rows: &[SimulatorBenchRow],
+    scaling: &[crate::scaling::GateScalingRow],
+    cycles: usize,
+    seed: u64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"simulator_ablation\",\n");
     out.push_str(
         "  \"workload\": \"decorrelation advance (uniform input stream + state-only step)\",\n",
     );
     out.push_str(&format!("  \"cycles\": {cycles},\n  \"seed\": {seed},\n"));
+    if !scaling.is_empty() {
+        out.push_str(&crate::scaling::scaling_json(scaling));
+        out.push_str(",\n");
+    }
     out.push_str("  \"rows\": [\n");
     for (index, row) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -310,6 +322,11 @@ pub fn to_json(rows: &[SimulatorBenchRow], cycles: usize, seed: u64) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// [`to_json_with_scaling`] without a scaling sweep.
+pub fn to_json(rows: &[SimulatorBenchRow], cycles: usize, seed: u64) -> String {
+    to_json_with_scaling(rows, &[], cycles, seed)
 }
 
 /// Formats the rows as a human-readable table for the binary's stdout.

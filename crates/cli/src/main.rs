@@ -1,7 +1,8 @@
 //! `dipe` — command-line average-power estimation for sequential circuits.
 //!
-//! Loads an ISCAS'89 benchmark by name (or any `.bench` netlist by path) and
-//! runs the paper's estimator:
+//! Loads an ISCAS'89 benchmark by name (or any `.bench`, `.blif`, `.aag` or
+//! `.aig` netlist by path, dispatching on the extension) and runs the paper's
+//! estimator:
 //!
 //! ```text
 //! dipe s1494                         # total average power (DIPE)
@@ -9,6 +10,9 @@
 //! dipe s1494 --breakdown             # per-net activity + power, per-node stopping
 //! dipe s1494 --breakdown --delay-model unit --json report.json
 //! dipe path/to/custom.bench --breakdown --top 20 --delay-model random:7
+//! dipe design.blif                   # BLIF by extension
+//! dipe design.aig --eval-mode partitioned   # binary AIGER, megagate backend
+//! dipe exported.net --format aag     # extension override
 //! ```
 //!
 //! `--delay-model` selects the gate delays of the event-driven measurement
@@ -30,15 +34,21 @@ use std::process::ExitCode;
 use activity::{BreakdownEstimator, ConvergenceTarget};
 use dipe::input::InputModel;
 use dipe::report::TextTable;
+use dipe::EvalMode;
 use dipe::{
     run_replicated_dipe, CycleBudget, DipeConfig, DipeEstimator, Estimate, PowerEstimator,
     Progress, ShardedDipeEstimator,
 };
-use netlist::{bench_format, iscas89, Circuit, DelayModel};
+use netlist::{iscas89, Circuit, DelayModel, FileSource, NetlistFormat, NetlistSource};
 use seqstats::NodeStoppingPolicy;
 
 struct Options {
     circuit: String,
+    format: Option<NetlistFormat>,
+    /// Resolved in `parse_options`: `Some` when `circuit` is a file path,
+    /// `None` when it names a catalogue benchmark.
+    source: Option<FileSource>,
+    eval_mode: EvalMode,
     breakdown: bool,
     target: ConvergenceTarget,
     delay_model: DelayModel,
@@ -63,6 +73,9 @@ impl Default for Options {
         let node_default = NodeStoppingPolicy::default_spec();
         Options {
             circuit: String::new(),
+            format: None,
+            source: None,
+            eval_mode: EvalMode::Compiled,
             breakdown: false,
             target: ConvergenceTarget::NodeBreakdown,
             delay_model: DelayModel::default(),
@@ -84,7 +97,14 @@ impl Default for Options {
 
 fn usage() -> String {
     "\
-usage: dipe <circuit-name | netlist.bench> [options]
+usage: dipe <circuit-name | netlist.{bench,blif,aag,aig}> [options]
+
+input:
+  a bare name loads the built-in ISCAS'89 catalogue; anything with a path
+  separator or extension is read as a netlist file, dispatching on the
+  extension (.bench, .blif, .aag, .aig)
+  --format F              parse the file as F (bench|blif|aag|aig),
+                          ignoring its extension
 
 modes:
   (default)               total average power (the paper's DIPE estimator)
@@ -100,6 +120,9 @@ simulation:
                           random:SEED  per-gate uniform 60-340 ps from SEED
   --shards N              worker shards the sampling phase fans out to
                           (default: the available parallelism; 1 disables)
+  --eval-mode M           zero-delay backend for decorrelation cycles:
+                          compiled     straight-line sweep (the default)
+                          partitioned  cache-blocked level tiles (megagate)
 
 accuracy:
   --error E               total-power max relative error (default 0.05)
@@ -144,6 +167,23 @@ fn parse_options() -> Result<Options, String> {
             }
             "--delay-model" => {
                 options.delay_model = parse_delay_model(&take_value("--delay-model")?)?;
+            }
+            "--format" => {
+                let value = take_value("--format")?;
+                options.format = Some(NetlistFormat::from_extension(&value).ok_or_else(|| {
+                    format!("--format must be bench|blif|aag|aig, got `{value}`")
+                })?);
+            }
+            "--eval-mode" => {
+                options.eval_mode = match take_value("--eval-mode")?.as_str() {
+                    "compiled" => EvalMode::Compiled,
+                    "partitioned" => EvalMode::Partitioned,
+                    other => {
+                        return Err(format!(
+                            "--eval-mode must be compiled|partitioned, got `{other}`"
+                        ))
+                    }
+                };
             }
             "--lanes" => {
                 options.lanes = take_value("--lanes")?
@@ -204,6 +244,17 @@ fn parse_options() -> Result<Options, String> {
     if options.circuit.is_empty() {
         return Err(usage());
     }
+    // Resolve what the positional argument means. An explicit `--format`
+    // always reads it as a file; a path separator or extension auto-detects
+    // the format from the extension (an unknown one is a usage error, kept
+    // to a single line); a bare name loads the built-in catalogue.
+    options.source = if let Some(format) = options.format {
+        Some(FileSource::with_format(&options.circuit, format))
+    } else if options.circuit.contains('/') || options.circuit.contains('.') {
+        Some(FileSource::new(&options.circuit).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
     if options.lanes < 1 || options.lanes > 64 {
         return Err("--lanes must be in 1..=64".to_string());
     }
@@ -258,11 +309,10 @@ fn resolve_shards(options: &Options) -> usize {
         .max(1)
 }
 
-fn load_circuit(name: &str) -> Result<Circuit, netlist::NetlistError> {
-    if name.ends_with(".bench") {
-        bench_format::parse_file(name)
-    } else {
-        iscas89::load(name)
+fn load_circuit(options: &Options) -> Result<Circuit, netlist::NetlistError> {
+    match &options.source {
+        Some(file) => file.load(),
+        None => iscas89::load(&options.circuit),
     }
 }
 
@@ -597,7 +647,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let circuit = match load_circuit(&options.circuit) {
+    let circuit = match load_circuit(&options) {
         Ok(circuit) => circuit,
         Err(error) => {
             eprintln!("failed to load `{}`: {error}", options.circuit);
@@ -607,6 +657,7 @@ fn main() -> ExitCode {
     let config = DipeConfig::default()
         .with_seed(options.seed)
         .with_accuracy(options.relative_error, options.confidence)
+        .with_eval_mode(options.eval_mode)
         .with_delay_model(options.delay_model);
     let outcome = if options.breakdown {
         run_breakdown(&options, &circuit, &config)

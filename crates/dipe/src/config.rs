@@ -21,6 +21,41 @@ pub enum CriterionKind {
     Dkw,
 }
 
+/// Which zero-delay backend executes the decorrelation (state-advance)
+/// cycles between measurements.
+///
+/// Both backends run the same [`netlist::CompiledCircuit`] instruction
+/// stream and are bit-identical; they differ only in traversal strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum EvalMode {
+    /// Straight-line sweep over the full instruction stream
+    /// ([`logicsim::CompiledSimulator`]). Default; best for small and
+    /// mid-size circuits.
+    #[default]
+    Compiled,
+    /// Cache-blocked levelised traversal in fixed-size tiles
+    /// ([`logicsim::PartitionedSimulator`]); the megagate (10^5+ gate)
+    /// backend.
+    Partitioned,
+}
+
+impl EvalMode {
+    /// Short stable identifier: `"compiled"` or `"partitioned"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            EvalMode::Compiled => "compiled",
+            EvalMode::Partitioned => "partitioned",
+        }
+    }
+}
+
+impl std::fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
 /// Complete configuration of a DIPE run.
 ///
 /// The default values reproduce the paper's experimental setup: significance
@@ -53,6 +88,9 @@ pub struct DipeConfig {
     pub max_samples: usize,
     /// Which stopping criterion to use.
     pub criterion: CriterionKind,
+    /// Which zero-delay backend runs the decorrelation cycles.
+    #[serde(default)]
+    pub eval_mode: EvalMode,
     /// Gate delay model for the measurement (general-delay) simulator.
     pub delay_model: DelayModel,
     /// Electrical operating point.
@@ -77,6 +115,7 @@ impl Default for DipeConfig {
             min_samples: 64,
             max_samples: 200_000,
             criterion: CriterionKind::Normal,
+            eval_mode: EvalMode::default(),
             delay_model: DelayModel::default(),
             technology: Technology::default(),
             capacitance: CapacitanceModel::default(),
@@ -129,6 +168,13 @@ impl DipeConfig {
     pub fn with_sample_budget(mut self, min_samples: usize, max_samples: usize) -> Self {
         self.min_samples = min_samples;
         self.max_samples = max_samples;
+        self
+    }
+
+    /// Sets the zero-delay backend for the decorrelation cycles (builder
+    /// style).
+    pub fn with_eval_mode(mut self, eval_mode: EvalMode) -> Self {
+        self.eval_mode = eval_mode;
         self
     }
 
@@ -243,6 +289,7 @@ mod tests {
         assert_eq!(c.confidence, 0.99);
         assert_eq!(c.sequence_length, 320);
         assert_eq!(c.criterion, CriterionKind::Normal);
+        assert_eq!(c.eval_mode, EvalMode::Compiled);
         assert!(c.validate().is_ok());
     }
 
@@ -256,6 +303,7 @@ mod tests {
             .with_sequence_length(128)
             .with_warmup_cycles(512)
             .with_sample_budget(128, 50_000)
+            .with_eval_mode(EvalMode::Partitioned)
             .with_delay_model(logicsim::DelayModel::Unit(100))
             .with_technology(Technology::new(3.3, 50.0e6));
         assert_eq!(c.seed, 7);
@@ -267,6 +315,7 @@ mod tests {
         assert_eq!(c.warmup_cycles, 512);
         assert_eq!(c.min_samples, 128);
         assert_eq!(c.max_samples, 50_000);
+        assert_eq!(c.eval_mode, EvalMode::Partitioned);
         assert!(c.validate().is_ok());
     }
 

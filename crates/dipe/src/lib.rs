@@ -87,7 +87,7 @@ pub mod shards;
 
 pub use baselines::{DecoupledCombinationalEstimator, FixedWarmupEstimator};
 pub use checkpoint::{InputStreamState, SamplerState, SessionCheckpoint, CHECKPOINT_VERSION};
-pub use config::{CriterionKind, DipeConfig};
+pub use config::{CriterionKind, DipeConfig, EvalMode};
 pub use engine::{Engine, EstimationJob, JobOutcome, ReplicatedJob, ReplicatedOutcome};
 pub use error::DipeError;
 pub use estimate::{

@@ -8,11 +8,11 @@
 //! Eq. (1). The [`PowerSampler`] encapsulates this machinery and keeps the
 //! cycle accounting that the efficiency comparisons need.
 
-use logicsim::{CompiledSimulator, EventDrivenSimulator, GlitchActivity};
+use logicsim::{CompiledSimulator, EventDrivenSimulator, GlitchActivity, PartitionedSimulator};
 use netlist::Circuit;
 use power::PowerCalculator;
 
-use crate::config::DipeConfig;
+use crate::config::{DipeConfig, EvalMode};
 use crate::error::DipeError;
 use crate::input::{InputModel, InputStream};
 
@@ -33,19 +33,91 @@ impl CycleCounts {
     }
 }
 
+/// The zero-delay backend the decorrelation cycles run on, selected by
+/// [`EvalMode`]. Both variants execute the same compiled instruction stream
+/// and are bit-identical; [`PartitionedSimulator`] walks it in cache-resident
+/// level tiles, which pays off from ~10^5 gates up.
+#[derive(Debug)]
+enum ZeroSim<'c> {
+    Compiled(CompiledSimulator<'c>),
+    Partitioned(PartitionedSimulator<'c>),
+}
+
+impl<'c> ZeroSim<'c> {
+    fn new(circuit: &'c Circuit, mode: EvalMode) -> ZeroSim<'c> {
+        match mode {
+            EvalMode::Compiled => ZeroSim::Compiled(CompiledSimulator::new(circuit)),
+            EvalMode::Partitioned => ZeroSim::Partitioned(PartitionedSimulator::new(circuit)),
+        }
+    }
+
+    fn with_program(
+        circuit: &'c Circuit,
+        program: netlist::CompiledCircuit,
+        mode: EvalMode,
+    ) -> ZeroSim<'c> {
+        match mode {
+            EvalMode::Compiled => {
+                ZeroSim::Compiled(CompiledSimulator::with_program(circuit, program))
+            }
+            EvalMode::Partitioned => {
+                ZeroSim::Partitioned(PartitionedSimulator::with_program(circuit, program))
+            }
+        }
+    }
+
+    #[inline]
+    fn step_state_only(&mut self, inputs: &[bool]) {
+        match self {
+            ZeroSim::Compiled(sim) => sim.step_state_only(inputs),
+            ZeroSim::Partitioned(sim) => sim.step_state_only(inputs),
+        }
+    }
+
+    #[inline]
+    fn values(&self) -> &[bool] {
+        match self {
+            ZeroSim::Compiled(sim) => sim.values(),
+            ZeroSim::Partitioned(sim) => sim.values(),
+        }
+    }
+
+    fn latch_state(&self) -> Vec<bool> {
+        match self {
+            ZeroSim::Compiled(sim) => sim.latch_state(),
+            ZeroSim::Partitioned(sim) => sim.latch_state(),
+        }
+    }
+
+    fn input_pattern(&self) -> Vec<bool> {
+        match self {
+            ZeroSim::Compiled(sim) => sim.input_pattern(),
+            ZeroSim::Partitioned(sim) => sim.input_pattern(),
+        }
+    }
+
+    fn reset_to(&mut self, latch_state: &[bool], input_pattern: &[bool]) {
+        match self {
+            ZeroSim::Compiled(sim) => sim.reset_to(latch_state, input_pattern),
+            ZeroSim::Partitioned(sim) => sim.reset_to(latch_state, input_pattern),
+        }
+    }
+}
+
 /// Generates per-cycle power observations from a circuit under an input
 /// model, using the two-phase zero-delay / general-delay scheme.
 ///
-/// The zero-delay phase runs on the compiled scalar simulator
-/// ([`CompiledSimulator`], bit-exact with the interpreted
-/// [`logicsim::ZeroDelaySimulator`]) and draws input patterns into reused
-/// buffers, so decorrelation cycles — the dominant cost of the whole
-/// estimator (Section IV) — perform no per-cycle allocation and no per-gate
-/// dispatch.
+/// The zero-delay phase runs on a compiled backend selected by
+/// [`EvalMode`] — the straight-line [`CompiledSimulator`] by default, the
+/// cache-blocked [`PartitionedSimulator`] for megagate circuits; both are
+/// bit-exact with the interpreted [`logicsim::ZeroDelaySimulator`] — and
+/// draws input patterns into reused buffers, so decorrelation cycles — the
+/// dominant cost of the whole estimator (Section IV) — perform no per-cycle
+/// allocation and no per-gate dispatch.
 #[derive(Debug)]
 pub struct PowerSampler<'c> {
     circuit: &'c Circuit,
-    zero: CompiledSimulator<'c>,
+    zero: ZeroSim<'c>,
     full: EventDrivenSimulator<'c>,
     calculator: PowerCalculator,
     stream: InputStream,
@@ -78,7 +150,7 @@ impl<'c> PowerSampler<'c> {
         let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
         Ok(PowerSampler {
             circuit,
-            zero: CompiledSimulator::new(circuit),
+            zero: ZeroSim::new(circuit, config.eval_mode),
             full: EventDrivenSimulator::new(circuit, config.delay_model),
             calculator,
             stream,
@@ -116,7 +188,7 @@ impl<'c> PowerSampler<'c> {
         let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
         Ok(PowerSampler {
             circuit,
-            zero: CompiledSimulator::with_program(circuit, program),
+            zero: ZeroSim::with_program(circuit, program, config.eval_mode),
             full: EventDrivenSimulator::with_delays(circuit, config.delay_model, delays),
             calculator,
             stream,
@@ -322,6 +394,40 @@ mod tests {
         let mut a = PowerSampler::new(&c, &config, &InputModel::uniform(), 0).unwrap();
         let mut b = PowerSampler::new(&c, &config, &InputModel::uniform(), 0).unwrap();
         assert_eq!(a.collect_sequence(50, 1), b.collect_sequence(50, 1));
+    }
+
+    #[test]
+    fn partitioned_mode_is_bit_identical_to_compiled() {
+        for name in ["s27", "s298", "s641"] {
+            let c = iscas89::load(name).unwrap();
+            let compiled_cfg = DipeConfig::default().with_seed(11);
+            let partitioned_cfg = compiled_cfg.clone().with_eval_mode(EvalMode::Partitioned);
+            let mut a = PowerSampler::new(&c, &compiled_cfg, &InputModel::uniform(), 0).unwrap();
+            let mut b = PowerSampler::new(&c, &partitioned_cfg, &InputModel::uniform(), 0).unwrap();
+            a.advance(32);
+            b.advance(32);
+            assert_eq!(
+                a.collect_sequence(40, 2),
+                b.collect_sequence(40, 2),
+                "{name}: partitioned decorrelation diverged from compiled"
+            );
+            assert_eq!(a.cycle_counts(), b.cycle_counts());
+        }
+    }
+
+    #[test]
+    fn partitioned_mode_snapshots_restore_across_modes() {
+        let (c, config) = sampler_for("s298", 5);
+        let partitioned = config.clone().with_eval_mode(EvalMode::Partitioned);
+        let mut a = PowerSampler::new(&c, &partitioned, &InputModel::uniform(), 0).unwrap();
+        a.advance(48);
+        let snap = a.snapshot();
+        let expected = a.collect_sequence(20, 1);
+        // A compiled-mode sampler restored from a partitioned-mode snapshot
+        // continues the identical observation sequence.
+        let mut b = PowerSampler::new(&c, &config, &InputModel::uniform(), 0).unwrap();
+        b.restore(&snap).unwrap();
+        assert_eq!(b.collect_sequence(20, 1), expected);
     }
 
     #[test]

@@ -70,6 +70,33 @@ pub(crate) fn eval_instruction<W: LogicWord>(
     }
 }
 
+/// Fanin-specialised evaluation: the one- and two-operand shapes that
+/// dominate real netlists compile to direct loads with no iterator state,
+/// wider gates fall back to the generic fold. Produces bit-identical results
+/// to [`eval_instruction`] for every instruction.
+#[inline(always)]
+pub(crate) fn eval_instruction_fast<W: LogicWord>(
+    program: &CompiledCircuit,
+    instruction: &Instruction,
+    values: &[W],
+) -> W {
+    let operands = program.operands_of(instruction);
+    match (instruction.opcode, operands) {
+        (Opcode::Not, &[a]) => !values[a as usize],
+        (Opcode::Buf, &[a]) => values[a as usize],
+        (Opcode::And, &[a, b]) => values[a as usize] & values[b as usize],
+        (Opcode::Nand, &[a, b]) => !(values[a as usize] & values[b as usize]),
+        (Opcode::Or, &[a, b]) => values[a as usize] | values[b as usize],
+        (Opcode::Nor, &[a, b]) => !(values[a as usize] | values[b as usize]),
+        (Opcode::Xor, &[a, b]) => values[a as usize] ^ values[b as usize],
+        (Opcode::Xnor, &[a, b]) => !(values[a as usize] ^ values[b as usize]),
+        (Opcode::And, &[a, b, c]) => values[a as usize] & values[b as usize] & values[c as usize],
+        (Opcode::Or, &[a, b, c]) => values[a as usize] | values[b as usize] | values[c as usize],
+        (Opcode::Xor, &[a, b, c]) => values[a as usize] ^ values[b as usize] ^ values[c as usize],
+        _ => eval_instruction(program, instruction, values),
+    }
+}
+
 /// Latch capture over a dense value vector: `Q <- D` for every flip-flop,
 /// reading all `D` values before writing any `Q` so chained latches behave
 /// like real edge-triggered hardware. `scratch` must have one slot per

@@ -66,7 +66,7 @@
 
 use netlist::{Circuit, CompiledCircuit, DelayModel, NetId};
 
-use crate::compiled::eval_instruction;
+use crate::compiled::eval_instruction_fast;
 use crate::trace::GlitchActivity;
 
 /// Sentinel terminating an intrusive bucket list / marking an empty bucket.
@@ -621,7 +621,7 @@ impl<'c> EventDrivenSimulator<'c> {
                 gates[index].eval(&self.values)
             } else {
                 let instruction = &self.program.instructions()[index];
-                eval_instruction(&self.program, instruction, &self.values)
+                eval_instruction_fast(&self.program, instruction, &self.values)
             };
             let out = self.outputs[index] as usize;
             if new_out != self.values[out] {
@@ -718,7 +718,7 @@ impl<'c> EventDrivenSimulator<'c> {
                             gates[index].eval(&self.values)
                         } else {
                             let instruction = &self.program.instructions()[index];
-                            eval_instruction(&self.program, instruction, &self.values)
+                            eval_instruction_fast(&self.program, instruction, &self.values)
                         };
                         let out = self.outputs[index] as usize;
                         let scratch = self.scratch[out];

@@ -1,6 +1,6 @@
 //! Gate-level logic simulation.
 //!
-//! Five simulators are provided. Three are zero-delay (functional) backends
+//! Six simulators are provided. Four are zero-delay (functional) backends
 //! sharing one semantics — bit-exact with each other, enforced by property
 //! tests:
 //!
@@ -10,6 +10,9 @@
 //! * [`CompiledSimulator`] — the compiled scalar zero-delay path executing a
 //!   [`netlist::CompiledCircuit`] flat instruction stream with no per-gate
 //!   dispatch. The estimator's decorrelation cycles run here.
+//! * [`PartitionedSimulator`] — the same instruction stream walked level by
+//!   level in cache-resident tiles with fanin-specialised kernels; the
+//!   megagate (10^5+) zero-delay backend.
 //! * [`BitParallelSimulator`] — 64 independent replications at once, one bit
 //!   per lane in a `u64` word per net, with transition counting via XOR +
 //!   `count_ones` ([`WordActivity`]). Batch replicated runs map onto lanes.
@@ -62,6 +65,7 @@
 mod compiled;
 mod event;
 mod event_driven;
+mod partitioned;
 mod state;
 mod trace;
 mod value;
@@ -72,6 +76,7 @@ pub use compiled::{broadcast, pack_lane_bit, BitParallelSimulator, CompiledSimul
 pub use event::{Event, EventQueue};
 pub use event_driven::EventDrivenSimulator;
 pub use netlist::{DelayModel, GateDelays};
+pub use partitioned::{PartitionedSimulator, TILE_INSTRUCTIONS};
 pub use state::{random_input_vector, random_state_vector, SimState};
 pub use trace::{ActivityAccumulator, CycleActivity, GlitchActivity, WordActivity};
 pub use value::LogicValue;

@@ -1,0 +1,859 @@
+//! Reader and writer for the AIGER and-inverter-graph format (ascii `.aag`
+//! and binary `.aig`, format version 1).
+//!
+//! An AIG describes a circuit as two-input AND gates over *literals*: every
+//! variable `v` has literal `2v` (the variable) and `2v + 1` (its
+//! complement); literals `0`/`1` are the constants. The reader materialises
+//! each distinct complemented literal as an explicit NOT gate (net `n<lit>`),
+//! inputs/latches/AND outputs become nets named after their even literal
+//! (`n2`, `n4`, ...), and latches become D flip-flops. Initialisation values
+//! are accepted and ignored — every simulator in this workspace starts from
+//! the all-zero state, which matches AIGER's default latch reset.
+//!
+//! The writer performs the inverse mapping for circuits whose gates are
+//! AND/NOT/BUF only (NOT and BUF compile to literal arithmetic, wide ANDs to
+//! a chain of two-input conjunctions); other gate kinds have no direct AIG
+//! encoding and are rejected rather than silently re-synthesised.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::aiger;
+//!
+//! // half adder carry: c = a AND b
+//! let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+//! let circuit = aiger::parse_ascii(src, "carry").unwrap();
+//! assert_eq!(circuit.num_primary_inputs(), 2);
+//! assert_eq!(circuit.num_gates(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, NetDriver};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::NetId;
+
+/// The five header counts of an AIGER file.
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    /// Maximum variable index.
+    m: u32,
+    /// Number of inputs.
+    i: u32,
+    /// Number of latches.
+    l: u32,
+    /// Number of outputs.
+    o: u32,
+    /// Number of AND gates.
+    a: u32,
+}
+
+fn parse_error(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_header(line: &str, line_no: usize, magic: &str) -> Result<Header, NetlistError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.first() != Some(&magic) {
+        return Err(parse_error(
+            line_no,
+            format!("expected `{magic} M I L O A` header, got `{line}`"),
+        ));
+    }
+    if tokens.len() != 6 {
+        return Err(parse_error(
+            line_no,
+            format!(
+                "header must have 5 counts (M I L O A), got {}",
+                tokens.len() - 1
+            ),
+        ));
+    }
+    let mut counts = [0u32; 5];
+    for (slot, token) in counts.iter_mut().zip(&tokens[1..]) {
+        *slot = token
+            .parse()
+            .map_err(|_| parse_error(line_no, format!("invalid header count `{token}`")))?;
+    }
+    let [m, i, l, o, a] = counts;
+    if u64::from(i) + u64::from(l) + u64::from(a) > u64::from(m) {
+        return Err(parse_error(
+            line_no,
+            format!("header claims {i} inputs + {l} latches + {a} ands > M = {m} variables"),
+        ));
+    }
+    Ok(Header { m, i, l, o, a })
+}
+
+/// Incremental circuit construction shared by the ascii and binary readers.
+struct AigBuilder {
+    builder: CircuitBuilder,
+    /// Net of each defined variable, indexed by variable (0 unused).
+    var_nets: Vec<Option<NetId>>,
+    /// Materialised NOT gates, keyed by odd literal.
+    not_nets: HashMap<u32, NetId>,
+    constants: [Option<NetId>; 2],
+    max_literal: u32,
+}
+
+impl AigBuilder {
+    fn new(name: impl Into<String>, header: &Header) -> AigBuilder {
+        AigBuilder {
+            builder: CircuitBuilder::new(name),
+            var_nets: vec![None; header.m as usize + 1],
+            not_nets: HashMap::new(),
+            constants: [None, None],
+            max_literal: 2 * header.m + 1,
+        }
+    }
+
+    fn check_literal(&self, lit: u32, line_no: usize) -> Result<(), NetlistError> {
+        if lit > self.max_literal {
+            return Err(parse_error(
+                line_no,
+                format!(
+                    "literal {lit} exceeds the header bound 2M+1 = {}",
+                    self.max_literal
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The net of an even literal's variable, forward-declaring `n<lit>` if
+    /// the variable has not been defined yet.
+    fn var_net(&mut self, var: u32) -> NetId {
+        let slot = &mut self.var_nets[var as usize];
+        match slot {
+            Some(net) => *net,
+            None => {
+                let net = self.builder.net(format!("n{}", 2 * var));
+                *slot = Some(net);
+                net
+            }
+        }
+    }
+
+    /// The net of any literal, materialising constants and NOT gates on
+    /// demand.
+    fn lit_net(&mut self, lit: u32, line_no: usize) -> Result<NetId, NetlistError> {
+        self.check_literal(lit, line_no)?;
+        if lit < 2 {
+            let slot = lit as usize;
+            return Ok(match self.constants[slot] {
+                Some(net) => net,
+                None => {
+                    let net = self
+                        .builder
+                        .constant(if lit == 0 { "const0" } else { "const1" }, lit == 1)
+                        .map_err(|e| parse_error(line_no, e.to_string()))?;
+                    self.constants[slot] = Some(net);
+                    net
+                }
+            });
+        }
+        if lit.is_multiple_of(2) {
+            return Ok(self.var_net(lit / 2));
+        }
+        if let Some(&net) = self.not_nets.get(&lit) {
+            return Ok(net);
+        }
+        let base = self.var_net(lit / 2);
+        let net = self
+            .builder
+            .gate(GateKind::Not, format!("n{lit}"), &[base])
+            .map_err(|e| parse_error(line_no, e.to_string()))?;
+        self.not_nets.insert(lit, net);
+        Ok(net)
+    }
+
+    fn declare_input(&mut self, lit: u32, line_no: usize) -> Result<(), NetlistError> {
+        self.check_literal(lit, line_no)?;
+        if lit < 2 || lit % 2 == 1 {
+            return Err(parse_error(
+                line_no,
+                format!("input literal must be even and non-constant, got {lit}"),
+            ));
+        }
+        let net = self
+            .builder
+            .try_primary_input(format!("n{lit}"))
+            .map_err(|e| parse_error(line_no, e.to_string()))?;
+        self.var_nets[(lit / 2) as usize] = Some(net);
+        Ok(())
+    }
+
+    /// Declares a latch and binds its next-state literal. Forward references
+    /// (next-state literals naming AND variables defined later in the file)
+    /// resolve through the builder's undriven-net placeholders.
+    fn define_latch(
+        &mut self,
+        q_lit: u32,
+        next_lit: u32,
+        line_no: usize,
+    ) -> Result<(), NetlistError> {
+        self.check_literal(q_lit, line_no)?;
+        if q_lit < 2 || q_lit % 2 == 1 {
+            return Err(parse_error(
+                line_no,
+                format!("latch literal must be even and non-constant, got {q_lit}"),
+            ));
+        }
+        let d = self.lit_net(next_lit, line_no)?;
+        let q = self
+            .builder
+            .try_flip_flop(format!("n{q_lit}"), d)
+            .map_err(|e| parse_error(line_no, e.to_string()))?;
+        self.var_nets[(q_lit / 2) as usize] = Some(q);
+        Ok(())
+    }
+
+    fn define_and(
+        &mut self,
+        lhs: u32,
+        rhs0: u32,
+        rhs1: u32,
+        line_no: usize,
+    ) -> Result<(), NetlistError> {
+        self.check_literal(lhs, line_no)?;
+        if lhs < 2 || lhs % 2 == 1 {
+            return Err(parse_error(
+                line_no,
+                format!("AND output literal must be even and non-constant, got {lhs}"),
+            ));
+        }
+        let in0 = self.lit_net(rhs0, line_no)?;
+        let in1 = self.lit_net(rhs1, line_no)?;
+        let out = self.var_net(lhs / 2);
+        self.builder
+            .gate_onto(out, GateKind::And, &[in0, in1])
+            .map_err(|e| parse_error(line_no, e.to_string()))?;
+        Ok(())
+    }
+
+    fn declare_output(&mut self, lit: u32, line_no: usize) -> Result<(), NetlistError> {
+        let net = self.lit_net(lit, line_no)?;
+        self.builder.primary_output(net);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Circuit, NetlistError> {
+        self.builder.finish()
+    }
+}
+
+/// Parses ascii AIGER (`.aag`) source text into a [`Circuit`].
+///
+/// Symbol-table entries and the comment section are accepted and ignored
+/// (nets keep their canonical literal-derived names).
+///
+/// # Errors
+///
+/// Returns line-numbered [`NetlistError::Parse`] errors for malformed input,
+/// or structural errors from circuit assembly.
+pub fn parse_ascii(source: &str, name: impl Into<String>) -> Result<Circuit, NetlistError> {
+    let mut lines = source.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let (line_no, header_line) = lines.next().ok_or_else(|| parse_error(1, "empty file"))?;
+    let header = parse_header(header_line, line_no, "aag")?;
+    let mut aig = AigBuilder::new(name, &header);
+
+    let mut next_line = |what: &str, after: usize| -> Result<(usize, &str), NetlistError> {
+        lines.next().ok_or_else(|| {
+            parse_error(after + 1, format!("unexpected end of file: missing {what}"))
+        })
+    };
+    let mut last = line_no;
+
+    for _ in 0..header.i {
+        let (line_no, line) = next_line("input line", last)?;
+        last = line_no;
+        let lit = parse_literal(line, line_no, "input")?;
+        aig.declare_input(lit, line_no)?;
+    }
+    for _ in 0..header.l {
+        let (line_no, line) = next_line("latch line", last)?;
+        last = line_no;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if !(2..=3).contains(&tokens.len()) {
+            return Err(parse_error(
+                line_no,
+                format!("latch line must be `current next [init]`, got `{line}`"),
+            ));
+        }
+        let q_lit = parse_literal(tokens[0], line_no, "latch")?;
+        let next_lit = parse_literal(tokens[1], line_no, "latch next-state")?;
+        if let Some(init) = tokens.get(2) {
+            check_latch_init(init, q_lit, line_no)?;
+        }
+        aig.define_latch(q_lit, next_lit, line_no)?;
+    }
+    let mut output_lits: Vec<(u32, usize)> = Vec::with_capacity(header.o as usize);
+    for _ in 0..header.o {
+        let (line_no, line) = next_line("output line", last)?;
+        last = line_no;
+        output_lits.push((parse_literal(line, line_no, "output")?, line_no));
+    }
+    for _ in 0..header.a {
+        let (line_no, line) = next_line("AND line", last)?;
+        last = line_no;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() != 3 {
+            return Err(parse_error(
+                line_no,
+                format!("AND line must be `lhs rhs0 rhs1`, got `{line}`"),
+            ));
+        }
+        let lhs = parse_literal(tokens[0], line_no, "AND output")?;
+        let rhs0 = parse_literal(tokens[1], line_no, "AND operand")?;
+        let rhs1 = parse_literal(tokens[2], line_no, "AND operand")?;
+        aig.define_and(lhs, rhs0, rhs1, line_no)?;
+    }
+    for (lit, line_no) in output_lits {
+        aig.declare_output(lit, line_no)?;
+    }
+    check_trailer(lines, header)?;
+    aig.finish()
+}
+
+/// Parses binary AIGER (`.aig`) bytes into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] errors (line numbers cover the ascii
+/// prefix; the binary AND section reports the line where it starts), or
+/// structural errors from circuit assembly.
+pub fn parse_binary(bytes: &[u8], name: impl Into<String>) -> Result<Circuit, NetlistError> {
+    let mut pos = 0usize;
+    let mut line_no = 0usize;
+    let next_line = |pos: &mut usize, line_no: &mut usize| -> Option<String> {
+        if *pos >= bytes.len() {
+            return None;
+        }
+        let end = bytes[*pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|k| *pos + k)
+            .unwrap_or(bytes.len());
+        let line = String::from_utf8_lossy(&bytes[*pos..end])
+            .trim()
+            .to_string();
+        *pos = (end + 1).min(bytes.len());
+        *line_no += 1;
+        Some(line)
+    };
+
+    let header_line =
+        next_line(&mut pos, &mut line_no).ok_or_else(|| parse_error(1, "empty file"))?;
+    let header = parse_header(&header_line, line_no, "aig")?;
+    if u64::from(header.i) + u64::from(header.l) + u64::from(header.a) != u64::from(header.m) {
+        return Err(parse_error(
+            line_no,
+            format!(
+                "binary AIGER requires M = I + L + A, got M = {} vs {}",
+                header.m,
+                header.i + header.l + header.a
+            ),
+        ));
+    }
+    let mut aig = AigBuilder::new(name, &header);
+
+    // Inputs are implicit in the binary format: variables 1..=I.
+    for k in 0..header.i {
+        aig.declare_input(2 * (k + 1), line_no)?;
+    }
+    // Latch lines carry only the next-state literal (and an optional init).
+    for k in 0..header.l {
+        let q_lit = 2 * (header.i + k + 1);
+        let line = next_line(&mut pos, &mut line_no).ok_or_else(|| {
+            parse_error(line_no + 1, "unexpected end of file: missing latch line")
+        })?;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if !(1..=2).contains(&tokens.len()) {
+            return Err(parse_error(
+                line_no,
+                format!("binary latch line must be `next [init]`, got `{line}`"),
+            ));
+        }
+        let next_lit = parse_literal(tokens[0], line_no, "latch next-state")?;
+        if let Some(init) = tokens.get(1) {
+            check_latch_init(init, q_lit, line_no)?;
+        }
+        aig.define_latch(q_lit, next_lit, line_no)?;
+    }
+    let mut output_lits: Vec<(u32, usize)> = Vec::with_capacity(header.o as usize);
+    for _ in 0..header.o {
+        let line = next_line(&mut pos, &mut line_no).ok_or_else(|| {
+            parse_error(line_no + 1, "unexpected end of file: missing output line")
+        })?;
+        output_lits.push((parse_literal(&line, line_no, "output")?, line_no));
+    }
+
+    // The delta-compressed AND section: lhs is implicit (2(I+L+k+1)), and
+    // each gate stores lhs-rhs0 and rhs0-rhs1 as 7-bit little-endian
+    // varints.
+    let and_section_line = line_no + 1;
+    for k in 0..header.a {
+        let lhs = 2 * (header.i + header.l + k + 1);
+        let delta0 = read_varint(bytes, &mut pos)
+            .ok_or_else(|| parse_error(and_section_line, "truncated binary AND section"))?;
+        let delta1 = read_varint(bytes, &mut pos)
+            .ok_or_else(|| parse_error(and_section_line, "truncated binary AND section"))?;
+        let rhs0 = u64::from(lhs).checked_sub(delta0).ok_or_else(|| {
+            parse_error(
+                and_section_line,
+                format!("AND delta underflows literal {lhs}"),
+            )
+        })?;
+        let rhs1 = rhs0.checked_sub(delta1).ok_or_else(|| {
+            parse_error(
+                and_section_line,
+                format!("AND delta underflows literal {lhs}"),
+            )
+        })?;
+        aig.define_and(lhs, rhs0 as u32, rhs1 as u32, and_section_line)?;
+    }
+    for (lit, line_no) in output_lits {
+        aig.declare_output(lit, line_no)?;
+    }
+    // Trailer: symbol table and comment section, ascii again.
+    line_no = and_section_line;
+    let mut trailer = Vec::new();
+    while let Some(line) = next_line(&mut pos, &mut line_no) {
+        trailer.push((line_no, line));
+    }
+    check_trailer(trailer.iter().map(|(n, l)| (*n, l.as_str())), header)?;
+    aig.finish()
+}
+
+/// Validates the symbol table + comment trailer (entries are ignored).
+fn check_trailer<'a>(
+    lines: impl Iterator<Item = (usize, &'a str)>,
+    header: Header,
+) -> Result<(), NetlistError> {
+    let mut in_comment = false;
+    for (line_no, line) in lines {
+        if in_comment || line.is_empty() {
+            continue;
+        }
+        if line == "c" {
+            in_comment = true;
+            continue;
+        }
+        let (kind, rest) = line.split_at(1);
+        let bound = match kind {
+            "i" => header.i,
+            "l" => header.l,
+            "o" => header.o,
+            _ => {
+                return Err(parse_error(
+                    line_no,
+                    format!("expected symbol entry or comment section, got `{line}`"),
+                ));
+            }
+        };
+        let (index, _name) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| parse_error(line_no, format!("malformed symbol entry `{line}`")))?;
+        let index: u32 = index
+            .parse()
+            .map_err(|_| parse_error(line_no, format!("malformed symbol entry `{line}`")))?;
+        if index >= bound {
+            return Err(parse_error(
+                line_no,
+                format!("symbol index {index} out of range (bound {bound})"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_literal(token: &str, line_no: usize, what: &str) -> Result<u32, NetlistError> {
+    token.trim().parse().map_err(|_| {
+        parse_error(
+            line_no,
+            format!("invalid {what} literal `{}`", token.trim()),
+        )
+    })
+}
+
+fn check_latch_init(init: &str, q_lit: u32, line_no: usize) -> Result<(), NetlistError> {
+    let value: u32 = init
+        .parse()
+        .map_err(|_| parse_error(line_no, format!("invalid latch init `{init}`")))?;
+    if !(value == 0 || value == 1 || value == q_lit) {
+        return Err(parse_error(
+            line_no,
+            format!("latch init must be 0, 1 or the latch literal, got {value}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Reads one 7-bit little-endian varint (high bit = continuation).
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    for shift in 0..10 {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        value |= u64::from(byte & 0x7f) << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+    }
+    None
+}
+
+fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// The literal assignment shared by the two writers: inputs, then latches,
+/// then AND vars in topological order (wide ANDs chained through fresh
+/// vars). NOT and BUF gates become literal arithmetic.
+struct Encoding {
+    header: Header,
+    latch_next: Vec<u32>,
+    outputs: Vec<u32>,
+    /// `(lhs, rhs0, rhs1)` with `lhs > rhs0 >= rhs1`, in lhs order.
+    ands: Vec<(u32, u32, u32)>,
+}
+
+fn encode(circuit: &Circuit) -> Result<Encoding, NetlistError> {
+    let unsupported = |kind: GateKind| NetlistError::Parse {
+        line: 0,
+        message: format!(
+            "cannot export {kind:?} gate to AIGER (AND/NOT/BUF only; \
+             re-synthesise the netlist first)"
+        ),
+    };
+    let mut lit_of_net: Vec<Option<u32>> = vec![None; circuit.num_nets()];
+    let mut next_var: u32 = 1;
+    for &pi in circuit.primary_inputs() {
+        lit_of_net[pi.index()] = Some(2 * next_var);
+        next_var += 1;
+    }
+    for ff in circuit.flip_flops() {
+        lit_of_net[ff.q().index()] = Some(2 * next_var);
+        next_var += 1;
+    }
+    for net in circuit.nets() {
+        if let NetDriver::Constant(v) = net.driver() {
+            lit_of_net[net.id().index()] = Some(u32::from(v));
+        }
+    }
+    let mut ands: Vec<(u32, u32, u32)> = Vec::with_capacity(circuit.num_gates());
+    for &gid in circuit.topological_order() {
+        let gate = circuit.gate(gid);
+        let ins: Vec<u32> = gate
+            .inputs()
+            .iter()
+            .map(|n| lit_of_net[n.index()].expect("topological order"))
+            .collect();
+        let out_lit = match gate.kind() {
+            GateKind::Not => ins[0] ^ 1,
+            GateKind::Buf => ins[0],
+            GateKind::And => {
+                let mut acc = ins[0];
+                for &rhs in &ins[1..] {
+                    let lhs = 2 * next_var;
+                    next_var += 1;
+                    ands.push((lhs, acc.max(rhs), acc.min(rhs)));
+                    acc = lhs;
+                }
+                acc
+            }
+            other => return Err(unsupported(other)),
+        };
+        lit_of_net[gate.output().index()] = Some(out_lit);
+    }
+    let lit = |net: NetId| lit_of_net[net.index()].expect("driven net");
+    Ok(Encoding {
+        header: Header {
+            m: next_var - 1,
+            i: circuit.num_primary_inputs() as u32,
+            l: circuit.num_flip_flops() as u32,
+            o: circuit.num_primary_outputs() as u32,
+            a: ands.len() as u32,
+        },
+        latch_next: circuit.flip_flops().iter().map(|ff| lit(ff.d())).collect(),
+        outputs: circuit
+            .primary_outputs()
+            .iter()
+            .map(|&po| lit(po))
+            .collect(),
+        ands,
+    })
+}
+
+/// Serialises an AND/NOT/BUF circuit to ascii AIGER (`.aag`).
+///
+/// # Errors
+///
+/// Rejects circuits containing other gate kinds.
+pub fn write_ascii(circuit: &Circuit) -> Result<String, NetlistError> {
+    let enc = encode(circuit)?;
+    let h = enc.header;
+    let mut out = String::new();
+    let _ = writeln!(out, "aag {} {} {} {} {}", h.m, h.i, h.l, h.o, h.a);
+    for k in 0..h.i {
+        let _ = writeln!(out, "{}", 2 * (k + 1));
+    }
+    for (k, &next) in enc.latch_next.iter().enumerate() {
+        let _ = writeln!(out, "{} {next}", 2 * (h.i + k as u32 + 1));
+    }
+    for &po in &enc.outputs {
+        let _ = writeln!(out, "{po}");
+    }
+    for &(lhs, rhs0, rhs1) in &enc.ands {
+        let _ = writeln!(out, "{lhs} {rhs0} {rhs1}");
+    }
+    let _ = writeln!(out, "c\n{}", circuit.name());
+    Ok(out)
+}
+
+/// Serialises an AND/NOT/BUF circuit to binary AIGER (`.aig`).
+///
+/// # Errors
+///
+/// Rejects circuits containing other gate kinds.
+pub fn write_binary(circuit: &Circuit) -> Result<Vec<u8>, NetlistError> {
+    let enc = encode(circuit)?;
+    let h = enc.header;
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("aig {} {} {} {} {}\n", h.m, h.i, h.l, h.o, h.a).as_bytes());
+    for &next in &enc.latch_next {
+        out.extend_from_slice(format!("{next}\n").as_bytes());
+    }
+    for &po in &enc.outputs {
+        out.extend_from_slice(format!("{po}\n").as_bytes());
+    }
+    for &(lhs, rhs0, rhs1) in &enc.ands {
+        debug_assert!(lhs > rhs0 && rhs0 >= rhs1);
+        write_varint(&mut out, u64::from(lhs - rhs0));
+        write_varint(&mut out, u64::from(rhs0 - rhs1));
+    }
+    out.extend_from_slice(b"c\n");
+    out.extend_from_slice(circuit.name().as_bytes());
+    out.push(b'\n');
+    Ok(out)
+}
+
+/// Reads and parses an AIGER file, dispatching on the `aag`/`aig` magic in
+/// the header (not the extension). The circuit name is derived from the file
+/// stem.
+///
+/// # Errors
+///
+/// Propagates I/O errors and all parse/structural errors.
+pub fn parse_file(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_string();
+    if bytes.starts_with(b"aig ") {
+        parse_binary(&bytes, name)
+    } else {
+        let source = std::str::from_utf8(&bytes)
+            .map_err(|_| parse_error(0, "ascii AIGER source is not valid UTF-8"))?;
+        parse_ascii(source, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// toggle: latch q; d = NOT q is encoded as next = q_lit ^ 1.
+    const TOGGLE: &str = "aag 1 0 1 1 0\n2 3\n2\n";
+
+    #[test]
+    fn parse_toggle_latch() {
+        let c = parse_ascii(TOGGLE, "toggle").unwrap();
+        assert_eq!(c.num_flip_flops(), 1);
+        assert_eq!(c.num_gates(), 1); // the materialised NOT
+        assert_eq!(c.gates()[0].kind(), GateKind::Not);
+        assert_eq!(c.num_primary_outputs(), 1);
+    }
+
+    #[test]
+    fn parse_and_gate_with_inverted_output() {
+        // nand: o = NOT(a AND b)
+        let src = "aag 3 2 0 1 1\n2\n4\n7\n6 2 4\n";
+        let c = parse_ascii(src, "nand").unwrap();
+        assert_eq!(c.num_gates(), 2); // AND + NOT
+        let kinds: Vec<GateKind> = c.gates().iter().map(|g| g.kind()).collect();
+        assert!(kinds.contains(&GateKind::And));
+        assert!(kinds.contains(&GateKind::Not));
+    }
+
+    #[test]
+    fn constants_materialise() {
+        // output literal 1 (constant true), plus an AND with constant 0.
+        let src = "aag 2 1 0 2 1\n2\n1\n4\n4 2 0\n";
+        let c = parse_ascii(src, "k").unwrap();
+        assert!(c
+            .nets()
+            .iter()
+            .any(|n| matches!(n.driver(), NetDriver::Constant(true))));
+        assert!(c
+            .nets()
+            .iter()
+            .any(|n| matches!(n.driver(), NetDriver::Constant(false))));
+    }
+
+    #[test]
+    fn symbol_table_and_comments_are_tolerated() {
+        let src = "aag 1 1 0 1 0\n2\n2\ni0 enable\no0 out\nc\nanything goes here\n";
+        let c = parse_ascii(src, "sym").unwrap();
+        assert_eq!(c.num_primary_inputs(), 1);
+    }
+
+    #[test]
+    fn shared_inverters_are_materialised_once() {
+        // two outputs of the same complemented literal
+        let src = "aag 1 1 0 2 0\n2\n3\n3\n";
+        let c = parse_ascii(src, "shared").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn ascii_round_trip_preserves_structure() {
+        let src = "aag 5 2 1 1 2\n2\n4\n6 11\n10\n8 2 4\n10 8 7\n";
+        let c = parse_ascii(src, "rt").unwrap();
+        let text = write_ascii(&c).unwrap();
+        let back = parse_ascii(&text, "rt").unwrap();
+        assert_eq!(back.stats(), c.stats());
+        let kinds = |c: &Circuit| {
+            let mut v: Vec<GateKind> = c.gates().iter().map(|g| g.kind()).collect();
+            v.sort_by_key(|k| format!("{k:?}"));
+            v
+        };
+        assert_eq!(kinds(&back), kinds(&c));
+    }
+
+    #[test]
+    fn binary_round_trip_matches_ascii() {
+        let src = "aag 5 2 1 1 2\n2\n4\n6 11\n10\n8 2 4\n10 8 7\n";
+        let c = parse_ascii(src, "rt").unwrap();
+        let bytes = write_binary(&c).unwrap();
+        assert!(bytes.starts_with(b"aig "));
+        let back = parse_binary(&bytes, "rt").unwrap();
+        assert_eq!(back.stats(), c.stats());
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        for value in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(value));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn wide_and_export_chains() {
+        let mut b = CircuitBuilder::new("wide");
+        let ins: Vec<_> = (0..4).map(|k| b.primary_input(format!("i{k}"))).collect();
+        let x = b.gate(GateKind::And, "x", &ins).unwrap();
+        b.primary_output(x);
+        let c = b.finish().unwrap();
+        let text = write_ascii(&c).unwrap();
+        let back = parse_ascii(&text, "wide").unwrap();
+        // 4-input AND chains into 3 two-input ANDs.
+        assert_eq!(back.num_gates(), 3);
+        assert!(back.gates().iter().all(|g| g.kind() == GateKind::And));
+    }
+
+    #[test]
+    fn xor_export_is_rejected() {
+        let mut b = CircuitBuilder::new("x");
+        let a = b.primary_input("a");
+        let b2 = b.primary_input("b");
+        let x = b.gate(GateKind::Xor, "x", &[a, b2]).unwrap();
+        b.primary_output(x);
+        let c = b.finish().unwrap();
+        assert!(write_ascii(&c).is_err());
+        assert!(write_binary(&c).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_both_forms() {
+        let c = parse_ascii(TOGGLE, "toggle").unwrap();
+        let dir = std::env::temp_dir();
+        let aag = dir.join("netlist_aiger_roundtrip_test.aag");
+        std::fs::write(&aag, write_ascii(&c).unwrap()).unwrap();
+        let c2 = parse_file(&aag).unwrap();
+        assert_eq!(c2.stats(), c.stats());
+        std::fs::remove_file(&aag).ok();
+
+        let aig = dir.join("netlist_aiger_roundtrip_test.aig");
+        std::fs::write(&aig, write_binary(&c).unwrap()).unwrap();
+        let c3 = parse_file(&aig).unwrap();
+        assert_eq!(c3.stats(), c.stats());
+        std::fs::remove_file(&aig).ok();
+    }
+
+    /// The malformed-input battery, matching the `.bench`/BLIF hardening
+    /// style: every broken shape is rejected with the offending line number.
+    #[test]
+    fn malformed_input_battery() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("aag 1 1 0 0\n2\n", 1, "four header counts"),
+            ("aag x 1 0 0 0\n", 1, "non-numeric count"),
+            ("bogus 1 1 0 0 0\n2\n", 1, "wrong magic"),
+            ("aag 1 2 0 0 0\n2\n4\n", 1, "counts exceed M"),
+            ("aag 2 1 0 1 0\n3\n2\n", 2, "odd input literal"),
+            ("aag 2 1 0 1 0\n0\n2\n", 2, "constant input literal"),
+            ("aag 1 1 0 1 0\n2\n9\n", 3, "output exceeds 2M+1"),
+            ("aag 1 1 0 1 0\n2\n", 3, "missing output line"),
+            ("aag 2 1 1 0 0\n2\n2 2\n", 3, "latch redefines input"),
+            ("aag 2 1 1 0 0\n2\n4 2 5\n", 3, "bad latch init"),
+            ("aag 3 2 0 0 1\n2\n4\n6 2\n", 4, "two-token AND line"),
+            ("aag 3 2 0 0 1\n2\n4\n7 2 4\n", 4, "odd AND output"),
+            ("aag 3 2 0 0 1\n2\n4\n6 2 4\nzz\n", 5, "bad symbol entry"),
+            ("aag 1 1 0 0 0\n2\ni7 name\n", 3, "symbol index range"),
+            ("aig 3 1 0 0 1\n", 1, "binary M != I+L+A"),
+        ];
+        for &(src, line, what) in cases {
+            let result = if src.starts_with("aig") {
+                parse_binary(src.as_bytes(), "battery")
+            } else {
+                parse_ascii(src, "battery")
+            };
+            match result {
+                Err(NetlistError::Parse { line: got, message }) => {
+                    assert_eq!(got, line, "{what}: wrong line ({message})");
+                }
+                other => panic!("{what}: expected a line-numbered parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_binary_and_section() {
+        // header claims one AND gate but provides no delta bytes
+        let err = parse_binary(b"aig 3 2 0 0 1\n", "t").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+        assert!(err.to_string().contains("truncated"));
+    }
+}

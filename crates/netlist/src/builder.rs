@@ -193,15 +193,17 @@ impl CircuitBuilder {
     /// Returns [`NetlistError::UnboundFlipFlop`] if `q` is not a flip-flop
     /// output created by this builder.
     pub fn bind_flip_flop(&mut self, q: NetId, d: NetId) -> Result<(), NetlistError> {
-        let ff = self
-            .flip_flops
-            .iter_mut()
-            .find(|ff| ff.q == q)
-            .ok_or_else(|| NetlistError::UnboundFlipFlop {
+        // `q`'s driver records the flip-flop id, so the lookup is O(1) — a
+        // linear scan here would make megagate construction quadratic.
+        match self.nets[q.index()].driver {
+            Some(NetDriver::FlipFlop(ff_id)) => {
+                self.flip_flops[ff_id.index()].d = Some(d);
+                Ok(())
+            }
+            _ => Err(NetlistError::UnboundFlipFlop {
                 name: self.nets[q.index()].name.clone(),
-            })?;
-        ff.d = Some(d);
-        Ok(())
+            }),
+        }
     }
 
     /// Creates a gate driving a freshly named net and returns that net.
@@ -325,6 +327,9 @@ impl CircuitBuilder {
             flip_flops,
             self.primary_inputs,
             self.primary_outputs,
+            // Hand the builder's name index over instead of re-cloning every
+            // net name during assembly.
+            self.by_name,
         )
     }
 }

@@ -145,10 +145,13 @@ impl Circuit {
         flip_flops: Vec<FlipFlop>,
         primary_inputs: Vec<NetId>,
         primary_outputs: Vec<NetId>,
+        name_to_net: HashMap<String, NetId>,
     ) -> Result<Self, NetlistError> {
-        let name_to_net: HashMap<String, NetId> =
-            nets.iter().map(|n| (n.name.clone(), n.id)).collect();
-
+        debug_assert_eq!(
+            name_to_net.len(),
+            nets.len(),
+            "name index must cover every net"
+        );
         let (topo_order, gate_levels) = levelize(&nets, &gates)?;
         let fanout_counts = fanout_counts(nets.len(), &gates, &flip_flops);
 
@@ -270,6 +273,12 @@ impl Circuit {
     /// Gates of the combinational part in topological (fanin-before-fanout)
     /// order. Evaluating gates in this order yields a correct zero-delay
     /// evaluation of the combinational logic.
+    ///
+    /// The order is additionally **level-sorted**: gates appear in
+    /// non-decreasing [`gate_level`](Circuit::gate_level) order, with each
+    /// level forming one contiguous run. The FIFO worklist in `levelize`
+    /// guarantees this (a gate's release wave equals its longest-path
+    /// level), and the compiled IR's level partitioning relies on it.
     #[inline]
     pub fn topological_order(&self) -> &[GateId] {
         &self.topo_order
@@ -337,11 +346,26 @@ impl Circuit {
 /// create edges back into the combinational graph.
 fn levelize(nets: &[Net], gates: &[Gate]) -> Result<(Vec<GateId>, Vec<u32>), NetlistError> {
     let mut indegree: Vec<u32> = vec![0; gates.len()];
-    // For each net, which gates consume it.
-    let mut consumers: Vec<Vec<GateId>> = vec![Vec::new(); nets.len()];
+    // For each net, which gates consume it — CSR adjacency (two flat arrays)
+    // rather than a Vec per net, so levelising a megagate circuit costs two
+    // O(pins) passes and no per-net allocations.
+    let mut consumer_offsets: Vec<u32> = vec![0; nets.len() + 1];
     for gate in gates {
         for &input in &gate.inputs {
-            consumers[input.index()].push(gate.id);
+            consumer_offsets[input.index() + 1] += 1;
+        }
+    }
+    for i in 1..consumer_offsets.len() {
+        consumer_offsets[i] += consumer_offsets[i - 1];
+    }
+    let num_pins = *consumer_offsets.last().unwrap() as usize;
+    let mut consumers: Vec<GateId> = vec![GateId(0); num_pins];
+    let mut cursor: Vec<u32> = consumer_offsets[..nets.len()].to_vec();
+    for gate in gates {
+        for &input in &gate.inputs {
+            let slot = &mut cursor[input.index()];
+            consumers[*slot as usize] = gate.id;
+            *slot += 1;
         }
     }
     for gate in gates {
@@ -355,11 +379,16 @@ fn levelize(nets: &[Net], gates: &[Gate]) -> Result<(Vec<GateId>, Vec<u32>), Net
     }
 
     let mut levels: Vec<u32> = vec![0; gates.len()];
-    let mut ready: Vec<GateId> = gates
-        .iter()
-        .filter(|g| indegree[g.id.index()] == 0)
-        .map(|g| g.id)
-        .collect();
+    // FIFO worklist: `ready` doubles as the output order. The FIFO discipline
+    // makes the order level-sorted (see `Circuit::topological_order`), which
+    // downstream compilation depends on.
+    let mut ready: Vec<GateId> = Vec::with_capacity(gates.len());
+    ready.extend(
+        gates
+            .iter()
+            .filter(|g| indegree[g.id.index()] == 0)
+            .map(|g| g.id),
+    );
     let mut order: Vec<GateId> = Vec::with_capacity(gates.len());
 
     let mut head = 0;
@@ -368,8 +397,9 @@ fn levelize(nets: &[Net], gates: &[Gate]) -> Result<(Vec<GateId>, Vec<u32>), Net
         head += 1;
         order.push(gid);
         let gate = &gates[gid.index()];
-        let out_net = gate.output;
-        for &consumer in &consumers[out_net.index()] {
+        let out = gate.output.index();
+        let run = consumer_offsets[out] as usize..consumer_offsets[out + 1] as usize;
+        for &consumer in &consumers[run] {
             let cidx = consumer.index();
             levels[cidx] = levels[cidx].max(levels[gid.index()] + 1);
             indegree[cidx] -= 1;
@@ -378,6 +408,12 @@ fn levelize(nets: &[Net], gates: &[Gate]) -> Result<(Vec<GateId>, Vec<u32>), Net
             }
         }
     }
+    debug_assert!(
+        order
+            .windows(2)
+            .all(|w| levels[w[0].index()] <= levels[w[1].index()]),
+        "FIFO levelisation must emit a level-sorted order"
+    );
 
     if order.len() != gates.len() {
         // Some gates were never released: a combinational cycle exists.

@@ -14,6 +14,20 @@
 //! bit-parallel simulator in the `logicsim` crate: the instruction encoding
 //! is value-type agnostic (a net value may be a `bool` or a 64-lane `u64`
 //! word).
+//!
+//! # Memory model
+//!
+//! At million-gate scale the instruction stream *is* the working set, so the
+//! encoding is packed: an [`Instruction`] is 12 bytes (two `u32` net/pool
+//! indices, a `u8` opcode, a `u8` fanin and a `u16` level tag), matching the
+//! 12-byte inline-gate discipline of the event-driven wheel. Operands live in
+//! one shared `u32` pool (4 bytes per gate pin, no per-gate `Vec`), and the
+//! level structure of the stream is a single offsets array
+//! ([`CompiledCircuit::level_offsets`]). [`CompiledCircuit::memory_footprint`]
+//! reports the resulting bytes/gate; a fanin-2 netlist compiles to ~20
+//! bytes/gate. Compilation pre-sizes every buffer from circuit statistics and
+//! walks the topological order once, so peak RSS stays O(gates) with no
+//! reallocation spikes.
 
 use crate::circuit::{Circuit, NetDriver};
 use crate::delay::GateDelays;
@@ -22,7 +36,7 @@ use crate::gate::GateKind;
 /// The logic operation of one [`Instruction`].
 ///
 /// One-to-one with [`GateKind`], but `#[repr(u8)]` and free of the gate
-/// bookkeeping so a decoded instruction fits in 16 bytes.
+/// bookkeeping so a decoded instruction fits in 12 bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 #[repr(u8)]
 pub enum Opcode {
@@ -62,17 +76,78 @@ impl From<GateKind> for Opcode {
 /// One gate evaluation in the flat program: apply `opcode` to the operand
 /// net indices `operands[first_operand .. first_operand + num_operands]` and
 /// write the result to net index `output`.
+///
+/// Packed to 12 bytes (4-byte aligned) so a megagate program streams through
+/// cache: fanin is capped at 255 (compilation panics beyond that — real
+/// netlists top out around fanin 10) and the level tag saturates at
+/// `u16::MAX` (partition boundaries come from
+/// [`CompiledCircuit::level_offsets`], which is exact; the inline tag is a
+/// convenience for diagnostics and tiling heuristics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Instruction {
-    /// The logic operation.
-    pub opcode: Opcode,
     /// Dense index of the output net.
     pub output: u32,
     /// Start of this instruction's operand run in
     /// [`CompiledCircuit::operands`].
     pub first_operand: u32,
+    /// The logic operation.
+    pub opcode: Opcode,
     /// Number of operands (≥ 1; exactly 1 for `Not`/`Buf`).
-    pub num_operands: u32,
+    pub num_operands: u8,
+    /// Topological level of the source gate, saturated at `u16::MAX`.
+    pub level: u16,
+}
+
+/// The packed layout is the point — fail compilation if it regresses.
+const _: () = assert!(std::mem::size_of::<Instruction>() == 12);
+const _: () = assert!(std::mem::align_of::<Instruction>() == 4);
+
+/// Byte-accounting of one [`CompiledCircuit`], as reported by
+/// [`CompiledCircuit::memory_footprint`]. All figures are the sizes of the
+/// backing arrays (capacity is trimmed to length at the end of compilation,
+/// so these equal the resident footprint of the program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemoryFootprint {
+    /// Number of instructions (= combinational gates).
+    pub num_gates: usize,
+    /// Bytes of the instruction stream (12 per gate).
+    pub instruction_bytes: usize,
+    /// Bytes of the shared operand pool (4 per gate pin).
+    pub operand_bytes: usize,
+    /// Bytes of the index tables: flip-flop pairs, primary inputs, constants
+    /// and level offsets.
+    pub index_bytes: usize,
+    /// Bytes of the per-instruction delay annotation (0 when unannotated).
+    pub delay_bytes: usize,
+    /// Sum of the above.
+    pub total_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total bytes per combinational gate (0.0 for an empty program).
+    pub fn bytes_per_gate(&self) -> f64 {
+        if self.num_gates == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.num_gates as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} gates, {} bytes total ({:.1} bytes/gate: {} instr + {} operand + {} index + {} delay)",
+            self.num_gates,
+            self.total_bytes,
+            self.bytes_per_gate(),
+            self.instruction_bytes,
+            self.operand_bytes,
+            self.index_bytes,
+            self.delay_bytes
+        )
+    }
 }
 
 /// A [`Circuit`] lowered to a flat instruction stream plus the dense index
@@ -92,6 +167,11 @@ pub struct CompiledCircuit {
     primary_inputs: Vec<u32>,
     /// `(net, value)` pairs for constant-driven nets.
     constants: Vec<(u32, bool)>,
+    /// Instruction-index boundaries of the topological levels:
+    /// `level_offsets[l]..level_offsets[l + 1]` is the run of level-`l`
+    /// instructions. Length is `num_levels + 1` (just `[0]` for an empty
+    /// program).
+    level_offsets: Vec<u32>,
     /// Per-instruction propagation delays in picoseconds (one per
     /// instruction, in instruction order), or empty when the program carries
     /// no delay annotation. See [`compile_with_delays`]
@@ -103,20 +183,52 @@ pub struct CompiledCircuit {
 
 impl CompiledCircuit {
     /// Lowers `circuit` into the flat form. The compilation walks the
-    /// topological order once; cost is linear in the number of gate pins.
+    /// topological order once; cost is linear in the number of gate pins, and
+    /// every buffer is pre-sized from circuit statistics so the peak
+    /// allocation equals the final footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate has more than 255 inputs (the packed
+    /// [`Instruction`] fanin limit).
     pub fn compile(circuit: &Circuit) -> Self {
+        let num_pins: usize = circuit.gates().iter().map(|g| g.fanin()).sum();
         let mut instructions = Vec::with_capacity(circuit.num_gates());
-        let mut operands = Vec::new();
+        let mut operands = Vec::with_capacity(num_pins);
+        let mut level_offsets = Vec::with_capacity(circuit.depth() + 1);
+        level_offsets.push(0u32);
         for &gid in circuit.topological_order() {
             let gate = circuit.gate(gid);
+            let level = circuit.gate_level(gid);
+            // The FIFO topological sort releases gates wave by wave, and the
+            // wave number obeys the same recurrence as the longest-path
+            // level, so the instruction stream is level-sorted and the level
+            // runs are contiguous.
+            debug_assert!(
+                level + 1 >= level_offsets.len() as u32,
+                "topological order must be level-sorted"
+            );
+            while (level_offsets.len() as u32) <= level {
+                level_offsets.push(instructions.len() as u32);
+            }
+            let fanin = gate.fanin();
+            assert!(
+                fanin <= usize::from(u8::MAX),
+                "gate fanin {fanin} exceeds the compiled IR limit of 255 (net `{}`)",
+                circuit.net(gate.output()).name()
+            );
             let first_operand = operands.len() as u32;
             operands.extend(gate.inputs().iter().map(|n| n.index() as u32));
             instructions.push(Instruction {
-                opcode: gate.kind().into(),
                 output: gate.output().index() as u32,
                 first_operand,
-                num_operands: gate.fanin() as u32,
+                opcode: gate.kind().into(),
+                num_operands: fanin as u8,
+                level: level.min(u32::from(u16::MAX)) as u16,
             });
+        }
+        if !instructions.is_empty() {
+            level_offsets.push(instructions.len() as u32);
         }
         let flip_flops = circuit
             .flip_flops()
@@ -143,6 +255,7 @@ impl CompiledCircuit {
             flip_flops,
             primary_inputs,
             constants,
+            level_offsets,
             delays_ps: Vec::new(),
             critical_path_ps: 0,
         }
@@ -215,6 +328,43 @@ impl CompiledCircuit {
     #[inline]
     pub fn constants(&self) -> &[(u32, bool)] {
         &self.constants
+    }
+
+    /// Instruction-index boundaries of the topological levels: level `l`
+    /// occupies instructions `level_offsets()[l] .. level_offsets()[l + 1]`.
+    /// Instructions within one level have no data dependencies on each
+    /// other, which is what makes partitioned (tiled) evaluation legal.
+    #[inline]
+    pub fn level_offsets(&self) -> &[u32] {
+        &self.level_offsets
+    }
+
+    /// Number of topological levels (the combinational depth).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.level_offsets.len().saturating_sub(1)
+    }
+
+    /// Byte-accounting of the program's backing arrays. The headline number
+    /// is [`MemoryFootprint::bytes_per_gate`]; the target for this IR is
+    /// ≤ 24 bytes/gate on fanin-≤3 netlists.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        use std::mem::size_of;
+        let instruction_bytes = self.instructions.len() * size_of::<Instruction>();
+        let operand_bytes = self.operands.len() * size_of::<u32>();
+        let index_bytes = self.flip_flops.len() * size_of::<(u32, u32)>()
+            + self.primary_inputs.len() * size_of::<u32>()
+            + self.constants.len() * size_of::<(u32, bool)>()
+            + self.level_offsets.len() * size_of::<u32>();
+        let delay_bytes = self.delays_ps.len() * size_of::<u64>();
+        MemoryFootprint {
+            num_gates: self.instructions.len(),
+            instruction_bytes,
+            operand_bytes,
+            index_bytes,
+            delay_bytes,
+            total_bytes: instruction_bytes + operand_bytes + index_bytes + delay_bytes,
+        }
     }
 
     /// Whether this program carries a delay annotation
@@ -308,6 +458,58 @@ mod tests {
         let delays: GateDelays = DelayModel::Unit(1).annotate(&small);
         let other = iscas89::load("s298").unwrap();
         let _ = CompiledCircuit::compile_with_delays(&other, &delays);
+    }
+
+    #[test]
+    fn level_offsets_partition_the_stream() {
+        for name in ["s27", "s298", "s641"] {
+            let c = iscas89::load(name).unwrap();
+            let p = CompiledCircuit::compile(&c);
+            let offsets = p.level_offsets();
+            assert_eq!(p.num_levels(), c.depth());
+            assert_eq!(offsets.len(), c.depth() + 1);
+            assert_eq!(offsets[0], 0);
+            assert_eq!(*offsets.last().unwrap() as usize, p.instructions().len());
+            assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+            for level in 0..p.num_levels() {
+                for index in offsets[level] as usize..offsets[level + 1] as usize {
+                    let gid = c.topological_order()[index];
+                    assert_eq!(c.gate_level(gid) as usize, level);
+                    assert_eq!(p.instructions()[index].level as usize, level);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_program_has_no_levels() {
+        let mut b = CircuitBuilder::new("wires");
+        let a = b.primary_input("a");
+        b.primary_output(a);
+        let p = CompiledCircuit::compile(&b.finish().unwrap());
+        assert_eq!(p.num_levels(), 0);
+        assert_eq!(p.level_offsets(), &[0]);
+        assert_eq!(p.memory_footprint().bytes_per_gate(), 0.0);
+    }
+
+    #[test]
+    fn memory_footprint_accounts_every_array() {
+        let c = iscas89::load("s298").unwrap();
+        let p = CompiledCircuit::compile(&c);
+        let fp = p.memory_footprint();
+        assert_eq!(fp.num_gates, c.num_gates());
+        assert_eq!(fp.instruction_bytes, 12 * c.num_gates());
+        assert_eq!(fp.operand_bytes, 4 * p.operands().len());
+        assert_eq!(fp.delay_bytes, 0);
+        assert_eq!(
+            fp.total_bytes,
+            fp.instruction_bytes + fp.operand_bytes + fp.index_bytes
+        );
+        // The packed IR target: instruction + operand cost stays within 24
+        // bytes/gate for the fanin-≤3 catalogue circuits.
+        let core = (fp.instruction_bytes + fp.operand_bytes) as f64 / fp.num_gates as f64;
+        assert!(core <= 24.0, "core IR is {core:.1} bytes/gate");
+        assert!(fp.to_string().contains("bytes/gate"));
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! This crate is the structural substrate of the DIPE reproduction: it defines
 //! how circuits are represented in memory, how they are read from and written
-//! to the ISCAS'89 `.bench` format, and how synthetic benchmark circuits with
-//! prescribed size profiles are generated when the original netlists are not
-//! available.
+//! to the supported netlist formats (ISCAS'89 `.bench`, BLIF, and ascii or
+//! binary AIGER — see [`NetlistFormat`]), and how synthetic benchmark circuits
+//! with prescribed size profiles are generated when the original netlists are
+//! not available.
 //!
 //! # Model
 //!
@@ -44,17 +45,21 @@ mod delay;
 mod error;
 mod gate;
 
+pub mod aiger;
 pub mod bench_format;
+pub mod blif;
 pub mod compiled;
 pub mod generator;
 pub mod iscas89;
+pub mod source;
 
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, CircuitStats, FlipFlop, Net, NetDriver};
-pub use compiled::{CompiledCircuit, Instruction, Opcode};
+pub use compiled::{CompiledCircuit, Instruction, MemoryFootprint, Opcode};
 pub use delay::{DelayModel, GateDelays};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind};
+pub use source::{load_path, FileSource, NetlistFormat, NetlistSource, TextSource};
 
 /// Identifier of a net (a named signal) within a [`Circuit`].
 ///

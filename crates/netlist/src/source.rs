@@ -1,0 +1,361 @@
+//! Uniform access to the supported netlist formats.
+//!
+//! Three frontends produce [`Circuit`]s from external descriptions — the
+//! ISCAS'89 `.bench` reader ([`crate::bench_format`]), the BLIF reader
+//! ([`crate::blif`]) and the AIGER reader ([`crate::aiger`], ascii `.aag` and
+//! binary `.aig`) — and the synthetic generator ([`crate::generator`])
+//! produces them from a parameter set. [`NetlistFormat`] names the on-disk
+//! formats and dispatches by file extension; [`NetlistSource`] is the common
+//! trait over "things a circuit can be loaded from", which is what the CLI
+//! and the job server program against.
+
+use std::path::{Path, PathBuf};
+
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+
+/// One of the supported on-disk netlist formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NetlistFormat {
+    /// ISCAS'89 `.bench` (gate keywords, `DFF` primitives).
+    Bench,
+    /// Berkeley Logic Interchange Format `.blif` (`.names` covers,
+    /// `.latch`).
+    Blif,
+    /// AIGER ascii `.aag` (and-inverter graph, textual).
+    AigerAscii,
+    /// AIGER binary `.aig` (and-inverter graph, delta-compressed).
+    AigerBinary,
+}
+
+impl NetlistFormat {
+    /// Every supported format, in `id()` order.
+    pub const ALL: [NetlistFormat; 4] = [
+        NetlistFormat::Bench,
+        NetlistFormat::Blif,
+        NetlistFormat::AigerAscii,
+        NetlistFormat::AigerBinary,
+    ];
+
+    /// Short stable identifier, equal to the conventional file extension:
+    /// `"bench"`, `"blif"`, `"aag"` or `"aig"`. Participates in cache keys,
+    /// so it must never change for an existing format.
+    pub fn id(self) -> &'static str {
+        match self {
+            NetlistFormat::Bench => "bench",
+            NetlistFormat::Blif => "blif",
+            NetlistFormat::AigerAscii => "aag",
+            NetlistFormat::AigerBinary => "aig",
+        }
+    }
+
+    /// The format conventionally denoted by a file extension (`"bench"`,
+    /// `"blif"`, `"aag"`, `"aig"`; ASCII case-insensitive).
+    pub fn from_extension(ext: &str) -> Option<NetlistFormat> {
+        NetlistFormat::ALL
+            .into_iter()
+            .find(|f| ext.eq_ignore_ascii_case(f.id()))
+    }
+
+    /// The format implied by a path's extension.
+    pub fn from_path(path: impl AsRef<Path>) -> Option<NetlistFormat> {
+        path.as_ref()
+            .extension()
+            .and_then(|e| e.to_str())
+            .and_then(NetlistFormat::from_extension)
+    }
+
+    /// Whether sources of this format are valid UTF-8 text (everything but
+    /// binary AIGER). Text formats can travel in JSON job requests; binary
+    /// AIGER cannot.
+    pub fn is_text(self) -> bool {
+        !matches!(self, NetlistFormat::AigerBinary)
+    }
+
+    /// Parses an in-memory source of this format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the frontend's parse and structural errors; for text
+    /// formats, a non-UTF-8 source is a [`NetlistError::Parse`] at line 0.
+    pub fn parse_bytes(
+        self,
+        bytes: &[u8],
+        name: impl Into<String>,
+    ) -> Result<Circuit, NetlistError> {
+        match self {
+            NetlistFormat::AigerBinary => crate::aiger::parse_binary(bytes, name),
+            text => {
+                let source = std::str::from_utf8(bytes).map_err(|_| NetlistError::Parse {
+                    line: 0,
+                    message: format!("{} source is not valid UTF-8", text.id()),
+                })?;
+                text.parse_str(source, name)
+            }
+        }
+    }
+
+    /// Parses an in-memory text source of this format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the frontend's parse and structural errors. Binary AIGER is
+    /// rejected with a [`NetlistError::Parse`]: it is not a text format.
+    pub fn parse_str(self, source: &str, name: impl Into<String>) -> Result<Circuit, NetlistError> {
+        match self {
+            NetlistFormat::Bench => crate::bench_format::parse(source, name),
+            NetlistFormat::Blif => crate::blif::parse(source, name),
+            NetlistFormat::AigerAscii => crate::aiger::parse_ascii(source, name),
+            NetlistFormat::AigerBinary => Err(NetlistError::Parse {
+                line: 0,
+                message: "binary AIGER (.aig) is not a text format; pass the raw bytes".into(),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Something a [`Circuit`] can be loaded from: a file in one of the supported
+/// formats, an in-memory source, or a synthetic-generator parameter set.
+///
+/// The two methods are exactly what the consumers need: `load` produces the
+/// circuit, and `format_id` is a short stable tag that content-addressed
+/// caches mix into their keys so identical bytes in different formats can
+/// never collide.
+pub trait NetlistSource {
+    /// Short stable identifier of the concrete source kind (`"bench"`,
+    /// `"blif"`, `"aag"`, `"aig"`, `"generator"`, ...).
+    fn format_id(&self) -> &'static str;
+
+    /// Loads (parses or generates) the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O, parse and structural errors.
+    fn load(&self) -> Result<Circuit, NetlistError>;
+}
+
+/// A netlist file on disk, with an explicit or extension-derived format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSource {
+    path: PathBuf,
+    format: NetlistFormat,
+}
+
+impl FileSource {
+    /// A source for `path`, inferring the format from the extension.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError::Parse`] (line 0) naming the unknown
+    /// extension when it matches no supported format.
+    pub fn new(path: impl Into<PathBuf>) -> Result<FileSource, NetlistError> {
+        let path = path.into();
+        let format = NetlistFormat::from_path(&path).ok_or_else(|| NetlistError::Parse {
+            line: 0,
+            message: format!(
+                "unrecognised netlist extension in `{}` (expected .bench, .blif, .aag or .aig)",
+                path.display()
+            ),
+        })?;
+        Ok(FileSource { path, format })
+    }
+
+    /// A source for `path` read as `format`, ignoring the extension.
+    pub fn with_format(path: impl Into<PathBuf>, format: NetlistFormat) -> FileSource {
+        FileSource {
+            path: path.into(),
+            format,
+        }
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The format this file will be parsed as.
+    pub fn format(&self) -> NetlistFormat {
+        self.format
+    }
+}
+
+impl NetlistSource for FileSource {
+    fn format_id(&self) -> &'static str {
+        self.format.id()
+    }
+
+    fn load(&self) -> Result<Circuit, NetlistError> {
+        let bytes = std::fs::read(&self.path)?;
+        let name = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("circuit")
+            .to_string();
+        self.format.parse_bytes(&bytes, name)
+    }
+}
+
+/// An in-memory text netlist in one of the text formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextSource {
+    name: String,
+    source: String,
+    format: NetlistFormat,
+}
+
+impl TextSource {
+    /// A named in-memory source. `format` must be a text format
+    /// ([`NetlistFormat::is_text`]); binary AIGER sources must go through
+    /// [`NetlistFormat::parse_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `format` is [`NetlistFormat::AigerBinary`].
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        format: NetlistFormat,
+    ) -> TextSource {
+        assert!(format.is_text(), "binary AIGER cannot be a text source");
+        TextSource {
+            name: name.into(),
+            source: source.into(),
+            format,
+        }
+    }
+
+    /// The circuit name given to the parser.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The format the text will be parsed as.
+    pub fn format(&self) -> NetlistFormat {
+        self.format
+    }
+}
+
+impl NetlistSource for TextSource {
+    fn format_id(&self) -> &'static str {
+        self.format.id()
+    }
+
+    fn load(&self) -> Result<Circuit, NetlistError> {
+        self.format.parse_str(&self.source, self.name.clone())
+    }
+}
+
+impl NetlistSource for crate::generator::GeneratorConfig {
+    fn format_id(&self) -> &'static str {
+        "generator"
+    }
+
+    fn load(&self) -> Result<Circuit, NetlistError> {
+        crate::generator::generate(self)
+    }
+}
+
+impl NetlistSource for crate::generator::TiledConfig {
+    fn format_id(&self) -> &'static str {
+        "generator-tiled"
+    }
+
+    fn load(&self) -> Result<Circuit, NetlistError> {
+        crate::generator::generate_tiled(self)
+    }
+}
+
+/// Loads a netlist file, dispatching on the extension.
+///
+/// # Errors
+///
+/// Unknown extensions, I/O errors and parse errors, as in [`FileSource`].
+pub fn load_path(path: impl AsRef<Path>) -> Result<Circuit, NetlistError> {
+    FileSource::new(path.as_ref())?.load()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_dispatch_is_case_insensitive() {
+        assert_eq!(
+            NetlistFormat::from_extension("BLIF"),
+            Some(NetlistFormat::Blif)
+        );
+        assert_eq!(
+            NetlistFormat::from_path("x/y/s27.bench"),
+            Some(NetlistFormat::Bench)
+        );
+        assert_eq!(
+            NetlistFormat::from_path("c17.AAG"),
+            Some(NetlistFormat::AigerAscii)
+        );
+        assert_eq!(
+            NetlistFormat::from_path("c17.aig"),
+            Some(NetlistFormat::AigerBinary)
+        );
+        assert_eq!(NetlistFormat::from_path("c17.v"), None);
+        assert_eq!(NetlistFormat::from_path("no_extension"), None);
+    }
+
+    #[test]
+    fn ids_are_stable() {
+        let ids: Vec<&str> = NetlistFormat::ALL.iter().map(|f| f.id()).collect();
+        assert_eq!(ids, ["bench", "blif", "aag", "aig"]);
+    }
+
+    #[test]
+    fn unknown_extension_is_a_one_line_error() {
+        let err = FileSource::new("design.vhdl").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("design.vhdl"), "{text}");
+        assert!(!text.contains('\n'));
+    }
+
+    #[test]
+    fn text_source_parses_bench() {
+        let src = TextSource::new(
+            "t",
+            "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+            NetlistFormat::Bench,
+        );
+        assert_eq!(src.format_id(), "bench");
+        let c = src.load().unwrap();
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.name(), "t");
+    }
+
+    #[test]
+    fn generator_config_is_a_source() {
+        let config = crate::generator::GeneratorConfig::new("gen", 4, 2, 4, 32);
+        assert_eq!(config.format_id(), "generator");
+        let c = NetlistSource::load(&config).unwrap();
+        assert_eq!(c.num_gates(), 32);
+    }
+
+    #[test]
+    fn binary_aiger_rejects_text_entry_points() {
+        let err = NetlistFormat::AigerBinary.parse_str("aig 0 0 0 0 0", "x");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn non_utf8_text_format_is_rejected() {
+        let err = NetlistFormat::Blif.parse_bytes(&[0xff, 0xfe, 0x00], "x");
+        assert!(matches!(err, Err(NetlistError::Parse { line: 0, .. })));
+    }
+}

@@ -36,11 +36,23 @@ fn run() -> Result<(), String> {
                 match arg.as_str() {
                     "--source" => {
                         let path = value_of("--source")?;
+                        // The inline format follows the file extension;
+                        // extensionless files default to `.bench`. Binary
+                        // AIGER cannot travel in a JSON job request.
+                        let format = netlist::NetlistFormat::from_path(&path)
+                            .unwrap_or(netlist::NetlistFormat::Bench);
+                        if !format.is_text() {
+                            return Err(format!(
+                                "--source {path}: binary AIGER cannot be inlined in a job \
+                                 request; convert to ascii .aag first"
+                            ));
+                        }
                         let source = std::fs::read_to_string(&path)
                             .map_err(|e| format!("--source {path}: {e}"))?;
                         spec.circuit = dipe_serve::CircuitRef::Inline {
                             name: circuit.clone(),
                             source,
+                            format,
                         };
                     }
                     "--seed" => {

@@ -1,7 +1,8 @@
 //! Estimation job specifications.
 //!
 //! A [`JobSpec`] is the unit of work the server accepts: which circuit to
-//! estimate (an ISCAS'89 benchmark name or an inline `.bench` source), under
+//! estimate (an ISCAS'89 benchmark name or an inline netlist source in any
+//! of the text formats — `.bench`, `.blif` or ascii AIGER `.aag`), under
 //! which input model and delay model, to which convergence target, from which
 //! seed. It round-trips through the protocol's JSON form and is embedded
 //! verbatim in checkpoint files so a resumed job is self-describing.
@@ -13,7 +14,7 @@
 
 use dipe::input::InputModel;
 use dipe::{DipeConfig, DipeError};
-use netlist::{bench_format, iscas89, Circuit, DelayModel, NetlistError};
+use netlist::{iscas89, Circuit, DelayModel, NetlistError, NetlistFormat};
 
 use crate::json::Json;
 
@@ -23,12 +24,16 @@ pub enum CircuitRef {
     /// One of the generated ISCAS'89 benchmark profiles, by name (`s27`,
     /// `s298`, ...).
     Named(String),
-    /// An inline `.bench` netlist shipped with the job.
+    /// An inline netlist shipped with the job, in one of the text formats
+    /// (JSON cannot carry binary AIGER).
     Inline {
         /// Display name of the circuit.
         name: String,
-        /// The `.bench` source text.
+        /// The netlist source text.
         source: String,
+        /// The format `source` is written in. Must satisfy
+        /// [`NetlistFormat::is_text`].
+        format: NetlistFormat,
     },
 }
 
@@ -46,20 +51,29 @@ impl CircuitRef {
     /// # Errors
     ///
     /// Propagates the loader's [`NetlistError`] for unknown benchmark names
-    /// or malformed `.bench` source.
+    /// or malformed inline source.
     pub fn load(&self) -> Result<Circuit, NetlistError> {
         match self {
             CircuitRef::Named(name) => iscas89::load(name),
-            CircuitRef::Inline { name, source } => bench_format::parse(source, name),
+            CircuitRef::Inline {
+                name,
+                source,
+                format,
+            } => format.parse_str(source, name.clone()),
         }
     }
 
-    /// The content the circuit cache keys on: the full source for inline
-    /// netlists, the (deterministically generated) benchmark name otherwise.
+    /// The content the circuit cache keys on: the format id plus the full
+    /// source for inline netlists, the (deterministically generated)
+    /// benchmark name otherwise. The format id participates so identical
+    /// bytes submitted under different formats can never collide onto one
+    /// compiled artifact.
     fn key_material(&self) -> String {
         match self {
             CircuitRef::Named(name) => format!("iscas89\u{0}{name}"),
-            CircuitRef::Inline { source, .. } => format!("bench\u{0}{source}"),
+            CircuitRef::Inline { source, format, .. } => {
+                format!("{}\u{0}{source}", format.id())
+            }
         }
     }
 }
@@ -209,9 +223,14 @@ impl JobSpec {
     pub fn to_json(&self) -> Json {
         let mut pairs = match &self.circuit {
             CircuitRef::Named(name) => vec![("circuit", Json::str(name.clone()))],
-            CircuitRef::Inline { name, source } => vec![
+            CircuitRef::Inline {
+                name,
+                source,
+                format,
+            } => vec![
                 ("name", Json::str(name.clone())),
                 ("source", Json::str(source.clone())),
+                ("format", Json::str(format.id())),
             ],
         };
         pairs.push(("input_model", Json::str(self.input_model.clone())));
@@ -224,7 +243,7 @@ impl JobSpec {
 
     /// Parses the `job` object of a `submit` request. Absent optional fields
     /// take the protocol defaults (uniform inputs, fanout delays, 5 % at
-    /// 0.99, seed 1997).
+    /// 0.99, seed 1997, `.bench` format for inline sources).
     ///
     /// # Errors
     ///
@@ -234,14 +253,33 @@ impl JobSpec {
             (Some(c), None) => {
                 CircuitRef::Named(c.as_str().ok_or("`circuit` must be a string")?.to_string())
             }
-            (None, Some(s)) => CircuitRef::Inline {
-                name: value
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .unwrap_or("inline")
-                    .to_string(),
-                source: s.as_str().ok_or("`source` must be a string")?.to_string(),
-            },
+            (None, Some(s)) => {
+                let format = match value.get("format") {
+                    None => NetlistFormat::Bench,
+                    Some(v) => {
+                        let id = v.as_str().ok_or("`format` must be a string")?;
+                        let format = NetlistFormat::from_extension(id).ok_or_else(|| {
+                            format!("`format` must be bench|blif|aag, got `{id}`")
+                        })?;
+                        if !format.is_text() {
+                            return Err(format!(
+                                "`format` {id} is binary; JSON can only carry the text formats \
+                                 (bench, blif, aag)"
+                            ));
+                        }
+                        format
+                    }
+                };
+                CircuitRef::Inline {
+                    name: value
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("inline")
+                        .to_string(),
+                    source: s.as_str().ok_or("`source` must be a string")?.to_string(),
+                    format,
+                }
+            }
             (Some(_), Some(_)) => {
                 return Err("give either `circuit` or `source`, not both".to_string())
             }
@@ -329,12 +367,89 @@ mod tests {
             circuit: CircuitRef::Inline {
                 name: "toggle".to_string(),
                 source: "INPUT(a)\nOUTPUT(y)\nq = DFF(d)\nd = XOR(a, q)\ny = NOT(q)\n".to_string(),
+                format: NetlistFormat::Bench,
             },
             ..JobSpec::named("x")
         };
         let parsed = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(parsed, spec);
         assert!(parsed.circuit.load().is_ok());
+    }
+
+    #[test]
+    fn inline_sources_parse_in_every_text_format() {
+        for (format, source) in [
+            (
+                NetlistFormat::Bench,
+                "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = NAND(a, q)\n",
+            ),
+            (
+                NetlistFormat::Blif,
+                ".model t\n.inputs a\n.outputs y\n.latch y q 0\n.names a q y\n0- 1\n-0 1\n.end\n",
+            ),
+            (
+                NetlistFormat::AigerAscii,
+                "aag 3 1 1 1 1\n2\n4 7\n6\n6 2 4\n",
+            ),
+        ] {
+            let spec = JobSpec {
+                circuit: CircuitRef::Inline {
+                    name: "t".to_string(),
+                    source: source.to_string(),
+                    format,
+                },
+                ..JobSpec::named("x")
+            };
+            let parsed = JobSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(parsed, spec, "{format}");
+            assert!(parsed.circuit.load().is_ok(), "{format}");
+        }
+    }
+
+    #[test]
+    fn inline_format_defaults_to_bench_and_rejects_binary() {
+        let json = Json::parse(r#"{"source":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"}"#).unwrap();
+        let spec = JobSpec::from_json(&json).unwrap();
+        assert!(matches!(
+            spec.circuit,
+            CircuitRef::Inline {
+                format: NetlistFormat::Bench,
+                ..
+            }
+        ));
+        for bad in [
+            r#"{"source":"x","format":"aig"}"#,
+            r#"{"source":"x","format":"edif"}"#,
+            r#"{"source":"x","format":7}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(
+                JobSpec::from_json(&v).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_key_separates_identical_bytes_in_different_formats() {
+        // The same source text under two format ids must occupy two compiled
+        // cache entries — the parsers would produce different circuits.
+        let inline = |format| JobSpec {
+            circuit: CircuitRef::Inline {
+                name: "t".to_string(),
+                source: "shared bytes".to_string(),
+                format,
+            },
+            ..JobSpec::named("x")
+        };
+        assert_ne!(
+            inline(NetlistFormat::Bench).circuit_key(),
+            inline(NetlistFormat::Blif).circuit_key()
+        );
+        assert_ne!(
+            inline(NetlistFormat::Blif).circuit_key(),
+            inline(NetlistFormat::AigerAscii).circuit_key()
+        );
     }
 
     #[test]
