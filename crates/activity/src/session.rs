@@ -322,7 +322,7 @@ impl<'c> BreakdownSession<'c> {
             ConvergenceTarget::TotalPower => self.criterion.name().to_string(),
             ConvergenceTarget::NodeBreakdown => node_criterion_label(self.node_policy),
         };
-        breakdown_estimate(BreakdownEstimateParts {
+        let mut estimate = breakdown_estimate(BreakdownEstimateParts {
             name: self.name.clone(),
             circuit: self.sampler.circuit(),
             technology: self.sampler.calculator().technology(),
@@ -335,7 +335,9 @@ impl<'c> BreakdownSession<'c> {
             criterion,
             cycle_counts: self.sampler.cycle_counts(),
             elapsed_seconds,
-        })
+        });
+        estimate.sim_profile = Some(self.sampler.sim_profile());
+        estimate
     }
 }
 
@@ -411,6 +413,9 @@ pub(crate) fn breakdown_estimate(parts: BreakdownEstimateParts<'_>) -> Estimate 
         sample_size: parts.sample.len(),
         cycle_counts: parts.cycle_counts,
         elapsed_seconds: parts.elapsed_seconds,
+        // Callers that own a sampler (or pooled shard summaries) attach the
+        // profiling counters after assembly.
+        sim_profile: None,
         diagnostics: Diagnostics::NodeBreakdown(Box::new(dipe::NodeBreakdownDiagnostics {
             selection: parts.selection,
             criterion: parts.criterion,

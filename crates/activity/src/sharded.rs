@@ -145,6 +145,7 @@ impl PowerEstimator for ShardedBreakdownEstimator {
             target: self.target,
             shards: self.shards,
             elapsed_seconds: 0.0,
+            tracer: telemetry::Tracer::disabled(),
         }))
     }
 }
@@ -173,6 +174,7 @@ pub struct ShardedBreakdownSession<'c> {
     shards: usize,
     state: State<'c>,
     elapsed_seconds: f64,
+    tracer: telemetry::Tracer,
 }
 
 impl<'c> ShardedBreakdownSession<'c> {
@@ -193,6 +195,7 @@ impl<'c> ShardedBreakdownSession<'c> {
         let node_policy = self.node_policy;
         let target = self.target;
         let max_samples = self.config.max_samples;
+        let tracer = &self.tracer;
         let mut last_total: Option<seqstats::StoppingDecision> = None;
         let mut last_node: Option<NodeStoppingDecision> = None;
         let mut exhausted = false;
@@ -211,6 +214,15 @@ impl<'c> ShardedBreakdownSession<'c> {
                 }
                 let total = criterion.evaluate(sample);
                 let node = evaluate_node_policy(&accumulator, &capacitances_f, node_policy);
+                tracer.emit("stopping_eval", |e| {
+                    e.field_u64("samples", total.sample_size as u64)
+                        .field_str("criterion", criterion.name())
+                        .field_f64_bits("estimate_w", total.estimate)
+                        .field_f64_bits("rhw", total.relative_half_width)
+                        .field_f64_bits("worst_node_rhw", node.worst_relative_half_width)
+                        .field_bool("satisfied", total.satisfied)
+                        .field_bool("node_satisfied", node.satisfied);
+                });
                 let satisfied = match target {
                     ConvergenceTarget::TotalPower => total.satisfied,
                     ConvergenceTarget::NodeBreakdown => node.satisfied,
@@ -226,6 +238,7 @@ impl<'c> ShardedBreakdownSession<'c> {
                     RoundVerdict::Continue
                 }
             },
+            tracer,
         )?;
         let total = last_total.expect("at least one round was decided");
         let node = last_node.expect("at least one round was decided");
@@ -253,7 +266,7 @@ impl<'c> ShardedBreakdownSession<'c> {
         // calculator; rebuild them the same way for the report.
         let calculator =
             power::PowerCalculator::new(self.circuit, technology, &self.config.capacitance);
-        Ok(breakdown_estimate(BreakdownEstimateParts {
+        let mut estimate = breakdown_estimate(BreakdownEstimateParts {
             name: self.name.clone(),
             circuit: self.circuit,
             technology,
@@ -266,7 +279,9 @@ impl<'c> ShardedBreakdownSession<'c> {
             criterion: criterion_label,
             cycle_counts,
             elapsed_seconds: self.elapsed_seconds + step_start.elapsed().as_secs_f64(),
-        }))
+        });
+        estimate.sim_profile = Some(pooled.sim_profile);
+        Ok(estimate)
     }
 }
 
@@ -293,7 +308,7 @@ impl EstimationSession for ShardedBreakdownSession<'_> {
         let deadline = self.cycles_done().saturating_add(budget.get());
 
         let front_step = match &mut self.state {
-            State::Front(front) => front.advance(&self.config, deadline),
+            State::Front(front) => front.advance(&self.config, deadline, &self.tracer),
             _ => unreachable!("handled at entry"),
         };
         match front_step {
@@ -327,6 +342,10 @@ impl EstimationSession for ShardedBreakdownSession<'_> {
             current_rhw: None,
             phase,
         })
+    }
+
+    fn set_tracer(&mut self, tracer: telemetry::Tracer) {
+        self.tracer = tracer;
     }
 }
 

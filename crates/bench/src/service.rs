@@ -9,8 +9,13 @@
 //! (`cold` / `compiled` / `warm`), which is how the cache's effect shows up
 //! as a number rather than an anecdote. Throughput (`jobs_per_sec`) is
 //! wall-clock over the whole storm.
+//!
+//! Alongside the job storm, a dashboard poller thread issues `metrics`
+//! RPCs against the same server for the storm's whole duration — the
+//! round-trip latency of the Prometheus-exposition path *under job load*,
+//! reported as the `dashboard` section of the JSON document.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -86,6 +91,20 @@ pub struct TierSummary {
     pub mean_executed_cycles: f64,
 }
 
+/// Round-trip latency of the `metrics` RPC polled concurrently with the
+/// storm (the live-dashboard path).
+#[derive(Debug, Clone)]
+pub struct DashboardSummary {
+    /// `metrics` RPC round trips completed while the storm ran.
+    pub polls: usize,
+    /// Mean round-trip latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median round-trip latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile round-trip latency, milliseconds.
+    pub p95_ms: f64,
+}
+
 /// The storm's aggregate report.
 #[derive(Debug, Clone)]
 pub struct ServiceBenchReport {
@@ -103,6 +122,8 @@ pub struct ServiceBenchReport {
     pub p95_ms: f64,
     /// Per-tier latency split.
     pub tiers: Vec<TierSummary>,
+    /// `metrics`-RPC latency under load.
+    pub dashboard: DashboardSummary,
     /// Every job measurement (for the JSON document's raw section).
     pub samples: Vec<JobSample>,
 }
@@ -161,6 +182,29 @@ pub fn run_service_storm(options: &ServiceBenchOptions) -> ServiceBenchReport {
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
 
+    // Dashboard poller: hammer the metrics RPC for the storm's duration so
+    // the exposition path is measured while workers and the job table are
+    // actually busy.
+    let stop_polling = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let stop = Arc::clone(&stop_polling);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect dashboard poller");
+            let mut polls_ms = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let poll_started = Instant::now();
+                let text = client.metrics().expect("metrics poll");
+                assert!(
+                    text.contains("dipe_serve_jobs_submitted_total"),
+                    "metrics exposition missing its counters"
+                );
+                polls_ms.push(poll_started.elapsed().as_secs_f64() * 1e3);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            polls_ms
+        })
+    };
+
     let streams = options.streams.max(1);
     let next_stream = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
@@ -197,6 +241,8 @@ pub fn run_service_storm(options: &ServiceBenchOptions) -> ServiceBenchReport {
         samples.extend(thread.join().expect("storm client thread"));
     }
     let elapsed = started.elapsed().as_secs_f64();
+    stop_polling.store(true, Ordering::Relaxed);
+    let mut polls_ms = poller.join().expect("dashboard poller thread");
 
     let mut shutdown_client = Client::connect(addr).expect("connect for shutdown");
     shutdown_client.shutdown().expect("shutdown");
@@ -217,6 +263,21 @@ pub fn run_service_storm(options: &ServiceBenchOptions) -> ServiceBenchReport {
         })
         .filter(|summary| summary.count > 0)
         .collect();
+    let dashboard = {
+        let polls = polls_ms.len();
+        let mean = if polls == 0 {
+            0.0
+        } else {
+            polls_ms.iter().sum::<f64>() / polls as f64
+        };
+        polls_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        DashboardSummary {
+            polls,
+            mean_ms: mean,
+            p50_ms: percentile(&polls_ms, 0.50),
+            p95_ms: percentile(&polls_ms, 0.95),
+        }
+    };
     ServiceBenchReport {
         options: options.clone(),
         total_jobs: samples.len(),
@@ -225,6 +286,7 @@ pub fn run_service_storm(options: &ServiceBenchOptions) -> ServiceBenchReport {
         p50_ms: percentile(&all_ms, 0.50),
         p95_ms: percentile(&all_ms, 0.95),
         tiers,
+        dashboard,
         samples,
     }
 }
@@ -261,6 +323,14 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
         report.p50_ms,
         report.p95_ms,
     ));
+    out.push_str(&format!(
+        "  \"dashboard\": {{\"rpc\": \"metrics\", \"polls\": {}, \"mean_ms\": {:.3}, \
+         \"p50_ms\": {:.3}, \"p95_ms\": {:.3}}},\n",
+        report.dashboard.polls,
+        report.dashboard.mean_ms,
+        report.dashboard.p50_ms,
+        report.dashboard.p95_ms,
+    ));
     out.push_str("  \"cache_tiers\": [\n");
     for (index, tier) in report.tiers.iter().enumerate() {
         out.push_str(&format!(
@@ -283,7 +353,8 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
         "  ],\n  \"notes\": \"latency is client-observed (submit to result event) over \
          a loopback socket; warm-tier jobs skip parse+compile and warm-up+interval selection, \
          visible in mean_executed_cycles. Throughput is bounded by host_cpus and the server's \
-         worker permits.\"\n}\n",
+         worker permits. The dashboard section is the round-trip latency of the metrics RPC \
+         (Prometheus exposition) polled concurrently with the storm.\"\n}\n",
     );
     out
 }
@@ -345,10 +416,15 @@ mod tests {
             "expected warm hits, tiers: {:?}",
             report.tiers
         );
+        // The dashboard poller runs for the storm's whole duration, so it
+        // must land at least one metrics round trip.
+        assert!(report.dashboard.polls > 0);
+        assert!(report.dashboard.p95_ms >= report.dashboard.p50_ms);
         let json = to_json(&report);
         assert!(json.contains("\"benchmark\": \"service\""));
         assert!(json.contains("\"cache_tiers\""));
         assert!(json.contains("\"tier\": \"warm\""));
+        assert!(json.contains("\"dashboard\": {\"rpc\": \"metrics\""));
         assert!(format_report(&report).render().contains("p95"));
     }
 

@@ -23,7 +23,15 @@
 //!   heap-based [`VariableDelaySimulator`];
 //! * `event_driven(measure,zero)` / `event_driven(measure,unit)` — the same
 //!   measurement workload under the all-zero annotation (the levelized
-//!   fast path) and the 100 ps unit model.
+//!   fast path) and the 100 ps unit model;
+//! * `event_driven(measure,telemetry_off)` / `event_driven(measure,traced)`
+//!   — the telemetry-overhead pair: the same measurement loop with a
+//!   per-cycle trace-emit call against a **disabled** tracer (the one
+//!   branch every instrumented estimation run now pays) and against a live
+//!   in-memory sink. Both are timed against a same-shaped plain loop,
+//!   interleaved round-robin with best-of-5 per variant, and their
+//!   `speedup_vs_baseline` is relative to *that* loop — CI asserts the
+//!   disabled row stays within 2 %.
 //!
 //! Every row runs the **same cycle budget**, so elapsed times compare
 //! directly; `cycles_per_sec_basis` names what one unit of each row's rate
@@ -38,6 +46,7 @@
 //! interpreted one, and lane 0 of the bit-parallel simulator must end
 //! bit-exact with both (it shares their input-stream seed).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use activity::NodeActivityAccumulator;
@@ -47,6 +56,7 @@ use logicsim::{
     VariableDelaySimulator, ZeroDelaySimulator, LANES,
 };
 use netlist::{iscas89, Circuit};
+use telemetry::{BufferSink, Tracer};
 
 /// One backend × circuit measurement.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -80,6 +90,11 @@ pub struct SimulatorBenchRow {
 pub const BASIS_STATE_ADVANCE: &str = "state_advance_lane_cycles";
 /// Basis tag of the delay-aware measurement rows.
 pub const BASIS_MEASURED: &str = "measured_cycles";
+/// Basis tag of the telemetry-overhead pair: measured cycles, interleaved
+/// best-of-5, with `speedup_vs_baseline` anchored to a same-shaped
+/// un-instrumented loop timed in the same rounds (so 0.98 means "2 %
+/// slower than no telemetry at all").
+pub const BASIS_TELEMETRY: &str = "telemetry_overhead_measured_cycles";
 
 pub(crate) fn uniform_stream(circuit: &Circuit, seed: u64) -> InputStream {
     InputModel::uniform()
@@ -247,6 +262,53 @@ fn ablate_circuit(
         "{name}: variable-delay backend diverged from the compiled simulator"
     );
 
+    // Telemetry-overhead pair. Each variant repeats the estimator's
+    // measured-cycle hot-path shape (zero-delay companion step + event-driven
+    // settle) with one trace-emit per cycle; `None` runs the identical loop
+    // with no telemetry call at all. The three variants are interleaved
+    // round-robin and each keeps its best pass, so slow environment drift
+    // (frequency scaling, a noisy co-tenant) hits all of them alike and the
+    // CI guard compares branch cost rather than scheduler luck.
+    let mut measure_telemetry = |tracer: Option<&Tracer>| -> f64 {
+        let mut state = CompiledSimulator::new(circuit);
+        let mut event_driven = EventDrivenSimulator::new(circuit, DelayModel::default());
+        let mut stream = uniform_stream(circuit, seed);
+        let started = Instant::now();
+        for cycle in 0..cycles {
+            stream.next_pattern_into(&mut pattern);
+            prev.copy_from_slice(state.values());
+            event_driven.simulate_cycle(&prev, &pattern);
+            if let Some(tracer) = tracer {
+                tracer.emit("stopping_eval", |e| {
+                    e.field_u64("samples", cycle as u64)
+                        .field_f64_bits("rhw", 0.25)
+                        .field_bool("satisfied", false);
+                });
+            }
+            state.step_state_only(&pattern);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(
+            event_driven.stable_values(),
+            state.values(),
+            "{name}: telemetry-pair event-driven pass diverged"
+        );
+        elapsed
+    };
+    let disabled_tracer = Tracer::disabled();
+    let sink = Arc::new(BufferSink::bounded(64));
+    let live_tracer = Tracer::to_sink(sink);
+    let mut telemetry_plain_elapsed = f64::INFINITY;
+    let mut telemetry_off_elapsed = f64::INFINITY;
+    let mut telemetry_traced_elapsed = f64::INFINITY;
+    for _ in 0..5 {
+        telemetry_plain_elapsed = telemetry_plain_elapsed.min(measure_telemetry(None));
+        telemetry_off_elapsed =
+            telemetry_off_elapsed.min(measure_telemetry(Some(&disabled_tracer)));
+        telemetry_traced_elapsed =
+            telemetry_traced_elapsed.min(measure_telemetry(Some(&live_tracer)));
+    }
+
     let rate = |lanes: u64, elapsed: f64| cycles as f64 * lanes as f64 / elapsed.max(1e-12);
     let advance_baseline = rate(1, zero_delay_elapsed);
     let measured_baseline = rate(1, variable_delay_elapsed);
@@ -265,6 +327,12 @@ fn ablate_circuit(
         speedup_vs_baseline: rate(1, elapsed) / measured_baseline,
         ..row(backend, 1, elapsed)
     };
+    let telemetry_baseline = rate(1, telemetry_plain_elapsed);
+    let telemetry_row = |backend: &'static str, elapsed: f64| SimulatorBenchRow {
+        cycles_per_sec_basis: BASIS_TELEMETRY,
+        speedup_vs_baseline: rate(1, elapsed) / telemetry_baseline,
+        ..row(backend, 1, elapsed)
+    };
     vec![
         row("zero_delay", 1, zero_delay_elapsed),
         row("compiled", 1, compiled_elapsed),
@@ -279,6 +347,8 @@ fn ablate_circuit(
         measure_row("event_driven(measure,zero)", event_driven_zero_elapsed),
         measure_row("event_driven(measure,unit)", event_driven_unit_elapsed),
         measure_row("variable_delay(measure)", variable_delay_elapsed),
+        telemetry_row("event_driven(measure,telemetry_off)", telemetry_off_elapsed),
+        telemetry_row("event_driven(measure,traced)", telemetry_traced_elapsed),
     ]
 }
 
@@ -361,9 +431,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ablation_produces_nine_rows_per_circuit_at_one_budget() {
+    fn ablation_produces_eleven_rows_per_circuit_at_one_budget() {
         let rows = run_simulator_ablation(&["s27".into(), "nope".into()], 2_000, 9);
-        assert_eq!(rows.len(), 9);
+        assert_eq!(rows.len(), 11);
         let backends: Vec<&str> = rows.iter().map(|r| r.backend).collect();
         assert_eq!(
             backends,
@@ -377,6 +447,8 @@ mod tests {
                 "event_driven(measure,zero)",
                 "event_driven(measure,unit)",
                 "variable_delay(measure)",
+                "event_driven(measure,telemetry_off)",
+                "event_driven(measure,traced)",
             ]
         );
         assert_eq!(rows[2].lanes, 64);
@@ -393,8 +465,11 @@ mod tests {
         for row in &rows[..5] {
             assert_eq!(row.cycles_per_sec_basis, BASIS_STATE_ADVANCE);
         }
-        for row in &rows[5..] {
+        for row in &rows[5..9] {
             assert_eq!(row.cycles_per_sec_basis, BASIS_MEASURED);
+        }
+        for row in &rows[9..] {
+            assert_eq!(row.cycles_per_sec_basis, BASIS_TELEMETRY);
         }
         // Each basis anchors to its own baseline row, never across bases.
         assert!((rows[0].speedup_vs_baseline - 1.0).abs() < 1e-9);
@@ -414,6 +489,9 @@ mod tests {
         assert!(json.contains("\"cycles_per_sec_basis\": \"measured_cycles\""));
         assert!(json.contains("\"speedup_vs_baseline\""));
         assert!(json.contains("\"backend\": \"event_driven(measure,zero)\""));
+        assert!(json.contains("\"backend\": \"event_driven(measure,telemetry_off)\""));
+        assert!(json.contains("\"backend\": \"event_driven(measure,traced)\""));
+        assert!(json.contains("\"cycles_per_sec_basis\": \"telemetry_overhead_measured_cycles\""));
         // No trailing comma before the closing bracket.
         assert!(!json.contains(",\n  ]"));
         let rendered = format_rows(&rows).render();

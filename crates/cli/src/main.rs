@@ -29,7 +29,9 @@
 //! the two-tier rule: maximum relative error over the top-K (power-ranked)
 //! nets, an absolute activity floor for everything else.
 
+use std::io::IsTerminal;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use activity::{BreakdownEstimator, ConvergenceTarget};
 use dipe::input::InputModel;
@@ -41,6 +43,7 @@ use dipe::{
 };
 use netlist::{iscas89, Circuit, DelayModel, FileSource, NetlistFormat, NetlistSource};
 use seqstats::NodeStoppingPolicy;
+use telemetry::{FileSink, Tracer};
 
 struct Options {
     circuit: String,
@@ -65,6 +68,11 @@ struct Options {
     top_k: usize,
     activity_floor: f64,
     json: Option<String>,
+    /// `--trace FILE`: stream the estimation trace (JSON lines) to a file.
+    trace: Option<String>,
+    /// `--progress`: a single refreshing progress line on stderr. Only
+    /// active when stderr is a terminal.
+    progress: bool,
     quiet: bool,
 }
 
@@ -90,6 +98,8 @@ impl Default for Options {
             top_k: node_default.top_k(),
             activity_floor: node_default.activity_floor(),
             json: None,
+            trace: None,
+            progress: false,
             quiet: false,
         }
     }
@@ -135,6 +145,11 @@ accuracy:
 output:
   --top N                 hot spots to print (default 10)
   --json FILE             write the full machine-readable report
+  --trace FILE            write the estimation trace (JSON lines: warm-up,
+                          runs-test trials, per-block stopping evaluations,
+                          shard merges) to FILE
+  --progress              single refreshing progress line on stderr
+                          (auto-disabled when stderr is not a terminal)
   --seed N                RNG seed (default 1997)
   --quiet                 suppress progress lines"
         .to_string()
@@ -229,6 +244,8 @@ fn parse_options() -> Result<Options, String> {
                     parse_f64("--activity-floor", take_value("--activity-floor")?)?;
             }
             "--json" => options.json = Some(take_value("--json")?),
+            "--trace" => options.trace = Some(take_value("--trace")?),
+            "--progress" => options.progress = true,
             "--quiet" => options.quiet = true,
             "--help" | "-h" => {
                 // Requested help is not an error: usage on stdout, exit 0.
@@ -263,6 +280,9 @@ fn parse_options() -> Result<Options, String> {
     }
     if options.lanes > 1 && options.json.is_some() {
         return Err("--json is not implemented for replicated (--lanes) runs".to_string());
+    }
+    if options.lanes > 1 && options.trace.is_some() {
+        return Err("--trace is not implemented for replicated (--lanes) runs".to_string());
     }
     if let Some(shards) = options.shards {
         if !(1..=256).contains(&shards) {
@@ -317,33 +337,70 @@ fn load_circuit(options: &Options) -> Result<Circuit, netlist::NetlistError> {
 }
 
 /// Drives a session to completion, printing progress lines between steps.
+///
+/// `--trace` attaches a [`FileSink`] before the first step; attaching a
+/// tracer never changes the estimate (the sessions' bit-exact determinism
+/// contract), so traced and untraced runs report identical numbers.
 fn run_session(
     estimator: &dyn PowerEstimator,
     circuit: &Circuit,
     config: &DipeConfig,
-    quiet: bool,
-) -> Result<Estimate, dipe::DipeError> {
-    let mut session = estimator.start(circuit, config, &InputModel::uniform(), 0)?;
-    loop {
-        match session.step(CycleBudget::cycles(250_000))? {
+    options: &Options,
+) -> Result<Estimate, String> {
+    let mut session = estimator
+        .start(circuit, config, &InputModel::uniform(), 0)
+        .map_err(|e| e.to_string())?;
+    let trace_sink = match &options.trace {
+        Some(path) => {
+            let sink =
+                Arc::new(FileSink::create(path).map_err(|e| format!("--trace {path}: {e}"))?);
+            session.set_tracer(Tracer::to_sink(sink.clone()));
+            Some((path.clone(), sink))
+        }
+        None => None,
+    };
+    // The refreshing one-liner only makes sense on an interactive stderr;
+    // redirected runs fall back to the plain per-slice lines.
+    let refresh = options.progress && std::io::stderr().is_terminal();
+    let estimate = loop {
+        match session.step(CycleBudget::cycles(250_000)).map_err(|e| {
+            if refresh {
+                eprintln!();
+            }
+            e.to_string()
+        })? {
             Progress::Running {
                 cycles_done,
                 samples,
                 current_rhw,
                 phase,
             } => {
-                if !quiet {
-                    let rhw = current_rhw
-                        .map(|r| format!("{:.1} %", r * 100.0))
-                        .unwrap_or_else(|| "-".to_string());
+                let rhw = current_rhw
+                    .map(|r| format!("{:.1} %", r * 100.0))
+                    .unwrap_or_else(|| "-".to_string());
+                if refresh {
+                    eprint!(
+                        "\r\x1b[2K  [{phase:?}] {cycles_done} cycles, {samples} samples, \
+                         worst rhw {rhw}"
+                    );
+                    use std::io::Write as _;
+                    let _ = std::io::stderr().flush();
+                } else if !options.quiet {
                     eprintln!(
                         "  [{phase:?}] {cycles_done} cycles, {samples} samples, worst rhw {rhw}"
                     );
                 }
             }
-            Progress::Done(estimate) => return Ok(estimate),
+            Progress::Done(estimate) => break estimate,
         }
+    };
+    if refresh {
+        eprintln!();
     }
+    if let Some((path, sink)) = trace_sink {
+        sink.flush().map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    Ok(estimate)
 }
 
 fn print_estimate_summary(circuit: &Circuit, estimate: &Estimate, model: DelayModel) {
@@ -373,17 +430,23 @@ fn print_estimate_summary(circuit: &Circuit, estimate: &Estimate, model: DelayMo
 fn json_header(circuit: &Circuit, estimate: &Estimate, model: DelayModel, seed: u64) -> String {
     format!(
         "  \"circuit\": \"{}\",\n  \"estimator\": \"{}\",\n  \"delay_model\": \"{}\",\n  \
-         \"seed\": {seed},\n  \"mean_power_w\": {:e},\n  \
-         \"relative_half_width\": {},\n  \"sample_size\": {},\n  \
+         \"seed\": {seed},\n  \"mean_power_w\": {:e},\n  \"mean_power_w_bits\": {},\n  \
+         \"relative_half_width\": {},\n  \"relative_half_width_bits\": {},\n  \
+         \"sample_size\": {},\n  \
          \"independence_interval\": {},\n  \"zero_delay_cycles\": {},\n  \
-         \"measured_cycles\": {},\n  \"elapsed_seconds\": {:.6}",
+         \"measured_cycles\": {},\n  \"elapsed_seconds\": {:.6},\n  \"sim_profile\": {}",
         circuit.name(),
         estimate.estimator,
         model.id(),
         estimate.mean_power_w,
+        estimate.mean_power_w.to_bits(),
         estimate
             .relative_half_width
             .map(|r| format!("{r:e}"))
+            .unwrap_or_else(|| "null".to_string()),
+        estimate
+            .relative_half_width
+            .map(|r| r.to_bits().to_string())
             .unwrap_or_else(|| "null".to_string()),
         estimate.sample_size,
         estimate
@@ -393,7 +456,30 @@ fn json_header(circuit: &Circuit, estimate: &Estimate, model: DelayModel, seed: 
         estimate.cycle_counts.zero_delay_cycles,
         estimate.cycle_counts.measured_cycles,
         estimate.elapsed_seconds,
+        sim_profile_json(estimate),
     )
+}
+
+/// The simulator's per-run dispatch/eval counters as a JSON object (`null`
+/// when the session did not surface a profile). Wall-clock facts only: they
+/// never feed back into the estimate.
+fn sim_profile_json(estimate: &Estimate) -> String {
+    match &estimate.sim_profile {
+        None => "null".to_string(),
+        Some(p) => format!(
+            "{{\"events_scheduled\": {}, \"events_cancelled\": {}, \
+             \"wheel_revolutions\": {}, \"inline_evals\": {}, \"gather_evals\": {}, \
+             \"levelized_cycles\": {}, \"wheel_cycles\": {}, \"tiles_settled\": {}}}",
+            p.events_scheduled,
+            p.events_cancelled,
+            p.wheel_revolutions,
+            p.inline_evals,
+            p.gather_evals,
+            p.levelized_cycles,
+            p.wheel_cycles,
+            p.tiles_settled,
+        ),
+    }
 }
 
 fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Result<(), String> {
@@ -402,16 +488,10 @@ fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Resul
     }
     let shards = resolve_shards(options);
     let estimate = if shards > 1 {
-        run_session(
-            &ShardedDipeEstimator::new(shards),
-            circuit,
-            config,
-            options.quiet,
-        )
+        run_session(&ShardedDipeEstimator::new(shards), circuit, config, options)
     } else {
-        run_session(&DipeEstimator::new(), circuit, config, options.quiet)
-    }
-    .map_err(|e| e.to_string())?;
+        run_session(&DipeEstimator::new(), circuit, config, options)
+    }?;
     print_estimate_summary(circuit, &estimate, options.delay_model);
     if let Some(path) = &options.json {
         let json = format!(
@@ -505,11 +585,10 @@ fn run_breakdown(options: &Options, circuit: &Circuit, config: &DipeConfig) -> R
     let estimator = BreakdownEstimator::new(policy, options.target);
     let shards = resolve_shards(options);
     let estimate = if shards > 1 {
-        run_session(&estimator.sharded(shards), circuit, config, options.quiet)
+        run_session(&estimator.sharded(shards), circuit, config, options)
     } else {
-        run_session(&estimator, circuit, config, options.quiet)
-    }
-    .map_err(|e| e.to_string())?;
+        run_session(&estimator, circuit, config, options)
+    }?;
     print_estimate_summary(circuit, &estimate, options.delay_model);
 
     let node = estimate

@@ -36,6 +36,8 @@ const FLAGS: &[&str] = &[
     "--top-k",
     "--activity-floor",
     "--json",
+    "--trace",
+    "--progress",
     "--quiet",
 ];
 
@@ -151,6 +153,92 @@ fn invalid_flag_combinations_are_rejected() {
     assert_usage_error(&["s27", "--lanes", "2", "--breakdown"]);
     assert_usage_error(&["s27", "--lanes", "2", "--json", "out.json"]);
     assert_usage_error(&["s27", "--lanes", "2", "--shards", "2"]);
+    assert_usage_error(&["s27", "--lanes", "2", "--trace", "out.jsonl"]);
+    assert_usage_error(&["s27", "--trace"]); // value missing
+}
+
+#[test]
+fn trace_runs_write_a_reconstructable_jsonl_file() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let trace = dir.join(format!("dipe_smoke_{pid}.trace.jsonl"));
+    let json = dir.join(format!("dipe_smoke_{pid}.trace.json"));
+    let output = dipe(&[
+        "s27",
+        "--quiet",
+        "--shards",
+        "1",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        output.status.success(),
+        "traced run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let lines = std::fs::read_to_string(&trace).unwrap();
+    let report = std::fs::read_to_string(&json).unwrap();
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&json).ok();
+    // Every line is versioned; the run's whole lifecycle is present.
+    assert!(!lines.is_empty());
+    for line in lines.lines() {
+        assert!(line.contains("\"trace_version\":1"), "unversioned: {line}");
+    }
+    for event in [
+        "warmup_start",
+        "warmup_end",
+        "interval_trial",
+        "interval_accepted",
+        "sampling_start",
+        "stopping_eval",
+        "session_done",
+    ] {
+        assert!(
+            lines.contains(&format!("\"event\":\"{event}\"")),
+            "trace lacks {event}:\n{lines}"
+        );
+    }
+    // The closing record carries the exact bits the --json report carries:
+    // the trace reconstructs the estimate bit-for-bit.
+    let bits = report
+        .lines()
+        .find(|l| l.contains("\"mean_power_w_bits\""))
+        .and_then(|l| {
+            l.trim()
+                .trim_end_matches(',')
+                .rsplit(' ')
+                .next()
+                .map(str::to_string)
+        })
+        .expect("json report has mean_power_w_bits");
+    let done = lines
+        .lines()
+        .find(|l| l.contains("\"event\":\"session_done\""))
+        .expect("trace has session_done");
+    assert!(
+        done.contains(&format!("\"mean_power_w_bits\":{bits}")),
+        "trace bits disagree with the json report:\ntrace: {done}\nbits: {bits}"
+    );
+}
+
+#[test]
+fn progress_flag_is_accepted_and_silent_when_stderr_is_piped() {
+    // stderr is a pipe here, so the refreshing line auto-disables; with
+    // --quiet the run must print nothing at all to stderr.
+    let output = dipe(&["s27", "--quiet", "--progress", "--shards", "1"]);
+    assert!(
+        output.status.success(),
+        "progress run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(
+        !stderr.contains('\r'),
+        "refresh control characters leaked into a piped stderr: {stderr:?}"
+    );
 }
 
 #[test]

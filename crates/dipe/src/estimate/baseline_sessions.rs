@@ -46,6 +46,7 @@ pub(crate) struct FixedWarmupSession<'c> {
     criterion: Box<dyn StoppingCriterion>,
     state: FixedWarmupState,
     elapsed_seconds: f64,
+    tracer: telemetry::Tracer,
 }
 
 impl<'c> FixedWarmupSession<'c> {
@@ -65,6 +66,7 @@ impl<'c> FixedWarmupSession<'c> {
                 remaining: config.warmup_cycles,
             },
             elapsed_seconds: 0.0,
+            tracer: telemetry::Tracer::disabled(),
         }
     }
 }
@@ -108,6 +110,7 @@ impl EstimationSession for FixedWarmupSession<'_> {
                         self.config.block_size,
                         self.config.max_samples,
                         deadline,
+                        &self.tracer,
                     ) {
                         super::BlockSampling::OutOfBudget => break,
                         super::BlockSampling::Satisfied(decision) => {
@@ -124,6 +127,7 @@ impl EstimationSession for FixedWarmupSession<'_> {
                                 cycle_counts: self.sampler.cycle_counts(),
                                 elapsed_seconds: self.elapsed_seconds
                                     + step_start.elapsed().as_secs_f64(),
+                                sim_profile: Some(self.sampler.sim_profile()),
                                 diagnostics: Diagnostics::FixedWarmup {
                                     warmup_per_sample: self.warmup_per_sample,
                                     criterion: self.criterion.name().to_string(),
@@ -161,6 +165,28 @@ impl EstimationSession for FixedWarmupSession<'_> {
             current_rhw,
             phase,
         })
+    }
+
+    fn set_tracer(&mut self, tracer: telemetry::Tracer) {
+        self.tracer = tracer;
+    }
+}
+
+/// Maps a raw event-driven simulator's counters into a [`SimProfile`] for
+/// the sessions that drive [`EventDrivenSimulator`] directly instead of
+/// through a [`PowerSampler`] (their zero-delay backend is always the
+/// compiled one, so `tiles_settled` is 0).
+fn decoupled_sim_profile(full: &EventDrivenSimulator<'_>) -> crate::estimate::SimProfile {
+    let counters = full.counters();
+    crate::estimate::SimProfile {
+        events_scheduled: counters.events_scheduled,
+        events_cancelled: counters.events_cancelled,
+        wheel_revolutions: counters.wheel_revolutions,
+        inline_evals: counters.inline_evals,
+        gather_evals: counters.gather_evals,
+        levelized_cycles: counters.levelized_cycles,
+        wheel_cycles: counters.wheel_cycles,
+        tiles_settled: 0,
     }
 }
 
@@ -316,6 +342,7 @@ impl EstimationSession for DecoupledSession<'_> {
                             cycle_counts: self.counts,
                             elapsed_seconds: self.elapsed_seconds
                                 + step_start.elapsed().as_secs_f64(),
+                            sim_profile: Some(decoupled_sim_profile(&self.full)),
                             diagnostics: Diagnostics::Decoupled {
                                 latch_probabilities: std::mem::take(latch_probabilities),
                                 characterization_cycles: self.characterization_cycles,

@@ -42,6 +42,7 @@ pub(crate) struct DipeSession<'c> {
     /// Snapshot taken the moment the session entered its sampling phase
     /// (empty sample) — see [`EstimationSession::warm_checkpoint`].
     warm: Option<SessionCheckpoint>,
+    tracer: telemetry::Tracer,
 }
 
 impl<'c> DipeSession<'c> {
@@ -60,6 +61,7 @@ impl<'c> DipeSession<'c> {
             },
             elapsed_seconds: 0.0,
             warm: None,
+            tracer: telemetry::Tracer::disabled(),
         }
     }
 
@@ -86,6 +88,7 @@ impl<'c> DipeSession<'c> {
             // A warm checkpoint restores to sampling entry, so it is still
             // this session's warm checkpoint; a mid-sampling one is not.
             warm: checkpoint.is_warm().then(|| checkpoint.clone()),
+            tracer: telemetry::Tracer::disabled(),
         }
     }
 
@@ -153,9 +156,13 @@ impl EstimationSession for DipeSession<'_> {
         loop {
             match &mut self.state {
                 State::Warmup { remaining } => {
+                    if self.sampler.cycle_counts().total() == 0 {
+                        super::emit_warmup_start(&self.tracer, self.config.warmup_cycles);
+                    }
                     if !super::advance_warmup(&mut self.sampler, remaining, deadline) {
                         break;
                     }
+                    super::emit_warmup_end(&self.tracer, self.sampler.cycle_counts());
                     self.state = State::SelectInterval {
                         selector: IntervalSelector::new(&self.config),
                     };
@@ -164,6 +171,14 @@ impl EstimationSession for DipeSession<'_> {
                     match selector.advance(&mut self.sampler, deadline) {
                         Ok(SelectorStep::OutOfBudget) => break,
                         Ok(SelectorStep::Selected(selection)) => {
+                            super::emit_selection(&self.tracer, &selection);
+                            self.tracer.emit("sampling_start", |e| {
+                                e.field_u64("interval", selection.interval as u64)
+                                    .field_u64("block_size", self.config.block_size as u64)
+                                    .field_u64("max_samples", self.config.max_samples as u64)
+                                    .field_f64_bits("target", self.config.relative_error)
+                                    .field_str("criterion", self.criterion.name());
+                            });
                             self.state = State::Sampling {
                                 selection,
                                 sample: Vec::with_capacity(self.config.min_samples.max(256)),
@@ -197,10 +212,11 @@ impl EstimationSession for DipeSession<'_> {
                         self.config.block_size,
                         self.config.max_samples,
                         deadline,
+                        &self.tracer,
                     ) {
                         super::BlockSampling::OutOfBudget => break,
                         super::BlockSampling::Satisfied(decision) => {
-                            let estimate = super::dipe_estimate(
+                            let mut estimate = super::dipe_estimate(
                                 self.name.clone(),
                                 std::mem::take(sample),
                                 decision.relative_half_width,
@@ -209,10 +225,16 @@ impl EstimationSession for DipeSession<'_> {
                                 selection.clone(),
                                 self.criterion.name().to_string(),
                             );
+                            estimate.sim_profile = Some(self.sampler.sim_profile());
+                            super::emit_session_done(&self.tracer, &estimate);
                             self.state = State::Done(estimate.clone());
                             return Ok(Progress::Done(estimate));
                         }
                         super::BlockSampling::BudgetExhausted(decision) => {
+                            self.tracer.emit("sample_budget_exhausted", |e| {
+                                e.field_u64("samples", sample.len() as u64)
+                                    .field_f64_bits("rhw", decision.relative_half_width);
+                            });
                             let error = DipeError::SampleBudgetExhausted {
                                 samples: sample.len(),
                                 achieved_relative_half_width: decision.relative_half_width,
@@ -248,5 +270,9 @@ impl EstimationSession for DipeSession<'_> {
 
     fn warm_checkpoint(&self) -> Option<SessionCheckpoint> {
         self.warm.clone()
+    }
+
+    fn set_tracer(&mut self, tracer: telemetry::Tracer) {
+        self.tracer = tracer;
     }
 }

@@ -193,6 +193,53 @@ pub struct NodeBreakdownDiagnostics {
     pub sample: Vec<f64>,
 }
 
+/// Simulator profiling counters accumulated over one estimation run —
+/// [`logicsim::SimCounters`] from the event-driven measurement backend plus
+/// the partitioned backend's settle-pass count, mapped into one flat,
+/// serialisable record. Attached to [`Estimate::sim_profile`] by sessions
+/// that own a [`PowerSampler`](crate::sampler::PowerSampler); sharded runs
+/// report the sum over all shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimProfile {
+    /// Events pushed onto the timing wheel.
+    pub events_scheduled: u64,
+    /// Events cancelled by inertial pulse filtering.
+    pub events_cancelled: u64,
+    /// Complete revolutions of the timing wheel.
+    pub wheel_revolutions: u64,
+    /// Gate evaluations dispatched through the inline fast path.
+    pub inline_evals: u64,
+    /// Gate evaluations dispatched through the general gather path.
+    pub gather_evals: u64,
+    /// Measured cycles that ran the levelized (zero-delay) dispatch.
+    pub levelized_cycles: u64,
+    /// Measured cycles that ran the timing-wheel dispatch.
+    pub wheel_cycles: u64,
+    /// Tiles settled by the partitioned zero-delay backend (0 under the
+    /// compiled backend).
+    pub tiles_settled: u64,
+}
+
+impl SimProfile {
+    /// Adds another profile's counters into this one (used to pool the
+    /// per-shard profiles of a sharded run).
+    pub fn merge(&mut self, other: &SimProfile) {
+        self.events_scheduled += other.events_scheduled;
+        self.events_cancelled += other.events_cancelled;
+        self.wheel_revolutions += other.wheel_revolutions;
+        self.inline_evals += other.inline_evals;
+        self.gather_evals += other.gather_evals;
+        self.levelized_cycles += other.levelized_cycles;
+        self.wheel_cycles += other.wheel_cycles;
+        self.tiles_settled += other.tiles_settled;
+    }
+
+    /// Total gate evaluations across both dispatch paths.
+    pub fn total_evals(&self) -> u64 {
+        self.inline_evals + self.gather_evals
+    }
+}
+
 /// The unified result record every estimator produces.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Estimate {
@@ -211,6 +258,10 @@ pub struct Estimate {
     /// Wall-clock seconds spent inside `step` calls, summed over the
     /// session's lifetime.
     pub elapsed_seconds: f64,
+    /// Simulator profiling counters for the run, when the session surfaces
+    /// them (sessions that own their samplers do; estimators built on
+    /// foreign simulation loops may leave this `None`).
+    pub sim_profile: Option<SimProfile>,
     /// Estimator-specific extras.
     pub diagnostics: Diagnostics,
 }
@@ -391,6 +442,16 @@ pub trait EstimationSession {
     fn warm_checkpoint(&self) -> Option<crate::checkpoint::SessionCheckpoint> {
         None
     }
+
+    /// Attaches a [`telemetry::Tracer`] so the session emits structured
+    /// lifecycle events (warm-up, interval trials, stopping evaluations…)
+    /// while it runs. Call right after [`PowerEstimator::start`], before the
+    /// first [`step`](Self::step). The default is a no-op: estimators that
+    /// have not been instrumented simply stay silent, and the disabled
+    /// tracer costs instrumented ones a single branch per event site.
+    fn set_tracer(&mut self, tracer: telemetry::Tracer) {
+        let _ = tracer;
+    }
 }
 
 /// Advances a sampler-backed warm-up by as much of the remaining budget as
@@ -426,6 +487,7 @@ pub(crate) enum SamplePush {
 /// block boundaries only, and fail once `max_samples` is reached. Keeping
 /// this in one place makes the lane/scalar bit-exactness contract
 /// structural rather than test-enforced.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn push_block_sample(
     sample: &mut Vec<f64>,
     power_w: f64,
@@ -433,6 +495,7 @@ pub(crate) fn push_block_sample(
     block_size: usize,
     max_samples: usize,
     last_rhw: &mut Option<f64>,
+    tracer: &telemetry::Tracer,
 ) -> SamplePush {
     sample.push(power_w);
     if !sample.len().is_multiple_of(block_size) {
@@ -440,6 +503,7 @@ pub(crate) fn push_block_sample(
     }
     let decision = criterion.evaluate(sample);
     *last_rhw = Some(decision.relative_half_width);
+    emit_stopping_eval(tracer, criterion, &decision);
     if decision.satisfied {
         SamplePush::Satisfied(decision)
     } else if sample.len() >= max_samples {
@@ -447,6 +511,78 @@ pub(crate) fn push_block_sample(
     } else {
         SamplePush::Continue
     }
+}
+
+/// Emits one `stopping_eval` trace event — every block-boundary evaluation
+/// of the stopping rule, scalar or pooled, goes through here so the rhw
+/// trajectory in a trace has one shape regardless of the execution path.
+pub(crate) fn emit_stopping_eval(
+    tracer: &telemetry::Tracer,
+    criterion: &dyn seqstats::StoppingCriterion,
+    decision: &seqstats::StoppingDecision,
+) {
+    tracer.emit("stopping_eval", |e| {
+        e.field_u64("samples", decision.sample_size as u64)
+            .field_str("criterion", criterion.name())
+            .field_f64_bits("estimate_w", decision.estimate)
+            .field_f64_bits("rhw", decision.relative_half_width)
+            .field_f64_bits("target", criterion.relative_error())
+            .field_bool("satisfied", decision.satisfied);
+    });
+}
+
+/// Emits the warm-up bracket events shared by the scalar DIPE session and
+/// the sharded serial front: `warmup_start` when the warm-up phase first
+/// runs and `warmup_end` with the sampler's cycle ledger once it completes.
+pub(crate) fn emit_warmup_start(tracer: &telemetry::Tracer, cycles: usize) {
+    tracer.emit("warmup_start", |e| {
+        e.field_u64("cycles", cycles as u64);
+    });
+}
+
+/// See [`emit_warmup_start`].
+pub(crate) fn emit_warmup_end(tracer: &telemetry::Tracer, counts: CycleCounts) {
+    tracer.emit("warmup_end", |e| {
+        e.field_u64("zero_delay_cycles", counts.zero_delay_cycles)
+            .field_u64("measured_cycles", counts.measured_cycles);
+    });
+}
+
+/// Emits the interval-selection trace: one `interval_trial` event per runs
+/// test (with the continuity-corrected z statistic, bit-exact) followed by
+/// `interval_accepted`. Emitted at acceptance — the trial records carry the
+/// identical content they had when each test ran, and batching them keeps
+/// the selector itself tracer-free.
+pub(crate) fn emit_selection(tracer: &telemetry::Tracer, selection: &IndependenceSelection) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    for trial in &selection.trials {
+        tracer.emit("interval_trial", |e| {
+            e.field_u64("interval", trial.interval as u64)
+                .field_f64_bits("z", trial.z)
+                .field_u64("runs", trial.runs as u64)
+                .field_bool("accepted", trial.accepted);
+        });
+    }
+    tracer.emit("interval_accepted", |e| {
+        e.field_u64("interval", selection.interval as u64)
+            .field_u64("trials", selection.trials.len() as u64);
+    });
+}
+
+/// Emits the `session_done` trace event closing every successful trace —
+/// the final record a consumer checks the reconstructed run against.
+pub(crate) fn emit_session_done(tracer: &telemetry::Tracer, estimate: &Estimate) {
+    tracer.emit("session_done", |e| {
+        e.field_u64("sample_size", estimate.sample_size as u64)
+            .field_f64_bits("mean_power_w", estimate.mean_power_w);
+        if let Some(rhw) = estimate.relative_half_width {
+            e.field_f64_bits("rhw", rhw);
+        }
+        e.field_u64("zero_delay_cycles", estimate.cycle_counts.zero_delay_cycles)
+            .field_u64("measured_cycles", estimate.cycle_counts.measured_cycles);
+    });
 }
 
 /// Builds the DIPE-shaped [`Estimate`] from a finished sample — shared by
@@ -471,6 +607,7 @@ pub(crate) fn dipe_estimate(
         sample_size: sample.len(),
         cycle_counts,
         elapsed_seconds,
+        sim_profile: None,
         diagnostics: Diagnostics::Dipe {
             selection,
             criterion: criterion_name,
@@ -503,6 +640,7 @@ pub(crate) fn sample_in_blocks(
     block_size: usize,
     max_samples: usize,
     deadline: u64,
+    tracer: &telemetry::Tracer,
 ) -> BlockSampling {
     loop {
         if sampler.cycle_counts().total() >= deadline {
@@ -516,6 +654,7 @@ pub(crate) fn sample_in_blocks(
             block_size,
             max_samples,
             last_rhw,
+            tracer,
         ) {
             SamplePush::Continue => {}
             SamplePush::Satisfied(decision) => return BlockSampling::Satisfied(decision),

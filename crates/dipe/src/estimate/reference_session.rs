@@ -96,6 +96,7 @@ impl EstimationSession for ReferenceSession<'_> {
                             cycle_counts: self.sampler.cycle_counts(),
                             elapsed_seconds: self.elapsed_seconds
                                 + step_start.elapsed().as_secs_f64(),
+                            sim_profile: Some(self.sampler.sim_profile()),
                             diagnostics: Diagnostics::Reference { summary: *summary },
                         };
                         self.state = State::Done(estimate.clone());

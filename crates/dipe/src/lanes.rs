@@ -248,6 +248,7 @@ fn record_measurement(
                 config.block_size,
                 config.max_samples,
                 &mut last_rhw,
+                &telemetry::Tracer::disabled(),
             ) {
                 SamplePush::Continue => {}
                 SamplePush::Satisfied(decision) => {

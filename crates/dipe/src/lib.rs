@@ -92,7 +92,7 @@ pub use engine::{Engine, EstimationJob, JobOutcome, ReplicatedJob, ReplicatedOut
 pub use error::DipeError;
 pub use estimate::{
     run_to_completion, CycleBudget, Diagnostics, Estimate, EstimationSession,
-    NodeBreakdownDiagnostics, PowerEstimator, Progress, SessionPhase,
+    NodeBreakdownDiagnostics, PowerEstimator, Progress, SessionPhase, SimProfile,
 };
 pub use estimator::{DipeEstimator, DipeResult};
 pub use independence::{IndependenceSelection, IntervalTrial};

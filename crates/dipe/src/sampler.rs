@@ -213,6 +213,27 @@ impl<'c> PowerSampler<'c> {
         self.counts
     }
 
+    /// The simulator profiling counters accumulated by this sampler's
+    /// backends so far — the event-driven measurement counters plus the
+    /// partitioned zero-delay backend's settle-pass count, flattened into
+    /// one [`SimProfile`](crate::estimate::SimProfile) record.
+    pub fn sim_profile(&self) -> crate::estimate::SimProfile {
+        let counters = self.full.counters();
+        crate::estimate::SimProfile {
+            events_scheduled: counters.events_scheduled,
+            events_cancelled: counters.events_cancelled,
+            wheel_revolutions: counters.wheel_revolutions,
+            inline_evals: counters.inline_evals,
+            gather_evals: counters.gather_evals,
+            levelized_cycles: counters.levelized_cycles,
+            wheel_cycles: counters.wheel_cycles,
+            tiles_settled: match &self.zero {
+                ZeroSim::Compiled(_) => 0,
+                ZeroSim::Partitioned(sim) => sim.tiles_settled(),
+            },
+        }
+    }
+
     /// Advances the circuit by `cycles` clock cycles with zero-delay
     /// simulation only (no power recorded). Used for the initial warm-up and
     /// for the decorrelation cycles of the independence interval.

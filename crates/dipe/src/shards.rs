@@ -118,7 +118,11 @@ pub enum RoundVerdict {
 }
 
 /// The outcome of a completed fan-out: the pooled sample (in deterministic
-/// round-robin round order) and the number of merged rounds.
+/// round-robin round order), the number of merged rounds, and the run's
+/// profiling ledger. The sample and round count are pure functions of the
+/// run inputs; the profiling fields are wall-clock facts (how far each
+/// shard speculated past the deciding round depends on scheduling) and must
+/// never feed back into the estimate.
 #[derive(Debug)]
 pub struct PooledSampling {
     /// The pooled power sample in merge order.
@@ -126,6 +130,14 @@ pub struct PooledSampling {
     /// Complete rounds merged (each contributes `shards × block_size`
     /// samples).
     pub rounds: u64,
+    /// Speculative blocks the shards produced beyond the deciding round and
+    /// the merger discarded (scheduling-dependent; bounded by
+    /// `shards × MAX_LEAD_ROUNDS`).
+    pub discarded_blocks: u64,
+    /// Simulator profiling counters summed over every shard's sampler,
+    /// including the primary shard's pre-fanout warm-up and selection work
+    /// (its simulators carry their counters into the fan-out).
+    pub sim_profile: crate::estimate::SimProfile,
 }
 
 /// Runs the sharded block-sampling phase to completion.
@@ -137,6 +149,11 @@ pub struct PooledSampling {
 /// cycles, folding measured cycles through `fold`. After each merged round
 /// `decide` sees the pooled sample and the round's block payloads (shard
 /// order) and returns the verdict; `Satisfied`/`Exhausted` broadcast stop.
+///
+/// `tracer` receives one `round_merged` event per merged round (from the
+/// merger thread) and, once the fan-out has drained, a `shard_done` summary
+/// per shard plus a `speculative_discard` total. Tracing never runs on the
+/// worker threads' hot paths.
 ///
 /// # Errors
 ///
@@ -154,6 +171,7 @@ pub fn run_sharded_blocks<'c, F, D>(
     shards: usize,
     fold: &F,
     mut decide: D,
+    tracer: &telemetry::Tracer,
 ) -> Result<PooledSampling, DipeError>
 where
     F: ShardFold,
@@ -179,10 +197,15 @@ where
     let stop = AtomicBool::new(false);
     let consumed = (Mutex::new(0u64), Condvar::new());
     let (tx, rx) = mpsc::channel::<(usize, Vec<f64>, F::Block)>();
+    // Exit summaries (blocks produced, cycle ledger, simulator counters):
+    // one message per worker, collected after the scope joins them.
+    type ShardSummary = (usize, u64, CycleCounts, crate::estimate::SimProfile);
+    let (summary_tx, summary_rx) = mpsc::channel::<ShardSummary>();
 
     let pooled = std::thread::scope(|scope| {
         for (shard, mut sampler) in samplers.into_iter().enumerate() {
             let tx = tx.clone();
+            let summary_tx = summary_tx.clone();
             let stop = &stop;
             let consumed = &consumed;
             scope.spawn(move || {
@@ -222,9 +245,16 @@ where
                         break; // the merger is gone; nothing left to do
                     }
                 }
+                let _ = summary_tx.send((
+                    shard,
+                    produced,
+                    sampler.cycle_counts(),
+                    sampler.sim_profile(),
+                ));
             });
         }
         drop(tx);
+        drop(summary_tx);
 
         // The merger: assemble rounds in shard order, decide on the pool.
         let mut queues: Vec<VecDeque<(Vec<f64>, F::Block)>> =
@@ -245,6 +275,11 @@ where
                     *lock.lock().expect("workers never panic") = rounds;
                     condvar.notify_all();
                 }
+                tracer.emit("round_merged", |e| {
+                    e.field_u64("round", rounds)
+                        .field_u64("pooled_samples", sample.len() as u64)
+                        .field_u64("shards", shards as u64);
+                });
                 match decide(&sample, payloads) {
                     RoundVerdict::Continue => continue,
                     RoundVerdict::Satisfied | RoundVerdict::Exhausted => break,
@@ -261,7 +296,36 @@ where
         // Drain without blocking so worker sends never back up while the
         // scope joins (the channel is unbounded, but be tidy).
         while rx.try_recv().is_ok() {}
-        PooledSampling { sample, rounds }
+        PooledSampling {
+            sample,
+            rounds,
+            discarded_blocks: 0,
+            sim_profile: crate::estimate::SimProfile::default(),
+        }
+    });
+
+    // Fold the per-worker exit summaries (available once the scope has
+    // joined every worker) into the profiling ledger, in shard order so the
+    // trace is stable to read even though the counts themselves are
+    // scheduling-dependent.
+    let mut summaries: Vec<ShardSummary> = summary_rx.iter().collect();
+    summaries.sort_by_key(|&(shard, ..)| shard);
+    let mut pooled = pooled;
+    let mut produced_total = 0u64;
+    for (shard, produced, counts, profile) in &summaries {
+        produced_total += produced;
+        pooled.sim_profile.merge(profile);
+        tracer.emit("shard_done", |e| {
+            e.field_u64("shard", *shard as u64)
+                .field_u64("blocks_produced", *produced)
+                .field_u64("zero_delay_cycles", counts.zero_delay_cycles)
+                .field_u64("measured_cycles", counts.measured_cycles);
+        });
+    }
+    pooled.discarded_blocks = produced_total.saturating_sub(pooled.rounds * shards as u64);
+    tracer.emit("speculative_discard", |e| {
+        e.field_u64("blocks", pooled.discarded_blocks)
+            .field_u64("rounds_consumed", pooled.rounds);
     });
 
     Ok(pooled)
@@ -353,7 +417,9 @@ impl<'c> SerialFront<'c> {
     }
 
     /// Advances warm-up and interval selection until the cycle deadline is
-    /// reached or an interval is accepted.
+    /// reached or an interval is accepted. `tracer` receives the warm-up
+    /// bracket and the per-trial runs-test events (identical to the scalar
+    /// session's).
     ///
     /// # Errors
     ///
@@ -363,6 +429,7 @@ impl<'c> SerialFront<'c> {
         &mut self,
         config: &DipeConfig,
         deadline: u64,
+        tracer: &telemetry::Tracer,
     ) -> Result<FrontStep<'c>, DipeError> {
         loop {
             match std::mem::replace(&mut self.state, FrontState::Consumed) {
@@ -370,10 +437,14 @@ impl<'c> SerialFront<'c> {
                     mut sampler,
                     mut remaining,
                 } => {
+                    if sampler.cycle_counts().total() == 0 {
+                        crate::estimate::emit_warmup_start(tracer, config.warmup_cycles);
+                    }
                     if !crate::estimate::advance_warmup(&mut sampler, &mut remaining, deadline) {
                         self.state = FrontState::Warmup { sampler, remaining };
                         return Ok(FrontStep::OutOfBudget);
                     }
+                    crate::estimate::emit_warmup_end(tracer, sampler.cycle_counts());
                     self.state = FrontState::SelectInterval {
                         selector: IntervalSelector::new(config),
                         sampler,
@@ -388,6 +459,7 @@ impl<'c> SerialFront<'c> {
                         return Ok(FrontStep::OutOfBudget);
                     }
                     Ok(SelectorStep::Selected(selection)) => {
+                        crate::estimate::emit_selection(tracer, &selection);
                         return Ok(FrontStep::Selected(sampler, selection));
                     }
                     Err(error) => return Err(error),
@@ -458,6 +530,7 @@ impl PowerEstimator for ShardedDipeEstimator {
             base_seed_offset: seed_offset,
             shards: self.shards,
             elapsed_seconds: 0.0,
+            tracer: telemetry::Tracer::disabled(),
         }))
     }
 }
@@ -486,6 +559,7 @@ pub struct ShardedSession<'c> {
     shards: usize,
     state: State<'c>,
     elapsed_seconds: f64,
+    tracer: telemetry::Tracer,
 }
 
 impl<'c> ShardedSession<'c> {
@@ -498,6 +572,15 @@ impl<'c> ShardedSession<'c> {
         let counts_at_fanout = sampler.cycle_counts();
         let criterion = self.criterion.as_ref();
         let config = &self.config;
+        let tracer = &self.tracer;
+        tracer.emit("sampling_start", |e| {
+            e.field_u64("interval", selection.interval as u64)
+                .field_u64("block_size", config.block_size as u64)
+                .field_u64("max_samples", config.max_samples as u64)
+                .field_u64("shards", self.shards as u64)
+                .field_f64_bits("target", config.relative_error)
+                .field_str("criterion", criterion.name());
+        });
         let mut last_decision: Option<seqstats::StoppingDecision> = None;
         let mut exhausted = false;
         let pooled = run_sharded_blocks(
@@ -511,6 +594,7 @@ impl<'c> ShardedSession<'c> {
             &NoFold,
             |sample: &[f64], _payloads: Vec<()>| {
                 let decision = criterion.evaluate(sample);
+                crate::estimate::emit_stopping_eval(tracer, criterion, &decision);
                 let satisfied = decision.satisfied;
                 last_decision = Some(decision);
                 if satisfied {
@@ -522,9 +606,14 @@ impl<'c> ShardedSession<'c> {
                     RoundVerdict::Continue
                 }
             },
+            tracer,
         )?;
         let decision = last_decision.expect("at least one round was decided");
         if exhausted {
+            self.tracer.emit("sample_budget_exhausted", |e| {
+                e.field_u64("samples", pooled.sample.len() as u64)
+                    .field_f64_bits("rhw", decision.relative_half_width);
+            });
             return Err(DipeError::SampleBudgetExhausted {
                 samples: pooled.sample.len(),
                 achieved_relative_half_width: decision.relative_half_width,
@@ -537,7 +626,7 @@ impl<'c> ShardedSession<'c> {
             selection.interval,
             pooled.sample.len(),
         );
-        Ok(crate::estimate::dipe_estimate(
+        let mut estimate = crate::estimate::dipe_estimate(
             self.name.clone(),
             pooled.sample,
             decision.relative_half_width,
@@ -545,7 +634,10 @@ impl<'c> ShardedSession<'c> {
             self.elapsed_seconds + step_start.elapsed().as_secs_f64(),
             selection,
             self.criterion.name().to_string(),
-        ))
+        );
+        estimate.sim_profile = Some(pooled.sim_profile);
+        crate::estimate::emit_session_done(&self.tracer, &estimate);
+        Ok(estimate)
     }
 }
 
@@ -572,7 +664,7 @@ impl EstimationSession for ShardedSession<'_> {
         let deadline = self.cycles_done().saturating_add(budget.get());
 
         let front_step = match &mut self.state {
-            State::Front(front) => front.advance(&self.config, deadline),
+            State::Front(front) => front.advance(&self.config, deadline, &self.tracer),
             _ => unreachable!("handled at entry"),
         };
         match front_step {
@@ -608,6 +700,10 @@ impl EstimationSession for ShardedSession<'_> {
             current_rhw: None,
             phase,
         })
+    }
+
+    fn set_tracer(&mut self, tracer: telemetry::Tracer) {
+        self.tracer = tracer;
     }
 }
 

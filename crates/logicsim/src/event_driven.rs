@@ -72,6 +72,37 @@ use crate::trace::GlitchActivity;
 /// Sentinel terminating an intrusive bucket list / marking an empty bucket.
 const NIL: u32 = u32::MAX;
 
+/// Cumulative profiling counters of an [`EventDrivenSimulator`].
+///
+/// The counters are plain (non-atomic) integers bumped on the simulation
+/// paths — always on, because the cost is a handful of register increments
+/// per cycle (CI asserts the measured-cycle throughput stays within 2 % of
+/// the uninstrumented baseline). They accumulate over the simulator's
+/// lifetime; diff two snapshots to profile a region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Value changes scheduled into the timing wheel (stimulus events and
+    /// positive-delay gate output changes).
+    pub events_scheduled: u64,
+    /// Pending changes killed by inertial cancellation (a re-evaluation
+    /// contradicted a not-yet-matured change).
+    pub events_cancelled: u64,
+    /// Full revolutions the sweep cursor made over the circular wheel,
+    /// summed across cycles (a proxy for how far events spread in time
+    /// relative to the wheel size).
+    pub wheel_revolutions: u64,
+    /// Gate evaluations dispatched through the packed 4-operand inline
+    /// fast path.
+    pub inline_evals: u64,
+    /// Gate evaluations dispatched through the general operand-gather
+    /// evaluator (wide gates or oversized nets).
+    pub gather_evals: u64,
+    /// Cycles executed on the levelized zero-delay fast path.
+    pub levelized_cycles: u64,
+    /// Cycles executed on the general timing-wheel path.
+    pub wheel_cycles: u64,
+}
+
 /// One scheduled value change in the flat event arena, packed to 12 bytes:
 /// the target net with the scheduled value in bit 31, the pending generation
 /// (`seq` is matched against the net's current generation so cancelled
@@ -298,6 +329,8 @@ pub struct EventDrivenSimulator<'c> {
     /// Largest per-instruction delay of the annotation; zero selects the
     /// levelized fast path.
     max_delay_ps: u64,
+    /// Cumulative profiling counters (see [`SimCounters`]).
+    counters: SimCounters,
     activity: GlitchActivity,
 }
 
@@ -406,9 +439,15 @@ impl<'c> EventDrivenSimulator<'c> {
             dirty_heap: std::collections::BinaryHeap::new(),
             in_dirty: vec![false; num_instructions],
             max_delay_ps,
+            counters: SimCounters::default(),
             activity: GlitchActivity::zeroed(num_nets),
             program,
         }
+    }
+
+    /// The cumulative profiling counters of this simulator instance.
+    pub fn counters(&self) -> SimCounters {
+        self.counters
     }
 
     /// The circuit this simulator operates on.
@@ -479,6 +518,7 @@ impl<'c> EventDrivenSimulator<'c> {
     /// mapping cannot collide with a different pending time.
     #[inline]
     fn schedule(&mut self, net: usize, value: bool, time_ps: u64) {
+        self.counters.events_scheduled += 1;
         let slot = time_ps as usize & self.wheel_mask;
         let scratch = &mut self.scratch[net];
         let seq = scratch.seq.wrapping_add(1);
@@ -569,8 +609,10 @@ impl<'c> EventDrivenSimulator<'c> {
         self.begin_cycle(prev_stable);
 
         if self.max_delay_ps == 0 {
+            self.counters.levelized_cycles += 1;
             self.simulate_cycle_levelized(prev_stable, inputs);
         } else {
+            self.counters.wheel_cycles += 1;
             self.simulate_cycle_wheel(prev_stable, inputs);
         }
 
@@ -614,9 +656,11 @@ impl<'c> EventDrivenSimulator<'c> {
         // net has a higher instruction index than the change's producer
         // (topological program order), so each affected instruction is
         // evaluated exactly once, with final operand values.
+        let mut evals = 0u64;
         while let Some(std::cmp::Reverse(index)) = self.dirty_heap.pop() {
             let index = index as usize;
             self.in_dirty[index] = false;
+            evals += 1;
             let new_out = if let Some(gates) = &self.inline_gates {
                 gates[index].eval(&self.values)
             } else {
@@ -629,6 +673,11 @@ impl<'c> EventDrivenSimulator<'c> {
                 self.touched.push(out as u32);
                 self.mark_consumers_dirty(out);
             }
+        }
+        if self.inline_gates.is_some() {
+            self.counters.inline_evals += evals;
+        } else {
+            self.counters.gather_evals += evals;
         }
         // Every touched net changed exactly once: one settled transition.
         let totals = self.activity.total_mut().per_net_mut();
@@ -679,6 +728,8 @@ impl<'c> EventDrivenSimulator<'c> {
         // output changes — into the wheel for positive delays, or into the
         // next round of the same timestamp for zero-delay instructions.
         let mut cursor = 0usize;
+        let mut evals = 0u64;
+        let mut cancelled = 0u64;
         while let Some(t) = self.next_occupied(cursor) {
             // Drain bucket t: detach its intrusive list and clear its
             // occupancy (positive delays can never re-occupy a past bucket).
@@ -714,6 +765,7 @@ impl<'c> EventDrivenSimulator<'c> {
                     let net = self.frontier[f] as usize;
                     for c in self.consumers_of(net) {
                         let index = self.consumers[c] as usize;
+                        evals += 1;
                         let new_out = if let Some(gates) = &self.inline_gates {
                             gates[index].eval(&self.values)
                         } else {
@@ -734,6 +786,7 @@ impl<'c> EventDrivenSimulator<'c> {
                             // Inertial cancellation: the contradicted
                             // pending change never matures; its wheel entry
                             // goes stale.
+                            cancelled += 1;
                             let scratch = &mut self.scratch[out];
                             scratch.clear_pending();
                             scratch.seq = scratch.seq.wrapping_add(1);
@@ -790,6 +843,13 @@ impl<'c> EventDrivenSimulator<'c> {
             self.touched.clear();
             cursor = t + 1;
         }
+        if self.inline_gates.is_some() {
+            self.counters.inline_evals += evals;
+        } else {
+            self.counters.gather_evals += evals;
+        }
+        self.counters.events_cancelled += cancelled;
+        self.counters.wheel_revolutions += cursor as u64 / (self.wheel_mask as u64 + 1);
     }
 
     /// The total transitions of one net in the last simulated cycle.
@@ -1078,6 +1138,60 @@ mod tests {
         let quiet = event.simulate_cycle(&settled_prev, &[true]).clone();
         assert_eq!(quiet.total().total_transitions(), 0);
         assert_eq!(quiet.settled().total_transitions(), 0);
+    }
+
+    #[test]
+    fn profiling_counters_track_the_dispatch_paths() {
+        let c = iscas89::load("s298").unwrap();
+        // Zero model: every cycle goes levelized, nothing touches the wheel.
+        let mut zero_sim = EventDrivenSimulator::new(&c, DelayModel::Zero);
+        let mut state = ZeroDelaySimulator::new(&c);
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..20 {
+            let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+            let prev = state.values().to_vec();
+            zero_sim.simulate_cycle(&prev, &inputs);
+            state.step(&inputs);
+        }
+        let counters = zero_sim.counters();
+        assert_eq!(counters.levelized_cycles, 20);
+        assert_eq!(counters.wheel_cycles, 0);
+        assert_eq!(counters.events_scheduled, 0);
+        assert_eq!(counters.events_cancelled, 0);
+        assert_eq!(counters.wheel_revolutions, 0);
+        assert!(counters.inline_evals + counters.gather_evals > 0);
+
+        // Unit delays: every cycle goes through the wheel, scheduling events.
+        let mut wheel_sim = EventDrivenSimulator::new(&c, DelayModel::Unit(100));
+        let mut state = ZeroDelaySimulator::new(&c);
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..20 {
+            let inputs = crate::state::random_input_vector(&c, 0.5, &mut rng);
+            let prev = state.values().to_vec();
+            wheel_sim.simulate_cycle(&prev, &inputs);
+            state.step(&inputs);
+        }
+        let counters = wheel_sim.counters();
+        assert_eq!(counters.levelized_cycles, 0);
+        assert_eq!(counters.wheel_cycles, 20);
+        assert!(counters.events_scheduled > 0);
+        assert!(counters.inline_evals + counters.gather_evals > 0);
+        // Counters never reset on their own.
+        assert_eq!(wheel_sim.counters(), counters);
+    }
+
+    #[test]
+    fn inertial_cancellation_is_counted() {
+        // The buffered hazard from `inertial_filtering_swallows_narrow_pulses`:
+        // the slow buffer's pending rise is contradicted by the falling edge.
+        let (c, prev, _, _) = buffered_hazard();
+        let delays = netlist::GateDelays::from_delays(&c, vec![100, 100, 300]);
+        let mut sim = EventDrivenSimulator::with_delays(&c, DelayModel::Unit(100), &delays);
+        sim.simulate_cycle(&prev, &[true]);
+        assert!(
+            sim.counters().events_cancelled >= 1,
+            "the swallowed pulse must register as a cancellation"
+        );
     }
 
     #[test]

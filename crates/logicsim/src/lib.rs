@@ -74,7 +74,7 @@ mod zero_delay;
 
 pub use compiled::{broadcast, pack_lane_bit, BitParallelSimulator, CompiledSimulator, LANES};
 pub use event::{Event, EventQueue};
-pub use event_driven::EventDrivenSimulator;
+pub use event_driven::{EventDrivenSimulator, SimCounters};
 pub use netlist::{DelayModel, GateDelays};
 pub use partitioned::{PartitionedSimulator, TILE_INSTRUCTIONS};
 pub use state::{random_input_vector, random_state_vector, SimState};

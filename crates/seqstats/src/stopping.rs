@@ -39,6 +39,23 @@ pub struct StoppingDecision {
     pub sample_size: usize,
 }
 
+impl StoppingDecision {
+    /// The point estimate as its exact IEEE-754 bit pattern.
+    ///
+    /// Trace consumers compare decisions across runs (and against the final
+    /// reported estimate) bit-for-bit; going through decimal text would make
+    /// that comparison depend on formatting round-trips.
+    pub fn estimate_bits(&self) -> u64 {
+        self.estimate.to_bits()
+    }
+
+    /// The relative half-width as its exact IEEE-754 bit pattern (defined
+    /// even when the half-width is `∞`, which has no JSON decimal form).
+    pub fn relative_half_width_bits(&self) -> u64 {
+        self.relative_half_width.to_bits()
+    }
+}
+
 /// A sequential stopping rule for mean estimation.
 pub trait StoppingCriterion {
     /// A short human-readable name (used in reports and experiment logs).
@@ -321,6 +338,19 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn decision_bit_patterns_are_exact() {
+        let decision = StoppingDecision {
+            satisfied: false,
+            estimate: 1.0 / 3.0,
+            relative_half_width: f64::INFINITY,
+            sample_size: 32,
+        };
+        assert_eq!(decision.estimate_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(decision.relative_half_width_bits(), f64::INFINITY.to_bits());
+        assert_eq!(f64::from_bits(decision.estimate_bits()), decision.estimate);
+    }
 
     fn normal_sample(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
         // Box-Muller from a seeded RNG.

@@ -6,6 +6,8 @@
 //!             [--delay-model D] [--no-wait]
 //! dipe-client ADDR resume PATH
 //! dipe-client ADDR checkpoint JOB_ID [--stop]
+//! dipe-client ADDR trace JOB_ID
+//! dipe-client ADDR metrics [--watch [SECONDS]]
 //! dipe-client ADDR stats | ping | shutdown
 //! ```
 //!
@@ -107,6 +109,51 @@ fn run() -> Result<(), String> {
             };
             let path = client.checkpoint(job_id, stop)?;
             println!("{path}");
+        }
+        "trace" => {
+            let job_id: u64 = args
+                .next()
+                .ok_or("trace: missing job id")?
+                .parse()
+                .map_err(|e| format!("trace: bad job id: {e}"))?;
+            let (lines, dropped) = client.trace(job_id)?;
+            if dropped > 0 {
+                eprintln!("trace buffer dropped {dropped} older lines");
+            }
+            for line in lines {
+                println!("{line}");
+            }
+        }
+        "metrics" => {
+            let mut watch = false;
+            let mut interval = std::time::Duration::from_secs(1);
+            for arg in args {
+                match arg.as_str() {
+                    "--watch" => watch = true,
+                    other => match other.parse::<f64>() {
+                        Ok(seconds) if watch && seconds > 0.0 => {
+                            interval = std::time::Duration::from_secs_f64(seconds);
+                        }
+                        _ => return Err(format!("metrics: unknown argument `{other}`")),
+                    },
+                }
+            }
+            if !watch {
+                print!("{}", client.metrics()?);
+            } else {
+                // Live dashboard: redraw the exposition in place until the
+                // server goes away (shutdown ends the loop cleanly).
+                loop {
+                    let text = match client.metrics() {
+                        Ok(text) => text,
+                        Err(_) => return Ok(()),
+                    };
+                    print!("\x1b[2J\x1b[H{text}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    std::thread::sleep(interval);
+                }
+            }
         }
         "stats" => println!("{}", client.stats()?.to_line()),
         "ping" => {

@@ -220,6 +220,41 @@ impl Client {
         Self::expect(response, "stats")
     }
 
+    /// The Prometheus-style metrics exposition text.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or server-side errors as strings.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        let response = self.request(&Request::Metrics)?;
+        let response = Self::expect(response, "metrics")?;
+        response
+            .get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "metrics response without text".to_string())
+    }
+
+    /// A job's buffered estimation-trace lines and how many older lines the
+    /// bounded buffer had to drop.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or server-side errors as strings.
+    pub fn trace(&mut self, job_id: u64) -> Result<(Vec<String>, u64), String> {
+        let response = self.request(&Request::Trace { job_id })?;
+        let response = Self::expect(response, "trace")?;
+        let lines = response
+            .get("lines")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "trace response without lines".to_string())?
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        let dropped = response.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+        Ok((lines, dropped))
+    }
+
     /// The `status` response object for a job.
     ///
     /// # Errors

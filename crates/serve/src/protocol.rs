@@ -20,6 +20,8 @@
 //! | `checkpoint` | `job_id`, optional `stop`       | `checkpointed`   |
 //! | `resume`     | `path` (checkpoint file)        | `accepted`       |
 //! | `stats`      | —                               | `stats`          |
+//! | `metrics`    | —                               | `metrics`        |
+//! | `trace`      | `job_id`                        | `trace`          |
 //! | `ping`       | —                               | `pong`           |
 //! | `shutdown`   | —                               | `bye`            |
 //!
@@ -65,6 +67,16 @@ pub enum Request {
     },
     /// Server and cache statistics.
     Stats,
+    /// Prometheus-style text exposition of the server's runtime metrics
+    /// (the live-dashboard endpoint; same underlying counters as `stats`).
+    Metrics,
+    /// The buffered estimation-trace lines of a job (see the `telemetry`
+    /// crate's JSONL schema). Available while the job is known to the
+    /// server, including after it finished.
+    Trace {
+        /// The job whose trace buffer to fetch.
+        job_id: u64,
+    },
     /// Liveness probe.
     Ping,
     /// Stop accepting work, cancel running jobs and exit.
@@ -96,6 +108,11 @@ impl Request {
                 ("path", Json::str(path.clone())),
             ]),
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
+            Request::Metrics => Json::obj(vec![("type", Json::str("metrics"))]),
+            Request::Trace { job_id } => Json::obj(vec![
+                ("type", Json::str("trace")),
+                ("job_id", Json::u64(*job_id)),
+            ]),
             Request::Ping => Json::obj(vec![("type", Json::str("ping"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
@@ -136,6 +153,8 @@ impl Request {
                     .to_string(),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "trace" => Ok(Request::Trace { job_id: job_id()? }),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type `{other}`")),
@@ -397,6 +416,8 @@ mod tests {
                 path: "/tmp/x.ckpt.json".to_string(),
             },
             Request::Stats,
+            Request::Metrics,
+            Request::Trace { job_id: 6 },
             Request::Ping,
             Request::Shutdown,
         ];
@@ -415,6 +436,7 @@ mod tests {
             r#"{"type":"status"}"#,
             r#"{"type":"submit"}"#,
             r#"{"type":"resume"}"#,
+            r#"{"type":"trace"}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "`{bad}`");

@@ -28,6 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use dipe::{CycleBudget, DipeEstimator, Estimate, Progress, SessionCheckpoint};
+use telemetry::{BufferSink, Counter, Histogram, LatencyRing, MetricsRegistry, TraceSink, Tracer};
 
 use crate::cache::CircuitCache;
 use crate::checkpoint_io::CheckpointFile;
@@ -62,31 +63,61 @@ impl Default for ServerConfig {
 }
 
 /// Counting semaphore built on `Mutex` + `Condvar` (std has none): the
-/// bounded worker pool.
+/// bounded worker pool. Instrumented: it tracks how many permits are in
+/// use, how many acquirers are parked waiting (the queue depth), and the
+/// high-water mark of simultaneous permit use over the server's life.
 struct Gate {
-    available: Mutex<usize>,
+    permits: usize,
+    state: Mutex<GateState>,
     cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    available: usize,
+    waiters: usize,
+    high_water: usize,
 }
 
 impl Gate {
     fn new(permits: usize) -> Gate {
+        let permits = permits.max(1);
         Gate {
-            available: Mutex::new(permits.max(1)),
+            permits,
+            state: Mutex::new(GateState {
+                available: permits,
+                waiters: 0,
+                high_water: 0,
+            }),
             cv: Condvar::new(),
         }
     }
 
     fn acquire(&self) {
-        let mut n = self.available.lock().unwrap();
-        while *n == 0 {
-            n = self.cv.wait(n).unwrap();
+        let mut state = self.state.lock().unwrap();
+        while state.available == 0 {
+            state.waiters += 1;
+            state = self.cv.wait(state).unwrap();
+            state.waiters -= 1;
         }
-        *n -= 1;
+        state.available -= 1;
+        let in_use = self.permits - state.available;
+        state.high_water = state.high_water.max(in_use);
     }
 
     fn release(&self) {
-        *self.available.lock().unwrap() += 1;
+        self.state.lock().unwrap().available += 1;
         self.cv.notify_one();
+    }
+
+    /// `(permits_in_use, waiters, high_water)` at this instant.
+    fn snapshot(&self) -> (usize, usize, usize) {
+        let state = self.state.lock().unwrap();
+        (
+            self.permits - state.available,
+            state.waiters,
+            state.high_water,
+        )
     }
 }
 
@@ -154,12 +185,20 @@ struct CheckpointRequest {
     reply: Arc<CheckpointReply>,
 }
 
+/// Lines retained per job in its bounded trace buffer (the `trace` RPC's
+/// window). Oldest lines drop first; the RPC reports how many were lost.
+const JOB_TRACE_CAPACITY: usize = 8192;
+
 /// Shared control block of one job.
 struct JobHandle {
     id: u64,
     cancel: AtomicBool,
     checkpoint: Mutex<Option<CheckpointRequest>>,
     status: Mutex<JobStatus>,
+    /// The job's estimation-trace ring, served by the `trace` RPC. The job
+    /// thread writes it through a [`Tracer`]; it stays readable after the
+    /// job ends, for as long as the job is registered.
+    trace: Arc<BufferSink>,
 }
 
 impl JobHandle {
@@ -175,6 +214,7 @@ impl JobHandle {
                 samples: 0,
                 message: String::new(),
             }),
+            trace: Arc::new(BufferSink::bounded(JOB_TRACE_CAPACITY)),
         })
     }
 
@@ -193,20 +233,46 @@ impl JobHandle {
 }
 
 /// Server-lifetime counters (the `stats` RPC, next to the cache's own).
-#[derive(Default)]
+///
+/// The counters live in the server's [`MetricsRegistry`], so the `stats`
+/// response and the `metrics` exposition read the *same* atomics — the two
+/// views cannot disagree about a count.
 struct ServerStats {
-    jobs_submitted: AtomicU64,
-    jobs_completed: AtomicU64,
-    jobs_failed: AtomicU64,
-    jobs_cancelled: AtomicU64,
+    jobs_submitted: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    jobs_cancelled: Arc<Counter>,
+    /// Sum of per-job executed cycles (accounting total minus cache skips).
+    executed_cycles_total: Arc<Counter>,
+    /// Distribution of executed cycles per completed job.
+    job_executed_cycles: Arc<Histogram>,
 }
+
+impl ServerStats {
+    fn new(registry: &MetricsRegistry) -> ServerStats {
+        ServerStats {
+            jobs_submitted: registry.counter("dipe_serve_jobs_submitted_total"),
+            jobs_completed: registry.counter("dipe_serve_jobs_completed_total"),
+            jobs_failed: registry.counter("dipe_serve_jobs_failed_total"),
+            jobs_cancelled: registry.counter("dipe_serve_jobs_cancelled_total"),
+            executed_cycles_total: registry.counter("dipe_serve_executed_cycles_total"),
+            job_executed_cycles: registry.histogram("dipe_serve_job_executed_cycles"),
+        }
+    }
+}
+
+/// Window of recent job wall-clock latencies behind the p50/p95 gauges.
+const LATENCY_WINDOW: usize = 256;
 
 struct Shared {
     config: ServerConfig,
     addr: SocketAddr,
     gate: Gate,
     cache: CircuitCache,
+    registry: Arc<MetricsRegistry>,
     stats: ServerStats,
+    latency: Mutex<LatencyRing>,
+    started: Instant,
     jobs: Mutex<HashMap<u64, Arc<JobHandle>>>,
     job_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     next_job_id: AtomicU64,
@@ -221,6 +287,10 @@ impl Shared {
             .values()
             .filter(|j| j.status.lock().unwrap().state == JobStateKind::Running)
             .count() as u64
+    }
+
+    fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 }
 
@@ -271,6 +341,28 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let registry = Arc::new(MetricsRegistry::new());
+        let stats = ServerStats::new(&registry);
+        // Pre-register the point-in-time gauges so the exposition has a
+        // stable layout from the first scrape (registration order is
+        // render order).
+        for gauge in [
+            "dipe_serve_jobs_active",
+            "dipe_serve_workers",
+            "dipe_serve_workers_in_use",
+            "dipe_serve_worker_high_water",
+            "dipe_serve_queue_depth",
+            "dipe_serve_uptime_seconds",
+            "dipe_serve_cache_compiled_hits",
+            "dipe_serve_cache_compiled_misses",
+            "dipe_serve_cache_warm_hits",
+            "dipe_serve_cache_warm_misses",
+            "dipe_serve_job_wall_ms_p50",
+            "dipe_serve_job_wall_ms_p95",
+            "dipe_serve_job_wall_window",
+        ] {
+            registry.gauge(gauge);
+        }
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -278,7 +370,10 @@ impl Server {
                 config,
                 addr,
                 cache: CircuitCache::new(),
-                stats: ServerStats::default(),
+                registry,
+                stats,
+                latency: Mutex::new(LatencyRing::new(LATENCY_WINDOW)),
+                started: Instant::now(),
                 jobs: Mutex::new(HashMap::new()),
                 job_threads: Mutex::new(Vec::new()),
                 next_job_id: AtomicU64::new(1),
@@ -407,6 +502,25 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 checkpoint_request(&shared, &writer, job_id, stop);
             }
             Request::Stats => writer.send(&stats_response(&shared)),
+            Request::Metrics => writer.send(&metrics_response(&shared)),
+            Request::Trace { job_id } => {
+                let job = shared.jobs.lock().unwrap().get(&job_id).cloned();
+                match job {
+                    None => writer.send(&error_response(&format!("no such job {job_id}"))),
+                    Some(job) => {
+                        let lines = job.trace.lines();
+                        writer.send(&Json::obj(vec![
+                            ("type", Json::str("trace")),
+                            ("job_id", Json::u64(job_id)),
+                            ("dropped", Json::u64(job.trace.dropped())),
+                            (
+                                "lines",
+                                Json::Arr(lines.into_iter().map(Json::Str).collect()),
+                            ),
+                        ]));
+                    }
+                }
+            }
             Request::Ping => writer.send(&Json::obj(vec![("type", Json::str("pong"))])),
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
@@ -429,32 +543,91 @@ fn error_response(message: &str) -> Json {
 fn stats_response(shared: &Shared) -> Json {
     let (compiled_hits, compiled_misses, warm_hits, warm_misses) = shared.cache.stats.snapshot();
     let (compiled_entries, warm_entries) = shared.cache.sizes();
+    let (workers_in_use, queue_depth, worker_high_water) = shared.gate.snapshot();
     Json::obj(vec![
         ("type", Json::str("stats")),
         (
             "jobs_submitted",
-            Json::u64(shared.stats.jobs_submitted.load(Ordering::Relaxed)),
+            Json::u64(shared.stats.jobs_submitted.get()),
         ),
         (
             "jobs_completed",
-            Json::u64(shared.stats.jobs_completed.load(Ordering::Relaxed)),
+            Json::u64(shared.stats.jobs_completed.get()),
         ),
-        (
-            "jobs_failed",
-            Json::u64(shared.stats.jobs_failed.load(Ordering::Relaxed)),
-        ),
+        ("jobs_failed", Json::u64(shared.stats.jobs_failed.get())),
         (
             "jobs_cancelled",
-            Json::u64(shared.stats.jobs_cancelled.load(Ordering::Relaxed)),
+            Json::u64(shared.stats.jobs_cancelled.get()),
         ),
         ("active_jobs", Json::u64(shared.active_jobs())),
         ("workers", Json::usize(shared.config.workers)),
+        ("workers_in_use", Json::usize(workers_in_use)),
+        ("worker_high_water", Json::usize(worker_high_water)),
+        ("queue_depth", Json::usize(queue_depth)),
+        ("uptime_seconds", Json::u64(shared.uptime_seconds())),
+        (
+            "executed_cycles_total",
+            Json::u64(shared.stats.executed_cycles_total.get()),
+        ),
         ("compiled_hits", Json::u64(compiled_hits)),
         ("compiled_misses", Json::u64(compiled_misses)),
         ("warm_hits", Json::u64(warm_hits)),
         ("warm_misses", Json::u64(warm_misses)),
         ("compiled_entries", Json::usize(compiled_entries)),
         ("warm_entries", Json::usize(warm_entries)),
+    ])
+}
+
+/// Renders the Prometheus-style exposition. The counters are read from the
+/// same registry atomics `stats` reports; the gauges are refreshed here from
+/// the same live sources (gate, job table, cache, latency ring) immediately
+/// before rendering, so a scrape and a `stats` call see one coherent world.
+fn metrics_response(shared: &Shared) -> Json {
+    let registry = &shared.registry;
+    let (workers_in_use, queue_depth, worker_high_water) = shared.gate.snapshot();
+    registry
+        .gauge("dipe_serve_jobs_active")
+        .set(shared.active_jobs() as i64);
+    registry
+        .gauge("dipe_serve_workers")
+        .set(shared.config.workers as i64);
+    registry
+        .gauge("dipe_serve_workers_in_use")
+        .set(workers_in_use as i64);
+    registry
+        .gauge("dipe_serve_worker_high_water")
+        .set(worker_high_water as i64);
+    registry
+        .gauge("dipe_serve_queue_depth")
+        .set(queue_depth as i64);
+    registry
+        .gauge("dipe_serve_uptime_seconds")
+        .set(shared.uptime_seconds() as i64);
+    let (compiled_hits, compiled_misses, warm_hits, warm_misses) = shared.cache.stats.snapshot();
+    registry
+        .gauge("dipe_serve_cache_compiled_hits")
+        .set(compiled_hits as i64);
+    registry
+        .gauge("dipe_serve_cache_compiled_misses")
+        .set(compiled_misses as i64);
+    registry
+        .gauge("dipe_serve_cache_warm_hits")
+        .set(warm_hits as i64);
+    registry
+        .gauge("dipe_serve_cache_warm_misses")
+        .set(warm_misses as i64);
+    {
+        let ring = shared.latency.lock().unwrap();
+        let ms = |q: f64| ring.quantile(q).map_or(0, |s| (s * 1e3).round() as i64);
+        registry.gauge("dipe_serve_job_wall_ms_p50").set(ms(0.50));
+        registry.gauge("dipe_serve_job_wall_ms_p95").set(ms(0.95));
+        registry
+            .gauge("dipe_serve_job_wall_window")
+            .set(ring.len() as i64);
+    }
+    Json::obj(vec![
+        ("type", Json::str("metrics")),
+        ("text", Json::str(registry.render_prometheus())),
     ])
 }
 
@@ -522,7 +695,7 @@ fn submit_job(
         .lock()
         .unwrap()
         .insert(job_id, Arc::clone(&handle));
-    shared.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    shared.stats.jobs_submitted.inc();
     // The response goes out before the job thread exists, so `accepted`
     // always precedes the job's first event on this connection.
     writer.send(&Json::obj(vec![
@@ -560,7 +733,14 @@ fn run_job(
     match outcome {
         Ok((estimate, cache, executed_cycles)) => {
             handle.set_state(JobStateKind::Done, "");
-            shared.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.jobs_completed.inc();
+            shared.stats.executed_cycles_total.add(executed_cycles);
+            shared.stats.job_executed_cycles.record(executed_cycles);
+            shared
+                .latency
+                .lock()
+                .unwrap()
+                .record(started.elapsed().as_secs_f64());
             writer.send(
                 &Event::Result(JobResult {
                     job_id: handle.id,
@@ -581,7 +761,7 @@ fn run_job(
         Err(JobEnd::Cancelled(message)) => {
             handle.flush_checkpoint_request(&message);
             handle.set_state(JobStateKind::Cancelled, &message);
-            shared.stats.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.stats.jobs_cancelled.inc();
             writer.send(
                 &Event::Failed {
                     job_id: handle.id,
@@ -593,7 +773,7 @@ fn run_job(
         Err(JobEnd::Failed(message)) => {
             handle.flush_checkpoint_request(&message);
             handle.set_state(JobStateKind::Failed, &message);
-            shared.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.jobs_failed.inc();
             writer.send(
                 &Event::Failed {
                     job_id: handle.id,
@@ -672,6 +852,18 @@ fn drive_job(
             },
         )
     };
+    // Attach the job's trace ring. The first line records which cache tier
+    // seeded the session, so a trace consumer knows whether the warm-up and
+    // interval-selection events that follow (or their absence) came from
+    // real simulation or from restored state.
+    let tracer = Tracer::to_sink(Arc::clone(&handle.trace) as Arc<dyn TraceSink>);
+    tracer.emit("job_start", |e| {
+        e.field_u64("job_id", handle.id)
+            .field_str("circuit", spec.circuit.name())
+            .field_str("cache_path", cache.label())
+            .field_bool("compiled_hit", compiled_hit);
+    });
+    session.set_tracer(tracer);
     // Cycles inherited from a checkpoint are accounted but not executed
     // here; the difference is the work the cache (or resume) skipped.
     let inherited_cycles = session.cycles_done();

@@ -205,6 +205,173 @@ fn checkpoint_stop_resume_reproduces_the_uninterrupted_estimate() {
 }
 
 #[test]
+fn progress_events_stream_in_monotone_cycle_order() {
+    use std::collections::HashMap;
+    // Eight jobs multiplexed over two permits, small slices: progress lines
+    // from different jobs interleave heavily on the one socket, but each
+    // job's own cycle counter must still only ever move forward.
+    let (addr, thread) = start_server(2, 400);
+    let mut client = Client::connect(addr).expect("connect");
+    let ids: Vec<u64> = (0..8)
+        .map(|i| {
+            client
+                .submit(
+                    &JobSpec::named("s27")
+                        .with_seed(300 + i)
+                        .with_accuracy(0.15, 0.90),
+                )
+                .expect("submit")
+        })
+        .collect();
+
+    let mut last_cycles: HashMap<u64, u64> = HashMap::new();
+    let mut progress_events: HashMap<u64, u64> = HashMap::new();
+    let mut finished = 0;
+    while finished < ids.len() {
+        match client.next_event().expect("event") {
+            dipe_serve::Event::Progress {
+                job_id,
+                cycles_done,
+                ..
+            } => {
+                let last = last_cycles.entry(job_id).or_insert(0);
+                assert!(
+                    cycles_done >= *last,
+                    "job {job_id} went backwards: {cycles_done} after {last}"
+                );
+                *last = cycles_done;
+                *progress_events.entry(job_id).or_insert(0) += 1;
+            }
+            dipe_serve::Event::Result(result) => {
+                assert!(ids.contains(&result.job_id));
+                finished += 1;
+            }
+            dipe_serve::Event::Failed { job_id, message } => {
+                panic!("job {job_id} failed: {message}");
+            }
+        }
+    }
+    for id in &ids {
+        assert!(
+            progress_events.get(id).copied().unwrap_or(0) >= 1,
+            "job {id} produced no progress events at 400-cycle slices"
+        );
+    }
+    let total: u64 = progress_events.values().sum();
+    assert!(
+        total >= ids.len() as u64 * 2,
+        "expected heavy interleaving, saw only {total} progress events"
+    );
+    shutdown(addr, thread);
+}
+
+#[test]
+fn metrics_exposition_is_parseable_and_consistent_with_stats() {
+    let (addr, thread) = start_server(2, 2_000);
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = JobSpec::named("s27").with_seed(9).with_accuracy(0.15, 0.90);
+    let job_id = client.submit(&spec).expect("submit");
+    let result = client.wait_result(job_id).expect("result");
+
+    let text = client.metrics().expect("metrics");
+    let stats = client.stats().expect("stats");
+
+    // Every line is either a `# TYPE` comment or `name[{labels}] value`
+    // with a numeric value — i.e. the exposition is mechanically parseable.
+    let mut samples = std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE "), "odd comment: {line}");
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("name/value split");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample on `{line}`"
+        );
+        samples.insert(name.to_string(), value.to_string());
+    }
+    let sample_u64 = |name: &str| -> u64 {
+        samples
+            .get(name)
+            .unwrap_or_else(|| panic!("metric {name} missing from exposition:\n{text}"))
+            .parse()
+            .unwrap()
+    };
+    let stat_u64 = |key: &str| {
+        stats
+            .get(key)
+            .and_then(dipe_serve::Json::as_u64)
+            .unwrap_or_else(|| panic!("stats field {key} missing"))
+    };
+
+    // Counters: rendered from the very atomics `stats` reads.
+    assert_eq!(
+        sample_u64("dipe_serve_jobs_submitted_total"),
+        stat_u64("jobs_submitted")
+    );
+    assert_eq!(
+        sample_u64("dipe_serve_jobs_completed_total"),
+        stat_u64("jobs_completed")
+    );
+    assert_eq!(
+        sample_u64("dipe_serve_executed_cycles_total"),
+        stat_u64("executed_cycles_total")
+    );
+    assert_eq!(
+        sample_u64("dipe_serve_executed_cycles_total"),
+        result.executed_cycles
+    );
+    assert_eq!(sample_u64("dipe_serve_workers"), stat_u64("workers"));
+    assert_eq!(
+        sample_u64("dipe_serve_worker_high_water"),
+        stat_u64("worker_high_water")
+    );
+    // One finished job: the per-job histogram and latency window saw it.
+    assert_eq!(sample_u64("dipe_serve_job_executed_cycles_count"), 1);
+    assert_eq!(
+        sample_u64("dipe_serve_job_executed_cycles_sum"),
+        result.executed_cycles
+    );
+    assert_eq!(sample_u64("dipe_serve_job_wall_window"), 1);
+    shutdown(addr, thread);
+}
+
+#[test]
+fn trace_rpc_returns_the_jobs_estimation_trace() {
+    let (addr, thread) = start_server(1, 2_000);
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.trace(42).is_err(), "unknown job must error");
+
+    let spec = JobSpec::named("s27")
+        .with_seed(11)
+        .with_accuracy(0.15, 0.90);
+    let job_id = client.submit(&spec).expect("submit");
+    let result = client.wait_result(job_id).expect("result");
+
+    let (lines, dropped) = client.trace(job_id).expect("trace");
+    assert_eq!(dropped, 0, "an s27 trace fits the buffer");
+    assert!(!lines.is_empty());
+    // The server prologue records how the session was seeded...
+    assert!(lines[0].contains("\"event\":\"job_start\""));
+    assert!(lines[0].contains("\"cache_path\":\"cold\""));
+    // ...and the session's own events follow, ending in a closing record
+    // whose bits match the wire result exactly.
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"event\":\"warmup_start\"")));
+    let done = lines
+        .iter()
+        .find(|l| l.contains("\"event\":\"session_done\""))
+        .expect("session_done in trace");
+    assert!(done.contains(&format!(
+        "\"mean_power_w_bits\":{}",
+        result.mean_power_w.to_bits()
+    )));
+    shutdown(addr, thread);
+}
+
+#[test]
 fn error_paths_and_clean_shutdown() {
     let (addr, thread) = start_server(1, 2_000);
     let mut client = Client::connect(addr).expect("connect");

@@ -1,0 +1,109 @@
+//! A fixed-capacity ring of recent latency observations with exact
+//! order-statistic quantiles.
+//!
+//! The service wants "p50/p95 job latency" over *recent* jobs, not over the
+//! process lifetime — a ring of the last N observations is the honest
+//! window for that, and with N in the hundreds an exact sort at query time
+//! is cheaper than maintaining a sketch.
+
+/// A bounded ring buffer of `f64` observations (typically milliseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyRing {
+    slots: Vec<f64>,
+    capacity: usize,
+    next: usize,
+    total: u64,
+}
+
+impl LatencyRing {
+    /// Creates a ring retaining at most `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "latency ring capacity must be positive");
+        LatencyRing {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation, evicting the oldest when full.
+    pub fn record(&mut self, value: f64) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(value);
+        } else {
+            self.slots[self.next] = value;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total += 1;
+    }
+
+    /// Observations currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no observation has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Observations recorded over the ring's lifetime (including evicted
+    /// ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact order statistic at quantile `q` in `[0, 1]` of the
+    /// *retained* window (nearest-rank definition), or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut sorted = self.slots.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let mut ring = LatencyRing::new(100);
+        for v in 1..=100 {
+            ring.record(v as f64);
+        }
+        assert_eq!(ring.quantile(0.5), Some(50.0));
+        assert_eq!(ring.quantile(0.95), Some(95.0));
+        assert_eq!(ring.quantile(0.0), Some(1.0));
+        assert_eq!(ring.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn the_ring_keeps_the_newest_window() {
+        let mut ring = LatencyRing::new(4);
+        for v in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0] {
+            ring.record(v);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_recorded(), 6);
+        // Retained window is {30, 40, 50, 60}.
+        assert_eq!(ring.quantile(0.5), Some(40.0));
+        assert_eq!(ring.quantile(1.0), Some(60.0));
+    }
+
+    #[test]
+    fn empty_ring_has_no_quantiles() {
+        let ring = LatencyRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.quantile(0.5), None);
+    }
+}

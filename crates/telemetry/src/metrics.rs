@@ -1,0 +1,475 @@
+//! Atomic metrics registry with Prometheus-style text exposition.
+//!
+//! The registry hands out shared handles to named instruments; instruments
+//! are lock-free after creation (plain atomics), and the registry lock is
+//! only taken on first registration and at render time. A [`Metrics`]
+//! handle either points at a registry or is a static no-op — the disabled
+//! form never allocates and every operation on an instrument obtained from
+//! it is a single branch plus a relaxed atomic that the optimiser can hoist.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution bits of the log-linear histogram: each power-of-two
+/// octave is split into `2^LINEAR_BITS` linear sub-buckets.
+const LINEAR_BITS: u32 = 2;
+const SUB_BUCKETS: usize = 1 << LINEAR_BITS;
+/// Bucket count covering the full `u64` range at [`LINEAR_BITS`] resolution.
+const BUCKETS: usize = (64 - LINEAR_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// A log-linear-bucket histogram of `u64` observations.
+///
+/// Buckets are exact for values below `2^LINEAR_BITS` and have a relative
+/// width of `2^-LINEAR_BITS` (25 % at the default resolution) above that —
+/// the classic HDR layout, here with fixed compile-time sizing so recording
+/// is a single atomic increment with no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array through a Vec.
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("bucket count is a compile-time constant");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of `value`.
+    #[inline]
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - LINEAR_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((msb - LINEAR_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// The inclusive upper bound of the bucket with the given index — the
+    /// largest value the bucket can contain.
+    fn bucket_upper_bound(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let octave = (index / SUB_BUCKETS - 1) as u32 + LINEAR_BITS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let shift = octave - LINEAR_BITS;
+        ((1u64 << octave) | (sub << shift)) + ((1u64 << shift) - 1)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// An upper bound on the value at quantile `q` (in `[0, 1]`): the upper
+    /// bound of the bucket containing the `ceil(q·count)`-th observation.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_bound(index);
+            }
+        }
+        Self::bucket_upper_bound(BUCKETS - 1)
+    }
+}
+
+/// The kinds of instruments a registry holds, in registration order.
+#[derive(Debug)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named instruments with Prometheus-style rendering.
+///
+/// Names follow the Prometheus convention (`snake_case`, `_total` suffixes
+/// for counters by taste); registration is idempotent — asking for an
+/// existing name returns the existing instrument, so call sites do not have
+/// to coordinate.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    instruments: Mutex<Vec<(String, Instrument)>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut instruments = self.instruments.lock().expect("registry lock");
+        for (existing, instrument) in instruments.iter() {
+            if existing == name {
+                match instrument {
+                    Instrument::Counter(c) => return c.clone(),
+                    _ => panic!("metric {name} is not a counter"),
+                }
+            }
+        }
+        let counter = Arc::new(Counter::new());
+        instruments.push((name.to_string(), Instrument::Counter(counter.clone())));
+        counter
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut instruments = self.instruments.lock().expect("registry lock");
+        for (existing, instrument) in instruments.iter() {
+            if existing == name {
+                match instrument {
+                    Instrument::Gauge(g) => return g.clone(),
+                    _ => panic!("metric {name} is not a gauge"),
+                }
+            }
+        }
+        let gauge = Arc::new(Gauge::new());
+        instruments.push((name.to_string(), Instrument::Gauge(gauge.clone())));
+        gauge
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut instruments = self.instruments.lock().expect("registry lock");
+        for (existing, instrument) in instruments.iter() {
+            if existing == name {
+                match instrument {
+                    Instrument::Histogram(h) => return h.clone(),
+                    _ => panic!("metric {name} is not a histogram"),
+                }
+            }
+        }
+        let histogram = Arc::new(Histogram::new());
+        instruments.push((name.to_string(), Instrument::Histogram(histogram.clone())));
+        histogram
+    }
+
+    /// Renders every instrument as Prometheus text exposition (one
+    /// `# TYPE` line plus the sample lines per metric, in registration
+    /// order). Histograms are rendered as `<name>_count`, `<name>_sum`, and
+    /// `<name>{quantile="0.5"|"0.95"}` upper-bound samples.
+    pub fn render_prometheus(&self) -> String {
+        let instruments = self.instruments.lock().expect("registry lock");
+        let mut out = String::new();
+        for (name, instrument) in instruments.iter() {
+            match instrument {
+                Instrument::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Instrument::Histogram(h) => {
+                    out.push_str(&format!(
+                        "# TYPE {name} summary\n\
+                         {name}_count {}\n\
+                         {name}_sum {}\n\
+                         {name}{{quantile=\"0.5\"}} {}\n\
+                         {name}{{quantile=\"0.95\"}} {}\n",
+                        h.count(),
+                        h.sum(),
+                        h.quantile_upper_bound(0.5),
+                        h.quantile_upper_bound(0.95),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The shared no-op instruments behind disabled [`Metrics`] handles: every
+/// disabled handle hands out the same statics, so "create instrument, bump
+/// it in a loop" costs one branch at creation and a relaxed atomic add that
+/// lands on a cache line nobody reads.
+fn noop_counter() -> &'static Arc<Counter> {
+    static NOOP: OnceLock<Arc<Counter>> = OnceLock::new();
+    NOOP.get_or_init(|| Arc::new(Counter::new()))
+}
+
+fn noop_gauge() -> &'static Arc<Gauge> {
+    static NOOP: OnceLock<Arc<Gauge>> = OnceLock::new();
+    NOOP.get_or_init(|| Arc::new(Gauge::new()))
+}
+
+fn noop_histogram() -> &'static Arc<Histogram> {
+    static NOOP: OnceLock<Arc<Histogram>> = OnceLock::new();
+    NOOP.get_or_init(|| Arc::new(Histogram::new()))
+}
+
+/// A cheaply clonable handle that is either backed by a
+/// [`MetricsRegistry`] or disabled.
+///
+/// Code takes a `Metrics` and asks it for instruments by name; with a
+/// disabled handle the instruments are shared statics that nothing reads,
+/// so the instrumented path keeps its shape (no `Option` at every call
+/// site) while costing nothing measurable.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl Metrics {
+    /// A handle backed by `registry`.
+    pub fn on(registry: Arc<MetricsRegistry>) -> Self {
+        Metrics {
+            registry: Some(registry),
+        }
+    }
+
+    /// The static no-op handle.
+    pub fn disabled() -> Self {
+        Metrics::default()
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The counter named `name` (a shared static no-op when disabled).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match &self.registry {
+            Some(registry) => registry.counter(name),
+            None => noop_counter().clone(),
+        }
+    }
+
+    /// The gauge named `name` (a shared static no-op when disabled).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match &self.registry {
+            Some(registry) => registry.gauge(name),
+            None => noop_gauge().clone(),
+        }
+    }
+
+    /// The histogram named `name` (a shared static no-op when disabled).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match &self.registry {
+            Some(registry) => registry.histogram(name),
+            None => noop_histogram().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("jobs_total");
+        let b = registry.counter("jobs_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("jobs_total").get(), 3);
+        let g = registry.gauge("in_flight");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(registry.gauge("in_flight").get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.gauge("x");
+        let _ = registry.counter("x");
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_exact_below_resolution() {
+        // Every small value sits in its own bucket; indices never decrease.
+        let mut last = 0usize;
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(Histogram::index(v), v as usize);
+        }
+        for v in [
+            1u64,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            15,
+            16,
+            100,
+            1000,
+            1 << 20,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let index = Histogram::index(v);
+            assert!(index >= last || v <= 1, "index regressed at {v}");
+            assert!(index < BUCKETS);
+            // The bucket's upper bound contains the value.
+            assert!(Histogram::bucket_upper_bound(index) >= v, "value {v}");
+            last = index;
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_order_statistics() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        let p50 = h.quantile_upper_bound(0.5);
+        let p95 = h.quantile_upper_bound(0.95);
+        // Bucket width is 25 % above the linear range.
+        assert!((50..=63).contains(&p50), "p50 bound {p50}");
+        assert!((95..=127).contains(&p95), "p95 bound {p95}");
+        assert!(p50 <= p95);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert_and_shared() {
+        let disabled = Metrics::disabled();
+        assert!(!disabled.is_enabled());
+        let c = disabled.counter("whatever");
+        c.add(10);
+        // The same static backs every name — nothing is registered anywhere.
+        assert!(Arc::ptr_eq(&c, &disabled.counter("other")));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable_line_oriented_text() {
+        let registry = MetricsRegistry::new();
+        registry.counter("dipe_jobs_total").add(7);
+        registry.gauge("dipe_jobs_in_flight").set(2);
+        let h = registry.histogram("dipe_job_latency_ms");
+        h.record(12);
+        h.record(40);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE dipe_jobs_total counter"));
+        assert!(text.contains("dipe_jobs_total 7"));
+        assert!(text.contains("dipe_jobs_in_flight 2"));
+        assert!(text.contains("dipe_job_latency_ms_count 2"));
+        assert!(text.contains("dipe_job_latency_ms_sum 52"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "unparseable line: {line}"
+            );
+        }
+    }
+}
