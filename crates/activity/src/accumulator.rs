@@ -130,6 +130,57 @@ impl NodeActivityAccumulator {
         }
     }
 
+    /// Adds one glitch-decomposed 64-lane word cycle (the record the
+    /// [`logicsim::TimeSlicedSimulator`] produces): every lane is an
+    /// independent observation, folded exactly as if its scalar projection
+    /// had gone through [`add_glitch_cycle`](Self::add_glitch_cycle) — the
+    /// resulting accumulator is bit-identical to 64 scalar folds. Unlike
+    /// the zero-delay [`add_word_cycle`](Self::add_word_cycle), per-lane
+    /// counts can exceed 1 (glitches), so the `nᵢ² = nᵢ` shortcut does not
+    /// apply; the per-(net, lane) counts are recovered from the commit log.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the record does not match the net count.
+    pub fn add_glitch_word_cycle(&mut self, activity: &logicsim::WordGlitchActivity) {
+        debug_assert_eq!(activity.num_nets(), self.totals.len());
+        self.observations += LANES as u64;
+        // Per-(net, lane) transition counts, rebuilt from the commit log:
+        // only nets that actually moved are processed below.
+        let mut counts: Vec<u16> = vec![0; self.totals.len() * LANES];
+        for &(net, mask) in activity.events() {
+            let base = net as usize * LANES;
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                counts[base + lane] += 1;
+            }
+        }
+        for (net, _) in activity
+            .totals()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != 0)
+        {
+            let base = net * LANES;
+            let settled = activity.settled_diff_words()[net];
+            let mut total = 0u64;
+            let mut total_sq = 0u64;
+            for (lane, &n) in counts[base..base + LANES].iter().enumerate() {
+                let n = u64::from(n);
+                total += n;
+                total_sq += n * n;
+                // A settled lane change implies at least one commit, so the
+                // subtraction cannot underflow.
+                debug_assert!(n >= (settled >> lane) & 1);
+            }
+            self.totals[net] += total;
+            self.totals_sq[net] += total_sq;
+            self.glitch_totals[net] += total - u64::from(settled.count_ones());
+        }
+    }
+
     /// Captures the exact integer moment sums as a plain-data
     /// [`seqstats::MomentAccumulatorState`] — the unit the session
     /// checkpoints serialize. Restoring via
@@ -376,6 +427,40 @@ mod tests {
         plain.add_cycle(&CycleActivity::from_counts(vec![1, 0]));
         assert_eq!(acc.means(), plain.means());
         assert_eq!(acc.std_errors(), plain.std_errors());
+    }
+
+    #[test]
+    fn glitch_word_cycles_equal_64_scalar_glitch_folds() {
+        // Drive the time-sliced word backend on a glitching circuit and
+        // check the word fold is bit-identical to folding each lane's
+        // scalar projection through add_glitch_cycle.
+        use logicsim::{DelayModel, TimeSlicedSimulator};
+        use netlist::generator::{generate, GeneratorConfig};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let cfg = GeneratorConfig::new("accum_word", 4, 2, 5, 30).with_seed(3);
+        let c = generate(&cfg).unwrap();
+        let mut sim = TimeSlicedSimulator::new(&c, DelayModel::Unit(100)).unwrap();
+        let mut state = logicsim::BitParallelSimulator::new(&c);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut via_word = NodeActivityAccumulator::for_circuit(&c);
+        let mut via_lanes = NodeActivityAccumulator::for_circuit(&c);
+        for _ in 0..6 {
+            let inputs: Vec<u64> = (0..c.num_primary_inputs())
+                .map(|_| rng.gen::<u64>())
+                .collect();
+            let prev = state.words().to_vec();
+            let activity = sim.simulate_cycle(&prev, &inputs);
+            via_word.add_glitch_word_cycle(activity);
+            for lane in 0..LANES {
+                via_lanes.add_glitch_cycle(&activity.lane_activity(lane));
+            }
+            state.step_state_only(&inputs);
+        }
+        assert_eq!(via_word, via_lanes);
+        assert!(via_word.total_transitions() > 0);
+        assert_eq!(via_word.observations(), 6 * LANES as u64);
     }
 
     #[test]

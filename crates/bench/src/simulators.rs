@@ -24,6 +24,17 @@
 //! * `event_driven(measure,zero)` / `event_driven(measure,unit)` — the same
 //!   measurement workload under the all-zero annotation (the levelized
 //!   fast path) and the 100 ps unit model;
+//! * `time_sliced(measure,unit)` / `time_sliced(measure,zero)` /
+//!   `time_sliced(measure,unit,accum)` — the 64-lane delay-slot
+//!   [`TimeSlicedSimulator`] measuring all lanes per word pass, mirroring
+//!   the replicated sampler's hot path: the plain rows read the word-level
+//!   aggregate transition counts (the same per-cycle consumption as the
+//!   event-driven rows), the `accum` row folds each word cycle into a
+//!   [`NodeActivityAccumulator`] instead. Their basis is
+//!   `measured_lane_cycles` — one unit is one lane's measured cycle, the
+//!   same unit of work as one scalar `measured_cycles` tick — and their
+//!   speedup is anchored to the same `variable_delay(measure)` baseline as
+//!   the scalar measurement rows;
 //! * `event_driven(measure,telemetry_off)` / `event_driven(measure,traced)`
 //!   — the telemetry-overhead pair: the same measurement loop with a
 //!   per-cycle trace-emit call against a **disabled** tracer (the one
@@ -53,7 +64,7 @@ use activity::NodeActivityAccumulator;
 use dipe::input::{InputModel, InputStream};
 use logicsim::{
     pack_lane_bit, BitParallelSimulator, CompiledSimulator, DelayModel, EventDrivenSimulator,
-    VariableDelaySimulator, ZeroDelaySimulator, LANES,
+    TimeSlicedSimulator, VariableDelaySimulator, ZeroDelaySimulator, LANES,
 };
 use netlist::{iscas89, Circuit};
 use telemetry::{BufferSink, Tracer};
@@ -90,6 +101,12 @@ pub struct SimulatorBenchRow {
 pub const BASIS_STATE_ADVANCE: &str = "state_advance_lane_cycles";
 /// Basis tag of the delay-aware measurement rows.
 pub const BASIS_MEASURED: &str = "measured_cycles";
+/// Basis tag of the 64-lane time-sliced measurement rows: one unit is one
+/// lane's fully measured (glitch-counted) cycle — the same unit of work as
+/// one scalar `measured_cycles` tick, so these rows share the
+/// `variable_delay(measure)` speedup baseline with the scalar measurement
+/// rows even though the tag differs (CI gates match on the tag).
+pub const BASIS_MEASURED_LANES: &str = "measured_lane_cycles";
 /// Basis tag of the telemetry-overhead pair: measured cycles, interleaved
 /// best-of-5, with `speedup_vs_baseline` anchored to a same-shaped
 /// un-instrumented loop timed in the same rounds (so 0.98 means "2 %
@@ -262,6 +279,57 @@ fn ablate_circuit(
         "{name}: variable-delay backend diverged from the compiled simulator"
     );
 
+    // The 64-lane time-sliced measurement backend: all lanes measured per
+    // word pass, mirroring the replicated sampler's hot path — pack 64
+    // independent patterns, one delay-slot settle, then read the word-level
+    // aggregate transition counts (the same per-cycle consumption as the
+    // event-driven rows above), or fold the whole word cycle into the
+    // per-net accumulator (`accumulate`).
+    let mut measure_time_sliced = |model: DelayModel, accumulate: bool| -> f64 {
+        let mut state = BitParallelSimulator::new(circuit);
+        let mut time_sliced = TimeSlicedSimulator::new(circuit, model)
+            .expect("the benchmarked models are slot-representable");
+        let mut streams: Vec<InputStream> = (0..LANES)
+            .map(|lane| uniform_stream(circuit, seed.wrapping_add(lane as u64)))
+            .collect();
+        let mut words = vec![0u64; circuit.num_primary_inputs()];
+        let mut prev_words = vec![0u64; circuit.num_nets()];
+        let mut accumulator = NodeActivityAccumulator::for_circuit(circuit);
+        let mut transitions = 0u64;
+        let started = Instant::now();
+        for _ in 0..cycles {
+            for (lane, stream) in streams.iter_mut().enumerate() {
+                stream.next_pattern_into(&mut pattern);
+                for (word, &bit) in words.iter_mut().zip(&pattern) {
+                    pack_lane_bit(word, lane, bit);
+                }
+            }
+            prev_words.copy_from_slice(state.words());
+            let activity = time_sliced.simulate_cycle(&prev_words, &words);
+            if accumulate {
+                accumulator.add_glitch_word_cycle(activity);
+            } else {
+                transitions += activity.total_transitions();
+            }
+            state.step_state_only(&words);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(
+            time_sliced.settled_words(),
+            state.words(),
+            "{name}: time-sliced backend diverged from the bit-parallel simulator"
+        );
+        if accumulate {
+            assert_eq!(accumulator.observations(), (cycles * LANES) as u64);
+        } else {
+            assert!(transitions > 0, "{name}: no transitions counted");
+        }
+        elapsed
+    };
+    let time_sliced_unit_elapsed = measure_time_sliced(DelayModel::Unit(100), false);
+    let time_sliced_zero_elapsed = measure_time_sliced(DelayModel::Zero, false);
+    let time_sliced_accum_elapsed = measure_time_sliced(DelayModel::Unit(100), true);
+
     // Telemetry-overhead pair. Each variant repeats the estimator's
     // measured-cycle hot-path shape (zero-delay companion step + event-driven
     // settle) with one trace-emit per cycle; `None` runs the identical loop
@@ -327,6 +395,13 @@ fn ablate_circuit(
         speedup_vs_baseline: rate(1, elapsed) / measured_baseline,
         ..row(backend, 1, elapsed)
     };
+    // Lane-cycles against the same scalar measurement baseline: one unit of
+    // work is one lane's measured cycle either way.
+    let measure_lanes_row = |backend: &'static str, elapsed: f64| SimulatorBenchRow {
+        cycles_per_sec_basis: BASIS_MEASURED_LANES,
+        speedup_vs_baseline: rate(LANES as u64, elapsed) / measured_baseline,
+        ..row(backend, LANES as u64, elapsed)
+    };
     let telemetry_baseline = rate(1, telemetry_plain_elapsed);
     let telemetry_row = |backend: &'static str, elapsed: f64| SimulatorBenchRow {
         cycles_per_sec_basis: BASIS_TELEMETRY,
@@ -347,6 +422,9 @@ fn ablate_circuit(
         measure_row("event_driven(measure,zero)", event_driven_zero_elapsed),
         measure_row("event_driven(measure,unit)", event_driven_unit_elapsed),
         measure_row("variable_delay(measure)", variable_delay_elapsed),
+        measure_lanes_row("time_sliced(measure,unit)", time_sliced_unit_elapsed),
+        measure_lanes_row("time_sliced(measure,zero)", time_sliced_zero_elapsed),
+        measure_lanes_row("time_sliced(measure,unit,accum)", time_sliced_accum_elapsed),
         telemetry_row("event_driven(measure,telemetry_off)", telemetry_off_elapsed),
         telemetry_row("event_driven(measure,traced)", telemetry_traced_elapsed),
     ]
@@ -431,9 +509,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ablation_produces_eleven_rows_per_circuit_at_one_budget() {
+    fn ablation_produces_fourteen_rows_per_circuit_at_one_budget() {
         let rows = run_simulator_ablation(&["s27".into(), "nope".into()], 2_000, 9);
-        assert_eq!(rows.len(), 11);
+        assert_eq!(rows.len(), 14);
         let backends: Vec<&str> = rows.iter().map(|r| r.backend).collect();
         assert_eq!(
             backends,
@@ -447,6 +525,9 @@ mod tests {
                 "event_driven(measure,zero)",
                 "event_driven(measure,unit)",
                 "variable_delay(measure)",
+                "time_sliced(measure,unit)",
+                "time_sliced(measure,zero)",
+                "time_sliced(measure,unit,accum)",
                 "event_driven(measure,telemetry_off)",
                 "event_driven(measure,traced)",
             ]
@@ -468,7 +549,12 @@ mod tests {
         for row in &rows[5..9] {
             assert_eq!(row.cycles_per_sec_basis, BASIS_MEASURED);
         }
-        for row in &rows[9..] {
+        for row in &rows[9..12] {
+            assert_eq!(row.cycles_per_sec_basis, BASIS_MEASURED_LANES);
+            // The word backend measures all 64 lanes per pass.
+            assert_eq!(row.lanes, 64);
+        }
+        for row in &rows[12..] {
             assert_eq!(row.cycles_per_sec_basis, BASIS_TELEMETRY);
         }
         // Each basis anchors to its own baseline row, never across bases.
@@ -489,6 +575,9 @@ mod tests {
         assert!(json.contains("\"cycles_per_sec_basis\": \"measured_cycles\""));
         assert!(json.contains("\"speedup_vs_baseline\""));
         assert!(json.contains("\"backend\": \"event_driven(measure,zero)\""));
+        assert!(json.contains("\"backend\": \"time_sliced(measure,unit)\""));
+        assert!(json.contains("\"backend\": \"time_sliced(measure,unit,accum)\""));
+        assert!(json.contains("\"cycles_per_sec_basis\": \"measured_lane_cycles\""));
         assert!(json.contains("\"backend\": \"event_driven(measure,telemetry_off)\""));
         assert!(json.contains("\"backend\": \"event_driven(measure,traced)\""));
         assert!(json.contains("\"cycles_per_sec_basis\": \"telemetry_overhead_measured_cycles\""));

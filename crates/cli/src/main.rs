@@ -15,12 +15,15 @@
 //! dipe exported.net --format aag     # extension override
 //! ```
 //!
-//! `--delay-model` selects the gate delays of the event-driven measurement
-//! backend (`zero`, `unit[:<ps>]`, `fanout` — the default — or
-//! `random:<seed>`); decorrelation cycles always run the fast compiled
-//! zero-delay path regardless. Glitch power (transitions that exist only
+//! `--delay-model` selects the gate delays of the measurement backend
+//! (`zero`, `unit[:<ps>]`, `fanout` — the default — or `random:<seed>`);
+//! decorrelation cycles always run the fast compiled zero-delay path
+//! regardless. `--measure-mode` picks the backend those delays run on: the
+//! scalar event wheel, the 64-lane time-sliced word backend, or `auto`
+//! (the default — time-sliced whenever the annotation is slot-representable,
+//! bit-identical either way). Glitch power (transitions that exist only
 //! because of unequal path delays) is decomposed per net and reported in the
-//! breakdown tables and the JSON export.
+//! breakdown tables, the replicated-lane summary and the JSON export.
 //!
 //! `--breakdown` produces the spatial report: per-net switching activity with
 //! confidence intervals, mapped through the load capacitances to per-net and
@@ -36,11 +39,11 @@ use std::sync::Arc;
 use activity::{BreakdownEstimator, ConvergenceTarget};
 use dipe::input::InputModel;
 use dipe::report::TextTable;
-use dipe::EvalMode;
 use dipe::{
-    run_replicated_dipe, CycleBudget, DipeConfig, DipeEstimator, Estimate, PowerEstimator,
-    Progress, ShardedDipeEstimator,
+    run_replicated_dipe_with_glitch, CycleBudget, DipeConfig, DipeEstimator, Estimate, EvalMode,
+    MeasureMode, PowerEstimator, Progress, ShardedDipeEstimator,
 };
+use logicsim::SlotSchedule;
 use netlist::{iscas89, Circuit, DelayModel, FileSource, NetlistFormat, NetlistSource};
 use seqstats::NodeStoppingPolicy;
 use telemetry::{FileSink, Tracer};
@@ -55,6 +58,7 @@ struct Options {
     breakdown: bool,
     target: ConvergenceTarget,
     delay_model: DelayModel,
+    measure_mode: MeasureMode,
     lanes: usize,
     /// `None` until `--shards` is given; resolved to the available
     /// parallelism at run time.
@@ -87,6 +91,7 @@ impl Default for Options {
             breakdown: false,
             target: ConvergenceTarget::NodeBreakdown,
             delay_model: DelayModel::default(),
+            measure_mode: MeasureMode::default(),
             lanes: 1,
             shards: None,
             top: 10,
@@ -123,11 +128,19 @@ modes:
   --target node|total     breakdown convergence target (default: node)
 
 simulation:
-  --delay-model M         gate delays of the event-driven measurement backend:
+  --delay-model M         gate delays of the measurement backend:
                           zero         no delays: functional counts, no glitches
                           unit[:PS]    every gate PS picoseconds (default 100)
                           fanout       200 ps + 80 ps per fanout (the default)
                           random:SEED  per-gate uniform 60-340 ps from SEED
+  --measure-mode M        backend that runs the measured (glitch-counting)
+                          cycles; all three report bit-identical numbers:
+                          auto         time-sliced when the delay annotation is
+                                       slot-representable, event-driven
+                                       otherwise (the default)
+                          event-driven scalar timing-wheel reference backend
+                          time-sliced  64-lane delay-slot backend (errors when
+                                       the annotation is not representable)
   --shards N              worker shards the sampling phase fans out to
                           (default: the available parallelism; 1 disables)
   --eval-mode M           zero-delay backend for decorrelation cycles:
@@ -182,6 +195,12 @@ fn parse_options() -> Result<Options, String> {
             }
             "--delay-model" => {
                 options.delay_model = parse_delay_model(&take_value("--delay-model")?)?;
+            }
+            "--measure-mode" => {
+                let value = take_value("--measure-mode")?;
+                options.measure_mode = MeasureMode::parse(&value).ok_or_else(|| {
+                    format!("--measure-mode must be auto|event-driven|time-sliced, got `{value}`")
+                })?;
             }
             "--format" => {
                 let value = take_value("--format")?;
@@ -469,7 +488,9 @@ fn sim_profile_json(estimate: &Estimate) -> String {
         Some(p) => format!(
             "{{\"events_scheduled\": {}, \"events_cancelled\": {}, \
              \"wheel_revolutions\": {}, \"inline_evals\": {}, \"gather_evals\": {}, \
-             \"levelized_cycles\": {}, \"wheel_cycles\": {}, \"tiles_settled\": {}}}",
+             \"levelized_cycles\": {}, \"wheel_cycles\": {}, \"tiles_settled\": {}, \
+             \"time_sliced_cycles\": {}, \"time_sliced_word_evals\": {}, \
+             \"time_sliced_lane_events\": {}, \"time_sliced_lane_cancellations\": {}}}",
             p.events_scheduled,
             p.events_cancelled,
             p.wheel_revolutions,
@@ -478,6 +499,10 @@ fn sim_profile_json(estimate: &Estimate) -> String {
             p.levelized_cycles,
             p.wheel_cycles,
             p.tiles_settled,
+            p.time_sliced_cycles,
+            p.time_sliced_word_evals,
+            p.time_sliced_lane_events,
+            p.time_sliced_lane_cancellations,
         ),
     }
 }
@@ -506,8 +531,9 @@ fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Resul
 
 fn run_replicated(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Result<(), String> {
     let offsets: Vec<u64> = (0..options.lanes as u64).collect();
-    let results = run_replicated_dipe(circuit, config, &InputModel::uniform(), &offsets)
-        .map_err(|e| e.to_string())?;
+    let (results, glitch) =
+        run_replicated_dipe_with_glitch(circuit, config, &InputModel::uniform(), &offsets)
+            .map_err(|e| e.to_string())?;
     let mut table = TextTable::new(&["Lane", "p̄ (mW)", "RHW (%)", "Samples", "I.I."]);
     let mut pooled = 0.0;
     let mut finished = 0usize;
@@ -543,6 +569,13 @@ fn run_replicated(options: &Options, circuit: &Circuit, config: &DipeConfig) -> 
     }
     println!("circuit {}: {}", circuit.name(), circuit.stats());
     println!("delay model: {}", delay_model_label(options.delay_model));
+    // The gate in `main` already rejected non-representable annotations for
+    // every mode but the forced event-driven one, so the label is static.
+    let backend = match options.measure_mode {
+        MeasureMode::EventDriven => "event-driven (scalar wheel per sampling lane)",
+        MeasureMode::Auto | MeasureMode::TimeSliced => "time-sliced (64-lane delay slots)",
+    };
+    println!("measurement backend: {backend}");
     println!(
         "{} replicated DIPE runs on the 64-lane bit-parallel backend:",
         options.lanes
@@ -555,6 +588,24 @@ fn run_replicated(options: &Options, circuit: &Circuit, config: &DipeConfig) -> 
             pooled / finished as f64 * 1e3
         );
     }
+    // The glitch decomposition the measured cycles produced, pooled over the
+    // whole lane group (bit-identical across backends).
+    let mut decomposition = TextTable::new(&[
+        "Measured cycles",
+        "Total tr.",
+        "Settled tr.",
+        "Glitch tr.",
+        "Glitch p̄ (mW)",
+    ]);
+    decomposition.add_row(&[
+        glitch.measured_cycles.to_string(),
+        glitch.total_transitions.to_string(),
+        glitch.settled_transitions.to_string(),
+        glitch.glitch_transitions().to_string(),
+        format!("{:.4}", glitch.mean_glitch_power_w * 1e3),
+    ]);
+    println!("glitch decomposition over the pooled measured cycles:");
+    println!("{decomposition}");
     Ok(())
 }
 
@@ -733,11 +784,29 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    // Replicated (`--lanes`) runs measure on the 64-lane time-sliced word
+    // backend, which only represents integer-slot delay annotations. An
+    // annotation it cannot take is a usage error — the flags contradict each
+    // other — so it exits 2 with the fallback spelled out rather than
+    // silently running 64 scalar wheels.
+    if options.lanes > 1 && options.measure_mode != MeasureMode::EventDriven {
+        if let Err(rejection) = SlotSchedule::supports(&circuit, options.delay_model) {
+            eprintln!(
+                "--lanes {}: delay model `{}` is not slot-representable ({rejection}); \
+                 pass --measure-mode event-driven to measure each lane on the scalar \
+                 event-driven fallback",
+                options.lanes,
+                options.delay_model.id()
+            );
+            return ExitCode::from(2);
+        }
+    }
     let config = DipeConfig::default()
         .with_seed(options.seed)
         .with_accuracy(options.relative_error, options.confidence)
         .with_eval_mode(options.eval_mode)
-        .with_delay_model(options.delay_model);
+        .with_delay_model(options.delay_model)
+        .with_measure_mode(options.measure_mode);
     let outcome = if options.breakdown {
         run_breakdown(&options, &circuit, &config)
     } else {

@@ -23,6 +23,7 @@ const FLAGS: &[&str] = &[
     "--breakdown",
     "--target",
     "--delay-model",
+    "--measure-mode",
     "--format",
     "--eval-mode",
     "--lanes",
@@ -115,6 +116,8 @@ fn bad_flag_values_are_rejected() {
     assert_usage_error(&["s27", "--format"]); // value missing
     assert_usage_error(&["s27", "--eval-mode", "quantum"]);
     assert_usage_error(&["s27", "--eval-mode"]); // value missing
+    assert_usage_error(&["s27", "--measure-mode", "wheel"]);
+    assert_usage_error(&["s27", "--measure-mode"]); // value missing
 }
 
 #[test]
@@ -391,4 +394,96 @@ fn tiny_total_run_succeeds_under_every_delay_model() {
         assert!(stdout.contains("average power"), "stdout: {stdout}");
         assert!(stdout.contains("delay model"), "stdout: {stdout}");
     }
+}
+
+#[test]
+fn replicated_lanes_compose_with_delay_models_and_print_glitch_columns() {
+    // `--lanes` + a slot-representable annotation runs on the time-sliced
+    // word backend and reports the pooled glitch decomposition.
+    let output = dipe(&["s27", "--quiet", "--lanes", "3", "--delay-model", "unit"]);
+    assert!(
+        output.status.success(),
+        "--lanes 3 --delay-model unit failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("time-sliced"), "stdout: {stdout}");
+    for column in ["Glitch tr.", "Glitch p̄ (mW)", "Total tr.", "Settled tr."] {
+        assert!(
+            stdout.contains(column),
+            "missing glitch column `{column}`:\n{stdout}"
+        );
+    }
+    assert!(stdout.contains("pooled mean"), "stdout: {stdout}");
+
+    // Forcing the scalar reference backend is also accepted and prints the
+    // same decomposition table (the numbers are bit-identical by contract).
+    let forced = dipe(&[
+        "s27",
+        "--quiet",
+        "--lanes",
+        "3",
+        "--delay-model",
+        "unit",
+        "--measure-mode",
+        "event-driven",
+    ]);
+    assert!(
+        forced.status.success(),
+        "forced event-driven lanes failed: {}",
+        String::from_utf8_lossy(&forced.stderr)
+    );
+    let forced_stdout = String::from_utf8(forced.stdout).unwrap();
+    assert!(forced_stdout.contains("event-driven"), "{forced_stdout}");
+    assert!(forced_stdout.contains("Glitch tr."), "{forced_stdout}");
+    // The lane estimates and the glitch decomposition must agree between
+    // backends; only the backend label line differs.
+    let numbers = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| !l.contains("backend"))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(numbers(&stdout), numbers(&forced_stdout));
+}
+
+#[test]
+fn non_representable_annotations_with_lanes_exit_two_naming_the_fallback() {
+    // The random annotation has gcd ~1 ps, far past the 63-slot horizon, so
+    // the word backend cannot take it: a one-line usage error that names the
+    // event-driven fallback, not a silent scalar run.
+    let output = dipe(&["s27", "--lanes", "2", "--delay-model", "random:7"]);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "non-representable --lanes runs are usage errors"
+    );
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert_eq!(
+        stderr.trim().lines().count(),
+        1,
+        "diagnostic must be one line:\n{stderr}"
+    );
+    assert!(stderr.contains("random:7"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("event-driven"),
+        "the error must name the fallback backend:\n{stderr}"
+    );
+
+    // Selecting the named fallback explicitly makes the same flags run.
+    let fallback = dipe(&[
+        "s27",
+        "--quiet",
+        "--lanes",
+        "2",
+        "--delay-model",
+        "random:7",
+        "--measure-mode",
+        "event-driven",
+    ]);
+    assert!(
+        fallback.status.success(),
+        "the documented fallback failed: {}",
+        String::from_utf8_lossy(&fallback.stderr)
+    );
 }

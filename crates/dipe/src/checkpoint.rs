@@ -6,9 +6,13 @@
 //! (from which the zero-delay simulator's settled values are reconstructed
 //! deterministically), the cycle accounting, the selected independence
 //! interval with its trial trace, and the pooled power sample stored as raw
-//! IEEE-754 bits ([`seqstats::PooledSampleState`]). The event-driven
-//! measurement simulator carries no state across cycles, so nothing of it
-//! needs to be captured.
+//! IEEE-754 bits ([`seqstats::PooledSampleState`]). The measurement
+//! simulators — the scalar event-driven wheel and the lane-parallel
+//! time-sliced backend alike — carry no state across cycles, so nothing of
+//! them needs to be captured: checkpoints are backend-independent, and a
+//! session may even be checkpointed under one
+//! [`MeasureMode`](crate::MeasureMode) and resumed under the other without
+//! disturbing a single bit of the estimate.
 //!
 //! The contract — asserted by tests in [`crate::estimator`] and relied on by
 //! the `dipe-serve` checkpoint/resume RPCs — is that a session restored from

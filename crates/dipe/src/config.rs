@@ -56,6 +56,57 @@ impl std::fmt::Display for EvalMode {
     }
 }
 
+/// Which delay-aware backend executes the measured (glitch-counting)
+/// cycles.
+///
+/// The two concrete backends are bit-identical wherever both apply — the
+/// per-net `GlitchActivity` counts and hence every power figure match bit
+/// for bit — so [`Auto`](MeasureMode::Auto) switching is numerically
+/// invisible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum MeasureMode {
+    /// Pick [`logicsim::TimeSlicedSimulator`] when the configured delay
+    /// annotation is slot-representable, else fall back to
+    /// [`logicsim::EventDrivenSimulator`]. Default.
+    #[default]
+    Auto,
+    /// Force the scalar event-driven timing wheel.
+    EventDriven,
+    /// Force the 64-lane time-sliced backend; estimation fails with
+    /// [`DipeError::InvalidConfig`] when the annotation is not
+    /// slot-representable.
+    TimeSliced,
+}
+
+impl MeasureMode {
+    /// Short stable identifier: `"auto"`, `"event-driven"` or
+    /// `"time-sliced"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            MeasureMode::Auto => "auto",
+            MeasureMode::EventDriven => "event-driven",
+            MeasureMode::TimeSliced => "time-sliced",
+        }
+    }
+
+    /// Parses an [`id`](Self::id) string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(MeasureMode::Auto),
+            "event-driven" => Some(MeasureMode::EventDriven),
+            "time-sliced" => Some(MeasureMode::TimeSliced),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MeasureMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
 /// Complete configuration of a DIPE run.
 ///
 /// The default values reproduce the paper's experimental setup: significance
@@ -91,6 +142,10 @@ pub struct DipeConfig {
     /// Which zero-delay backend runs the decorrelation cycles.
     #[serde(default)]
     pub eval_mode: EvalMode,
+    /// Which delay-aware backend runs the measured (glitch-counting)
+    /// cycles.
+    #[serde(default)]
+    pub measure_mode: MeasureMode,
     /// Gate delay model for the measurement (general-delay) simulator.
     pub delay_model: DelayModel,
     /// Electrical operating point.
@@ -116,6 +171,7 @@ impl Default for DipeConfig {
             max_samples: 200_000,
             criterion: CriterionKind::Normal,
             eval_mode: EvalMode::default(),
+            measure_mode: MeasureMode::default(),
             delay_model: DelayModel::default(),
             technology: Technology::default(),
             capacitance: CapacitanceModel::default(),
@@ -175,6 +231,13 @@ impl DipeConfig {
     /// style).
     pub fn with_eval_mode(mut self, eval_mode: EvalMode) -> Self {
         self.eval_mode = eval_mode;
+        self
+    }
+
+    /// Sets the delay-aware backend for the measured cycles (builder
+    /// style).
+    pub fn with_measure_mode(mut self, measure_mode: MeasureMode) -> Self {
+        self.measure_mode = measure_mode;
         self
     }
 
@@ -290,6 +353,7 @@ mod tests {
         assert_eq!(c.sequence_length, 320);
         assert_eq!(c.criterion, CriterionKind::Normal);
         assert_eq!(c.eval_mode, EvalMode::Compiled);
+        assert_eq!(c.measure_mode, MeasureMode::Auto);
         assert!(c.validate().is_ok());
     }
 
@@ -304,6 +368,7 @@ mod tests {
             .with_warmup_cycles(512)
             .with_sample_budget(128, 50_000)
             .with_eval_mode(EvalMode::Partitioned)
+            .with_measure_mode(MeasureMode::TimeSliced)
             .with_delay_model(logicsim::DelayModel::Unit(100))
             .with_technology(Technology::new(3.3, 50.0e6));
         assert_eq!(c.seed, 7);
@@ -316,7 +381,21 @@ mod tests {
         assert_eq!(c.min_samples, 128);
         assert_eq!(c.max_samples, 50_000);
         assert_eq!(c.eval_mode, EvalMode::Partitioned);
+        assert_eq!(c.measure_mode, MeasureMode::TimeSliced);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn measure_mode_ids_round_trip() {
+        for mode in [
+            MeasureMode::Auto,
+            MeasureMode::EventDriven,
+            MeasureMode::TimeSliced,
+        ] {
+            assert_eq!(MeasureMode::parse(mode.id()), Some(mode));
+            assert_eq!(format!("{mode}"), mode.id());
+        }
+        assert_eq!(MeasureMode::parse("wheel"), None);
     }
 
     #[test]

@@ -23,6 +23,9 @@ use crate::sampler::{CycleCounts, PowerSampler};
 // Fixed conservative warm-up
 // ---------------------------------------------------------------------------
 
+// Terminal variants carry the full Estimate by value: sessions are few
+// and short-lived, so the variant-size skew costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum FixedWarmupState {
     Warmup {
         remaining: usize,
@@ -187,6 +190,7 @@ fn decoupled_sim_profile(full: &EventDrivenSimulator<'_>) -> crate::estimate::Si
         levelized_cycles: counters.levelized_cycles,
         wheel_cycles: counters.wheel_cycles,
         tiles_settled: 0,
+        ..Default::default()
     }
 }
 
@@ -194,6 +198,9 @@ fn decoupled_sim_profile(full: &EventDrivenSimulator<'_>) -> crate::estimate::Si
 // Decoupled combinational
 // ---------------------------------------------------------------------------
 
+// Terminal variants carry the full Estimate by value: sessions are few
+// and short-lived, so the variant-size skew costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum DecoupledState {
     Characterize {
         remaining: usize,

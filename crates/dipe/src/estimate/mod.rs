@@ -117,6 +117,11 @@ pub enum SessionPhase {
 }
 
 /// The outcome of one [`EstimationSession::step`] call.
+///
+/// `Done` carries the full [`Estimate`] by value — one `Progress` exists
+/// per `step` call, so the variant-size skew costs nothing, and boxing
+/// would push an allocation into every caller of the session API.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Progress {
     /// The session consumed its cycle budget without finishing.
@@ -218,6 +223,19 @@ pub struct SimProfile {
     /// Tiles settled by the partitioned zero-delay backend (0 under the
     /// compiled backend).
     pub tiles_settled: u64,
+    /// Measured cycles run on the time-sliced lane-parallel backend (0
+    /// under the event-driven backend).
+    #[serde(default)]
+    pub time_sliced_cycles: u64,
+    /// Word-wide (64-lane) gate evaluations by the time-sliced backend.
+    #[serde(default)]
+    pub time_sliced_word_evals: u64,
+    /// Lane-granular events scheduled by the time-sliced backend.
+    #[serde(default)]
+    pub time_sliced_lane_events: u64,
+    /// Lane-granular inertial cancellations by the time-sliced backend.
+    #[serde(default)]
+    pub time_sliced_lane_cancellations: u64,
 }
 
 impl SimProfile {
@@ -232,6 +250,10 @@ impl SimProfile {
         self.levelized_cycles += other.levelized_cycles;
         self.wheel_cycles += other.wheel_cycles;
         self.tiles_settled += other.tiles_settled;
+        self.time_sliced_cycles += other.time_sliced_cycles;
+        self.time_sliced_word_evals += other.time_sliced_word_evals;
+        self.time_sliced_lane_events += other.time_sliced_lane_events;
+        self.time_sliced_lane_cancellations += other.time_sliced_lane_cancellations;
     }
 
     /// Total gate evaluations across both dispatch paths.

@@ -12,6 +12,9 @@ use crate::estimate::{
 };
 use crate::sampler::PowerSampler;
 
+// Terminal variants carry the full Estimate by value: sessions are few
+// and short-lived, so the variant-size skew costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum State {
     Warmup {
         remaining: usize,

@@ -600,6 +600,64 @@ mod tests {
     }
 
     #[test]
+    fn checkpoints_resume_bit_identically_across_measurement_backends() {
+        use crate::config::MeasureMode;
+        use crate::estimate::{CycleBudget, Progress};
+        use netlist::DelayModel;
+        // A checkpoint taken while measuring on one backend must resume on
+        // the other and still reproduce the uninterrupted run bit for bit:
+        // measurement is per-cycle and the sampler state carries no
+        // backend-specific carry-over, so switching backends mid-run is
+        // invisible (the backends themselves are bit-identical by the
+        // lane-glitch identity battery).
+        let c = iscas89::load("s27").unwrap();
+        let model = InputModel::uniform();
+        let base = DipeConfig::default()
+            .with_seed(17)
+            .with_delay_model(DelayModel::Unit(100));
+        let reference = DipeEstimator::new().run(&c, &base.clone(), &model).unwrap();
+        let switches = [
+            (MeasureMode::EventDriven, MeasureMode::TimeSliced),
+            (MeasureMode::TimeSliced, MeasureMode::EventDriven),
+        ];
+        for (from, to) in switches {
+            let from_config = base.clone().with_measure_mode(from);
+            let to_config = base.clone().with_measure_mode(to);
+            let mut session = DipeEstimator::new()
+                .start(&c, &from_config, &model, 0)
+                .unwrap();
+            let checkpoint = loop {
+                match session.step(CycleBudget::cycles(2_000)).unwrap() {
+                    Progress::Running { .. } => {
+                        if let Some(cp) = session.checkpoint() {
+                            if !cp.is_warm() {
+                                break cp;
+                            }
+                        }
+                    }
+                    Progress::Done(_) => {
+                        panic!("session finished before a mid-sampling checkpoint")
+                    }
+                }
+            };
+            drop(session);
+            let resumed = crate::run_to_completion(
+                DipeEstimator::new()
+                    .resume(&c, &to_config, &model, &checkpoint)
+                    .unwrap(),
+            )
+            .unwrap();
+            assert_eq!(
+                resumed.mean_power_w.to_bits(),
+                reference.mean_power_w().to_bits(),
+                "{from:?} -> {to:?}: resumed estimate must be bit-identical"
+            );
+            assert_eq!(resumed.sample_size, reference.sample_size());
+            assert_eq!(resumed.cycle_counts, reference.cycle_counts());
+        }
+    }
+
+    #[test]
     fn resume_rejects_bad_checkpoints() {
         use crate::estimate::{CycleBudget, Progress};
         let c = iscas89::load("s27").unwrap();

@@ -11,14 +11,18 @@
 //! [`run_replicated_dipe`] maps each run onto a lane: every shared clock
 //! cycle draws one input pattern per live lane (deterministic per-lane
 //! seeding, identical to the scalar [`crate::PowerSampler`]'s stream), packs the
-//! patterns into words and steps all lanes at once. A lane that reaches a
-//! sampling cycle projects its previous stable values out of the words,
-//! measures that one cycle with the scalar general-delay simulator (glitch
-//! power cannot be bit-parallelised) and feeds the observation into its own
-//! per-lane DIPE state machine — warm-up, runs-test interval selection
-//! ([`IntervalSelector::push_sample`]), block-wise stopping. Lanes finish
-//! independently; finished lanes stop consuming their input stream and their
-//! word bits become don't-cares.
+//! patterns into words and steps all lanes at once. Lanes that reach a
+//! sampling cycle measure that cycle with the general-delay backend and feed
+//! the observation into their own per-lane DIPE state machine — warm-up,
+//! runs-test interval selection ([`IntervalSelector::push_sample`]),
+//! block-wise stopping. When the configured delay annotation is
+//! slot-representable, the measurement itself is word-parallel too: one
+//! [`TimeSlicedSimulator`] pass glitch-simulates **all** sampling lanes of
+//! the cycle at once, and each lane projects its own per-net counts out of
+//! the shared [`logicsim::WordGlitchActivity`]. Otherwise every sampling
+//! lane falls back to a scalar [`EventDrivenSimulator`] cycle — bit-identical
+//! counts, scalar speed. Lanes finish independently; finished lanes stop
+//! consuming their input stream and their word bits become don't-cares.
 //!
 //! Every statistical field of the per-lane [`Estimate`] is **bit-exact**
 //! with the scalar session the [`crate::engine::Engine`] would have run for
@@ -28,12 +32,15 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use logicsim::{pack_lane_bit, BitParallelSimulator, EventDrivenSimulator, LANES};
+use logicsim::{
+    pack_lane_bit, BitParallelSimulator, EventDrivenSimulator, GlitchActivity, TimeSlicedSimulator,
+    LANES,
+};
 use netlist::Circuit;
 use power::PowerCalculator;
 use seqstats::StoppingCriterion;
 
-use crate::config::DipeConfig;
+use crate::config::{DipeConfig, MeasureMode};
 use crate::error::DipeError;
 use crate::estimate::{push_block_sample, Estimate, PowerEstimator, SamplePush};
 use crate::independence::{IndependenceSelection, IntervalSelector};
@@ -73,6 +80,67 @@ impl Lane {
     }
 }
 
+/// Aggregate glitch accounting over every measured cycle of a replicated
+/// run, summed across lanes. The counts — and the derived glitch power —
+/// are bit-identical whichever measurement backend produced them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LaneGlitchSummary {
+    /// Measured (general-delay) cycles across all lanes.
+    pub measured_cycles: u64,
+    /// Net transitions observed in those cycles, glitches included.
+    pub total_transitions: u64,
+    /// Settled (functional) transitions in those cycles.
+    pub settled_transitions: u64,
+    /// Mean per-cycle glitch power in watts: the capacitance-weighted
+    /// difference between total and settled activity, averaged over the
+    /// measured cycles (0 when nothing was measured).
+    pub mean_glitch_power_w: f64,
+}
+
+impl LaneGlitchSummary {
+    /// Glitch (hazard) transitions: total minus settled.
+    pub fn glitch_transitions(&self) -> u64 {
+        self.total_transitions - self.settled_transitions
+    }
+}
+
+/// The measurement backend of a lane group: word-parallel when the delay
+/// annotation is slot-representable, scalar per sampling lane otherwise.
+enum GroupMeasure<'c> {
+    EventDriven(Box<EventDrivenSimulator<'c>>),
+    TimeSliced(Box<TimeSlicedSimulator<'c>>),
+}
+
+impl<'c> GroupMeasure<'c> {
+    fn new(circuit: &'c Circuit, config: &DipeConfig) -> Result<Self, DipeError> {
+        let delays = config.delay_model.annotate(circuit);
+        match config.measure_mode {
+            MeasureMode::EventDriven => Ok(GroupMeasure::EventDriven(Box::new(
+                EventDrivenSimulator::with_delays(circuit, config.delay_model, &delays),
+            ))),
+            MeasureMode::TimeSliced => {
+                TimeSlicedSimulator::with_delays(circuit, config.delay_model, &delays)
+                    .map(|sim| GroupMeasure::TimeSliced(Box::new(sim)))
+                    .map_err(|rejection| DipeError::InvalidConfig {
+                        message: format!(
+                            "measure mode `time-sliced` cannot run delay model `{}`: \
+                             {rejection}; use `auto` or `event-driven`",
+                            config.delay_model.id()
+                        ),
+                    })
+            }
+            MeasureMode::Auto => Ok(
+                match TimeSlicedSimulator::with_delays(circuit, config.delay_model, &delays) {
+                    Ok(sim) => GroupMeasure::TimeSliced(Box::new(sim)),
+                    Err(_) => GroupMeasure::EventDriven(Box::new(
+                        EventDrivenSimulator::with_delays(circuit, config.delay_model, &delays),
+                    )),
+                },
+            ),
+        }
+    }
+}
+
 /// Runs up to [`LANES`] replications of the DIPE flow concurrently on one
 /// shared bit-parallel simulation, one replication per `seed_offsets` entry.
 /// Replication `r` is seeded exactly like a scalar
@@ -106,6 +174,32 @@ pub fn run_replicated_dipe(
     )
 }
 
+/// Like [`run_replicated_dipe`], additionally returning the aggregate
+/// [`LaneGlitchSummary`] of every measured cycle (the CLI's glitch
+/// columns).
+///
+/// # Errors
+///
+/// As for [`run_replicated_dipe`].
+///
+/// # Panics
+///
+/// Panics if `seed_offsets` is empty or longer than [`LANES`].
+pub fn run_replicated_dipe_with_glitch(
+    circuit: &Circuit,
+    config: &DipeConfig,
+    input_model: &InputModel,
+    seed_offsets: &[u64],
+) -> Result<(Vec<Result<Estimate, DipeError>>, LaneGlitchSummary), DipeError> {
+    run_group(
+        circuit,
+        config,
+        input_model,
+        seed_offsets,
+        &AtomicBool::new(false),
+    )
+}
+
 /// Like [`run_replicated_dipe`], polling `cancel` once per shared clock
 /// cycle: when the flag is set, every unfinished replication completes with
 /// [`DipeError::Cancelled`] (finished replications keep their results), so
@@ -125,6 +219,16 @@ pub fn run_replicated_dipe_cancellable(
     seed_offsets: &[u64],
     cancel: &AtomicBool,
 ) -> Result<Vec<Result<Estimate, DipeError>>, DipeError> {
+    run_group(circuit, config, input_model, seed_offsets, cancel).map(|(estimates, _)| estimates)
+}
+
+fn run_group(
+    circuit: &Circuit,
+    config: &DipeConfig,
+    input_model: &InputModel,
+    seed_offsets: &[u64],
+    cancel: &AtomicBool,
+) -> Result<(Vec<Result<Estimate, DipeError>>, LaneGlitchSummary), DipeError> {
     assert!(
         !seed_offsets.is_empty() && seed_offsets.len() <= LANES,
         "a lane group holds 1..={LANES} replications, got {}",
@@ -150,12 +254,16 @@ pub fn run_replicated_dipe_cancellable(
         .collect::<Result<Vec<Lane>, DipeError>>()?;
 
     let mut sim = BitParallelSimulator::new(circuit);
-    let mut full = EventDrivenSimulator::new(circuit, config.delay_model);
+    let mut measure = GroupMeasure::new(circuit, config)?;
     let calculator = PowerCalculator::new(circuit, config.technology, &config.capacitance);
 
     let mut pattern = vec![false; circuit.num_primary_inputs()];
     let mut words = vec![0u64; circuit.num_primary_inputs()];
     let mut prev = vec![false; circuit.num_nets()];
+    let mut scratch = GlitchActivity::zeroed(circuit.num_nets());
+    let mut measuring: Vec<usize> = Vec::with_capacity(seed_offsets.len());
+    let mut glitch = LaneGlitchSummary::default();
+    let mut glitch_power_sum = 0.0f64;
 
     while lanes.iter().any(|lane| !lane.is_finished()) {
         if cancel.load(Ordering::Relaxed) {
@@ -164,6 +272,10 @@ pub fn run_replicated_dipe_cancellable(
             }
             break;
         }
+        // Pass 1: draw and pack every live lane's pattern, advance the
+        // bookkeeping of the non-sampling lanes, and collect the lanes that
+        // measure this cycle.
+        measuring.clear();
         for (lane_index, lane) in lanes.iter_mut().enumerate() {
             if lane.is_finished() {
                 continue; // word bits of finished lanes are don't-cares
@@ -175,16 +287,7 @@ pub fn run_replicated_dipe_cancellable(
             let measure_now =
                 !matches!(lane.phase, LanePhase::Warmup { .. }) && lane.decorrelate == 0;
             if measure_now {
-                // This lane's sampling cycle: general-delay measurement from
-                // its previous stable values, exactly like
-                // `PowerSampler::measure_cycle_power_w`. The shared
-                // bit-parallel step below advances the lane to the same
-                // stable values the event-driven simulator settles to.
-                sim.lane_values_into(lane_index, &mut prev);
-                let activity = full.simulate_cycle(&prev, &pattern);
-                let power_w = calculator.cycle_power_w(activity.total());
-                lane.counts.measured_cycles += 1;
-                record_measurement(lane, power_w, config, &estimator_name, &started);
+                measuring.push(lane_index);
             } else {
                 lane.counts.zero_delay_cycles += 1;
                 match &mut lane.phase {
@@ -203,16 +306,63 @@ pub fn run_replicated_dipe_cancellable(
                 }
             }
         }
+        // Pass 2: general-delay measurement of the sampling lanes, exactly
+        // like `PowerSampler::measure_cycle_power_w` per lane. The shared
+        // bit-parallel step below advances every lane to the same stable
+        // values the measurement backend settles to.
+        match (&mut measure, measuring.as_slice()) {
+            (_, []) => {}
+            (GroupMeasure::TimeSliced(ts), sampling) => {
+                // One word pass glitch-simulates all 64 lanes; each sampling
+                // lane projects its own per-net counts out of the shared
+                // record (non-sampling lanes' bits are simulated but never
+                // read — their stimulus is the same next-state step the
+                // bit-parallel simulator takes anyway).
+                let activity = ts.simulate_cycle(sim.words(), &words);
+                for &lane_index in sampling {
+                    activity.lane_activity_into(lane_index, &mut scratch);
+                    let power_w = calculator.cycle_power_w(scratch.total());
+                    glitch.measured_cycles += 1;
+                    glitch.total_transitions += scratch.total().total_transitions();
+                    glitch.settled_transitions += scratch.settled().total_transitions();
+                    glitch_power_sum += power_w - calculator.cycle_power_w(scratch.settled());
+                    let lane = &mut lanes[lane_index];
+                    lane.counts.measured_cycles += 1;
+                    record_measurement(lane, power_w, config, &estimator_name, &started);
+                }
+            }
+            (GroupMeasure::EventDriven(full), sampling) => {
+                for &lane_index in sampling {
+                    sim.lane_values_into(lane_index, &mut prev);
+                    for (bit, word) in pattern.iter_mut().zip(&words) {
+                        *bit = (word >> lane_index) & 1 != 0;
+                    }
+                    let activity = full.simulate_cycle(&prev, &pattern);
+                    let power_w = calculator.cycle_power_w(activity.total());
+                    glitch.measured_cycles += 1;
+                    glitch.total_transitions += activity.total().total_transitions();
+                    glitch.settled_transitions += activity.settled().total_transitions();
+                    glitch_power_sum += power_w - calculator.cycle_power_w(activity.settled());
+                    let lane = &mut lanes[lane_index];
+                    lane.counts.measured_cycles += 1;
+                    record_measurement(lane, power_w, config, &estimator_name, &started);
+                }
+            }
+        }
         sim.step_state_only(&words);
     }
 
-    Ok(lanes
+    if glitch.measured_cycles > 0 {
+        glitch.mean_glitch_power_w = glitch_power_sum / glitch.measured_cycles as f64;
+    }
+    let estimates = lanes
         .into_iter()
         .map(|lane| match lane.phase {
             LanePhase::Finished(result) => result,
             _ => unreachable!("the group loop runs until every lane finishes"),
         })
-        .collect())
+        .collect();
+    Ok((estimates, glitch))
 }
 
 /// Feeds one measured power observation into a lane's state machine and
@@ -361,6 +511,58 @@ mod tests {
             );
             let scalar = scalar_estimate(&circuit, &config, offset as u64).unwrap_err();
             assert_eq!(format!("{error}"), format!("{scalar}"));
+        }
+    }
+
+    #[test]
+    fn measurement_backends_agree_on_estimates_and_glitch_summary() {
+        // Unit delay is slot-representable: auto resolves to the time-sliced
+        // word backend. Forcing event-driven must give bit-identical
+        // estimates AND the bit-identical aggregate glitch summary.
+        let circuit = iscas89::load("s298").unwrap();
+        let config = DipeConfig::default()
+            .with_seed(23)
+            .with_delay_model(logicsim::DelayModel::Unit(100));
+        let offsets = [1u64, 2, 3, 4];
+        let (auto, auto_glitch) =
+            run_replicated_dipe_with_glitch(&circuit, &config, &InputModel::uniform(), &offsets)
+                .unwrap();
+        let (scalar, scalar_glitch) = run_replicated_dipe_with_glitch(
+            &circuit,
+            &config.clone().with_measure_mode(MeasureMode::EventDriven),
+            &InputModel::uniform(),
+            &offsets,
+        )
+        .unwrap();
+        for (offset, (a, s)) in offsets.iter().zip(auto.iter().zip(&scalar)) {
+            assert_estimates_match(
+                a.as_ref().unwrap(),
+                s.as_ref().unwrap(),
+                &format!("offset {offset}"),
+            );
+        }
+        assert_eq!(auto_glitch, scalar_glitch, "glitch summary diverged");
+        assert!(auto_glitch.measured_cycles > 0);
+        assert!(auto_glitch.total_transitions >= auto_glitch.settled_transitions);
+        assert!(auto_glitch.glitch_transitions() > 0, "unit delay glitches");
+        assert!(auto_glitch.mean_glitch_power_w > 0.0);
+    }
+
+    #[test]
+    fn lane_runs_stay_bit_exact_with_scalar_sessions_under_unit_delay() {
+        // The word-parallel measurement path must reproduce the scalar
+        // DipeEstimator sessions bit for bit, like the zero-delay path does.
+        let circuit = iscas89::load("s27").unwrap();
+        let config = DipeConfig::default()
+            .with_seed(1997)
+            .with_delay_model(logicsim::DelayModel::Unit(100));
+        let offsets: Vec<u64> = (1..=5).collect();
+        let replicated =
+            run_replicated_dipe(&circuit, &config, &InputModel::uniform(), &offsets).unwrap();
+        for (&offset, result) in offsets.iter().zip(&replicated) {
+            let lane = result.as_ref().expect("replication converges on s27");
+            let scalar = scalar_estimate(&circuit, &config, offset).unwrap();
+            assert_estimates_match(lane, &scalar, &format!("unit-delay offset {offset}"));
         }
     }
 

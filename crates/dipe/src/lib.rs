@@ -87,7 +87,7 @@ pub mod shards;
 
 pub use baselines::{DecoupledCombinationalEstimator, FixedWarmupEstimator};
 pub use checkpoint::{InputStreamState, SamplerState, SessionCheckpoint, CHECKPOINT_VERSION};
-pub use config::{CriterionKind, DipeConfig, EvalMode};
+pub use config::{CriterionKind, DipeConfig, EvalMode, MeasureMode};
 pub use engine::{Engine, EstimationJob, JobOutcome, ReplicatedJob, ReplicatedOutcome};
 pub use error::DipeError;
 pub use estimate::{
@@ -96,7 +96,10 @@ pub use estimate::{
 };
 pub use estimator::{DipeEstimator, DipeResult};
 pub use independence::{IndependenceSelection, IntervalTrial};
-pub use lanes::{run_replicated_dipe, run_replicated_dipe_cancellable};
+pub use lanes::{
+    run_replicated_dipe, run_replicated_dipe_cancellable, run_replicated_dipe_with_glitch,
+    LaneGlitchSummary,
+};
 pub use reference::{LongSimulationReference, ReferenceResult};
 pub use sampler::PowerSampler;
 pub use shards::{ShardedDipeEstimator, ShardedSession};

@@ -10,6 +10,7 @@
 use dipe::input::InputModel;
 use dipe::{DipeConfig, DipeEstimator, EvalMode, PowerSampler};
 use netlist::generator::{generate, GeneratorConfig};
+use testkit::assert_power_eq;
 
 fn round_trip_pair(seed: u64) -> (netlist::Circuit, netlist::Circuit) {
     // min fanin 2 keeps the BLIF cover recogniser's mapping exact (a
@@ -20,15 +21,6 @@ fn round_trip_pair(seed: u64) -> (netlist::Circuit, netlist::Circuit) {
     let original = generate(&cfg).unwrap();
     let back = netlist::blif::parse(&netlist::blif::write(&original), original.name()).unwrap();
     (original, back)
-}
-
-/// Equality up to float-summation reordering: a handful of ulps.
-fn assert_power_eq(a: f64, b: f64, what: &str) {
-    let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
-    assert!(
-        (a - b).abs() / scale < 1e-12,
-        "{what}: {a} vs {b} differ beyond summation-order slack"
-    );
 }
 
 #[test]

@@ -203,10 +203,36 @@ fn one_shard_trace_matches_the_scalar_trace() {
 fn sim_profile_accounts_for_every_measured_cycle() {
     let (estimate, _) = traced_run(&DipeEstimator::new(), CycleBudget::unbounded());
     let profile = estimate.sim_profile.unwrap();
-    // Every measured cycle went through exactly one dispatch path.
+    // Every measured cycle went through exactly one dispatch path: the
+    // scalar wheel's levelized or wheel sweep, or the lane-parallel
+    // time-sliced backend (the default fanout annotation of s27 is
+    // slot-representable, so auto selects the latter).
+    assert_eq!(
+        profile.levelized_cycles + profile.wheel_cycles + profile.time_sliced_cycles,
+        estimate.cycle_counts.measured_cycles
+    );
+    assert!(profile.total_evals() + profile.time_sliced_word_evals > 0);
+}
+
+#[test]
+fn sim_profile_reports_the_forced_event_driven_backend() {
+    use dipe::MeasureMode;
+    let circuit = iscas89::load("s27").unwrap();
+    let config = config().with_measure_mode(MeasureMode::EventDriven);
+    let mut session = DipeEstimator::new()
+        .start(&circuit, &config, &InputModel::uniform(), 0)
+        .unwrap();
+    let estimate = loop {
+        match session.step(CycleBudget::unbounded()).unwrap() {
+            Progress::Running { .. } => {}
+            Progress::Done(estimate) => break estimate,
+        }
+    };
+    let profile = estimate.sim_profile.unwrap();
     assert_eq!(
         profile.levelized_cycles + profile.wheel_cycles,
         estimate.cycle_counts.measured_cycles
     );
+    assert_eq!(profile.time_sliced_cycles, 0);
     assert!(profile.total_evals() > 0);
 }

@@ -1,6 +1,6 @@
 //! Gate-level logic simulation.
 //!
-//! Six simulators are provided. Four are zero-delay (functional) backends
+//! Seven simulators are provided. Four are zero-delay (functional) backends
 //! sharing one semantics — bit-exact with each other, enforced by property
 //! tests:
 //!
@@ -17,7 +17,7 @@
 //!   per lane in a `u64` word per net, with transition counting via XOR +
 //!   `count_ones` ([`WordActivity`]). Batch replicated runs map onto lanes.
 //!
-//! Two are delay-aware ("general delay", Section IV of the paper) and model
+//! Three are delay-aware ("general delay", Section IV of the paper) and model
 //! the transient within a clock cycle — unequal path delays make gate
 //! outputs toggle several times before settling (glitches), and every one of
 //! those transitions dissipates power:
@@ -29,6 +29,13 @@
 //!   settled functional ones, so glitch activity is `total − settled` per
 //!   net. Under [`DelayModel::Zero`] it degenerates bit-identically to the
 //!   zero-delay backends.
+//! * [`TimeSlicedSimulator`] — the 64-lane word-parallel counterpart of the
+//!   event-driven backend: the delay annotation is levelized onto a discrete
+//!   arrival-time slot grid ([`SlotSchedule`]) and all 64 lanes advance per
+//!   word per slot, with per-net counts proven bit-identical to the scalar
+//!   wheel ([`WordGlitchActivity`]). Annotations that are not
+//!   slot-representable are rejected explicitly ([`SlotRejection`]) and fall
+//!   back to [`EventDrivenSimulator`].
 //! * [`VariableDelaySimulator`] — the interpreted event-queue reference:
 //!   no pulse filtering, no compilation; per net it upper-bounds the
 //!   inertial simulator's counts and anchors its tests.
@@ -67,6 +74,7 @@ mod event;
 mod event_driven;
 mod partitioned;
 mod state;
+mod time_sliced;
 mod trace;
 mod value;
 mod variable_delay;
@@ -78,7 +86,10 @@ pub use event_driven::{EventDrivenSimulator, SimCounters};
 pub use netlist::{DelayModel, GateDelays};
 pub use partitioned::{PartitionedSimulator, TILE_INSTRUCTIONS};
 pub use state::{random_input_vector, random_state_vector, SimState};
-pub use trace::{ActivityAccumulator, CycleActivity, GlitchActivity, WordActivity};
+pub use time_sliced::{SlotRejection, SlotSchedule, TimeSlicedCounters, TimeSlicedSimulator};
+pub use trace::{
+    ActivityAccumulator, CycleActivity, GlitchActivity, WordActivity, WordGlitchActivity,
+};
 pub use value::LogicValue;
 pub use variable_delay::VariableDelaySimulator;
 pub use zero_delay::{compute_next_state, ZeroDelaySimulator};

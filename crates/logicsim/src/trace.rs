@@ -218,6 +218,166 @@ impl GlitchActivity {
     }
 }
 
+/// The glitch-decomposed switching activity of one clock cycle across the
+/// [`LANES`](crate::LANES) lanes of a delay-aware bit-parallel simulation
+/// (the word-wide analogue of [`GlitchActivity`]).
+///
+/// Three views of the same cycle coexist:
+///
+/// * **aggregate totals** — per net, the number of transitions summed over
+///   all lanes ([`totals`](Self::totals)), maintained as one
+///   [`u64::count_ones`] per committed change;
+/// * **settled diff words** — per net, one `u64` whose bit `l` is set iff
+///   the net's settled value changed in lane `l`
+///   ([`settled_diff_words`](Self::settled_diff_words));
+/// * **the event log** — every committed change as a `(net, lane-mask)`
+///   pair in commit order ([`events`](Self::events)), from which any single
+///   lane's exact per-net counts are reconstructed
+///   ([`lane_activity_into`](Self::lane_activity_into)) without the
+///   simulator having to maintain 64 dense count arrays on its hot path.
+///
+/// Glitch activity falls out exactly as in the scalar record:
+/// `glitch = total − settled`, per net, per lane and in aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WordGlitchActivity {
+    /// Per-net transition counts summed across all lanes.
+    totals: Vec<u64>,
+    /// Per-net settled diff words (bit `l` = lane `l`'s settled value
+    /// changed this cycle).
+    settled: Vec<u64>,
+    /// Commit log of the cycle: every matured value change as
+    /// `(net, lane mask)`, in commit order.
+    events: Vec<(u32, u64)>,
+    /// Nets with a non-zero aggregate total (sparse clearing).
+    counted: Vec<u32>,
+}
+
+impl WordGlitchActivity {
+    /// Creates an all-zero record for `num_nets` nets.
+    pub fn zeroed(num_nets: usize) -> Self {
+        WordGlitchActivity {
+            totals: vec![0; num_nets],
+            settled: vec![0; num_nets],
+            events: Vec::new(),
+            counted: Vec::new(),
+        }
+    }
+
+    /// The number of nets this record covers.
+    pub fn num_nets(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Clears the previous cycle's counts (sparse) and log.
+    pub(crate) fn begin_cycle(&mut self) {
+        for &net in &self.counted {
+            self.totals[net as usize] = 0;
+        }
+        self.counted.clear();
+        self.events.clear();
+    }
+
+    /// Records one committed change: `mask` lanes of `net` flipped.
+    #[inline]
+    pub(crate) fn record(&mut self, net: u32, mask: u64) {
+        debug_assert_ne!(mask, 0);
+        let slot = &mut self.totals[net as usize];
+        if *slot == 0 {
+            self.counted.push(net);
+        }
+        *slot += u64::from(mask.count_ones());
+        self.events.push((net, mask));
+    }
+
+    /// The dense settled-diff word array, for the simulator to fill.
+    pub(crate) fn settled_words_mut(&mut self) -> &mut [u64] {
+        &mut self.settled
+    }
+
+    /// Per-net transition counts summed across all lanes.
+    pub fn totals(&self) -> &[u64] {
+        &self.totals
+    }
+
+    /// Per-net settled diff words: bit `l` of word `i` is set iff net `i`'s
+    /// settled value changed in lane `l`.
+    pub fn settled_diff_words(&self) -> &[u64] {
+        &self.settled
+    }
+
+    /// The commit log of the cycle: `(net, lane mask)` per committed change.
+    pub fn events(&self) -> &[(u32, u64)] {
+        &self.events
+    }
+
+    /// Total transitions across all nets and lanes this cycle.
+    pub fn total_transitions(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+
+    /// Settled (functional) transitions across all nets and lanes.
+    pub fn settled_transitions(&self) -> u64 {
+        self.settled
+            .iter()
+            .map(|&w| u64::from(w.count_ones()))
+            .sum()
+    }
+
+    /// Glitch transitions across all nets and lanes (`total − settled`).
+    pub fn glitch_transitions(&self) -> u64 {
+        self.total_transitions() - self.settled_transitions()
+    }
+
+    /// Total transitions of one lane across all nets.
+    pub fn lane_total_transitions(&self, lane: usize) -> u64 {
+        assert!(lane < 64, "lane index out of range");
+        self.events
+            .iter()
+            .map(|&(_, mask)| (mask >> lane) & 1)
+            .sum()
+    }
+
+    /// Settled transitions of one lane across all nets.
+    pub fn lane_settled_transitions(&self, lane: usize) -> u64 {
+        assert!(lane < 64, "lane index out of range");
+        self.settled.iter().map(|&w| (w >> lane) & 1).sum()
+    }
+
+    /// Projects one lane out into a scalar [`GlitchActivity`], overwriting
+    /// `out` completely. The projected record is bit-identical to what a
+    /// scalar delay-aware simulation of that lane alone would have reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64` or `out` covers a different net count.
+    pub fn lane_activity_into(&self, lane: usize, out: &mut GlitchActivity) {
+        assert!(lane < 64, "lane index out of range");
+        assert_eq!(
+            out.total().per_net().len(),
+            self.totals.len(),
+            "lane projection target must cover the same nets"
+        );
+        let totals = out.total_mut().per_net_mut();
+        totals.fill(0);
+        for &(net, mask) in &self.events {
+            totals[net as usize] += ((mask >> lane) & 1) as u32;
+        }
+        let settled = out.settled_mut().per_net_mut();
+        settled.fill(0);
+        for &net in &self.counted {
+            settled[net as usize] = ((self.settled[net as usize] >> lane) & 1) as u32;
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`lane_activity_into`](Self::lane_activity_into).
+    pub fn lane_activity(&self, lane: usize) -> GlitchActivity {
+        let mut out = GlitchActivity::zeroed(self.totals.len());
+        self.lane_activity_into(lane, &mut out);
+        out
+    }
+}
+
 /// Accumulates switching activity over many cycles, yielding per-net toggle
 /// densities (average transitions per cycle). This is the quantity
 /// probabilistic power estimators call the *transition density*; the

@@ -13,7 +13,7 @@
 //! with identical content share cache entries.
 
 use dipe::input::InputModel;
-use dipe::{DipeConfig, DipeError};
+use dipe::{DipeConfig, DipeError, MeasureMode};
 use netlist::{iscas89, Circuit, DelayModel, NetlistError, NetlistFormat};
 
 use crate::json::Json;
@@ -124,6 +124,10 @@ pub struct JobSpec {
     pub input_model: String,
     /// Delay model of the measurement backend.
     pub delay_model: DelayModel,
+    /// Which delay-aware backend runs the measured cycles
+    /// (`auto`/`event-driven`/`time-sliced`). Both concrete backends are
+    /// bit-identical, so this knob only shapes throughput, never results.
+    pub measure_mode: MeasureMode,
     /// Convergence target: maximum relative CI half-width.
     pub relative_error: f64,
     /// Convergence target: confidence level.
@@ -141,6 +145,7 @@ impl JobSpec {
             circuit: CircuitRef::Named(circuit.to_string()),
             input_model: "uniform".to_string(),
             delay_model: DelayModel::default(),
+            measure_mode: MeasureMode::Auto,
             relative_error: 0.05,
             confidence: 0.99,
             seed: 1997,
@@ -166,6 +171,7 @@ impl JobSpec {
             .with_seed(self.seed)
             .with_accuracy(self.relative_error, self.confidence)
             .with_delay_model(self.delay_model)
+            .with_measure_mode(self.measure_mode)
     }
 
     /// The parsed input model.
@@ -195,6 +201,8 @@ impl JobSpec {
 
     /// Cache key of the compiled-circuit tier: covers the netlist content and
     /// the delay model (a compiled program embeds its delay annotation).
+    /// Deliberately excludes the measure mode: the compiled program is
+    /// backend-independent, so one entry serves every measurement backend.
     pub fn circuit_key(&self) -> u64 {
         let mut h = Fnv1a::new();
         h.update(self.circuit.key_material().as_bytes());
@@ -205,9 +213,13 @@ impl JobSpec {
 
     /// Cache key of the warm-checkpoint tier: the compiled key plus
     /// everything that shapes the simulation stream *before* sampling starts
-    /// — input model and seed. Deliberately excludes the convergence target:
-    /// a warm checkpoint is taken before any accuracy-dependent decision, so
-    /// one entry serves every accuracy requested for the same stream.
+    /// — input model, seed and measure mode. Deliberately excludes the
+    /// convergence target: a warm checkpoint is taken before any
+    /// accuracy-dependent decision, so one entry serves every accuracy
+    /// requested for the same stream. The measure mode participates even
+    /// though the backends are bit-identical: a checkpoint resumed under a
+    /// forced `time-sliced` mode must fail validation (not estimation) when
+    /// the annotation is unrepresentable, so modes get distinct entries.
     pub fn warm_key(&self) -> u64 {
         let mut h = Fnv1a::new();
         h.update(&self.circuit_key().to_le_bytes());
@@ -215,6 +227,8 @@ impl JobSpec {
         h.update(self.input_model.as_bytes());
         h.update(b"\x00");
         h.update(&self.seed.to_le_bytes());
+        h.update(b"\x00");
+        h.update(self.measure_mode.id().as_bytes());
         h.finish()
     }
 
@@ -235,6 +249,7 @@ impl JobSpec {
         };
         pairs.push(("input_model", Json::str(self.input_model.clone())));
         pairs.push(("delay_model", Json::str(self.delay_model.id())));
+        pairs.push(("measure_mode", Json::str(self.measure_mode.id())));
         pairs.push(("relative_error", Json::f64(self.relative_error)));
         pairs.push(("confidence", Json::f64(self.confidence)));
         pairs.push(("seed", Json::u64(self.seed)));
@@ -298,6 +313,12 @@ impl JobSpec {
         if let Some(v) = value.get("delay_model") {
             let text = v.as_str().ok_or("`delay_model` must be a string")?;
             spec.delay_model = DelayModel::parse(text)?;
+        }
+        if let Some(v) = value.get("measure_mode") {
+            let text = v.as_str().ok_or("`measure_mode` must be a string")?;
+            spec.measure_mode = MeasureMode::parse(text).ok_or_else(|| {
+                format!("`measure_mode` must be auto|event-driven|time-sliced, got `{text}`")
+            })?;
         }
         if let Some(v) = value.get("relative_error") {
             spec.relative_error = v.as_f64().ok_or("`relative_error` must be a number")?;
@@ -503,6 +524,25 @@ mod tests {
         let mut other_inputs = JobSpec::named("s27");
         other_inputs.input_model = "independent:0.3".to_string();
         assert_ne!(a.warm_key(), other_inputs.warm_key());
+    }
+
+    #[test]
+    fn measure_mode_round_trips_and_shapes_the_warm_key_only() {
+        let mut spec = JobSpec::named("s27");
+        spec.measure_mode = MeasureMode::TimeSliced;
+        let parsed = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.config().measure_mode, MeasureMode::TimeSliced);
+        // Absent field defaults to auto.
+        let defaulted = JobSpec::from_json(&Json::parse(r#"{"circuit":"s27"}"#).unwrap()).unwrap();
+        assert_eq!(defaulted.measure_mode, MeasureMode::Auto);
+        // The compiled artifact is backend-independent; the warm checkpoint
+        // is not.
+        assert_eq!(spec.circuit_key(), JobSpec::named("s27").circuit_key());
+        assert_ne!(spec.warm_key(), JobSpec::named("s27").warm_key());
+        // Unknown modes are rejected at parse time.
+        let bad = Json::parse(r#"{"circuit":"s27","measure_mode":"wheel"}"#).unwrap();
+        assert!(JobSpec::from_json(&bad).is_err());
     }
 
     #[test]

@@ -13,8 +13,7 @@
 //!    breakdown estimator and the JSON export.
 
 use activity::{BreakdownEstimator, ConvergenceTarget};
-use dipe::input::InputModel;
-use dipe::{run_to_completion, DipeConfig, PowerEstimator};
+use dipe::DipeConfig;
 use logicsim::{
     random_input_vector, CompiledSimulator, DelayModel, EventDrivenSimulator, ZeroDelaySimulator,
 };
@@ -22,21 +21,22 @@ use netlist::iscas89;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqstats::NodeStoppingPolicy;
+use testkit::{catalogue, run, structural_cycle_budget, structural_seed};
 
 /// With all delays zero, the event-driven simulator is bit-identical to both
 /// zero-delay backends — per-net counts *and* stable values — on every
 /// circuit of the bundled catalogue, across random stimulus.
 #[test]
 fn zero_delay_event_simulation_is_bit_identical_on_the_whole_catalogue() {
-    for name in iscas89::names() {
-        let circuit = iscas89::load(name).unwrap();
+    for circuit in catalogue() {
+        let name = circuit.name();
         let mut interpreted = ZeroDelaySimulator::new(&circuit);
         let mut compiled = CompiledSimulator::new(&circuit);
         let mut event = EventDrivenSimulator::new(&circuit, DelayModel::Zero);
-        let mut rng = StdRng::seed_from_u64(0xD1CE ^ circuit.num_nets() as u64);
+        let mut rng = StdRng::seed_from_u64(structural_seed(&circuit));
         // Few cycles per circuit: the catalogue spans s27 to s15850 and the
         // property is structural, not statistical.
-        let cycles = if circuit.num_gates() > 2_000 { 3 } else { 12 };
+        let cycles = structural_cycle_budget(&circuit);
         for cycle in 0..cycles {
             let inputs = random_input_vector(&circuit, 0.5, &mut rng);
             let prev = interpreted.values().to_vec();
@@ -82,12 +82,7 @@ fn unit_delay_breakdown_decomposes_power_into_functional_plus_glitch() {
         NodeStoppingPolicy::new(0.15, 0.90, 5, 0.05, 64),
         ConvergenceTarget::NodeBreakdown,
     );
-    let estimate = run_to_completion(
-        estimator
-            .start(&circuit, &config, &InputModel::uniform(), 0)
-            .unwrap(),
-    )
-    .unwrap();
+    let estimate = run(&estimator, &circuit, &config);
     let breakdown = estimate.breakdown().expect("breakdown diagnostics");
 
     // Per net: total = functional + glitch to 1e-12 relative, components
@@ -153,18 +148,13 @@ fn unit_delay_breakdown_decomposes_power_into_functional_plus_glitch() {
 #[test]
 fn glitch_component_tracks_the_delay_model() {
     let circuit = iscas89::load("s344").unwrap();
-    let run = |model: DelayModel| {
+    let measure = |model: DelayModel| {
         let config = DipeConfig::default().with_seed(7).with_delay_model(model);
         let estimator = BreakdownEstimator::new(
             NodeStoppingPolicy::new(0.15, 0.90, 5, 0.05, 64),
             ConvergenceTarget::TotalPower,
         );
-        let estimate = run_to_completion(
-            estimator
-                .start(&circuit, &config, &InputModel::uniform(), 0)
-                .unwrap(),
-        )
-        .unwrap();
+        let estimate = run(&estimator, &circuit, &config);
         let b = estimate.breakdown().unwrap();
         (
             b.total_power_w(),
@@ -173,9 +163,9 @@ fn glitch_component_tracks_the_delay_model() {
         )
     };
 
-    let (zero_total, zero_glitch, zero_functional) = run(DelayModel::Zero);
-    let (_, unit_glitch, unit_functional) = run(DelayModel::Unit(100));
-    let (_, random_glitch, random_functional) = run(DelayModel::random(42));
+    let (zero_total, zero_glitch, zero_functional) = measure(DelayModel::Zero);
+    let (_, unit_glitch, unit_functional) = measure(DelayModel::Unit(100));
+    let (_, random_glitch, random_functional) = measure(DelayModel::random(42));
 
     assert_eq!(zero_glitch, 0.0, "zero delay cannot glitch");
     assert!(unit_glitch > 0.0, "unit delay should glitch");

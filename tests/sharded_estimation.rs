@@ -6,26 +6,11 @@
 //! the pooled standard error obeys the analytic pooling identity).
 
 use activity::{BreakdownEstimator, ConvergenceTarget};
-use dipe::input::InputModel;
 use dipe::shards::shard_seed_offset;
-use dipe::{
-    run_to_completion, DipeConfig, DipeEstimator, Estimate, PowerEstimator, ShardedDipeEstimator,
-};
+use dipe::{DipeConfig, DipeEstimator, Estimate, ShardedDipeEstimator};
 use netlist::iscas89;
 use seqstats::NodeStoppingPolicy;
-
-fn run(
-    estimator: &dyn PowerEstimator,
-    circuit: &netlist::Circuit,
-    config: &DipeConfig,
-) -> Estimate {
-    run_to_completion(
-        estimator
-            .start(circuit, config, &InputModel::uniform(), 0)
-            .unwrap(),
-    )
-    .unwrap()
-}
+use testkit::{assert_estimates_bit_identical, run, SEED_FAMILY};
 
 /// Determinism, part 1: a 1-shard sharded session reproduces the
 /// pre-existing single-threaded DIPE session bit-for-bit — same pooled
@@ -36,11 +21,7 @@ fn one_shard_total_power_is_bit_identical_to_the_scalar_session() {
     let config = DipeConfig::default().with_seed(386);
     let scalar = run(&DipeEstimator::new(), &circuit, &config);
     let sharded = run(&ShardedDipeEstimator::new(1), &circuit, &config);
-    assert_eq!(sharded.mean_power_w, scalar.mean_power_w);
-    assert_eq!(sharded.relative_half_width, scalar.relative_half_width);
-    assert_eq!(sharded.sample_size, scalar.sample_size);
-    assert_eq!(sharded.cycle_counts, scalar.cycle_counts);
-    assert_eq!(sharded.diagnostics, scalar.diagnostics);
+    assert_estimates_bit_identical(&sharded, &scalar, "one shard vs scalar");
 }
 
 /// Determinism, part 1b: the same contract on the breakdown path — pooled
@@ -78,10 +59,7 @@ fn multi_shard_results_are_independent_of_thread_interleaving() {
     let estimator = ShardedDipeEstimator::new(4);
     let runs: Vec<Estimate> = (0..3).map(|_| run(&estimator, &circuit, &config)).collect();
     for later in &runs[1..] {
-        assert_eq!(later.mean_power_w, runs[0].mean_power_w);
-        assert_eq!(later.sample_size, runs[0].sample_size);
-        assert_eq!(later.cycle_counts, runs[0].cycle_counts);
-        assert_eq!(later.diagnostics, runs[0].diagnostics);
+        assert_estimates_bit_identical(later, &runs[0], "repeated 4-shard runs");
     }
 }
 
@@ -95,7 +73,7 @@ fn multi_shard_results_are_independent_of_thread_interleaving() {
 #[test]
 fn eight_shards_agree_with_one_shard_within_the_confidence_interval() {
     let circuit = iscas89::load("s386").unwrap();
-    for seed in [11u64, 23, 1997] {
+    for seed in SEED_FAMILY {
         let config = DipeConfig::default().with_seed(seed);
         let one = run(&ShardedDipeEstimator::new(1), &circuit, &config);
         let eight = run(&ShardedDipeEstimator::new(8), &circuit, &config);
