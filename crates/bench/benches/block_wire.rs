@@ -1,0 +1,119 @@
+//! Criterion bench for the distributed shard-block wire form: NDJSON
+//! encode, parse+decode, and checksum verification of `RemoteBlock`
+//! payloads at three representative sizes. The coordinator consumes one
+//! block per (stream, block-index) pair, so wire throughput bounds how many
+//! seed streams a fleet can sustain before serialization becomes the
+//! bottleneck rather than simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dipe::remote::RemoteBlock;
+use dipe::sampler::CycleCounts;
+use dipe::{InputStreamState, SamplerState};
+use dipe_serve::worker::{block_from_json, block_to_json};
+use dipe_serve::Json;
+use seqstats::{MomentAccumulatorState, PooledSampleState};
+
+/// Deterministic xorshift filler so payload bytes look like real power
+/// samples (dense, high-entropy) rather than compressible zeros.
+fn fill(state: &mut u64, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            *state
+        })
+        .collect()
+}
+
+/// A block shaped like one produced by a worker mid-run: `words` pooled
+/// power words plus a per-node moment accumulator of `nodes` nodes.
+fn synthetic_block(words: usize, nodes: usize) -> RemoteBlock {
+    let mut state = 0x1997_DAC0_FFEE_5EEDu64 ^ (words as u64) << 8 ^ nodes as u64;
+    let power_bits = fill(&mut state, words);
+    let rng = fill(&mut state, 4);
+    let totals = fill(&mut state, nodes)
+        .into_iter()
+        .map(|t| t % 1_000_000)
+        .collect::<Vec<_>>();
+    let end_state = SamplerState {
+        input_stream: InputStreamState {
+            rng_state: [rng[0], rng[1], rng[2], rng[3]],
+            has_previous: true,
+            previous: (0..nodes.min(32)).map(|i| i % 3 == 0).collect(),
+            trace_cursor: 0,
+        },
+        latch_state: (0..nodes.min(32)).map(|i| i % 2 == 0).collect(),
+        input_pattern: (0..nodes.min(32)).map(|i| i % 5 == 0).collect(),
+        cycle_counts: CycleCounts {
+            zero_delay_cycles: 12_345,
+            measured_cycles: 640,
+        },
+    };
+    let accumulator = MomentAccumulatorState {
+        observations: 640,
+        totals: totals.clone(),
+        totals_sq: totals.iter().map(|t| t * t).collect(),
+        glitch_totals: totals.iter().map(|t| t / 2).collect(),
+    };
+    RemoteBlock::sealed(
+        3,
+        41,
+        PooledSampleState { bits: power_bits },
+        Some(accumulator),
+        end_state,
+    )
+}
+
+/// (label, pooled power words, accumulator nodes) — roughly s27-, s1494-,
+/// and s5378-sized payloads.
+const SHAPES: [(&str, usize, usize); 3] =
+    [("small", 8, 16), ("medium", 64, 128), ("large", 512, 512)];
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_wire/encode");
+    for (label, words, nodes) in SHAPES {
+        let block = synthetic_block(words, nodes);
+        let bytes = block_to_json(&block).to_line().len();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}/{bytes}B")),
+            &block,
+            |b, block| {
+                b.iter(|| block_to_json(block).to_line());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_wire/decode");
+    for (label, words, nodes) in SHAPES {
+        let line = block_to_json(&synthetic_block(words, nodes)).to_line();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{label}/{}B", line.len())),
+            &line,
+            |b, line| {
+                b.iter(|| {
+                    let parsed = Json::parse(line).expect("wire line parses");
+                    block_from_json(&parsed).expect("wire block decodes")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_wire/verify");
+    for (label, words, nodes) in SHAPES {
+        let block = synthetic_block(words, nodes);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &block, |b, block| {
+            b.iter(|| block.verify());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_verify);
+criterion_main!(benches);

@@ -175,6 +175,7 @@ pub fn run_service_storm(options: &ServiceBenchOptions) -> ServiceBenchReport {
             workers: options.workers,
             slice_cycles: options.slice_cycles,
             checkpoint_dir: std::env::temp_dir().join("dipe-serve-bench"),
+            idle_timeout_seconds: 0.0,
             quiet: true,
         },
     )

@@ -43,6 +43,8 @@ use dipe::{
     run_replicated_dipe_with_glitch, CycleBudget, DipeConfig, DipeEstimator, Estimate, EvalMode,
     MeasureMode, PowerEstimator, Progress, ShardedDipeEstimator,
 };
+use dipe_serve::coordinator::run_remote_total;
+use dipe_serve::{CircuitRef, CoordinatorConfig, JobSpec, RemoteOutcome};
 use logicsim::SlotSchedule;
 use netlist::{iscas89, Circuit, DelayModel, FileSource, NetlistFormat, NetlistSource};
 use seqstats::NodeStoppingPolicy;
@@ -63,6 +65,9 @@ struct Options {
     /// `None` until `--shards` is given; resolved to the available
     /// parallelism at run time.
     shards: Option<usize>,
+    /// `--workers host:port,...`: fan the sampling phase out to remote
+    /// worker processes instead of local threads. Empty = local run.
+    workers: Vec<String>,
     top: usize,
     seed: u64,
     relative_error: f64,
@@ -94,6 +99,7 @@ impl Default for Options {
             measure_mode: MeasureMode::default(),
             lanes: 1,
             shards: None,
+            workers: Vec::new(),
             top: 10,
             seed: 1997,
             relative_error: 0.05,
@@ -143,6 +149,13 @@ simulation:
                                        the annotation is not representable)
   --shards N              worker shards the sampling phase fans out to
                           (default: the available parallelism; 1 disables)
+  --workers HOSTS         comma-separated `host:port` list of dipe-serve
+                          --worker processes; the sampling phase fans out to
+                          them over TCP (seed-stream count = --shards).
+                          Bit-identical to the local run — worker loss,
+                          reconnects and reassignment never change the
+                          estimate. Falls back to local execution (with a
+                          warning) when no worker is reachable
   --eval-mode M           zero-delay backend for decorrelation cycles:
                           compiled     straight-line sweep (the default)
                           partitioned  cache-blocked level tiles (megagate)
@@ -231,6 +244,18 @@ fn parse_options() -> Result<Options, String> {
                         .map_err(|e| format!("--shards: {e}"))?,
                 );
             }
+            "--workers" => {
+                let value = take_value("--workers")?;
+                options.workers = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if options.workers.is_empty() {
+                    return Err("--workers requires at least one host:port".to_string());
+                }
+            }
             "--top" => {
                 options.top = take_value("--top")?
                     .parse()
@@ -310,6 +335,16 @@ fn parse_options() -> Result<Options, String> {
         if options.lanes > 1 {
             return Err(
                 "--shards applies to single-run modes, not --lanes replication".to_string(),
+            );
+        }
+    }
+    if !options.workers.is_empty() {
+        if options.breakdown {
+            return Err("--workers applies to total-power mode, not --breakdown".to_string());
+        }
+        if options.lanes > 1 {
+            return Err(
+                "--workers applies to single-run modes, not --lanes replication".to_string(),
             );
         }
     }
@@ -511,6 +546,9 @@ fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Resul
     if options.lanes > 1 {
         return run_replicated(options, circuit, config);
     }
+    if !options.workers.is_empty() {
+        return run_distributed(options, circuit);
+    }
     let shards = resolve_shards(options);
     let estimate = if shards > 1 {
         run_session(&ShardedDipeEstimator::new(shards), circuit, config, options)
@@ -527,6 +565,158 @@ fn run_total(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Resul
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// `--workers`: fan the sampling phase out to remote worker processes.
+///
+/// The coordinator owns warm-up, interval selection and the pooled stopping
+/// rule; workers own the simulators. Sampling is keyed by *seed-stream
+/// index* (one stream per `--shards` shard), never by worker identity, so
+/// worker loss, reconnects and stream reassignment cannot change a single
+/// bit of the estimate — it stays identical to the local `--shards` run.
+fn run_distributed(options: &Options, circuit: &Circuit) -> Result<(), String> {
+    let circuit_ref = match &options.source {
+        None => CircuitRef::Named(options.circuit.clone()),
+        Some(file) => {
+            // Workers load the netlist themselves, so file-based circuits
+            // ship inline as source text — which only the text formats can.
+            if !file.format().is_text() {
+                return Err(format!(
+                    "--workers ships the netlist to the workers as inline text; \
+                     the binary `{}` format cannot — convert to .aag or .bench first",
+                    file.format().id()
+                ));
+            }
+            let source = std::fs::read_to_string(file.path())
+                .map_err(|e| format!("failed to read {}: {e}", file.path().display()))?;
+            CircuitRef::Inline {
+                name: circuit.name().to_string(),
+                source,
+                format: file.format(),
+            }
+        }
+    };
+    let spec = JobSpec {
+        circuit: circuit_ref,
+        input_model: "uniform".to_string(),
+        delay_model: options.delay_model,
+        measure_mode: options.measure_mode,
+        relative_error: options.relative_error,
+        confidence: options.confidence,
+        seed: options.seed,
+    };
+    let streams = resolve_shards(options);
+    let mut remote = CoordinatorConfig::new(options.workers.clone(), streams);
+    remote.quiet = options.quiet;
+    let trace_sink = match &options.trace {
+        Some(path) => Some((
+            path.clone(),
+            Arc::new(FileSink::create(path).map_err(|e| format!("--trace {path}: {e}"))?),
+        )),
+        None => None,
+    };
+    let tracer = match &trace_sink {
+        Some((_, sink)) => Tracer::to_sink(sink.clone()),
+        None => Tracer::disabled(),
+    };
+    let outcome = run_remote_total(&spec, &remote, &tracer)?;
+    if let Some((path, sink)) = &trace_sink {
+        sink.flush().map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    print_estimate_summary(circuit, &outcome.estimate, options.delay_model);
+    print_remote_summary(options, streams, &outcome);
+    if let Some(path) = &options.json {
+        let json = format!(
+            "{{\n{},\n  \"remote\": {}\n}}\n",
+            json_header(
+                circuit,
+                &outcome.estimate,
+                options.delay_model,
+                options.seed
+            ),
+            remote_json(&outcome)
+        );
+        std::fs::write(path, json).map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn print_remote_summary(options: &Options, streams: usize, outcome: &RemoteOutcome) {
+    let stats = &outcome.stats;
+    println!(
+        "distributed run: {} workers, {} seed streams",
+        options.workers.len(),
+        streams
+    );
+    println!(
+        "  blocks consumed: {}, assignments: {}, reassignments: {}, retries: {}, timeouts: {}",
+        stats.blocks_consumed,
+        stats.assignments,
+        stats.reassignments,
+        stats.retries,
+        stats.timeouts
+    );
+    println!(
+        "  duplicates dropped: {}, corrupt blocks rejected: {}, workers lost: {}/{}",
+        stats.duplicate_blocks, stats.corrupt_blocks, stats.workers_lost, stats.workers_connected
+    );
+    if stats.fell_back_local {
+        println!("  degraded to local in-process execution (result unchanged)");
+    }
+    for worker in &outcome.workers {
+        println!(
+            "  worker {}: {} blocks{}{}",
+            worker.endpoint,
+            worker.blocks,
+            match (worker.p50_block_ms, worker.mean_block_ms) {
+                (Some(p50), Some(mean)) =>
+                    format!(", block latency p50 {p50:.1} ms / mean {mean:.1} ms"),
+                _ => String::new(),
+            },
+            if worker.lost { " (lost)" } else { "" }
+        );
+    }
+}
+
+fn remote_json(outcome: &RemoteOutcome) -> String {
+    let stats = &outcome.stats;
+    let workers: Vec<String> = outcome
+        .workers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"endpoint\": \"{}\", \"blocks\": {}, \"p50_block_ms\": {}, \
+                 \"mean_block_ms\": {}, \"lost\": {}}}",
+                w.endpoint,
+                w.blocks,
+                w.p50_block_ms
+                    .map(|ms| format!("{ms:.3}"))
+                    .unwrap_or_else(|| "null".to_string()),
+                w.mean_block_ms
+                    .map(|ms| format!("{ms:.3}"))
+                    .unwrap_or_else(|| "null".to_string()),
+                w.lost
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workers_connected\": {}, \"workers_lost\": {}, \"assignments\": {}, \
+         \"reassignments\": {}, \"retries\": {}, \"timeouts\": {}, \"duplicate_blocks\": {}, \
+         \"corrupt_blocks\": {}, \"blocks_consumed\": {}, \"fell_back_local\": {}, \
+         \"workers\": [{}]}}",
+        stats.workers_connected,
+        stats.workers_lost,
+        stats.assignments,
+        stats.reassignments,
+        stats.retries,
+        stats.timeouts,
+        stats.duplicate_blocks,
+        stats.corrupt_blocks,
+        stats.blocks_consumed,
+        stats.fell_back_local,
+        workers.join(", ")
+    )
 }
 
 fn run_replicated(options: &Options, circuit: &Circuit, config: &DipeConfig) -> Result<(), String> {

@@ -81,6 +81,7 @@ pub mod independence;
 pub mod input;
 pub mod lanes;
 pub mod reference;
+pub mod remote;
 pub mod report;
 pub mod sampler;
 pub mod shards;
@@ -101,5 +102,9 @@ pub use lanes::{
     LaneGlitchSummary,
 };
 pub use reference::{LongSimulationReference, ReferenceResult};
+pub use remote::{
+    assemble_remote_estimate, retry_backoff, Assignment, BlockOutcome, FaultPlan, PooledStop,
+    RemoteBlock, RemoteStats, StreamMerger, StreamWorker,
+};
 pub use sampler::PowerSampler;
 pub use shards::{ShardedDipeEstimator, ShardedSession};

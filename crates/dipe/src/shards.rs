@@ -55,8 +55,10 @@ use crate::sampler::{CycleCounts, PowerSampler};
 
 /// How many rounds a shard may run ahead of the merger before it parks.
 /// Bounds the channel backlog (and therefore memory) when shards progress
-/// at different speeds without ever stalling the steady state.
-const MAX_LEAD_ROUNDS: u64 = 4;
+/// at different speeds without ever stalling the steady state. The remote
+/// runtime ([`crate::remote`]) uses the same lead as its per-stream credit
+/// so local and distributed runs speculate identically.
+pub const MAX_LEAD_ROUNDS: u64 = 4;
 
 /// How a shard's seed offset is derived: shard 0 continues the session's
 /// own stream (bit-identity with the single-threaded run), every other
@@ -70,7 +72,7 @@ pub fn shard_seed_offset(base_seed_offset: u64, shard: usize) -> u64 {
     base_seed_offset.wrapping_add(splitmix64(0x5AD5_C0DE_u64 ^ (shard as u64) << 1))
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

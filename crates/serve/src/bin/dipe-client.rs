@@ -8,7 +8,8 @@
 //! dipe-client ADDR checkpoint JOB_ID [--stop]
 //! dipe-client ADDR trace JOB_ID
 //! dipe-client ADDR metrics [--watch [SECONDS]]
-//! dipe-client ADDR stats | ping | shutdown
+//! dipe-client ADDR stats | ping
+//! dipe-client ADDR shutdown [--drain SECONDS]
 //! ```
 //!
 //! `submit` waits for the job's terminal event by default and prints the
@@ -160,10 +161,22 @@ fn run() -> Result<(), String> {
             client.ping()?;
             println!("pong");
         }
-        "shutdown" => {
-            client.shutdown()?;
-            println!("bye");
-        }
+        "shutdown" => match args.next() {
+            Some(arg) if arg == "--drain" => {
+                let seconds: f64 = args
+                    .next()
+                    .ok_or("--drain requires a value")?
+                    .parse()
+                    .map_err(|e| format!("--drain: {e}"))?;
+                let cancelled = client.shutdown_drain(seconds)?;
+                println!("bye ({cancelled} job(s) cancelled at the drain deadline)");
+            }
+            Some(arg) => return Err(format!("shutdown: unknown argument `{arg}`")),
+            None => {
+                client.shutdown()?;
+                println!("bye");
+            }
+        },
         other => return Err(format!("unknown command `{other}`")),
     }
     Ok(())

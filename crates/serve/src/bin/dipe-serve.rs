@@ -2,22 +2,32 @@
 //!
 //! ```text
 //! dipe-serve [--port P] [--port-file PATH] [--workers N] [--slice CYCLES]
-//!            [--checkpoint-dir DIR] [--quiet]
+//!            [--checkpoint-dir DIR] [--idle-timeout SECS] [--quiet]
+//! dipe-serve --worker [--port P] [--port-file PATH] [--fault PLAN] [--quiet]
 //! ```
 //!
 //! Binds `127.0.0.1:P` (default port 0 = ephemeral), prints
 //! `dipe-serve listening on ADDR` on stdout (and writes the bound port to
 //! `--port-file` if given — how scripts discover an ephemeral port), then
 //! serves until a `shutdown` request arrives.
+//!
+//! With `--worker` the process is a distributed shard worker instead: it
+//! serves block-sampling orders from a `dipe --workers ...` coordinator and
+//! prints `dipe-worker listening on ADDR`. `--fault` accepts a deterministic
+//! fault-injection plan (e.g. `kill-after-blocks:3,delay:2:50`) used by the
+//! robustness test suite and the CI fault smoke.
 
 use std::io::Write;
 use std::process::ExitCode;
 
-use dipe_serve::{Server, ServerConfig};
+use dipe::FaultPlan;
+use dipe_serve::{run_worker, Server, ServerConfig};
 
 struct Options {
     port: u16,
     port_file: Option<String>,
+    worker: bool,
+    fault: FaultPlan,
     config: ServerConfig,
 }
 
@@ -25,6 +35,8 @@ fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         port: 0,
         port_file: None,
+        worker: false,
+        fault: FaultPlan::default(),
         config: ServerConfig::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -59,18 +71,67 @@ fn parse_args() -> Result<Options, String> {
             "--checkpoint-dir" => {
                 options.config.checkpoint_dir = value_of("--checkpoint-dir")?.into();
             }
+            "--idle-timeout" => {
+                options.config.idle_timeout_seconds = value_of("--idle-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout: {e}"))?;
+                if options.config.idle_timeout_seconds < 0.0 {
+                    return Err("--idle-timeout must be non-negative (0 disables)".to_string());
+                }
+            }
+            "--worker" => options.worker = true,
+            "--fault" => {
+                options.fault = FaultPlan::parse(&value_of("--fault")?)?;
+            }
             "--quiet" => options.config.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "usage: dipe-serve [--port P] [--port-file PATH] [--workers N] \
-                     [--slice CYCLES] [--checkpoint-dir DIR] [--quiet]"
+                     [--slice CYCLES] [--checkpoint-dir DIR] [--idle-timeout SECS] [--quiet]\n\
+                     \x20      dipe-serve --worker [--port P] [--port-file PATH] \
+                     [--fault PLAN] [--quiet]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if !options.worker && !options.fault.is_empty() {
+        return Err("--fault only applies to --worker mode".to_string());
+    }
     Ok(options)
+}
+
+fn worker_main(options: &Options) -> ExitCode {
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", options.port)) {
+        Ok(listener) => listener,
+        Err(error) => {
+            eprintln!("dipe-worker: bind failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(addr) => addr,
+        Err(error) => {
+            eprintln!("dipe-worker: local_addr failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &options.port_file {
+        if let Err(error) = std::fs::write(path, format!("{}\n", addr.port())) {
+            eprintln!("dipe-worker: cannot write port file {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("dipe-worker listening on {addr}");
+    let _ = std::io::stdout().flush();
+    match run_worker(listener, &options.fault, options.config.quiet) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("dipe-worker: {error}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -81,6 +142,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if options.worker {
+        return worker_main(&options);
+    }
     let server = match Server::bind(("127.0.0.1", options.port), options.config) {
         Ok(server) => server,
         Err(error) => {

@@ -173,7 +173,7 @@ fn checkpoint_from_json(value: &Json) -> Result<SessionCheckpoint, String> {
     })
 }
 
-fn sampler_to_json(s: &SamplerState) -> Json {
+pub(crate) fn sampler_to_json(s: &SamplerState) -> Json {
     Json::obj(vec![
         (
             "rng_state",
@@ -199,7 +199,7 @@ fn sampler_to_json(s: &SamplerState) -> Json {
     ])
 }
 
-fn sampler_from_json(value: &Json) -> Result<SamplerState, String> {
+pub(crate) fn sampler_from_json(value: &Json) -> Result<SamplerState, String> {
     let rng = u64_array(value.get("rng_state").ok_or("sampler has no rng_state")?)?;
     let rng_state: [u64; 4] = rng
         .try_into()

@@ -43,6 +43,55 @@ impl Client {
         })
     }
 
+    /// Connects to the first reachable endpoint, retrying the whole list up
+    /// to `attempts` rounds with capped, deterministically jittered backoff
+    /// between rounds (see [`dipe::retry_backoff`]). The failure message
+    /// names every endpoint with the last error it produced, so a dead fleet
+    /// diagnoses itself.
+    ///
+    /// # Errors
+    ///
+    /// When every endpoint stays unreachable across every round.
+    pub fn connect_retry(endpoints: &[String], attempts: u32) -> Result<Client, String> {
+        if endpoints.is_empty() {
+            return Err("no endpoints to connect to".to_string());
+        }
+        let attempts = attempts.max(1);
+        let base = std::time::Duration::from_millis(100);
+        let cap = std::time::Duration::from_secs(2);
+        let mut last_error: Vec<Option<String>> = vec![None; endpoints.len()];
+        for attempt in 0..attempts {
+            for (index, endpoint) in endpoints.iter().enumerate() {
+                match Client::connect(endpoint.as_str()) {
+                    Ok(client) => return Ok(client),
+                    Err(error) => last_error[index] = Some(error),
+                }
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(dipe::retry_backoff(
+                    attempt,
+                    dipe::remote::endpoint_hash(&endpoints[0]),
+                    base,
+                    cap,
+                ));
+            }
+        }
+        let detail: Vec<String> = endpoints
+            .iter()
+            .zip(&last_error)
+            .map(|(endpoint, error)| {
+                format!(
+                    "{endpoint}: {}",
+                    error.as_deref().unwrap_or("not attempted")
+                )
+            })
+            .collect();
+        Err(format!(
+            "no server reachable after {attempts} attempt(s) — {}",
+            detail.join("; ")
+        ))
+    }
+
     /// How many `progress` events have been observed so far for `job_id`
     /// (across every read this client has performed).
     pub fn progress_count(&self, job_id: u64) -> u64 {
@@ -312,8 +361,29 @@ impl Client {
     ///
     /// Protocol or server-side errors as strings.
     pub fn shutdown(&mut self) -> Result<(), String> {
-        self.request(&Request::Shutdown)
-            .and_then(|r| Self::expect(r, "bye"))
-            .map(|_| ())
+        self.request(&Request::Shutdown {
+            drain_seconds: None,
+        })
+        .and_then(|r| Self::expect(r, "bye"))
+        .map(|_| ())
+    }
+
+    /// Asks the server to shut down after draining: in-flight jobs get
+    /// `drain_seconds` to finish before the stragglers are cancelled.
+    /// Returns how many jobs missed the deadline and were cancelled (`0`
+    /// means the drain was clean).
+    ///
+    /// # Errors
+    ///
+    /// Protocol or server-side errors as strings.
+    pub fn shutdown_drain(&mut self, drain_seconds: f64) -> Result<u64, String> {
+        let response = self.request(&Request::Shutdown {
+            drain_seconds: Some(drain_seconds),
+        })?;
+        let response = Self::expect(response, "bye")?;
+        Ok(response
+            .get("cancelled")
+            .and_then(Json::as_u64)
+            .unwrap_or(0))
     }
 }

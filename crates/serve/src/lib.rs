@@ -24,21 +24,32 @@
 //!
 //! The crate ships two binaries: `dipe-serve` (the server) and `dipe-client`
 //! (a minimal scriptable client used by CI smoke tests).
+//!
+//! The same crate also hosts the **distributed shard runtime**: `dipe-serve
+//! --worker` turns a process into a block-producing sampling worker
+//! ([`worker`]), and the [`coordinator`] fans one estimation's sampling
+//! phase out over a fleet of such workers with timeouts, retries,
+//! seed-stream reassignment and checksummed blocks — bit-identical to the
+//! local `--shards` runtime under every fault the harness can inject.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod checkpoint_io;
 pub mod client;
+pub mod coordinator;
 pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod spec;
+pub mod worker;
 
 pub use cache::{CacheStats, CircuitCache, CompiledEntry};
 pub use checkpoint_io::CheckpointFile;
 pub use client::Client;
+pub use coordinator::{CoordinatorConfig, RemoteOutcome, WorkerReport};
 pub use json::{Json, JsonError};
 pub use protocol::{CachePath, Event, JobResult, Request};
 pub use server::{Server, ServerConfig};
 pub use spec::{CircuitRef, JobSpec};
+pub use worker::run_worker;

@@ -23,7 +23,7 @@
 //! | `metrics`    | —                               | `metrics`        |
 //! | `trace`      | `job_id`                        | `trace`          |
 //! | `ping`       | —                               | `pong`           |
-//! | `shutdown`   | —                               | `bye`            |
+//! | `shutdown`   | optional `drain_seconds`        | `bye`            |
 //!
 //! Any malformed or failed request yields an `error` response instead. See
 //! `docs/ARCHITECTURE.md` for the full message table with examples.
@@ -79,8 +79,14 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
-    /// Stop accepting work, cancel running jobs and exit.
-    Shutdown,
+    /// Stop accepting work and exit. With `drain_seconds`, in-flight jobs
+    /// get that long to finish before the stragglers are cancelled; without
+    /// it, running jobs are cancelled immediately (the legacy behaviour).
+    /// The `bye` response reports how many jobs had to be cancelled.
+    Shutdown {
+        /// How long to wait for in-flight jobs before cancelling them.
+        drain_seconds: Option<f64>,
+    },
 }
 
 impl Request {
@@ -114,7 +120,13 @@ impl Request {
                 ("job_id", Json::u64(*job_id)),
             ]),
             Request::Ping => Json::obj(vec![("type", Json::str("ping"))]),
-            Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
+            Request::Shutdown { drain_seconds } => {
+                let mut fields = vec![("type", Json::str("shutdown"))];
+                if let Some(seconds) = drain_seconds {
+                    fields.push(("drain_seconds", Json::f64(*seconds)));
+                }
+                Json::obj(fields)
+            }
         }
     }
 
@@ -156,7 +168,9 @@ impl Request {
             "metrics" => Ok(Request::Metrics),
             "trace" => Ok(Request::Trace { job_id: job_id()? }),
             "ping" => Ok(Request::Ping),
-            "shutdown" => Ok(Request::Shutdown),
+            "shutdown" => Ok(Request::Shutdown {
+                drain_seconds: value.get("drain_seconds").and_then(Json::as_f64),
+            }),
             other => Err(format!("unknown request type `{other}`")),
         }
     }
@@ -419,7 +433,12 @@ mod tests {
             Request::Metrics,
             Request::Trace { job_id: 6 },
             Request::Ping,
-            Request::Shutdown,
+            Request::Shutdown {
+                drain_seconds: None,
+            },
+            Request::Shutdown {
+                drain_seconds: Some(1.5),
+            },
         ];
         for request in requests {
             let line = request.to_json().to_line();

@@ -47,6 +47,11 @@ pub struct ServerConfig {
     pub slice_cycles: u64,
     /// Where `checkpoint` RPCs write their files.
     pub checkpoint_dir: PathBuf,
+    /// Disconnect a connection after this long without receiving a line,
+    /// unless one of its jobs is still running (results must be deliverable).
+    /// A `ping` is enough to stay alive; `0` disables the reaper. Disconnects
+    /// are counted in `dipe_serve_idle_disconnects_total`.
+    pub idle_timeout_seconds: f64,
     /// Suppress per-connection log lines on stderr.
     pub quiet: bool,
 }
@@ -57,6 +62,7 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             slice_cycles: 25_000,
             checkpoint_dir: std::env::temp_dir().join("dipe-serve"),
+            idle_timeout_seconds: 300.0,
             quiet: false,
         }
     }
@@ -244,6 +250,9 @@ struct ServerStats {
     jobs_cancelled: Arc<Counter>,
     /// Sum of per-job executed cycles (accounting total minus cache skips).
     executed_cycles_total: Arc<Counter>,
+    /// Connections dropped by the idle reaper (no line within the timeout
+    /// and no running job to keep the connection alive for).
+    idle_disconnects: Arc<Counter>,
     /// Distribution of executed cycles per completed job.
     job_executed_cycles: Arc<Histogram>,
 }
@@ -256,6 +265,7 @@ impl ServerStats {
             jobs_failed: registry.counter("dipe_serve_jobs_failed_total"),
             jobs_cancelled: registry.counter("dipe_serve_jobs_cancelled_total"),
             executed_cycles_total: registry.counter("dipe_serve_executed_cycles_total"),
+            idle_disconnects: registry.counter("dipe_serve_idle_disconnects_total"),
             job_executed_cycles: registry.histogram("dipe_serve_job_executed_cycles"),
         }
     }
@@ -429,13 +439,55 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
         Ok(w) => SharedWriter::new(w),
         Err(_) => return,
     };
+    // The idle reaper: a blocking read that times out after the configured
+    // quiet period. Any received line (a `ping` suffices) restarts the
+    // clock; a connection whose jobs are still running is never reaped, so
+    // results stay deliverable.
+    if shared.config.idle_timeout_seconds > 0.0 {
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs_f64(
+            shared.config.idle_timeout_seconds,
+        )));
+    }
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // Jobs submitted on this connection, for the reaper's grace check.
+    let mut own_jobs: Vec<u64> = Vec::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up
-            Ok(_) => {}
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // client hung up
+                Ok(_) => break,
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Partial content (if any) stays in `line`; a torn line
+                    // just keeps accumulating across timeouts.
+                    let running = {
+                        let jobs = shared.jobs.lock().unwrap();
+                        own_jobs.iter().any(|id| {
+                            jobs.get(id).is_some_and(|job| {
+                                job.status.lock().unwrap().state == JobStateKind::Running
+                            })
+                        })
+                    };
+                    if running {
+                        continue;
+                    }
+                    shared.stats.idle_disconnects.inc();
+                    if !shared.config.quiet {
+                        eprintln!(
+                            "dipe-serve: dropping idle connection (quiet for {}s, no running jobs)",
+                            shared.config.idle_timeout_seconds
+                        );
+                    }
+                    return;
+                }
+                Err(_) => return,
+            }
         }
         let text = line.trim();
         if text.is_empty() {
@@ -451,20 +503,22 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 continue;
             }
         };
-        if shared.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+        if shared.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown { .. }) {
             writer.send(&error_response("server is shutting down"));
             continue;
         }
         match request {
-            Request::Submit { job } => submit_job(&shared, &writer, job, None, CachePath::Cold),
+            Request::Submit { job } => {
+                own_jobs.push(submit_job(&shared, &writer, job, None, CachePath::Cold));
+            }
             Request::Resume { path } => match CheckpointFile::load(std::path::Path::new(&path)) {
-                Ok(file) => submit_job(
+                Ok(file) => own_jobs.push(submit_job(
                     &shared,
                     &writer,
                     file.job,
                     Some(file.checkpoint),
                     CachePath::Resumed,
-                ),
+                )),
                 Err(message) => writer.send(&error_response(&message)),
             },
             Request::Status { job_id } => {
@@ -522,9 +576,32 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 }
             }
             Request::Ping => writer.send(&Json::obj(vec![("type", Json::str("pong"))])),
-            Request::Shutdown => {
+            Request::Shutdown { drain_seconds } => {
                 shared.shutdown.store(true, Ordering::SeqCst);
-                writer.send(&Json::obj(vec![("type", Json::str("bye"))]));
+                // Drain: give in-flight jobs until the deadline to finish
+                // on their own. New submissions are already rejected (the
+                // shutdown flag is set), so the job count only goes down.
+                if let Some(seconds) = drain_seconds {
+                    let deadline =
+                        Instant::now() + std::time::Duration::from_secs_f64(seconds.max(0.0));
+                    while shared.active_jobs() > 0 && Instant::now() < deadline {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                }
+                // Whatever is still running missed the deadline: cancel it
+                // and report the count, so callers can tell a clean drain
+                // (`cancelled: 0`) from a forced one.
+                let mut cancelled = 0u64;
+                for job in shared.jobs.lock().unwrap().values() {
+                    if job.status.lock().unwrap().state == JobStateKind::Running {
+                        job.cancel.store(true, Ordering::SeqCst);
+                        cancelled += 1;
+                    }
+                }
+                writer.send(&Json::obj(vec![
+                    ("type", Json::str("bye")),
+                    ("cancelled", Json::u64(cancelled)),
+                ]));
                 // Wake the acceptor so `run` can observe the flag and drain.
                 let _ = TcpStream::connect(shared.addr);
                 return;
@@ -568,6 +645,10 @@ fn stats_response(shared: &Shared) -> Json {
         (
             "executed_cycles_total",
             Json::u64(shared.stats.executed_cycles_total.get()),
+        ),
+        (
+            "idle_disconnects",
+            Json::u64(shared.stats.idle_disconnects.get()),
         ),
         ("compiled_hits", Json::u64(compiled_hits)),
         ("compiled_misses", Json::u64(compiled_misses)),
@@ -687,7 +768,7 @@ fn submit_job(
     spec: JobSpec,
     resume_from: Option<SessionCheckpoint>,
     origin: CachePath,
-) {
+) -> u64 {
     let job_id = shared.next_job_id.fetch_add(1, Ordering::SeqCst);
     let handle = JobHandle::new(job_id);
     shared
@@ -716,6 +797,7 @@ fn submit_job(
         );
     });
     shared.job_threads.lock().unwrap().push(thread);
+    job_id
 }
 
 /// The job thread body: build (or restore) the session, then alternate

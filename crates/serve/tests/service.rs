@@ -20,6 +20,7 @@ fn start_server(workers: usize, slice_cycles: u64) -> (SocketAddr, JoinHandle<()
         workers,
         slice_cycles,
         checkpoint_dir: dir,
+        idle_timeout_seconds: 0.0,
         quiet: true,
     };
     let server = Server::bind(("127.0.0.1", 0), config).expect("bind");
@@ -409,4 +410,115 @@ fn error_paths_and_clean_shutdown() {
         Some(1)
     );
     shutdown(addr, thread);
+}
+
+#[test]
+fn drained_shutdown_lets_inflight_jobs_finish() {
+    let (addr, thread) = start_server(2, 400);
+    let spec = JobSpec::named("s27").with_seed(7).with_accuracy(0.10, 0.95);
+    let reference = serial_estimate(&spec);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let job_id = client.submit(&spec).expect("submit");
+    // Shut down immediately with a generous drain window: the in-flight job
+    // must be allowed to finish (cancelled count 0) and its result event
+    // must still reach us — stashed while we waited for the `bye`.
+    let cancelled = client.shutdown_drain(30.0).expect("drained shutdown");
+    assert_eq!(cancelled, 0, "job should finish inside the drain window");
+    let result = client.wait_result(job_id).expect("result after drain");
+    assert_matches_serial(&result, &reference);
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn drain_deadline_cancels_stragglers() {
+    let (addr, thread) = start_server(1, 400);
+    // A job too long for a 50 ms drain window (same spec the cancel test
+    // uses as its long-running victim).
+    let spec = JobSpec::named("s298")
+        .with_seed(5)
+        .with_accuracy(0.01, 0.99);
+    let mut client = Client::connect(addr).expect("connect");
+    let job_id = client.submit(&spec).expect("submit");
+    let cancelled = client.shutdown_drain(0.05).expect("forced shutdown");
+    assert_eq!(cancelled, 1, "the straggler must be cancelled at deadline");
+    let outcome = client.wait_result(job_id).expect_err("cancelled job fails");
+    assert!(outcome.contains("cancelled"), "got: {outcome}");
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn idle_connections_are_reaped_but_working_ones_are_not() {
+    let dir = std::env::temp_dir().join(format!("dipe-serve-idle-{}", std::process::id()));
+    let config = ServerConfig {
+        workers: 1,
+        slice_cycles: 400,
+        checkpoint_dir: dir,
+        idle_timeout_seconds: 0.2,
+        quiet: true,
+    };
+    let server = Server::bind(("127.0.0.1", 0), config).expect("bind");
+    let addr = server.local_addr();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Grace: a connection with a running job survives quiet periods longer
+    // than the idle timeout — the result must still be deliverable.
+    let mut client = Client::connect(addr).expect("connect");
+    let spec = JobSpec::named("s27").with_seed(7).with_accuracy(0.10, 0.95);
+    let job_id = client.submit(&spec).expect("submit");
+    client
+        .wait_result(job_id)
+        .expect("result despite idle timer");
+
+    // Reaping: once nothing is running, a quiet connection is dropped and
+    // the drop is counted.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    assert!(
+        client.ping().is_err(),
+        "idle connection should have been reaped"
+    );
+    let mut fresh = Client::connect(addr).expect("reconnect");
+    let stats = fresh.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("idle_disconnects")
+            .and_then(dipe_serve::Json::as_u64),
+        Some(1)
+    );
+    let metrics = fresh.metrics().expect("metrics");
+    assert!(
+        metrics.contains("dipe_serve_idle_disconnects_total 1"),
+        "metrics should surface the idle counter: {metrics}"
+    );
+    fresh.shutdown().expect("shutdown");
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn connect_retry_reports_every_endpoint_and_finds_the_live_one() {
+    // Two bound-then-dropped ports: nothing listens on either.
+    let dead: Vec<String> = (0..2)
+        .map(|_| {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        })
+        .collect();
+    let error = match Client::connect_retry(&dead, 2) {
+        Ok(_) => panic!("a dead fleet must not connect"),
+        Err(error) => error,
+    };
+    for endpoint in &dead {
+        assert!(
+            error.contains(endpoint.as_str()),
+            "error must name {endpoint}: {error}"
+        );
+    }
+
+    // A live server behind a dead first endpoint is still found.
+    let (addr, thread) = start_server(1, 2_000);
+    let endpoints = vec![dead[0].clone(), addr.to_string()];
+    let mut client = Client::connect_retry(&endpoints, 1).expect("live endpoint");
+    client.ping().expect("ping");
+    client.shutdown().expect("shutdown");
+    thread.join().expect("server thread");
 }

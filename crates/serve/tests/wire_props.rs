@@ -1,0 +1,134 @@
+//! Property tests of the shard-block wire form: every serialized block must
+//! round-trip bit-for-bit through the NDJSON encoding, and a single flipped
+//! bit anywhere in the payload must fail the checksum.
+
+use dipe::remote::RemoteBlock;
+use dipe::sampler::CycleCounts;
+use dipe::{InputStreamState, SamplerState};
+use dipe_serve::worker::{block_from_json, block_to_json};
+use dipe_serve::Json;
+use proptest::prelude::*;
+use seqstats::{MomentAccumulatorState, PooledSampleState};
+
+/// Assembles a block from independently fuzzed raw components. Booleans
+/// arrive as `0u64..2` vectors (the vendored proptest has no tuple or bool
+/// strategies) and `counters` carries `[trace_cursor, zero, measured]`.
+#[allow(clippy::too_many_arguments)]
+fn build_block(
+    stream: u32,
+    block_index: u64,
+    power_bits: Vec<u64>,
+    rng: Vec<u64>,
+    previous: Vec<u64>,
+    latches: Vec<u64>,
+    pattern: Vec<u64>,
+    counters: Vec<u64>,
+    with_accumulator: u64,
+    node_totals: Vec<u64>,
+) -> RemoteBlock {
+    let end_state = SamplerState {
+        input_stream: InputStreamState {
+            rng_state: [rng[0], rng[1], rng[2], rng[3]],
+            has_previous: !previous.is_empty(),
+            previous: previous.iter().map(|&b| b == 1).collect(),
+            trace_cursor: counters[0],
+        },
+        latch_state: latches.iter().map(|&b| b == 1).collect(),
+        input_pattern: pattern.iter().map(|&b| b == 1).collect(),
+        cycle_counts: CycleCounts {
+            zero_delay_cycles: counters[1],
+            measured_cycles: counters[2],
+        },
+    };
+    let accumulator = (with_accumulator == 0).then(|| MomentAccumulatorState {
+        observations: block_index + 1,
+        totals: node_totals.clone(),
+        totals_sq: node_totals.iter().map(|t| t * t).collect(),
+        glitch_totals: node_totals.iter().map(|t| t / 2).collect(),
+    });
+    RemoteBlock::sealed(
+        stream,
+        block_index,
+        PooledSampleState { bits: power_bits },
+        accumulator,
+        end_state,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serialize → one NDJSON line → parse must reproduce the block exactly:
+    /// every power bit pattern, every sampler-state field, the checksum.
+    /// (NaN bit patterns are in the domain: the wire carries bits, not
+    /// decimals, so they round-trip like any other value.)
+    #[test]
+    fn block_wire_form_round_trips_bit_for_bit(
+        stream in 0u32..8,
+        block_index in 0u64..1_000,
+        power_bits in collection::vec(0u64..u64::MAX, 1usize..40),
+        rng in collection::vec(0u64..u64::MAX, 4usize),
+        previous in collection::vec(0u64..2, 0usize..9),
+        latches in collection::vec(0u64..2, 1usize..7),
+        pattern in collection::vec(0u64..2, 1usize..12),
+        counters in collection::vec(0u64..1_000_000, 3usize),
+        with_accumulator in 0u64..3,
+        node_totals in collection::vec(0u64..10_000, 1usize..6),
+    ) {
+        let block = build_block(
+            stream, block_index, power_bits, rng, previous, latches, pattern,
+            counters, with_accumulator, node_totals,
+        );
+        let line = block_to_json(&block).to_line();
+        let parsed = Json::parse(&line).expect("wire line parses");
+        let back = block_from_json(&parsed).expect("wire block decodes");
+        prop_assert_eq!(&back, &block);
+        prop_assert!(back.verify(), "checksum must hold after a round trip");
+    }
+
+    /// Flipping one bit of any serialized field must fail verification —
+    /// locally and after a full wire round trip on the far side.
+    #[test]
+    fn checksum_rejects_a_flipped_payload_bit(
+        stream in 0u32..8,
+        block_index in 0u64..1_000,
+        power_bits in collection::vec(0u64..u64::MAX, 1usize..40),
+        rng in collection::vec(0u64..u64::MAX, 4usize),
+        previous in collection::vec(0u64..2, 0usize..9),
+        latches in collection::vec(0u64..2, 1usize..7),
+        pattern in collection::vec(0u64..2, 1usize..12),
+        counters in collection::vec(0u64..1_000_000, 3usize),
+        with_accumulator in 0u64..3,
+        node_totals in collection::vec(0u64..10_000, 1usize..6),
+        pick in 0u64..6,
+        flip in 0u64..64,
+    ) {
+        let block = build_block(
+            stream, block_index, power_bits, rng, previous, latches, pattern,
+            counters, with_accumulator, node_totals,
+        );
+        let mut mutated = block.clone();
+        let bit = 1u64 << (flip % 64);
+        match pick {
+            0 => mutated.stream ^= 1 << (flip % 3),
+            1 => mutated.block_index ^= bit,
+            2 => {
+                let slot = (flip as usize) % mutated.powers.bits.len();
+                mutated.powers.bits[slot] ^= bit;
+            }
+            3 => mutated.end_state.input_stream.rng_state[(flip as usize) % 4] ^= bit,
+            4 => mutated.end_state.cycle_counts.measured_cycles ^= bit,
+            _ => match &mut mutated.accumulator {
+                Some(accumulator) => {
+                    let slot = (flip as usize) % accumulator.totals.len();
+                    accumulator.totals[slot] ^= bit;
+                }
+                None => mutated.end_state.cycle_counts.zero_delay_cycles ^= bit,
+            },
+        }
+        prop_assert!(!mutated.verify(), "mutation must break the checksum");
+        let line = block_to_json(&mutated).to_line();
+        let back = block_from_json(&Json::parse(&line).expect("parses")).expect("decodes");
+        prop_assert!(!back.verify(), "corruption must survive the wire");
+    }
+}

@@ -58,6 +58,16 @@ impl LatencyRing {
         self.total
     }
 
+    /// The arithmetic mean of the *retained* window, or `None` when empty.
+    /// Pairs with [`quantile`](Self::quantile): the mean exposes tail cost a
+    /// median hides (one 10-second straggler moves the mean, not the p50).
+    pub fn mean(&self) -> Option<f64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        Some(self.slots.iter().sum::<f64>() / self.slots.len() as f64)
+    }
+
     /// The exact order statistic at quantile `q` in `[0, 1]` of the
     /// *retained* window (nearest-rank definition), or `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -105,5 +115,27 @@ mod tests {
         let ring = LatencyRing::new(8);
         assert!(ring.is_empty());
         assert_eq!(ring.quantile(0.5), None);
+        assert_eq!(ring.mean(), None);
+    }
+
+    #[test]
+    fn mean_tracks_the_retained_window_only() {
+        let mut ring = LatencyRing::new(4);
+        for v in [2.0, 4.0] {
+            ring.record(v);
+        }
+        assert_eq!(ring.mean(), Some(3.0));
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            ring.record(v);
+        }
+        // The 2.0 and 4.0 were evicted; the mean covers {10, 20, 30, 40}.
+        assert_eq!(ring.mean(), Some(25.0));
+        // A single straggler moves the mean while the median stays put.
+        let mut skewed = LatencyRing::new(8);
+        for v in [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1000.0] {
+            skewed.record(v);
+        }
+        assert_eq!(skewed.quantile(0.5), Some(1.0));
+        assert!(skewed.mean().unwrap() > 100.0);
     }
 }
